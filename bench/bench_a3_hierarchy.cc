@@ -1,0 +1,61 @@
+// Ablation A3: two-level hierarchies on full-system traces.
+//
+// Sweeps the unified L2 size behind small split L1s and reports global
+// miss rate and AMAT, with and without switch flushing — the "does an L2
+// recover what multiprogramming destroys" question.
+
+#include <cstdio>
+
+#include "cache/hierarchy.h"
+#include "common.h"
+#include "util/table.h"
+
+namespace atum {
+namespace {
+
+int
+Run()
+{
+    const bench::Capture cap =
+        bench::CaptureFullSystem(bench::MixOfDegree(3));
+
+    std::printf("A3: L2 size sweep behind 4K+4K split L1s "
+                "(full-system trace)\n\n");
+    Table table({"l2", "discipline", "l1d-miss%", "global-miss%", "amat"});
+    for (uint32_t kib : {32u, 128u, 512u}) {
+        for (bool flush : {true, false}) {
+            cache::HierarchyConfig config;
+            config.l2.size_bytes = kib << 10;
+            config.flush_on_switch = flush;
+            if (!flush) {
+                config.l1i.pid_tags = true;
+                config.l1d.pid_tags = true;
+                config.l2.pid_tags = true;
+            }
+            cache::CacheHierarchy h(config);
+            for (const trace::Record& r : cap.records)
+                h.Feed(r);
+            table.AddRow({
+                std::to_string(kib) + "K",
+                flush ? "flush" : "pid-tags",
+                Table::Fmt(100.0 * h.l1d().stats().MissRate(), 2),
+                Table::Fmt(100.0 * h.GlobalMissRate(), 3),
+                Table::Fmt(h.Amat(), 2),
+            });
+        }
+    }
+    std::printf("%s\n", table.ToString().c_str());
+    std::printf("Shape check: a big L2 pulls global miss rate toward zero\n"
+                "only under PID tags; with flushing it keeps paying the\n"
+                "post-switch refill, so AMAT stays elevated.\n");
+    return 0;
+}
+
+}  // namespace
+}  // namespace atum
+
+int
+main()
+{
+    return atum::Run();
+}

@@ -1,0 +1,85 @@
+// Ablation A4: trace sampling.
+//
+// Full ATUM traces were expensive (20x slowdown, buffer extractions), so
+// the era's follow-up question was whether *sampled* traces — attach the
+// patches for a window, detach for a gap — estimate cache behaviour well.
+// This harness compares miss-rate estimates from sampled captures against
+// the full trace, exposing the classic cold-start bias of short windows.
+
+#include <cstdio>
+
+#include "analysis/compare.h"
+#include "common.h"
+#include "util/table.h"
+
+namespace atum {
+namespace {
+
+double
+MissRateOf(const std::vector<trace::Record>& records)
+{
+    cache::CacheConfig config{.size_bytes = 16u << 10, .block_bytes = 16,
+                              .assoc = 1};
+    cache::DriverOptions opts;
+    opts.flush_on_switch = true;
+    return analysis::SimulateCache(records, config, opts).MissRate();
+}
+
+int
+Run()
+{
+    // Reference: the full trace.
+    const bench::Capture full =
+        bench::CaptureFullSystem(bench::MixOfDegree(2));
+    const double full_rate = MissRateOf(full.records);
+
+    std::printf("A4: sampled capture vs full trace "
+                "(16K direct-mapped, flush-on-switch)\n\n");
+    std::printf("full trace: %zu records, miss rate %.3f%%\n\n",
+                full.records.size(), 100.0 * full_rate);
+
+    Table table({"window(instr)", "duty", "records", "sampled-miss%",
+                 "error%"});
+    for (const auto& [window, period] :
+         std::vector<std::pair<uint64_t, uint64_t>>{
+             {5000, 50000}, {20000, 80000}, {20000, 40000},
+             {50000, 100000}}) {
+        cpu::Machine machine(bench::StandardMachineConfig());
+        trace::VectorSink sink;
+        core::AtumTracer tracer(machine, sink);
+        kernel::BootSystem(machine, bench::MixOfDegree(2));
+        while (!machine.halted()) {
+            tracer.Attach();
+            machine.Run(window);
+            tracer.Flush();
+            tracer.Detach();
+            if (machine.halted())
+                break;
+            machine.Run(period - window);
+        }
+        const double rate = MissRateOf(sink.records());
+        table.AddRow({
+            std::to_string(window),
+            Table::Fmt(100.0 * static_cast<double>(window) /
+                           static_cast<double>(period),
+                       0) + "%",
+            std::to_string(sink.records().size()),
+            Table::Fmt(100.0 * rate, 3),
+            Table::Fmt(100.0 * (rate - full_rate) / full_rate, 1),
+        });
+    }
+    std::printf("%s\n", table.ToString().c_str());
+    std::printf("Shape check: sampling overestimates the miss rate (cold\n"
+                "windows), less so for longer windows at equal duty —\n"
+                "the bias the sampling literature corrected for.\n");
+    return 0;
+}
+
+}  // namespace
+}  // namespace atum
+
+int
+main()
+{
+    return atum::Run();
+}

@@ -1,0 +1,71 @@
+// Ablation A7: set-sampled cache simulation — accuracy and its hazard.
+//
+// Set sampling simulates 1/2^k of the sets — the standard way the era
+// stretched limited trace-processing budgets. Its accuracy depends
+// entirely on how evenly traffic spreads across sets. Loop-dominated
+// CISC instruction streams concentrate most hits in a handful of sets,
+// so small samples that miss the hot sets overestimate wildly; the
+// harness quantifies exactly that (the caveat the sampling literature
+// warned about), alongside the regime where the estimate is usable.
+
+#include <cstdio>
+
+#include "analysis/compare.h"
+#include "common.h"
+#include "util/table.h"
+
+namespace atum {
+namespace {
+
+int
+Run()
+{
+    const bench::Capture cap =
+        bench::CaptureFullSystem(bench::MixOfDegree(3));
+    cache::DriverOptions opts;
+    opts.flush_on_switch = true;
+
+    std::printf("A7: set-sampling accuracy (direct-mapped, 16B blocks, "
+                "full-system trace)\n\n");
+    Table table({"cache", "full-miss%", "1/2-sets%", "1/4-sets%",
+                 "1/16-sets%", "1/16-access-share%"});
+    for (uint32_t kib : {8u, 32u, 128u}) {
+        cache::CacheConfig config{.size_bytes = kib << 10,
+                                  .block_bytes = 16,
+                                  .assoc = 1};
+        const auto full = analysis::SimulateCache(cap.records, config, opts);
+        const auto s2 =
+            analysis::SetSampledMissRate(cap.records, config, opts, 1);
+        const auto s4 =
+            analysis::SetSampledMissRate(cap.records, config, opts, 2);
+        const auto s16 =
+            analysis::SetSampledMissRate(cap.records, config, opts, 4);
+        table.AddRow({
+            std::to_string(kib) + "K",
+            Table::Fmt(100.0 * full.MissRate(), 3),
+            Table::Fmt(100.0 * s2.MissRate(), 3),
+            Table::Fmt(100.0 * s4.MissRate(), 3),
+            Table::Fmt(100.0 * s16.MissRate(), 3),
+            // How much of the total traffic the 1/16 sample saw: far
+            // below 1/16 when loops concentrate accesses elsewhere.
+            Table::Fmt(100.0 * static_cast<double>(s16.sampled_accesses) /
+                           static_cast<double>(full.accesses),
+                       2),
+        });
+    }
+    std::printf("%s\n", table.ToString().c_str());
+    std::printf("Shape check: half-the-sets samples track the truth, but\n"
+                "small samples that miss the loop-hot sets overestimate\n"
+                "several-fold — set sampling is only as reliable as the\n"
+                "traffic is uniform, the caveat the literature documented.\n");
+    return 0;
+}
+
+}  // namespace
+}  // namespace atum
+
+int
+main()
+{
+    return atum::Run();
+}

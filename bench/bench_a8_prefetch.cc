@@ -1,0 +1,76 @@
+// Ablation A8: one-block lookahead prefetching (Smith's OBL).
+//
+// A miss also fills the next sequential block — cheap hardware that works
+// exactly as well as the reference stream is sequential. Full-system
+// traces show where it pays (the CISC istream) and where it pollutes
+// (data-side pointer chasing).
+
+#include <cstdio>
+
+#include "cache/cache.h"
+#include "cache/trace_driver.h"
+#include "common.h"
+#include "util/table.h"
+
+namespace atum {
+namespace {
+
+struct Split {
+    double i_miss;
+    double d_miss;
+    uint64_t prefetches;
+};
+
+Split
+RunSplit(const std::vector<trace::Record>& records, bool prefetch)
+{
+    cache::CacheConfig icfg{.size_bytes = 8u << 10, .block_bytes = 16,
+                            .assoc = 1, .prefetch_next_on_miss = prefetch};
+    cache::CacheConfig dcfg = icfg;
+    cache::Cache icache(icfg);
+    cache::Cache dcache(dcfg);
+    cache::DriverOptions opts;
+    opts.flush_on_switch = true;
+    cache::TraceCacheDriver driver(dcache, opts, &icache);
+    for (const auto& r : records)
+        driver.Feed(r);
+    return {icache.stats().MissRate(), dcache.stats().MissRate(),
+            icache.stats().prefetch_fills + dcache.stats().prefetch_fills};
+}
+
+int
+Run()
+{
+    std::printf("A8: one-block lookahead on split 8K I/D caches "
+                "(full-system traces)\n\n");
+    Table table({"workload", "I-miss%", "I-miss%+obl", "D-miss%",
+                 "D-miss%+obl"});
+    for (const char* name : {"grep", "matrix", "listproc", "hash"}) {
+        const bench::Capture cap =
+            bench::CaptureFullSystem({workloads::MakeWorkload(name, 2)});
+        const Split base = RunSplit(cap.records, false);
+        const Split obl = RunSplit(cap.records, true);
+        table.AddRow({
+            name,
+            Table::Fmt(100.0 * base.i_miss, 3),
+            Table::Fmt(100.0 * obl.i_miss, 3),
+            Table::Fmt(100.0 * base.d_miss, 3),
+            Table::Fmt(100.0 * obl.d_miss, 3),
+        });
+    }
+    std::printf("%s\n", table.ToString().c_str());
+    std::printf("Shape check: lookahead cuts instruction-stream misses\n"
+                "sharply (sequential fetch); data-side gains depend on the\n"
+                "workload's spatial locality, and pointer chasing can even\n"
+                "lose to pollution.\n");
+    return 0;
+}
+
+}  // namespace
+}  // namespace atum
+
+int
+main()
+{
+    return atum::Run();
+}

@@ -1,0 +1,71 @@
+// Experiment F4 (reconstructed): multiprogramming effects on the cache.
+//
+// ATUM's full-system traces let the field quantify, for the first time
+// with real workloads, what context switching does to caches: a cache
+// without process tags must be flushed on every switch, and the damage
+// grows with the multiprogramming degree and the cache size.
+//
+// Paper shape to reproduce: miss rate rises with degree; flush-on-switch
+// is consistently worse than PID-tagged caches; the effect is largest for
+// big caches (whose contents a flush wipes out wholesale).
+
+#include <cstdio>
+
+#include "analysis/compare.h"
+#include "common.h"
+#include "util/table.h"
+
+namespace atum {
+namespace {
+
+int
+Run()
+{
+    std::printf("F4: multiprogramming degree vs miss rate "
+                "(2-way, 16B blocks)\n\n");
+    Table table({"degree", "cache", "flush-on-switch%", "pid-tagged%",
+                 "flush-penalty%"});
+
+    for (uint32_t degree : {1u, 2u, 4u}) {
+        const bench::Capture cap =
+            bench::CaptureFullSystem(bench::MixOfDegree(degree));
+        for (uint32_t kib : {16u, 64u, 256u}) {
+            cache::CacheConfig flush_cfg{.size_bytes = kib << 10,
+                                         .block_bytes = 16,
+                                         .assoc = 2};
+            cache::CacheConfig pid_cfg = flush_cfg;
+            pid_cfg.pid_tags = true;
+
+            cache::DriverOptions flush_opts;
+            flush_opts.flush_on_switch = true;
+            cache::DriverOptions pid_opts;
+
+            const auto flushed =
+                analysis::SimulateCache(cap.records, flush_cfg, flush_opts);
+            const auto tagged =
+                analysis::SimulateCache(cap.records, pid_cfg, pid_opts);
+            const double f = flushed.MissRate();
+            const double p = tagged.MissRate();
+            table.AddRow({
+                std::to_string(degree),
+                std::to_string(kib) + "K",
+                Table::Fmt(100.0 * f, 3),
+                Table::Fmt(100.0 * p, 3),
+                Table::Fmt(p > 0 ? 100.0 * (f - p) / p : 0.0, 1),
+            });
+        }
+    }
+    std::printf("%s\n", table.ToString().c_str());
+    std::printf("Shape check: misses rise with degree; PID tags beat\n"
+                "flushing everywhere, most dramatically at large caches.\n");
+    return 0;
+}
+
+}  // namespace
+}  // namespace atum
+
+int
+main()
+{
+    return atum::Run();
+}

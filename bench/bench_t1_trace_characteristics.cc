@@ -1,0 +1,69 @@
+// Experiment T1 (reconstructed): per-workload trace characteristics.
+//
+// The ATUM paper tabulated, for each captured workload, the trace length
+// and the composition of references (instruction stream vs data reads vs
+// writes, and how much of everything belonged to the operating system).
+// This harness regenerates that table for every workload alone and for
+// the degree-3 multiprogrammed mix.
+//
+// Paper shape to reproduce: the OS contributes a large minority of all
+// references, and writes are roughly a third of data references.
+
+#include <cstdio>
+
+#include "common.h"
+#include "trace/stats.h"
+#include "util/table.h"
+
+namespace atum {
+namespace {
+
+void
+AddRow(Table& table, const std::string& name, const bench::Capture& capture)
+{
+    trace::TraceStats stats;
+    for (const auto& r : capture.records)
+        stats.Accumulate(r);
+
+    const double mem = static_cast<double>(stats.mem_refs());
+    table.AddRow({
+        name,
+        std::to_string(capture.session.instructions),
+        std::to_string(stats.mem_refs()),
+        Table::Fmt(100.0 * stats.CountOf(trace::RecordType::kIFetch) / mem, 1),
+        Table::Fmt(100.0 * stats.CountOf(trace::RecordType::kRead) / mem, 1),
+        Table::Fmt(100.0 * stats.CountOf(trace::RecordType::kWrite) / mem, 1),
+        Table::Fmt(100.0 * stats.CountOf(trace::RecordType::kPte) / mem, 1),
+        Table::Fmt(100.0 * stats.KernelFraction(), 1),
+        std::to_string(capture.context_switches),
+        std::to_string(capture.page_faults),
+    });
+}
+
+int
+Run()
+{
+    std::printf("T1: trace characteristics (full-system ATUM capture)\n\n");
+    Table table({"workload", "instrs", "mem-refs", "ifetch%", "read%",
+                 "write%", "pte%", "os%", "ctxsw", "pgflts"});
+
+    for (const std::string& name : workloads::AllWorkloadNames()) {
+        AddRow(table, name,
+               bench::CaptureFullSystem({workloads::MakeWorkload(name)}));
+    }
+    AddRow(table, "mix-3", bench::CaptureFullSystem(bench::MixOfDegree(3)));
+
+    std::printf("%s\n", table.ToString().c_str());
+    std::printf("Shape check: OS share is a substantial minority and\n"
+                "writes are a sizeable fraction of data references.\n");
+    return 0;
+}
+
+}  // namespace
+}  // namespace atum
+
+int
+main()
+{
+    return atum::Run();
+}

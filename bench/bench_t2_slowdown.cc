@@ -1,0 +1,72 @@
+// Experiment T2 (reconstructed): tracing slowdown.
+//
+// ATUM slowed the VAX 8200 by roughly 10-20x: every memory reference ran
+// extra patch micro-instructions. This harness measures the dilation of
+// guest micro-cycles as a function of the patch cost per record, plus the
+// buffer-extraction pauses.
+//
+// Paper shape to reproduce: around an order of magnitude of slowdown at
+// realistic patch costs, scaling linearly with the per-record cost.
+
+#include <cstdio>
+
+#include "common.h"
+#include "util/table.h"
+
+namespace atum {
+namespace {
+
+int
+Run()
+{
+    auto programs = [] { return bench::MixOfDegree(2); };
+
+    // Baseline: the same run untraced.
+    cpu::Machine plain(bench::StandardMachineConfig());
+    kernel::BootSystem(plain, programs());
+    const auto base = core::RunUntraced(plain, 400'000'000);
+    if (!base.halted)
+        Fatal("baseline run did not halt");
+
+    std::printf("T2: microcode tracing slowdown (untraced = %llu ucycles, "
+                "%llu instructions)\n\n",
+                static_cast<unsigned long long>(base.ucycles),
+                static_cast<unsigned long long>(base.instructions));
+
+    Table table({"cost/record(uc)", "records", "traced-ucycles", "slowdown",
+                 "overhead%"});
+    for (uint32_t cost : {1u, 8u, 16u, 32u, 64u, 128u}) {
+        core::AtumConfig config;
+        config.cost_per_record = cost;
+        const bench::Capture cap =
+            bench::CaptureFullSystem(programs(), config);
+        if (cap.session.instructions != base.instructions)
+            Fatal("tracing perturbed the instruction stream");
+        const double slowdown = static_cast<double>(cap.session.ucycles) /
+                                static_cast<double>(base.ucycles);
+        table.AddRow({
+            std::to_string(cost),
+            std::to_string(cap.session.records),
+            std::to_string(cap.session.ucycles),
+            Table::Fmt(slowdown, 2),
+            Table::Fmt(100.0 *
+                           static_cast<double>(cap.session.overhead_ucycles) /
+                           static_cast<double>(cap.session.ucycles),
+                       1),
+        });
+    }
+    std::printf("%s\n", table.ToString().c_str());
+    std::printf("Shape check: slowdown grows linearly with patch cost and\n"
+                "reaches the paper's ~10-20x regime at 64-128 ucycles/record\n"
+                "(the library default is 64).\n");
+    return 0;
+}
+
+}  // namespace
+}  // namespace atum
+
+int
+main()
+{
+    return atum::Run();
+}

@@ -1,0 +1,89 @@
+// Experiment T5: engineering throughput numbers (google-benchmark).
+//
+// Not a paper table — this is the repo's own speed sheet: how fast the
+// microcoded machine executes guest instructions with and without the
+// ATUM patches installed, and how fast the trace-driven cache model
+// consumes records.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/compare.h"
+#include "common.h"
+
+namespace atum {
+namespace {
+
+void
+BM_MachineUntraced(benchmark::State& state)
+{
+    uint64_t instructions = 0;
+    for (auto _ : state) {
+        cpu::Machine machine(bench::StandardMachineConfig());
+        kernel::BootSystem(machine, {workloads::MakeHash(1500)});
+        const auto r = core::RunUntraced(machine, 400'000'000);
+        instructions += r.instructions;
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MachineUntraced)->Unit(benchmark::kMillisecond);
+
+void
+BM_MachineTraced(benchmark::State& state)
+{
+    uint64_t instructions = 0;
+    for (auto _ : state) {
+        cpu::Machine machine(bench::StandardMachineConfig());
+        trace::CountingSink sink;
+        core::AtumTracer tracer(machine, sink);
+        kernel::BootSystem(machine, {workloads::MakeHash(1500)});
+        const auto r = core::RunTraced(machine, tracer, 400'000'000);
+        instructions += r.instructions;
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MachineTraced)->Unit(benchmark::kMillisecond);
+
+void
+BM_CacheSimulation(benchmark::State& state)
+{
+    static const std::vector<trace::Record>& records = [] {
+        return *new std::vector<trace::Record>(
+            bench::CaptureFullSystem(bench::MixOfDegree(2)).records);
+    }();
+    uint64_t fed = 0;
+    for (auto _ : state) {
+        cache::Cache c({.size_bytes = 64u << 10,
+                        .block_bytes = 16,
+                        .assoc = static_cast<uint32_t>(state.range(0))});
+        cache::TraceCacheDriver driver(c, {});
+        for (const auto& r : records)
+            driver.Feed(r);
+        fed += driver.fed();
+        benchmark::DoNotOptimize(c.stats().misses);
+    }
+    state.counters["records/s"] = benchmark::Counter(
+        static_cast<double>(fed), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CacheSimulation)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void
+BM_TraceCaptureOnly(benchmark::State& state)
+{
+    // Capture cost alone: boot + traced run + drain, per guest instruction.
+    uint64_t records = 0;
+    for (auto _ : state) {
+        const auto cap = bench::CaptureFullSystem(
+            {workloads::MakeGrep(4096, 2)});
+        records += cap.records.size();
+    }
+    state.counters["records/s"] = benchmark::Counter(
+        static_cast<double>(records), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TraceCaptureOnly)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace atum
+
+BENCHMARK_MAIN();

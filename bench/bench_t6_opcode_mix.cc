@@ -1,0 +1,85 @@
+// Experiment T6 (reconstructed): dynamic opcode frequencies.
+//
+// ATUM-class traces (with opcode markers) let architects measure which
+// CISC instructions software *actually executed* — numbers that fed
+// directly into the RISC debate. This harness captures the standard mix
+// with kOpcode records enabled and tabulates the dynamic instruction mix,
+// split kernel vs user.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common.h"
+#include "isa/isa.h"
+#include "util/table.h"
+
+namespace atum {
+namespace {
+
+int
+Run()
+{
+    core::AtumConfig config;
+    config.record_opcodes = true;
+    const bench::Capture cap =
+        bench::CaptureFullSystem(bench::MixOfDegree(3), config);
+
+    std::map<uint8_t, uint64_t> user_counts, kernel_counts;
+    uint64_t total = 0;
+    for (const trace::Record& r : cap.records) {
+        if (r.type != trace::RecordType::kOpcode)
+            continue;
+        ++total;
+        auto& counts = r.kernel() ? kernel_counts : user_counts;
+        ++counts[static_cast<uint8_t>(r.info)];
+    }
+
+    std::map<uint8_t, uint64_t> combined = user_counts;
+    for (const auto& [op, n] : kernel_counts)
+        combined[op] += n;
+    std::vector<std::pair<uint8_t, uint64_t>> ranked(combined.begin(),
+                                                     combined.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+
+    std::printf("T6: dynamic opcode frequencies (%llu instructions, "
+                "degree-3 mix)\n\n",
+                static_cast<unsigned long long>(total));
+    Table table({"rank", "opcode", "total%", "user%", "kernel%"});
+    double cumulative = 0;
+    for (size_t i = 0; i < ranked.size() && i < 15; ++i) {
+        const auto [op, n] = ranked[i];
+        const double pct = 100.0 * static_cast<double>(n) /
+                           static_cast<double>(total);
+        cumulative += pct;
+        table.AddRow({
+            std::to_string(i + 1),
+            isa::MnemonicOf(static_cast<isa::Opcode>(op)),
+            Table::Fmt(pct, 2),
+            Table::Fmt(100.0 * static_cast<double>(user_counts[op]) /
+                           static_cast<double>(total),
+                       2),
+            Table::Fmt(100.0 * static_cast<double>(kernel_counts[op]) /
+                           static_cast<double>(total),
+                       2),
+        });
+    }
+    std::printf("%s\n", table.ToString().c_str());
+    std::printf("top-15 cover %.1f%% of dynamic instructions; %zu distinct "
+                "opcodes executed\n\n",
+                cumulative, combined.size());
+    std::printf("Shape check: a handful of simple moves/branches dominate\n"
+                "the dynamic mix of a CISC — the classic measurement that\n"
+                "fed the RISC argument.\n");
+    return 0;
+}
+
+}  // namespace
+}  // namespace atum
+
+int
+main()
+{
+    return atum::Run();
+}

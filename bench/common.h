@@ -1,0 +1,105 @@
+#ifndef ATUM_BENCH_COMMON_H_
+#define ATUM_BENCH_COMMON_H_
+
+/**
+ * @file
+ * Shared plumbing for the experiment harnesses: standard machines,
+ * full-system capture, and the workload mixes each table/figure uses.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/atum_tracer.h"
+#include "core/session.h"
+#include "core/user_tracer.h"
+#include "cpu/machine.h"
+#include "kernel/boot.h"
+#include "trace/record.h"
+#include "trace/sink.h"
+#include "util/logging.h"
+#include "workloads/workloads.h"
+
+namespace atum::bench {
+
+/** The standard experiment machine: 4 MiB, 2-way 64-entry TB. */
+inline cpu::Machine::Config
+StandardMachineConfig(uint32_t timer_reload = 2000)
+{
+    cpu::Machine::Config config;
+    config.mem_bytes = 4u << 20;
+    config.timer_reload = timer_reload;
+    return config;
+}
+
+/** Result of one full-system capture. */
+struct Capture {
+    std::vector<trace::Record> records;
+    core::SessionResult session;
+    std::string console;
+    uint32_t page_faults = 0;
+    uint32_t context_switches = 0;
+};
+
+/** Boots `programs`, traces the whole run with ATUM, returns the trace. */
+inline Capture
+CaptureFullSystem(std::vector<kernel::GuestProgram> programs,
+                  const core::AtumConfig& tracer_config = {},
+                  uint32_t timer_reload = 2000)
+{
+    cpu::Machine machine(StandardMachineConfig(timer_reload));
+    trace::VectorSink sink;
+    core::AtumTracer tracer(machine, sink, tracer_config);
+    kernel::BootInfo info = kernel::BootSystem(machine, std::move(programs));
+    Capture capture;
+    capture.session = core::RunTraced(machine, tracer, 400'000'000);
+    if (!capture.session.halted)
+        Fatal("capture did not run to completion");
+    capture.records = sink.TakeRecords();
+    capture.console = machine.console_output();
+    capture.page_faults = machine.memory().Read32(
+        info.layout.kdata_pa + kernel::KdataOffsets::kPfCount);
+    capture.context_switches = machine.memory().Read32(
+        info.layout.kdata_pa + kernel::KdataOffsets::kCsCount);
+    return capture;
+}
+
+/** Same run, but through the pre-ATUM user-only software probe. */
+inline Capture
+CaptureUserOnly(std::vector<kernel::GuestProgram> programs,
+                uint16_t target_pid = 1, uint32_t timer_reload = 2000)
+{
+    cpu::Machine machine(StandardMachineConfig(timer_reload));
+    trace::VectorSink sink;
+    core::UserTracerConfig config;
+    config.target_pid = target_pid;
+    core::UserOnlyTracer tracer(machine, sink, config);
+    kernel::BootSystem(machine, std::move(programs));
+    Capture capture;
+    capture.session = core::RunBaseline(machine, tracer, 400'000'000);
+    if (!capture.session.halted)
+        Fatal("capture did not run to completion");
+    capture.records = sink.TakeRecords();
+    capture.console = machine.console_output();
+    return capture;
+}
+
+/** The multiprogrammed mixes used across experiments, by degree. The
+ *  default scale gives each workload a multi-page footprint so cache
+ *  curves have texture beyond tiny sizes. */
+inline std::vector<kernel::GuestProgram>
+MixOfDegree(uint32_t degree, uint32_t scale = 2)
+{
+    const std::vector<std::string>& names = workloads::AllWorkloadNames();
+    std::vector<kernel::GuestProgram> programs;
+    for (uint32_t i = 0; i < degree; ++i)
+        programs.push_back(
+            workloads::MakeWorkload(names[i % names.size()], scale));
+    return programs;
+}
+
+}  // namespace atum::bench
+
+#endif  // ATUM_BENCH_COMMON_H_

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Regenerates every table and figure (T1..T6, F1..F6, A1..A7) plus the
+# google-benchmark speed sheet. Run from the repository root after
+# building into ./build. Output mirrors EXPERIMENTS.md.
+set -e
+BUILD=${1:-build}
+for b in \
+    bench_t1_trace_characteristics bench_t2_slowdown \
+    bench_t3_buffer_extraction bench_t4_tlb bench_t6_opcode_mix \
+    bench_f1_miss_vs_cachesize bench_f2_miss_vs_blocksize \
+    bench_f3_miss_vs_assoc bench_f4_multiprogramming \
+    bench_f5_working_sets bench_f6_paging \
+    bench_a1_compression bench_a2_stack_distance bench_a3_hierarchy \
+    bench_a4_sampling bench_a5_write_policy bench_a6_machine_tb \
+    bench_a7_set_sampling bench_t5_sim_speed; do
+    echo "===================================================== $b"
+    "$BUILD/bench/$b"
+    echo
+done

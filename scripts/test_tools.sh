@@ -1,0 +1,27 @@
+#!/bin/sh
+# End-to-end CLI test: capture -> report -> disasm. Run by ctest.
+set -e
+BUILD=$1
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+"$BUILD/tools/atum-capture" --out "$TMP/t.atum" --workloads grep --scale 1 \
+    > "$TMP/cap.txt"
+grep -q "halted=1" "$TMP/cap.txt"
+grep -q 'console: "g"' "$TMP/cap.txt"
+
+"$BUILD/tools/atum-report" "$TMP/t.atum" --head 3 --cache 16:16:1 \
+    --flush-on-switch --tlb 32 --working-sets --stack-distance \
+    > "$TMP/rep.txt"
+grep -q "memory refs:" "$TMP/rep.txt"
+grep -q "cache 16K/16B/1w/wb" "$TMP/rep.txt"
+grep -q "tlb 32 entries" "$TMP/rep.txt"
+grep -q "distinct pages" "$TMP/rep.txt"
+
+"$BUILD/tools/atum-disasm" --kernel > "$TMP/dis.txt"
+grep -q "k_start:" "$TMP/dis.txt"
+grep -q "svpctx" "$TMP/dis.txt"
+
+"$BUILD/tools/atum-disasm" --workload sort > "$TMP/dis2.txt"
+grep -q "sobgtr" "$TMP/dis2.txt"
+echo "tools OK"

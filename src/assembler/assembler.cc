@@ -1,0 +1,356 @@
+#include "assembler/assembler.h"
+
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace atum::assembler {
+
+using isa::AddrMode;
+using isa::Access;
+using isa::DataType;
+using isa::Opcode;
+
+AsmOperand
+R(unsigned reg)
+{
+    return {AddrMode::kReg, static_cast<uint8_t>(reg), 0, 0, std::nullopt};
+}
+
+AsmOperand
+Def(unsigned reg)
+{
+    return {AddrMode::kRegDef, static_cast<uint8_t>(reg), 0, 0, std::nullopt};
+}
+
+AsmOperand
+Inc(unsigned reg)
+{
+    return {AddrMode::kAutoInc, static_cast<uint8_t>(reg), 0, 0,
+            std::nullopt};
+}
+
+AsmOperand
+Dec(unsigned reg)
+{
+    return {AddrMode::kAutoDec, static_cast<uint8_t>(reg), 0, 0,
+            std::nullopt};
+}
+
+AsmOperand
+Disp(int32_t disp, unsigned reg)
+{
+    const bool fits8 = disp >= -128 && disp <= 127;
+    return {fits8 ? AddrMode::kDisp8 : AddrMode::kDisp32,
+            static_cast<uint8_t>(reg), disp, 0, std::nullopt};
+}
+
+AsmOperand
+DispDef(int32_t disp, unsigned reg)
+{
+    return {AddrMode::kDisp32Def, static_cast<uint8_t>(reg), disp, 0,
+            std::nullopt};
+}
+
+AsmOperand
+Imm(uint32_t value)
+{
+    return {AddrMode::kImm, 0, 0, value, std::nullopt};
+}
+
+AsmOperand
+Abs(uint32_t address)
+{
+    return {AddrMode::kAbs, 0, 0, address, std::nullopt};
+}
+
+AsmOperand
+Ref(Label label)
+{
+    AsmOperand op{AddrMode::kDisp32, isa::kRegPc, 0, 0, label};
+    return op;
+}
+
+AsmOperand
+AbsRef(Label label)
+{
+    AsmOperand op{AddrMode::kAbs, 0, 0, 0, label};
+    return op;
+}
+
+uint32_t
+Program::SymbolAddr(const std::string& name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        Fatal("unknown symbol: ", name);
+    return it->second;
+}
+
+Assembler::Assembler(uint32_t origin) : origin_(origin) {}
+
+Label
+Assembler::NewLabel(const std::string& name)
+{
+    label_addrs_.push_back(std::nullopt);
+    label_names_.push_back(name);
+    return Label{static_cast<uint32_t>(label_addrs_.size() - 1)};
+}
+
+void
+Assembler::Bind(Label label)
+{
+    if (!label.valid() || label.id >= label_addrs_.size())
+        Panic("Bind on invalid label");
+    if (label_addrs_[label.id])
+        Fatal("label '", label_names_[label.id], "' bound twice");
+    label_addrs_[label.id] = here();
+}
+
+Label
+Assembler::Here(const std::string& name)
+{
+    Label l = NewLabel(name);
+    Bind(l);
+    return l;
+}
+
+void
+Assembler::Put16(uint16_t v)
+{
+    Put8(static_cast<uint8_t>(v));
+    Put8(static_cast<uint8_t>(v >> 8));
+}
+
+void
+Assembler::Put32(uint32_t v)
+{
+    Put16(static_cast<uint16_t>(v));
+    Put16(static_cast<uint16_t>(v >> 16));
+}
+
+void
+Assembler::EmitSpecifier(const AsmOperand& op, DataType type, Access access)
+{
+    // Reserved-operand checks mirror the decoder's rules so mistakes fail
+    // at assembly time instead of at guest run time.
+    if (op.mode == AddrMode::kImm && access != Access::kRead)
+        Fatal("immediate operand used as destination/address");
+    if (op.mode == AddrMode::kReg && access == Access::kAddress)
+        Fatal("register operand where an address is required");
+
+    Put8(isa::SpecifierByte(op.mode, op.reg));
+    switch (op.mode) {
+      case AddrMode::kDisp8:
+        Put8(static_cast<uint8_t>(op.disp));
+        break;
+      case AddrMode::kDisp32:
+        if (op.label) {
+            fixups_.push_back({FixupKind::kPcRel32,
+                               static_cast<uint32_t>(bytes_.size()),
+                               op.label->id});
+            Put32(0);
+        } else {
+            Put32(static_cast<uint32_t>(op.disp));
+        }
+        break;
+      case AddrMode::kDisp32Def:
+        Put32(static_cast<uint32_t>(op.disp));
+        break;
+      case AddrMode::kImm:
+        if (type == DataType::kByte)
+            Put8(static_cast<uint8_t>(op.imm));
+        else if (type == DataType::kWord)
+            Put16(static_cast<uint16_t>(op.imm));
+        else
+            Put32(op.imm);
+        break;
+      case AddrMode::kAbs:
+        if (op.label) {
+            fixups_.push_back({FixupKind::kAbs32,
+                               static_cast<uint32_t>(bytes_.size()),
+                               op.label->id});
+            Put32(0);
+        } else {
+            Put32(op.imm);
+        }
+        break;
+      default:
+        break;
+    }
+}
+
+void
+Assembler::Emit(Opcode op, const std::vector<AsmOperand>& operands,
+                std::optional<Label> branch)
+{
+    if (finished_)
+        Panic("Emit after Finish");
+    const isa::InstrInfo& info = isa::GetInstrInfo(op);
+    if (!info.valid)
+        Fatal("emitting unassigned opcode 0x", std::hex,
+              static_cast<unsigned>(op));
+
+    size_t want_specifiers = 0;
+    bool want_branch8 = false;
+    bool want_branch16 = false;
+    for (const auto& desc : info.operands) {
+        if (desc.access == Access::kBranch8)
+            want_branch8 = true;
+        else if (desc.access == Access::kBranch16)
+            want_branch16 = true;
+        else
+            ++want_specifiers;
+    }
+    if (operands.size() != want_specifiers) {
+        Fatal(info.mnemonic, " takes ", want_specifiers,
+              " general operand(s), got ", operands.size());
+    }
+    if ((want_branch8 || want_branch16) != branch.has_value())
+        Fatal(info.mnemonic, want_branch8 || want_branch16
+                                 ? " requires a branch label"
+                                 : " takes no branch label");
+
+    Put8(static_cast<uint8_t>(op));
+    size_t next = 0;
+    for (const auto& desc : info.operands) {
+        if (desc.access == Access::kBranch8) {
+            fixups_.push_back({FixupKind::kBranch8,
+                               static_cast<uint32_t>(bytes_.size()),
+                               branch->id});
+            Put8(0);
+        } else if (desc.access == Access::kBranch16) {
+            fixups_.push_back({FixupKind::kBranch16,
+                               static_cast<uint32_t>(bytes_.size()),
+                               branch->id});
+            Put16(0);
+        } else {
+            EmitSpecifier(operands[next++], desc.type, desc.access);
+        }
+    }
+}
+
+void
+Assembler::CaseTable(const std::vector<Label>& targets)
+{
+    const uint32_t table_start = static_cast<uint32_t>(bytes_.size());
+    for (const Label& target : targets) {
+        fixups_.push_back({FixupKind::kCase16,
+                           static_cast<uint32_t>(bytes_.size()), target.id,
+                           table_start});
+        Put16(0);
+    }
+}
+
+void
+Assembler::Long(uint32_t v)
+{
+    Put32(v);
+}
+
+void
+Assembler::LongRef(Label label)
+{
+    fixups_.push_back({FixupKind::kAbs32,
+                       static_cast<uint32_t>(bytes_.size()), label.id});
+    Put32(0);
+}
+
+void
+Assembler::Byte(uint8_t v)
+{
+    Put8(v);
+}
+
+void
+Assembler::Space(uint32_t n)
+{
+    bytes_.insert(bytes_.end(), n, 0);
+}
+
+void
+Assembler::Align(uint32_t alignment)
+{
+    if (!IsPowerOfTwo(alignment))
+        Fatal("alignment must be a power of two, got ", alignment);
+    while (here() % alignment != 0)
+        Put8(0);
+}
+
+Program
+Assembler::Finish()
+{
+    if (finished_)
+        Panic("Finish called twice");
+    finished_ = true;
+
+    for (const Fixup& f : fixups_) {
+        if (!label_addrs_[f.label_id]) {
+            Fatal("unbound label '", label_names_[f.label_id],
+                  "' referenced at offset ", f.offset);
+        }
+        const uint32_t target = *label_addrs_[f.label_id];
+        const uint32_t field_addr = origin_ + f.offset;
+        switch (f.kind) {
+          case FixupKind::kBranch8: {
+            const int64_t disp = static_cast<int64_t>(target) -
+                                 (static_cast<int64_t>(field_addr) + 1);
+            if (disp < -128 || disp > 127) {
+                Fatal("branch to '", label_names_[f.label_id],
+                      "' out of byte range (", disp, ")");
+            }
+            bytes_[f.offset] = static_cast<uint8_t>(disp);
+            break;
+          }
+          case FixupKind::kBranch16: {
+            const int64_t disp = static_cast<int64_t>(target) -
+                                 (static_cast<int64_t>(field_addr) + 2);
+            if (disp < -32768 || disp > 32767) {
+                Fatal("branch to '", label_names_[f.label_id],
+                      "' out of word range (", disp, ")");
+            }
+            bytes_[f.offset] = static_cast<uint8_t>(disp);
+            bytes_[f.offset + 1] = static_cast<uint8_t>(disp >> 8);
+            break;
+          }
+          case FixupKind::kPcRel32: {
+            // PC-relative: PC reads as the address after the 4-byte field.
+            const uint32_t disp = target - (field_addr + 4);
+            for (int i = 0; i < 4; ++i)
+                bytes_[f.offset + i] = static_cast<uint8_t>(disp >> (8 * i));
+            break;
+          }
+          case FixupKind::kAbs32: {
+            for (int i = 0; i < 4; ++i)
+                bytes_[f.offset + i] =
+                    static_cast<uint8_t>(target >> (8 * i));
+            break;
+          }
+          case FixupKind::kCase16: {
+            const int64_t disp = static_cast<int64_t>(target) -
+                                 (static_cast<int64_t>(origin_) +
+                                  f.base_offset);
+            if (disp < -32768 || disp > 32767) {
+                Fatal("case target '", label_names_[f.label_id],
+                      "' out of word range (", disp, ")");
+            }
+            bytes_[f.offset] = static_cast<uint8_t>(disp);
+            bytes_[f.offset + 1] = static_cast<uint8_t>(disp >> 8);
+            break;
+          }
+        }
+    }
+
+    Program p;
+    p.origin = origin_;
+    p.bytes = std::move(bytes_);
+    for (size_t i = 0; i < label_addrs_.size(); ++i) {
+        if (!label_names_[i].empty()) {
+            if (!label_addrs_[i])
+                Fatal("named label '", label_names_[i], "' never bound");
+            p.symbols[label_names_[i]] = *label_addrs_[i];
+        }
+    }
+    return p;
+}
+
+}  // namespace atum::assembler

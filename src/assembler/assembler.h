@@ -1,0 +1,162 @@
+#ifndef ATUM_ASSEMBLER_ASSEMBLER_H_
+#define ATUM_ASSEMBLER_ASSEMBLER_H_
+
+/**
+ * @file
+ * A programmatic assembler for VCX-32.
+ *
+ * Guest code (the kernel and the workloads) is constructed from C++ with a
+ * label/fixup API rather than by parsing text. Example:
+ *
+ *   Assembler a(0x0);
+ *   Label loop = a.NewLabel("loop");
+ *   a.Emit(Opcode::kMovl, {Imm(100), R(0)});
+ *   a.Bind(loop);
+ *   a.Emit(Opcode::kSobgtr, {R(0)}, loop);   // trailing branch operand
+ *   a.Emit(Opcode::kChmk, {Imm(0)});         // sys_exit
+ *   Program p = a.Finish();
+ *
+ * Label references in general operands assemble to d32(PC) (PC-relative,
+ * position-independent) or to @#abs32 via AbsRef(). Branch operands are
+ * 8- or 16-bit PC displacements; Finish() fails fatally if out of range.
+ */
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace atum::assembler {
+
+/** Handle to a code/data position; create with NewLabel, fix with Bind. */
+struct Label {
+    uint32_t id = ~0u;
+    bool valid() const { return id != ~0u; }
+};
+
+/** One assembler-level operand (a specifier, possibly label-relative). */
+struct AsmOperand {
+    isa::AddrMode mode = isa::AddrMode::kReg;
+    uint8_t reg = 0;
+    int32_t disp = 0;
+    uint32_t imm = 0;
+    std::optional<Label> label;  ///< when set, mode is kDisp32(PC) or kAbs
+};
+
+/** Register operand Rn. */
+AsmOperand R(unsigned reg);
+/** Register-deferred operand (Rn). */
+AsmOperand Def(unsigned reg);
+/** Autoincrement operand (Rn)+. */
+AsmOperand Inc(unsigned reg);
+/** Autodecrement operand -(Rn). */
+AsmOperand Dec(unsigned reg);
+/** Displacement operand disp(Rn); assembles to d8 or d32 form. */
+AsmOperand Disp(int32_t disp, unsigned reg);
+/** Displacement-deferred operand @disp(Rn). */
+AsmOperand DispDef(int32_t disp, unsigned reg);
+/** Immediate operand #value. */
+AsmOperand Imm(uint32_t value);
+/** Absolute operand @#address. */
+AsmOperand Abs(uint32_t address);
+/** PC-relative reference to a label: assembles to d32(PC). */
+AsmOperand Ref(Label label);
+/** Absolute reference to a label: assembles to @#address. */
+AsmOperand AbsRef(Label label);
+
+/** A fully assembled, relocated image. */
+struct Program {
+    uint32_t origin = 0;            ///< address of bytes[0]
+    std::vector<uint8_t> bytes;
+    std::map<std::string, uint32_t> symbols;  ///< named labels → addresses
+
+    uint32_t size() const { return static_cast<uint32_t>(bytes.size()); }
+    /** Returns the address of a named label; Fatal if unknown. */
+    uint32_t SymbolAddr(const std::string& name) const;
+};
+
+class Assembler
+{
+  public:
+    /** Creates an assembler emitting at virtual address `origin`. */
+    explicit Assembler(uint32_t origin);
+
+    Assembler(const Assembler&) = delete;
+    Assembler& operator=(const Assembler&) = delete;
+
+    /** Creates an unbound label. Named labels appear in Program::symbols. */
+    Label NewLabel(const std::string& name = "");
+    /** Binds `label` to the current emission address; a label binds once. */
+    void Bind(Label label);
+    /** Shorthand: NewLabel + Bind. */
+    Label Here(const std::string& name = "");
+
+    /**
+     * Emits one instruction. `operands` covers the general specifier
+     * operands in order; `branch` must be given exactly when the opcode has
+     * a trailing branch-displacement operand (BRB/Bcc/BRW/SOBGTR/...).
+     */
+    void Emit(isa::Opcode op, const std::vector<AsmOperand>& operands = {},
+              std::optional<Label> branch = std::nullopt);
+
+    /**
+     * Emits a CASEL word-displacement table: one 16-bit entry per target,
+     * each the offset of its target relative to the table start (the
+     * convention the CASEL microcode uses). Call immediately after
+     * emitting the CASEL instruction.
+     */
+    void CaseTable(const std::vector<Label>& targets);
+
+    /** Emits a 32-bit little-endian literal. */
+    void Long(uint32_t v);
+    /** Emits the address of `label` as 32-bit data (fixed up at Finish). */
+    void LongRef(Label label);
+    /** Emits one byte of data. */
+    void Byte(uint8_t v);
+    /** Emits `n` zero bytes. */
+    void Space(uint32_t n);
+    /** Pads with zero bytes to the given power-of-two alignment. */
+    void Align(uint32_t alignment);
+
+    /** Current emission address (origin + bytes emitted). */
+    uint32_t here() const
+    {
+        return origin_ + static_cast<uint32_t>(bytes_.size());
+    }
+
+    /**
+     * Resolves all fixups and returns the image. Fatal on unbound labels or
+     * out-of-range branch displacements. The assembler must not be reused.
+     */
+    Program Finish();
+
+  private:
+    enum class FixupKind { kBranch8, kBranch16, kPcRel32, kAbs32, kCase16 };
+
+    struct Fixup {
+        FixupKind kind;
+        uint32_t offset;  ///< where in bytes_ the field starts
+        uint32_t label_id;
+        uint32_t base_offset = 0;  ///< kCase16: table start within bytes_
+    };
+
+    void EmitSpecifier(const AsmOperand& op, isa::DataType type,
+                       isa::Access access);
+    void Put8(uint8_t v) { bytes_.push_back(v); }
+    void Put16(uint16_t v);
+    void Put32(uint32_t v);
+
+    uint32_t origin_;
+    std::vector<uint8_t> bytes_;
+    std::vector<std::optional<uint32_t>> label_addrs_;
+    std::vector<std::string> label_names_;
+    std::vector<Fixup> fixups_;
+    bool finished_ = false;
+};
+
+}  // namespace atum::assembler
+
+#endif  // ATUM_ASSEMBLER_ASSEMBLER_H_

@@ -1,0 +1,170 @@
+#include "cache/cache.h"
+
+#include <sstream>
+
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace atum::cache {
+
+std::string
+CacheConfig::ToString() const
+{
+    std::ostringstream os;
+    os << size_bytes / 1024 << "K/" << block_bytes << "B/";
+    if (assoc == 0)
+        os << "full";
+    else
+        os << assoc << "w";
+    os << (write_back ? "/wb" : "/wt");
+    if (pid_tags)
+        os << "/pid";
+    if (prefetch_next_on_miss)
+        os << "/obl";
+    return os.str();
+}
+
+void
+Cache::Fill(uint32_t block, uint64_t tag_extra)
+{
+    const uint32_t set = block & (sets_ - 1);
+    uint64_t tag = (block >> Log2Floor(sets_)) | tag_extra;
+    Line* base = &lines_[static_cast<size_t>(set) * config_.assoc];
+    for (uint32_t w = 0; w < config_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return;  // already resident: nothing to prefetch
+    }
+    Line& victim = Victim(set);
+    if (victim.valid && victim.dirty)
+        ++stats_.writebacks;
+    victim.valid = true;
+    victim.dirty = false;
+    victim.tag = tag;
+    victim.stamp = ++tick_;
+    ++stats_.prefetch_fills;
+}
+
+Cache::Cache(const CacheConfig& config)
+    : config_(config), rng_(0x1badcafe)
+{
+    if (!IsPowerOfTwo(config.size_bytes) || !IsPowerOfTwo(config.block_bytes))
+        Fatal("cache size and block size must be powers of two");
+    if (config.block_bytes < 4 || config.block_bytes > config.size_bytes)
+        Fatal("bad block size ", config.block_bytes);
+    const uint32_t blocks = config.size_bytes / config.block_bytes;
+    uint32_t assoc = config.assoc == 0 ? blocks : config.assoc;
+    if (assoc > blocks)
+        Fatal("associativity ", assoc, " exceeds ", blocks, " blocks");
+    if (blocks % assoc != 0)
+        Fatal("blocks (", blocks, ") not divisible by associativity (",
+              assoc, ")");
+    sets_ = blocks / assoc;
+    if (!IsPowerOfTwo(sets_))
+        Fatal("set count must be a power of two, got ", sets_);
+    config_.assoc = assoc;
+    block_shift_ = Log2Floor(config.block_bytes);
+    lines_.resize(blocks);
+}
+
+Cache::Line&
+Cache::Victim(uint32_t set)
+{
+    Line* base = &lines_[static_cast<size_t>(set) * config_.assoc];
+    for (uint32_t w = 0; w < config_.assoc; ++w)
+        if (!base[w].valid)
+            return base[w];
+    switch (config_.replacement) {
+      case Replacement::kLru:
+      case Replacement::kFifo: {
+        Line* victim = base;
+        for (uint32_t w = 1; w < config_.assoc; ++w)
+            if (base[w].stamp < victim->stamp)
+                victim = &base[w];
+        return *victim;
+      }
+      case Replacement::kRandom:
+        return base[rng_.Below(config_.assoc)];
+    }
+    Panic("bad replacement policy");
+}
+
+bool
+Cache::Access(uint32_t addr, bool is_write, uint16_t pid,
+              uint32_t* writeback_addr)
+{
+    ++stats_.accesses;
+    if (is_write)
+        ++stats_.writes;
+    else
+        ++stats_.reads;
+
+    const uint32_t block = addr >> block_shift_;
+    const uint32_t set = block & (sets_ - 1);
+    uint64_t tag = block >> Log2Floor(sets_);
+    if (config_.pid_tags)
+        tag |= static_cast<uint64_t>(pid) << 32;
+
+    Line* base = &lines_[static_cast<size_t>(set) * config_.assoc];
+    for (uint32_t w = 0; w < config_.assoc; ++w) {
+        Line& line = base[w];
+        if (line.valid && line.tag == tag) {
+            if (config_.replacement == Replacement::kLru)
+                line.stamp = ++tick_;
+            if (is_write) {
+                if (config_.write_back)
+                    line.dirty = true;
+                // Write-through: the write also goes to memory; the block
+                // stays clean.
+            }
+            return true;
+        }
+    }
+
+    ++stats_.misses;
+    if (is_write)
+        ++stats_.write_misses;
+    else
+        ++stats_.read_misses;
+
+    if (is_write && !config_.write_allocate)
+        return false;  // write miss bypasses the cache
+
+    Line& victim = Victim(set);
+    if (victim.valid && victim.dirty) {
+        ++stats_.writebacks;
+        if (writeback_addr != nullptr) {
+            // Reconstruct the victim's block address (pid bits excluded).
+            const uint32_t victim_block =
+                (static_cast<uint32_t>(victim.tag) << Log2Floor(sets_)) |
+                set;
+            *writeback_addr = victim_block << block_shift_;
+        }
+    }
+    victim.valid = true;
+    victim.dirty = is_write && config_.write_back;
+    victim.tag = tag;
+    victim.stamp = ++tick_;
+
+    if (config_.prefetch_next_on_miss) {
+        // One-block lookahead: bring in the sequentially next block too.
+        Fill(block + 1, tag & ~0xffffffffull);  // same pid tag bits
+    }
+    return false;
+}
+
+void
+Cache::Flush()
+{
+    ++stats_.flushes;
+    for (Line& line : lines_) {
+        if (line.valid) {
+            ++stats_.flushed_blocks;
+            if (line.dirty)
+                ++stats_.writebacks;
+            line.valid = false;
+            line.dirty = false;
+        }
+    }
+}
+
+}  // namespace atum::cache

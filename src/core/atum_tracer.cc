@@ -1,0 +1,126 @@
+#include "core/atum_tracer.h"
+
+#include "util/logging.h"
+
+namespace atum::core {
+
+using trace::Record;
+using ucode::ControlStore;
+using ucode::MemAccess;
+
+AtumTracer::AtumTracer(cpu::Machine& machine, trace::TraceSink& sink,
+                       const AtumConfig& config)
+    : machine_(machine), sink_(sink), config_(config)
+{
+    if (config_.buffer_bytes < trace::kRecordBytes)
+        Fatal("trace buffer too small: ", config_.buffer_bytes);
+    buf_base_ = machine_.memory().ReserveTop(config_.buffer_bytes);
+    buf_bytes_ = config_.buffer_bytes;
+}
+
+AtumTracer::~AtumTracer()
+{
+    if (attached_)
+        Detach();
+    machine_.memory().Unreserve();
+}
+
+void
+AtumTracer::Attach()
+{
+    if (attached_)
+        Fatal("AtumTracer already attached");
+    ControlStore& cs = machine_.control_store();
+
+    cs.PatchMemAccess([this](const MemAccess& access) -> uint32_t {
+        if (access.kind == ucode::MemAccessKind::kIFetch &&
+            !config_.record_ifetch) {
+            return 0;
+        }
+        if (access.kind == ucode::MemAccessKind::kPte &&
+            !config_.record_pte) {
+            return 0;
+        }
+        return Append(trace::FromMemAccess(access));
+    });
+    cs.PatchContextSwitch([this](uint16_t pid, uint32_t pcb_pa) -> uint32_t {
+        return Append(trace::MakeCtxSwitch(pid, pcb_pa));
+    });
+    cs.PatchTlbMiss([this](uint32_t vaddr, bool kernel) -> uint32_t {
+        if (!config_.record_tlb_miss)
+            return 0;
+        return Append(trace::MakeTlbMiss(vaddr, kernel));
+    });
+    cs.PatchExceptionDispatch([this](uint8_t vector) -> uint32_t {
+        if (!config_.record_exceptions)
+            return 0;
+        return Append(trace::MakeException(vector));
+    });
+    if (config_.record_opcodes) {
+        cs.PatchDecode(
+            [this](uint32_t pc, uint8_t opcode, bool kernel) -> uint32_t {
+                return Append(trace::MakeOpcode(pc, opcode, kernel));
+            });
+    }
+
+    attached_ = true;
+}
+
+void
+AtumTracer::Detach()
+{
+    if (!attached_)
+        return;
+    ControlStore& cs = machine_.control_store();
+    cs.Unpatch(ucode::PatchPoint::kMemAccess);
+    cs.Unpatch(ucode::PatchPoint::kContextSwitch);
+    cs.Unpatch(ucode::PatchPoint::kTlbMiss);
+    cs.Unpatch(ucode::PatchPoint::kExceptionDispatch);
+    cs.Unpatch(ucode::PatchPoint::kDecode);
+    attached_ = false;
+}
+
+uint32_t
+AtumTracer::Append(const Record& record)
+{
+    // The patch micro-routine: pack the record and store it into the
+    // reserved region with physical writes, then bump the buffer head.
+    uint8_t bytes[trace::kRecordBytes];
+    trace::PackRecord(record, bytes);
+    machine_.memory().WriteBlock(buf_base_ + head_, bytes, sizeof bytes);
+    head_ += trace::kRecordBytes;
+    ++records_;
+
+    uint32_t cost = config_.cost_per_record;
+    if (head_ + trace::kRecordBytes > buf_bytes_) {
+        Drain();
+        cost += config_.drain_pause_ucycles;
+    }
+    overhead_ucycles_ += cost;
+    return cost;
+}
+
+void
+AtumTracer::Drain()
+{
+    // The machine is "frozen" while the host reads the buffer back out of
+    // physical memory — the console extraction step of the paper.
+    uint8_t bytes[trace::kRecordBytes];
+    for (uint32_t off = 0; off < head_; off += trace::kRecordBytes) {
+        machine_.memory().ReadBlock(buf_base_ + off, bytes, sizeof bytes);
+        sink_.Append(trace::UnpackRecord(bytes));
+    }
+    head_ = 0;
+    ++buffer_fills_;
+}
+
+void
+AtumTracer::Flush()
+{
+    if (head_ != 0) {
+        Drain();
+        --buffer_fills_;  // a final partial drain is not a buffer fill
+    }
+}
+
+}  // namespace atum::core

@@ -1,0 +1,52 @@
+#include "core/session.h"
+
+namespace atum::core {
+
+namespace {
+
+SessionResult
+RunCommon(cpu::Machine& machine, uint64_t max_instructions)
+{
+    SessionResult result;
+    const uint64_t ucycles_before = machine.ucycles();
+    const auto run = machine.Run(max_instructions);
+    result.instructions = run.instructions;
+    result.ucycles = machine.ucycles() - ucycles_before;
+    result.halted = run.reason == cpu::Machine::StopReason::kHalted;
+    return result;
+}
+
+}  // namespace
+
+SessionResult
+RunTraced(cpu::Machine& machine, AtumTracer& tracer,
+          uint64_t max_instructions)
+{
+    if (!tracer.attached())
+        tracer.Attach();
+    SessionResult result = RunCommon(machine, max_instructions);
+    tracer.Flush();
+    result.records = tracer.records();
+    result.buffer_fills = tracer.buffer_fills();
+    result.overhead_ucycles = tracer.overhead_ucycles();
+    return result;
+}
+
+SessionResult
+RunBaseline(cpu::Machine& machine, UserOnlyTracer& tracer,
+            uint64_t max_instructions)
+{
+    if (!tracer.attached())
+        tracer.Attach();
+    SessionResult result = RunCommon(machine, max_instructions);
+    result.records = tracer.records();
+    return result;
+}
+
+SessionResult
+RunUntraced(cpu::Machine& machine, uint64_t max_instructions)
+{
+    return RunCommon(machine, max_instructions);
+}
+
+}  // namespace atum::core

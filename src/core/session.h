@@ -1,0 +1,46 @@
+#ifndef ATUM_CORE_SESSION_H_
+#define ATUM_CORE_SESSION_H_
+
+/**
+ * @file
+ * Capture-session helpers: run a prepared machine to completion under a
+ * tracer and collect the capture-side statistics in one struct.
+ *
+ * Ordering note: an AtumTracer must be constructed *before* the guest
+ * kernel is booted (its buffer reservation must be visible to the boot
+ * loader's frame accounting), so these helpers take an already-constructed
+ * tracer rather than building one internally.
+ */
+
+#include <cstdint>
+
+#include "core/atum_tracer.h"
+#include "core/user_tracer.h"
+#include "cpu/machine.h"
+
+namespace atum::core {
+
+/** Outcome of one capture run. */
+struct SessionResult {
+    uint64_t instructions = 0;  ///< guest instructions executed
+    uint64_t ucycles = 0;       ///< total micro-cycles (incl. tracing)
+    bool halted = false;        ///< machine reached HALT
+    uint64_t records = 0;       ///< trace records captured
+    uint64_t buffer_fills = 0;  ///< full-buffer extraction pauses
+    uint64_t overhead_ucycles = 0;  ///< micro-cycles charged by tracing
+};
+
+/** Runs with ATUM microcode tracing attached; flushes the buffer at end. */
+SessionResult RunTraced(cpu::Machine& machine, AtumTracer& tracer,
+                        uint64_t max_instructions);
+
+/** Runs with the user-only baseline tracer attached. */
+SessionResult RunBaseline(cpu::Machine& machine, UserOnlyTracer& tracer,
+                          uint64_t max_instructions);
+
+/** Runs without any tracer (for slowdown comparisons). */
+SessionResult RunUntraced(cpu::Machine& machine, uint64_t max_instructions);
+
+}  // namespace atum::core
+
+#endif  // ATUM_CORE_SESSION_H_

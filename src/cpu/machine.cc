@@ -1,0 +1,388 @@
+#include "cpu/machine.h"
+
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace atum::cpu {
+
+using ucode::MemAccess;
+using ucode::MemAccessKind;
+using ucode::MicroOpKind;
+
+uint32_t
+Psl::ToWord() const
+{
+    return (c ? 1u : 0) | (v ? 2u : 0) | (z ? 4u : 0) | (n ? 8u : 0) |
+           (static_cast<uint32_t>(ipl & 0x1f) << 16) |
+           (static_cast<uint32_t>(cur_mode) << 24) |
+           (static_cast<uint32_t>(prev_mode) << 25);
+}
+
+Psl
+Psl::FromWord(uint32_t w)
+{
+    Psl p;
+    p.c = w & 1;
+    p.v = w & 2;
+    p.z = w & 4;
+    p.n = w & 8;
+    p.ipl = (w >> 16) & 0x1f;
+    p.cur_mode = static_cast<CpuMode>((w >> 24) & 1);
+    p.prev_mode = static_cast<CpuMode>((w >> 25) & 1);
+    return p;
+}
+
+Machine::Machine(const Config& config)
+    : memory_(config.mem_bytes),
+      mmu_(memory_, control_store_, config.tlb_sets, config.tlb_ways),
+      icr_reload_(config.timer_reload),
+      icr_count_(config.timer_reload)
+{
+    if (config.timer_reload == 0)
+        Fatal("timer_reload must be nonzero");
+}
+
+uint32_t
+Machine::reg(unsigned n) const
+{
+    if (n >= isa::kNumRegs)
+        Panic("register index ", n, " out of range");
+    return regs_[n];
+}
+
+void
+Machine::set_reg(unsigned n, uint32_t v)
+{
+    if (n >= isa::kNumRegs)
+        Panic("register index ", n, " out of range");
+    regs_[n] = v;
+    if (n == isa::kRegPc)
+        InvalidateIBuf();
+}
+
+void
+Machine::set_pc(uint32_t pc)
+{
+    set_reg(isa::kRegPc, pc);
+}
+
+uint32_t
+Machine::ReadIpr(isa::Ipr ipr)
+{
+    using isa::Ipr;
+    switch (ipr) {
+      case Ipr::kKsp:
+        return psl_.cur_mode == CpuMode::kKernel ? regs_[isa::kRegSp]
+                                                 : banked_sp_[0];
+      case Ipr::kUsp:
+        return psl_.cur_mode == CpuMode::kUser ? regs_[isa::kRegSp]
+                                               : banked_sp_[1];
+      case Ipr::kP0Br:
+        return mmu_.GetRegion(mmu::Region::kP0).base;
+      case Ipr::kP0Lr:
+        return mmu_.GetRegion(mmu::Region::kP0).length;
+      case Ipr::kP1Br:
+        return mmu_.GetRegion(mmu::Region::kP1).base;
+      case Ipr::kP1Lr:
+        return mmu_.GetRegion(mmu::Region::kP1).length;
+      case Ipr::kS0Br:
+        return mmu_.GetRegion(mmu::Region::kS0).base;
+      case Ipr::kS0Lr:
+        return mmu_.GetRegion(mmu::Region::kS0).length;
+      case Ipr::kScbb:
+        return scbb_;
+      case Ipr::kPcbb:
+        return pcbb_;
+      case Ipr::kMapen:
+        return mmu_.enabled() ? 1 : 0;
+      case Ipr::kIccs:
+        return iccs_;
+      case Ipr::kIcr:
+        return icr_reload_;
+      case Ipr::kPid:
+        return pid_;
+      case Ipr::kTbia:
+      case Ipr::kTbis:
+      case Ipr::kConsTx:
+      case Ipr::kSirr:
+        return 0;  // write-only registers read as zero
+      case Ipr::kNumIprs:
+        break;
+    }
+    Panic("ReadIpr: bad processor register");
+}
+
+void
+Machine::WriteIpr(isa::Ipr ipr, uint32_t v)
+{
+    using isa::Ipr;
+    switch (ipr) {
+      case Ipr::kKsp:
+        if (psl_.cur_mode == CpuMode::kKernel)
+            regs_[isa::kRegSp] = v;
+        else
+            banked_sp_[0] = v;
+        return;
+      case Ipr::kUsp:
+        if (psl_.cur_mode == CpuMode::kUser)
+            regs_[isa::kRegSp] = v;
+        else
+            banked_sp_[1] = v;
+        return;
+      case Ipr::kP0Br:
+        mmu_.SetRegion(mmu::Region::kP0,
+                       {v, mmu_.GetRegion(mmu::Region::kP0).length});
+        return;
+      case Ipr::kP0Lr:
+        mmu_.SetRegion(mmu::Region::kP0,
+                       {mmu_.GetRegion(mmu::Region::kP0).base, v});
+        return;
+      case Ipr::kP1Br:
+        mmu_.SetRegion(mmu::Region::kP1,
+                       {v, mmu_.GetRegion(mmu::Region::kP1).length});
+        return;
+      case Ipr::kP1Lr:
+        mmu_.SetRegion(mmu::Region::kP1,
+                       {mmu_.GetRegion(mmu::Region::kP1).base, v});
+        return;
+      case Ipr::kS0Br:
+        mmu_.SetRegion(mmu::Region::kS0,
+                       {v, mmu_.GetRegion(mmu::Region::kS0).length});
+        return;
+      case Ipr::kS0Lr:
+        mmu_.SetRegion(mmu::Region::kS0,
+                       {mmu_.GetRegion(mmu::Region::kS0).base, v});
+        return;
+      case Ipr::kScbb:
+        scbb_ = v;
+        return;
+      case Ipr::kPcbb:
+        pcbb_ = v;
+        return;
+      case Ipr::kMapen:
+        mmu_.set_enabled(v & 1);
+        InvalidateIBuf();
+        return;
+      case Ipr::kTbia:
+        mmu_.tlb().InvalidateAll();
+        return;
+      case Ipr::kTbis:
+        mmu_.tlb().InvalidateVa(v);
+        return;
+      case Ipr::kIccs:
+        iccs_ = v & 1;
+        icr_count_ = icr_reload_;
+        return;
+      case Ipr::kIcr:
+        if (v == 0)
+            Fatal("ICR reload of 0");
+        icr_reload_ = v;
+        icr_count_ = v;
+        return;
+      case Ipr::kConsTx:
+        console_output_.push_back(static_cast<char>(v & 0xff));
+        return;
+      case Ipr::kSirr:
+        software_pending_ = true;
+        return;
+      case Ipr::kPid:
+        pid_ = v;
+        return;
+      case Ipr::kNumIprs:
+        break;
+    }
+    Panic("WriteIpr: bad processor register");
+}
+
+bool
+Machine::Translate(uint32_t va, bool write, uint32_t* pa)
+{
+    mmu::XlateResult res =
+        mmu_.Translate(va, write, psl_.cur_mode == CpuMode::kKernel);
+    AddCycles(res.ucycles);
+    if (res.status != mmu::XlateStatus::kOk) {
+        pending_fault_ = {true, res.status, va, write};
+        return false;
+    }
+    *pa = res.paddr;
+    return true;
+}
+
+bool
+Machine::MicroRead(uint32_t va, uint8_t size, MemAccessKind kind,
+                   uint32_t* out)
+{
+    uint32_t pa;
+    if (!Translate(va, false, &pa))
+        return false;
+
+    uint32_t value;
+    const uint32_t last = va + size - 1;
+    if (AlignDown(va, kPageBytes) == AlignDown(last, kPageBytes)) {
+        value = size == 1   ? memory_.Read8(pa)
+                : size == 2 ? memory_.Read16(pa)
+                            : memory_.Read32(pa);
+    } else {
+        // Unaligned access straddling a page boundary: translate each
+        // byte's page and assemble (the microcode did two bus cycles).
+        value = 0;
+        for (uint8_t i = 0; i < size; ++i) {
+            uint32_t pb;
+            if (!Translate(va + i, false, &pb))
+                return false;
+            value |= static_cast<uint32_t>(memory_.Read8(pb)) << (8 * i);
+        }
+    }
+
+    AddCycles(ucode::CostOf(kind == MemAccessKind::kIFetch
+                                ? MicroOpKind::kIFetch
+                                : MicroOpKind::kDRead));
+    AddCycles(control_store_.FireMemAccess(
+        MemAccess{va, pa, size, kind,
+                  psl_.cur_mode == CpuMode::kKernel}));
+    *out = value;
+    return true;
+}
+
+bool
+Machine::MicroWrite(uint32_t va, uint8_t size, uint32_t value)
+{
+    uint32_t pa;
+    if (!Translate(va, true, &pa))
+        return false;
+
+    const uint32_t last = va + size - 1;
+    if (AlignDown(va, kPageBytes) == AlignDown(last, kPageBytes)) {
+        if (size == 1)
+            memory_.Write8(pa, static_cast<uint8_t>(value));
+        else if (size == 2)
+            memory_.Write16(pa, static_cast<uint16_t>(value));
+        else
+            memory_.Write32(pa, value);
+    } else {
+        for (uint8_t i = 0; i < size; ++i) {
+            uint32_t pb;
+            if (!Translate(va + i, true, &pb))
+                return false;
+            memory_.Write8(pb, static_cast<uint8_t>(value >> (8 * i)));
+        }
+    }
+
+    AddCycles(ucode::CostOf(MicroOpKind::kDWrite));
+    AddCycles(control_store_.FireMemAccess(
+        MemAccess{va, pa, size, MemAccessKind::kWrite,
+                  psl_.cur_mode == CpuMode::kKernel}));
+    return true;
+}
+
+bool
+Machine::FetchByte(uint8_t* out)
+{
+    const uint32_t va = regs_[isa::kRegPc];
+    const uint32_t aligned = AlignDown(va, 4);
+    if (!ibuf_valid_ || ibuf_va_ != aligned) {
+        uint32_t word;
+        if (!MicroRead(aligned, 4, MemAccessKind::kIFetch, &word))
+            return false;
+        ibuf_va_ = aligned;
+        for (int i = 0; i < 4; ++i)
+            ibuf_bytes_[i] = static_cast<uint8_t>(word >> (8 * i));
+        ibuf_valid_ = true;
+    }
+    *out = ibuf_bytes_[va & 3];
+    regs_[isa::kRegPc] = va + 1;
+    return true;
+}
+
+void
+Machine::StepOne()
+{
+    if (halted_)
+        return;
+    last_step_faulted_ = false;
+
+    if (CheckInterrupts())
+        return;  // interrupt dispatch consumed this step
+
+    ExecuteInstruction();
+
+    // Interval timer counts retired instructions (deterministic w.r.t.
+    // the instruction stream, so tracing does not perturb scheduling).
+    if ((iccs_ & 1) && !halted_) {
+        if (--icr_count_ == 0) {
+            icr_count_ = icr_reload_;
+            timer_pending_ = true;
+        }
+    }
+}
+
+MachineSnapshot
+Machine::SaveSnapshot() const
+{
+    MachineSnapshot snap;
+    snap.memory = memory_.SaveData();
+    for (unsigned i = 0; i < isa::kNumRegs; ++i)
+        snap.regs[i] = regs_[i];
+    snap.psl = psl_;
+    snap.banked_sp[0] = banked_sp_[0];
+    snap.banked_sp[1] = banked_sp_[1];
+    snap.scbb = scbb_;
+    snap.pcbb = pcbb_;
+    snap.pid = pid_;
+    snap.iccs = iccs_;
+    snap.icr_reload = icr_reload_;
+    snap.icr_count = icr_count_;
+    snap.timer_pending = timer_pending_;
+    snap.software_pending = software_pending_;
+    snap.halted = halted_;
+    snap.icount = icount_;
+    snap.ucycles = ucycles_;
+    snap.mapen = mmu_.enabled();
+    snap.regions[0] = mmu_.GetRegion(mmu::Region::kP0);
+    snap.regions[1] = mmu_.GetRegion(mmu::Region::kP1);
+    snap.regions[2] = mmu_.GetRegion(mmu::Region::kS0);
+    snap.console_output = console_output_;
+    return snap;
+}
+
+void
+Machine::RestoreSnapshot(const MachineSnapshot& snapshot)
+{
+    memory_.RestoreData(snapshot.memory);
+    for (unsigned i = 0; i < isa::kNumRegs; ++i)
+        regs_[i] = snapshot.regs[i];
+    psl_ = snapshot.psl;
+    banked_sp_[0] = snapshot.banked_sp[0];
+    banked_sp_[1] = snapshot.banked_sp[1];
+    scbb_ = snapshot.scbb;
+    pcbb_ = snapshot.pcbb;
+    pid_ = snapshot.pid;
+    iccs_ = snapshot.iccs;
+    icr_reload_ = snapshot.icr_reload;
+    icr_count_ = snapshot.icr_count;
+    timer_pending_ = snapshot.timer_pending;
+    software_pending_ = snapshot.software_pending;
+    halted_ = snapshot.halted;
+    icount_ = snapshot.icount;
+    ucycles_ = snapshot.ucycles;
+    mmu_.set_enabled(snapshot.mapen);
+    mmu_.SetRegion(mmu::Region::kP0, snapshot.regions[0]);
+    mmu_.SetRegion(mmu::Region::kP1, snapshot.regions[1]);
+    mmu_.SetRegion(mmu::Region::kS0, snapshot.regions[2]);
+    console_output_ = snapshot.console_output;
+    pending_fault_.active = false;
+    InvalidateIBuf();
+    mmu_.tlb().InvalidateAll();
+}
+
+Machine::RunResult
+Machine::Run(uint64_t max_instructions)
+{
+    const uint64_t start = icount_;
+    while (!halted_ && icount_ - start < max_instructions)
+        StepOne();
+    return {halted_ ? StopReason::kHalted : StopReason::kInstrLimit,
+            icount_ - start};
+}
+
+}  // namespace atum::cpu

@@ -1,0 +1,123 @@
+#include "isa/decoder.h"
+
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace atum::isa {
+
+namespace {
+
+/** Tracks a read cursor over the instruction stream. */
+class Cursor
+{
+  public:
+    Cursor(uint32_t addr, const ByteReader& read) : addr_(addr), read_(read)
+    {
+    }
+
+    uint8_t U8() { return read_(addr_++); }
+
+    uint16_t U16()
+    {
+        const uint16_t lo = U8();
+        return static_cast<uint16_t>(lo | (U8() << 8));
+    }
+
+    uint32_t U32()
+    {
+        const uint32_t lo = U16();
+        return lo | (static_cast<uint32_t>(U16()) << 16);
+    }
+
+    uint32_t addr() const { return addr_; }
+
+  private:
+    uint32_t addr_;
+    const ByteReader& read_;
+};
+
+/** True when mode `m` may legally serve an operand with access `a`. */
+bool
+ModeLegalFor(AddrMode m, Access a)
+{
+    if (m == AddrMode::kImm)
+        return a == Access::kRead;  // cannot write to or take addr of a literal
+    if (m == AddrMode::kReg)
+        return a != Access::kAddress;  // registers have no address
+    return true;
+}
+
+}  // namespace
+
+std::optional<DecodedInst>
+Decode(uint32_t addr, const ByteReader& read)
+{
+    Cursor cur(addr, read);
+    DecodedInst out;
+    const uint8_t raw_op = cur.U8();
+    const InstrInfo& info = GetInstrInfo(raw_op);
+    if (!info.valid)
+        return std::nullopt;
+    out.opcode = static_cast<Opcode>(raw_op);
+
+    for (const OperandDesc& desc : info.operands) {
+        if (desc.access == Access::kBranch8) {
+            out.branch_disp = SignExtend(cur.U8(), 8);
+            continue;
+        }
+        if (desc.access == Access::kBranch16) {
+            out.branch_disp = SignExtend(cur.U16(), 16);
+            continue;
+        }
+        Operand op;
+        const uint8_t spec = cur.U8();
+        const uint8_t mode_bits = spec >> 4;
+        if (mode_bits >= kNumAddrModes)
+            return std::nullopt;  // reserved addressing mode
+        op.mode = static_cast<AddrMode>(mode_bits);
+        op.reg = spec & 0xf;
+        if (!ModeLegalFor(op.mode, desc.access))
+            return std::nullopt;  // reserved operand
+        switch (op.mode) {
+          case AddrMode::kDisp8:
+            op.disp = SignExtend(cur.U8(), 8);
+            break;
+          case AddrMode::kDisp32:
+          case AddrMode::kDisp32Def:
+            op.disp = static_cast<int32_t>(cur.U32());
+            break;
+          case AddrMode::kImm:
+            op.imm = desc.type == DataType::kByte   ? cur.U8()
+                     : desc.type == DataType::kWord ? cur.U16()
+                                                    : cur.U32();
+            break;
+          case AddrMode::kAbs:
+            op.imm = cur.U32();
+            break;
+          default:
+            break;
+        }
+        out.operands.push_back(op);
+    }
+    out.length = cur.addr() - addr;
+    return out;
+}
+
+std::optional<DecodedInst>
+DecodeBuffer(const std::vector<uint8_t>& bytes, uint32_t offset)
+{
+    bool overran = false;
+    auto reader = [&](uint32_t a) -> uint8_t {
+        if (a >= bytes.size()) {
+            overran = true;
+            return 0;
+        }
+        return bytes[a];
+    };
+    auto decoded = Decode(offset, reader);
+    if (overran)
+        return std::nullopt;
+    return decoded;
+}
+
+}  // namespace atum::isa

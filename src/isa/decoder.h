@@ -1,0 +1,60 @@
+#ifndef ATUM_ISA_DECODER_H_
+#define ATUM_ISA_DECODER_H_
+
+/**
+ * @file
+ * Stateless instruction decoder for VCX-32.
+ *
+ * The decoder extracts the full structure of one instruction (opcode,
+ * operand specifiers, raw branch displacements, total length) from a byte
+ * source. It performs no side effects and is used by the disassembler,
+ * the assembler's self-checks, and tests; the CPU's executor evaluates
+ * specifiers itself because evaluation has architectural side effects
+ * (autoincrement, faults) interleaved with micro-ops.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace atum::isa {
+
+/** One decoded operand specifier. */
+struct Operand {
+    AddrMode mode = AddrMode::kReg;
+    uint8_t reg = 0;
+    int32_t disp = 0;   ///< for kDisp8/kDisp32/kDisp32Def
+    uint32_t imm = 0;   ///< for kImm (zero-extended to 32 bits)
+};
+
+/** A fully decoded instruction. */
+struct DecodedInst {
+    Opcode opcode = Opcode::kHalt;
+    std::vector<Operand> operands;        ///< general specifiers, in order
+    std::optional<int32_t> branch_disp;   ///< raw branch displacement
+    uint32_t length = 0;                  ///< total encoded bytes
+};
+
+/**
+ * Reads one byte of instruction stream at `addr`. Decoding a malformed
+ * stream never reads past the bytes the encoding requires.
+ */
+using ByteReader = std::function<uint8_t(uint32_t addr)>;
+
+/**
+ * Decodes the instruction at `addr`. Returns std::nullopt for an
+ * unassigned opcode or a reserved addressing mode, or when an immediate
+ * specifier is used for a written/address operand (reserved operand).
+ */
+std::optional<DecodedInst> Decode(uint32_t addr, const ByteReader& read);
+
+/** Convenience overload decoding from a flat buffer starting at offset. */
+std::optional<DecodedInst> DecodeBuffer(const std::vector<uint8_t>& bytes,
+                                        uint32_t offset);
+
+}  // namespace atum::isa
+
+#endif  // ATUM_ISA_DECODER_H_

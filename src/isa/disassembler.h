@@ -1,0 +1,29 @@
+#ifndef ATUM_ISA_DISASSEMBLER_H_
+#define ATUM_ISA_DISASSEMBLER_H_
+
+/**
+ * @file
+ * Text rendering of decoded VCX-32 instructions, VAX-assembler flavoured:
+ *   movl  #10, r0
+ *   addl3 4(r1), (r2)+, @#0x1200
+ *   brb   0x104
+ */
+
+#include <string>
+
+#include "isa/decoder.h"
+
+namespace atum::isa {
+
+/** Renders one operand, e.g. "-(r3)", "#0x10", "@8(r2)". */
+std::string FormatOperand(const Operand& op);
+
+/**
+ * Renders a decoded instruction. `pc` is the address of the instruction's
+ * first byte and is used to resolve branch targets to absolute addresses.
+ */
+std::string FormatInst(const DecodedInst& inst, uint32_t pc);
+
+}  // namespace atum::isa
+
+#endif  // ATUM_ISA_DISASSEMBLER_H_

@@ -1,0 +1,239 @@
+#include "kernel/boot.h"
+
+#include "kernel/kernel_builder.h"
+#include "mmu/mmu.h"
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace atum::kernel {
+
+using cpu::CpuMode;
+using cpu::ExcVector;
+using cpu::Psl;
+
+uint32_t
+BootInfo::KernelSymbol(const std::string& name) const
+{
+    auto it = kernel_symbols.find(name);
+    if (it == kernel_symbols.end())
+        Fatal("unknown kernel symbol: ", name);
+    return it->second;
+}
+
+uint32_t
+BootInfo::ReadKdata(const cpu::Machine& machine, uint32_t offset) const
+{
+    return const_cast<cpu::Machine&>(machine).memory().Read32(
+        layout.kdata_pa + offset);
+}
+
+namespace {
+
+/** Hands out whole frames from a bump pointer; Fatal when exhausted. */
+class FrameBump
+{
+  public:
+    FrameBump(uint32_t first_frame, uint32_t limit_frame)
+        : next_(first_frame), limit_(limit_frame)
+    {
+    }
+
+    /** Allocates `n` contiguous frames; returns the first frame number. */
+    uint32_t Take(uint32_t n)
+    {
+        if (next_ + n > limit_)
+            Fatal("out of boot-time physical memory (need ", n,
+                  " frames, have ", limit_ - next_, ")");
+        const uint32_t f = next_;
+        next_ += n;
+        return f;
+    }
+
+    uint32_t next() const { return next_; }
+
+  private:
+    uint32_t next_;
+    uint32_t limit_;
+};
+
+uint32_t
+PagesFor(uint32_t bytes)
+{
+    return static_cast<uint32_t>(AlignUp(bytes, kPageBytes)) / kPageBytes;
+}
+
+}  // namespace
+
+BootInfo
+BootSystem(cpu::Machine& machine, const std::vector<GuestProgram>& programs,
+           const BootOptions& options)
+{
+    if (programs.empty())
+        Fatal("BootSystem requires at least one guest program");
+    if (programs.size() > kMaxProcs)
+        Fatal("too many guest programs: ", programs.size(), " > ", kMaxProcs);
+
+    PhysicalMemory& mem = machine.memory();
+    BootInfo info;
+    info.layout = ComputeLayout(mem.NumUsableFrames());
+    const KernelLayout& lay = info.layout;
+
+    // Kernel text.
+    assembler::Program ktext = BuildKernelImage(lay);
+    mem.WriteBlock(lay.ktext_pa, ktext.bytes.data(), ktext.size());
+    info.kernel_symbols = ktext.symbols;
+
+    // S0 page table: identity map of all usable frames, kernel-only.
+    for (uint32_t f = 0; f < lay.usable_frames; ++f) {
+        mem.Write32(lay.s0_table_pa + 4 * f,
+                    mmu::MakePte(f, /*user=*/false, /*writable=*/true));
+    }
+
+    // SCB vectors.
+    const uint32_t k_fault8 = info.KernelSymbol("k_fault8");
+    for (uint32_t v = 0; v < static_cast<uint32_t>(ExcVector::kNumVectors);
+         ++v) {
+        mem.Write32(lay.scb_pa + 4 * v, k_fault8);
+    }
+    auto set_vector = [&](ExcVector v, const char* sym) {
+        mem.Write32(lay.scb_pa + 4 * static_cast<uint32_t>(v),
+                    info.KernelSymbol(sym));
+    };
+    set_vector(ExcVector::kTnv, "k_pf");
+    set_vector(ExcVector::kAcv, "k_acv");
+    set_vector(ExcVector::kChmk, "k_chmk");
+    set_vector(ExcVector::kTimer, "k_timer");
+
+    // Processes.
+    FrameBump bump(PagesFor(lay.ktext_pa + ktext.size()), lay.usable_frames);
+    const uint32_t kdata = lay.kdata_pa;
+    using KO = KdataOffsets;
+
+    info.num_processes = static_cast<uint32_t>(programs.size());
+    for (uint32_t i = 0; i < programs.size(); ++i) {
+        const GuestProgram& gp = programs[i];
+        if (gp.program.origin != 0)
+            Fatal("guest program '", gp.name, "' must have origin 0");
+        if (gp.stack_pages == 0)
+            Fatal("guest program '", gp.name, "' needs stack pages");
+
+        const uint32_t text_pages = PagesFor(gp.program.size());
+        const uint32_t p0_pages = text_pages + gp.heap_pages;
+        const uint32_t p1_pages = gp.stack_pages;
+
+        // Page tables (zero = invalid PTE = demand-zero page).
+        const uint32_t p0_tbl_frames = PagesFor(p0_pages * 4);
+        const uint32_t p1_tbl_frames = PagesFor(p1_pages * 4);
+        const uint32_t p0_tbl_pa = bump.Take(p0_tbl_frames) * kPageBytes;
+        const uint32_t p1_tbl_pa = bump.Take(p1_tbl_frames) * kPageBytes;
+
+        // Program image, resident from the start.
+        const uint32_t text_frame = bump.Take(text_pages);
+        mem.WriteBlock(text_frame * kPageBytes, gp.program.bytes.data(),
+                       gp.program.size());
+        for (uint32_t p = 0; p < text_pages; ++p) {
+            mem.Write32(p0_tbl_pa + 4 * p,
+                        mmu::MakePte(text_frame + p, /*user=*/true,
+                                     /*writable=*/true));
+        }
+
+        // PCB.
+        const uint32_t pcb = lay.PcbPa(i);
+        for (uint32_t r = 0; r <= 13; ++r)
+            mem.Write32(pcb + cpu::PcbLayout::kRegs + 4 * r, 0);
+        mem.Write32(pcb + cpu::PcbLayout::kUsp,
+                    kP1Base + p1_pages * kPageBytes);
+        mem.Write32(pcb + cpu::PcbLayout::kPc, 0);  // P0 entry point
+        Psl user_psl;
+        user_psl.cur_mode = CpuMode::kUser;
+        user_psl.prev_mode = CpuMode::kUser;
+        user_psl.ipl = 0;
+        mem.Write32(pcb + cpu::PcbLayout::kPsl, user_psl.ToWord());
+        mem.Write32(pcb + cpu::PcbLayout::kP0Br, p0_tbl_pa);
+        mem.Write32(pcb + cpu::PcbLayout::kP0Lr, p0_pages);
+        mem.Write32(pcb + cpu::PcbLayout::kP1Br, p1_tbl_pa);
+        mem.Write32(pcb + cpu::PcbLayout::kP1Lr, p1_pages);
+        mem.Write32(pcb + cpu::PcbLayout::kPid, i + 1);
+        info.pcb_pa.push_back(pcb);
+        info.process_names.push_back(gp.name);
+
+        // Kernel bookkeeping arrays.
+        mem.Write32(kdata + KO::kAlive + 4 * i, 1);
+        mem.Write32(kdata + KO::kP0Tbl + 4 * i, kS0Base + p0_tbl_pa);
+        mem.Write32(kdata + KO::kP1Tbl + 4 * i, kS0Base + p1_tbl_pa);
+        mem.Write32(kdata + KO::kP0Cap + 4 * i, p0_pages);
+    }
+
+    // Kernel globals.
+    mem.Write32(kdata + KO::kCurProc, 0);
+    mem.Write32(kdata + KO::kNumProc, info.num_processes);
+    mem.Write32(kdata + KO::kNumLive, info.num_processes);
+    mem.Write32(kdata + KO::kPfCount, 0);
+    mem.Write32(kdata + KO::kCsCount, 0);
+
+    // Swap device: a region of frames plus a free-slot stack, and the
+    // resident-page FIFO the pager evicts from.
+    if (options.swap_frames == 0)
+        Fatal("swap_frames must be nonzero");
+    const uint32_t swap_pa = bump.Take(options.swap_frames) * kPageBytes;
+    const uint32_t swap_stack_pa =
+        bump.Take(PagesFor(options.swap_frames * 4)) * kPageBytes;
+    for (uint32_t slot = 0; slot < options.swap_frames; ++slot)
+        mem.Write32(swap_stack_pa + 4 * slot, slot);
+    uint32_t fifo_entries = 1;
+    while (fifo_entries < lay.usable_frames)
+        fifo_entries *= 2;
+    const uint32_t fifo_pa = bump.Take(PagesFor(fifo_entries * 8)) *
+                             kPageBytes;
+    mem.Write32(kdata + KO::kSwapBase, kS0Base + swap_pa);
+    mem.Write32(kdata + KO::kSwapStack, kS0Base + swap_stack_pa);
+    mem.Write32(kdata + KO::kSwapSp, options.swap_frames);
+    mem.Write32(kdata + KO::kFifoBase, kS0Base + fifo_pa);
+    mem.Write32(kdata + KO::kFifoHead, 0);
+    mem.Write32(kdata + KO::kFifoTail, 0);
+    mem.Write32(kdata + KO::kFifoNotMask, ~(fifo_entries - 1));
+    mem.Write32(kdata + KO::kSwapOuts, 0);
+    mem.Write32(kdata + KO::kSwapIns, 0);
+    info.swap_frames = options.swap_frames;
+
+    // Frame free list: remaining frames, linked through their first word.
+    const uint32_t first_free = bump.next();
+    uint32_t pool_limit = lay.usable_frames;
+    if (options.max_pool_frames != 0 &&
+        first_free + options.max_pool_frames < pool_limit) {
+        pool_limit = first_free + options.max_pool_frames;
+    }
+    uint32_t free_count = 0;
+    for (uint32_t f = first_free; f < pool_limit; ++f) {
+        const uint32_t next_va =
+            f + 1 < pool_limit ? kS0Base + (f + 1) * kPageBytes : 0;
+        mem.Write32(f * kPageBytes, next_va);
+        ++free_count;
+    }
+    mem.Write32(kdata + KO::kFreeHead,
+                free_count > 0 ? kS0Base + first_free * kPageBytes : 0);
+    mem.Write32(kdata + KO::kFreeCount, free_count);
+    info.free_frames_at_boot = free_count;
+    if (free_count < 4) {
+        Fatal("paging pool too small (", free_count,
+              " frames); the pager needs a few frames to stand on");
+    }
+
+    // CPU initial state: kernel mode, interrupts masked until k_start.
+    machine.psl() = Psl{};
+    machine.psl().cur_mode = CpuMode::kKernel;
+    machine.psl().prev_mode = CpuMode::kKernel;
+    machine.psl().ipl = 31;
+    machine.WriteIpr(isa::Ipr::kScbb, lay.scb_pa);
+    machine.WriteIpr(isa::Ipr::kS0Br, lay.s0_table_pa);
+    machine.WriteIpr(isa::Ipr::kS0Lr, lay.usable_frames);
+    machine.WriteIpr(isa::Ipr::kPcbb, lay.PcbPa(0));
+    machine.WriteIpr(isa::Ipr::kPid, 0);
+    machine.WriteIpr(isa::Ipr::kKsp, lay.kstack_top_va);
+    machine.WriteIpr(isa::Ipr::kMapen, 1);
+    machine.set_pc(info.KernelSymbol("k_start"));
+
+    return info;
+}
+
+}  // namespace atum::kernel

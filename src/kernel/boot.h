@@ -1,0 +1,73 @@
+#ifndef ATUM_KERNEL_BOOT_H_
+#define ATUM_KERNEL_BOOT_H_
+
+/**
+ * @file
+ * The boot loader ("console firmware"): prepares physical memory with the
+ * kernel image, SCB, S0 map, per-process page tables and PCBs, the frame
+ * free list, and the initial CPU state, then points the PC at k_start.
+ *
+ * Like the VAX console, it acts from outside the machine, so nothing it
+ * does appears in traces; an AtumTracer must be *constructed* (reserving
+ * its buffer) before BootSystem so the reserved region is excluded from
+ * the guest's frame pool.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "assembler/assembler.h"
+#include "cpu/machine.h"
+#include "kernel/layout.h"
+
+namespace atum::kernel {
+
+/** A user program plus its memory-sizing parameters. */
+struct GuestProgram {
+    std::string name;
+    assembler::Program program;   ///< origin must be 0 (start of P0)
+    uint32_t heap_pages = 64;     ///< demand-zero pages after the image
+    uint32_t stack_pages = 8;     ///< demand-zero P1 pages
+};
+
+/** What BootSystem set up (for tests, analyzers and harnesses). */
+struct BootInfo {
+    KernelLayout layout;
+    std::map<std::string, uint32_t> kernel_symbols;
+    uint32_t num_processes = 0;
+    std::vector<uint32_t> pcb_pa;          ///< per process
+    std::vector<std::string> process_names;
+    uint32_t free_frames_at_boot = 0;      ///< paging pool size
+    uint32_t swap_frames = 0;              ///< swap-device capacity
+
+    uint32_t KernelSymbol(const std::string& name) const;
+    /** Reads a kernel counter (kdata offset) from a halted machine. */
+    uint32_t ReadKdata(const cpu::Machine& machine, uint32_t offset) const;
+};
+
+/** Boot-time knobs. */
+struct BootOptions {
+    /** Swap-device capacity in frames (512 B each). */
+    uint32_t swap_frames = 256;
+    /**
+     * Cap on the demand-paging frame pool; 0 = use all remaining frames.
+     * Small pools force the pager to evict (memory-pressure studies).
+     */
+    uint32_t max_pool_frames = 0;
+};
+
+/**
+ * Boots `machine` with the kernel and one process per guest program
+ * (pids 1..N, scheduled round-robin). After BootSystem returns the
+ * machine is ready to Run(); it halts when every process has exited.
+ * Fatal if the programs do not fit in memory.
+ */
+BootInfo BootSystem(cpu::Machine& machine,
+                    const std::vector<GuestProgram>& programs,
+                    const BootOptions& options = {});
+
+}  // namespace atum::kernel
+
+#endif  // ATUM_KERNEL_BOOT_H_

@@ -1,0 +1,426 @@
+#include "kernel/kernel_builder.h"
+
+#include "isa/isa.h"
+
+namespace atum::kernel {
+
+using assembler::Abs;
+using assembler::Assembler;
+using assembler::Def;
+using assembler::Disp;
+using assembler::Imm;
+using assembler::Inc;
+using assembler::Label;
+using assembler::Program;
+using assembler::R;
+using assembler::Ref;
+using isa::kRegSp;
+using isa::Opcode;
+
+namespace {
+
+/** Immediate operand carrying a processor-register number. */
+assembler::AsmOperand
+IprImm(isa::Ipr ipr)
+{
+    return Imm(static_cast<uint32_t>(ipr));
+}
+
+}  // namespace
+
+Program
+BuildKernelImage(const KernelLayout& layout)
+{
+    using KO = KdataOffsets;
+    const uint32_t cur = layout.KdataVa(KO::kCurProc);
+    const uint32_t nproc = layout.KdataVa(KO::kNumProc);
+    const uint32_t nlive = layout.KdataVa(KO::kNumLive);
+    const uint32_t free_head = layout.KdataVa(KO::kFreeHead);
+    const uint32_t pf_count = layout.KdataVa(KO::kPfCount);
+    const uint32_t cs_count = layout.KdataVa(KO::kCsCount);
+    const uint32_t free_count = layout.KdataVa(KO::kFreeCount);
+    const uint32_t alive = layout.KdataVa(KO::kAlive);
+    const uint32_t p0tbl = layout.KdataVa(KO::kP0Tbl);
+    const uint32_t p1tbl = layout.KdataVa(KO::kP1Tbl);
+    const uint32_t p0cap = layout.KdataVa(KO::kP0Cap);
+    const uint32_t mb_head = layout.KdataVa(KO::kMbHead);
+    const uint32_t mb_tail = layout.KdataVa(KO::kMbTail);
+    const uint32_t mb_buf = layout.KdataVa(KO::kMbBuf);
+    const uint32_t sw_base = layout.KdataVa(KO::kSwapBase);
+    const uint32_t sw_stack = layout.KdataVa(KO::kSwapStack);
+    const uint32_t sw_sp = layout.KdataVa(KO::kSwapSp);
+    const uint32_t fifo_base = layout.KdataVa(KO::kFifoBase);
+    const uint32_t fifo_head = layout.KdataVa(KO::kFifoHead);
+    const uint32_t fifo_tail = layout.KdataVa(KO::kFifoTail);
+    const uint32_t fifo_notmask = layout.KdataVa(KO::kFifoNotMask);
+    const uint32_t sw_outs = layout.KdataVa(KO::kSwapOuts);
+    const uint32_t sw_ins = layout.KdataVa(KO::kSwapIns);
+
+    Assembler a(layout.ktext_va);
+
+    Label k_start = a.NewLabel("k_start");
+    Label k_timer = a.NewLabel("k_timer");
+    Label k_pick_next = a.NewLabel("k_pick_next");
+    Label k_chmk = a.NewLabel("k_chmk");
+    Label k_kill_common = a.NewLabel("k_kill_common");
+    Label k_acv = a.NewLabel("k_acv");
+    Label k_fault8 = a.NewLabel("k_fault8");
+    Label k_pf = a.NewLabel("k_pf");
+
+    // ------------------------------------------------------------------
+    // k_start: enable the clock, dispatch the first process.
+    // Entered in kernel mode at IPL 31 with KSP set and PCBB pointing at
+    // process 0's PCB.
+    // ------------------------------------------------------------------
+    a.Bind(k_start);
+    a.Emit(Opcode::kMtpr, {Imm(1), IprImm(isa::Ipr::kIccs)});
+    a.Emit(Opcode::kLdpctx);
+    a.Emit(Opcode::kRei);
+
+    // ------------------------------------------------------------------
+    // k_timer: round-robin preemption. Frame on entry: [pc][psl].
+    // ------------------------------------------------------------------
+    a.Bind(k_timer);
+    a.Emit(Opcode::kSvpctx);
+    a.Emit(Opcode::kIncl, {Abs(cs_count)});
+    a.Emit(Opcode::kJsb, {Ref(k_pick_next)});
+    a.Emit(Opcode::kLdpctx);
+    a.Emit(Opcode::kRei);
+
+    // ------------------------------------------------------------------
+    // k_pick_next: advance cur to the next alive process and point PCBB
+    // at its PCB. Clobbers r0-r2. Requires at least one alive process.
+    // ------------------------------------------------------------------
+    a.Bind(k_pick_next);
+    a.Emit(Opcode::kMovl, {Abs(cur), R(0)});
+    Label pn_loop = a.Here("pn_loop");
+    a.Emit(Opcode::kIncl, {R(0)});
+    a.Emit(Opcode::kCmpl, {R(0), Abs(nproc)});
+    Label pn_ok = a.NewLabel("pn_ok");
+    a.Emit(Opcode::kBlss, {}, pn_ok);
+    a.Emit(Opcode::kClrl, {R(0)});
+    a.Bind(pn_ok);
+    a.Emit(Opcode::kAshl, {Imm(2), R(0), R(1)});
+    a.Emit(Opcode::kAddl3, {R(1), Imm(alive), R(2)});
+    a.Emit(Opcode::kTstl, {assembler::Def(2)});
+    a.Emit(Opcode::kBeql, {}, pn_loop);
+    a.Emit(Opcode::kMovl, {R(0), Abs(cur)});
+    a.Emit(Opcode::kAshl, {Imm(7), R(0), R(1)});
+    a.Emit(Opcode::kAddl2, {Imm(layout.pcb_base_pa), R(1)});
+    a.Emit(Opcode::kMtpr, {R(1), IprImm(isa::Ipr::kPcbb)});
+    a.Emit(Opcode::kRsb);
+
+    // ------------------------------------------------------------------
+    // k_chmk: system calls. Frame on entry: [code][pc][psl].
+    // After the three register saves: r2 at 0(sp), r1 at 4, r0 at 8,
+    // code at 12, pc at 16, psl at 20.
+    // ------------------------------------------------------------------
+    a.Bind(k_chmk);
+    a.Emit(Opcode::kPushl, {R(0)});
+    a.Emit(Opcode::kPushl, {R(1)});
+    a.Emit(Opcode::kPushl, {R(2)});
+    a.Emit(Opcode::kMovl, {Disp(12, kRegSp), R(0)});
+    Label sys_exit = a.NewLabel("sys_exit");
+    Label sys_yield = a.NewLabel("sys_yield");
+    Label sys_putc = a.NewLabel("sys_putc");
+    Label sys_getpid = a.NewLabel("sys_getpid");
+    Label sys_brk = a.NewLabel("sys_brk");
+    Label sys_send = a.NewLabel("sys_send");
+    Label sys_recv = a.NewLabel("sys_recv");
+    Label chmk_ret = a.NewLabel("chmk_ret");
+    // Jump-table dispatch (VAX idiom); out-of-range codes fall through.
+    a.Emit(Opcode::kCasel, {R(0), Imm(0), Imm(6)});
+    a.CaseTable({sys_exit, sys_yield, sys_putc, sys_getpid, sys_brk,
+                 sys_send, sys_recv});
+
+    // kExit and unknown codes: terminate the process.
+    a.Bind(sys_exit);
+    a.Emit(Opcode::kAddl2, {Imm(24), R(kRegSp)});  // drop saves + code + frame
+    a.Emit(Opcode::kBrw, {}, k_kill_common);
+
+    a.Bind(sys_yield);
+    a.Emit(Opcode::kMovl, {Inc(kRegSp), R(2)});
+    a.Emit(Opcode::kMovl, {Inc(kRegSp), R(1)});
+    a.Emit(Opcode::kMovl, {Inc(kRegSp), R(0)});
+    a.Emit(Opcode::kAddl2, {Imm(4), R(kRegSp)});  // drop code
+    a.Emit(Opcode::kBrw, {}, k_timer);  // frame now matches timer entry
+
+    a.Bind(sys_putc);
+    a.Emit(Opcode::kMovl, {Disp(4, kRegSp), R(1)});
+    a.Emit(Opcode::kMtpr, {R(1), IprImm(isa::Ipr::kConsTx)});
+    a.Emit(Opcode::kBrb, {}, chmk_ret);
+
+    a.Bind(sys_getpid);
+    a.Emit(Opcode::kMfpr, {IprImm(isa::Ipr::kPid), Disp(8, kRegSp)});
+    a.Emit(Opcode::kBrb, {}, chmk_ret);
+
+    a.Bind(chmk_ret);
+    a.Emit(Opcode::kMovl, {Inc(kRegSp), R(2)});
+    a.Emit(Opcode::kMovl, {Inc(kRegSp), R(1)});
+    a.Emit(Opcode::kMovl, {Inc(kRegSp), R(0)});
+    a.Emit(Opcode::kAddl2, {Imm(4), R(kRegSp)});  // drop code
+    a.Emit(Opcode::kRei);
+
+    // Non-blocking single-mailbox IPC: a byte ring in kernel data.
+    // send: r0 <- 1 on success, 0 when the ring is full.
+    a.Bind(sys_send);
+    a.Emit(Opcode::kMovl, {Abs(mb_head), R(0)});
+    a.Emit(Opcode::kSubl3, {Abs(mb_tail), R(0), R(2)});  // r2 = head - tail
+    a.Emit(Opcode::kCmpl, {R(2), Imm(kMailboxBytes)});
+    Label send_ok = a.NewLabel("send_ok");
+    a.Emit(Opcode::kBlss, {}, send_ok);
+    a.Emit(Opcode::kClrl, {Disp(8, kRegSp)});  // r0 slot: full
+    a.Emit(Opcode::kBrb, {}, chmk_ret);
+    a.Bind(send_ok);
+    a.Emit(Opcode::kBicl3, {Imm(~(kMailboxBytes - 1)), R(0), R(2)});
+    a.Emit(Opcode::kAddl2, {Imm(mb_buf), R(2)});
+    a.Emit(Opcode::kMovl, {Disp(4, kRegSp), R(1)});  // byte argument
+    a.Emit(Opcode::kMovb, {R(1), assembler::Def(2)});
+    a.Emit(Opcode::kIncl, {Abs(mb_head)});
+    a.Emit(Opcode::kMovl, {Imm(1), Disp(8, kRegSp)});
+    a.Emit(Opcode::kBrb, {}, chmk_ret);
+
+    // recv: r0 <- byte, or 0xffffffff when the ring is empty.
+    a.Bind(sys_recv);
+    a.Emit(Opcode::kMovl, {Abs(mb_tail), R(0)});
+    a.Emit(Opcode::kCmpl, {R(0), Abs(mb_head)});
+    Label recv_ok = a.NewLabel("recv_ok");
+    a.Emit(Opcode::kBneq, {}, recv_ok);
+    a.Emit(Opcode::kMovl, {Imm(0xffffffff), Disp(8, kRegSp)});
+    a.Emit(Opcode::kBrb, {}, chmk_ret);
+    a.Bind(recv_ok);
+    a.Emit(Opcode::kBicl3, {Imm(~(kMailboxBytes - 1)), R(0), R(2)});
+    a.Emit(Opcode::kAddl2, {Imm(mb_buf), R(2)});
+    a.Emit(Opcode::kMovzbl, {assembler::Def(2), R(1)});
+    a.Emit(Opcode::kMovl, {R(1), Disp(8, kRegSp)});
+    a.Emit(Opcode::kIncl, {Abs(mb_tail)});
+    a.Emit(Opcode::kBrw, {}, chmk_ret);  // beyond brb range from here
+
+    a.Bind(sys_brk);
+    a.Emit(Opcode::kMovl, {Disp(4, kRegSp), R(1)});  // requested pages
+    a.Emit(Opcode::kMovl, {Abs(cur), R(0)});
+    a.Emit(Opcode::kAshl, {Imm(2), R(0), R(0)});
+    a.Emit(Opcode::kAddl2, {Imm(p0cap), R(0)});
+    a.Emit(Opcode::kMovl, {assembler::Def(0), R(2)});  // capacity
+    a.Emit(Opcode::kCmpl, {R(1), R(2)});
+    Label brk_ok = a.NewLabel("brk_ok");
+    a.Emit(Opcode::kBlequ, {}, brk_ok);
+    a.Emit(Opcode::kMovl, {R(2), R(1)});  // clamp to capacity
+    a.Bind(brk_ok);
+    a.Emit(Opcode::kMtpr, {R(1), IprImm(isa::Ipr::kP0Lr)});
+    a.Emit(Opcode::kBrw, {}, chmk_ret);  // chmk_ret is beyond brb range here
+
+    // ------------------------------------------------------------------
+    // k_kill_common: current process dies. Kernel stack must be empty.
+    // ------------------------------------------------------------------
+    a.Bind(k_kill_common);
+    a.Emit(Opcode::kMovl, {Abs(cur), R(0)});
+    a.Emit(Opcode::kAshl, {Imm(2), R(0), R(1)});
+    a.Emit(Opcode::kAddl3, {R(1), Imm(alive), R(2)});
+    a.Emit(Opcode::kClrl, {assembler::Def(2)});
+    a.Emit(Opcode::kDecl, {Abs(nlive)});
+    Label kc_next = a.NewLabel("kc_next");
+    a.Emit(Opcode::kBneq, {}, kc_next);
+    a.Emit(Opcode::kHalt);  // every process has exited
+    a.Bind(kc_next);
+    a.Emit(Opcode::kJsb, {Ref(k_pick_next)});
+    a.Emit(Opcode::kLdpctx);
+    a.Emit(Opcode::kRei);
+
+    // ------------------------------------------------------------------
+    // k_acv: access violation. Frame: [va][reason][pc][psl].
+    // ------------------------------------------------------------------
+    a.Bind(k_acv);
+    a.Emit(Opcode::kBitl, {Imm(0x01000000), Disp(12, kRegSp)});
+    Label acv_user = a.NewLabel("acv_user");
+    a.Emit(Opcode::kBneq, {}, acv_user);
+    a.Emit(Opcode::kHalt);  // kernel-mode access violation: unrecoverable
+    a.Bind(acv_user);
+    a.Emit(Opcode::kAddl2, {Imm(16), R(kRegSp)});
+    a.Emit(Opcode::kBrw, {}, k_kill_common);
+
+    // ------------------------------------------------------------------
+    // k_fault8: reserved instruction/operand, privileged instruction,
+    // arithmetic, breakpoint, stray. Frame: [pc][psl].
+    // ------------------------------------------------------------------
+    a.Bind(k_fault8);
+    a.Emit(Opcode::kBitl, {Imm(0x01000000), Disp(4, kRegSp)});
+    Label f8_user = a.NewLabel("f8_user");
+    a.Emit(Opcode::kBneq, {}, f8_user);
+    a.Emit(Opcode::kHalt);
+    a.Bind(f8_user);
+    a.Emit(Opcode::kAddl2, {Imm(8), R(kRegSp)});
+    a.Emit(Opcode::kBrw, {}, k_kill_common);
+
+    // ------------------------------------------------------------------
+    // k_pf: page fault, with a swap pager. Frame: [va][reason][pc][psl].
+    // With r0-r5 saved: va at 24(sp), reason at 28(sp).
+    //
+    // Paths:
+    //   demand-zero: invalid PTE (0)     -> new frame, zero-filled
+    //   swap-in:     PTE has kPteSwapped -> new frame, copied from swap
+    // Frames come from the free list; when it is empty the pager evicts
+    // the oldest resident page (FIFO) to a swap slot. All copies use the
+    // microcoded MOVC3, so paging shows up in traces as the dense kernel
+    // reference bursts it really is.
+    // ------------------------------------------------------------------
+    Label pf_get_frame = a.NewLabel("pf_get_frame");
+    a.Bind(k_pf);
+    a.Emit(Opcode::kPushl, {R(0)});
+    a.Emit(Opcode::kPushl, {R(1)});
+    a.Emit(Opcode::kPushl, {R(2)});
+    a.Emit(Opcode::kPushl, {R(3)});
+    a.Emit(Opcode::kPushl, {R(4)});
+    a.Emit(Opcode::kPushl, {R(5)});
+    a.Emit(Opcode::kIncl, {Abs(pf_count)});
+    a.Emit(Opcode::kMovl, {Disp(24, kRegSp), R(0)});  // faulting va
+    a.Emit(Opcode::kTstl, {R(0)});
+    Label pf_user_space = a.NewLabel("pf_user_space");
+    a.Emit(Opcode::kBgeq, {}, pf_user_space);
+    a.Emit(Opcode::kHalt);  // S0 page fault: kernel bug
+    a.Bind(pf_user_space);
+    // r1 = page number within region.
+    a.Emit(Opcode::kBicl3, {Imm(0xc0000000), R(0), R(1)});
+    a.Emit(Opcode::kAshl, {Imm(0xf7 /* -9 */), R(1), R(1)});
+    // r2 = &{p0,p1}tbl[cur]; select the array by address bit 30.
+    a.Emit(Opcode::kMovl, {Abs(cur), R(3)});
+    a.Emit(Opcode::kAshl, {Imm(2), R(3), R(3)});
+    a.Emit(Opcode::kBitl, {Imm(0x40000000), R(0)});
+    Label pf_p1 = a.NewLabel("pf_p1");
+    Label pf_have_arr = a.NewLabel("pf_have_arr");
+    a.Emit(Opcode::kBneq, {}, pf_p1);
+    a.Emit(Opcode::kAddl3, {R(3), Imm(p0tbl), R(2)});
+    a.Emit(Opcode::kBrb, {}, pf_have_arr);
+    a.Bind(pf_p1);
+    a.Emit(Opcode::kAddl3, {R(3), Imm(p1tbl), R(2)});
+    a.Bind(pf_have_arr);
+    a.Emit(Opcode::kMovl, {assembler::Def(2), R(2)});  // table base (S0 va)
+    a.Emit(Opcode::kAshl, {Imm(2), R(1), R(1)});
+    a.Emit(Opcode::kAddl2, {R(1), R(2)});  // r2 = &pte
+    a.Emit(Opcode::kMovl, {assembler::Def(2), R(4)});  // r4 = old pte
+    // r3 = a frame (evicting if needed); preserves r2, r4.
+    a.Emit(Opcode::kJsb, {Ref(pf_get_frame)});
+    a.Emit(Opcode::kBitl, {Imm(kPteSwapped), R(4)});
+    Label pf_swapin = a.NewLabel("pf_swapin");
+    Label pf_install = a.NewLabel("pf_install");
+    a.Emit(Opcode::kBneq, {}, pf_swapin);
+    // Demand-zero: clear all 128 longwords of the frame.
+    a.Emit(Opcode::kMovl, {R(3), R(0)});
+    a.Emit(Opcode::kMovl, {Imm(128), R(1)});
+    Label pf_zero = a.Here("pf_zero");
+    a.Emit(Opcode::kClrl, {Inc(0)});
+    a.Emit(Opcode::kSobgtr, {R(1)}, pf_zero);
+    a.Emit(Opcode::kBrb, {}, pf_install);
+    // Swap-in: copy the page back from its slot, then free the slot.
+    a.Bind(pf_swapin);
+    a.Emit(Opcode::kBicl3, {Imm(0xffc00000), R(4), R(5)});  // r5 = slot
+    a.Emit(Opcode::kAshl, {Imm(9), R(5), R(1)});
+    a.Emit(Opcode::kAddl2, {Abs(sw_base), R(1)});  // r1 = slot S0 va
+    a.Emit(Opcode::kPushl, {R(2)});
+    a.Emit(Opcode::kPushl, {R(3)});
+    a.Emit(Opcode::kPushl, {R(5)});
+    a.Emit(Opcode::kMovc3, {Imm(kPageBytes), Def(1), Def(3)});
+    a.Emit(Opcode::kMovl, {Inc(kRegSp), R(5)});
+    a.Emit(Opcode::kMovl, {Inc(kRegSp), R(3)});
+    a.Emit(Opcode::kMovl, {Inc(kRegSp), R(2)});
+    a.Emit(Opcode::kMovl, {Abs(sw_sp), R(0)});
+    a.Emit(Opcode::kAshl, {Imm(2), R(0), R(1)});
+    a.Emit(Opcode::kAddl2, {Abs(sw_stack), R(1)});
+    a.Emit(Opcode::kMovl, {R(5), assembler::Def(1)});
+    a.Emit(Opcode::kIncl, {Abs(sw_sp)});
+    a.Emit(Opcode::kIncl, {Abs(sw_ins)});
+    // Install the PTE and log the page in the resident FIFO.
+    a.Bind(pf_install);
+    a.Emit(Opcode::kBicl3, {Imm(0x80000000), R(3), R(0)});
+    a.Emit(Opcode::kAshl, {Imm(0xf7 /* -9 */), R(0), R(0)});
+    a.Emit(Opcode::kBisl2, {Imm(0xe0000000), R(0)});
+    a.Emit(Opcode::kMovl, {R(0), assembler::Def(2)});
+    a.Emit(Opcode::kMovl, {Abs(fifo_head), R(0)});
+    a.Emit(Opcode::kBicl3, {Abs(fifo_notmask), R(0), R(1)});
+    a.Emit(Opcode::kAshl, {Imm(3), R(1), R(1)});
+    a.Emit(Opcode::kAddl2, {Abs(fifo_base), R(1)});
+    a.Emit(Opcode::kMovl, {R(2), assembler::Def(1)});  // pte address
+    a.Emit(Opcode::kMovl, {Disp(24, kRegSp), R(0)});
+    a.Emit(Opcode::kMovl, {R(0), Disp(4, 1)});         // faulting va
+    a.Emit(Opcode::kIncl, {Abs(fifo_head)});
+    // Drop any stale TB entry and restart the faulting instruction.
+    a.Emit(Opcode::kMtpr, {R(0), IprImm(isa::Ipr::kTbis)});
+    a.Emit(Opcode::kMovl, {Inc(kRegSp), R(5)});
+    a.Emit(Opcode::kMovl, {Inc(kRegSp), R(4)});
+    a.Emit(Opcode::kMovl, {Inc(kRegSp), R(3)});
+    a.Emit(Opcode::kMovl, {Inc(kRegSp), R(2)});
+    a.Emit(Opcode::kMovl, {Inc(kRegSp), R(1)});
+    a.Emit(Opcode::kMovl, {Inc(kRegSp), R(0)});
+    a.Emit(Opcode::kAddl2, {Imm(8), R(kRegSp)});  // drop va + reason
+    a.Emit(Opcode::kRei);
+
+    // ------------------------------------------------------------------
+    // pf_get_frame: r3 <- a usable frame (S0 va). Pops the free list, or
+    // evicts the oldest resident page to swap. Clobbers r0, r1, r5;
+    // preserves r2 and r4.
+    // ------------------------------------------------------------------
+    a.Bind(pf_get_frame);
+    a.Emit(Opcode::kMovl, {Abs(free_head), R(3)});
+    Label gf_evict = a.NewLabel("gf_evict");
+    a.Emit(Opcode::kBeql, {}, gf_evict);
+    a.Emit(Opcode::kMovl, {assembler::Def(3), R(0)});  // next free frame
+    a.Emit(Opcode::kMovl, {R(0), Abs(free_head)});
+    a.Emit(Opcode::kDecl, {Abs(free_count)});
+    a.Emit(Opcode::kRsb);
+    a.Bind(gf_evict);
+    // Victim = FIFO tail entry {pte addr, va}.
+    a.Emit(Opcode::kMovl, {Abs(fifo_tail), R(0)});
+    a.Emit(Opcode::kCmpl, {R(0), Abs(fifo_head)});
+    Label gf_have = a.NewLabel("gf_have");
+    a.Emit(Opcode::kBneq, {}, gf_have);
+    a.Emit(Opcode::kHalt);  // nothing resident to evict: kernel bug
+    a.Bind(gf_have);
+    a.Emit(Opcode::kBicl3, {Abs(fifo_notmask), R(0), R(1)});
+    a.Emit(Opcode::kAshl, {Imm(3), R(1), R(1)});
+    a.Emit(Opcode::kAddl2, {Abs(fifo_base), R(1)});
+    a.Emit(Opcode::kIncl, {Abs(fifo_tail)});
+    a.Emit(Opcode::kMovl, {assembler::Def(1), R(5)});  // victim pte addr
+    a.Emit(Opcode::kMovl, {Disp(4, 1), R(0)});         // victim va
+    a.Emit(Opcode::kPushl, {R(0)});                    // save victim va
+    a.Emit(Opcode::kMovl, {assembler::Def(5), R(1)});  // victim pte
+    // r3 = victim frame S0 va.
+    a.Emit(Opcode::kBicl3, {Imm(0xffc00000), R(1), R(3)});
+    a.Emit(Opcode::kAshl, {Imm(9), R(3), R(3)});
+    a.Emit(Opcode::kBisl2, {Imm(0x80000000), R(3)});
+    // Allocate a swap slot (r1 = slot number).
+    a.Emit(Opcode::kDecl, {Abs(sw_sp)});
+    a.Emit(Opcode::kMovl, {Abs(sw_sp), R(1)});
+    Label gf_slot_ok = a.NewLabel("gf_slot_ok");
+    a.Emit(Opcode::kBgeq, {}, gf_slot_ok);
+    a.Emit(Opcode::kHalt);  // out of swap space
+    a.Bind(gf_slot_ok);
+    a.Emit(Opcode::kAshl, {Imm(2), R(1), R(1)});
+    a.Emit(Opcode::kAddl2, {Abs(sw_stack), R(1)});
+    a.Emit(Opcode::kMovl, {assembler::Def(1), R(1)});  // slot number
+    // Copy frame -> swap slot; MOVC3 clobbers r0-r5, including the
+    // caller's r2 and r4, which this routine must preserve.
+    a.Emit(Opcode::kPushl, {R(5)});
+    a.Emit(Opcode::kPushl, {R(4)});
+    a.Emit(Opcode::kPushl, {R(3)});
+    a.Emit(Opcode::kPushl, {R(2)});
+    a.Emit(Opcode::kPushl, {R(1)});
+    a.Emit(Opcode::kAshl, {Imm(9), R(1), R(0)});
+    a.Emit(Opcode::kAddl2, {Abs(sw_base), R(0)});
+    a.Emit(Opcode::kMovc3, {Imm(kPageBytes), Def(3), Def(0)});
+    a.Emit(Opcode::kMovl, {Inc(kRegSp), R(1)});
+    a.Emit(Opcode::kMovl, {Inc(kRegSp), R(2)});
+    a.Emit(Opcode::kMovl, {Inc(kRegSp), R(3)});
+    a.Emit(Opcode::kMovl, {Inc(kRegSp), R(4)});
+    a.Emit(Opcode::kMovl, {Inc(kRegSp), R(5)});
+    // Victim PTE := swapped | slot; drop its TB entry.
+    a.Emit(Opcode::kBisl3, {Imm(kPteSwapped), R(1), R(0)});
+    a.Emit(Opcode::kMovl, {R(0), assembler::Def(5)});
+    a.Emit(Opcode::kMovl, {Inc(kRegSp), R(0)});  // victim va
+    a.Emit(Opcode::kMtpr, {R(0), IprImm(isa::Ipr::kTbis)});
+    a.Emit(Opcode::kIncl, {Abs(sw_outs)});
+    a.Emit(Opcode::kRsb);
+
+    return a.Finish();
+}
+
+}  // namespace atum::kernel

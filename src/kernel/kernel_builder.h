@@ -1,0 +1,37 @@
+#ifndef ATUM_KERNEL_KERNEL_BUILDER_H_
+#define ATUM_KERNEL_KERNEL_BUILDER_H_
+
+/**
+ * @file
+ * Builds the guest kernel image (VCX-32 code) for a given memory layout.
+ *
+ * The kernel is deliberately small but real: it runs *on the simulated
+ * CPU*, so every reference it makes — scheduling, system-call dispatch,
+ * demand-paging, frame zeroing — appears in ATUM traces exactly as VMS's
+ * and Ultrix's kernel references appeared in the paper's traces.
+ *
+ * Responsibilities:
+ *   - `k_start`: enables the interval timer and dispatches process 0;
+ *   - `k_timer`: SVPCTX / round-robin pick / LDPCTX / REI;
+ *   - `k_chmk`: system calls (exit, yield, putc, getpid, brk);
+ *   - `k_pf`:   demand-zero page-fault handler (frame free list, PTE
+ *               install, frame zeroing, TBIS);
+ *   - `k_acv`, `k_fault8`: kill the offending process (halt on kernel
+ *     faults).
+ */
+
+#include "assembler/assembler.h"
+#include "kernel/layout.h"
+
+namespace atum::kernel {
+
+/**
+ * Assembles the kernel for `layout`. The returned program's origin is
+ * layout.ktext_va and its symbols include k_start, k_timer, k_chmk,
+ * k_pf, k_acv, k_fault8.
+ */
+assembler::Program BuildKernelImage(const KernelLayout& layout);
+
+}  // namespace atum::kernel
+
+#endif  // ATUM_KERNEL_KERNEL_BUILDER_H_

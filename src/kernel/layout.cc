@@ -1,0 +1,39 @@
+#include "kernel/layout.h"
+
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace atum::kernel {
+
+KernelLayout
+ComputeLayout(uint32_t usable_frames)
+{
+    KernelLayout layout;
+    layout.usable_frames = usable_frames;
+
+    layout.scb_pa = 0 * kPageBytes;
+    layout.kdata_pa = 1 * kPageBytes;
+    layout.kstack_pa = 2 * kPageBytes;
+    layout.kstack_top_va = kS0Base + layout.kstack_pa + 4 * kPageBytes;
+    layout.pcb_base_pa = 6 * kPageBytes;
+
+    static_assert(kMaxProcs * kPcbStride <= 2 * kPageBytes,
+                  "PCB array must fit in its two frames");
+
+    layout.s0_table_pa = 8 * kPageBytes;
+    const uint32_t s0_table_bytes =
+        static_cast<uint32_t>(AlignUp(usable_frames * 4ull, kPageBytes));
+    layout.ktext_pa = layout.s0_table_pa + s0_table_bytes;
+    layout.ktext_va = kS0Base + layout.ktext_pa;
+
+    // Sanity: we need room for the kernel text plus at least a handful of
+    // frames for process images and the paging pool.
+    const uint32_t min_frames = layout.ktext_pa / kPageBytes + 32;
+    if (usable_frames < min_frames) {
+        Fatal("machine too small: ", usable_frames, " usable frames, need >= ",
+              min_frames);
+    }
+    return layout;
+}
+
+}  // namespace atum::kernel

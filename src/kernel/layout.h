@@ -1,0 +1,117 @@
+#ifndef ATUM_KERNEL_LAYOUT_H_
+#define ATUM_KERNEL_LAYOUT_H_
+
+/**
+ * @file
+ * Physical/virtual memory layout of the guest system.
+ *
+ * The kernel occupies low physical memory; the S0 (system) region
+ * identity-maps all usable physical memory at 0x80000000 + pa, so kernel
+ * virtual addresses are physical addresses plus kS0Base. The ATUM trace
+ * buffer, when present, is the reserved region at the top of physical
+ * memory and is excluded from `usable_frames` (the guest never sees it).
+ *
+ * Frame map:
+ *   frame 0            SCB (16 vectors)
+ *   frame 1            kernel globals (kdata, see KdataOffsets)
+ *   frames 2..5        kernel stack (4 pages, grows down from the top)
+ *   frames 6..7        PCB array (kMaxProcs x kPcbStride bytes)
+ *   frames 8..         S0 page table (covers usable_frames PTEs)
+ *   after S0 table     kernel text
+ *   after kernel text  per-process page tables and images (boot-allocated)
+ *   remaining frames   the guest frame free list (demand paging pool)
+ */
+
+#include <cstdint>
+
+#include "mem/physical_memory.h"
+
+namespace atum::kernel {
+
+/** Base virtual address of the S0 region. */
+inline constexpr uint32_t kS0Base = 0x80000000u;
+/** Base virtual address of the P1 (stack) region. */
+inline constexpr uint32_t kP1Base = 0x40000000u;
+
+/** Maximum processes the kernel supports. */
+inline constexpr uint32_t kMaxProcs = 8;
+/** Bytes between consecutive PCBs (power of two for guest arithmetic). */
+inline constexpr uint32_t kPcbStride = 128;
+
+/** System call numbers (CHMK codes). */
+enum class Syscall : uint32_t {
+    kExit = 0,    ///< terminate the calling process
+    kYield = 1,   ///< voluntarily give up the CPU
+    kPutc = 2,    ///< write the byte in r1 to the console
+    kGetpid = 3,  ///< return the caller's pid in r0
+    kBrk = 4,     ///< set P0 length to r1 pages (clamped to capacity)
+    kSend = 5,    ///< enqueue the byte in r1; r0 = 1, or 0 if full
+    kRecv = 6,    ///< dequeue into r0; r0 = 0xffffffff if empty
+};
+
+/** Capacity of the kernel's IPC mailbox ring, a power of two. */
+inline constexpr uint32_t kMailboxBytes = 16;
+
+/** Offsets of kernel globals within the kdata frame. All longwords. */
+struct KdataOffsets {
+    static constexpr uint32_t kCurProc = 0;    ///< running process index
+    static constexpr uint32_t kNumProc = 4;    ///< process count
+    static constexpr uint32_t kNumLive = 8;    ///< live process count
+    static constexpr uint32_t kFreeHead = 12;  ///< S0 va of first free frame
+    static constexpr uint32_t kPfCount = 16;   ///< page faults serviced
+    static constexpr uint32_t kCsCount = 20;   ///< context switches
+    static constexpr uint32_t kFreeCount = 24; ///< free frames remaining
+    static constexpr uint32_t kAlive = 32;     ///< alive[kMaxProcs]
+    static constexpr uint32_t kP0Tbl = 64;     ///< S0 va of P0 table, per proc
+    static constexpr uint32_t kP1Tbl = 96;     ///< S0 va of P1 table, per proc
+    static constexpr uint32_t kP0Cap = 128;    ///< P0 capacity (pages), per proc
+    static constexpr uint32_t kMbHead = 160;   ///< mailbox producer index
+    static constexpr uint32_t kMbTail = 164;   ///< mailbox consumer index
+    static constexpr uint32_t kMbBuf = 168;    ///< mailbox ring bytes
+    // Swap pager state (see kernel_builder.cc, k_pf).
+    static constexpr uint32_t kSwapBase = 184;   ///< S0 va of swap frames
+    static constexpr uint32_t kSwapStack = 188;  ///< S0 va of free-slot stack
+    static constexpr uint32_t kSwapSp = 192;     ///< free slots remaining
+    static constexpr uint32_t kFifoBase = 196;   ///< S0 va of resident FIFO
+    static constexpr uint32_t kFifoHead = 200;   ///< FIFO push index
+    static constexpr uint32_t kFifoTail = 204;   ///< FIFO pop index
+    static constexpr uint32_t kFifoNotMask = 208;  ///< ~(ring entries - 1)
+    static constexpr uint32_t kSwapOuts = 212;   ///< pages swapped out
+    static constexpr uint32_t kSwapIns = 216;    ///< pages swapped in
+};
+
+/** PTE bit marking a swapped-out page (slot number in the PFN field). */
+inline constexpr uint32_t kPteSwapped = 1u << 27;
+
+/** Resolved physical layout for a given machine size. */
+struct KernelLayout {
+    uint32_t usable_frames = 0;  ///< physical frames below the reservation
+
+    uint32_t scb_pa = 0;
+    uint32_t kdata_pa = 0;
+    uint32_t kstack_pa = 0;       ///< lowest address of the kernel stack
+    uint32_t kstack_top_va = 0;   ///< initial KSP (S0 va, empty stack)
+    uint32_t pcb_base_pa = 0;
+    uint32_t s0_table_pa = 0;
+    uint32_t ktext_pa = 0;        ///< kernel text load address
+    uint32_t ktext_va = 0;        ///< kernel text virtual address
+
+    /** S0 virtual address of a kdata field. */
+    uint32_t KdataVa(uint32_t offset) const
+    {
+        return kS0Base + kdata_pa + offset;
+    }
+
+    /** Physical address of process `i`'s PCB. */
+    uint32_t PcbPa(uint32_t i) const { return pcb_base_pa + i * kPcbStride; }
+};
+
+/**
+ * Computes the layout for a machine with `usable_frames` frames of
+ * non-reserved physical memory. Fatal if memory is too small.
+ */
+KernelLayout ComputeLayout(uint32_t usable_frames);
+
+}  // namespace atum::kernel
+
+#endif  // ATUM_KERNEL_LAYOUT_H_

@@ -1,0 +1,125 @@
+#include "mmu/mmu.h"
+
+#include "util/logging.h"
+
+namespace atum::mmu {
+
+using ucode::MemAccess;
+using ucode::MemAccessKind;
+using ucode::MicroOpKind;
+
+Mmu::Mmu(PhysicalMemory& memory, ucode::ControlStore& control_store,
+         unsigned tlb_sets, unsigned tlb_ways)
+    : memory_(memory),
+      control_store_(control_store),
+      tlb_(tlb_sets, tlb_ways)
+{
+}
+
+void
+Mmu::SetRegion(Region r, RegionRegs regs)
+{
+    if (r == Region::kReserved)
+        Panic("SetRegion on reserved region");
+    regions_[static_cast<size_t>(r)] = regs;
+}
+
+RegionRegs
+Mmu::GetRegion(Region r) const
+{
+    if (r == Region::kReserved)
+        Panic("GetRegion on reserved region");
+    return regions_[static_cast<size_t>(r)];
+}
+
+XlateResult
+Mmu::Translate(uint32_t vaddr, bool write, bool kernel_mode)
+{
+    if (!enabled_)
+        return {XlateStatus::kOk, vaddr, 0, false};
+
+    const uint32_t vpn = vaddr >> kPageShift;
+    if (TlbEntry* e = tlb_.Lookup(vpn)) {
+        if (!kernel_mode && !e->user)
+            return {XlateStatus::kAcv, 0, 0, false};
+        if (write && !e->writable)
+            return {XlateStatus::kAcv, 0, 0, false};
+        if (write && !e->modified) {
+            // First write through a clean entry: re-walk so the PTE's
+            // modified bit is set in memory (extra page-table traffic,
+            // faithfully visible to the tracer).
+            tlb_.InvalidateVa(vaddr);
+            return Walk(vaddr, write, kernel_mode);
+        }
+        const uint32_t pa =
+            (e->pfn << kPageShift) | (vaddr & (kPageBytes - 1));
+        return {XlateStatus::kOk, pa, 0, false};
+    }
+    return Walk(vaddr, write, kernel_mode);
+}
+
+XlateResult
+Mmu::Walk(uint32_t vaddr, bool write, bool kernel_mode)
+{
+    XlateResult res;
+    res.tb_miss = true;
+    res.ucycles = ucode::CostOf(MicroOpKind::kPteRead);
+    res.ucycles += control_store_.FireTlbMiss(vaddr, kernel_mode);
+
+    const Region region = RegionOf(vaddr);
+    if (region == Region::kReserved) {
+        res.status = XlateStatus::kAcv;
+        return res;
+    }
+    const RegionRegs& regs = regions_[static_cast<size_t>(region)];
+    const uint32_t page_in_region =
+        (vaddr & 0x3fffffffu) >> kPageShift;
+    if (page_in_region >= regs.length) {
+        res.status = XlateStatus::kAcv;  // length violation
+        return res;
+    }
+
+    const uint32_t pte_pa = regs.base + page_in_region * 4;
+    if (!memory_.Contains(pte_pa, 4)) {
+        res.status = XlateStatus::kAcv;
+        return res;
+    }
+    ++pte_reads_;
+    uint32_t pte = memory_.Read32(pte_pa);
+    res.ucycles += control_store_.FireMemAccess(
+        MemAccess{pte_pa, pte_pa, 4, MemAccessKind::kPte, kernel_mode});
+
+    if (!(pte & kPteValid)) {
+        res.status = XlateStatus::kTnv;
+        return res;
+    }
+    const bool user = (pte & kPteUser) != 0;
+    const bool writable = (pte & kPteWritable) != 0;
+    if (!kernel_mode && !user) {
+        res.status = XlateStatus::kAcv;
+        return res;
+    }
+    if (write && !writable) {
+        res.status = XlateStatus::kAcv;
+        return res;
+    }
+    if (write && !(pte & kPteModified)) {
+        pte |= kPteModified;
+        memory_.Write32(pte_pa, pte);
+    }
+
+    TlbEntry entry;
+    entry.vpn = vaddr >> kPageShift;
+    entry.pfn = pte & kPtePfnMask;
+    entry.user = user;
+    entry.writable = writable;
+    entry.modified = (pte & kPteModified) != 0;
+    tlb_.Insert(entry);
+
+    res.status = XlateStatus::kOk;
+    res.paddr = ((pte & kPtePfnMask) << kPageShift) |
+                (vaddr & (kPageBytes - 1));
+    return res;
+}
+
+}  // namespace atum::mmu

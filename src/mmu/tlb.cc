@@ -1,0 +1,94 @@
+#include "mmu/tlb.h"
+
+#include "mem/physical_memory.h"
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace atum::mmu {
+
+namespace {
+/** First virtual page number of the S0 (system) region. */
+constexpr uint32_t kS0BaseVpn = 0x80000000u >> kPageShift;
+}  // namespace
+
+Tlb::Tlb(unsigned sets, unsigned ways) : sets_(sets), ways_(ways)
+{
+    if (sets == 0 || ways == 0 || !IsPowerOfTwo(sets))
+        Fatal("TB geometry must be power-of-two sets x (>=1) ways, got ",
+              sets, "x", ways);
+    entries_.resize(static_cast<size_t>(sets) * ways);
+}
+
+TlbEntry*
+Tlb::Lookup(uint32_t vpn)
+{
+    ++lookups_;
+    const unsigned set = vpn & (sets_ - 1);
+    for (unsigned w = 0; w < ways_; ++w) {
+        TlbEntry& e = entries_[static_cast<size_t>(set) * ways_ + w];
+        if (e.valid && e.vpn == vpn) {
+            e.lru = ++stamp_;
+            return &e;
+        }
+    }
+    ++misses_;
+    return nullptr;
+}
+
+TlbEntry&
+Tlb::VictimIn(unsigned set)
+{
+    TlbEntry* victim = &entries_[static_cast<size_t>(set) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        TlbEntry& e = entries_[static_cast<size_t>(set) * ways_ + w];
+        if (!e.valid)
+            return e;
+        if (e.lru < victim->lru)
+            victim = &e;
+    }
+    return *victim;
+}
+
+void
+Tlb::Insert(const TlbEntry& entry)
+{
+    const unsigned set = entry.vpn & (sets_ - 1);
+    TlbEntry& slot = VictimIn(set);
+    slot = entry;
+    slot.valid = true;
+    slot.lru = ++stamp_;
+}
+
+void
+Tlb::InvalidateAll()
+{
+    for (auto& e : entries_)
+        e.valid = false;
+}
+
+void
+Tlb::InvalidateVa(uint32_t vaddr)
+{
+    const uint32_t vpn = vaddr >> kPageShift;
+    const unsigned set = vpn & (sets_ - 1);
+    for (unsigned w = 0; w < ways_; ++w) {
+        TlbEntry& e = entries_[static_cast<size_t>(set) * ways_ + w];
+        if (e.valid && e.vpn == vpn)
+            e.valid = false;
+    }
+}
+
+unsigned
+Tlb::FlushProcessEntries()
+{
+    unsigned flushed = 0;
+    for (auto& e : entries_) {
+        if (e.valid && e.vpn < kS0BaseVpn) {
+            e.valid = false;
+            ++flushed;
+        }
+    }
+    return flushed;
+}
+
+}  // namespace atum::mmu

@@ -1,0 +1,75 @@
+#ifndef ATUM_MMU_TLB_H_
+#define ATUM_MMU_TLB_H_
+
+/**
+ * @file
+ * The hardware translation buffer (TB).
+ *
+ * Set-associative, LRU-replaced, VAX-style: entries are tagged by virtual
+ * page number only — there are no address-space identifiers, so a context
+ * switch must flush all process-space (P0/P1) entries. That flush is what
+ * makes multiprogramming visible in TB miss traffic, one of the effects
+ * ATUM's full-system traces exposed.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace atum::mmu {
+
+/** One cached translation. */
+struct TlbEntry {
+    bool valid = false;
+    uint32_t vpn = 0;  ///< global virtual page number (vaddr >> 9)
+    uint32_t pfn = 0;
+    bool user = false;      ///< user mode may access
+    bool writable = false;  ///< writes permitted
+    bool modified = false;  ///< a write has been performed via this entry
+    uint64_t lru = 0;       ///< last-use stamp
+};
+
+class Tlb
+{
+  public:
+    /** Creates a TB with `sets` x `ways` entries; both must be >= 1 and
+     *  `sets` a power of two. Default geometry mimics a small-mini TB. */
+    explicit Tlb(unsigned sets = 32, unsigned ways = 2);
+
+    /** Returns the matching valid entry or nullptr. Updates LRU on hit. */
+    TlbEntry* Lookup(uint32_t vpn);
+
+    /** Installs a translation, evicting the set's LRU entry if needed. */
+    void Insert(const TlbEntry& entry);
+
+    /** Invalidates everything (MTPR TBIA). */
+    void InvalidateAll();
+
+    /** Invalidates the entry mapping `vaddr`, if present (MTPR TBIS). */
+    void InvalidateVa(uint32_t vaddr);
+
+    /**
+     * Invalidates all process-space entries (vpn below the S0 region),
+     * as LDPCTX does on a context switch. Returns the number flushed.
+     */
+    unsigned FlushProcessEntries();
+
+    unsigned sets() const { return sets_; }
+    unsigned ways() const { return ways_; }
+
+    uint64_t lookups() const { return lookups_; }
+    uint64_t misses() const { return misses_; }
+
+  private:
+    TlbEntry& VictimIn(unsigned set);
+
+    unsigned sets_;
+    unsigned ways_;
+    std::vector<TlbEntry> entries_;  ///< sets_ x ways_, row-major
+    uint64_t stamp_ = 0;
+    uint64_t lookups_ = 0;
+    uint64_t misses_ = 0;
+};
+
+}  // namespace atum::mmu
+
+#endif  // ATUM_MMU_TLB_H_

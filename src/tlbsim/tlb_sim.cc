@@ -1,0 +1,92 @@
+#include "tlbsim/tlb_sim.h"
+
+#include "mem/physical_memory.h"
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace atum::tlbsim {
+
+using trace::Record;
+using trace::RecordType;
+
+namespace {
+constexpr uint32_t kS0BaseVpn = 0x80000000u >> kPageShift;
+}  // namespace
+
+TlbSim::TlbSim(const TlbSimConfig& config) : config_(config)
+{
+    if (config.entries == 0 || !IsPowerOfTwo(config.entries))
+        Fatal("TLB entries must be a power of two, got ", config.entries);
+    ways_ = config.ways == 0 ? config.entries : config.ways;
+    if (ways_ > config.entries || config.entries % ways_ != 0)
+        Fatal("bad TLB geometry: ", config.entries, " entries, ", ways_,
+              " ways");
+    sets_ = config.entries / ways_;
+    if (!IsPowerOfTwo(sets_))
+        Fatal("TLB set count must be a power of two");
+    entries_.resize(config.entries);
+}
+
+void
+TlbSim::Access(uint32_t vaddr)
+{
+    ++stats_.accesses;
+    const uint32_t vpn = vaddr >> kPageShift;
+    const uint32_t set = vpn & (sets_ - 1);
+    Entry* base = &entries_[static_cast<size_t>(set) * ways_];
+    for (uint32_t w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].vpn == vpn) {
+            base[w].stamp = ++tick_;
+            return;
+        }
+    }
+    ++stats_.misses;
+    Entry* victim = base;
+    for (uint32_t w = 0; w < ways_; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].stamp < victim->stamp)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->stamp = ++tick_;
+}
+
+void
+TlbSim::FlushProcess()
+{
+    ++stats_.flushes;
+    for (Entry& e : entries_) {
+        if (e.valid && (config_.flush_system_too || e.vpn < kS0BaseVpn))
+            e.valid = false;
+    }
+}
+
+void
+TlbSim::Feed(const Record& record)
+{
+    if (record.type == RecordType::kCtxSwitch) {
+        if (config_.flush_on_switch)
+            FlushProcess();
+        return;
+    }
+    if (!record.IsMemory())
+        return;
+    if (record.type == RecordType::kPte && !config_.include_pte)
+        return;
+    if (record.kernel() && !config_.include_kernel)
+        return;
+    Access(record.addr);
+}
+
+void
+TlbSim::DriveAll(trace::TraceSource& source)
+{
+    while (auto r = source.Next())
+        Feed(*r);
+}
+
+}  // namespace atum::tlbsim

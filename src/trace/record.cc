@@ -1,0 +1,120 @@
+#include "trace/record.h"
+
+#include "util/logging.h"
+
+namespace atum::trace {
+
+uint8_t
+MakeFlags(bool kernel, uint8_t size_bytes)
+{
+    uint8_t log2_size;
+    switch (size_bytes) {
+      case 1:
+        log2_size = 0;
+        break;
+      case 2:
+        log2_size = 1;
+        break;
+      case 4:
+        log2_size = 2;
+        break;
+      default:
+        Panic("unsupported access size ", unsigned{size_bytes});
+    }
+    return static_cast<uint8_t>((kernel ? kFlagKernel : 0) |
+                                (log2_size << 1));
+}
+
+Record
+FromMemAccess(const ucode::MemAccess& access)
+{
+    Record r;
+    r.addr = access.vaddr;
+    switch (access.kind) {
+      case ucode::MemAccessKind::kIFetch:
+        r.type = RecordType::kIFetch;
+        break;
+      case ucode::MemAccessKind::kRead:
+        r.type = RecordType::kRead;
+        break;
+      case ucode::MemAccessKind::kWrite:
+        r.type = RecordType::kWrite;
+        break;
+      case ucode::MemAccessKind::kPte:
+        r.type = RecordType::kPte;
+        break;
+    }
+    r.flags = MakeFlags(access.kernel, access.size);
+    return r;
+}
+
+Record
+MakeCtxSwitch(uint16_t pid, uint32_t pcb_pa)
+{
+    Record r;
+    r.addr = pcb_pa;
+    r.type = RecordType::kCtxSwitch;
+    r.flags = MakeFlags(true, 4);
+    r.info = pid;
+    return r;
+}
+
+Record
+MakeTlbMiss(uint32_t vaddr, bool kernel)
+{
+    Record r;
+    r.addr = vaddr;
+    r.type = RecordType::kTlbMiss;
+    r.flags = MakeFlags(kernel, 4);
+    return r;
+}
+
+Record
+MakeException(uint8_t vector)
+{
+    Record r;
+    r.addr = 0;
+    r.type = RecordType::kException;
+    r.flags = MakeFlags(true, 4);
+    r.info = vector;
+    return r;
+}
+
+Record
+MakeOpcode(uint32_t pc, uint8_t opcode, bool kernel)
+{
+    Record r;
+    r.addr = pc;
+    r.type = RecordType::kOpcode;
+    r.flags = MakeFlags(kernel, 1);
+    r.info = opcode;
+    return r;
+}
+
+void
+PackRecord(const Record& r, uint8_t out[kRecordBytes])
+{
+    out[0] = static_cast<uint8_t>(r.addr);
+    out[1] = static_cast<uint8_t>(r.addr >> 8);
+    out[2] = static_cast<uint8_t>(r.addr >> 16);
+    out[3] = static_cast<uint8_t>(r.addr >> 24);
+    out[4] = static_cast<uint8_t>(r.type);
+    out[5] = r.flags;
+    out[6] = static_cast<uint8_t>(r.info);
+    out[7] = static_cast<uint8_t>(r.info >> 8);
+}
+
+Record
+UnpackRecord(const uint8_t in[kRecordBytes])
+{
+    Record r;
+    r.addr = static_cast<uint32_t>(in[0]) | static_cast<uint32_t>(in[1]) << 8 |
+             static_cast<uint32_t>(in[2]) << 16 |
+             static_cast<uint32_t>(in[3]) << 24;
+    r.type = static_cast<RecordType>(in[4]);
+    r.flags = in[5];
+    r.info = static_cast<uint16_t>(in[6] | (in[7] << 8));
+    return r;
+}
+
+}  // namespace atum::trace

@@ -1,0 +1,98 @@
+#include "trace/sink.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace atum::trace {
+
+namespace {
+constexpr char kMagic[8] = {'A', 'T', 'U', 'M', '0', '0', '0', '1'};
+}  // namespace
+
+FileSink::FileSink(const std::string& path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr)
+        Fatal("cannot open trace file for writing: ", path);
+    if (std::fwrite(kMagic, 1, sizeof kMagic, file_) != sizeof kMagic)
+        Fatal("cannot write trace header: ", path);
+}
+
+FileSink::~FileSink()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+void
+FileSink::Append(const Record& record)
+{
+    if (file_ == nullptr)
+        Panic("Append on a closed FileSink");
+    uint8_t buf[kRecordBytes];
+    PackRecord(record, buf);
+    if (std::fwrite(buf, 1, sizeof buf, file_) != sizeof buf)
+        Fatal("short write to trace file");
+    ++count_;
+}
+
+void
+FileSink::Close()
+{
+    if (file_ != nullptr) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+FileSource::FileSource(const std::string& path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (file_ == nullptr)
+        Fatal("cannot open trace file: ", path);
+    char magic[8];
+    if (std::fread(magic, 1, sizeof magic, file_) != sizeof magic ||
+        std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+        Fatal("not an ATUM trace file: ", path);
+    }
+}
+
+FileSource::~FileSource()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+std::optional<Record>
+FileSource::Next()
+{
+    uint8_t buf[kRecordBytes];
+    const size_t got = std::fread(buf, 1, sizeof buf, file_);
+    if (got == 0)
+        return std::nullopt;
+    if (got != sizeof buf)
+        Fatal("truncated trace file record");
+    return UnpackRecord(buf);
+}
+
+void
+WriteTraceFile(const std::string& path, const std::vector<Record>& records)
+{
+    FileSink sink(path);
+    for (const Record& r : records)
+        sink.Append(r);
+    sink.Close();
+}
+
+std::vector<Record>
+ReadTraceFile(const std::string& path)
+{
+    FileSource source(path);
+    std::vector<Record> out;
+    while (auto r = source.Next())
+        out.push_back(*r);
+    return out;
+}
+
+}  // namespace atum::trace

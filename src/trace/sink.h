@@ -1,0 +1,136 @@
+#ifndef ATUM_TRACE_SINK_H_
+#define ATUM_TRACE_SINK_H_
+
+/**
+ * @file
+ * Trace consumers and producers: where drained trace-buffer contents go
+ * (sinks) and where analyzers read records from (sources). Binary trace
+ * files use an 8-byte magic header followed by packed records.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/record.h"
+
+namespace atum::trace {
+
+/** Receives records drained from the trace buffer. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void Append(const Record& record) = 0;
+};
+
+/** Accumulates records in memory. */
+class VectorSink : public TraceSink
+{
+  public:
+    void Append(const Record& record) override
+    {
+        records_.push_back(record);
+    }
+
+    const std::vector<Record>& records() const { return records_; }
+    std::vector<Record> TakeRecords() { return std::move(records_); }
+
+  private:
+    std::vector<Record> records_;
+};
+
+/** Counts records without storing them (for long capacity runs). */
+class CountingSink : public TraceSink
+{
+  public:
+    void Append(const Record&) override { ++count_; }
+    uint64_t count() const { return count_; }
+
+  private:
+    uint64_t count_ = 0;
+};
+
+/** Streams packed records to a binary trace file. */
+class FileSink : public TraceSink
+{
+  public:
+    /** Opens `path` for writing and emits the header; Fatal on failure. */
+    explicit FileSink(const std::string& path);
+    ~FileSink() override;
+
+    FileSink(const FileSink&) = delete;
+    FileSink& operator=(const FileSink&) = delete;
+
+    void Append(const Record& record) override;
+    /** Flushes and closes; further Append calls are a Panic. */
+    void Close();
+
+    uint64_t count() const { return count_; }
+
+  private:
+    std::FILE* file_;
+    uint64_t count_ = 0;
+};
+
+/** Sequential record reader. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+    /** Returns the next record, or nullopt at end of trace. */
+    virtual std::optional<Record> Next() = 0;
+};
+
+/** Reads from an in-memory record vector (borrowed, not owned). */
+class VectorSource : public TraceSource
+{
+  public:
+    explicit VectorSource(const std::vector<Record>& records)
+        : records_(records)
+    {
+    }
+
+    std::optional<Record> Next() override
+    {
+        if (pos_ >= records_.size())
+            return std::nullopt;
+        return records_[pos_++];
+    }
+
+    void Reset() { pos_ = 0; }
+
+  private:
+    const std::vector<Record>& records_;
+    size_t pos_ = 0;
+};
+
+/** Reads a binary trace file produced by FileSink. */
+class FileSource : public TraceSource
+{
+  public:
+    /** Opens `path` and validates the header; Fatal on failure. */
+    explicit FileSource(const std::string& path);
+    ~FileSource() override;
+
+    FileSource(const FileSource&) = delete;
+    FileSource& operator=(const FileSource&) = delete;
+
+    std::optional<Record> Next() override;
+
+  private:
+    std::FILE* file_;
+};
+
+/** Writes `records` to `path` in the binary trace format. */
+void WriteTraceFile(const std::string& path,
+                    const std::vector<Record>& records);
+
+/** Reads an entire binary trace file into memory. */
+std::vector<Record> ReadTraceFile(const std::string& path);
+
+}  // namespace atum::trace
+
+#endif  // ATUM_TRACE_SINK_H_

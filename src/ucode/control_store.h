@@ -1,0 +1,95 @@
+#ifndef ATUM_UCODE_CONTROL_STORE_H_
+#define ATUM_UCODE_CONTROL_STORE_H_
+
+/**
+ * @file
+ * The patchable control store.
+ *
+ * On the VAX 8200 the microcode lived in a writable control store, which is
+ * what made ATUM possible: patch micro-routines could be spliced in at the
+ * micro-instructions that perform memory references and context switches.
+ * This class models exactly those splice points. The executor calls
+ * Fire*() at each point; an installed patch runs and returns how many extra
+ * micro-cycles it consumed, which the machine adds to its cycle count
+ * (tracing dilates execution, as on the real machine).
+ *
+ * At most one patch per point may be installed (the 8200's control store
+ * had one continuation slot per patched micro-address).
+ */
+
+#include <cstdint>
+#include <functional>
+
+#include "ucode/micro_op.h"
+
+namespace atum::ucode {
+
+/** Named microcode splice points. */
+enum class PatchPoint : uint8_t {
+    kMemAccess,          ///< every architectural memory reference
+    kContextSwitch,      ///< LDPCTX committed a new process context
+    kTlbMiss,            ///< translation buffer miss (before PTE fetch)
+    kExceptionDispatch,  ///< exception/interrupt vectoring
+    kDecode,             ///< opcode dispatch (pc, opcode byte)
+    kNumPoints,
+};
+
+class ControlStore
+{
+  public:
+    /** Patch body for kMemAccess; returns extra micro-cycles consumed. */
+    using MemAccessHook = std::function<uint32_t(const MemAccess&)>;
+    /** Patch body for kContextSwitch: new pid and its PCB physical addr. */
+    using ContextSwitchHook =
+        std::function<uint32_t(uint16_t pid, uint32_t pcb_pa)>;
+    /** Patch body for kTlbMiss: faulting virtual address, mode. */
+    using TlbMissHook = std::function<uint32_t(uint32_t vaddr, bool kernel)>;
+    /** Patch body for kExceptionDispatch: SCB vector index. */
+    using ExceptionHook = std::function<uint32_t(uint8_t vector)>;
+    /** Patch body for kDecode: instruction address and opcode byte. */
+    using DecodeHook =
+        std::function<uint32_t(uint32_t pc, uint8_t opcode, bool kernel)>;
+
+    ControlStore() = default;
+    ControlStore(const ControlStore&) = delete;
+    ControlStore& operator=(const ControlStore&) = delete;
+
+    /** Installs a patch; Fatal if the point is already patched. */
+    void PatchMemAccess(MemAccessHook hook);
+    void PatchContextSwitch(ContextSwitchHook hook);
+    void PatchTlbMiss(TlbMissHook hook);
+    void PatchExceptionDispatch(ExceptionHook hook);
+    void PatchDecode(DecodeHook hook);
+
+    /** Removes the patch at `point` (no-op when absent). */
+    void Unpatch(PatchPoint point);
+    /** Removes all patches. */
+    void UnpatchAll();
+
+    bool IsPatched(PatchPoint point) const;
+
+    /**
+     * Splice-point entries, called by the executor. Each returns the extra
+     * micro-cycles consumed by the patch (0 when unpatched).
+     */
+    uint32_t FireMemAccess(const MemAccess& access);
+    uint32_t FireContextSwitch(uint16_t pid, uint32_t pcb_pa);
+    uint32_t FireTlbMiss(uint32_t vaddr, bool kernel);
+    uint32_t FireExceptionDispatch(uint8_t vector);
+    uint32_t FireDecode(uint32_t pc, uint8_t opcode, bool kernel);
+
+    /** Number of times each splice point fired (patched or not). */
+    uint64_t FireCount(PatchPoint point) const;
+
+  private:
+    MemAccessHook mem_hook_;
+    ContextSwitchHook csw_hook_;
+    TlbMissHook tlb_hook_;
+    ExceptionHook exc_hook_;
+    DecodeHook decode_hook_;
+    uint64_t fire_counts_[static_cast<size_t>(PatchPoint::kNumPoints)] = {};
+};
+
+}  // namespace atum::ucode
+
+#endif  // ATUM_UCODE_CONTROL_STORE_H_

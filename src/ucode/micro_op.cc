@@ -1,0 +1,49 @@
+#include "ucode/micro_op.h"
+
+#include "util/logging.h"
+
+namespace atum::ucode {
+
+uint32_t
+CostOf(MicroOpKind kind)
+{
+    // Loosely calibrated to mid-80s microcoded minis: memory micro-ops
+    // dominate, multiply/divide and the context/exception sequences are
+    // multi-cycle. Absolute values only matter relative to the tracing
+    // patch cost (AtumTracer's cost-per-record), which T2 sweeps.
+    switch (kind) {
+      case MicroOpKind::kDispatch:
+        return 1;
+      case MicroOpKind::kSpecifier:
+        return 1;
+      case MicroOpKind::kIFetch:
+        return 2;
+      case MicroOpKind::kDRead:
+        return 2;
+      case MicroOpKind::kDWrite:
+        return 2;
+      case MicroOpKind::kPteRead:
+        return 4;
+      case MicroOpKind::kAlu:
+        return 1;
+      case MicroOpKind::kMulDiv:
+        return 16;
+      case MicroOpKind::kShift:
+        return 2;
+      case MicroOpKind::kExcDispatch:
+        return 12;
+      case MicroOpKind::kRei:
+        return 8;
+      case MicroOpKind::kCall:
+        return 4;
+      case MicroOpKind::kCtxSave:
+        return 10;
+      case MicroOpKind::kCtxLoad:
+        return 12;
+      case MicroOpKind::kNumKinds:
+        break;
+    }
+    Panic("CostOf: bad micro-op kind");
+}
+
+}  // namespace atum::ucode

@@ -1,0 +1,45 @@
+#ifndef ATUM_UTIL_RNG_H_
+#define ATUM_UTIL_RNG_H_
+
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The simulator must be bit-reproducible, so all randomness flows through
+ * explicitly seeded Rng instances (SplitMix64); there is no global RNG
+ * state anywhere in atum.
+ */
+
+#include <cstdint>
+
+namespace atum {
+
+/** A small, fast, deterministic generator (SplitMix64). Copyable. */
+class Rng
+{
+  public:
+    /** Creates a generator with the given seed; equal seeds ⇒ equal streams. */
+    explicit Rng(uint64_t seed) : state_(seed) {}
+
+    /** Returns the next 64 pseudo-random bits. */
+    uint64_t Next64();
+
+    /** Returns the next 32 pseudo-random bits. */
+    uint32_t Next32() { return static_cast<uint32_t>(Next64() >> 32); }
+
+    /** Returns a value uniformly distributed in [0, bound); bound > 0. */
+    uint32_t Below(uint32_t bound);
+
+    /** Returns a value uniformly distributed in [lo, hi]; lo <= hi. */
+    uint32_t Range(uint32_t lo, uint32_t hi);
+
+    /** Returns a double uniformly distributed in [0, 1). */
+    double NextDouble();
+
+  private:
+    uint64_t state_;
+};
+
+}  // namespace atum
+
+#endif  // ATUM_UTIL_RNG_H_

@@ -1,0 +1,85 @@
+#ifndef ATUM_UTIL_STATS_H_
+#define ATUM_UTIL_STATS_H_
+
+/**
+ * @file
+ * Lightweight statistics accumulators used by the trace analyzers and the
+ * benchmark harnesses.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace atum {
+
+/** Accumulates count/mean/min/max/stddev of a stream of samples. */
+class RunningStats
+{
+  public:
+    /** Adds one sample. */
+    void Add(double x);
+
+    uint64_t count() const { return count_; }
+    double mean() const;
+    double min() const;
+    double max() const;
+    /** Population standard deviation; 0 with fewer than two samples. */
+    double stddev() const;
+    double sum() const { return sum_; }
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sum_sq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A power-of-two bucketed histogram for positive integer samples (for
+ * example context-switch interval lengths). Bucket i counts samples in
+ * [2^i, 2^(i+1)).
+ */
+class Log2Histogram
+{
+  public:
+    /** Adds one sample; 0 is counted in bucket 0. */
+    void Add(uint64_t x);
+
+    uint64_t count() const { return count_; }
+    /** Number of samples in [2^i, 2^(i+1)). */
+    uint64_t BucketCount(unsigned i) const;
+    unsigned NumBuckets() const { return buckets_.size(); }
+    /** Renders "bucket-range: count" lines, omitting empty buckets. */
+    std::string ToString() const;
+
+  private:
+    std::vector<uint64_t> buckets_;
+    uint64_t count_ = 0;
+};
+
+/** A named counter set, rendered sorted by name (used by trace stats). */
+class CounterSet
+{
+  public:
+    /** Adds `delta` to counter `name`, creating it at zero if absent. */
+    void Add(const std::string& name, uint64_t delta = 1);
+
+    /** Returns the counter value, or 0 if never touched. */
+    uint64_t Get(const std::string& name) const;
+
+    /** All counters, sorted by name. */
+    const std::map<std::string, uint64_t>& counters() const
+    {
+        return counters_;
+    }
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+};
+
+}  // namespace atum
+
+#endif  // ATUM_UTIL_STATS_H_

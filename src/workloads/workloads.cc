@@ -1,0 +1,676 @@
+#include "workloads/workloads.h"
+
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace atum::workloads {
+
+using assembler::Assembler;
+using assembler::Def;
+using assembler::Disp;
+using assembler::Imm;
+using assembler::Inc;
+using assembler::Label;
+using assembler::R;
+using assembler::Ref;
+using isa::Opcode;
+using kernel::GuestProgram;
+using kernel::Syscall;
+
+namespace {
+
+constexpr uint32_t kLcgMul = 1103515245;
+constexpr uint32_t kLcgAdd = 12345;
+
+/** Emits one LCG step on `reg`: reg = reg * a + c. */
+void
+EmitLcg(Assembler& a, unsigned reg)
+{
+    a.Emit(Opcode::kMull2, {Imm(kLcgMul), R(reg)});
+    a.Emit(Opcode::kAddl2, {Imm(kLcgAdd), R(reg)});
+}
+
+/** Emits `putc(ch); exit(0)`. */
+void
+EmitEpilogue(Assembler& a, char ch)
+{
+    a.Emit(Opcode::kMovl, {Imm(static_cast<uint8_t>(ch)), R(1)});
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kPutc))});
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kExit))});
+}
+
+uint32_t
+HeapPagesFor(uint32_t bytes)
+{
+    return static_cast<uint32_t>(AlignUp(bytes, kPageBytes)) / kPageBytes + 4;
+}
+
+}  // namespace
+
+GuestProgram
+MakeMatrix(uint32_t n, uint32_t seed)
+{
+    if (n < 2 || n > 64)
+        Fatal("matrix: n must be in [2, 64], got ", n);
+    if (seed == 0)
+        Fatal("matrix: seed must be nonzero");
+
+    Assembler a(0);
+    // r11 = A, r10 = B, r9 = C; r0 = LCG state.
+    Label heap = a.NewLabel("heap");
+    a.Emit(Opcode::kMoval, {Ref(heap), R(11)});
+    a.Emit(Opcode::kAddl3, {Imm(n * n * 4), R(11), R(10)});
+    a.Emit(Opcode::kAddl3, {Imm(2 * n * n * 4), R(11), R(9)});
+
+    // Fill A and B (contiguous) with small pseudo-random values.
+    a.Emit(Opcode::kMovl, {Imm(seed), R(0)});
+    a.Emit(Opcode::kMovl, {R(11), R(1)});
+    a.Emit(Opcode::kMovl, {Imm(2 * n * n), R(2)});
+    Label fill = a.Here("fill");
+    EmitLcg(a, 0);
+    a.Emit(Opcode::kAshl, {Imm(0xf0 /* -16 */), R(0), R(3)});
+    a.Emit(Opcode::kBicl2, {Imm(0xffff0000), R(3)});
+    a.Emit(Opcode::kMovl, {R(3), Inc(1)});
+    a.Emit(Opcode::kSobgtr, {R(2)}, fill);
+
+    // for i (r4) / j (r5) / k (r6): C[i][j] = sum A[i][k] * B[k][j]
+    a.Emit(Opcode::kClrl, {R(4)});
+    Label iloop = a.Here("iloop");
+    a.Emit(Opcode::kClrl, {R(5)});
+    Label jloop = a.Here("jloop");
+    a.Emit(Opcode::kClrl, {R(7)});  // accumulator
+    a.Emit(Opcode::kClrl, {R(6)});
+    Label kloop = a.Here("kloop");
+    a.Emit(Opcode::kMull3, {Imm(n), R(4), R(8)});
+    a.Emit(Opcode::kAddl2, {R(6), R(8)});
+    a.Emit(Opcode::kAshl, {Imm(2), R(8), R(8)});
+    a.Emit(Opcode::kAddl2, {R(11), R(8)});
+    a.Emit(Opcode::kMovl, {Def(8), R(8)});  // A[i][k]
+    a.Emit(Opcode::kMull3, {Imm(n), R(6), R(3)});
+    a.Emit(Opcode::kAddl2, {R(5), R(3)});
+    a.Emit(Opcode::kAshl, {Imm(2), R(3), R(3)});
+    a.Emit(Opcode::kAddl2, {R(10), R(3)});
+    a.Emit(Opcode::kMovl, {Def(3), R(3)});  // B[k][j]
+    a.Emit(Opcode::kMull2, {R(3), R(8)});
+    a.Emit(Opcode::kAddl2, {R(8), R(7)});
+    a.Emit(Opcode::kIncl, {R(6)});
+    a.Emit(Opcode::kCmpl, {R(6), Imm(n)});
+    a.Emit(Opcode::kBlss, {}, kloop);
+    a.Emit(Opcode::kMull3, {Imm(n), R(4), R(8)});
+    a.Emit(Opcode::kAddl2, {R(5), R(8)});
+    a.Emit(Opcode::kAshl, {Imm(2), R(8), R(8)});
+    a.Emit(Opcode::kAddl2, {R(9), R(8)});
+    a.Emit(Opcode::kMovl, {R(7), Def(8)});  // C[i][j]
+    a.Emit(Opcode::kIncl, {R(5)});
+    a.Emit(Opcode::kCmpl, {R(5), Imm(n)});
+    a.Emit(Opcode::kBlss, {}, jloop);
+    a.Emit(Opcode::kIncl, {R(4)});
+    a.Emit(Opcode::kCmpl, {R(4), Imm(n)});
+    a.Emit(Opcode::kBlss, {}, iloop);
+
+    EmitEpilogue(a, 'm');
+    a.Align(kPageBytes);
+    a.Bind(heap);
+
+    GuestProgram gp;
+    gp.name = "matrix";
+    gp.program = a.Finish();
+    gp.heap_pages = HeapPagesFor(3 * n * n * 4);
+    return gp;
+}
+
+GuestProgram
+MakeSort(uint32_t m, uint32_t seed)
+{
+    if (m < 2 || m > 65536)
+        Fatal("sort: m must be in [2, 65536], got ", m);
+    if (seed == 0)
+        Fatal("sort: seed must be nonzero");
+
+    Assembler a(0);
+    Label heap = a.NewLabel("heap");
+    a.Emit(Opcode::kMoval, {Ref(heap), R(11)});
+
+    a.Emit(Opcode::kMovl, {Imm(seed), R(0)});
+    a.Emit(Opcode::kMovl, {R(11), R(1)});
+    a.Emit(Opcode::kMovl, {Imm(m), R(2)});
+    Label fill = a.Here("fill");
+    EmitLcg(a, 0);
+    a.Emit(Opcode::kAshl, {Imm(0xf0 /* -16 */), R(0), R(3)});
+    a.Emit(Opcode::kBicl2, {Imm(0xffff0000), R(3)});
+    a.Emit(Opcode::kMovl, {R(3), Inc(1)});
+    a.Emit(Opcode::kSobgtr, {R(2)}, fill);
+
+    // Shellsort with gap halving. r10 = gap, r4 = i, r5 = temp, r6 = j.
+    a.Emit(Opcode::kMovl, {Imm(m), R(10)});
+    a.Emit(Opcode::kAshl, {Imm(0xff /* -1 */), R(10), R(10)});
+    Label gaploop = a.Here("gaploop");
+    Label done = a.NewLabel("done");
+    a.Emit(Opcode::kTstl, {R(10)});
+    a.Emit(Opcode::kBeql, {}, done);
+    a.Emit(Opcode::kMovl, {R(10), R(4)});
+    Label outer = a.Here("outer");
+    Label gap_next = a.NewLabel("gap_next");
+    a.Emit(Opcode::kCmpl, {R(4), Imm(m)});
+    a.Emit(Opcode::kBgeq, {}, gap_next);
+    a.Emit(Opcode::kAshl, {Imm(2), R(4), R(3)});
+    a.Emit(Opcode::kAddl2, {R(11), R(3)});
+    a.Emit(Opcode::kMovl, {Def(3), R(5)});  // temp = a[i]
+    a.Emit(Opcode::kMovl, {R(4), R(6)});
+    Label inner = a.Here("inner");
+    Label inner_done = a.NewLabel("inner_done");
+    a.Emit(Opcode::kCmpl, {R(6), R(10)});
+    a.Emit(Opcode::kBlss, {}, inner_done);
+    a.Emit(Opcode::kSubl3, {R(10), R(6), R(7)});  // j - gap
+    a.Emit(Opcode::kAshl, {Imm(2), R(7), R(8)});
+    a.Emit(Opcode::kAddl2, {R(11), R(8)});
+    a.Emit(Opcode::kMovl, {Def(8), R(9)});  // a[j-gap]
+    a.Emit(Opcode::kCmpl, {R(9), R(5)});
+    a.Emit(Opcode::kBleq, {}, inner_done);
+    a.Emit(Opcode::kAshl, {Imm(2), R(6), R(3)});
+    a.Emit(Opcode::kAddl2, {R(11), R(3)});
+    a.Emit(Opcode::kMovl, {R(9), Def(3)});  // a[j] = a[j-gap]
+    a.Emit(Opcode::kMovl, {R(7), R(6)});
+    a.Emit(Opcode::kBrb, {}, inner);
+    a.Bind(inner_done);
+    a.Emit(Opcode::kAshl, {Imm(2), R(6), R(3)});
+    a.Emit(Opcode::kAddl2, {R(11), R(3)});
+    a.Emit(Opcode::kMovl, {R(5), Def(3)});  // a[j] = temp
+    a.Emit(Opcode::kIncl, {R(4)});
+    a.Emit(Opcode::kBrb, {}, outer);
+    a.Bind(gap_next);
+    a.Emit(Opcode::kAshl, {Imm(0xff /* -1 */), R(10), R(10)});
+    a.Emit(Opcode::kBrb, {}, gaploop);
+    a.Bind(done);
+
+    EmitEpilogue(a, 's');
+    a.Align(kPageBytes);
+    a.Bind(heap);
+
+    GuestProgram gp;
+    gp.name = "sort";
+    gp.program = a.Finish();
+    gp.heap_pages = HeapPagesFor(m * 4);
+    return gp;
+}
+
+GuestProgram
+MakeListProc(uint32_t cells, uint32_t iters, uint32_t seed)
+{
+    if (cells < 1 || iters < 1)
+        Fatal("listproc: cells and iters must be >= 1");
+    if (seed == 0)
+        Fatal("listproc: seed must be nonzero");
+
+    Assembler a(0);
+    Label heap = a.NewLabel("heap");
+    a.Emit(Opcode::kMoval, {Ref(heap), R(10)});  // bump pointer
+    a.Emit(Opcode::kClrl, {R(9)});               // head = nil
+    a.Emit(Opcode::kMovl, {Imm(seed), R(0)});
+    a.Emit(Opcode::kMovl, {Imm(cells), R(2)});
+    Label build = a.Here("build");
+    EmitLcg(a, 0);
+    a.Emit(Opcode::kMovl, {R(0), Def(10)});       // car
+    a.Emit(Opcode::kMovl, {R(9), Disp(4, 10)});   // cdr = head
+    a.Emit(Opcode::kMovl, {R(10), R(9)});
+    a.Emit(Opcode::kAddl2, {Imm(8), R(10)});
+    a.Emit(Opcode::kSobgtr, {R(2)}, build);
+
+    a.Emit(Opcode::kMovl, {Imm(iters), R(8)});
+    Label pass = a.Here("pass");
+    // Sum pass.
+    a.Emit(Opcode::kClrl, {R(7)});
+    a.Emit(Opcode::kMovl, {R(9), R(1)});
+    Label sum = a.Here("sum");
+    Label sum_done = a.NewLabel("sum_done");
+    a.Emit(Opcode::kTstl, {R(1)});
+    a.Emit(Opcode::kBeql, {}, sum_done);
+    a.Emit(Opcode::kAddl2, {Def(1), R(7)});
+    a.Emit(Opcode::kMovl, {Disp(4, 1), R(1)});
+    a.Emit(Opcode::kBrb, {}, sum);
+    a.Bind(sum_done);
+    // In-place reverse.
+    a.Emit(Opcode::kClrl, {R(2)});  // prev
+    a.Emit(Opcode::kMovl, {R(9), R(1)});
+    Label rev = a.Here("rev");
+    Label rev_done = a.NewLabel("rev_done");
+    a.Emit(Opcode::kTstl, {R(1)});
+    a.Emit(Opcode::kBeql, {}, rev_done);
+    a.Emit(Opcode::kMovl, {Disp(4, 1), R(3)});
+    a.Emit(Opcode::kMovl, {R(2), Disp(4, 1)});
+    a.Emit(Opcode::kMovl, {R(1), R(2)});
+    a.Emit(Opcode::kMovl, {R(3), R(1)});
+    a.Emit(Opcode::kBrb, {}, rev);
+    a.Bind(rev_done);
+    a.Emit(Opcode::kMovl, {R(2), R(9)});
+    a.Emit(Opcode::kSobgtr, {R(8)}, pass);
+
+    EmitEpilogue(a, 'l');
+    a.Align(kPageBytes);
+    a.Bind(heap);
+
+    GuestProgram gp;
+    gp.name = "listproc";
+    gp.program = a.Finish();
+    gp.heap_pages = HeapPagesFor(cells * 8);
+    return gp;
+}
+
+GuestProgram
+MakeGrep(uint32_t bytes, uint32_t passes, uint32_t seed)
+{
+    if (bytes < 16 || passes < 1)
+        Fatal("grep: bytes must be >= 16 and passes >= 1");
+    if (seed == 0)
+        Fatal("grep: seed must be nonzero");
+
+    Assembler a(0);
+    Label heap = a.NewLabel("heap");
+    a.Emit(Opcode::kMoval, {Ref(heap), R(11)});
+
+    a.Emit(Opcode::kMovl, {Imm(seed), R(0)});
+    a.Emit(Opcode::kMovl, {R(11), R(1)});
+    a.Emit(Opcode::kMovl, {Imm(bytes), R(2)});
+    Label fill = a.Here("fill");
+    EmitLcg(a, 0);
+    a.Emit(Opcode::kAshl, {Imm(0xf0 /* -16 */), R(0), R(3)});
+    a.Emit(Opcode::kMovb, {R(3), Inc(1)});
+    a.Emit(Opcode::kSobgtr, {R(2)}, fill);
+
+    a.Emit(Opcode::kMovl, {Imm(passes), R(8)});
+    Label pass = a.Here("pass");
+    a.Emit(Opcode::kClrl, {R(7)});
+    a.Emit(Opcode::kMovl, {R(11), R(1)});
+    a.Emit(Opcode::kMovl, {Imm(bytes), R(2)});
+    Label scan = a.Here("scan");
+    Label noinc = a.NewLabel("noinc");
+    a.Emit(Opcode::kCmpb, {Inc(1), Imm(0x41)});
+    a.Emit(Opcode::kBneq, {}, noinc);
+    a.Emit(Opcode::kIncl, {R(7)});
+    a.Bind(noinc);
+    a.Emit(Opcode::kSobgtr, {R(2)}, scan);
+    a.Emit(Opcode::kSobgtr, {R(8)}, pass);
+
+    EmitEpilogue(a, 'g');
+    a.Align(kPageBytes);
+    a.Bind(heap);
+
+    GuestProgram gp;
+    gp.name = "grep";
+    gp.program = a.Finish();
+    gp.heap_pages = HeapPagesFor(bytes);
+    return gp;
+}
+
+GuestProgram
+MakeHash(uint32_t tokens, uint32_t seed)
+{
+    if (tokens < 1)
+        Fatal("hash: tokens must be >= 1");
+    if (seed == 0)
+        Fatal("hash: seed must be nonzero");
+    constexpr uint32_t kBuckets = 256;
+
+    Assembler a(0);
+    Label heap = a.NewLabel("heap");
+    Label chainwalk = a.NewLabel("chainwalk");
+    // r11 = table base (demand-zero), r10 = node bump pointer.
+    a.Emit(Opcode::kMoval, {Ref(heap), R(11)});
+    a.Emit(Opcode::kAddl3, {Imm(kBuckets * 4), R(11), R(10)});
+    a.Emit(Opcode::kMovl, {Imm(seed), R(0)});
+    a.Emit(Opcode::kMovl, {Imm(tokens), R(8)});
+
+    Label tok = a.Here("tok");
+    EmitLcg(a, 0);
+    a.Emit(Opcode::kAshl, {Imm(0xf4 /* -12 */), R(0), R(2)});
+    a.Emit(Opcode::kBicl3, {Imm(~(kBuckets - 1)), R(2), R(3)});
+    a.Emit(Opcode::kAshl, {Imm(2), R(3), R(3)});
+    a.Emit(Opcode::kAddl2, {R(11), R(3)});  // r3 = &bucket
+    a.Emit(Opcode::kCalls, {Imm(0), Ref(chainwalk)});
+    // Insert a node: [key][next] at the bump pointer.
+    a.Emit(Opcode::kMovl, {R(0), Def(10)});
+    a.Emit(Opcode::kMovl, {Def(3), R(4)});
+    a.Emit(Opcode::kMovl, {R(4), Disp(4, 10)});
+    a.Emit(Opcode::kMovl, {R(10), Def(3)});
+    a.Emit(Opcode::kAddl2, {Imm(8), R(10)});
+    a.Emit(Opcode::kSobgtr, {R(8)}, tok);
+
+    EmitEpilogue(a, 'c');
+
+    // chainwalk(r3 = &bucket) -> r5 = chain length.
+    a.Bind(chainwalk);
+    a.Emit(Opcode::kMovl, {Def(3), R(4)});
+    a.Emit(Opcode::kClrl, {R(5)});
+    Label cw_loop = a.Here("cw_loop");
+    Label cw_done = a.NewLabel("cw_done");
+    a.Emit(Opcode::kTstl, {R(4)});
+    a.Emit(Opcode::kBeql, {}, cw_done);
+    a.Emit(Opcode::kIncl, {R(5)});
+    a.Emit(Opcode::kMovl, {Disp(4, 4), R(4)});
+    a.Emit(Opcode::kBrb, {}, cw_loop);
+    a.Bind(cw_done);
+    a.Emit(Opcode::kRet);
+
+    a.Align(kPageBytes);
+    a.Bind(heap);
+
+    GuestProgram gp;
+    gp.name = "hash";
+    gp.program = a.Finish();
+    gp.heap_pages = HeapPagesFor(kBuckets * 4 + tokens * 8);
+    return gp;
+}
+
+GuestProgram
+MakeFft(uint32_t size, uint32_t seed)
+{
+    if (!IsPowerOfTwo(size) || size < 4)
+        Fatal("fft: size must be a power of two >= 4, got ", size);
+    if (seed == 0)
+        Fatal("fft: seed must be nonzero");
+
+    Assembler a(0);
+    Label heap = a.NewLabel("heap");
+    a.Emit(Opcode::kMoval, {Ref(heap), R(11)});
+
+    a.Emit(Opcode::kMovl, {Imm(seed), R(0)});
+    a.Emit(Opcode::kMovl, {R(11), R(1)});
+    a.Emit(Opcode::kMovl, {Imm(size), R(2)});
+    Label fill = a.Here("fill");
+    EmitLcg(a, 0);
+    a.Emit(Opcode::kAshl, {Imm(0xf0 /* -16 */), R(0), R(3)});
+    a.Emit(Opcode::kMovl, {R(3), Inc(1)});
+    a.Emit(Opcode::kSobgtr, {R(2)}, fill);
+
+    // Butterfly passes: stride r10 = size/2 .. 1.
+    a.Emit(Opcode::kMovl, {Imm(size / 2), R(10)});
+    Label pass = a.Here("pass");
+    a.Emit(Opcode::kClrl, {R(4)});
+    Label bloop = a.Here("bloop");
+    Label skip = a.NewLabel("skip");
+    a.Emit(Opcode::kBitl, {R(10), R(4)});
+    a.Emit(Opcode::kBneq, {}, skip);
+    a.Emit(Opcode::kAshl, {Imm(2), R(4), R(5)});
+    a.Emit(Opcode::kAddl2, {R(11), R(5)});  // &x[i]
+    a.Emit(Opcode::kAshl, {Imm(2), R(10), R(6)});
+    a.Emit(Opcode::kAddl2, {R(5), R(6)});   // &x[i+stride]
+    a.Emit(Opcode::kMovl, {Def(5), R(7)});
+    a.Emit(Opcode::kMovl, {Def(6), R(8)});
+    a.Emit(Opcode::kAddl3, {R(7), R(8), R(9)});
+    a.Emit(Opcode::kSubl3, {R(8), R(7), R(2)});  // r2 = x[i] - x[i+stride]
+    a.Emit(Opcode::kMovl, {R(9), Def(5)});
+    a.Emit(Opcode::kMovl, {R(2), Def(6)});
+    a.Bind(skip);
+    a.Emit(Opcode::kIncl, {R(4)});
+    a.Emit(Opcode::kCmpl, {R(4), Imm(size)});
+    a.Emit(Opcode::kBlss, {}, bloop);
+    a.Emit(Opcode::kAshl, {Imm(0xff /* -1 */), R(10), R(10)});
+    a.Emit(Opcode::kTstl, {R(10)});
+    a.Emit(Opcode::kBneq, {}, pass);
+
+    EmitEpilogue(a, 'f');
+    a.Align(kPageBytes);
+    a.Bind(heap);
+
+    GuestProgram gp;
+    gp.name = "fft";
+    gp.program = a.Finish();
+    gp.heap_pages = HeapPagesFor(size * 4);
+    return gp;
+}
+
+GuestProgram
+MakeEditor(uint32_t lines, uint32_t passes, uint32_t seed)
+{
+    if (lines < 1 || passes < 1)
+        Fatal("editor: lines and passes must be >= 1");
+    if (seed == 0)
+        Fatal("editor: seed must be nonzero");
+    const uint32_t text_bytes = lines * 41;  // 40 chars + newline per line
+
+    Assembler a(0);
+    Label heap = a.NewLabel("heap");
+    // r11 = text, r10 = yank buffer, r9 = LCG then end-of-text.
+    a.Emit(Opcode::kMoval, {Ref(heap), R(11)});
+    a.Emit(Opcode::kAddl3, {Imm(text_bytes), R(11), R(10)});
+
+    a.Emit(Opcode::kMovl, {Imm(seed), R(9)});
+    a.Emit(Opcode::kMovl, {R(11), R(1)});
+    a.Emit(Opcode::kMovl, {Imm(lines), R(2)});
+    Label fill_line = a.Here("fill_line");
+    a.Emit(Opcode::kMovl, {Imm(40), R(3)});
+    Label fill_ch = a.Here("fill_ch");
+    EmitLcg(a, 9);
+    a.Emit(Opcode::kAshl, {Imm(0xf6 /* -10 */), R(9), R(4)});
+    a.Emit(Opcode::kBicl3, {Imm(~63u), R(4), R(4)});
+    a.Emit(Opcode::kAddl2, {Imm(32), R(4)});  // printable 32..95
+    a.Emit(Opcode::kMovb, {R(4), Inc(1)});
+    a.Emit(Opcode::kSobgtr, {R(3)}, fill_ch);
+    a.Emit(Opcode::kMovb, {Imm('\n'), Inc(1)});
+    a.Emit(Opcode::kSobgtr, {R(2)}, fill_line);
+
+    a.Emit(Opcode::kAddl3, {Imm(text_bytes), R(11), R(9)});  // end
+    a.Emit(Opcode::kMovl, {Imm(passes), R(8)});
+    Label pass = a.Here("pass");
+    a.Emit(Opcode::kMovl, {R(11), R(6)});  // cursor
+    Label scan = a.Here("scan");
+    Label pass_done = a.NewLabel("pass_done");
+    a.Emit(Opcode::kCmpl, {R(6), R(9)});
+    a.Emit(Opcode::kBgequ, {}, pass_done);
+    a.Emit(Opcode::kSubl3, {R(6), R(9), R(5)});  // remaining bytes
+    a.Emit(Opcode::kLocc, {Imm('\n'), R(5), Def(6)});
+    a.Emit(Opcode::kBeql, {}, pass_done);  // Z: no newline left
+    a.Emit(Opcode::kMovl, {R(1), R(7)});   // newline address
+    // Yank the line (<= 64 bytes) and verify the copy.
+    a.Emit(Opcode::kSubl3, {R(6), R(7), R(2)});
+    a.Emit(Opcode::kCmpl, {R(2), Imm(64)});
+    Label len_ok = a.NewLabel("len_ok");
+    a.Emit(Opcode::kBlequ, {}, len_ok);
+    a.Emit(Opcode::kMovl, {Imm(64), R(2)});
+    a.Bind(len_ok);
+    a.Emit(Opcode::kMovc3, {R(2), Def(6), Def(10)});  // clobbers r0-r5
+    a.Emit(Opcode::kSubl3, {R(6), R(7), R(2)});
+    a.Emit(Opcode::kCmpl, {R(2), Imm(64)});
+    Label len_ok2 = a.NewLabel("len_ok2");
+    a.Emit(Opcode::kBlequ, {}, len_ok2);
+    a.Emit(Opcode::kMovl, {Imm(64), R(2)});
+    a.Bind(len_ok2);
+    a.Emit(Opcode::kCmpc3, {R(2), Def(6), Def(10)});
+    a.Emit(Opcode::kAddl3, {Imm(1), R(7), R(6)});  // cursor = nl + 1
+    a.Emit(Opcode::kBrb, {}, scan);
+    a.Bind(pass_done);
+    a.Emit(Opcode::kSobgtr, {R(8)}, pass);
+
+    EmitEpilogue(a, 'e');
+    a.Align(kPageBytes);
+    a.Bind(heap);
+
+    GuestProgram gp;
+    gp.name = "editor";
+    gp.program = a.Finish();
+    gp.heap_pages = HeapPagesFor(text_bytes + 64);
+    return gp;
+}
+
+GuestProgram
+MakeQueueSim(uint32_t events, uint32_t seed)
+{
+    if (events < 1)
+        Fatal("queuesim: events must be >= 1");
+    if (seed == 0)
+        Fatal("queuesim: seed must be nonzero");
+
+    Assembler a(0);
+    Label heap = a.NewLabel("heap");
+    // r11 = queue header, r10 = entry pool bump, r9 = LCG, r8 = event
+    // counter, r7 = checksum. Entries: [next][prev][type][value].
+    a.Emit(Opcode::kMoval, {Ref(heap), R(11)});
+    a.Emit(Opcode::kMovl, {R(11), Def(11)});       // header.next = header
+    a.Emit(Opcode::kMovl, {R(11), Disp(4, 11)});   // header.prev = header
+    a.Emit(Opcode::kAddl3, {Imm(16), R(11), R(10)});
+    a.Emit(Opcode::kMovl, {Imm(seed), R(9)});
+    a.Emit(Opcode::kMovl, {Imm(events), R(8)});
+    a.Emit(Opcode::kClrl, {R(7)});
+
+    Label ev_loop = a.Here("ev_loop");
+    EmitLcg(a, 9);
+    a.Emit(Opcode::kBicl3, {Imm(~3u), R(9), R(2)});
+    a.Emit(Opcode::kMovl, {R(2), Disp(8, 10)});   // type
+    a.Emit(Opcode::kMovl, {R(9), Disp(12, 10)});  // value
+    a.Emit(Opcode::kMovl, {Disp(4, 11), R(3)});   // tail = header.prev
+    a.Emit(Opcode::kInsque, {Def(10), Def(3)});   // insert at tail
+    a.Emit(Opcode::kAddl2, {Imm(16), R(10)});
+
+    // Every 4th event, service the head of the queue.
+    Label ev_next = a.NewLabel("ev_next");
+    a.Emit(Opcode::kBicl3, {Imm(~3u), R(8), R(4)});
+    a.Emit(Opcode::kTstl, {R(4)});
+    a.Emit(Opcode::kBneq, {}, ev_next);
+    a.Emit(Opcode::kMovl, {Def(11), R(5)});  // head entry
+    a.Emit(Opcode::kCmpl, {R(5), R(11)});
+    a.Emit(Opcode::kBeql, {}, ev_next);      // queue empty
+    a.Emit(Opcode::kRemque, {Def(5), R(6)});
+    a.Emit(Opcode::kMovl, {Disp(8, 5), R(2)});
+    Label t0 = a.NewLabel("t0");
+    Label t1 = a.NewLabel("t1");
+    Label t2 = a.NewLabel("t2");
+    Label t3 = a.NewLabel("t3");
+    a.Emit(Opcode::kCasel, {R(2), Imm(0), Imm(3)});
+    a.CaseTable({t0, t1, t2, t3});
+    a.Bind(t0);
+    a.Emit(Opcode::kAddl2, {Disp(12, 5), R(7)});
+    a.Emit(Opcode::kBrb, {}, ev_next);
+    a.Bind(t1);
+    a.Emit(Opcode::kXorl2, {Disp(12, 5), R(7)});
+    a.Emit(Opcode::kBrb, {}, ev_next);
+    a.Bind(t2);
+    a.Emit(Opcode::kIncl, {R(7)});
+    a.Emit(Opcode::kBrb, {}, ev_next);
+    a.Bind(t3);
+    a.Emit(Opcode::kSubl2, {Disp(12, 5), R(7)});
+    a.Bind(ev_next);
+    a.Emit(Opcode::kSobgtr, {R(8)}, ev_loop);
+
+    // Drain what is left.
+    Label drain = a.Here("drain");
+    Label done = a.NewLabel("done");
+    a.Emit(Opcode::kMovl, {Def(11), R(5)});
+    a.Emit(Opcode::kCmpl, {R(5), R(11)});
+    a.Emit(Opcode::kBeql, {}, done);
+    a.Emit(Opcode::kRemque, {Def(5), R(6)});
+    a.Emit(Opcode::kAddl2, {Disp(12, 5), R(7)});
+    a.Emit(Opcode::kBrb, {}, drain);
+    a.Bind(done);
+
+    EmitEpilogue(a, 'q');
+    a.Align(kPageBytes);
+    a.Bind(heap);
+
+    GuestProgram gp;
+    gp.name = "queuesim";
+    gp.program = a.Finish();
+    gp.heap_pages = HeapPagesFor(16 + events * 16);
+    return gp;
+}
+
+std::vector<GuestProgram>
+MakePipelinePair(uint32_t count, uint32_t seed)
+{
+    if (count < 1)
+        Fatal("pipeline: count must be >= 1");
+    if (seed == 0)
+        Fatal("pipeline: seed must be nonzero");
+
+    // Producer: LCG bytes through the kernel mailbox, yielding when full.
+    Assembler p(0);
+    p.Emit(Opcode::kMovl, {Imm(count), R(8)});
+    p.Emit(Opcode::kMovl, {Imm(seed), R(9)});
+    Label p_loop = p.Here("p_loop");
+    EmitLcg(p, 9);
+    p.Emit(Opcode::kAshl, {Imm(0xf8 /* -8 */), R(9), R(1)});
+    Label p_retry = p.Here("p_retry");
+    p.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kSend))});
+    p.Emit(Opcode::kTstl, {R(0)});
+    Label p_sent = p.NewLabel("p_sent");
+    p.Emit(Opcode::kBneq, {}, p_sent);
+    p.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kYield))});
+    p.Emit(Opcode::kBrb, {}, p_retry);
+    p.Bind(p_sent);
+    p.Emit(Opcode::kSobgtr, {R(8)}, p_loop);
+    EmitEpilogue(p, '>');
+
+    // Consumer: receive `count` bytes, accumulating a checksum.
+    Assembler c(0);
+    c.Emit(Opcode::kMovl, {Imm(count), R(8)});
+    c.Emit(Opcode::kClrl, {R(7)});
+    Label c_loop = c.Here("c_loop");
+    c.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kRecv))});
+    c.Emit(Opcode::kCmpl, {R(0), Imm(0xffffffff)});
+    Label c_got = c.NewLabel("c_got");
+    c.Emit(Opcode::kBneq, {}, c_got);
+    c.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kYield))});
+    c.Emit(Opcode::kBrb, {}, c_loop);
+    c.Bind(c_got);
+    c.Emit(Opcode::kAddl2, {R(0), R(7)});
+    c.Emit(Opcode::kSobgtr, {R(8)}, c_loop);
+    EmitEpilogue(c, '<');
+
+    GuestProgram producer;
+    producer.name = "pipe-producer";
+    producer.program = p.Finish();
+    producer.heap_pages = 2;
+    producer.stack_pages = 2;
+    GuestProgram consumer;
+    consumer.name = "pipe-consumer";
+    consumer.program = c.Finish();
+    consumer.heap_pages = 2;
+    consumer.stack_pages = 2;
+    return {std::move(producer), std::move(consumer)};
+}
+
+const std::vector<std::string>&
+AllWorkloadNames()
+{
+    static const std::vector<std::string>& names = *new std::vector<std::string>{
+        "matrix", "sort", "listproc", "grep", "hash", "fft", "editor",
+        "queuesim",
+    };
+    return names;
+}
+
+kernel::GuestProgram
+MakeWorkload(const std::string& name, uint32_t scale)
+{
+    if (scale < 1)
+        Fatal("workload scale must be >= 1");
+    if (name == "matrix")
+        return MakeMatrix(16 * scale > 64 ? 64 : 16 * scale);
+    if (name == "sort")
+        return MakeSort(600 * scale);
+    if (name == "listproc")
+        return MakeListProc(400 * scale, 24);
+    if (name == "grep")
+        return MakeGrep(8192 * scale, 6);
+    if (name == "hash")
+        return MakeHash(2500 * scale);
+    if (name == "fft") {
+        uint32_t size = 512;
+        while (size < 512 * scale)
+            size <<= 1;
+        return MakeFft(size);
+    }
+    if (name == "editor")
+        return MakeEditor(40 * scale, 4);
+    if (name == "queuesim")
+        return MakeQueueSim(600 * scale);
+    Fatal("unknown workload: ", name);
+}
+
+std::vector<kernel::GuestProgram>
+StandardMix(uint32_t scale)
+{
+    return {MakeWorkload("hash", scale), MakeWorkload("matrix", scale),
+            MakeWorkload("listproc", scale)};
+}
+
+}  // namespace atum::workloads

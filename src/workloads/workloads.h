@@ -1,0 +1,86 @@
+#ifndef ATUM_WORKLOADS_WORKLOADS_H_
+#define ATUM_WORKLOADS_WORKLOADS_H_
+
+/**
+ * @file
+ * Guest workload programs.
+ *
+ * ATUM traced real multiprogrammed workloads (compilers, Lisp, CAD, text
+ * tools) under VMS and Ultrix. These generators produce VCX-32 programs
+ * with the corresponding memory-behaviour *signatures*, which is what the
+ * cache/TLB/working-set studies depend on:
+ *
+ *   - matrix:   dense loop nests, strided + repeated-row access
+ *   - sort:     shellsort; shrinking-stride swaps over one array
+ *   - listproc: Lisp-flavoured cons-cell build/traverse/reverse chains
+ *   - grep:     streaming byte scan with tiny loop body
+ *   - hash:     compiler-symbol-table flavour: hash, chain walk (pointer
+ *               chasing), node allocation, subroutine calls
+ *   - fft:      butterfly strides (power-of-two stride sweep)
+ *
+ * Every program is deterministic (guest-side LCG with a fixed seed),
+ * allocates from its demand-zero heap (exercising the kernel pager), makes
+ * system calls, and exits via CHMK #0.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel/boot.h"
+
+namespace atum::workloads {
+
+/** Matrix multiply, `n` x `n` (n >= 2). */
+kernel::GuestProgram MakeMatrix(uint32_t n = 16, uint32_t seed = 0x1234567);
+
+/** Shellsort of `m` longwords (m >= 2). */
+kernel::GuestProgram MakeSort(uint32_t m = 600, uint32_t seed = 0x2345678);
+
+/** Cons-list build + `iters` x (sum + reverse) over `cells` cells. */
+kernel::GuestProgram MakeListProc(uint32_t cells = 400, uint32_t iters = 24,
+                                  uint32_t seed = 0x3456789);
+
+/** Byte-scan over a `bytes`-sized buffer, `passes` times. */
+kernel::GuestProgram MakeGrep(uint32_t bytes = 8192, uint32_t passes = 6,
+                              uint32_t seed = 0x456789a);
+
+/** Hash-table insert/probe of `tokens` tokens (256 chains). */
+kernel::GuestProgram MakeHash(uint32_t tokens = 2500,
+                              uint32_t seed = 0x56789ab);
+
+/** Butterfly passes over `size` longwords; `size` a power of two >= 4. */
+kernel::GuestProgram MakeFft(uint32_t size = 512, uint32_t seed = 0x6789abc);
+
+/** Text-editor flavour: LOCC line scanning, MOVC3 yanks, CMPC3 verifies. */
+kernel::GuestProgram MakeEditor(uint32_t lines = 40, uint32_t passes = 4,
+                                uint32_t seed = 0x789abcd);
+
+/** Event-queue flavour: INSQUE/REMQUE work queue with CASEL dispatch. */
+kernel::GuestProgram MakeQueueSim(uint32_t events = 600,
+                                  uint32_t seed = 0x89abcde);
+
+/**
+ * A producer/consumer pair communicating `count` bytes through the kernel
+ * mailbox (kSend/kRecv with yield-on-contention). Returns {producer,
+ * consumer}; boot them together. Heavy on system-call traffic.
+ */
+std::vector<kernel::GuestProgram> MakePipelinePair(
+    uint32_t count = 400, uint32_t seed = 0x9abcdef);
+
+/** Names accepted by MakeWorkload. */
+const std::vector<std::string>& AllWorkloadNames();
+
+/**
+ * Builds a workload by name with its main size parameter multiplied by
+ * `scale` (>= 1). Fatal on an unknown name.
+ */
+kernel::GuestProgram MakeWorkload(const std::string& name,
+                                  uint32_t scale = 1);
+
+/** A standard three-process mix used by several experiments. */
+std::vector<kernel::GuestProgram> StandardMix(uint32_t scale = 1);
+
+}  // namespace atum::workloads
+
+#endif  // ATUM_WORKLOADS_WORKLOADS_H_

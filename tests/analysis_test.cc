@@ -1,0 +1,319 @@
+// Unit tests for the analysis library: working sets, footprints, and the
+// cache sweep helpers.
+
+#include <gtest/gtest.h>
+
+#include "analysis/compare.h"
+#include "analysis/mix.h"
+#include "analysis/stack_distance.h"
+#include "analysis/working_set.h"
+#include "mem/physical_memory.h"
+#include "trace/record.h"
+#include "util/rng.h"
+
+namespace atum::analysis {
+namespace {
+
+using trace::MakeCtxSwitch;
+using trace::MakeFlags;
+using trace::Record;
+using trace::RecordType;
+
+Record
+Ref(uint32_t addr, bool kernel = false, RecordType type = RecordType::kRead)
+{
+    Record r;
+    r.addr = addr;
+    r.type = type;
+    r.flags = MakeFlags(kernel, 4);
+    return r;
+}
+
+TEST(WorkingSet, SinglePageConverges)
+{
+    WorkingSetAnalyzer ws({1, 10, 100});
+    for (int i = 0; i < 1000; ++i)
+        ws.Touch(5);
+    EXPECT_EQ(ws.total_refs(), 1000u);
+    EXPECT_EQ(ws.distinct_pages(), 1u);
+    // One page re-touched every step: s(tau) ~= 1 for every tau.
+    EXPECT_NEAR(ws.AverageWorkingSet(0), 1.0, 0.01);
+    EXPECT_NEAR(ws.AverageWorkingSet(1), 1.0, 0.1);
+}
+
+TEST(WorkingSet, RoundRobinOverKPages)
+{
+    // Cycling over k pages: s(tau) ~= min(tau, k).
+    constexpr uint32_t k = 8;
+    WorkingSetAnalyzer ws({4, 8, 64});
+    for (int i = 0; i < 8000; ++i)
+        ws.Touch(i % k);
+    EXPECT_NEAR(ws.AverageWorkingSet(0), 4.0, 0.1);
+    EXPECT_NEAR(ws.AverageWorkingSet(1), 8.0, 0.1);
+    EXPECT_NEAR(ws.AverageWorkingSet(2), 8.0, 0.5);
+}
+
+TEST(WorkingSet, MoreDistinctPagesGrowTheSet)
+{
+    WorkingSetAnalyzer narrow({100});
+    WorkingSetAnalyzer wide({100});
+    for (int i = 0; i < 10000; ++i) {
+        narrow.Touch(i % 4);
+        wide.Touch(i % 64);
+    }
+    EXPECT_LT(narrow.AverageWorkingSet(0), wide.AverageWorkingSet(0));
+}
+
+TEST(WorkingSet, FeedSkipsMarkersAndPte)
+{
+    WorkingSetAnalyzer ws({10});
+    ws.Feed(Ref(0x1000));
+    ws.Feed(MakeCtxSwitch(1, 0));
+    ws.Feed(Ref(0x2000, true, RecordType::kPte));
+    EXPECT_EQ(ws.total_refs(), 1u);
+}
+
+TEST(WorkingSetDeath, BadWindowsAreFatal)
+{
+    EXPECT_DEATH(WorkingSetAnalyzer({}), "at least one");
+    EXPECT_DEATH(WorkingSetAnalyzer({0}), "nonzero");
+}
+
+TEST(PageOfHelper, UsesPageShift)
+{
+    EXPECT_EQ(PageOf(Ref(0)), 0u);
+    EXPECT_EQ(PageOf(Ref(kPageBytes)), 1u);
+    EXPECT_EQ(PageOf(Ref(kPageBytes - 1)), 0u);
+}
+
+TEST(Footprint, SplitsKernelAndUser)
+{
+    FootprintAnalyzer fp;
+    fp.Feed(MakeCtxSwitch(1, 0));
+    fp.Feed(Ref(0x0000));
+    fp.Feed(Ref(0x0200));
+    fp.Feed(Ref(0x80000000, /*kernel=*/true));
+    fp.Feed(MakeCtxSwitch(2, 0));
+    fp.Feed(Ref(0x0000));  // same page, different process
+    EXPECT_EQ(fp.total_pages(), 3u);
+    EXPECT_EQ(fp.user_pages(), 2u);
+    EXPECT_EQ(fp.kernel_pages(), 1u);
+    EXPECT_EQ(fp.per_pid().at(1).size(), 2u);
+    EXPECT_EQ(fp.per_pid().at(2).size(), 1u);
+}
+
+TEST(Footprint, PteExcluded)
+{
+    FootprintAnalyzer fp;
+    fp.Feed(Ref(0x3000, true, RecordType::kPte));
+    EXPECT_EQ(fp.total_pages(), 0u);
+}
+
+TEST(Compare, SimulateCacheCountsFilteredStream)
+{
+    std::vector<Record> records;
+    for (int i = 0; i < 10; ++i)
+        records.push_back(Ref(0x100));
+    cache::CacheConfig config{.size_bytes = 1024, .block_bytes = 16,
+                              .assoc = 1};
+    const auto stats = SimulateCache(records, config, {});
+    EXPECT_EQ(stats.accesses, 10u);
+    EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(Compare, SweepCacheSizeIsMonotoneForLoopingTrace)
+{
+    // A looping footprint larger than the small cache but smaller than the
+    // big one: miss rate must not increase with size.
+    std::vector<Record> records;
+    for (int pass = 0; pass < 50; ++pass)
+        for (uint32_t a = 0; a < 8192; a += 16)
+            records.push_back(Ref(a));
+    cache::CacheConfig base{.block_bytes = 16, .assoc = 1};
+    const auto points =
+        SweepCacheSize(records, {1024, 4096, 16384}, base, {});
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_GE(points[0].miss_rate, points[1].miss_rate);
+    EXPECT_GE(points[1].miss_rate, points[2].miss_rate);
+    // Only cold misses remain once the footprint fits: 512 blocks out of
+    // 25600 accesses = 0.02.
+    EXPECT_LE(points[2].miss_rate, 0.02 + 1e-9);
+}
+
+TEST(Compare, SweepBlockSizeHelpsSequentialTrace)
+{
+    std::vector<Record> records;
+    for (uint32_t a = 0; a < 65536; a += 4)
+        records.push_back(Ref(a));
+    cache::CacheConfig base{.size_bytes = 16384, .assoc = 1};
+    const auto points = SweepBlockSize(records, {4, 16, 64}, base, {});
+    // Sequential scan: bigger blocks mean fewer misses.
+    EXPECT_GT(points[0].miss_rate, points[1].miss_rate);
+    EXPECT_GT(points[1].miss_rate, points[2].miss_rate);
+}
+
+TEST(Compare, SweepAssociativityFixesConflicts)
+{
+    // Two blocks that conflict direct-mapped but coexist 2-way.
+    std::vector<Record> records;
+    for (int i = 0; i < 100; ++i) {
+        records.push_back(Ref(0x0));
+        records.push_back(Ref(0x1000));
+    }
+    cache::CacheConfig base{.size_bytes = 4096, .block_bytes = 16};
+    const auto points = SweepAssociativity(records, {1, 2}, base, {});
+    EXPECT_GT(points[0].miss_rate, 0.9);
+    EXPECT_LT(points[1].miss_rate, 0.1);
+}
+
+
+TEST(StackDistance, ColdMissesOnly)
+{
+    StackDistanceAnalyzer sd(0);
+    for (uint32_t b = 0; b < 100; ++b)
+        sd.TouchBlock(b);
+    EXPECT_EQ(sd.cold_misses(), 100u);
+    EXPECT_EQ(sd.MissesForCapacity(1), 100u);
+    EXPECT_EQ(sd.MissesForCapacity(1000), 100u);
+}
+
+TEST(StackDistance, ImmediateReuseIsDistanceZero)
+{
+    StackDistanceAnalyzer sd(0);
+    sd.TouchBlock(7);
+    sd.TouchBlock(7);
+    EXPECT_EQ(sd.DistanceCount(0), 1u);
+    EXPECT_EQ(sd.MissesForCapacity(1), 1u);  // only the cold miss
+}
+
+TEST(StackDistance, LoopOverKBlocks)
+{
+    // Cycling over k blocks: every re-access has distance k-1, so a cache
+    // of capacity >= k never misses after warmup and one of capacity < k
+    // always misses.
+    constexpr uint32_t k = 16;
+    StackDistanceAnalyzer sd(0);
+    for (int i = 0; i < 1600; ++i)
+        sd.TouchBlock(i % k);
+    EXPECT_EQ(sd.MissesForCapacity(k), k);            // cold only
+    EXPECT_EQ(sd.MissesForCapacity(k - 1), 1600u);    // every access
+}
+
+TEST(StackDistance, MatchesFullyAssociativeLruSimulation)
+{
+    // Cross-validation: the one-pass analyzer must agree exactly with the
+    // direct fully-associative LRU cache model at every capacity.
+    Rng rng(4242);
+    std::vector<uint32_t> addrs;
+    for (int i = 0; i < 30000; ++i) {
+        // A mix of looping, clustered, and random accesses.
+        uint32_t addr;
+        switch (rng.Below(3)) {
+          case 0:
+            addr = (i % 700) * 16;
+            break;
+          case 1:
+            addr = 0x100000 + rng.Below(256) * 16;
+            break;
+          default:
+            addr = rng.Below(1u << 20);
+        }
+        addrs.push_back(addr);
+    }
+
+    StackDistanceAnalyzer sd(4);  // 16-byte blocks
+    for (uint32_t a : addrs)
+        sd.TouchBlock(a >> 4);
+
+    for (uint32_t blocks : {16u, 64u, 256u, 1024u}) {
+        cache::Cache c({.size_bytes = blocks * 16,
+                        .block_bytes = 16,
+                        .assoc = 0});
+        for (uint32_t a : addrs)
+            c.Access(a, false);
+        EXPECT_EQ(sd.MissesForCapacity(blocks), c.stats().misses)
+            << "capacity " << blocks;
+    }
+}
+
+TEST(StackDistance, MissCountMonotoneInCapacity)
+{
+    Rng rng(99);
+    StackDistanceAnalyzer sd(4);
+    for (int i = 0; i < 20000; ++i)
+        sd.TouchBlock(rng.Below(5000));
+    uint64_t prev = sd.MissesForCapacity(1);
+    for (uint64_t c = 2; c < 4096; c *= 2) {
+        const uint64_t m = sd.MissesForCapacity(c);
+        EXPECT_LE(m, prev);
+        prev = m;
+    }
+    EXPECT_EQ(sd.MissesForCapacity(1u << 20), sd.cold_misses());
+}
+
+TEST(StackDistanceDeath, ZeroCapacityIsFatal)
+{
+    StackDistanceAnalyzer sd(4);
+    sd.TouchBlock(1);
+    EXPECT_DEATH(sd.MissesForCapacity(0), "nonzero");
+}
+
+
+TEST(SetSampling, UniformTrafficGivesAccurateEstimates)
+{
+    // Uniform random addresses spread traffic evenly over sets, the
+    // regime where set sampling is trustworthy.
+    Rng rng(2024);
+    std::vector<Record> records;
+    for (int i = 0; i < 200000; ++i)
+        records.push_back(Ref(rng.Below(1u << 18) & ~3u));
+    cache::CacheConfig config{.size_bytes = 16u << 10, .block_bytes = 16,
+                              .assoc = 1};
+    const auto full = SimulateCache(records, config, {});
+    const auto sampled = SetSampledMissRate(records, config, {}, 2);
+    EXPECT_NEAR(sampled.MissRate(), full.MissRate(),
+                0.05 * full.MissRate());
+    // Roughly a quarter of the accesses land in the sampled sets.
+    EXPECT_NEAR(static_cast<double>(sampled.sampled_accesses),
+                static_cast<double>(full.accesses) / 4.0,
+                0.05 * static_cast<double>(full.accesses));
+}
+
+TEST(SetSampling, SampledSubsetIsExactPerSet)
+{
+    // Sets are independent, so the sampled simulation must agree exactly
+    // with per-set accounting inside a full simulation.
+    Rng rng(7);
+    std::vector<Record> records;
+    for (int i = 0; i < 50000; ++i) {
+        // Skewed: half the traffic in one hot block.
+        const uint32_t addr =
+            rng.Below(2) == 0 ? 0x5550 : rng.Below(1u << 16) & ~3u;
+        records.push_back(Ref(addr));
+    }
+    cache::CacheConfig config{.size_bytes = 4096, .block_bytes = 16,
+                              .assoc = 1};
+    cache::Cache full(config);
+    const uint32_t sets = full.num_sets();
+    std::vector<uint64_t> acc(sets, 0), mis(sets, 0);
+    for (const Record& r : records) {
+        const uint32_t set = (r.addr >> 4) & (sets - 1);
+        const bool hit = full.Access(r.addr, false);
+        ++acc[set];
+        if (!hit)
+            ++mis[set];
+    }
+    uint64_t want_acc = 0, want_mis = 0;
+    for (uint32_t set = 0; set < sets; ++set) {
+        if ((((set * 2654435761u) >> 16) & 3) == 0) {
+            want_acc += acc[set];
+            want_mis += mis[set];
+        }
+    }
+    const auto sampled = SetSampledMissRate(records, config, {}, 2);
+    EXPECT_EQ(sampled.sampled_accesses, want_acc);
+    EXPECT_EQ(sampled.sampled_misses, want_mis);
+}
+
+}  // namespace
+}  // namespace atum::analysis

@@ -1,0 +1,246 @@
+// Unit tests for the assembler: encoding, label fixups, directives, and a
+// decode round-trip over every addressing mode.
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "isa/decoder.h"
+#include "isa/disassembler.h"
+
+namespace atum::assembler {
+namespace {
+
+using isa::AddrMode;
+using isa::Opcode;
+
+TEST(Assembler, SimpleEncode)
+{
+    Assembler a(0);
+    a.Emit(Opcode::kMovl, {R(1), R(2)});
+    Program p = a.Finish();
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_EQ(p.bytes[0], static_cast<uint8_t>(Opcode::kMovl));
+    EXPECT_EQ(p.bytes[1], 0x01);
+    EXPECT_EQ(p.bytes[2], 0x02);
+}
+
+TEST(Assembler, ImmediateSizes)
+{
+    Assembler a(0);
+    a.Emit(Opcode::kMovl, {Imm(0x11223344), R(0)});  // long imm: 4 bytes
+    a.Emit(Opcode::kMovb, {Imm(0x7f), R(1)});        // byte imm: 1 byte
+    Program p = a.Finish();
+    EXPECT_EQ(p.size(), 7u + 4u);
+    EXPECT_EQ(p.bytes[2], 0x44);
+    EXPECT_EQ(p.bytes[5], 0x11);
+}
+
+TEST(Assembler, DispPicksByteForm)
+{
+    Assembler a(0);
+    a.Emit(Opcode::kTstl, {Disp(100, 2)});   // fits in d8
+    a.Emit(Opcode::kTstl, {Disp(1000, 2)});  // needs d32
+    Program p = a.Finish();
+    auto first = isa::DecodeBuffer(p.bytes, 0);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->operands[0].mode, AddrMode::kDisp8);
+    auto second = isa::DecodeBuffer(p.bytes, first->length);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->operands[0].mode, AddrMode::kDisp32);
+    EXPECT_EQ(second->operands[0].disp, 1000);
+}
+
+TEST(Assembler, BackwardBranch)
+{
+    Assembler a(0x100);
+    Label loop = a.Here("loop");
+    a.Emit(Opcode::kNop);
+    a.Emit(Opcode::kBrb, {}, loop);
+    Program p = a.Finish();
+    // brb at 0x101, displacement byte at 0x102, end at 0x103;
+    // target 0x100 => disp = 0x100 - 0x103 = -3.
+    EXPECT_EQ(static_cast<int8_t>(p.bytes[2]), -3);
+}
+
+TEST(Assembler, ForwardBranch)
+{
+    Assembler a(0);
+    Label fwd = a.NewLabel("fwd");
+    a.Emit(Opcode::kBeql, {}, fwd);
+    a.Emit(Opcode::kNop);
+    a.Bind(fwd);
+    Program p = a.Finish();
+    EXPECT_EQ(static_cast<int8_t>(p.bytes[1]), 1);  // skip the NOP
+}
+
+TEST(Assembler, Branch16)
+{
+    Assembler a(0);
+    Label fwd = a.NewLabel("fwd");
+    a.Emit(Opcode::kBrw, {}, fwd);
+    a.Space(300);
+    a.Bind(fwd);
+    Program p = a.Finish();
+    const int16_t disp =
+        static_cast<int16_t>(p.bytes[1] | (p.bytes[2] << 8));
+    EXPECT_EQ(disp, 300);
+}
+
+TEST(Assembler, PcRelativeRef)
+{
+    Assembler a(0x1000);
+    Label data = a.NewLabel("data");
+    a.Emit(Opcode::kMovl, {Ref(data), R(0)});
+    a.Bind(data);
+    a.Long(0xdeadbeef);
+    Program p = a.Finish();
+    // movl d32(pc), r0: opcode, spec(0x5f), d32, spec(0x00) = 7 bytes.
+    // PC at the time of use = address after the d32 field = 0x1006.
+    // data = 0x1007, so disp = 1.
+    auto inst = isa::DecodeBuffer(p.bytes, 0);
+    ASSERT_TRUE(inst.has_value());
+    EXPECT_EQ(inst->operands[0].mode, AddrMode::kDisp32);
+    EXPECT_EQ(inst->operands[0].reg, isa::kRegPc);
+    EXPECT_EQ(inst->operands[0].disp, 1);
+}
+
+TEST(Assembler, AbsRefAndLongRef)
+{
+    Assembler a(0x2000);
+    Label target = a.NewLabel("target");
+    a.Emit(Opcode::kJmp, {AbsRef(target)});
+    a.LongRef(target);
+    a.Bind(target);
+    Program p = a.Finish();
+    const uint32_t target_addr = p.SymbolAddr("target");
+    // jmp @#target: opcode + spec + 4 bytes; LongRef 4 bytes.
+    uint32_t encoded = 0;
+    for (int i = 0; i < 4; ++i)
+        encoded |= static_cast<uint32_t>(p.bytes[2 + i]) << (8 * i);
+    EXPECT_EQ(encoded, target_addr);
+    uint32_t data = 0;
+    for (int i = 0; i < 4; ++i)
+        data |= static_cast<uint32_t>(p.bytes[6 + i]) << (8 * i);
+    EXPECT_EQ(data, target_addr);
+}
+
+TEST(Assembler, DirectivesAndSymbols)
+{
+    Assembler a(0);
+    a.Byte(1);
+    a.Align(4);
+    Label here = a.Here("aligned");
+    a.Long(7);
+    a.Space(3);
+    Program p = a.Finish();
+    EXPECT_EQ(p.SymbolAddr("aligned"), 4u);
+    EXPECT_EQ(p.size(), 11u);
+    (void)here;
+}
+
+TEST(Assembler, RoundTripAllModes)
+{
+    Assembler a(0);
+    a.Emit(Opcode::kMovl, {R(1), R(2)});
+    a.Emit(Opcode::kMovl, {Def(3), R(2)});
+    a.Emit(Opcode::kMovl, {Inc(4), R(2)});
+    a.Emit(Opcode::kMovl, {Dec(5), R(2)});
+    a.Emit(Opcode::kMovl, {Disp(-8, 6), R(2)});
+    a.Emit(Opcode::kMovl, {Disp(100000, 7), R(2)});
+    a.Emit(Opcode::kMovl, {DispDef(12, 8), R(2)});
+    a.Emit(Opcode::kMovl, {Imm(42), R(2)});
+    a.Emit(Opcode::kMovl, {Abs(0x8000), R(2)});
+    Program p = a.Finish();
+
+    uint32_t off = 0;
+    const AddrMode expect[] = {
+        AddrMode::kReg,    AddrMode::kRegDef,    AddrMode::kAutoInc,
+        AddrMode::kAutoDec, AddrMode::kDisp8,    AddrMode::kDisp32,
+        AddrMode::kDisp32Def, AddrMode::kImm,    AddrMode::kAbs,
+    };
+    for (AddrMode m : expect) {
+        auto inst = isa::DecodeBuffer(p.bytes, off);
+        ASSERT_TRUE(inst.has_value()) << "at offset " << off;
+        EXPECT_EQ(inst->operands[0].mode, m);
+        off += inst->length;
+    }
+    EXPECT_EQ(off, p.size());
+}
+
+TEST(AssemblerDeath, UnboundLabelIsFatal)
+{
+    Assembler a(0);
+    Label missing = a.NewLabel("missing");
+    a.Emit(Opcode::kBrb, {}, missing);
+    EXPECT_DEATH(a.Finish(), "unbound label");
+}
+
+TEST(AssemblerDeath, BranchOutOfRangeIsFatal)
+{
+    Assembler a(0);
+    Label far = a.NewLabel("far");
+    a.Emit(Opcode::kBrb, {}, far);
+    a.Space(300);
+    a.Bind(far);
+    EXPECT_DEATH(a.Finish(), "out of byte range");
+}
+
+TEST(AssemblerDeath, WrongOperandCountIsFatal)
+{
+    Assembler a(0);
+    EXPECT_DEATH(a.Emit(Opcode::kMovl, {R(1)}), "general operand");
+}
+
+TEST(AssemblerDeath, MissingBranchLabelIsFatal)
+{
+    Assembler a(0);
+    EXPECT_DEATH(a.Emit(Opcode::kBrb, {}), "branch label");
+}
+
+TEST(AssemblerDeath, ImmediateDestinationIsFatal)
+{
+    Assembler a(0);
+    EXPECT_DEATH(a.Emit(Opcode::kClrl, {Imm(1)}), "immediate operand");
+}
+
+TEST(AssemblerDeath, DoubleBindIsFatal)
+{
+    Assembler a(0);
+    Label l = a.Here("l");
+    EXPECT_DEATH(a.Bind(l), "bound twice");
+}
+
+
+TEST(Assembler, CaseTableDisplacementsRelativeToTableStart)
+{
+    Assembler a(0x100);
+    Label t0 = a.NewLabel("t0");
+    Label t1 = a.NewLabel("t1");
+    a.Emit(Opcode::kCasel, {R(1), Imm(0), Imm(1)});
+    const uint32_t table_addr = a.here();
+    a.CaseTable({t0, t1});
+    a.Bind(t0);
+    a.Emit(Opcode::kNop);
+    a.Bind(t1);
+    Program p = a.Finish();
+    const uint32_t table_off = table_addr - 0x100;
+    const int16_t d0 = static_cast<int16_t>(
+        p.bytes[table_off] | (p.bytes[table_off + 1] << 8));
+    const int16_t d1 = static_cast<int16_t>(
+        p.bytes[table_off + 2] | (p.bytes[table_off + 3] << 8));
+    EXPECT_EQ(d0, 4);  // t0 right after the 2-entry table
+    EXPECT_EQ(d1, 5);  // t1 one NOP later
+}
+
+TEST(AssemblerDeath, CaseTargetOutOfRangeIsFatal)
+{
+    Assembler a(0);
+    Label far = a.NewLabel("far");
+    a.CaseTable({far});
+    a.Space(40000);
+    a.Bind(far);
+    EXPECT_DEATH(a.Finish(), "out of word range");
+}
+
+}  // namespace
+}  // namespace atum::assembler

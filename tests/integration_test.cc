@@ -1,0 +1,243 @@
+// End-to-end tests: capture a full-system ATUM trace of a multiprogrammed
+// workload and check that the paper's qualitative findings reproduce —
+// the OS accounts for a substantial share of references, user-only traces
+// understate miss rates, PID tags beat flush-on-switch, and tracing costs
+// roughly an order of magnitude in time.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "analysis/compare.h"
+#include "cache/hierarchy.h"
+#include "analysis/mix.h"
+#include "analysis/working_set.h"
+#include "core/atum_tracer.h"
+#include "core/session.h"
+#include "core/user_tracer.h"
+#include "cpu/machine.h"
+#include "kernel/boot.h"
+#include "tlbsim/tlb_sim.h"
+#include "trace/sink.h"
+#include "trace/stats.h"
+#include "workloads/workloads.h"
+
+namespace atum {
+namespace {
+
+using cache::CacheConfig;
+using cache::DriverOptions;
+using core::AtumConfig;
+using core::AtumTracer;
+using core::RunTraced;
+using cpu::Machine;
+using trace::Record;
+
+std::unique_ptr<Machine>
+MixMachine()
+{
+    Machine::Config config;
+    config.mem_bytes = 2u << 20;
+    config.timer_reload = 2000;
+    return std::make_unique<Machine>(config);
+}
+
+/** Captures a full-system trace of the standard mix once per process. */
+const std::vector<Record>&
+MixTrace()
+{
+    static const std::vector<Record>& records = [] {
+        auto machine = MixMachine();
+        auto* sink = new trace::VectorSink();
+        AtumConfig config;
+        config.buffer_bytes = 128u << 10;
+        AtumTracer tracer(*machine, *sink, config);
+        kernel::BootSystem(*machine, workloads::StandardMix(1));
+        const auto result = RunTraced(*machine, tracer, 100'000'000);
+        EXPECT_TRUE(result.halted);
+        return *new std::vector<Record>(sink->TakeRecords());
+    }();
+    return records;
+}
+
+TEST(Integration, OsContributesSubstantialReferences)
+{
+    trace::TraceStats stats;
+    for (const Record& r : MixTrace())
+        stats.Accumulate(r);
+    // The paper's headline observation: the OS is a big minority of all
+    // references (scheduling, syscalls, paging, frame zeroing).
+    EXPECT_GT(stats.KernelFraction(), 0.02);
+    EXPECT_LT(stats.KernelFraction(), 0.70);
+    EXPECT_GT(stats.context_switches(), 10u);
+    // Data-write fraction is sane (roughly a third of data refs).
+    EXPECT_GT(stats.WriteFraction(), 0.10);
+    EXPECT_LT(stats.WriteFraction(), 0.70);
+}
+
+TEST(Integration, UserOnlyTraceUnderstatesMissRate)
+{
+    CacheConfig config{.size_bytes = 16u << 10, .block_bytes = 16,
+                       .assoc = 1};
+    DriverOptions full;
+    full.flush_on_switch = true;
+    DriverOptions user_only;
+    user_only.include_kernel = false;
+    user_only.only_pid = 1;
+    user_only.flush_on_switch = false;
+
+    const auto full_stats =
+        analysis::SimulateCache(MixTrace(), config, full);
+    const auto user_stats =
+        analysis::SimulateCache(MixTrace(), config, user_only);
+    ASSERT_GT(full_stats.accesses, user_stats.accesses);
+    EXPECT_GT(full_stats.MissRate(), user_stats.MissRate());
+}
+
+TEST(Integration, PidTagsBeatFlushOnSwitch)
+{
+    CacheConfig flush_config{.size_bytes = 32u << 10, .block_bytes = 16,
+                             .assoc = 2};
+    CacheConfig pid_config = flush_config;
+    pid_config.pid_tags = true;
+
+    DriverOptions flush_opts;
+    flush_opts.flush_on_switch = true;
+    DriverOptions pid_opts;  // no flush; pid tags disambiguate
+
+    const auto flushed =
+        analysis::SimulateCache(MixTrace(), flush_config, flush_opts);
+    const auto tagged =
+        analysis::SimulateCache(MixTrace(), pid_config, pid_opts);
+    EXPECT_GT(flushed.MissRate(), tagged.MissRate());
+}
+
+TEST(Integration, MissRateFallsWithCacheSize)
+{
+    CacheConfig base{.block_bytes = 16, .assoc = 1};
+    DriverOptions opts;
+    opts.flush_on_switch = true;
+    const auto points = analysis::SweepCacheSize(
+        MixTrace(), {2048, 8192, 32768, 131072}, base, opts);
+    for (size_t i = 1; i < points.size(); ++i)
+        EXPECT_LE(points[i].miss_rate, points[i - 1].miss_rate + 1e-9);
+    EXPECT_GT(points.front().miss_rate, points.back().miss_rate);
+}
+
+TEST(Integration, SystemReferencesEnlargeWorkingSet)
+{
+    analysis::WorkingSetAnalyzer full({10000});
+    analysis::WorkingSetAnalyzer user({10000});
+    for (const Record& r : MixTrace()) {
+        full.Feed(r);
+        if (r.IsMemory() && !r.kernel())
+            user.Feed(r);
+    }
+    EXPECT_GT(full.AverageWorkingSet(0), user.AverageWorkingSet(0));
+}
+
+TEST(Integration, KernelAndUserFootprintsAreDisjointRegions)
+{
+    analysis::FootprintAnalyzer fp;
+    for (const Record& r : MixTrace())
+        fp.Feed(r);
+    EXPECT_GT(fp.kernel_pages(), 0u);
+    EXPECT_GT(fp.user_pages(), 0u);
+    // Kernel page numbers can coincide numerically with user ones (PCB
+    // references are physical), so the split can overlap slightly.
+    EXPECT_LE(fp.total_pages(), fp.kernel_pages() + fp.user_pages());
+    EXPECT_GE(fp.total_pages(),
+              std::max(fp.kernel_pages(), fp.user_pages()));
+    EXPECT_EQ(fp.per_pid().size(), 3u);  // three processes
+}
+
+TEST(Integration, TlbMissesRiseWithOsAndSwitches)
+{
+    tlbsim::TlbSimConfig with_os{.entries = 64};
+    tlbsim::TlbSimConfig without_os{.entries = 64};
+    without_os.include_kernel = false;
+    without_os.flush_on_switch = false;
+
+    tlbsim::TlbSim a(with_os), b(without_os);
+    for (const Record& r : MixTrace()) {
+        a.Feed(r);
+        b.Feed(r);
+    }
+    EXPECT_GT(a.stats().MissRate(), b.stats().MissRate());
+}
+
+TEST(Integration, TraceFileRoundTripPreservesAnalysis)
+{
+    const std::string path =
+        std::string(::testing::TempDir()) + "/mix_trace.atum";
+    trace::WriteTraceFile(path, MixTrace());
+    const std::vector<Record> back = trace::ReadTraceFile(path);
+    ASSERT_EQ(back.size(), MixTrace().size());
+
+    CacheConfig config{.size_bytes = 8192, .block_bytes = 16, .assoc = 1};
+    const auto direct = analysis::SimulateCache(MixTrace(), config, {});
+    const auto reloaded = analysis::SimulateCache(back, config, {});
+    EXPECT_EQ(direct.misses, reloaded.misses);
+    EXPECT_EQ(direct.accesses, reloaded.accesses);
+    std::remove(path.c_str());
+}
+
+TEST(Integration, SlowdownIsOrderTenToTwenty)
+{
+    // With the default patch cost the dilation lands in the regime the
+    // paper reports for the 8200 (~10-20x); assert a generous envelope.
+    auto traced = MixMachine();
+    trace::CountingSink sink;
+    AtumTracer tracer(*traced, sink);
+    kernel::BootSystem(*traced, {workloads::MakeHash(800)});
+    const auto with = RunTraced(*traced, tracer, 100'000'000);
+
+    auto plain = MixMachine();
+    kernel::BootSystem(*plain, {workloads::MakeHash(800)});
+    const auto without = core::RunUntraced(*plain, 100'000'000);
+
+    ASSERT_TRUE(with.halted);
+    ASSERT_TRUE(without.halted);
+    const double slowdown = static_cast<double>(with.ucycles) /
+                            static_cast<double>(without.ucycles);
+    EXPECT_GT(slowdown, 2.0);
+    EXPECT_LT(slowdown, 100.0);
+}
+
+TEST(Integration, CapturedTraceIsDeterministic)
+{
+    auto capture = [] {
+        auto machine = MixMachine();
+        trace::VectorSink sink;
+        AtumTracer tracer(*machine, sink);
+        kernel::BootSystem(*machine, {workloads::MakeListProc(100, 3)});
+        RunTraced(*machine, tracer, 100'000'000);
+        return sink.TakeRecords();
+    };
+    const auto a = capture();
+    const auto b = capture();
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a, b);
+}
+
+
+TEST(Integration, HierarchyConsistentWithSingleLevelOnRealTrace)
+{
+    // An L2 behind L1s can only reduce memory traffic relative to the
+    // L1s alone, never increase it.
+    cache::HierarchyConfig config;
+    cache::CacheHierarchy h(config);
+    for (const Record& r : MixTrace())
+        h.Feed(r);
+    EXPECT_LE(h.memory_accesses(), h.l1i().stats().misses +
+                                       h.l1d().stats().misses +
+                                       h.l1d().stats().writebacks);
+    EXPECT_GT(h.accesses(), 0u);
+    EXPECT_GT(h.Amat(), 1.0);
+    EXPECT_LT(h.Amat(), 10.0);
+}
+
+}  // namespace
+}  // namespace atum

@@ -1,0 +1,692 @@
+// Integration tests for the guest kernel: boot, scheduling, system calls,
+// demand paging, and fault isolation — the full-system behaviour whose
+// memory references ATUM exists to capture.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "assembler/assembler.h"
+#include "cpu/machine.h"
+#include "kernel/boot.h"
+#include "kernel/kernel_builder.h"
+#include "kernel/layout.h"
+
+namespace atum::kernel {
+namespace {
+
+using assembler::Abs;
+using assembler::Assembler;
+using assembler::Def;
+using assembler::Disp;
+using assembler::Imm;
+using assembler::Label;
+using assembler::R;
+using cpu::Machine;
+using isa::Opcode;
+
+GuestProgram
+PutcExitProgram(char ch)
+{
+    Assembler a(0);
+    a.Emit(Opcode::kMovl, {Imm(static_cast<uint8_t>(ch)), R(1)});
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kPutc))});
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kExit))});
+    GuestProgram gp;
+    gp.name = std::string("putc-") + ch;
+    gp.program = a.Finish();
+    gp.heap_pages = 2;
+    gp.stack_pages = 2;
+    return gp;
+}
+
+std::unique_ptr<Machine>
+SmallMachine(uint32_t timer_reload = 2000)
+{
+    Machine::Config config;
+    config.mem_bytes = 1u << 20;  // 1 MiB
+    config.timer_reload = timer_reload;
+    return std::make_unique<Machine>(config);
+}
+
+TEST(KernelLayout, Computes)
+{
+    const KernelLayout lay = ComputeLayout(2048);
+    EXPECT_EQ(lay.scb_pa, 0u);
+    EXPECT_EQ(lay.kdata_pa, kPageBytes);
+    EXPECT_GT(lay.ktext_pa, lay.s0_table_pa);
+    EXPECT_EQ(lay.ktext_va, kS0Base + lay.ktext_pa);
+    EXPECT_EQ(lay.PcbPa(1) - lay.PcbPa(0), kPcbStride);
+}
+
+TEST(KernelLayoutDeath, TooSmallIsFatal)
+{
+    EXPECT_DEATH(ComputeLayout(16), "machine too small");
+}
+
+TEST(KernelBuilder, ProducesSymbols)
+{
+    const KernelLayout lay = ComputeLayout(2048);
+    assembler::Program p = BuildKernelImage(lay);
+    EXPECT_EQ(p.origin, lay.ktext_va);
+    for (const char* sym : {"k_start", "k_timer", "k_chmk", "k_pf", "k_acv",
+                            "k_fault8", "k_pick_next", "k_kill_common"}) {
+        EXPECT_TRUE(p.symbols.count(sym)) << sym;
+    }
+    EXPECT_LT(p.size(), 4 * kPageBytes);
+}
+
+TEST(KernelBoot, SingleProcessRunsAndHalts)
+{
+    auto machine = SmallMachine();
+    BootSystem(*machine, {PutcExitProgram('A')});
+    const auto result = machine->Run(1'000'000);
+    ASSERT_EQ(result.reason, Machine::StopReason::kHalted);
+    EXPECT_EQ(machine->console_output(), "A");
+}
+
+TEST(KernelBoot, ThreeProcessesAllComplete)
+{
+    auto machine = SmallMachine();
+    BootSystem(*machine, {PutcExitProgram('A'), PutcExitProgram('B'),
+                          PutcExitProgram('C')});
+    const auto result = machine->Run(2'000'000);
+    ASSERT_EQ(result.reason, Machine::StopReason::kHalted);
+    const std::string& out = machine->console_output();
+    EXPECT_EQ(out.size(), 3u);
+    EXPECT_NE(out.find('A'), std::string::npos);
+    EXPECT_NE(out.find('B'), std::string::npos);
+    EXPECT_NE(out.find('C'), std::string::npos);
+}
+
+TEST(KernelBoot, GetpidReturnsPid)
+{
+    // Each process prints '0' + getpid(); pids are 1-based boot order.
+    auto make = [] {
+        Assembler a(0);
+        a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kGetpid))});
+        a.Emit(Opcode::kAddl3, {Imm('0'), R(0), R(1)});
+        a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kPutc))});
+        a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kExit))});
+        GuestProgram gp;
+        gp.name = "pid";
+        gp.program = a.Finish();
+        gp.heap_pages = 2;
+        gp.stack_pages = 2;
+        return gp;
+    };
+    auto machine = SmallMachine();
+    BootSystem(*machine, {make(), make()});
+    ASSERT_EQ(machine->Run(1'000'000).reason, Machine::StopReason::kHalted);
+    const std::string& out = machine->console_output();
+    EXPECT_EQ(out.size(), 2u);
+    EXPECT_NE(out.find('1'), std::string::npos);
+    EXPECT_NE(out.find('2'), std::string::npos);
+}
+
+TEST(KernelBoot, DemandPagingServicesHeapTouches)
+{
+    // Write then read back values across several demand-zero heap pages.
+    Assembler a(0);
+    Label heap = a.NewLabel("heap");
+    a.Emit(Opcode::kMoval, {assembler::Ref(heap), R(2)});
+    a.Emit(Opcode::kMovl, {Imm(8), R(3)});  // 8 pages
+    Label loop = a.Here("loop");
+    a.Emit(Opcode::kMovl, {Imm(0x5a5a5a5a), assembler::Def(2)});
+    a.Emit(Opcode::kAddl2, {Imm(kPageBytes), R(2)});
+    a.Emit(Opcode::kSobgtr, {R(3)}, loop);
+    // Verify one of them and report.
+    a.Emit(Opcode::kMoval, {assembler::Ref(heap), R(2)});
+    a.Emit(Opcode::kCmpl, {assembler::Def(2), Imm(0x5a5a5a5a)});
+    Label good = a.NewLabel("good");
+    a.Emit(Opcode::kBeql, {}, good);
+    a.Emit(Opcode::kMovl, {Imm('x'), R(1)});
+    Label out = a.NewLabel("out");
+    a.Emit(Opcode::kBrb, {}, out);
+    a.Bind(good);
+    a.Emit(Opcode::kMovl, {Imm('y'), R(1)});
+    a.Bind(out);
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kPutc))});
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kExit))});
+    a.Align(kPageBytes);
+    a.Bind(heap);
+
+    GuestProgram gp;
+    gp.name = "pager";
+    gp.program = a.Finish();
+    gp.heap_pages = 16;
+    gp.stack_pages = 2;
+
+    auto machine = SmallMachine();
+    BootInfo info = BootSystem(*machine, {gp});
+    ASSERT_EQ(machine->Run(2'000'000).reason, Machine::StopReason::kHalted);
+    EXPECT_EQ(machine->console_output(), "y");
+
+    // The kernel's fault counter must show the demand-zero services.
+    const uint32_t pf_count = machine->memory().Read32(
+        info.layout.kdata_pa + KdataOffsets::kPfCount);
+    EXPECT_GE(pf_count, 8u);
+}
+
+TEST(KernelBoot, TimerPreemptionInterleavesProcesses)
+{
+    // Two CPU-bound loops must context-switch; the kernel counts switches.
+    auto make = [](char ch) {
+        Assembler a(0);
+        a.Emit(Opcode::kMovl, {Imm(30000), R(3)});
+        Label loop = a.Here("loop");
+        a.Emit(Opcode::kSobgtr, {R(3)}, loop);
+        a.Emit(Opcode::kMovl, {Imm(static_cast<uint8_t>(ch)), R(1)});
+        a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kPutc))});
+        a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kExit))});
+        GuestProgram gp;
+        gp.name = "spin";
+        gp.program = a.Finish();
+        gp.heap_pages = 2;
+        gp.stack_pages = 2;
+        return gp;
+    };
+    auto machine = SmallMachine(/*timer_reload=*/1000);
+    BootInfo info = BootSystem(*machine, {make('a'), make('b')});
+    ASSERT_EQ(machine->Run(5'000'000).reason, Machine::StopReason::kHalted);
+    EXPECT_EQ(machine->console_output().size(), 2u);
+    const uint32_t cs_count = machine->memory().Read32(
+        info.layout.kdata_pa + KdataOffsets::kCsCount);
+    EXPECT_GE(cs_count, 10u);
+}
+
+TEST(KernelBoot, YieldSwitchesImmediately)
+{
+    // Process 1 yields in a loop; process 2 just exits. With a huge timer
+    // period the only way both finish is via the yield path.
+    auto yielder = [] {
+        Assembler a(0);
+        a.Emit(Opcode::kMovl, {Imm(5), R(3)});
+        Label loop = a.Here("loop");
+        a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kYield))});
+        a.Emit(Opcode::kSobgtr, {R(3)}, loop);
+        a.Emit(Opcode::kMovl, {Imm('Y'), R(1)});
+        a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kPutc))});
+        a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kExit))});
+        GuestProgram gp;
+        gp.name = "yielder";
+        gp.program = a.Finish();
+        gp.heap_pages = 2;
+        gp.stack_pages = 2;
+        return gp;
+    };
+    auto machine = SmallMachine(/*timer_reload=*/100'000'000);
+    BootSystem(*machine, {yielder(), PutcExitProgram('Z')});
+    ASSERT_EQ(machine->Run(2'000'000).reason, Machine::StopReason::kHalted);
+    EXPECT_EQ(machine->console_output().size(), 2u);
+}
+
+TEST(KernelBoot, WildAccessKillsProcessOnly)
+{
+    // Process 1 dereferences a kernel address (ACV); process 2 completes.
+    Assembler a(0);
+    a.Emit(Opcode::kMovl, {Abs(kS0Base), R(2)});  // user touching S0
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kExit))});
+    GuestProgram bad;
+    bad.name = "wild";
+    bad.program = a.Finish();
+    bad.heap_pages = 2;
+    bad.stack_pages = 2;
+
+    auto machine = SmallMachine();
+    BootSystem(*machine, {bad, PutcExitProgram('O')});
+    ASSERT_EQ(machine->Run(2'000'000).reason, Machine::StopReason::kHalted);
+    EXPECT_EQ(machine->console_output(), "O");
+}
+
+TEST(KernelBoot, ReservedInstructionKillsProcess)
+{
+    Assembler a(0);
+    a.Byte(0xff);  // unassigned opcode
+    GuestProgram bad;
+    bad.name = "resinstr";
+    bad.program = a.Finish();
+    bad.heap_pages = 2;
+    bad.stack_pages = 2;
+
+    auto machine = SmallMachine();
+    BootSystem(*machine, {bad, PutcExitProgram('K')});
+    ASSERT_EQ(machine->Run(2'000'000).reason, Machine::StopReason::kHalted);
+    EXPECT_EQ(machine->console_output(), "K");
+}
+
+TEST(KernelBoot, PrivilegedInstructionInUserModeKillsProcess)
+{
+    Assembler a(0);
+    a.Emit(Opcode::kHalt);  // privileged in user mode
+    GuestProgram bad;
+    bad.name = "priv";
+    bad.program = a.Finish();
+    bad.heap_pages = 2;
+    bad.stack_pages = 2;
+
+    auto machine = SmallMachine();
+    BootSystem(*machine, {bad, PutcExitProgram('P')});
+    ASSERT_EQ(machine->Run(2'000'000).reason, Machine::StopReason::kHalted);
+    EXPECT_EQ(machine->console_output(), "P");
+}
+
+TEST(KernelBoot, DivideByZeroKillsProcess)
+{
+    Assembler a(0);
+    a.Emit(Opcode::kClrl, {R(2)});
+    a.Emit(Opcode::kDivl3, {R(2), Imm(10), R(3)});
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kExit))});
+    GuestProgram bad;
+    bad.name = "div0";
+    bad.program = a.Finish();
+    bad.heap_pages = 2;
+    bad.stack_pages = 2;
+
+    auto machine = SmallMachine();
+    BootSystem(*machine, {bad, PutcExitProgram('D')});
+    ASSERT_EQ(machine->Run(2'000'000).reason, Machine::StopReason::kHalted);
+    EXPECT_EQ(machine->console_output(), "D");
+}
+
+TEST(KernelBoot, BrkGrowsAndClampsHeap)
+{
+    // brk to a huge size must clamp to capacity; the process then touches
+    // a page near its (clamped) limit successfully.
+    Assembler a(0);
+    a.Emit(Opcode::kMovl, {Imm(1u << 20), R(1)});  // absurd page count
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kBrk))});
+    a.Emit(Opcode::kMovl, {Imm('B'), R(1)});
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kPutc))});
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kExit))});
+    GuestProgram gp;
+    gp.name = "brk";
+    gp.program = a.Finish();
+    gp.heap_pages = 4;
+    gp.stack_pages = 2;
+
+    auto machine = SmallMachine();
+    BootSystem(*machine, {gp});
+    ASSERT_EQ(machine->Run(1'000'000).reason, Machine::StopReason::kHalted);
+    EXPECT_EQ(machine->console_output(), "B");
+}
+
+TEST(KernelBoot, MailboxSendRecvTransfersBytes)
+{
+    // Producer sends 'H','I'; consumer receives both and prints them.
+    auto producer = [] {
+        Assembler a(0);
+        for (char ch : {'H', 'I'}) {
+            a.Emit(Opcode::kMovl, {Imm(static_cast<uint8_t>(ch)), R(1)});
+            Label retry = a.Here("retry");
+            a.Emit(Opcode::kChmk,
+                   {Imm(static_cast<uint32_t>(Syscall::kSend))});
+            a.Emit(Opcode::kTstl, {R(0)});
+            Label sent = a.NewLabel("sent");
+            a.Emit(Opcode::kBneq, {}, sent);
+            a.Emit(Opcode::kChmk,
+                   {Imm(static_cast<uint32_t>(Syscall::kYield))});
+            a.Emit(Opcode::kBrb, {}, retry);
+            a.Bind(sent);
+        }
+        a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kExit))});
+        GuestProgram gp;
+        gp.name = "mb-prod";
+        gp.program = a.Finish();
+        gp.heap_pages = 2;
+        gp.stack_pages = 2;
+        return gp;
+    };
+    auto consumer = [] {
+        Assembler a(0);
+        a.Emit(Opcode::kMovl, {Imm(2), R(8)});
+        Label loop = a.Here("loop");
+        a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kRecv))});
+        a.Emit(Opcode::kCmpl, {R(0), Imm(0xffffffff)});
+        Label got = a.NewLabel("got");
+        a.Emit(Opcode::kBneq, {}, got);
+        a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kYield))});
+        a.Emit(Opcode::kBrb, {}, loop);
+        a.Bind(got);
+        a.Emit(Opcode::kMovl, {R(0), R(1)});
+        a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kPutc))});
+        a.Emit(Opcode::kSobgtr, {R(8)}, loop);
+        a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kExit))});
+        GuestProgram gp;
+        gp.name = "mb-cons";
+        gp.program = a.Finish();
+        gp.heap_pages = 2;
+        gp.stack_pages = 2;
+        return gp;
+    };
+    auto machine = SmallMachine(/*timer_reload=*/500);
+    BootSystem(*machine, {producer(), consumer()});
+    ASSERT_EQ(machine->Run(5'000'000).reason, Machine::StopReason::kHalted);
+    EXPECT_EQ(machine->console_output(), "HI");
+}
+
+TEST(KernelBoot, RecvOnEmptyMailboxReturnsSentinel)
+{
+    Assembler a(0);
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kRecv))});
+    a.Emit(Opcode::kCmpl, {R(0), Imm(0xffffffff)});
+    Label empty = a.NewLabel("empty");
+    a.Emit(Opcode::kBeql, {}, empty);
+    a.Emit(Opcode::kMovl, {Imm('x'), R(1)});
+    Label out = a.NewLabel("out");
+    a.Emit(Opcode::kBrb, {}, out);
+    a.Bind(empty);
+    a.Emit(Opcode::kMovl, {Imm('e'), R(1)});
+    a.Bind(out);
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kPutc))});
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kExit))});
+    GuestProgram gp;
+    gp.name = "recv-empty";
+    gp.program = a.Finish();
+    gp.heap_pages = 2;
+    gp.stack_pages = 2;
+
+    auto machine = SmallMachine();
+    BootSystem(*machine, {gp});
+    ASSERT_EQ(machine->Run(1'000'000).reason, Machine::StopReason::kHalted);
+    EXPECT_EQ(machine->console_output(), "e");
+}
+
+TEST(KernelBoot, SendFillsUpAndReportsFull)
+{
+    // Send kMailboxBytes bytes with no consumer; one more must fail.
+    Assembler a(0);
+    a.Emit(Opcode::kMovl, {Imm(kMailboxBytes), R(8)});
+    a.Emit(Opcode::kMovl, {Imm('a'), R(1)});
+    Label loop = a.Here("loop");
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kSend))});
+    a.Emit(Opcode::kSobgtr, {R(8)}, loop);
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kSend))});
+    a.Emit(Opcode::kTstl, {R(0)});
+    Label full = a.NewLabel("full");
+    a.Emit(Opcode::kBeql, {}, full);
+    a.Emit(Opcode::kMovl, {Imm('x'), R(1)});
+    Label out = a.NewLabel("out");
+    a.Emit(Opcode::kBrb, {}, out);
+    a.Bind(full);
+    a.Emit(Opcode::kMovl, {Imm('f'), R(1)});
+    a.Bind(out);
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kPutc))});
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kExit))});
+    GuestProgram gp;
+    gp.name = "send-full";
+    gp.program = a.Finish();
+    gp.heap_pages = 2;
+    gp.stack_pages = 2;
+
+    auto machine = SmallMachine();
+    BootSystem(*machine, {gp});
+    ASSERT_EQ(machine->Run(1'000'000).reason, Machine::StopReason::kHalted);
+    EXPECT_EQ(machine->console_output(), "f");
+}
+
+TEST(KernelPager, DataSurvivesSwapOutAndIn)
+{
+    // Write a distinct pattern to 24 heap pages, then verify all of them.
+    // The frame pool is capped far below 24, so the pager must evict to
+    // swap during the writes and fault pages back in during the reads.
+    constexpr uint32_t kPages = 24;
+    Assembler a(0);
+    Label heap = a.NewLabel("heap");
+    Label bad = a.NewLabel("bad");
+    Label out = a.NewLabel("out");
+    a.Emit(Opcode::kMoval, {assembler::Ref(heap), R(2)});
+    a.Emit(Opcode::kClrl, {R(3)});
+    Label wloop = a.Here("wloop");
+    a.Emit(Opcode::kAddl3, {Imm(0x5a0000), R(3), R(4)});
+    a.Emit(Opcode::kMovl, {R(4), assembler::Def(2)});
+    a.Emit(Opcode::kAddl2, {Imm(kPageBytes), R(2)});
+    a.Emit(Opcode::kAoblss, {Imm(kPages), R(3)}, wloop);
+    a.Emit(Opcode::kMoval, {assembler::Ref(heap), R(2)});
+    a.Emit(Opcode::kClrl, {R(3)});
+    Label rloop = a.Here("rloop");
+    a.Emit(Opcode::kAddl3, {Imm(0x5a0000), R(3), R(4)});
+    a.Emit(Opcode::kCmpl, {assembler::Def(2), R(4)});
+    a.Emit(Opcode::kBneq, {}, bad);
+    a.Emit(Opcode::kAddl2, {Imm(kPageBytes), R(2)});
+    a.Emit(Opcode::kAoblss, {Imm(kPages), R(3)}, rloop);
+    a.Emit(Opcode::kMovl, {Imm('y'), R(1)});
+    a.Emit(Opcode::kBrb, {}, out);
+    a.Bind(bad);
+    a.Emit(Opcode::kMovl, {Imm('x'), R(1)});
+    a.Bind(out);
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kPutc))});
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kExit))});
+    a.Align(kPageBytes);
+    a.Bind(heap);
+
+    GuestProgram gp;
+    gp.name = "swapper";
+    gp.program = a.Finish();
+    gp.heap_pages = kPages + 2;
+    gp.stack_pages = 2;
+
+    auto machine = SmallMachine();
+    BootOptions options;
+    options.swap_frames = 64;
+    options.max_pool_frames = 10;
+    BootInfo info = BootSystem(*machine, {gp}, options);
+    ASSERT_EQ(machine->Run(20'000'000).reason, Machine::StopReason::kHalted);
+    EXPECT_EQ(machine->console_output(), "y");
+    EXPECT_GT(info.ReadKdata(*machine, KdataOffsets::kSwapOuts), 10u);
+    EXPECT_GT(info.ReadKdata(*machine, KdataOffsets::kSwapIns), 10u);
+    EXPECT_GT(info.ReadKdata(*machine, KdataOffsets::kPfCount), kPages);
+}
+
+TEST(KernelPager, RepeatedSweepsThrash)
+{
+    // Sweep a 16-page footprint repeatedly with an 8-frame pool: every
+    // sweep re-faults pages, so swap traffic scales with the sweeps.
+    constexpr uint32_t kPages = 16;
+    Assembler a(0);
+    Label heap = a.NewLabel("heap");
+    a.Emit(Opcode::kMovl, {Imm(6), R(5)});  // sweeps
+    Label sweep = a.Here("sweep");
+    a.Emit(Opcode::kMoval, {assembler::Ref(heap), R(2)});
+    a.Emit(Opcode::kMovl, {Imm(kPages), R(3)});
+    Label touch = a.Here("touch");
+    a.Emit(Opcode::kIncl, {assembler::Def(2)});
+    a.Emit(Opcode::kAddl2, {Imm(kPageBytes), R(2)});
+    a.Emit(Opcode::kSobgtr, {R(3)}, touch);
+    a.Emit(Opcode::kSobgtr, {R(5)}, sweep);
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kExit))});
+    a.Align(kPageBytes);
+    a.Bind(heap);
+
+    GuestProgram gp;
+    gp.name = "thrasher";
+    gp.program = a.Finish();
+    gp.heap_pages = kPages + 2;
+    gp.stack_pages = 2;
+
+    auto machine = SmallMachine();
+    BootOptions options;
+    options.swap_frames = 64;
+    options.max_pool_frames = 8;
+    BootInfo info = BootSystem(*machine, {gp}, options);
+    ASSERT_EQ(machine->Run(50'000'000).reason, Machine::StopReason::kHalted);
+    // Each sweep must re-fault roughly the whole footprint.
+    EXPECT_GT(info.ReadKdata(*machine, KdataOffsets::kPfCount),
+              4 * kPages);
+    EXPECT_GT(info.ReadKdata(*machine, KdataOffsets::kSwapOuts),
+              3 * kPages);
+}
+
+TEST(KernelPager, SwapExhaustionHaltsMachine)
+{
+    // A footprint larger than pool + swap must halt the machine in the
+    // pager's out-of-swap path.
+    constexpr uint32_t kPages = 40;
+    Assembler a(0);
+    Label heap = a.NewLabel("heap");
+    a.Emit(Opcode::kMoval, {assembler::Ref(heap), R(2)});
+    a.Emit(Opcode::kMovl, {Imm(kPages), R(3)});
+    Label touch = a.Here("touch");
+    a.Emit(Opcode::kIncl, {assembler::Def(2)});
+    a.Emit(Opcode::kAddl2, {Imm(kPageBytes), R(2)});
+    a.Emit(Opcode::kSobgtr, {R(3)}, touch);
+    a.Emit(Opcode::kMovl, {Imm('!'), R(1)});
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kPutc))});
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kExit))});
+    a.Align(kPageBytes);
+    a.Bind(heap);
+
+    GuestProgram gp;
+    gp.name = "overcommit";
+    gp.program = a.Finish();
+    gp.heap_pages = kPages + 2;
+    gp.stack_pages = 2;
+
+    auto machine = SmallMachine();
+    BootOptions options;
+    options.swap_frames = 8;  // pool 10 + swap 8 < 40 pages
+    options.max_pool_frames = 10;
+    BootSystem(*machine, {gp}, options);
+    ASSERT_EQ(machine->Run(20'000'000).reason, Machine::StopReason::kHalted);
+    EXPECT_EQ(machine->console_output(), "");  // never reached the putc
+}
+
+TEST(KernelBoot, EightProcessStress)
+{
+    // The maximum process count, mixed well-behaved and misbehaving.
+    std::vector<GuestProgram> programs;
+    for (char ch : {'1', '2', '3', '4', '5', '6'})
+        programs.push_back(PutcExitProgram(ch));
+    {
+        Assembler a(0);
+        a.Byte(0xfe);  // reserved instruction: killed by the kernel
+        GuestProgram bad;
+        bad.name = "bad";
+        bad.program = a.Finish();
+        bad.heap_pages = 2;
+        bad.stack_pages = 2;
+        programs.push_back(std::move(bad));
+    }
+    {
+        Assembler a(0);
+        a.Emit(Opcode::kMovl, {Abs(0xc0000000u), R(2)});  // reserved region
+        GuestProgram bad;
+        bad.name = "wild";
+        bad.program = a.Finish();
+        bad.heap_pages = 2;
+        bad.stack_pages = 2;
+        programs.push_back(std::move(bad));
+    }
+    auto machine = SmallMachine(/*timer_reload=*/700);
+    BootInfo info = BootSystem(*machine, programs);
+    EXPECT_EQ(info.num_processes, kMaxProcs);
+    ASSERT_EQ(machine->Run(20'000'000).reason, Machine::StopReason::kHalted);
+    const std::string& out = machine->console_output();
+    EXPECT_EQ(out.size(), 6u);
+    for (char ch : {'1', '2', '3', '4', '5', '6'})
+        EXPECT_NE(out.find(ch), std::string::npos) << ch;
+}
+
+TEST(KernelBoot, Movc3RestartsAcrossDemandZeroPages)
+{
+    // A single MOVC3 spanning several unmapped heap pages: each fault
+    // rolls the instruction back, the pager maps a page, and the copy
+    // restarts until it completes — then the copy is verified.
+    Assembler a(0);
+    Label heap = a.NewLabel("heap");
+    Label bad = a.NewLabel("bad");
+    Label out = a.NewLabel("out");
+    // Source: 3 pages of pattern written first (faults them in).
+    a.Emit(Opcode::kMoval, {assembler::Ref(heap), R(6)});
+    a.Emit(Opcode::kMovl, {R(6), R(2)});
+    a.Emit(Opcode::kMovl, {Imm(3 * kPageBytes / 4), R(3)});
+    Label fill = a.Here("fill");
+    a.Emit(Opcode::kMovl, {Imm(0x1234abcd), assembler::Inc(2)});
+    a.Emit(Opcode::kSobgtr, {R(3)}, fill);
+    // Destination: 3 pages further up, entirely unmapped.
+    a.Emit(Opcode::kAddl3, {Imm(4 * kPageBytes), R(6), R(7)});
+    a.Emit(Opcode::kMovc3, {Imm(3 * kPageBytes), Def(6), Def(7)});
+    // Verify the far end of the copy.
+    a.Emit(Opcode::kAddl3, {Imm(7 * kPageBytes - 4), R(6), R(2)});
+    a.Emit(Opcode::kCmpl, {assembler::Def(2), Imm(0x1234abcd)});
+    a.Emit(Opcode::kBneq, {}, bad);
+    a.Emit(Opcode::kMovl, {Imm('y'), R(1)});
+    a.Emit(Opcode::kBrb, {}, out);
+    a.Bind(bad);
+    a.Emit(Opcode::kMovl, {Imm('x'), R(1)});
+    a.Bind(out);
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kPutc))});
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kExit))});
+    a.Align(kPageBytes);
+    a.Bind(heap);
+
+    GuestProgram gp;
+    gp.name = "movc3-fault";
+    gp.program = a.Finish();
+    gp.heap_pages = 10;
+    gp.stack_pages = 2;
+
+    auto machine = SmallMachine();
+    BootInfo info = BootSystem(*machine, {gp});
+    ASSERT_EQ(machine->Run(10'000'000).reason, Machine::StopReason::kHalted);
+    EXPECT_EQ(machine->console_output(), "y");
+    EXPECT_GE(info.ReadKdata(*machine, KdataOffsets::kPfCount), 6u);
+}
+
+TEST(KernelBoot, SyscallsPreserveUserRegisters)
+{
+    // Registers other than r0 (the result) survive every syscall.
+    Assembler a(0);
+    Label bad = a.NewLabel("bad");
+    Label out = a.NewLabel("out");
+    a.Emit(Opcode::kMovl, {Imm(0x11112222), R(2)});
+    a.Emit(Opcode::kMovl, {Imm(0x33334444), R(9)});
+    a.Emit(Opcode::kMovl, {Imm('p'), R(1)});
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kPutc))});
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kGetpid))});
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kYield))});
+    a.Emit(Opcode::kCmpl, {R(2), Imm(0x11112222)});
+    a.Emit(Opcode::kBneq, {}, bad);
+    a.Emit(Opcode::kCmpl, {R(9), Imm(0x33334444)});
+    a.Emit(Opcode::kBneq, {}, bad);
+    a.Emit(Opcode::kCmpl, {R(1), Imm('p')});  // r1 also preserved
+    a.Emit(Opcode::kBneq, {}, bad);
+    a.Emit(Opcode::kCmpl, {R(0), Imm(1)});    // getpid result
+    a.Emit(Opcode::kBneq, {}, bad);
+    a.Emit(Opcode::kMovl, {Imm('k'), R(1)});
+    a.Emit(Opcode::kBrb, {}, out);
+    a.Bind(bad);
+    a.Emit(Opcode::kMovl, {Imm('x'), R(1)});
+    a.Bind(out);
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kPutc))});
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kExit))});
+
+    GuestProgram gp;
+    gp.name = "regs";
+    gp.program = a.Finish();
+    gp.heap_pages = 2;
+    gp.stack_pages = 2;
+
+    auto machine = SmallMachine();
+    BootSystem(*machine, {gp});
+    ASSERT_EQ(machine->Run(1'000'000).reason, Machine::StopReason::kHalted);
+    EXPECT_EQ(machine->console_output(), "pk");
+}
+
+TEST(KernelBootDeath, NoProgramsIsFatal)
+{
+    auto machine = SmallMachine();
+    EXPECT_DEATH(BootSystem(*machine, {}), "at least one");
+}
+
+TEST(KernelBootDeath, TooManyProgramsIsFatal)
+{
+    auto machine = SmallMachine();
+    std::vector<GuestProgram> many;
+    for (int i = 0; i < 9; ++i)
+        many.push_back(PutcExitProgram('a'));
+    EXPECT_DEATH(BootSystem(*machine, many), "too many");
+}
+
+}  // namespace
+}  // namespace atum::kernel

@@ -1,0 +1,371 @@
+// Property-style tests: parameterized sweeps asserting invariants across
+// addressing modes, opcodes, cache geometries, TLB sizes, and the record
+// codec under randomized inputs.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "assembler/assembler.h"
+#include "cache/cache.h"
+#include "cpu/machine.h"
+#include "kernel/boot.h"
+#include "isa/decoder.h"
+#include "isa/disassembler.h"
+#include "tlbsim/tlb_sim.h"
+#include "trace/record.h"
+#include "util/rng.h"
+
+namespace atum {
+namespace {
+
+using assembler::Assembler;
+using assembler::Program;
+using isa::AddrMode;
+using isa::Opcode;
+
+// ---------------------------------------------------------------------
+// Every writable addressing mode stores a value to the right place.
+// ---------------------------------------------------------------------
+
+class AddressingModeProperty : public ::testing::TestWithParam<AddrMode>
+{
+};
+
+TEST_P(AddressingModeProperty, StoreThenLoadRoundTrips)
+{
+    const AddrMode mode = GetParam();
+    cpu::Machine::Config config;
+    config.mem_bytes = 256 * kPageBytes;
+    cpu::Machine m(config);
+    m.set_reg(isa::kRegSp, 0x8000);
+
+    constexpr uint32_t kAddr = 0x9000;
+    constexpr uint32_t kValue = 0x13572468;
+    Assembler a(0x1000);
+    a.Emit(Opcode::kMovl, {assembler::Imm(kAddr), assembler::R(2)});
+    assembler::AsmOperand dst;
+    switch (mode) {
+      case AddrMode::kReg:
+        dst = assembler::R(3);
+        break;
+      case AddrMode::kRegDef:
+        dst = assembler::Def(2);
+        break;
+      case AddrMode::kAutoInc:
+        dst = assembler::Inc(2);
+        break;
+      case AddrMode::kAutoDec:
+        dst = assembler::Dec(2);
+        break;
+      case AddrMode::kDisp8:
+        dst = assembler::Disp(8, 2);
+        break;
+      case AddrMode::kDisp32:
+        dst = assembler::Disp(1000, 2);  // >127 forces the d32 form
+        break;
+      case AddrMode::kDisp32Def:
+        // mem[kAddr] holds a pointer to kAddr + 0x40.
+        a.Emit(Opcode::kMovl,
+               {assembler::Imm(kAddr + 0x40), assembler::Abs(kAddr)});
+        dst = assembler::DispDef(0, 2);
+        break;
+      case AddrMode::kAbs:
+        dst = assembler::Abs(kAddr);
+        break;
+      case AddrMode::kImm:
+        GTEST_SKIP() << "immediates are not writable";
+    }
+    a.Emit(Opcode::kMovl, {assembler::Imm(kValue), dst});
+    a.Emit(Opcode::kHalt);
+    Program p = a.Finish();
+    m.memory().WriteBlock(p.origin, p.bytes.data(), p.size());
+    m.set_pc(p.origin);
+    ASSERT_EQ(m.Run(100).reason, cpu::Machine::StopReason::kHalted);
+
+    uint32_t where;
+    switch (mode) {
+      case AddrMode::kReg:
+        EXPECT_EQ(m.reg(3), kValue);
+        return;
+      case AddrMode::kRegDef:
+      case AddrMode::kAutoInc:
+      case AddrMode::kAbs:
+        where = kAddr;
+        break;
+      case AddrMode::kAutoDec:
+        where = kAddr - 4;
+        break;
+      case AddrMode::kDisp8:
+        where = kAddr + 8;
+        break;
+      case AddrMode::kDisp32:
+        where = kAddr + 1000;
+        break;
+      case AddrMode::kDisp32Def:
+        where = kAddr + 0x40;
+        break;
+      default:
+        FAIL();
+    }
+    EXPECT_EQ(m.memory().Read32(where), kValue);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, AddressingModeProperty,
+    ::testing::Values(AddrMode::kReg, AddrMode::kRegDef, AddrMode::kAutoInc,
+                      AddrMode::kAutoDec, AddrMode::kDisp8, AddrMode::kDisp32,
+                      AddrMode::kDisp32Def, AddrMode::kAbs, AddrMode::kImm));
+
+// ---------------------------------------------------------------------
+// Every assigned opcode survives an assemble -> decode -> format cycle.
+// ---------------------------------------------------------------------
+
+class OpcodeRoundTrip : public ::testing::TestWithParam<Opcode>
+{
+};
+
+TEST_P(OpcodeRoundTrip, AssembleDecodeFormat)
+{
+    const Opcode op = GetParam();
+    const isa::InstrInfo& info = isa::GetInstrInfo(op);
+    ASSERT_TRUE(info.valid);
+
+    Assembler a(0x100);
+    std::vector<assembler::AsmOperand> operands;
+    bool needs_branch = false;
+    unsigned reg = 1;
+    for (const auto& desc : info.operands) {
+        switch (desc.access) {
+          case isa::Access::kBranch8:
+          case isa::Access::kBranch16:
+            needs_branch = true;
+            break;
+          case isa::Access::kAddress:
+            operands.push_back(assembler::Def(reg++));
+            break;
+          default:
+            operands.push_back(assembler::R(reg++));
+            break;
+        }
+    }
+    if (needs_branch) {
+        auto label = a.Here("target");
+        a.Emit(op, operands, label);
+    } else {
+        a.Emit(op, operands);
+    }
+    Program p = a.Finish();
+
+    auto decoded = isa::DecodeBuffer(p.bytes, 0);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->opcode, op);
+    EXPECT_EQ(decoded->length, p.size());
+    const std::string text = isa::FormatInst(*decoded, 0x100);
+    EXPECT_EQ(text.substr(0, std::string(info.mnemonic).size()),
+              info.mnemonic);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, OpcodeRoundTrip,
+                         ::testing::ValuesIn(isa::AllOpcodes()),
+                         [](const auto& info) {
+                             return isa::MnemonicOf(info.param);
+                         });
+
+// ---------------------------------------------------------------------
+// Cache invariants over a grid of geometries.
+// ---------------------------------------------------------------------
+
+class CacheGeometryProperty
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t, uint32_t>>
+{
+};
+
+TEST_P(CacheGeometryProperty, InvariantsHoldOnRandomStream)
+{
+    const auto [size, block, assoc] = GetParam();
+    cache::Cache c({.size_bytes = size, .block_bytes = block,
+                    .assoc = assoc});
+    Rng rng(size * 31 + block * 7 + assoc);
+    uint64_t immediate_rehits = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const uint32_t addr = rng.Below(1u << 18);
+        c.Access(addr, rng.Below(4) == 0);
+        // An immediate re-access of the same address is always a hit.
+        if (rng.Below(8) == 0) {
+            EXPECT_TRUE(c.Access(addr, false));
+            ++immediate_rehits;
+        }
+    }
+    const auto& s = c.stats();
+    EXPECT_EQ(s.accesses, 20000u + immediate_rehits);
+    EXPECT_LE(s.misses, s.accesses);
+    EXPECT_EQ(s.reads + s.writes, s.accesses);
+    EXPECT_LE(s.read_misses, s.reads);
+    EXPECT_LE(s.write_misses, s.writes);
+    EXPECT_GE(s.MissRate(), 0.0);
+    EXPECT_LE(s.MissRate(), 1.0);
+    // A write-back cache cannot write back more blocks than it missed on
+    // plus flushed (each writeback needs a prior allocating fill).
+    EXPECT_LE(s.writebacks, s.misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometryProperty,
+    ::testing::Combine(::testing::Values(1024u, 8192u, 65536u),
+                       ::testing::Values(8u, 16u, 64u),
+                       ::testing::Values(1u, 2u, 4u)));
+
+// ---------------------------------------------------------------------
+// Larger caches never lose on an LRU-friendly looping reference stream.
+// ---------------------------------------------------------------------
+
+class CacheSizeMonotone : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(CacheSizeMonotone, FullyAssociativeLruIsInclusive)
+{
+    // For fully-associative LRU, miss counts are monotone non-increasing
+    // in capacity on ANY trace (stack property) — check on a random one.
+    const uint32_t size = GetParam();
+    cache::Cache small({.size_bytes = size, .block_bytes = 16, .assoc = 0});
+    cache::Cache big(
+        {.size_bytes = size * 2, .block_bytes = 16, .assoc = 0});
+    Rng rng(99);
+    for (int i = 0; i < 30000; ++i) {
+        const uint32_t addr = rng.Below(1u << 16);
+        small.Access(addr, false);
+        big.Access(addr, false);
+    }
+    EXPECT_LE(big.stats().misses, small.stats().misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CacheSizeMonotone,
+                         ::testing::Values(512u, 1024u, 4096u, 16384u));
+
+// ---------------------------------------------------------------------
+// TLB miss rate is monotone in size for a fully-associative LRU TLB.
+// ---------------------------------------------------------------------
+
+class TlbSizeProperty : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(TlbSizeProperty, BiggerTlbNeverMissesMore)
+{
+    const uint32_t entries = GetParam();
+    tlbsim::TlbSim small({.entries = entries});
+    tlbsim::TlbSim big({.entries = entries * 2});
+    Rng rng(1234);
+    for (int i = 0; i < 20000; ++i) {
+        trace::Record r;
+        r.addr = rng.Below(256) * kPageBytes;
+        r.type = trace::RecordType::kRead;
+        r.flags = trace::MakeFlags(false, 4);
+        small.Feed(r);
+        big.Feed(r);
+    }
+    EXPECT_LE(big.stats().misses, small.stats().misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TlbSizeProperty,
+                         ::testing::Values(8u, 16u, 32u, 64u, 128u));
+
+// ---------------------------------------------------------------------
+// Record codec: random records survive pack/unpack.
+// ---------------------------------------------------------------------
+
+TEST(RecordCodecProperty, RandomRoundTrips)
+{
+    Rng rng(777);
+    for (int i = 0; i < 10000; ++i) {
+        trace::Record r;
+        r.addr = rng.Next32();
+        r.type = static_cast<trace::RecordType>(rng.Below(
+            static_cast<uint32_t>(trace::RecordType::kNumTypes)));
+        r.flags = trace::MakeFlags(rng.Below(2) != 0,
+                                   1u << rng.Below(3));
+        r.info = static_cast<uint16_t>(rng.Next32());
+        uint8_t buf[trace::kRecordBytes];
+        trace::PackRecord(r, buf);
+        ASSERT_EQ(trace::UnpackRecord(buf), r);
+    }
+}
+
+
+// ---------------------------------------------------------------------
+// Decoder robustness: random bytes either decode or are rejected; the
+// decoder never crashes or reads out of bounds.
+// ---------------------------------------------------------------------
+
+TEST(DecoderFuzz, RandomBytesNeverCrash)
+{
+    Rng rng(31337);
+    for (int trial = 0; trial < 5000; ++trial) {
+        std::vector<uint8_t> bytes(1 + rng.Below(16));
+        for (auto& b : bytes)
+            b = static_cast<uint8_t>(rng.Next32());
+        auto decoded = isa::DecodeBuffer(bytes, 0);
+        if (decoded) {
+            EXPECT_LE(decoded->length, bytes.size());
+            // Formatting a valid decode must also not crash.
+            (void)isa::FormatInst(*decoded, 0x1000);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault-isolation fuzz: a user process made of random bytes must never
+// take down the machine — the kernel kills it (or it exits/loops) and
+// any co-scheduled well-behaved process still completes.
+// ---------------------------------------------------------------------
+
+class ExecutorFuzz : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(ExecutorFuzz, RandomProgramCannotCrashTheSystem)
+{
+    Rng rng(GetParam());
+    Assembler garbage(0);
+    for (int i = 0; i < 256; ++i)
+        garbage.Byte(static_cast<uint8_t>(rng.Next32()));
+    kernel::GuestProgram bad;
+    bad.name = "garbage";
+    bad.program = garbage.Finish();
+    bad.heap_pages = 2;
+    bad.stack_pages = 2;
+
+    Assembler good(0);
+    good.Emit(Opcode::kMovl, {assembler::Imm('k'), assembler::R(1)});
+    good.Emit(Opcode::kChmk,
+              {assembler::Imm(
+                  static_cast<uint32_t>(kernel::Syscall::kPutc))});
+    good.Emit(Opcode::kChmk,
+              {assembler::Imm(
+                  static_cast<uint32_t>(kernel::Syscall::kExit))});
+    kernel::GuestProgram ok;
+    ok.name = "good";
+    ok.program = good.Finish();
+    ok.heap_pages = 2;
+    ok.stack_pages = 2;
+
+    cpu::Machine::Config config;
+    config.mem_bytes = 1u << 20;
+    config.timer_reload = 1000;
+    cpu::Machine machine(config);
+    kernel::BootSystem(machine, {bad, ok});
+    // The garbage process may be killed or loop forever; bounded run.
+    machine.Run(3'000'000);
+    // The well-behaved process must have completed either way.
+    EXPECT_NE(machine.console_output().find('k'), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u, 55u, 89u));
+
+}  // namespace
+}  // namespace atum

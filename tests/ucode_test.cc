@@ -1,0 +1,133 @@
+// Unit tests for the microcode layer: cost model and control-store
+// patching semantics.
+
+#include <gtest/gtest.h>
+
+#include "ucode/control_store.h"
+#include "ucode/micro_op.h"
+
+namespace atum::ucode {
+namespace {
+
+TEST(MicroOp, AllKindsHaveNonzeroCost)
+{
+    for (unsigned k = 0; k < static_cast<unsigned>(MicroOpKind::kNumKinds);
+         ++k) {
+        EXPECT_GT(CostOf(static_cast<MicroOpKind>(k)), 0u);
+    }
+}
+
+TEST(MicroOp, MemoryOpsCostMoreThanAlu)
+{
+    EXPECT_GE(CostOf(MicroOpKind::kDRead), CostOf(MicroOpKind::kAlu));
+    EXPECT_GE(CostOf(MicroOpKind::kCtxLoad), CostOf(MicroOpKind::kDRead));
+}
+
+TEST(ControlStore, UnpatchedFiresReturnZero)
+{
+    ControlStore cs;
+    EXPECT_EQ(cs.FireMemAccess(MemAccess{}), 0u);
+    EXPECT_EQ(cs.FireContextSwitch(1, 0x100), 0u);
+    EXPECT_EQ(cs.FireTlbMiss(0x200, false), 0u);
+    EXPECT_EQ(cs.FireExceptionDispatch(3), 0u);
+    EXPECT_EQ(cs.FireCount(PatchPoint::kMemAccess), 1u);
+    EXPECT_EQ(cs.FireCount(PatchPoint::kContextSwitch), 1u);
+}
+
+TEST(ControlStore, PatchReceivesAccessAndReturnsCost)
+{
+    ControlStore cs;
+    MemAccess seen;
+    cs.PatchMemAccess([&](const MemAccess& a) -> uint32_t {
+        seen = a;
+        return 16;
+    });
+    MemAccess access;
+    access.vaddr = 0x1234;
+    access.paddr = 0x5678;
+    access.size = 4;
+    access.kind = MemAccessKind::kWrite;
+    access.kernel = true;
+    EXPECT_EQ(cs.FireMemAccess(access), 16u);
+    EXPECT_EQ(seen.vaddr, 0x1234u);
+    EXPECT_EQ(seen.paddr, 0x5678u);
+    EXPECT_EQ(seen.kind, MemAccessKind::kWrite);
+    EXPECT_TRUE(seen.kernel);
+}
+
+TEST(ControlStore, AllPointsPatchable)
+{
+    ControlStore cs;
+    cs.PatchMemAccess([](const MemAccess&) { return 1u; });
+    cs.PatchContextSwitch([](uint16_t, uint32_t) { return 2u; });
+    cs.PatchTlbMiss([](uint32_t, bool) { return 3u; });
+    cs.PatchExceptionDispatch([](uint8_t) { return 4u; });
+    EXPECT_TRUE(cs.IsPatched(PatchPoint::kMemAccess));
+    EXPECT_TRUE(cs.IsPatched(PatchPoint::kContextSwitch));
+    EXPECT_TRUE(cs.IsPatched(PatchPoint::kTlbMiss));
+    EXPECT_TRUE(cs.IsPatched(PatchPoint::kExceptionDispatch));
+    EXPECT_EQ(cs.FireMemAccess(MemAccess{}), 1u);
+    EXPECT_EQ(cs.FireContextSwitch(0, 0), 2u);
+    EXPECT_EQ(cs.FireTlbMiss(0, true), 3u);
+    EXPECT_EQ(cs.FireExceptionDispatch(0), 4u);
+}
+
+TEST(ControlStore, UnpatchRemovesHook)
+{
+    ControlStore cs;
+    cs.PatchMemAccess([](const MemAccess&) { return 9u; });
+    cs.Unpatch(PatchPoint::kMemAccess);
+    EXPECT_FALSE(cs.IsPatched(PatchPoint::kMemAccess));
+    EXPECT_EQ(cs.FireMemAccess(MemAccess{}), 0u);
+}
+
+TEST(ControlStore, UnpatchAll)
+{
+    ControlStore cs;
+    cs.PatchMemAccess([](const MemAccess&) { return 1u; });
+    cs.PatchTlbMiss([](uint32_t, bool) { return 1u; });
+    cs.UnpatchAll();
+    EXPECT_FALSE(cs.IsPatched(PatchPoint::kMemAccess));
+    EXPECT_FALSE(cs.IsPatched(PatchPoint::kTlbMiss));
+}
+
+TEST(ControlStoreDeath, DoublePatchIsFatal)
+{
+    ControlStore cs;
+    cs.PatchMemAccess([](const MemAccess&) { return 0u; });
+    EXPECT_DEATH(cs.PatchMemAccess([](const MemAccess&) { return 0u; }),
+                 "already patched");
+}
+
+TEST(ControlStore, FireCountsAccumulate)
+{
+    ControlStore cs;
+    for (int i = 0; i < 5; ++i)
+        cs.FireMemAccess(MemAccess{});
+    EXPECT_EQ(cs.FireCount(PatchPoint::kMemAccess), 5u);
+    EXPECT_EQ(cs.FireCount(PatchPoint::kTlbMiss), 0u);
+}
+
+
+TEST(ControlStore, DecodePatchReceivesOpcodeAndPc)
+{
+    ControlStore cs;
+    uint32_t seen_pc = 0;
+    uint8_t seen_op = 0;
+    bool seen_kernel = false;
+    cs.PatchDecode([&](uint32_t pc, uint8_t op, bool kernel) -> uint32_t {
+        seen_pc = pc;
+        seen_op = op;
+        seen_kernel = kernel;
+        return 5;
+    });
+    EXPECT_EQ(cs.FireDecode(0x1234, 0x10, true), 5u);
+    EXPECT_EQ(seen_pc, 0x1234u);
+    EXPECT_EQ(seen_op, 0x10);
+    EXPECT_TRUE(seen_kernel);
+    cs.Unpatch(PatchPoint::kDecode);
+    EXPECT_EQ(cs.FireDecode(0, 0, false), 0u);
+}
+
+}  // namespace
+}  // namespace atum::ucode

@@ -1,0 +1,189 @@
+// Unit tests for the util library: bit ops, RNG determinism, statistics
+// accumulators, and the table printer.
+
+#include <gtest/gtest.h>
+
+#include "util/bitops.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace atum {
+namespace {
+
+TEST(Bitops, PowerOfTwo)
+{
+    EXPECT_TRUE(IsPowerOfTwo(1));
+    EXPECT_TRUE(IsPowerOfTwo(2));
+    EXPECT_TRUE(IsPowerOfTwo(512));
+    EXPECT_TRUE(IsPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(IsPowerOfTwo(0));
+    EXPECT_FALSE(IsPowerOfTwo(3));
+    EXPECT_FALSE(IsPowerOfTwo(513));
+}
+
+TEST(Bitops, Log2Floor)
+{
+    EXPECT_EQ(Log2Floor(1), 0u);
+    EXPECT_EQ(Log2Floor(2), 1u);
+    EXPECT_EQ(Log2Floor(3), 1u);
+    EXPECT_EQ(Log2Floor(512), 9u);
+    EXPECT_EQ(Log2Floor(1ull << 33), 33u);
+}
+
+TEST(Bitops, Align)
+{
+    EXPECT_EQ(AlignDown(513, 512), 512u);
+    EXPECT_EQ(AlignDown(512, 512), 512u);
+    EXPECT_EQ(AlignUp(513, 512), 1024u);
+    EXPECT_EQ(AlignUp(512, 512), 512u);
+    EXPECT_EQ(AlignUp(0, 512), 0u);
+}
+
+TEST(Bitops, BitsExtract)
+{
+    EXPECT_EQ(Bits(0xdeadbeef, 31, 0), 0xdeadbeefu);
+    EXPECT_EQ(Bits(0xdeadbeef, 15, 8), 0xbeu);
+    EXPECT_EQ(Bits(0xdeadbeef, 3, 0), 0xfu);
+}
+
+TEST(Bitops, SignExtend)
+{
+    EXPECT_EQ(SignExtend(0x7f, 8), 127);
+    EXPECT_EQ(SignExtend(0x80, 8), -128);
+    EXPECT_EQ(SignExtend(0xff, 8), -1);
+    EXPECT_EQ(SignExtend(0xffff, 16), -1);
+    EXPECT_EQ(SignExtend(0x8000, 16), -32768);
+    EXPECT_EQ(SignExtend(5, 16), 5);
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    EXPECT_NE(a.Next64(), b.Next64());
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.Below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const uint32_t v = r.Range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = r.NextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, BelowZeroPanics)
+{
+    Rng r(1);
+    EXPECT_DEATH(r.Below(0), "bound 0");
+}
+
+TEST(RunningStats, Empty)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, Basic)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 6.0})
+        s.Add(v);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+    EXPECT_NEAR(s.stddev(), 1.632993, 1e-5);
+}
+
+TEST(Log2Histogram, Buckets)
+{
+    Log2Histogram h;
+    h.Add(0);
+    h.Add(1);
+    h.Add(2);
+    h.Add(3);
+    h.Add(1024);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.BucketCount(0), 2u);  // 0 and 1
+    EXPECT_EQ(h.BucketCount(1), 2u);  // 2 and 3
+    EXPECT_EQ(h.BucketCount(10), 1u);
+    EXPECT_EQ(h.BucketCount(5), 0u);
+}
+
+TEST(CounterSet, AddAndGet)
+{
+    CounterSet c;
+    c.Add("a");
+    c.Add("a", 4);
+    c.Add("b");
+    EXPECT_EQ(c.Get("a"), 5u);
+    EXPECT_EQ(c.Get("b"), 1u);
+    EXPECT_EQ(c.Get("missing"), 0u);
+}
+
+TEST(Table, Render)
+{
+    Table t({"name", "value"});
+    t.AddRow({"x", "1"});
+    t.AddRow({"longer", "2.5"});
+    const std::string s = t.ToString();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+    EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST(Table, Csv)
+{
+    Table t({"a", "b"});
+    t.AddRow({"1", "2"});
+    EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(Table, FmtPrecision)
+{
+    EXPECT_EQ(Table::Fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::Fmt(2.0, 0), "2");
+}
+
+TEST(Table, WrongArityPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.AddRow({"only-one"}), "cells");
+}
+
+}  // namespace
+}  // namespace atum

@@ -1,0 +1,202 @@
+// Tests for the workload generators: each program must assemble, boot,
+// run to completion, print its completion marker, and actually exercise
+// its heap (demand paging).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/atum_tracer.h"
+#include "core/session.h"
+#include "cpu/machine.h"
+#include "kernel/boot.h"
+#include "trace/sink.h"
+#include "workloads/workloads.h"
+
+namespace atum::workloads {
+namespace {
+
+using cpu::Machine;
+using kernel::BootInfo;
+using kernel::BootSystem;
+using kernel::GuestProgram;
+using kernel::KdataOffsets;
+
+std::unique_ptr<Machine>
+SmallMachine()
+{
+    Machine::Config config;
+    config.mem_bytes = 2u << 20;
+    config.timer_reload = 3000;
+    return std::make_unique<Machine>(config);
+}
+
+struct RunOutcome {
+    std::string console;
+    uint64_t instructions = 0;
+    uint32_t page_faults = 0;
+};
+
+RunOutcome
+RunOne(GuestProgram program, uint64_t max_instructions = 30'000'000)
+{
+    auto machine = SmallMachine();
+    BootInfo info = BootSystem(*machine, {std::move(program)});
+    const auto result = machine->Run(max_instructions);
+    EXPECT_EQ(result.reason, Machine::StopReason::kHalted)
+        << "workload did not finish";
+    RunOutcome out;
+    out.console = machine->console_output();
+    out.instructions = result.instructions;
+    out.page_faults = machine->memory().Read32(info.layout.kdata_pa +
+                                               KdataOffsets::kPfCount);
+    return out;
+}
+
+TEST(Workloads, MatrixCompletes)
+{
+    const RunOutcome out = RunOne(MakeMatrix(8));
+    EXPECT_EQ(out.console, "m");
+    EXPECT_GT(out.page_faults, 0u);  // heap is demand-zero
+}
+
+TEST(Workloads, SortCompletes)
+{
+    const RunOutcome out = RunOne(MakeSort(200));
+    EXPECT_EQ(out.console, "s");
+    EXPECT_GT(out.page_faults, 0u);
+}
+
+TEST(Workloads, ListProcCompletes)
+{
+    const RunOutcome out = RunOne(MakeListProc(100, 5));
+    EXPECT_EQ(out.console, "l");
+    EXPECT_GT(out.page_faults, 0u);
+}
+
+TEST(Workloads, GrepCompletes)
+{
+    const RunOutcome out = RunOne(MakeGrep(2048, 2));
+    EXPECT_EQ(out.console, "g");
+}
+
+TEST(Workloads, HashCompletes)
+{
+    const RunOutcome out = RunOne(MakeHash(500));
+    EXPECT_EQ(out.console, "c");
+    EXPECT_GT(out.page_faults, 0u);
+}
+
+TEST(Workloads, EditorCompletes)
+{
+    const RunOutcome out = RunOne(MakeEditor(20, 2));
+    EXPECT_EQ(out.console, "e");
+    EXPECT_GT(out.page_faults, 0u);
+}
+
+TEST(Workloads, QueueSimCompletes)
+{
+    const RunOutcome out = RunOne(MakeQueueSim(300));
+    EXPECT_EQ(out.console, "q");
+    EXPECT_GT(out.page_faults, 0u);
+}
+
+TEST(Workloads, PipelinePairTransfersEverything)
+{
+    auto machine = SmallMachine();
+    BootSystem(*machine, MakePipelinePair(200));
+    const auto result = machine->Run(50'000'000);
+    ASSERT_EQ(result.reason, Machine::StopReason::kHalted);
+    // Both ends print their completion markers.
+    const std::string& out = machine->console_output();
+    EXPECT_EQ(out.size(), 2u);
+    EXPECT_NE(out.find('>'), std::string::npos);
+    EXPECT_NE(out.find('<'), std::string::npos);
+}
+
+TEST(Workloads, PipelineIsSyscallHeavy)
+{
+    // The pipeline's kernel share must exceed a compute-bound workload's.
+    auto measure = [](std::vector<GuestProgram> programs) {
+        cpu::Machine::Config config;
+        config.mem_bytes = 2u << 20;
+        config.timer_reload = 3000;
+        cpu::Machine machine(config);
+        trace::VectorSink sink;
+        core::AtumTracer tracer(machine, sink);
+        BootSystem(machine, std::move(programs));
+        core::RunTraced(machine, tracer, 100'000'000);
+        uint64_t kernel = 0, total = 0;
+        for (const auto& r : sink.records()) {
+            if (!r.IsMemory())
+                continue;
+            ++total;
+            if (r.kernel())
+                ++kernel;
+        }
+        return static_cast<double>(kernel) / static_cast<double>(total);
+    };
+    const double pipeline_share = measure(MakePipelinePair(300));
+    std::vector<GuestProgram> compute;
+    compute.push_back(MakeMatrix(12));
+    const double compute_share = measure(std::move(compute));
+    EXPECT_GT(pipeline_share, compute_share * 2);
+}
+
+TEST(Workloads, FftCompletes)
+{
+    const RunOutcome out = RunOne(MakeFft(128));
+    EXPECT_EQ(out.console, "f");
+}
+
+TEST(Workloads, DeterministicAcrossRuns)
+{
+    const RunOutcome a = RunOne(MakeHash(300));
+    const RunOutcome b = RunOne(MakeHash(300));
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.page_faults, b.page_faults);
+}
+
+TEST(Workloads, ScaleIncreasesWork)
+{
+    const RunOutcome small = RunOne(MakeSort(100));
+    const RunOutcome big = RunOne(MakeSort(400));
+    EXPECT_GT(big.instructions, small.instructions);
+}
+
+TEST(Workloads, MakeWorkloadByName)
+{
+    for (const std::string& name : AllWorkloadNames()) {
+        GuestProgram gp = MakeWorkload(name, 1);
+        EXPECT_EQ(gp.name, name);
+        EXPECT_GT(gp.program.size(), 0u);
+    }
+}
+
+TEST(Workloads, StandardMixRunsMultiprogrammed)
+{
+    auto machine = SmallMachine();
+    BootInfo info = BootSystem(*machine, StandardMix(1));
+    const auto result = machine->Run(100'000'000);
+    ASSERT_EQ(result.reason, Machine::StopReason::kHalted);
+    // All three completion markers, in some interleaving-dependent order.
+    const std::string& out = machine->console_output();
+    EXPECT_EQ(out.size(), 3u);
+    EXPECT_NE(out.find('c'), std::string::npos);
+    EXPECT_NE(out.find('m'), std::string::npos);
+    EXPECT_NE(out.find('l'), std::string::npos);
+    // Multiprogramming implies context switches.
+    const uint32_t cs = machine->memory().Read32(info.layout.kdata_pa +
+                                                 KdataOffsets::kCsCount);
+    EXPECT_GT(cs, 0u);
+}
+
+TEST(WorkloadsDeath, BadParametersAreFatal)
+{
+    EXPECT_DEATH(MakeMatrix(1), "n must be");
+    EXPECT_DEATH(MakeFft(100), "power of two");
+    EXPECT_DEATH(MakeWorkload("nope"), "unknown workload");
+}
+
+}  // namespace
+}  // namespace atum::workloads

@@ -1,0 +1,153 @@
+// atum-capture: boot a workload mix under the guest kernel, trace it with
+// the ATUM microcode patches, and write the trace to a file.
+//
+// Usage:
+//   atum-capture --out trace.atum [--workloads hash,matrix,listproc]
+//                [--scale 2] [--timer 2000] [--mem-mb 4] [--buffer-kb 256]
+//                [--pool-frames N] [--pipeline N] [--user-only PID]
+//
+// --pipeline N adds the IPC producer/consumer pair with N messages.
+// --user-only PID captures with the pre-ATUM baseline probe instead.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/atum_tracer.h"
+#include "core/session.h"
+#include "core/user_tracer.h"
+#include "cpu/machine.h"
+#include "kernel/boot.h"
+#include "trace/sink.h"
+#include "trace/stats.h"
+#include "util/logging.h"
+#include "workloads/workloads.h"
+
+namespace atum {
+namespace {
+
+struct Options {
+    std::string out;
+    std::vector<std::string> workload_names = {"hash", "matrix", "listproc"};
+    uint32_t scale = 2;
+    uint32_t timer = 2000;
+    uint32_t mem_mb = 4;
+    uint32_t buffer_kb = 256;
+    uint32_t pool_frames = 0;
+    uint32_t pipeline = 0;
+    uint32_t user_only_pid = 0;  // 0 = full-system ATUM capture
+};
+
+std::vector<std::string>
+SplitCommas(const std::string& s)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= s.size()) {
+        const size_t comma = s.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(s.substr(start));
+            break;
+        }
+        out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+Options
+ParseArgs(int argc, char** argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                Fatal(arg, " requires a value");
+            return argv[++i];
+        };
+        if (arg == "--out")
+            opts.out = next();
+        else if (arg == "--workloads")
+            opts.workload_names = SplitCommas(next());
+        else if (arg == "--scale")
+            opts.scale = std::strtoul(next().c_str(), nullptr, 0);
+        else if (arg == "--timer")
+            opts.timer = std::strtoul(next().c_str(), nullptr, 0);
+        else if (arg == "--mem-mb")
+            opts.mem_mb = std::strtoul(next().c_str(), nullptr, 0);
+        else if (arg == "--buffer-kb")
+            opts.buffer_kb = std::strtoul(next().c_str(), nullptr, 0);
+        else if (arg == "--pool-frames")
+            opts.pool_frames = std::strtoul(next().c_str(), nullptr, 0);
+        else if (arg == "--pipeline")
+            opts.pipeline = std::strtoul(next().c_str(), nullptr, 0);
+        else if (arg == "--user-only")
+            opts.user_only_pid = std::strtoul(next().c_str(), nullptr, 0);
+        else
+            Fatal("unknown argument: ", arg,
+                  " (see the header comment for usage)");
+    }
+    if (opts.out.empty())
+        Fatal("--out is required");
+    return opts;
+}
+
+int
+Run(const Options& opts)
+{
+    cpu::Machine::Config config;
+    config.mem_bytes = opts.mem_mb << 20;
+    config.timer_reload = opts.timer;
+    cpu::Machine machine(config);
+
+    std::vector<kernel::GuestProgram> programs;
+    for (const std::string& name : opts.workload_names)
+        if (!name.empty())
+            programs.push_back(workloads::MakeWorkload(name, opts.scale));
+    if (opts.pipeline > 0) {
+        for (auto& gp : workloads::MakePipelinePair(opts.pipeline))
+            programs.push_back(std::move(gp));
+    }
+
+    kernel::BootOptions boot_options;
+    boot_options.max_pool_frames = opts.pool_frames;
+
+    trace::FileSink sink(opts.out);
+    core::SessionResult result;
+    if (opts.user_only_pid != 0) {
+        core::UserTracerConfig tracer_config;
+        tracer_config.target_pid =
+            static_cast<uint16_t>(opts.user_only_pid);
+        core::UserOnlyTracer tracer(machine, sink, tracer_config);
+        kernel::BootSystem(machine, programs, boot_options);
+        result = core::RunBaseline(machine, tracer, 2'000'000'000);
+    } else {
+        core::AtumConfig tracer_config;
+        tracer_config.buffer_bytes = opts.buffer_kb << 10;
+        core::AtumTracer tracer(machine, sink, tracer_config);
+        kernel::BootSystem(machine, programs, boot_options);
+        result = core::RunTraced(machine, tracer, 2'000'000'000);
+    }
+    sink.Close();
+
+    std::printf("halted=%d instructions=%llu ucycles=%llu records=%llu\n",
+                result.halted,
+                static_cast<unsigned long long>(result.instructions),
+                static_cast<unsigned long long>(result.ucycles),
+                static_cast<unsigned long long>(sink.count()));
+    std::printf("console: \"%s\"\n", machine.console_output().c_str());
+    std::printf("wrote %s\n", opts.out.c_str());
+    return result.halted ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace atum
+
+int
+main(int argc, char** argv)
+{
+    return atum::Run(atum::ParseArgs(argc, argv));
+}

@@ -1,0 +1,96 @@
+// atum-disasm: disassemble a guest workload image or the kernel.
+//
+// Usage:
+//   atum-disasm --workload hash [--scale 1]
+//   atum-disasm --kernel [--mem-mb 4]
+//
+// Linear sweep; data regions (CASEL tables, embedded constants) stop the
+// sweep at the first undecodable byte, which is reported.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "isa/decoder.h"
+#include "isa/disassembler.h"
+#include "kernel/kernel_builder.h"
+#include "kernel/layout.h"
+#include "util/logging.h"
+#include "workloads/workloads.h"
+
+namespace atum {
+namespace {
+
+void
+Disassemble(const assembler::Program& program)
+{
+    // Invert the symbol map so labels print at their addresses.
+    std::map<uint32_t, std::string> labels;
+    for (const auto& [name, addr] : program.symbols)
+        labels[addr] = name;
+
+    uint32_t offset = 0;
+    while (offset < program.size()) {
+        const uint32_t addr = program.origin + offset;
+        if (auto it = labels.find(addr); it != labels.end())
+            std::printf("%s:\n", it->second.c_str());
+        auto inst = isa::DecodeBuffer(program.bytes, offset);
+        if (!inst) {
+            std::printf("0x%08x:  .byte 0x%02x   ; undecodable — data "
+                        "region or table, sweep ends\n",
+                        addr, program.bytes[offset]);
+            break;
+        }
+        std::printf("0x%08x:  %s\n", addr,
+                    isa::FormatInst(*inst, addr).c_str());
+        offset += inst->length;
+    }
+    std::printf("\n%u of %u bytes disassembled\n", offset, program.size());
+}
+
+int
+Run(int argc, char** argv)
+{
+    std::string workload;
+    uint32_t scale = 1;
+    bool kernel = false;
+    uint32_t mem_mb = 4;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                Fatal(arg, " requires a value");
+            return argv[++i];
+        };
+        if (arg == "--workload")
+            workload = next();
+        else if (arg == "--scale")
+            scale = std::strtoul(next().c_str(), nullptr, 0);
+        else if (arg == "--kernel")
+            kernel = true;
+        else if (arg == "--mem-mb")
+            mem_mb = std::strtoul(next().c_str(), nullptr, 0);
+        else
+            Fatal("unknown argument: ", arg);
+    }
+
+    if (kernel) {
+        const auto layout =
+            kernel::ComputeLayout((mem_mb << 20) / kPageBytes);
+        Disassemble(kernel::BuildKernelImage(layout));
+        return 0;
+    }
+    if (workload.empty())
+        Fatal("usage: atum-disasm --workload NAME | --kernel");
+    Disassemble(workloads::MakeWorkload(workload, scale).program);
+    return 0;
+}
+
+}  // namespace
+}  // namespace atum
+
+int
+main(int argc, char** argv)
+{
+    return atum::Run(argc, argv);
+}

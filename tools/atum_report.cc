@@ -1,0 +1,181 @@
+// atum-report: analyze a captured trace file.
+//
+// Usage:
+//   atum-report trace.atum [--head N] [--cache SIZE_KB:BLOCK:ASSOC]
+//                [--flush-on-switch] [--pid-tags] [--no-kernel]
+//                [--tlb ENTRIES] [--working-sets] [--stack-distance]
+//
+// Default output is the trace-characterization summary (T1-style). Each
+// additional flag appends the corresponding analysis.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/stack_distance.h"
+#include "analysis/working_set.h"
+#include "cache/cache.h"
+#include "cache/trace_driver.h"
+#include "tlbsim/tlb_sim.h"
+#include "trace/sink.h"
+#include "trace/stats.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace atum {
+namespace {
+
+struct Options {
+    std::string path;
+    uint32_t head = 0;
+    bool have_cache = false;
+    cache::CacheConfig cache_config;
+    cache::DriverOptions driver_options;
+    uint32_t tlb_entries = 0;
+    bool working_sets = false;
+    bool stack_distance = false;
+};
+
+cache::CacheConfig
+ParseCacheSpec(const std::string& spec)
+{
+    cache::CacheConfig config;
+    unsigned size_kb = 0, block = 0, assoc = 0;
+    if (std::sscanf(spec.c_str(), "%u:%u:%u", &size_kb, &block, &assoc) != 3)
+        Fatal("bad --cache spec '", spec, "', want SIZE_KB:BLOCK:ASSOC");
+    config.size_bytes = size_kb << 10;
+    config.block_bytes = block;
+    config.assoc = assoc;
+    return config;
+}
+
+Options
+ParseArgs(int argc, char** argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                Fatal(arg, " requires a value");
+            return argv[++i];
+        };
+        if (arg == "--head")
+            opts.head = std::strtoul(next().c_str(), nullptr, 0);
+        else if (arg == "--cache") {
+            opts.cache_config = ParseCacheSpec(next());
+            opts.have_cache = true;
+        } else if (arg == "--flush-on-switch")
+            opts.driver_options.flush_on_switch = true;
+        else if (arg == "--pid-tags")
+            opts.cache_config.pid_tags = true;
+        else if (arg == "--no-kernel")
+            opts.driver_options.include_kernel = false;
+        else if (arg == "--tlb")
+            opts.tlb_entries = std::strtoul(next().c_str(), nullptr, 0);
+        else if (arg == "--working-sets")
+            opts.working_sets = true;
+        else if (arg == "--stack-distance")
+            opts.stack_distance = true;
+        else if (!arg.empty() && arg[0] != '-')
+            opts.path = arg;
+        else
+            Fatal("unknown argument: ", arg);
+    }
+    if (opts.path.empty())
+        Fatal("usage: atum-report TRACE [options]");
+    return opts;
+}
+
+const char*
+TypeName(trace::RecordType type)
+{
+    static const char* const kNames[] = {"ifetch",  "read",   "write",
+                                         "pte",     "ctxsw",  "tlbmiss",
+                                         "except",  "opcode"};
+    return kNames[static_cast<unsigned>(type)];
+}
+
+int
+Run(const Options& opts)
+{
+    const std::vector<trace::Record> records =
+        trace::ReadTraceFile(opts.path);
+
+    if (opts.head > 0) {
+        for (size_t i = 0; i < opts.head && i < records.size(); ++i) {
+            const trace::Record& r = records[i];
+            std::printf("%8zu  %-7s %c 0x%08x size=%u info=%u\n", i,
+                        TypeName(r.type), r.kernel() ? 'K' : 'U', r.addr,
+                        r.size(), r.info);
+        }
+        std::printf("\n");
+    }
+
+    trace::TraceStats stats;
+    for (const auto& r : records)
+        stats.Accumulate(r);
+    std::printf("%s\n", stats.ToString().c_str());
+
+    if (opts.have_cache) {
+        cache::Cache c(opts.cache_config);
+        cache::TraceCacheDriver driver(c, opts.driver_options);
+        for (const auto& r : records)
+            driver.Feed(r);
+        std::printf("cache %s: accesses=%llu miss-rate=%.3f%% "
+                    "writebacks=%llu\n",
+                    c.config().ToString().c_str(),
+                    static_cast<unsigned long long>(c.stats().accesses),
+                    100.0 * c.stats().MissRate(),
+                    static_cast<unsigned long long>(c.stats().writebacks));
+    }
+
+    if (opts.tlb_entries > 0) {
+        tlbsim::TlbSim sim({.entries = opts.tlb_entries});
+        for (const auto& r : records)
+            sim.Feed(r);
+        std::printf("tlb %u entries: accesses=%llu miss-rate=%.3f%%\n",
+                    opts.tlb_entries,
+                    static_cast<unsigned long long>(sim.stats().accesses),
+                    100.0 * sim.stats().MissRate());
+    }
+
+    if (opts.working_sets) {
+        analysis::WorkingSetAnalyzer ws({100, 1000, 10000, 100000});
+        for (const auto& r : records)
+            ws.Feed(r);
+        Table table({"window(refs)", "avg-ws(pages)"});
+        for (size_t i = 0; i < ws.windows().size(); ++i) {
+            table.AddRow({std::to_string(ws.windows()[i]),
+                          Table::Fmt(ws.AverageWorkingSet(i), 1)});
+        }
+        std::printf("%s", table.ToString().c_str());
+        std::printf("distinct pages: %llu\n\n",
+                    static_cast<unsigned long long>(ws.distinct_pages()));
+    }
+
+    if (opts.stack_distance) {
+        analysis::StackDistanceAnalyzer sd(4);
+        for (const auto& r : records)
+            sd.Feed(r);
+        Table table({"fully-assoc LRU", "miss-rate%"});
+        for (uint32_t kib : {1u, 4u, 16u, 64u, 256u}) {
+            table.AddRow({std::to_string(kib) + "K",
+                          Table::Fmt(100.0 * sd.MissRateForCapacity(
+                                                 (kib << 10) >> 4),
+                                     3)});
+        }
+        std::printf("%s\n", table.ToString().c_str());
+    }
+    return 0;
+}
+
+}  // namespace
+}  // namespace atum
+
+int
+main(int argc, char** argv)
+{
+    return atum::Run(atum::ParseArgs(argc, argv));
+}
