@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_stack_distance.dir/bench_a2_stack_distance.cc.o"
+  "CMakeFiles/bench_a2_stack_distance.dir/bench_a2_stack_distance.cc.o.d"
+  "bench_a2_stack_distance"
+  "bench_a2_stack_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_stack_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

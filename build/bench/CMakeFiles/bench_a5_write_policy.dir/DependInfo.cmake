@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_a5_write_policy.cc" "bench/CMakeFiles/bench_a5_write_policy.dir/bench_a5_write_policy.cc.o" "gcc" "bench/CMakeFiles/bench_a5_write_policy.dir/bench_a5_write_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/atum_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atum_tlbsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atum_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atum_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atum_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atum_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atum_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atum_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atum_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atum_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atum_ucode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atum_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atum_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atum_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a6_machine_tb.dir/bench_a6_machine_tb.cc.o"
+  "CMakeFiles/bench_a6_machine_tb.dir/bench_a6_machine_tb.cc.o.d"
+  "bench_a6_machine_tb"
+  "bench_a6_machine_tb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_machine_tb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_a6_machine_tb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a7_set_sampling.dir/bench_a7_set_sampling.cc.o"
+  "CMakeFiles/bench_a7_set_sampling.dir/bench_a7_set_sampling.cc.o.d"
+  "bench_a7_set_sampling"
+  "bench_a7_set_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a7_set_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

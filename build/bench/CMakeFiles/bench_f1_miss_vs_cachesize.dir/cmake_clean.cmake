@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_miss_vs_cachesize.dir/bench_f1_miss_vs_cachesize.cc.o"
+  "CMakeFiles/bench_f1_miss_vs_cachesize.dir/bench_f1_miss_vs_cachesize.cc.o.d"
+  "bench_f1_miss_vs_cachesize"
+  "bench_f1_miss_vs_cachesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_miss_vs_cachesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_f1_miss_vs_cachesize.
+# This may be replaced when dependencies are built.

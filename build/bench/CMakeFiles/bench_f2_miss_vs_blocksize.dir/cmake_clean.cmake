@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_miss_vs_blocksize.dir/bench_f2_miss_vs_blocksize.cc.o"
+  "CMakeFiles/bench_f2_miss_vs_blocksize.dir/bench_f2_miss_vs_blocksize.cc.o.d"
+  "bench_f2_miss_vs_blocksize"
+  "bench_f2_miss_vs_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_miss_vs_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

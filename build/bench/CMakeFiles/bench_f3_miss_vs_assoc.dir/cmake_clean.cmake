@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_miss_vs_assoc.dir/bench_f3_miss_vs_assoc.cc.o"
+  "CMakeFiles/bench_f3_miss_vs_assoc.dir/bench_f3_miss_vs_assoc.cc.o.d"
+  "bench_f3_miss_vs_assoc"
+  "bench_f3_miss_vs_assoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_miss_vs_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

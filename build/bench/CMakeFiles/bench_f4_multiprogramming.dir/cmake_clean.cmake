@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_multiprogramming.dir/bench_f4_multiprogramming.cc.o"
+  "CMakeFiles/bench_f4_multiprogramming.dir/bench_f4_multiprogramming.cc.o.d"
+  "bench_f4_multiprogramming"
+  "bench_f4_multiprogramming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_multiprogramming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_paging.dir/bench_f6_paging.cc.o"
+  "CMakeFiles/bench_f6_paging.dir/bench_f6_paging.cc.o.d"
+  "bench_f6_paging"
+  "bench_f6_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_trace_characteristics.dir/bench_t1_trace_characteristics.cc.o"
+  "CMakeFiles/bench_t1_trace_characteristics.dir/bench_t1_trace_characteristics.cc.o.d"
+  "bench_t1_trace_characteristics"
+  "bench_t1_trace_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_trace_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_slowdown.dir/bench_t2_slowdown.cc.o"
+  "CMakeFiles/bench_t2_slowdown.dir/bench_t2_slowdown.cc.o.d"
+  "bench_t2_slowdown"
+  "bench_t2_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_buffer_extraction.dir/bench_t3_buffer_extraction.cc.o"
+  "CMakeFiles/bench_t3_buffer_extraction.dir/bench_t3_buffer_extraction.cc.o.d"
+  "bench_t3_buffer_extraction"
+  "bench_t3_buffer_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_buffer_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

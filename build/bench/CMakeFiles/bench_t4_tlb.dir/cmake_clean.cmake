@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_tlb.dir/bench_t4_tlb.cc.o"
+  "CMakeFiles/bench_t4_tlb.dir/bench_t4_tlb.cc.o.d"
+  "bench_t4_tlb"
+  "bench_t4_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

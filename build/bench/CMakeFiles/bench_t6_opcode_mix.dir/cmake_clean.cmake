@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t6_opcode_mix.dir/bench_t6_opcode_mix.cc.o"
+  "CMakeFiles/bench_t6_opcode_mix.dir/bench_t6_opcode_mix.cc.o.d"
+  "bench_t6_opcode_mix"
+  "bench_t6_opcode_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t6_opcode_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/working_sets.dir/working_sets.cc.o"
+  "CMakeFiles/working_sets.dir/working_sets.cc.o.d"
+  "working_sets"
+  "working_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/working_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

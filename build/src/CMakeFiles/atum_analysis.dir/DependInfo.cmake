@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/compare.cc" "src/CMakeFiles/atum_analysis.dir/analysis/compare.cc.o" "gcc" "src/CMakeFiles/atum_analysis.dir/analysis/compare.cc.o.d"
+  "/root/repo/src/analysis/mix.cc" "src/CMakeFiles/atum_analysis.dir/analysis/mix.cc.o" "gcc" "src/CMakeFiles/atum_analysis.dir/analysis/mix.cc.o.d"
+  "/root/repo/src/analysis/stack_distance.cc" "src/CMakeFiles/atum_analysis.dir/analysis/stack_distance.cc.o" "gcc" "src/CMakeFiles/atum_analysis.dir/analysis/stack_distance.cc.o.d"
+  "/root/repo/src/analysis/working_set.cc" "src/CMakeFiles/atum_analysis.dir/analysis/working_set.cc.o" "gcc" "src/CMakeFiles/atum_analysis.dir/analysis/working_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/atum_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atum_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atum_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atum_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

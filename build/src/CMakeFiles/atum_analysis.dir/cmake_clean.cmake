@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atum_analysis.dir/analysis/compare.cc.o"
+  "CMakeFiles/atum_analysis.dir/analysis/compare.cc.o.d"
+  "CMakeFiles/atum_analysis.dir/analysis/mix.cc.o"
+  "CMakeFiles/atum_analysis.dir/analysis/mix.cc.o.d"
+  "CMakeFiles/atum_analysis.dir/analysis/stack_distance.cc.o"
+  "CMakeFiles/atum_analysis.dir/analysis/stack_distance.cc.o.d"
+  "CMakeFiles/atum_analysis.dir/analysis/working_set.cc.o"
+  "CMakeFiles/atum_analysis.dir/analysis/working_set.cc.o.d"
+  "libatum_analysis.a"
+  "libatum_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atum_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libatum_analysis.a"
+)

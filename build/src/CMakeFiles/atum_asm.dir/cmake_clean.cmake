@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atum_asm.dir/assembler/assembler.cc.o"
+  "CMakeFiles/atum_asm.dir/assembler/assembler.cc.o.d"
+  "libatum_asm.a"
+  "libatum_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atum_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

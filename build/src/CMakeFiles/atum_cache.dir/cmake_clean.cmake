@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atum_cache.dir/cache/cache.cc.o"
+  "CMakeFiles/atum_cache.dir/cache/cache.cc.o.d"
+  "CMakeFiles/atum_cache.dir/cache/hierarchy.cc.o"
+  "CMakeFiles/atum_cache.dir/cache/hierarchy.cc.o.d"
+  "CMakeFiles/atum_cache.dir/cache/trace_driver.cc.o"
+  "CMakeFiles/atum_cache.dir/cache/trace_driver.cc.o.d"
+  "CMakeFiles/atum_cache.dir/cache/write_buffer.cc.o"
+  "CMakeFiles/atum_cache.dir/cache/write_buffer.cc.o.d"
+  "libatum_cache.a"
+  "libatum_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atum_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/atum_tracer.cc" "src/CMakeFiles/atum_core.dir/core/atum_tracer.cc.o" "gcc" "src/CMakeFiles/atum_core.dir/core/atum_tracer.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/CMakeFiles/atum_core.dir/core/session.cc.o" "gcc" "src/CMakeFiles/atum_core.dir/core/session.cc.o.d"
+  "/root/repo/src/core/user_tracer.cc" "src/CMakeFiles/atum_core.dir/core/user_tracer.cc.o" "gcc" "src/CMakeFiles/atum_core.dir/core/user_tracer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/atum_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atum_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atum_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atum_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atum_ucode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atum_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atum_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

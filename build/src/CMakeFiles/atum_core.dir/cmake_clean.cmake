@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atum_core.dir/core/atum_tracer.cc.o"
+  "CMakeFiles/atum_core.dir/core/atum_tracer.cc.o.d"
+  "CMakeFiles/atum_core.dir/core/session.cc.o"
+  "CMakeFiles/atum_core.dir/core/session.cc.o.d"
+  "CMakeFiles/atum_core.dir/core/user_tracer.cc.o"
+  "CMakeFiles/atum_core.dir/core/user_tracer.cc.o.d"
+  "libatum_core.a"
+  "libatum_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atum_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atum_cpu.dir/cpu/exceptions.cc.o"
+  "CMakeFiles/atum_cpu.dir/cpu/exceptions.cc.o.d"
+  "CMakeFiles/atum_cpu.dir/cpu/executor.cc.o"
+  "CMakeFiles/atum_cpu.dir/cpu/executor.cc.o.d"
+  "CMakeFiles/atum_cpu.dir/cpu/machine.cc.o"
+  "CMakeFiles/atum_cpu.dir/cpu/machine.cc.o.d"
+  "libatum_cpu.a"
+  "libatum_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atum_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

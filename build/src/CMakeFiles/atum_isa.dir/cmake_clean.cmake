@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atum_isa.dir/isa/decoder.cc.o"
+  "CMakeFiles/atum_isa.dir/isa/decoder.cc.o.d"
+  "CMakeFiles/atum_isa.dir/isa/disassembler.cc.o"
+  "CMakeFiles/atum_isa.dir/isa/disassembler.cc.o.d"
+  "CMakeFiles/atum_isa.dir/isa/isa.cc.o"
+  "CMakeFiles/atum_isa.dir/isa/isa.cc.o.d"
+  "libatum_isa.a"
+  "libatum_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atum_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atum_kernel.dir/kernel/boot.cc.o"
+  "CMakeFiles/atum_kernel.dir/kernel/boot.cc.o.d"
+  "CMakeFiles/atum_kernel.dir/kernel/kernel_builder.cc.o"
+  "CMakeFiles/atum_kernel.dir/kernel/kernel_builder.cc.o.d"
+  "CMakeFiles/atum_kernel.dir/kernel/layout.cc.o"
+  "CMakeFiles/atum_kernel.dir/kernel/layout.cc.o.d"
+  "libatum_kernel.a"
+  "libatum_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atum_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atum_mem.dir/mem/physical_memory.cc.o"
+  "CMakeFiles/atum_mem.dir/mem/physical_memory.cc.o.d"
+  "libatum_mem.a"
+  "libatum_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atum_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atum_mmu.dir/mmu/mmu.cc.o"
+  "CMakeFiles/atum_mmu.dir/mmu/mmu.cc.o.d"
+  "CMakeFiles/atum_mmu.dir/mmu/tlb.cc.o"
+  "CMakeFiles/atum_mmu.dir/mmu/tlb.cc.o.d"
+  "libatum_mmu.a"
+  "libatum_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atum_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

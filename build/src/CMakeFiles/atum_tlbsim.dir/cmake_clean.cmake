@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atum_tlbsim.dir/tlbsim/tlb_sim.cc.o"
+  "CMakeFiles/atum_tlbsim.dir/tlbsim/tlb_sim.cc.o.d"
+  "libatum_tlbsim.a"
+  "libatum_tlbsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atum_tlbsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atum_trace.dir/trace/compress.cc.o"
+  "CMakeFiles/atum_trace.dir/trace/compress.cc.o.d"
+  "CMakeFiles/atum_trace.dir/trace/record.cc.o"
+  "CMakeFiles/atum_trace.dir/trace/record.cc.o.d"
+  "CMakeFiles/atum_trace.dir/trace/sink.cc.o"
+  "CMakeFiles/atum_trace.dir/trace/sink.cc.o.d"
+  "CMakeFiles/atum_trace.dir/trace/stats.cc.o"
+  "CMakeFiles/atum_trace.dir/trace/stats.cc.o.d"
+  "libatum_trace.a"
+  "libatum_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atum_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

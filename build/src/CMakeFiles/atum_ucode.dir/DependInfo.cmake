@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ucode/control_store.cc" "src/CMakeFiles/atum_ucode.dir/ucode/control_store.cc.o" "gcc" "src/CMakeFiles/atum_ucode.dir/ucode/control_store.cc.o.d"
+  "/root/repo/src/ucode/micro_op.cc" "src/CMakeFiles/atum_ucode.dir/ucode/micro_op.cc.o" "gcc" "src/CMakeFiles/atum_ucode.dir/ucode/micro_op.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/atum_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

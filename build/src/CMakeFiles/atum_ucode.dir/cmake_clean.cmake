@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atum_ucode.dir/ucode/control_store.cc.o"
+  "CMakeFiles/atum_ucode.dir/ucode/control_store.cc.o.d"
+  "CMakeFiles/atum_ucode.dir/ucode/micro_op.cc.o"
+  "CMakeFiles/atum_ucode.dir/ucode/micro_op.cc.o.d"
+  "libatum_ucode.a"
+  "libatum_ucode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atum_ucode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

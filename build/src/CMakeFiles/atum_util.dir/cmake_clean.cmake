@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atum_util.dir/util/logging.cc.o"
+  "CMakeFiles/atum_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/atum_util.dir/util/rng.cc.o"
+  "CMakeFiles/atum_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/atum_util.dir/util/stats.cc.o"
+  "CMakeFiles/atum_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/atum_util.dir/util/table.cc.o"
+  "CMakeFiles/atum_util.dir/util/table.cc.o.d"
+  "libatum_util.a"
+  "libatum_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atum_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

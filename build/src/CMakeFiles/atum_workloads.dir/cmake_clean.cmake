@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atum_workloads.dir/workloads/workloads.cc.o"
+  "CMakeFiles/atum_workloads.dir/workloads/workloads.cc.o.d"
+  "libatum_workloads.a"
+  "libatum_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atum_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_exception_test.dir/cpu_exception_test.cc.o"
+  "CMakeFiles/cpu_exception_test.dir/cpu_exception_test.cc.o.d"
+  "cpu_exception_test"
+  "cpu_exception_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_exception_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

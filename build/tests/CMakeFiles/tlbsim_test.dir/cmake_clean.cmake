@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlbsim_test.dir/tlbsim_test.cc.o"
+  "CMakeFiles/tlbsim_test.dir/tlbsim_test.cc.o.d"
+  "tlbsim_test"
+  "tlbsim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlbsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucode_test.dir/ucode_test.cc.o"
+  "CMakeFiles/ucode_test.dir/ucode_test.cc.o.d"
+  "ucode_test"
+  "ucode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

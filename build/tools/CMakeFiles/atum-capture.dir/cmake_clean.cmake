@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atum-capture.dir/atum_capture.cc.o"
+  "CMakeFiles/atum-capture.dir/atum_capture.cc.o.d"
+  "atum-capture"
+  "atum-capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atum-capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atum-disasm.dir/atum_disasm.cc.o"
+  "CMakeFiles/atum-disasm.dir/atum_disasm.cc.o.d"
+  "atum-disasm"
+  "atum-disasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atum-disasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atum-report.dir/atum_report.cc.o"
+  "CMakeFiles/atum-report.dir/atum_report.cc.o.d"
+  "atum-report"
+  "atum-report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atum-report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
