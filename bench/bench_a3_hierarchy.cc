@@ -5,9 +5,12 @@
 // recover what multiprogramming destroys" question.
 
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "cache/hierarchy.h"
 #include "common.h"
+#include "replay/sweep.h"
 #include "util/table.h"
 
 namespace atum {
@@ -21,7 +24,9 @@ Run()
 
     std::printf("A3: L2 size sweep behind 4K+4K split L1s "
                 "(full-system trace)\n\n");
-    Table table({"l2", "discipline", "l1d-miss%", "global-miss%", "amat"});
+    // All six (L2 size, discipline) points replay concurrently.
+    std::vector<replay::SweepConfig> jobs;
+    std::vector<std::pair<uint32_t, bool>> grid;
     for (uint32_t kib : {32u, 128u, 512u}) {
         for (bool flush : {true, false}) {
             cache::HierarchyConfig config;
@@ -32,17 +37,21 @@ Run()
                 config.l1d.pid_tags = true;
                 config.l2.pid_tags = true;
             }
-            cache::CacheHierarchy h(config);
-            for (const trace::Record& r : cap.records)
-                h.Feed(r);
-            table.AddRow({
-                std::to_string(kib) + "K",
-                flush ? "flush" : "pid-tags",
-                Table::Fmt(100.0 * h.l1d().stats().MissRate(), 2),
-                Table::Fmt(100.0 * h.GlobalMissRate(), 3),
-                Table::Fmt(h.Amat(), 2),
-            });
+            jobs.push_back(replay::MakeHierarchyJob(config));
+            grid.emplace_back(kib, flush);
         }
+    }
+    const auto results = replay::SweepRunner().Run(cap.records, jobs);
+
+    Table table({"l2", "discipline", "l1d-miss%", "global-miss%", "amat"});
+    for (size_t i = 0; i < results.size(); ++i) {
+        table.AddRow({
+            std::to_string(grid[i].first) + "K",
+            grid[i].second ? "flush" : "pid-tags",
+            Table::Fmt(100.0 * results[i].l1d_stats.MissRate(), 2),
+            Table::Fmt(100.0 * results[i].global_miss_rate, 3),
+            Table::Fmt(results[i].amat, 2),
+        });
     }
     std::printf("%s\n", table.ToString().c_str());
     std::printf("Shape check: a big L2 pulls global miss rate toward zero\n"

@@ -12,8 +12,8 @@
 
 #include <cstdio>
 
-#include "analysis/compare.h"
 #include "common.h"
+#include "replay/sweep.h"
 #include "util/table.h"
 
 namespace atum {
@@ -35,18 +35,25 @@ Run()
                                          8u << 10, 16u << 10, 32u << 10,
                                          64u << 10, 128u << 10, 256u << 10,
                                          512u << 10};
-    const auto full_points =
-        analysis::SweepCacheSize(full.records, sizes, base, full_opts);
-    const auto user_points =
-        analysis::SweepCacheSize(user.records, sizes, base, user_opts);
+    // All sizes of one trace replay concurrently; results stay in input
+    // (size) order.
+    std::vector<replay::SweepConfig> full_jobs, user_jobs;
+    for (uint32_t size : sizes) {
+        base.size_bytes = size;
+        full_jobs.push_back(replay::MakeCacheJob(base, full_opts));
+        user_jobs.push_back(replay::MakeCacheJob(base, user_opts));
+    }
+    const replay::SweepRunner runner;
+    const auto full_points = runner.Run(full.records, full_jobs);
+    const auto user_points = runner.Run(user.records, user_jobs);
 
     std::printf("F1: miss rate vs cache size (direct-mapped, 16B blocks)\n");
     std::printf("full-system trace: %zu refs; user-only trace: %zu refs\n\n",
                 full.records.size(), user.records.size());
     Table table({"cache", "full-system%", "user-only%", "ratio"});
     for (size_t i = 0; i < sizes.size(); ++i) {
-        const double f = full_points[i].miss_rate;
-        const double u = user_points[i].miss_rate;
+        const double f = full_points[i].MissRate();
+        const double u = user_points[i].MissRate();
         table.AddRow({
             std::to_string(sizes[i] / 1024) + "K",
             Table::Fmt(100.0 * f, 2),

@@ -6,8 +6,8 @@
 
 #include <cstdio>
 
-#include "analysis/compare.h"
 #include "common.h"
+#include "replay/sweep.h"
 #include "util/table.h"
 
 namespace atum {
@@ -24,16 +24,26 @@ Run()
                             .assoc = 1, .pid_tags = true};
     cache::DriverOptions opts;
 
+    // The associativity ladder plus the LRU-vs-random side question all
+    // replay concurrently as one sweep.
     const std::vector<uint32_t> assocs = {1, 2, 4, 8};
-    const auto points =
-        analysis::SweepAssociativity(full.records, assocs, base, opts);
+    std::vector<replay::SweepConfig> jobs;
+    for (uint32_t assoc : assocs) {
+        base.assoc = assoc;
+        jobs.push_back(replay::MakeCacheJob(base, opts));
+    }
+    cache::CacheConfig random_cfg = base;
+    random_cfg.assoc = 4;
+    random_cfg.replacement = cache::Replacement::kRandom;
+    jobs.push_back(replay::MakeCacheJob(random_cfg, opts));
+    const auto points = replay::SweepRunner().Run(full.records, jobs);
 
     std::printf("F3: miss rate vs associativity (8K PID-tagged, 16B blocks, "
                 "full-system trace)\n\n");
     Table table({"assoc", "miss%", "improvement-vs-prev%"});
     double prev = 0;
     for (size_t i = 0; i < assocs.size(); ++i) {
-        const double m = points[i].miss_rate;
+        const double m = points[i].MissRate();
         table.AddRow({
             std::to_string(assocs[i]) + "-way",
             Table::Fmt(100.0 * m, 3),
@@ -44,15 +54,10 @@ Run()
         prev = m;
     }
 
-    // LRU vs random replacement at 4-way, a classic side question.
-    cache::CacheConfig random_cfg = base;
-    random_cfg.assoc = 4;
-    random_cfg.replacement = cache::Replacement::kRandom;
-    const auto random_stats =
-        analysis::SimulateCache(full.records, random_cfg, opts);
     std::printf("%s\n", table.ToString().c_str());
     std::printf("4-way random replacement: %.3f%% (vs LRU %.3f%%)\n\n",
-                100.0 * random_stats.MissRate(), 100.0 * points[2].miss_rate);
+                100.0 * points.back().MissRate(),
+                100.0 * points[2].MissRate());
     std::printf("Shape check: largest gain 1-way -> 2-way; LRU edges out\n"
                 "random at equal geometry.\n");
     return 0;

@@ -1,7 +1,9 @@
 #!/bin/sh
-# End-to-end CLI test: capture -> report -> disasm. Run by ctest.
+# End-to-end CLI test: capture -> report -> disasm -> parallel sweep
+# golden diff. Run by ctest as: test_tools.sh BUILD_DIR [SOURCE_DIR].
 set -e
 BUILD=$1
+SRC=${2:-$(dirname "$0")/..}
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
@@ -24,4 +26,12 @@ grep -q "svpctx" "$TMP/dis.txt"
 
 "$BUILD/tools/atum-disasm" --workload sort > "$TMP/dis2.txt"
 grep -q "sobgtr" "$TMP/dis2.txt"
+
+# Parallel sweep must reproduce the checked-in golden table bit for bit
+# (the sweep table is deterministic regardless of --jobs).
+"$BUILD/tools/atum-report" "$TMP/t.atum" --sweep 16:16:1,64:16:2 --jobs 2 \
+    > "$TMP/sweep_full.txt"
+sed -n '/^sweep:/,$p' "$TMP/sweep_full.txt" > "$TMP/sweep.txt"
+diff -u "$SRC/tests/golden/sweep_16_64.txt" "$TMP/sweep.txt"
+
 echo "tools OK"

@@ -1,0 +1,58 @@
+#include "analysis/parallel_profiles.h"
+
+#include <map>
+
+#include "analysis/stack_distance.h"
+#include "replay/thread_pool.h"
+
+namespace atum::analysis {
+
+using trace::Record;
+using trace::RecordType;
+
+std::vector<ProcessProfile>
+PerProcessStackProfiles(const std::vector<Record>& records,
+                        const ProcessProfileOptions& options, unsigned jobs)
+{
+    // Serial split: per-pid block substreams, in trace order. PTE refs
+    // carry physical addresses and are excluded, as everywhere else.
+    std::map<uint16_t, std::vector<uint32_t>> substreams;
+    uint16_t current_pid = 0;
+    for (const Record& r : records) {
+        if (r.type == RecordType::kCtxSwitch) {
+            current_pid = r.info;
+            continue;
+        }
+        if (!r.IsMemory() || r.type == RecordType::kPte)
+            continue;
+        if (r.kernel() && !options.include_kernel)
+            continue;
+        const uint16_t pid = r.kernel() ? 0 : current_pid;
+        substreams[pid].push_back(r.addr >> options.block_shift);
+    }
+
+    std::vector<ProcessProfile> profiles(substreams.size());
+    replay::ThreadPool pool(jobs);
+    std::size_t slot = 0;
+    for (const auto& [pid, blocks] : substreams) {
+        ProcessProfile* out = &profiles[slot++];
+        out->pid = pid;
+        const std::vector<uint32_t>* stream = &blocks;
+        pool.Submit([out, stream, &options] {
+            StackDistanceAnalyzer sd(0);  // stream is already blocks
+            for (uint32_t block : *stream)
+                sd.TouchBlock(block);
+            out->accesses = sd.total_accesses();
+            out->cold_misses = sd.cold_misses();
+            out->distinct_blocks = sd.distinct_blocks();
+            out->misses_at_capacity.reserve(options.capacities.size());
+            for (uint64_t capacity : options.capacities)
+                out->misses_at_capacity.push_back(
+                    sd.MissesForCapacity(capacity));
+        });
+    }
+    pool.Wait();
+    return profiles;
+}
+
+}  // namespace atum::analysis

@@ -1,0 +1,127 @@
+#include "replay/sweep.h"
+
+#include <algorithm>
+
+#include "replay/thread_pool.h"
+
+namespace atum::replay {
+
+SweepConfig
+MakeCacheJob(const cache::CacheConfig& cache,
+             const cache::DriverOptions& driver, std::string label)
+{
+    SweepConfig job;
+    job.kind = SweepConfig::Kind::kCache;
+    job.cache = cache;
+    job.driver = driver;
+    job.label = label.empty() ? cache.ToString() : std::move(label);
+    return job;
+}
+
+SweepConfig
+MakeHierarchyJob(const cache::HierarchyConfig& hierarchy, std::string label)
+{
+    SweepConfig job;
+    job.kind = SweepConfig::Kind::kHierarchy;
+    job.hierarchy = hierarchy;
+    job.label = label.empty() ? "L2 " + hierarchy.l2.ToString()
+                              : std::move(label);
+    return job;
+}
+
+SweepConfig
+MakeTlbJob(const tlbsim::TlbSimConfig& tlb, std::string label)
+{
+    SweepConfig job;
+    job.kind = SweepConfig::Kind::kTlb;
+    job.tlb = tlb;
+    job.label = label.empty()
+                    ? "tlb " + std::to_string(tlb.entries) + "e"
+                    : std::move(label);
+    return job;
+}
+
+double
+SweepResult::MissRate() const
+{
+    switch (kind) {
+      case SweepConfig::Kind::kCache:
+        return cache_stats.MissRate();
+      case SweepConfig::Kind::kHierarchy:
+        return global_miss_rate;
+      case SweepConfig::Kind::kTlb:
+        return tlb_stats.MissRate();
+    }
+    return 0.0;
+}
+
+SweepResult
+ReplayOne(const std::vector<trace::Record>& records,
+          const SweepConfig& config)
+{
+    SweepResult result;
+    result.kind = config.kind;
+    result.label = config.label;
+    switch (config.kind) {
+      case SweepConfig::Kind::kCache: {
+        cache::Cache c(config.cache);
+        cache::TraceCacheDriver driver(c, config.driver);
+        for (const trace::Record& r : records)
+            driver.Feed(r);
+        result.cache_stats = c.stats();
+        result.fed = driver.fed();
+        result.filtered = driver.filtered();
+        break;
+      }
+      case SweepConfig::Kind::kHierarchy: {
+        cache::CacheHierarchy h(config.hierarchy);
+        for (const trace::Record& r : records)
+            h.Feed(r);
+        result.l1i_stats = h.l1i().stats();
+        result.l1d_stats = h.l1d().stats();
+        result.l2_stats = h.l2().stats();
+        result.hierarchy_accesses = h.accesses();
+        result.memory_accesses = h.memory_accesses();
+        result.global_miss_rate = h.GlobalMissRate();
+        result.amat = h.Amat();
+        break;
+      }
+      case SweepConfig::Kind::kTlb: {
+        tlbsim::TlbSim sim(config.tlb);
+        for (const trace::Record& r : records)
+            sim.Feed(r);
+        result.tlb_stats = sim.stats();
+        break;
+      }
+    }
+    return result;
+}
+
+std::vector<SweepResult>
+SweepRunner::Run(const std::vector<trace::Record>& records,
+                 const std::vector<SweepConfig>& configs) const
+{
+    std::vector<SweepResult> results(configs.size());
+    if (configs.empty())
+        return results;
+
+    unsigned jobs = jobs_;
+    if (jobs == 0)
+        jobs = std::thread::hardware_concurrency();
+    if (jobs == 0)
+        jobs = 1;
+    jobs = std::min<unsigned>(jobs, static_cast<unsigned>(configs.size()));
+
+    // Each task owns its simulator and writes one pre-sized result slot;
+    // the trace is shared read-only. No synchronization on the hot path.
+    ThreadPool pool(jobs);
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        pool.Submit([&records, &configs, &results, i] {
+            results[i] = ReplayOne(records, configs[i]);
+        });
+    }
+    pool.Wait();
+    return results;
+}
+
+}  // namespace atum::replay

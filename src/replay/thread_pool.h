@@ -1,0 +1,66 @@
+#ifndef ATUM_REPLAY_THREAD_POOL_H_
+#define ATUM_REPLAY_THREAD_POOL_H_
+
+/**
+ * @file
+ * A small fixed-size worker pool over a mutex/condvar work queue — the
+ * only concurrency primitive the replay engine needs. Tasks are opaque
+ * closures; the pool makes no fairness or ordering promises beyond
+ * "every submitted task runs exactly once". Determinism of replay
+ * results is the *callers'* job: workers must write to disjoint,
+ * pre-sized output slots so the answer never depends on scheduling.
+ */
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace atum::replay {
+
+class ThreadPool
+{
+  public:
+    /** Spawns `threads` workers; 0 means one per hardware thread. */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains the queue (Wait semantics), then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    unsigned thread_count() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Enqueues one task. Safe from any thread, including workers. */
+    void Submit(std::function<void()> task);
+
+    /**
+     * Blocks until every submitted task has finished. If any task threw,
+     * the first captured exception is rethrown here (subsequent tasks
+     * still ran — an exception never wedges the pool or the queue).
+     */
+    void Wait();
+
+  private:
+    void WorkerLoop();
+
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable work_cv_;  ///< workers: queue non-empty or stop
+    std::condition_variable idle_cv_;  ///< Wait(): everything finished
+    std::deque<std::function<void()>> queue_;
+    std::size_t active_ = 0;  ///< tasks currently executing
+    bool stop_ = false;
+    std::exception_ptr first_error_;
+};
+
+}  // namespace atum::replay
+
+#endif  // ATUM_REPLAY_THREAD_POOL_H_

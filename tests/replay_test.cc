@@ -1,0 +1,279 @@
+// Unit tests for the parallel replay engine: thread pool semantics and
+// the determinism contract (N threads == 1 thread == the legacy serial
+// loop, bit for bit).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/compare.h"
+#include "analysis/parallel_profiles.h"
+#include "analysis/stack_distance.h"
+#include "replay/sweep.h"
+#include "replay/thread_pool.h"
+#include "trace/record.h"
+#include "util/rng.h"
+
+namespace atum::replay {
+namespace {
+
+using trace::MakeCtxSwitch;
+using trace::MakeFlags;
+using trace::Record;
+using trace::RecordType;
+
+TEST(ThreadPool, RunsSubmittedTasks)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.Submit([&count] { ++count; });
+    pool.Wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.Wait();  // must not hang
+    SUCCEED();
+}
+
+TEST(ThreadPool, SingleThreadStillDrainsQueue)
+{
+    ThreadPool pool(1);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 50; ++i)
+        pool.Submit([&count] { ++count; });
+    pool.Wait();
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, TaskExceptionDoesNotDeadlock)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.Submit([] { throw std::runtime_error("boom"); });
+    for (int i = 0; i < 20; ++i)
+        pool.Submit([&ran] { ++ran; });
+    EXPECT_THROW(pool.Wait(), std::runtime_error);
+    EXPECT_EQ(ran.load(), 20);  // later tasks still ran
+    // The pool stays usable after an exception.
+    pool.Submit([&ran] { ++ran; });
+    pool.Wait();
+    EXPECT_EQ(ran.load(), 21);
+}
+
+TEST(ThreadPool, WaitCanBeCalledRepeatedly)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.Submit([&count] { ++count; });
+    pool.Wait();
+    pool.Submit([&count] { ++count; });
+    pool.Wait();
+    EXPECT_EQ(count.load(), 2);
+}
+
+/** A multiprogrammed-looking synthetic trace: three processes with
+ *  distinct looping footprints, kernel interludes, context switches. */
+std::vector<Record>
+SyntheticTrace(int refs)
+{
+    Rng rng(0xa7a7);
+    std::vector<Record> records;
+    uint16_t pid = 1;
+    records.push_back(MakeCtxSwitch(pid, 0));
+    for (int i = 0; i < refs; ++i) {
+        if (i % 997 == 0 && i > 0) {
+            pid = static_cast<uint16_t>(1 + (pid % 3));
+            records.push_back(MakeCtxSwitch(pid, 0));
+        }
+        Record r;
+        const uint32_t roll = rng.Below(10);
+        if (roll < 5) {
+            r.type = RecordType::kIFetch;
+            r.addr = 0x1000 * pid + (i % 600) * 4;
+        } else if (roll < 8) {
+            r.type = RecordType::kRead;
+            r.addr = 0x40000 * pid + rng.Below(1u << 14);
+        } else {
+            r.type = RecordType::kWrite;
+            r.addr = 0x40000 * pid + rng.Below(1u << 12);
+        }
+        const bool kernel = roll == 9;
+        if (kernel)
+            r.addr |= 0x80000000u;
+        r.flags = MakeFlags(kernel, 4);
+        records.push_back(r);
+    }
+    return records;
+}
+
+std::vector<SweepConfig>
+MixedConfigs()
+{
+    std::vector<SweepConfig> jobs;
+    cache::DriverOptions flush_opts;
+    flush_opts.flush_on_switch = true;
+    for (uint32_t kib : {1u, 4u, 16u, 64u}) {
+        cache::CacheConfig config{.size_bytes = kib << 10,
+                                  .block_bytes = 16, .assoc = 2,
+                                  .pid_tags = true};
+        jobs.push_back(MakeCacheJob(config, {}));
+        config.pid_tags = false;
+        jobs.push_back(MakeCacheJob(config, flush_opts));
+    }
+    // Random replacement exercises the per-cache deterministic RNG.
+    cache::CacheConfig random_cfg{.size_bytes = 8u << 10, .block_bytes = 16,
+                                  .assoc = 4,
+                                  .replacement = cache::Replacement::kRandom};
+    jobs.push_back(MakeCacheJob(random_cfg, {}));
+    cache::HierarchyConfig hier;
+    hier.flush_on_switch = true;
+    jobs.push_back(MakeHierarchyJob(hier));
+    jobs.push_back(MakeTlbJob({.entries = 64}));
+    return jobs;
+}
+
+void
+ExpectIdentical(const SweepResult& a, const SweepResult& b, size_t i)
+{
+    EXPECT_EQ(a.cache_stats.accesses, b.cache_stats.accesses) << i;
+    EXPECT_EQ(a.cache_stats.misses, b.cache_stats.misses) << i;
+    EXPECT_EQ(a.cache_stats.writebacks, b.cache_stats.writebacks) << i;
+    EXPECT_EQ(a.fed, b.fed) << i;
+    EXPECT_EQ(a.filtered, b.filtered) << i;
+    EXPECT_EQ(a.l1d_stats.misses, b.l1d_stats.misses) << i;
+    EXPECT_EQ(a.l2_stats.misses, b.l2_stats.misses) << i;
+    EXPECT_EQ(a.memory_accesses, b.memory_accesses) << i;
+    EXPECT_EQ(a.tlb_stats.accesses, b.tlb_stats.accesses) << i;
+    EXPECT_EQ(a.tlb_stats.misses, b.tlb_stats.misses) << i;
+    // Miss rates are derived from integer counts: bit-identical, not
+    // merely close.
+    EXPECT_EQ(a.MissRate(), b.MissRate()) << i;
+    EXPECT_EQ(a.amat, b.amat) << i;
+}
+
+TEST(SweepRunner, DeterministicAcrossThreadCounts)
+{
+    const std::vector<Record> records = SyntheticTrace(20000);
+    const std::vector<SweepConfig> jobs = MixedConfigs();
+    ASSERT_GE(jobs.size(), 8u);
+
+    // Legacy serial loop is the reference.
+    std::vector<SweepResult> serial;
+    for (const SweepConfig& job : jobs)
+        serial.push_back(ReplayOne(records, job));
+
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        const auto results = SweepRunner(threads).Run(records, jobs);
+        ASSERT_EQ(results.size(), jobs.size());
+        for (size_t i = 0; i < jobs.size(); ++i)
+            ExpectIdentical(results[i], serial[i], i);
+    }
+}
+
+TEST(SweepRunner, MatchesLegacyAnalysisSweep)
+{
+    // The SweepRunner must agree with analysis::SweepCacheSize, the
+    // serial helper the benches used before the parallel engine.
+    const std::vector<Record> records = SyntheticTrace(10000);
+    cache::CacheConfig base{.block_bytes = 16, .assoc = 1};
+    const std::vector<uint32_t> sizes = {1024, 4096, 16384, 65536};
+    const auto legacy =
+        analysis::SweepCacheSize(records, sizes, base, {});
+
+    std::vector<SweepConfig> jobs;
+    for (uint32_t size : sizes) {
+        base.size_bytes = size;
+        jobs.push_back(MakeCacheJob(base, {}));
+    }
+    const auto results = SweepRunner(4).Run(records, jobs);
+    for (size_t i = 0; i < sizes.size(); ++i) {
+        EXPECT_EQ(results[i].cache_stats.accesses, legacy[i].accesses) << i;
+        EXPECT_EQ(results[i].MissRate(), legacy[i].miss_rate) << i;
+    }
+}
+
+TEST(SweepRunner, EmptyConfigListAndEmptyTrace)
+{
+    EXPECT_TRUE(SweepRunner(2).Run(SyntheticTrace(100), {}).empty());
+    const auto results =
+        SweepRunner(2).Run({}, {MakeCacheJob({.size_bytes = 1024})});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].cache_stats.accesses, 0u);
+}
+
+TEST(SweepRunner, ResultsStayInInputOrder)
+{
+    const std::vector<Record> records = SyntheticTrace(2000);
+    std::vector<SweepConfig> jobs;
+    for (uint32_t kib : {64u, 1u, 16u, 4u})  // deliberately unsorted
+        jobs.push_back(MakeCacheJob({.size_bytes = kib << 10}));
+    const auto results = SweepRunner(4).Run(records, jobs);
+    ASSERT_EQ(results.size(), 4u);
+    EXPECT_EQ(results[0].label, jobs[0].label);
+    EXPECT_EQ(results[1].label, jobs[1].label);
+    // Bigger cache can't miss more on the same LRU-friendly stream.
+    EXPECT_LE(results[0].cache_stats.misses, results[1].cache_stats.misses);
+}
+
+TEST(PerProcessProfiles, ParallelMatchesSerialSubstreams)
+{
+    const std::vector<Record> records = SyntheticTrace(20000);
+    analysis::ProcessProfileOptions options;
+    options.capacities = {16, 256, 4096};
+
+    const auto one = analysis::PerProcessStackProfiles(records, options, 1);
+    const auto four = analysis::PerProcessStackProfiles(records, options, 4);
+    ASSERT_EQ(one.size(), four.size());
+    ASSERT_GE(one.size(), 3u);  // kernel + three user pids
+    for (size_t i = 0; i < one.size(); ++i) {
+        EXPECT_EQ(one[i].pid, four[i].pid);
+        EXPECT_EQ(one[i].accesses, four[i].accesses);
+        EXPECT_EQ(one[i].cold_misses, four[i].cold_misses);
+        EXPECT_EQ(one[i].distinct_blocks, four[i].distinct_blocks);
+        EXPECT_EQ(one[i].misses_at_capacity, four[i].misses_at_capacity);
+    }
+
+    // Cross-check one pid against a hand-built serial analyzer.
+    const uint16_t pid = one[1].pid;
+    analysis::StackDistanceAnalyzer sd(0);
+    uint16_t current = 0;
+    for (const Record& r : records) {
+        if (r.type == RecordType::kCtxSwitch) {
+            current = r.info;
+            continue;
+        }
+        if (!r.IsMemory() || r.type == RecordType::kPte || r.kernel())
+            continue;
+        if (current == pid)
+            sd.TouchBlock(r.addr >> options.block_shift);
+    }
+    EXPECT_EQ(one[1].accesses, sd.total_accesses());
+    EXPECT_EQ(one[1].cold_misses, sd.cold_misses());
+    EXPECT_EQ(one[1].misses_at_capacity[1], sd.MissesForCapacity(256));
+}
+
+TEST(PerProcessProfiles, KernelExclusionDropsPidZero)
+{
+    const std::vector<Record> records = SyntheticTrace(5000);
+    analysis::ProcessProfileOptions options;
+    options.include_kernel = false;
+    const auto profiles =
+        analysis::PerProcessStackProfiles(records, options, 2);
+    for (const auto& p : profiles)
+        EXPECT_NE(p.pid, 0);
+}
+
+}  // namespace
+}  // namespace atum::replay

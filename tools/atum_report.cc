@@ -2,21 +2,26 @@
 //
 // Usage:
 //   atum-report trace.atum [--head N] [--cache SIZE_KB:BLOCK:ASSOC]
+//                [--sweep SPEC,SPEC,...] [--jobs N]
 //                [--flush-on-switch] [--pid-tags] [--no-kernel]
 //                [--tlb ENTRIES] [--working-sets] [--stack-distance]
 //
 // Default output is the trace-characterization summary (T1-style). Each
-// additional flag appends the corresponding analysis.
+// additional flag appends the corresponding analysis. --sweep replays
+// every listed cache spec over the trace concurrently (--jobs workers)
+// and prints one table row per config, in input order.
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "analysis/parallel_profiles.h"
 #include "analysis/stack_distance.h"
 #include "analysis/working_set.h"
 #include "cache/cache.h"
 #include "cache/trace_driver.h"
+#include "replay/sweep.h"
 #include "tlbsim/tlb_sim.h"
 #include "trace/sink.h"
 #include "trace/stats.h"
@@ -32,6 +37,8 @@ struct Options {
     bool have_cache = false;
     cache::CacheConfig cache_config;
     cache::DriverOptions driver_options;
+    std::vector<cache::CacheConfig> sweep_configs;
+    uint32_t jobs = 0;  ///< replay workers; 0 = one per hardware thread
     uint32_t tlb_entries = 0;
     bool working_sets = false;
     bool stack_distance = false;
@@ -50,6 +57,26 @@ ParseCacheSpec(const std::string& spec)
     return config;
 }
 
+std::vector<cache::CacheConfig>
+ParseSweepSpecs(const std::string& specs)
+{
+    std::vector<cache::CacheConfig> configs;
+    size_t start = 0;
+    while (start <= specs.size()) {
+        const size_t comma = specs.find(',', start);
+        const std::string spec =
+            specs.substr(start, comma == std::string::npos ? std::string::npos
+                                                           : comma - start);
+        if (spec.empty())
+            Fatal("empty spec in --sweep '", specs, "'");
+        configs.push_back(ParseCacheSpec(spec));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return configs;
+}
+
 Options
 ParseArgs(int argc, char** argv)
 {
@@ -66,7 +93,11 @@ ParseArgs(int argc, char** argv)
         else if (arg == "--cache") {
             opts.cache_config = ParseCacheSpec(next());
             opts.have_cache = true;
-        } else if (arg == "--flush-on-switch")
+        } else if (arg == "--sweep")
+            opts.sweep_configs = ParseSweepSpecs(next());
+        else if (arg == "--jobs")
+            opts.jobs = std::strtoul(next().c_str(), nullptr, 0);
+        else if (arg == "--flush-on-switch")
             opts.driver_options.flush_on_switch = true;
         else if (arg == "--pid-tags")
             opts.cache_config.pid_tags = true;
@@ -131,6 +162,27 @@ Run(const Options& opts)
                     static_cast<unsigned long long>(c.stats().writebacks));
     }
 
+    if (!opts.sweep_configs.empty()) {
+        std::vector<replay::SweepConfig> jobs;
+        for (const cache::CacheConfig& config : opts.sweep_configs)
+            jobs.push_back(
+                replay::MakeCacheJob(config, opts.driver_options));
+        const replay::SweepRunner runner(opts.jobs);
+        const std::vector<replay::SweepResult> results =
+            runner.Run(records, jobs);
+        std::printf("sweep: %zu configs\n", results.size());
+        Table table({"cache", "accesses", "miss%", "writebacks"});
+        for (const replay::SweepResult& r : results) {
+            table.AddRow({
+                r.label,
+                std::to_string(r.cache_stats.accesses),
+                Table::Fmt(100.0 * r.cache_stats.MissRate(), 3),
+                std::to_string(r.cache_stats.writebacks),
+            });
+        }
+        std::printf("%s\n", table.ToString().c_str());
+    }
+
     if (opts.tlb_entries > 0) {
         tlbsim::TlbSim sim({.entries = opts.tlb_entries});
         for (const auto& r : records)
@@ -167,6 +219,23 @@ Run(const Options& opts)
                                      3)});
         }
         std::printf("%s\n", table.ToString().c_str());
+
+        // Per-process locality, one worker per process substream.
+        analysis::ProcessProfileOptions profile_opts;
+        profile_opts.include_kernel = opts.driver_options.include_kernel;
+        const auto profiles = analysis::PerProcessStackProfiles(
+            records, profile_opts, opts.jobs);
+        Table per_pid({"pid", "refs", "blocks", "1K-miss%", "16K-miss%"});
+        for (const analysis::ProcessProfile& p : profiles) {
+            per_pid.AddRow({
+                p.pid == 0 ? "kernel" : std::to_string(p.pid),
+                std::to_string(p.accesses),
+                std::to_string(p.distinct_blocks),
+                Table::Fmt(100.0 * p.MissRateAt(0), 3),
+                Table::Fmt(100.0 * p.MissRateAt(1), 3),
+            });
+        }
+        std::printf("%s\n", per_pid.ToString().c_str());
     }
     return 0;
 }
