@@ -1,11 +1,27 @@
 #!/bin/sh
 # End-to-end CLI test: capture -> report -> disasm -> parallel sweep
-# golden diff. Run by ctest as: test_tools.sh BUILD_DIR [SOURCE_DIR].
+# golden diff -> exit-code contract -> corruption/verify/salvage round
+# trip. Run by ctest as: test_tools.sh BUILD_DIR [SOURCE_DIR].
 set -e
 BUILD=$1
 SRC=${2:-$(dirname "$0")/..}
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
+
+# Asserts that a command exits with a specific status.
+expect_exit() {
+    want=$1
+    shift
+    set +e
+    "$@" > "$TMP/out.txt" 2> "$TMP/err.txt"
+    got=$?
+    set -e
+    if [ "$got" != "$want" ]; then
+        echo "FAIL: wanted exit $want, got $got: $*" >&2
+        cat "$TMP/err.txt" >&2
+        exit 1
+    fi
+}
 
 "$BUILD/tools/atum-capture" --out "$TMP/t.atum" --workloads grep --scale 1 \
     > "$TMP/cap.txt"
@@ -33,5 +49,55 @@ grep -q "sobgtr" "$TMP/dis2.txt"
     > "$TMP/sweep_full.txt"
 sed -n '/^sweep:/,$p' "$TMP/sweep_full.txt" > "$TMP/sweep.txt"
 diff -u "$SRC/tests/golden/sweep_16_64.txt" "$TMP/sweep.txt"
+
+# A sweep row with an impossible geometry errors out without killing the
+# healthy rows (17K is not a power of two).
+"$BUILD/tools/atum-report" "$TMP/t.atum" --sweep 16:16:1,17:16:1 \
+    > "$TMP/sweep_bad.txt"
+grep -q "16K/16B/1w/wb.*ok" "$TMP/sweep_bad.txt"
+grep -q "invalid-argument" "$TMP/sweep_bad.txt"
+
+# Exit-code contract: 2 usage, 3 missing input, 4 unrecognized input.
+expect_exit 2 "$BUILD/tools/atum-report"
+expect_exit 2 "$BUILD/tools/atum-report" "$TMP/t.atum" --no-such-flag
+expect_exit 2 "$BUILD/tools/atum-capture" --no-such-flag
+expect_exit 2 "$BUILD/tools/atum-capture"
+expect_exit 3 "$BUILD/tools/atum-report" "$TMP/absent.atum"
+expect_exit 3 "$BUILD/tools/atum-capture" --out "$TMP/no/such/dir/t.atum"
+printf 'garbage!' > "$TMP/junk.bin"
+expect_exit 4 "$BUILD/tools/atum-report" "$TMP/junk.bin"
+
+# An intact capture verifies clean, bit-identically to the golden report
+# (byte counts vary with the trace length, so the golden uses a fixed
+# 1000-record synthetic container written by trace_container_test).
+expect_exit 0 "$BUILD/tools/atum-report" "$TMP/t.atum" --verify
+grep -q "status:  intact" "$TMP/out.txt"
+
+# Flip one record byte in the middle of chunk 1. The chunk stream starts
+# at offset 32 and each 512-record chunk is 16 + 512*8 = 4112 bytes, so
+# offset 32 + 4112 + 16 + 4 is the first record's type byte of chunk 1 --
+# guaranteed to break that chunk's CRC.
+cp "$TMP/t.atum" "$TMP/bad.atum"
+printf '\377' | dd of="$TMP/bad.atum" bs=1 seek=4164 conv=notrunc 2>/dev/null
+
+expect_exit 4 "$BUILD/tools/atum-report" "$TMP/bad.atum"
+grep -q "data-loss" "$TMP/err.txt"
+
+expect_exit 4 "$BUILD/tools/atum-report" "$TMP/bad.atum" --verify
+grep -q "chunks:  .* 1 bad" "$TMP/out.txt"
+
+# Salvage recovers everything but the poisoned chunk, and the salvaged
+# file verifies intact.
+expect_exit 0 "$BUILD/tools/atum-report" "$TMP/bad.atum" \
+    --salvage "$TMP/fixed.atum"
+expect_exit 0 "$BUILD/tools/atum-report" "$TMP/fixed.atum" --verify
+grep -q "status:  intact" "$TMP/out.txt"
+
+# The verify report itself is golden-diffed on a deterministic synthetic
+# container: 1000 records, 128 per chunk, byte 700 of the file flipped.
+"$BUILD/tests/make_golden_trace" "$TMP/synth.atum"
+printf '\377' | dd of="$TMP/synth.atum" bs=1 seek=700 conv=notrunc 2>/dev/null
+expect_exit 4 "$BUILD/tools/atum-report" "$TMP/synth.atum" --verify
+diff -u "$SRC/tests/golden/verify_flip700.txt" "$TMP/out.txt"
 
 echo "tools OK"

@@ -44,23 +44,38 @@ Cache::Fill(uint32_t block, uint64_t tag_extra)
     ++stats_.prefetch_fills;
 }
 
+util::Status
+ValidateConfig(const CacheConfig& config)
+{
+    if (!IsPowerOfTwo(config.size_bytes) || !IsPowerOfTwo(config.block_bytes))
+        return util::InvalidArgument(
+            "cache size and block size must be powers of two");
+    if (config.block_bytes < 4 || config.block_bytes > config.size_bytes)
+        return util::InvalidArgument("bad block size ", config.block_bytes);
+    const uint32_t blocks = config.size_bytes / config.block_bytes;
+    const uint32_t assoc = config.assoc == 0 ? blocks : config.assoc;
+    if (assoc > blocks)
+        return util::InvalidArgument("associativity ", assoc, " exceeds ",
+                                     blocks, " blocks");
+    if (blocks % assoc != 0)
+        return util::InvalidArgument("blocks (", blocks,
+                                     ") not divisible by associativity (",
+                                     assoc, ")");
+    const uint32_t sets = blocks / assoc;
+    if (!IsPowerOfTwo(sets))
+        return util::InvalidArgument(
+            "set count must be a power of two, got ", sets);
+    return util::OkStatus();
+}
+
 Cache::Cache(const CacheConfig& config)
     : config_(config), rng_(0x1badcafe)
 {
-    if (!IsPowerOfTwo(config.size_bytes) || !IsPowerOfTwo(config.block_bytes))
-        Fatal("cache size and block size must be powers of two");
-    if (config.block_bytes < 4 || config.block_bytes > config.size_bytes)
-        Fatal("bad block size ", config.block_bytes);
+    if (util::Status status = ValidateConfig(config); !status.ok())
+        Fatal(status.message());
     const uint32_t blocks = config.size_bytes / config.block_bytes;
-    uint32_t assoc = config.assoc == 0 ? blocks : config.assoc;
-    if (assoc > blocks)
-        Fatal("associativity ", assoc, " exceeds ", blocks, " blocks");
-    if (blocks % assoc != 0)
-        Fatal("blocks (", blocks, ") not divisible by associativity (",
-              assoc, ")");
+    const uint32_t assoc = config.assoc == 0 ? blocks : config.assoc;
     sets_ = blocks / assoc;
-    if (!IsPowerOfTwo(sets_))
-        Fatal("set count must be a power of two, got ", sets_);
     config_.assoc = assoc;
     block_shift_ = Log2Floor(config.block_bytes);
     lines_.resize(blocks);

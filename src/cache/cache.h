@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace atum::cache {
 
@@ -39,6 +40,14 @@ struct CacheConfig {
 
     std::string ToString() const;
 };
+
+/**
+ * Checks a geometry without constructing anything: powers of two, block
+ * within bounds, associativity dividing the block count. Cache's
+ * constructor Fatals on exactly these conditions; callers that must
+ * survive a bad configuration (sweep workers) validate first.
+ */
+util::Status ValidateConfig(const CacheConfig& config);
 
 struct CacheStats {
     uint64_t accesses = 0;

@@ -92,34 +92,97 @@ AtumTracer::Append(const Record& record)
     ++records_;
 
     uint32_t cost = config_.cost_per_record;
-    if (head_ + trace::kRecordBytes > buf_bytes_) {
-        Drain();
-        cost += config_.drain_pause_ucycles;
-    }
+    if (head_ + trace::kRecordBytes > buf_bytes_)
+        cost += Drain();
     overhead_ucycles_ += cost;
     return cost;
 }
 
-void
-AtumTracer::Drain()
+util::Status
+AtumTracer::DeliverRange(uint32_t* delivered, uint32_t total)
 {
     // The machine is "frozen" while the host reads the buffer back out of
     // physical memory — the console extraction step of the paper.
     uint8_t bytes[trace::kRecordBytes];
-    for (uint32_t off = 0; off < head_; off += trace::kRecordBytes) {
-        machine_.memory().ReadBlock(buf_base_ + off, bytes, sizeof bytes);
-        sink_.Append(trace::UnpackRecord(bytes));
+    while (*delivered < total) {
+        machine_.memory().ReadBlock(
+            buf_base_ + *delivered * trace::kRecordBytes, bytes,
+            sizeof bytes);
+        util::Status status = sink_.Append(trace::UnpackRecord(bytes));
+        if (!status.ok())
+            return status;
+        ++*delivered;  // a failed Append consumed nothing; resume here
     }
+    return util::OkStatus();
+}
+
+bool
+AtumTracer::TryRecover()
+{
+    // Probe the sink with the loss marker it is owed. Success ends the
+    // degrade episode and documents the gap in-stream, so consumers can
+    // resynchronize instead of silently analyzing a torn trace.
+    const uint32_t lost =
+        lost_records_ > UINT32_MAX ? UINT32_MAX
+                                   : static_cast<uint32_t>(lost_records_);
+    if (!sink_.Append(trace::MakeLoss(lost,
+                                      static_cast<uint16_t>(loss_events_)))
+             .ok())
+        return false;
+    degraded_ = false;
+    Inform("trace sink recovered after ", lost_records_,
+           " lost records; capture resumed");
+    return true;
+}
+
+uint32_t
+AtumTracer::Drain()
+{
+    const uint32_t total = head_ / trace::kRecordBytes;
     head_ = 0;
     ++buffer_fills_;
+
+    if (degraded_ && !TryRecover()) {
+        // Counting-only capture: the machine keeps running undisturbed,
+        // the buffered records are tallied as lost, and no extraction
+        // pause is charged (there is no extraction).
+        lost_records_ += total;
+        return 0;
+    }
+
+    uint32_t pause = config_.drain_pause_ucycles;
+    uint32_t delivered = 0;
+    util::Status status = DeliverRange(&delivered, total);
+    for (uint32_t retry = 0; !status.ok() && retry < config_.drain_max_retries;
+         ++retry) {
+        // Bounded backoff: the freeze lengthens 1x, 2x, 4x... while the
+        // host-side sink sorts itself out.
+        pause += config_.drain_retry_ucycles << retry;
+        ++drain_retries_;
+        status = DeliverRange(&delivered, total);
+    }
+    if (!status.ok()) {
+        degraded_ = true;
+        ++loss_events_;
+        lost_records_ += total - delivered;
+        last_drain_error_ = status;
+        Warn("trace drain failed after ", config_.drain_max_retries,
+             " retries (", status.ToString(),
+             "); degrading to counting-only capture");
+    }
+    return pause;
 }
 
 void
 AtumTracer::Flush()
 {
     if (head_ != 0) {
-        Drain();
+        // The machine has already stopped: the final extraction pause is
+        // not charged (matches the pre-Status accounting).
+        (void)Drain();
         --buffer_fills_;  // a final partial drain is not a buffer fill
+    } else if (degraded_) {
+        TryRecover();  // still owe the stream its loss marker
     }
 }
 

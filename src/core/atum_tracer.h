@@ -26,6 +26,7 @@
 #include "cpu/machine.h"
 #include "trace/record.h"
 #include "trace/sink.h"
+#include "util/status.h"
 
 namespace atum::core {
 
@@ -48,6 +49,19 @@ struct AtumConfig {
     /** Record a kOpcode marker per retired instruction (off by default:
      *  it enlarges traces; enable for opcode-frequency studies, T6). */
     bool record_opcodes = false;
+
+    // -- drain failure policy ----------------------------------------------
+    // A refusing sink (full disk, dead pipe) must never abort the
+    // simulated machine: the drain is retried with a bounded, doubling
+    // pause, and if the sink still refuses the tracer degrades to
+    // counting-only capture — records are tallied as lost, and a kLoss
+    // marker is emitted at the next successful append so consumers can
+    // resynchronize around the gap (HMTT-style).
+    /** Retries per failed drain before degrading. */
+    uint32_t drain_max_retries = 3;
+    /** Micro-cycles charged for the first retry pause; doubles per retry
+     *  (bounded backoff), on top of the normal drain pause. */
+    uint32_t drain_retry_ucycles = 50000;
 };
 
 class AtumTracer
@@ -85,6 +99,18 @@ class AtumTracer
     /** Micro-cycles charged to the machine by tracing (patch + drains). */
     uint64_t overhead_ucycles() const { return overhead_ucycles_; }
 
+    // -- loss accounting ---------------------------------------------------
+    /** True while the sink is refusing records (counting-only capture). */
+    bool degraded() const { return degraded_; }
+    /** Records dropped because the sink kept failing. */
+    uint64_t lost_records() const { return lost_records_; }
+    /** Distinct degrade episodes (== kLoss markers owed to the stream). */
+    uint32_t loss_events() const { return loss_events_; }
+    /** Drain retry attempts that were needed (0 on a healthy sink). */
+    uint64_t drain_retries() const { return drain_retries_; }
+    /** The failure that triggered the most recent degrade. */
+    const util::Status& last_drain_error() const { return last_drain_error_; }
+
     uint32_t buffer_base() const { return buf_base_; }
     uint32_t buffer_bytes() const { return buf_bytes_; }
     /** Records currently sitting in the (undrained) buffer. */
@@ -92,7 +118,11 @@ class AtumTracer
 
   private:
     uint32_t Append(const trace::Record& record);
-    void Drain();
+    /** Empties the buffer (deliver or count-as-lost); returns the
+     *  micro-cycle pause this drain charged. */
+    uint32_t Drain();
+    util::Status DeliverRange(uint32_t* delivered, uint32_t total);
+    bool TryRecover();
 
     cpu::Machine& machine_;
     trace::TraceSink& sink_;
@@ -104,6 +134,11 @@ class AtumTracer
     uint64_t records_ = 0;
     uint64_t buffer_fills_ = 0;
     uint64_t overhead_ucycles_ = 0;
+    bool degraded_ = false;
+    uint64_t lost_records_ = 0;
+    uint32_t loss_events_ = 0;
+    uint64_t drain_retries_ = 0;
+    util::Status last_drain_error_;
 };
 
 }  // namespace atum::core

@@ -29,6 +29,9 @@ RunTraced(cpu::Machine& machine, AtumTracer& tracer,
     result.records = tracer.records();
     result.buffer_fills = tracer.buffer_fills();
     result.overhead_ucycles = tracer.overhead_ucycles();
+    result.lost_records = tracer.lost_records();
+    result.loss_events = tracer.loss_events();
+    result.degraded = tracer.degraded();
     return result;
 }
 
@@ -40,6 +43,7 @@ RunBaseline(cpu::Machine& machine, UserOnlyTracer& tracer,
         tracer.Attach();
     SessionResult result = RunCommon(machine, max_instructions);
     result.records = tracer.records();
+    result.lost_records = tracer.lost_records();
     return result;
 }
 

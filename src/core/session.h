@@ -28,6 +28,9 @@ struct SessionResult {
     uint64_t records = 0;       ///< trace records captured
     uint64_t buffer_fills = 0;  ///< full-buffer extraction pauses
     uint64_t overhead_ucycles = 0;  ///< micro-cycles charged by tracing
+    uint64_t lost_records = 0;  ///< records dropped on a failing sink
+    uint32_t loss_events = 0;   ///< distinct sink-failure episodes
+    bool degraded = false;      ///< capture ended in counting-only mode
 };
 
 /** Runs with ATUM microcode tracing attached; flushes the buffer at end. */

@@ -37,8 +37,12 @@ UserOnlyTracer::Attach()
             ++suppressed_;
             return 0;
         }
-        sink_.Append(trace::FromMemAccess(access));
-        ++records_;
+        // The historical probes had no retry story either: a refused
+        // record is simply gone (but we count the loss).
+        if (sink_.Append(trace::FromMemAccess(access)).ok())
+            ++records_;
+        else
+            ++lost_records_;
         return config_.cost_per_record;
     });
     // The probe does not see context switches, but the comparison harness

@@ -54,6 +54,8 @@ class UserOnlyTracer
     uint64_t records() const { return records_; }
     /** References it observed but discarded (kernel, other pids, PTE). */
     uint64_t suppressed() const { return suppressed_; }
+    /** Records the sink refused (a real probe just loses these). */
+    uint64_t lost_records() const { return lost_records_; }
 
   private:
     cpu::Machine& machine_;
@@ -63,6 +65,7 @@ class UserOnlyTracer
     uint16_t current_pid_ = 0;
     uint64_t records_ = 0;
     uint64_t suppressed_ = 0;
+    uint64_t lost_records_ = 0;
 };
 
 }  // namespace atum::core

@@ -1,6 +1,7 @@
 #include "replay/sweep.h"
 
 #include <algorithm>
+#include <exception>
 
 #include "replay/thread_pool.h"
 
@@ -55,13 +56,37 @@ SweepResult::MissRate() const
     return 0.0;
 }
 
-SweepResult
-ReplayOne(const std::vector<trace::Record>& records,
-          const SweepConfig& config)
+namespace {
+
+/** Geometry checks for every simulator the job would construct. */
+util::Status
+ValidateJob(const SweepConfig& config)
 {
-    SweepResult result;
-    result.kind = config.kind;
-    result.label = config.label;
+    switch (config.kind) {
+      case SweepConfig::Kind::kCache:
+        return cache::ValidateConfig(config.cache);
+      case SweepConfig::Kind::kHierarchy:
+        if (util::Status s = cache::ValidateConfig(config.hierarchy.l1i);
+            !s.ok())
+            return util::InvalidArgument("l1i: ", s.message());
+        if (util::Status s = cache::ValidateConfig(config.hierarchy.l1d);
+            !s.ok())
+            return util::InvalidArgument("l1d: ", s.message());
+        if (util::Status s = cache::ValidateConfig(config.hierarchy.l2);
+            !s.ok())
+            return util::InvalidArgument("l2: ", s.message());
+        return util::OkStatus();
+      case SweepConfig::Kind::kTlb:
+        return tlbsim::ValidateConfig(config.tlb);
+    }
+    return util::InvalidArgument("unknown sweep job kind");
+}
+
+/** The legacy replay body; runs after ValidateJob has passed. */
+void
+ReplayOneChecked(const std::vector<trace::Record>& records,
+                 const SweepConfig& config, SweepResult& result)
+{
     switch (config.kind) {
       case SweepConfig::Kind::kCache: {
         cache::Cache c(config.cache);
@@ -93,6 +118,30 @@ ReplayOne(const std::vector<trace::Record>& records,
         result.tlb_stats = sim.stats();
         break;
       }
+    }
+}
+
+}  // namespace
+
+SweepResult
+ReplayOne(const std::vector<trace::Record>& records,
+          const SweepConfig& config)
+{
+    SweepResult result;
+    result.kind = config.kind;
+    result.label = config.label;
+    // Validate before constructing: the simulators Fatal on a bad
+    // geometry, and one bad row must not take down a 100-config sweep.
+    result.status = ValidateJob(config);
+    if (!result.status.ok())
+        return result;
+    try {
+        ReplayOneChecked(records, config, result);
+    } catch (const std::exception& e) {
+        result = SweepResult{};
+        result.kind = config.kind;
+        result.label = config.label;
+        result.status = util::InternalError("replay failed: ", e.what());
     }
     return result;
 }

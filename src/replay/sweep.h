@@ -22,6 +22,7 @@
 #include "cache/trace_driver.h"
 #include "tlbsim/tlb_sim.h"
 #include "trace/record.h"
+#include "util/status.h"
 
 namespace atum::replay {
 
@@ -58,6 +59,13 @@ SweepConfig MakeTlbJob(const tlbsim::TlbSimConfig& tlb,
 struct SweepResult {
     SweepConfig::Kind kind = SweepConfig::Kind::kCache;
     std::string label;
+
+    /**
+     * Per-row outcome. A config that fails validation (or whose simulator
+     * throws) reports its error here with zeroed statistics; the other
+     * rows of the sweep are unaffected.
+     */
+    util::Status status;
 
     // kCache
     cache::CacheStats cache_stats;

@@ -13,17 +13,27 @@ namespace {
 constexpr uint32_t kS0BaseVpn = 0x80000000u >> kPageShift;
 }  // namespace
 
-TlbSim::TlbSim(const TlbSimConfig& config) : config_(config)
+util::Status
+ValidateConfig(const TlbSimConfig& config)
 {
     if (config.entries == 0 || !IsPowerOfTwo(config.entries))
-        Fatal("TLB entries must be a power of two, got ", config.entries);
+        return util::InvalidArgument(
+            "TLB entries must be a power of two, got ", config.entries);
+    const uint32_t ways = config.ways == 0 ? config.entries : config.ways;
+    if (ways > config.entries || config.entries % ways != 0)
+        return util::InvalidArgument("bad TLB geometry: ", config.entries,
+                                     " entries, ", ways, " ways");
+    if (!IsPowerOfTwo(config.entries / ways))
+        return util::InvalidArgument("TLB set count must be a power of two");
+    return util::OkStatus();
+}
+
+TlbSim::TlbSim(const TlbSimConfig& config) : config_(config)
+{
+    if (util::Status status = ValidateConfig(config); !status.ok())
+        Fatal(status.message());
     ways_ = config.ways == 0 ? config.entries : config.ways;
-    if (ways_ > config.entries || config.entries % ways_ != 0)
-        Fatal("bad TLB geometry: ", config.entries, " entries, ", ways_,
-              " ways");
     sets_ = config.entries / ways_;
-    if (!IsPowerOfTwo(sets_))
-        Fatal("TLB set count must be a power of two");
     entries_.resize(config.entries);
 }
 

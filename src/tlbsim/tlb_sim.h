@@ -14,6 +14,7 @@
 
 #include "trace/record.h"
 #include "trace/sink.h"
+#include "util/status.h"
 
 namespace atum::tlbsim {
 
@@ -25,6 +26,13 @@ struct TlbSimConfig {
     bool flush_on_switch = true;     ///< no ASIDs, VAX-style
     bool flush_system_too = false;   ///< flush S0 entries as well
 };
+
+/**
+ * Checks a TLB geometry without constructing; TlbSim's constructor
+ * Fatals on the same conditions. Sweep workers validate first so a bad
+ * row errors out instead of killing the whole sweep.
+ */
+util::Status ValidateConfig(const TlbSimConfig& config);
 
 struct TlbSimStats {
     uint64_t accesses = 0;

@@ -52,7 +52,8 @@ bool
 TypeHasInfo(RecordType type)
 {
     return type == RecordType::kCtxSwitch ||
-           type == RecordType::kException || type == RecordType::kOpcode;
+           type == RecordType::kException || type == RecordType::kOpcode ||
+           type == RecordType::kLoss;
 }
 
 }  // namespace
@@ -67,8 +68,8 @@ TraceCompressor::Append(const Record& record)
     const uint8_t log2_size = static_cast<uint8_t>((record.flags >> 1) & 3);
     const uint8_t header =
         static_cast<uint8_t>(type_idx) |
-        static_cast<uint8_t>(record.kernel() ? 0x08 : 0) |
-        static_cast<uint8_t>(log2_size << 4);
+        static_cast<uint8_t>(record.kernel() ? 0x10 : 0) |
+        static_cast<uint8_t>(log2_size << 5);
     bytes_.push_back(header);
 
     const int32_t delta = static_cast<int32_t>(record.addr) -
@@ -107,13 +108,13 @@ DecompressTrace(const std::vector<uint8_t>& bytes)
     size_t pos = 0;
     while (pos < bytes.size()) {
         const uint8_t header = bytes[pos++];
-        const auto type_idx = static_cast<size_t>(header & 0x07);
+        const auto type_idx = static_cast<size_t>(header & 0x0F);
         if (type_idx >= static_cast<size_t>(RecordType::kNumTypes))
             Fatal("bad record type in compressed trace");
         Record r;
         r.type = static_cast<RecordType>(type_idx);
-        const bool kernel = (header & 0x08) != 0;
-        const uint8_t log2_size = (header >> 4) & 3;
+        const bool kernel = (header & 0x10) != 0;
+        const uint8_t log2_size = (header >> 5) & 3;
         if (log2_size > 2)
             Fatal("bad access size in compressed trace");
         r.flags = MakeFlags(kernel, static_cast<uint8_t>(1u << log2_size));

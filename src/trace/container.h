@@ -1,0 +1,276 @@
+#ifndef ATUM_TRACE_CONTAINER_H_
+#define ATUM_TRACE_CONTAINER_H_
+
+/**
+ * @file
+ * ATF2 — the crash-safe, self-describing trace container.
+ *
+ * The raw v1 format (8-byte magic + packed records) trusts every byte on
+ * disk: one flipped bit poisons every downstream experiment undetected,
+ * and a capture that dies mid-drain leaves a file indistinguishable from
+ * a complete one. ATF2 fixes both with checksummed, fixed-capacity chunks
+ * and a sealing footer:
+ *
+ *   +--------------------------------------------------------------+
+ *   | header (32 B):  magic "ATF2\r\n\x1a\n" | version | rec size  |
+ *   |                 chunk capacity | flags | CRC32C(header)      |
+ *   +--------------------------------------------------------------+
+ *   | chunk 0 (16 B + n*8 B):  "CHNK" | record count n             |
+ *   |                 CRC32C(payload) | CRC32C(chunk header)       |
+ *   |                 n packed records                             |
+ *   +--------------------------------------------------------------+
+ *   | ... more chunks ...                                          |
+ *   +--------------------------------------------------------------+
+ *   | footer (24 B):  "FOOT" | chunk count | total records         |
+ *   |                 CRC32C(footer)   -- written by Seal() only   |
+ *   +--------------------------------------------------------------+
+ *
+ * Failure behavior this buys:
+ *  - truncation (crash, ENOSPC) is detected because the footer is absent
+ *    or a trailing chunk is partial; every complete chunk before the tear
+ *    is still readable and CRC-verified;
+ *  - a flipped byte is confined to its chunk: the scanner reports that
+ *    chunk corrupt and resynchronizes at the next chunk marker, salvaging
+ *    the islands after it;
+ *  - all checks return Status — no Fatal/Panic is reachable from bad
+ *    file content.
+ *
+ * Readers still accept legacy v1 files (one warning, no checksums; only
+ * the valid prefix is trusted).
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/record.h"
+#include "util/status.h"
+
+namespace atum::trace {
+
+// ---------------------------------------------------------------------------
+// Byte-stream interfaces. The container reads/writes through these so that
+// tests can interpose fault injection (trace/fault.h) or keep data in
+// memory without touching a filesystem.
+
+/** Destination for raw container bytes. */
+class ByteSink
+{
+  public:
+    virtual ~ByteSink() = default;
+    /** Writes all `len` bytes or returns a non-OK status. */
+    virtual util::Status Write(const void* data, size_t len) = 0;
+    virtual util::Status Flush() { return util::OkStatus(); }
+    /** Flushes and releases the destination; idempotent. */
+    virtual util::Status Close() { return Flush(); }
+};
+
+/** Source of raw container bytes. */
+class ByteSource
+{
+  public:
+    virtual ~ByteSource() = default;
+    /** Reads up to `len` bytes; returns the count read, 0 at end. */
+    virtual util::StatusOr<size_t> Read(void* data, size_t len) = 0;
+};
+
+/** File-backed ByteSink; Close() is fsync-then-close. */
+class FileByteSink : public ByteSink
+{
+  public:
+    static util::StatusOr<std::unique_ptr<FileByteSink>> Open(
+        const std::string& path);
+    ~FileByteSink() override;
+
+    FileByteSink(const FileByteSink&) = delete;
+    FileByteSink& operator=(const FileByteSink&) = delete;
+
+    util::Status Write(const void* data, size_t len) override;
+    util::Status Flush() override;
+    util::Status Close() override;
+
+  private:
+    FileByteSink(std::FILE* file, std::string path);
+
+    std::FILE* file_;
+    std::string path_;
+};
+
+/** File-backed ByteSource. */
+class FileByteSource : public ByteSource
+{
+  public:
+    static util::StatusOr<std::unique_ptr<FileByteSource>> Open(
+        const std::string& path);
+    ~FileByteSource() override;
+
+    FileByteSource(const FileByteSource&) = delete;
+    FileByteSource& operator=(const FileByteSource&) = delete;
+
+    util::StatusOr<size_t> Read(void* data, size_t len) override;
+
+  private:
+    FileByteSource(std::FILE* file, std::string path);
+
+    std::FILE* file_;
+    std::string path_;
+};
+
+/** Accumulates container bytes in memory (tests, fault harness). */
+class MemoryByteSink : public ByteSink
+{
+  public:
+    util::Status Write(const void* data, size_t len) override
+    {
+        const auto* p = static_cast<const uint8_t*>(data);
+        bytes_.insert(bytes_.end(), p, p + len);
+        return util::OkStatus();
+    }
+
+    const std::vector<uint8_t>& bytes() const { return bytes_; }
+    std::vector<uint8_t>& mutable_bytes() { return bytes_; }
+
+  private:
+    std::vector<uint8_t> bytes_;
+};
+
+/** Reads container bytes from a borrowed in-memory buffer. */
+class MemoryByteSource : public ByteSource
+{
+  public:
+    explicit MemoryByteSource(const std::vector<uint8_t>& bytes)
+        : bytes_(bytes)
+    {
+    }
+
+    util::StatusOr<size_t> Read(void* data, size_t len) override;
+
+  private:
+    const std::vector<uint8_t>& bytes_;
+    size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// ATF2 constants.
+
+inline constexpr uint8_t kAtf2Magic[8] = {'A', 'T', 'F',  '2',
+                                          '\r', '\n', 0x1a, '\n'};
+inline constexpr uint16_t kAtf2Version = 2;
+inline constexpr uint32_t kAtf2HeaderBytes = 32;
+inline constexpr uint32_t kAtf2ChunkHeaderBytes = 16;
+inline constexpr uint32_t kAtf2FooterBytes = 24;
+inline constexpr uint32_t kAtf2ChunkMagic = 0x4B4E4843;   // "CHNK"
+inline constexpr uint32_t kAtf2FooterMagic = 0x544F4F46;  // "FOOT"
+/** Upper bound a scanner will believe for one chunk's record count. */
+inline constexpr uint32_t kAtf2MaxChunkRecords = 1u << 20;
+
+/** Legacy v1 magic, still accepted by readers. */
+inline constexpr char kV1Magic[8] = {'A', 'T', 'U', 'M', '0', '0', '0', '1'};
+
+struct Atf2WriterOptions {
+    /** Records per chunk; the loss-confinement granularity. */
+    uint32_t chunk_records = 512;
+};
+
+// ---------------------------------------------------------------------------
+// Writer.
+
+/**
+ * Streams records into an ATF2 container. Records accumulate in an open
+ * chunk that is written out (header + payload, one Write call) when full;
+ * Seal() flushes the final partial chunk and appends the footer.
+ *
+ * A failed Append consumed nothing: the same record can be retried once
+ * the sink recovers, and no record is ever silently dropped or doubled.
+ * A writer abandoned before Seal() leaves a valid-but-unsealed file from
+ * which every completed chunk is recoverable — the crash guarantee.
+ */
+class Atf2Writer
+{
+  public:
+    explicit Atf2Writer(ByteSink& out, const Atf2WriterOptions& options = {});
+
+    Atf2Writer(const Atf2Writer&) = delete;
+    Atf2Writer& operator=(const Atf2Writer&) = delete;
+
+    /** Buffers one record, flushing a full chunk first if needed. */
+    util::Status Append(const Record& record);
+
+    /** Flushes the open chunk and writes the footer; idempotent. */
+    util::Status Seal();
+
+    bool sealed() const { return sealed_; }
+    /** Records accepted so far (buffered or written). */
+    uint64_t records() const { return records_; }
+    uint32_t chunks_written() const { return chunks_; }
+
+  private:
+    util::Status Start();
+    util::Status FlushChunk();
+
+    ByteSink& out_;
+    Atf2WriterOptions options_;
+    std::vector<uint8_t> pending_;  ///< packed records of the open chunk
+    uint32_t pending_records_ = 0;
+    uint64_t records_ = 0;
+    uint32_t chunks_ = 0;
+    bool started_ = false;
+    bool sealed_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Tolerant scanner / strict loader.
+
+/** One problem the scanner found, anchored to a file offset. */
+struct ScanIssue {
+    uint64_t offset = 0;
+    std::string error;
+};
+
+/** What a tolerant pass over one container found. */
+struct ScanReport {
+    bool recognized = false;  ///< carried a known trace magic
+    bool legacy_v1 = false;   ///< raw v1 file (no checksums)
+    bool sealed = false;      ///< valid ATF2 footer present
+    uint64_t file_bytes = 0;
+    uint32_t chunks_ok = 0;
+    uint32_t chunks_bad = 0;
+    uint64_t records_salvaged = 0;
+    /** Footer's record total; meaningful only when `sealed`. */
+    uint64_t footer_records = 0;
+    /** Records recovered before the first tear (the guaranteed prefix). */
+    uint64_t valid_prefix_records = 0;
+    std::vector<ScanIssue> issues;
+
+    /** True when the file is complete and every checksum verified. */
+    bool intact() const;
+    /** Multi-line human-readable report (the --verify output). */
+    std::string ToString() const;
+};
+
+/**
+ * Reads as much as possible from a (possibly damaged) container: verifies
+ * per-chunk checksums, resynchronizes past corrupt regions at the next
+ * chunk marker, and appends every salvageable record to `out` (which may
+ * be null to verify only). Never terminates the process; all damage is
+ * described in the returned report.
+ */
+ScanReport ScanTrace(ByteSource& in, std::vector<Record>* out);
+
+/**
+ * Strictly loads a trace file: every record or a non-OK status (kNotFound
+ * or kIoError when unreadable, kInvalidArgument when not a trace,
+ * kDataLoss when damaged — the message then names the salvageable record
+ * count). Accepts legacy v1 files with a one-line warning.
+ */
+util::StatusOr<std::vector<Record>> LoadTrace(const std::string& path);
+
+/** Writes `records` as a sealed ATF2 container on `out`. */
+util::Status WriteAtf2(ByteSink& out, const std::vector<Record>& records,
+                       const Atf2WriterOptions& options = {});
+
+}  // namespace atum::trace
+
+#endif  // ATUM_TRACE_CONTAINER_H_

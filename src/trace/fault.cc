@@ -1,0 +1,220 @@
+#include "trace/fault.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace atum::trace {
+
+std::string
+FaultOp::ToString() const
+{
+    std::ostringstream os;
+    switch (kind) {
+      case Kind::kFailWrite:
+        os << "fail-write@" << index;
+        break;
+      case Kind::kShortWrite:
+        os << "short-write@" << index << " keep " << arg;
+        break;
+      case Kind::kFlipByte:
+        os << "flip@" << index << " ^0x" << std::hex << arg;
+        break;
+      case Kind::kTruncateAt:
+        os << "truncate@" << index;
+        break;
+      case Kind::kFailRead:
+        os << "fail-read@" << index;
+        break;
+    }
+    return os.str();
+}
+
+FaultPlan&
+FaultPlan::FailWrite(uint64_t nth)
+{
+    ops.push_back({FaultOp::Kind::kFailWrite, nth, 0});
+    return *this;
+}
+
+FaultPlan&
+FaultPlan::ShortWrite(uint64_t nth, uint64_t keep_bytes)
+{
+    ops.push_back({FaultOp::Kind::kShortWrite, nth, keep_bytes});
+    return *this;
+}
+
+FaultPlan&
+FaultPlan::FlipByte(uint64_t offset, uint8_t xor_mask)
+{
+    ops.push_back({FaultOp::Kind::kFlipByte, offset, xor_mask});
+    return *this;
+}
+
+FaultPlan&
+FaultPlan::TruncateAt(uint64_t offset)
+{
+    ops.push_back({FaultOp::Kind::kTruncateAt, offset, 0});
+    return *this;
+}
+
+FaultPlan&
+FaultPlan::FailRead(uint64_t nth)
+{
+    ops.push_back({FaultOp::Kind::kFailRead, nth, 0});
+    return *this;
+}
+
+FaultPlan
+FaultPlan::Random(uint64_t seed, uint64_t stream_bytes, unsigned faults)
+{
+    Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+    FaultPlan plan;
+    for (unsigned i = 0; i < faults; ++i) {
+        const uint64_t offset =
+            stream_bytes == 0 ? 0 : rng.Next64() % stream_bytes;
+        switch (rng.Below(4)) {
+          case 0:
+            plan.FailWrite(rng.Below(64));
+            break;
+          case 1:
+            plan.ShortWrite(rng.Below(64), rng.Below(16));
+            break;
+          case 2:
+            plan.FlipByte(offset, static_cast<uint8_t>(rng.Range(1, 255)));
+            break;
+          default:
+            // Truncation past ~the tail half, so plans usually leave a
+            // salvageable prefix (a truncate at 0 just tests "empty file").
+            plan.TruncateAt(stream_bytes / 2 + offset / 2);
+            break;
+        }
+    }
+    return plan;
+}
+
+std::string
+FaultPlan::ToString() const
+{
+    std::string s;
+    for (const FaultOp& op : ops) {
+        if (!s.empty())
+            s += "; ";
+        s += op.ToString();
+    }
+    return s.empty() ? "none" : s;
+}
+
+// ---------------------------------------------------------------------------
+// FaultySink.
+
+util::Status
+FaultySink::Deliver(const uint8_t* data, size_t len)
+{
+    if (len == 0)
+        return util::OkStatus();
+
+    // Crash truncation: bytes at/after the cut vanish but the writer is
+    // told everything succeeded — exactly what a dying machine does.
+    uint64_t cut = UINT64_MAX;
+    for (const FaultOp& op : plan_.ops)
+        if (op.kind == FaultOp::Kind::kTruncateAt)
+            cut = std::min(cut, op.index);
+
+    const uint64_t start = offset_;
+    offset_ += len;
+    size_t keep = len;
+    if (cut != UINT64_MAX && start + len > cut) {
+        keep = cut > start ? static_cast<size_t>(cut - start) : 0;
+        ++faults_fired_;
+    }
+    if (keep == 0)
+        return util::OkStatus();
+
+    // Byte flips inside this span: corrupt a private copy in flight.
+    std::vector<uint8_t> flipped;
+    const uint8_t* payload = data;
+    for (const FaultOp& op : plan_.ops) {
+        if (op.kind != FaultOp::Kind::kFlipByte || op.index < start ||
+            op.index >= start + keep)
+            continue;
+        if (flipped.empty()) {
+            flipped.assign(data, data + keep);
+            payload = flipped.data();
+        }
+        flipped[static_cast<size_t>(op.index - start)] ^=
+            static_cast<uint8_t>(op.arg);
+        ++faults_fired_;
+    }
+    return base_.Write(payload, keep);
+}
+
+util::Status
+FaultySink::Write(const void* data, size_t len)
+{
+    const uint64_t call = writes_++;
+    for (const FaultOp& op : plan_.ops) {
+        if (op.kind == FaultOp::Kind::kFailWrite && op.index == call) {
+            ++faults_fired_;
+            return util::Unavailable("injected fault: ", op.ToString());
+        }
+    }
+    for (const FaultOp& op : plan_.ops) {
+        if (op.kind == FaultOp::Kind::kShortWrite && op.index == call) {
+            ++faults_fired_;
+            const size_t keep =
+                std::min<uint64_t>(op.arg, static_cast<uint64_t>(len));
+            util::Status status =
+                Deliver(static_cast<const uint8_t*>(data), keep);
+            if (!status.ok())
+                return status;
+            return util::IoError("injected fault: ", op.ToString());
+        }
+    }
+    return Deliver(static_cast<const uint8_t*>(data), len);
+}
+
+// ---------------------------------------------------------------------------
+// FaultySource.
+
+util::StatusOr<size_t>
+FaultySource::Read(void* data, size_t len)
+{
+    const uint64_t call = reads_++;
+    for (const FaultOp& op : plan_.ops) {
+        if (op.kind == FaultOp::Kind::kFailRead && op.index == call) {
+            ++faults_fired_;
+            return util::Status(util::StatusCode::kIoError,
+                                "injected fault: " + op.ToString());
+        }
+    }
+
+    uint64_t cut = UINT64_MAX;
+    for (const FaultOp& op : plan_.ops)
+        if (op.kind == FaultOp::Kind::kTruncateAt)
+            cut = std::min(cut, op.index);
+    if (cut != UINT64_MAX) {
+        if (offset_ >= cut)
+            return size_t{0};  // injected EOF
+        len = std::min<uint64_t>(len, cut - offset_);
+    }
+
+    util::StatusOr<size_t> got = base_.Read(data, len);
+    if (!got.ok())
+        return got;
+    auto* bytes = static_cast<uint8_t*>(data);
+    for (const FaultOp& op : plan_.ops) {
+        if (op.kind != FaultOp::Kind::kFlipByte || op.index < offset_ ||
+            op.index >= offset_ + *got)
+            continue;
+        bytes[static_cast<size_t>(op.index - offset_)] ^=
+            static_cast<uint8_t>(op.arg);
+        ++faults_fired_;
+    }
+    offset_ += *got;
+    return got;
+}
+
+}  // namespace atum::trace

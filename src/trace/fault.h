@@ -1,0 +1,115 @@
+#ifndef ATUM_TRACE_FAULT_H_
+#define ATUM_TRACE_FAULT_H_
+
+/**
+ * @file
+ * Deterministic fault injection for the trace I/O path.
+ *
+ * A FaultPlan is an explicit, ordered list of faults — fail the Nth
+ * write, cut a write short, flip a byte in flight, or silently drop
+ * everything past an offset (the crash model). FaultySink / FaultySource
+ * interpose a plan on any ByteSink / ByteSource, so the same container
+ * code that runs in production is exercised against every failure the
+ * plan describes. Plans built from a seed are pure functions of that
+ * seed: the fault-recovery bench and the corruption-matrix tests are
+ * bit-reproducible.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/container.h"
+#include "util/status.h"
+
+namespace atum::trace {
+
+/** One injected fault. */
+struct FaultOp {
+    enum class Kind : uint8_t {
+        kFailWrite,   ///< write call `index` fails; nothing reaches the sink
+        kShortWrite,  ///< write call `index` persists only `arg` bytes, then fails
+        kFlipByte,    ///< stream byte at offset `index` is xor-ed with `arg`
+        kTruncateAt,  ///< bytes at offset >= `index` silently vanish (crash)
+        kFailRead,    ///< read call `index` fails
+    };
+
+    Kind kind = Kind::kFailWrite;
+    uint64_t index = 0;  ///< call number (writes/reads) or byte offset
+    uint64_t arg = 0;    ///< short-write byte count / xor mask
+
+    std::string ToString() const;
+};
+
+/** An ordered fault list plus convenience builders. */
+struct FaultPlan {
+    std::vector<FaultOp> ops;
+
+    FaultPlan& FailWrite(uint64_t nth);
+    FaultPlan& ShortWrite(uint64_t nth, uint64_t keep_bytes);
+    FaultPlan& FlipByte(uint64_t offset, uint8_t xor_mask = 0xFF);
+    FaultPlan& TruncateAt(uint64_t offset);
+    FaultPlan& FailRead(uint64_t nth);
+
+    /**
+     * A reproducible mixed plan: `faults` faults drawn over a stream of
+     * roughly `stream_bytes`, fully determined by `seed`.
+     */
+    static FaultPlan Random(uint64_t seed, uint64_t stream_bytes,
+                            unsigned faults);
+
+    std::string ToString() const;
+};
+
+/** ByteSink wrapper that injects a FaultPlan's write-side faults. */
+class FaultySink : public ByteSink
+{
+  public:
+    FaultySink(ByteSink& base, FaultPlan plan)
+        : base_(base), plan_(std::move(plan))
+    {
+    }
+
+    util::Status Write(const void* data, size_t len) override;
+    util::Status Flush() override { return base_.Flush(); }
+    util::Status Close() override { return base_.Close(); }
+
+    uint64_t writes() const { return writes_; }
+    uint64_t bytes() const { return offset_; }
+    uint64_t faults_fired() const { return faults_fired_; }
+
+  private:
+    ByteSink& base_;
+    FaultPlan plan_;
+    uint64_t writes_ = 0;      ///< write calls attempted so far
+    uint64_t offset_ = 0;      ///< stream offset of the next byte
+    uint64_t faults_fired_ = 0;
+
+    /** Passes `len` bytes from `data` through flip/truncate faults. */
+    util::Status Deliver(const uint8_t* data, size_t len);
+};
+
+/** ByteSource wrapper that injects a FaultPlan's read-side faults. */
+class FaultySource : public ByteSource
+{
+  public:
+    FaultySource(ByteSource& base, FaultPlan plan)
+        : base_(base), plan_(std::move(plan))
+    {
+    }
+
+    util::StatusOr<size_t> Read(void* data, size_t len) override;
+
+    uint64_t faults_fired() const { return faults_fired_; }
+
+  private:
+    ByteSource& base_;
+    FaultPlan plan_;
+    uint64_t reads_ = 0;
+    uint64_t offset_ = 0;
+    uint64_t faults_fired_ = 0;
+};
+
+}  // namespace atum::trace
+
+#endif  // ATUM_TRACE_FAULT_H_

@@ -91,6 +91,29 @@ MakeOpcode(uint32_t pc, uint8_t opcode, bool kernel)
     return r;
 }
 
+Record
+MakeLoss(uint32_t lost, uint16_t event)
+{
+    Record r;
+    r.addr = lost;
+    r.type = RecordType::kLoss;
+    r.flags = MakeFlags(true, 4);
+    r.info = event;
+    return r;
+}
+
+bool
+IsPlausibleRecord(const Record& r)
+{
+    if (static_cast<uint8_t>(r.type) >=
+        static_cast<uint8_t>(RecordType::kNumTypes))
+        return false;
+    // flags: bit 0 kernel, bits 2:1 log2(size) with size <= 4, rest zero.
+    if ((r.flags & ~0x07u) != 0 || ((r.flags >> 1) & 3) == 3)
+        return false;
+    return true;
+}
+
 void
 PackRecord(const Record& r, uint8_t out[kRecordBytes])
 {

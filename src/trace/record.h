@@ -29,7 +29,8 @@ enum class RecordType : uint8_t {
     kTlbMiss = 5,    ///< translation-buffer miss; addr = faulting va
     kException = 6,  ///< exception/interrupt dispatch; info = vector
     kOpcode = 7,     ///< instruction decode marker; addr = pc, info = opcode
-    kNumTypes = 8,
+    kLoss = 8,       ///< capture gap; addr = records lost, info = event no.
+    kNumTypes = 9,
 };
 
 /** Flag bits in Record::flags. */
@@ -74,6 +75,21 @@ Record MakeException(uint8_t vector);
 
 /** Builds an instruction-decode marker record. */
 Record MakeOpcode(uint32_t pc, uint8_t opcode, bool kernel);
+
+/**
+ * Builds a capture-gap marker: `lost` records were dropped here because
+ * the drain sink kept failing (HMTT-style, so consumers can detect the
+ * gap and resynchronize instead of silently analyzing a torn stream).
+ * `event` numbers the gaps within one capture.
+ */
+Record MakeLoss(uint32_t lost, uint16_t event);
+
+/**
+ * True when every field of `r` is an encoding this library can produce.
+ * Raw v1 trace files carry no checksums, so a reader must vet each record
+ * before trusting it (a corrupt type byte must not reach per-type arrays).
+ */
+bool IsPlausibleRecord(const Record& r);
 
 /** Packs a record into 8 bytes (little-endian). */
 void PackRecord(const Record& r, uint8_t out[kRecordBytes]);

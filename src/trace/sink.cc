@@ -1,98 +1,120 @@
 #include "trace/sink.h"
 
-#include <cstring>
+#include <utility>
 
 #include "util/logging.h"
 
 namespace atum::trace {
 
-namespace {
-constexpr char kMagic[8] = {'A', 'T', 'U', 'M', '0', '0', '0', '1'};
-}  // namespace
-
 FileSink::FileSink(const std::string& path)
 {
-    file_ = std::fopen(path.c_str(), "wb");
-    if (file_ == nullptr)
-        Fatal("cannot open trace file for writing: ", path);
-    if (std::fwrite(kMagic, 1, sizeof kMagic, file_) != sizeof kMagic)
-        Fatal("cannot write trace header: ", path);
+    util::StatusOr<std::unique_ptr<FileByteSink>> out =
+        FileByteSink::Open(path);
+    if (!out.ok())
+        Fatal(out.status().message());
+    out_ = std::move(*out);
+    writer_ = std::make_unique<Atf2Writer>(*out_);
+}
+
+FileSink::FileSink(std::unique_ptr<ByteSink> out,
+                   const Atf2WriterOptions& options)
+    : out_(std::move(out))
+{
+    writer_ = std::make_unique<Atf2Writer>(*out_, options);
+}
+
+util::StatusOr<std::unique_ptr<FileSink>>
+FileSink::Open(const std::string& path, const Atf2WriterOptions& options)
+{
+    util::StatusOr<std::unique_ptr<FileByteSink>> out =
+        FileByteSink::Open(path);
+    if (!out.ok())
+        return out.status();
+    return std::unique_ptr<FileSink>(
+        new FileSink(std::move(*out), options));
 }
 
 FileSink::~FileSink()
 {
-    if (file_ != nullptr)
-        std::fclose(file_);
+    const util::Status status = Close();
+    if (!status.ok())
+        Warn("closing trace sink: ", status.ToString());
 }
 
-void
+util::Status
 FileSink::Append(const Record& record)
 {
-    if (file_ == nullptr)
-        Panic("Append on a closed FileSink");
-    uint8_t buf[kRecordBytes];
-    PackRecord(record, buf);
-    if (std::fwrite(buf, 1, sizeof buf, file_) != sizeof buf)
-        Fatal("short write to trace file");
-    ++count_;
+    if (closed_)
+        return util::FailedPrecondition("Append on a closed FileSink");
+    return writer_->Append(record);
 }
 
-void
+util::Status
 FileSink::Close()
 {
-    if (file_ != nullptr) {
-        std::fclose(file_);
-        file_ = nullptr;
-    }
+    if (closed_)
+        return close_status_;
+    closed_ = true;
+    close_status_ = writer_->Seal();
+    const util::Status out_status = out_->Close();
+    if (close_status_.ok())
+        close_status_ = out_status;
+    return close_status_;
 }
 
-FileSource::FileSource(const std::string& path)
+util::StatusOr<std::unique_ptr<FileSource>>
+FileSource::Open(const std::string& path)
 {
-    file_ = std::fopen(path.c_str(), "rb");
-    if (file_ == nullptr)
-        Fatal("cannot open trace file: ", path);
-    char magic[8];
-    if (std::fread(magic, 1, sizeof magic, file_) != sizeof magic ||
-        std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
-        Fatal("not an ATUM trace file: ", path);
-    }
-}
+    util::StatusOr<std::unique_ptr<FileByteSource>> in =
+        FileByteSource::Open(path);
+    if (!in.ok())
+        return in.status();
 
-FileSource::~FileSource()
-{
-    if (file_ != nullptr)
-        std::fclose(file_);
+    std::unique_ptr<FileSource> source(new FileSource);
+    source->report_ = ScanTrace(**in, &source->records_);
+    if (!source->report_.recognized)
+        return util::InvalidArgument("not an ATUM trace file: ", path);
+    if (source->report_.legacy_v1 && source->report_.intact())
+        Warn("reading legacy v1 trace ", path,
+             " (no checksums; re-capture or --salvage to get ATF2)");
+    if (!source->report_.intact()) {
+        const auto& issues = source->report_.issues;
+        source->status_ = util::DataLoss(
+            path, ": ", issues.empty() ? "damaged" : issues[0].error, " (",
+            source->report_.records_salvaged, " records salvageable)");
+    }
+    return source;
 }
 
 std::optional<Record>
 FileSource::Next()
 {
-    uint8_t buf[kRecordBytes];
-    const size_t got = std::fread(buf, 1, sizeof buf, file_);
-    if (got == 0)
+    if (pos_ >= records_.size())
         return std::nullopt;
-    if (got != sizeof buf)
-        Fatal("truncated trace file record");
-    return UnpackRecord(buf);
+    return records_[pos_++];
 }
 
-void
+util::Status
 WriteTraceFile(const std::string& path, const std::vector<Record>& records)
 {
-    FileSink sink(path);
-    for (const Record& r : records)
-        sink.Append(r);
-    sink.Close();
+    util::StatusOr<std::unique_ptr<FileSink>> sink = FileSink::Open(path);
+    if (!sink.ok())
+        return sink.status();
+    for (const Record& r : records) {
+        util::Status status = (*sink)->Append(r);
+        if (!status.ok())
+            return status;
+    }
+    return (*sink)->Close();
 }
 
 std::vector<Record>
 ReadTraceFile(const std::string& path)
 {
-    FileSource source(path);
-    std::vector<Record> out;
-    while (auto r = source.Next())
-        out.push_back(*r);
-    return out;
+    util::StatusOr<std::vector<Record>> records = LoadTrace(path);
+    if (!records.ok())
+        Fatal(records.status().ToString());
+    return std::move(*records);
 }
 
 }  // namespace atum::trace

@@ -4,17 +4,27 @@
 /**
  * @file
  * Trace consumers and producers: where drained trace-buffer contents go
- * (sinks) and where analyzers read records from (sources). Binary trace
- * files use an 8-byte magic header followed by packed records.
+ * (sinks) and where analyzers read records from (sources).
+ *
+ * Sinks report failure through Status instead of dying: the captured
+ * trace is the single most valuable artifact this system produces, and a
+ * full disk must never take the (simulated) machine down with it — the
+ * tracer's drain path retries and degrades instead (core/atum_tracer.h).
+ *
+ * File-backed sinks write the checksummed ATF2 container
+ * (trace/container.h); file sources read ATF2 and legacy v1.
  */
 
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "trace/container.h"
 #include "trace/record.h"
+#include "util/status.h"
 
 namespace atum::trace {
 
@@ -23,16 +33,22 @@ class TraceSink
 {
   public:
     virtual ~TraceSink() = default;
-    virtual void Append(const Record& record) = 0;
+    /**
+     * Accepts one record. A non-OK status means the record was NOT
+     * consumed; the caller owns the retry/degrade decision and may call
+     * again with the same record once the sink recovers.
+     */
+    virtual util::Status Append(const Record& record) = 0;
 };
 
 /** Accumulates records in memory. */
 class VectorSink : public TraceSink
 {
   public:
-    void Append(const Record& record) override
+    util::Status Append(const Record& record) override
     {
         records_.push_back(record);
+        return util::OkStatus();
     }
 
     const std::vector<Record>& records() const { return records_; }
@@ -46,33 +62,58 @@ class VectorSink : public TraceSink
 class CountingSink : public TraceSink
 {
   public:
-    void Append(const Record&) override { ++count_; }
+    util::Status Append(const Record&) override
+    {
+        ++count_;
+        return util::OkStatus();
+    }
     uint64_t count() const { return count_; }
 
   private:
     uint64_t count_ = 0;
 };
 
-/** Streams packed records to a binary trace file. */
+/** Streams records into an ATF2 container file. */
 class FileSink : public TraceSink
 {
   public:
-    /** Opens `path` for writing and emits the header; Fatal on failure. */
+    /**
+     * Opens `path` for writing; Fatal when the file cannot be created
+     * (kept for the quickstart path — use Open() where a recoverable
+     * error is wanted).
+     */
     explicit FileSink(const std::string& path);
+
+    /** Recoverable open. */
+    static util::StatusOr<std::unique_ptr<FileSink>> Open(
+        const std::string& path, const Atf2WriterOptions& options = {});
+
+    /** Writes the container into an arbitrary byte sink (fault tests). */
+    explicit FileSink(std::unique_ptr<ByteSink> out,
+                      const Atf2WriterOptions& options = {});
+
+    /** Closes (seal + fsync) if still open; failure is a warning only. */
     ~FileSink() override;
 
     FileSink(const FileSink&) = delete;
     FileSink& operator=(const FileSink&) = delete;
 
-    void Append(const Record& record) override;
-    /** Flushes and closes; further Append calls are a Panic. */
-    void Close();
+    /** Appends one record; after Close() returns failed-precondition. */
+    util::Status Append(const Record& record) override;
 
-    uint64_t count() const { return count_; }
+    /**
+     * Seals the container, fsyncs and closes the file. Idempotent: a
+     * second Close() is a no-op returning the first outcome.
+     */
+    util::Status Close();
+
+    uint64_t count() const { return writer_ ? writer_->records() : 0; }
 
   private:
-    std::FILE* file_;
-    uint64_t count_ = 0;
+    std::unique_ptr<ByteSink> out_;
+    std::unique_ptr<Atf2Writer> writer_;
+    bool closed_ = false;
+    util::Status close_status_;
 };
 
 /** Sequential record reader. */
@@ -107,28 +148,45 @@ class VectorSource : public TraceSource
     size_t pos_ = 0;
 };
 
-/** Reads a binary trace file produced by FileSink. */
+/**
+ * Reads a trace file (ATF2 or legacy v1). Damage does not kill the
+ * stream: Next() serves every checksum-verified record and then stops;
+ * status() tells whether that end was a clean EOF (OK) or a tear
+ * (data-loss), and report() has the per-chunk detail.
+ */
 class FileSource : public TraceSource
 {
   public:
-    /** Opens `path` and validates the header; Fatal on failure. */
-    explicit FileSource(const std::string& path);
-    ~FileSource() override;
-
-    FileSource(const FileSource&) = delete;
-    FileSource& operator=(const FileSource&) = delete;
+    static util::StatusOr<std::unique_ptr<FileSource>> Open(
+        const std::string& path);
 
     std::optional<Record> Next() override;
 
+    /** OK while every record so far came from verified, complete data. */
+    const util::Status& status() const { return status_; }
+    const ScanReport& report() const { return report_; }
+    bool legacy_v1() const { return report_.legacy_v1; }
+
   private:
-    std::FILE* file_;
+    FileSource() = default;
+
+    std::vector<Record> records_;
+    size_t pos_ = 0;
+    ScanReport report_;
+    util::Status status_;
 };
 
-/** Writes `records` to `path` in the binary trace format. */
-void WriteTraceFile(const std::string& path,
-                    const std::vector<Record>& records);
+/**
+ * Writes `records` to `path` as a sealed ATF2 container.
+ * The returned status may be ignored by legacy callers; nothing aborts.
+ */
+util::Status WriteTraceFile(const std::string& path,
+                            const std::vector<Record>& records);
 
-/** Reads an entire binary trace file into memory. */
+/**
+ * Reads an entire trace file into memory; Fatal on any error (legacy
+ * convenience — prefer LoadTrace (trace/container.h) in new code).
+ */
 std::vector<Record> ReadTraceFile(const std::string& path);
 
 }  // namespace atum::trace

@@ -73,6 +73,7 @@ TraceStats::ToString() const
        << "  tlb-miss:     " << CountOf(RecordType::kTlbMiss) << "\n"
        << "  exception:    " << CountOf(RecordType::kException) << "\n"
        << "  opcode:       " << CountOf(RecordType::kOpcode) << "\n"
+       << "  loss:         " << CountOf(RecordType::kLoss) << "\n"
        << "memory refs:    " << mem_refs_ << "\n"
        << "  kernel:       " << kernel_refs_ << " ("
        << static_cast<int>(KernelFraction() * 1000) / 10.0 << "%)\n"

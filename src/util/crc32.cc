@@ -1,0 +1,38 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace atum::util {
+
+namespace {
+
+/** Reflected CRC32C lookup table, one entry per byte value. */
+constexpr std::array<uint32_t, 256>
+MakeTable()
+{
+    constexpr uint32_t kPolyReflected = 0x82F63B78u;
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ ((crc & 1) ? kPolyReflected : 0);
+        table[i] = crc;
+    }
+    return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t
+Crc32cExtend(uint32_t crc, const void* data, size_t len)
+{
+    const auto* bytes = static_cast<const uint8_t*>(data);
+    crc = ~crc;
+    for (size_t i = 0; i < len; ++i)
+        crc = (crc >> 8) ^ kTable[(crc ^ bytes[i]) & 0xFF];
+    return ~crc;
+}
+
+}  // namespace atum::util

@@ -1,0 +1,35 @@
+#ifndef ATUM_UTIL_CRC32_H_
+#define ATUM_UTIL_CRC32_H_
+
+/**
+ * @file
+ * CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected), the checksum the
+ * ATF2 trace container uses per chunk. Software table implementation —
+ * fast enough that checksumming is invisible next to simulation cost, and
+ * byte-identical on every platform, which the golden-file tests require.
+ *
+ * Check value: Crc32c("123456789", 9) == 0xE3069283.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+namespace atum::util {
+
+/**
+ * Extends a running CRC32C over `len` more bytes. `crc` is the finalized
+ * value of the previous bytes (0 for none); returns the finalized value
+ * of the whole sequence, so Extend(Extend(0, a), b) == Crc32c(a+b).
+ */
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t len);
+
+/** CRC32C of one contiguous buffer. */
+inline uint32_t
+Crc32c(const void* data, size_t len)
+{
+    return Crc32cExtend(0, data, len);
+}
+
+}  // namespace atum::util
+
+#endif  // ATUM_UTIL_CRC32_H_

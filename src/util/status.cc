@@ -1,0 +1,62 @@
+#include "util/status.h"
+
+namespace atum::util {
+
+const char*
+StatusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk:
+        return "ok";
+      case StatusCode::kInvalidArgument:
+        return "invalid-argument";
+      case StatusCode::kNotFound:
+        return "not-found";
+      case StatusCode::kIoError:
+        return "io-error";
+      case StatusCode::kDataLoss:
+        return "data-loss";
+      case StatusCode::kFailedPrecondition:
+        return "failed-precondition";
+      case StatusCode::kUnavailable:
+        return "unavailable";
+      case StatusCode::kInternal:
+        return "internal";
+    }
+    return "unknown";
+}
+
+std::string
+Status::ToString() const
+{
+    if (ok())
+        return "ok";
+    std::string s = StatusCodeName(code_);
+    if (!message_.empty()) {
+        s += ": ";
+        s += message_;
+    }
+    return s;
+}
+
+int
+ExitCodeFor(const Status& status)
+{
+    switch (status.code()) {
+      case StatusCode::kOk:
+        return kExitOk;
+      case StatusCode::kNotFound:
+      case StatusCode::kIoError:
+      case StatusCode::kUnavailable:
+        return kExitIo;
+      case StatusCode::kInvalidArgument:
+      case StatusCode::kDataLoss:
+        return kExitCorrupt;
+      case StatusCode::kFailedPrecondition:
+      case StatusCode::kInternal:
+        return kExitError;
+    }
+    return kExitError;
+}
+
+}  // namespace atum::util

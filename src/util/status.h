@@ -1,0 +1,190 @@
+#ifndef ATUM_UTIL_STATUS_H_
+#define ATUM_UTIL_STATUS_H_
+
+/**
+ * @file
+ * Recoverable-error propagation: Status and StatusOr<T>.
+ *
+ * The logging header draws the line between Fatal (user error, exit) and
+ * Panic (atum bug, abort). Both are wrong for errors that a caller can
+ * reasonably handle — a trace file that turned out truncated, a disk that
+ * filled mid-capture, one bad configuration in a hundred-config sweep.
+ * Those paths return a Status (or StatusOr<T> when there is a value to
+ * return) and let the caller decide: retry, degrade, skip the row, or
+ * surface a clean non-zero exit code.
+ *
+ * The rule after this refactor: no Fatal/Panic may be reachable from
+ * malformed *input* (trace files, sweep specs fed to the replay engine);
+ * they remain for construction-time API misuse and genuine internal
+ * invariants.
+ */
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace atum::util {
+
+/** Broad error classes, in the absl tradition (only the ones atum needs). */
+enum class StatusCode : uint8_t {
+    kOk = 0,
+    kInvalidArgument,     ///< malformed input or configuration
+    kNotFound,            ///< file or resource does not exist
+    kIoError,             ///< the OS failed a read/write/flush
+    kDataLoss,            ///< input recognized but corrupt or truncated
+    kFailedPrecondition,  ///< operation illegal in the current state
+    kUnavailable,         ///< transient failure; retrying may succeed
+    kInternal,            ///< unexpected failure inside atum
+};
+
+/** Stable lowercase name ("data-loss") for messages and reports. */
+const char* StatusCodeName(StatusCode code);
+
+/** An error code plus a human-readable message; default-constructed = OK. */
+class Status
+{
+  public:
+    Status() = default;
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    bool ok() const { return code_ == StatusCode::kOk; }
+    StatusCode code() const { return code_; }
+    const std::string& message() const { return message_; }
+
+    /** "data-loss: chunk 3 CRC mismatch" (or "ok"). */
+    std::string ToString() const;
+
+    bool operator==(const Status&) const = default;
+
+  private:
+    StatusCode code_ = StatusCode::kOk;
+    std::string message_;
+};
+
+inline Status OkStatus()
+{
+    return Status();
+}
+
+// Makers in the style of Fatal()/Warn(): any streamable arguments.
+template <typename... Args>
+Status InvalidArgument(Args&&... args)
+{
+    return Status(StatusCode::kInvalidArgument,
+                  internal::StrCat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+Status NotFound(Args&&... args)
+{
+    return Status(StatusCode::kNotFound,
+                  internal::StrCat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+Status IoError(Args&&... args)
+{
+    return Status(StatusCode::kIoError,
+                  internal::StrCat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+Status DataLoss(Args&&... args)
+{
+    return Status(StatusCode::kDataLoss,
+                  internal::StrCat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+Status FailedPrecondition(Args&&... args)
+{
+    return Status(StatusCode::kFailedPrecondition,
+                  internal::StrCat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+Status Unavailable(Args&&... args)
+{
+    return Status(StatusCode::kUnavailable,
+                  internal::StrCat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+Status InternalError(Args&&... args)
+{
+    return Status(StatusCode::kInternal,
+                  internal::StrCat(std::forward<Args>(args)...));
+}
+
+/** A Status or a value of type T; exactly one is ever present. */
+template <typename T>
+class StatusOr
+{
+  public:
+    /** An error result. Passing an OK status is API misuse (Panic). */
+    StatusOr(Status status) : status_(std::move(status))  // NOLINT(implicit)
+    {
+        if (status_.ok())
+            Panic("StatusOr constructed from an OK status without a value");
+    }
+
+    StatusOr(T value)  // NOLINT(implicit)
+        : status_(), has_value_(true), value_(std::move(value))
+    {
+    }
+
+    bool ok() const { return has_value_; }
+    const Status& status() const { return status_; }
+
+    /** The held value; calling on an error result is a Panic. */
+    T& value() &
+    {
+        EnsureValue();
+        return value_;
+    }
+    const T& value() const&
+    {
+        EnsureValue();
+        return value_;
+    }
+    T&& value() &&
+    {
+        EnsureValue();
+        return std::move(value_);
+    }
+
+    T* operator->()
+    {
+        EnsureValue();
+        return &value_;
+    }
+    T& operator*() & { return value(); }
+
+  private:
+    void EnsureValue() const
+    {
+        if (!has_value_)
+            Panic("StatusOr::value on error: ", status_.ToString());
+    }
+
+    Status status_;
+    bool has_value_ = false;
+    T value_{};
+};
+
+/**
+ * Process exit codes shared by the command-line tools, so scripts can
+ * distinguish "you typed it wrong" from "the file is gone" from "the file
+ * is there but rotten". (1 stays the legacy Fatal catch-all.)
+ */
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitError = 1;    ///< Fatal(): generic user error
+inline constexpr int kExitUsage = 2;    ///< bad command-line arguments
+inline constexpr int kExitIo = 3;       ///< missing/unreadable/unwritable file
+inline constexpr int kExitCorrupt = 4;  ///< recognized trace, corrupt content
+
+/** Maps an error Status to the tool exit-code convention above. */
+int ExitCodeFor(const Status& status);
+
+}  // namespace atum::util
+
+#endif  // ATUM_UTIL_STATUS_H_

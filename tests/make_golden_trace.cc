@@ -1,0 +1,45 @@
+// Writes a deterministic 1000-record ATF2 container (128 records per
+// chunk) to the given path. scripts/test_tools.sh corrupts a copy of it
+// at a fixed offset and golden-diffs the `atum-report --verify` output,
+// so this generator must stay bit-stable.
+
+#include <cstdio>
+#include <vector>
+
+#include "trace/container.h"
+#include "trace/record.h"
+
+int
+main(int argc, char** argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: make_golden_trace OUT\n");
+        return 2;
+    }
+    std::vector<atum::trace::Record> records;
+    for (uint32_t i = 0; i < 1000; ++i) {
+        atum::trace::Record r;
+        r.type = i % 3 == 0 ? atum::trace::RecordType::kIFetch
+                            : atum::trace::RecordType::kRead;
+        r.addr = 0x1000 + i * 4;
+        r.flags = atum::trace::MakeFlags(i % 5 == 0, 4);
+        r.info = static_cast<uint16_t>(i);
+        records.push_back(r);
+    }
+    auto out = atum::trace::FileByteSink::Open(argv[1]);
+    if (!out.ok()) {
+        std::fprintf(stderr, "%s\n", out.status().ToString().c_str());
+        return 3;
+    }
+    atum::trace::Atf2WriterOptions options;
+    options.chunk_records = 128;
+    atum::util::Status status = atum::trace::WriteAtf2(**out, records,
+                                                       options);
+    if (status.ok())
+        status = (*out)->Close();
+    if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+    }
+    return 0;
+}

@@ -227,6 +227,51 @@ TEST(SweepRunner, ResultsStayInInputOrder)
     EXPECT_LE(results[0].cache_stats.misses, results[1].cache_stats.misses);
 }
 
+TEST(SweepRunner, BadConfigErrorsItsRowOnly)
+{
+    const std::vector<Record> records = SyntheticTrace(5000);
+    std::vector<SweepConfig> jobs;
+    jobs.push_back(MakeCacheJob(
+        {.size_bytes = 16u << 10, .block_bytes = 16, .assoc = 1}));
+    // 17K is not a power of two: constructing this Cache would Fatal.
+    jobs.push_back(MakeCacheJob(
+        {.size_bytes = 17u << 10, .block_bytes = 16, .assoc = 1}, {},
+        "bad-cache"));
+    jobs.push_back(MakeTlbJob({.entries = 63}, "bad-tlb"));
+    cache::HierarchyConfig hier;
+    hier.l2.assoc = 3;  // 4096 blocks do not divide into 3 ways
+    jobs.push_back(MakeHierarchyJob(hier, "bad-hier"));
+    jobs.push_back(MakeTlbJob({.entries = 64}));
+
+    const auto results = SweepRunner(2).Run(records, jobs);
+    ASSERT_EQ(results.size(), 5u);
+
+    // Healthy rows are untouched by their neighbors' failures.
+    EXPECT_TRUE(results[0].status.ok());
+    EXPECT_GT(results[0].cache_stats.accesses, 0u);
+    EXPECT_TRUE(results[4].status.ok());
+    EXPECT_GT(results[4].tlb_stats.accesses, 0u);
+
+    // Bad rows carry their error and zeroed statistics, labels intact.
+    EXPECT_EQ(results[1].status.code(),
+              util::StatusCode::kInvalidArgument);
+    EXPECT_EQ(results[1].cache_stats.accesses, 0u);
+    EXPECT_EQ(results[1].label, "bad-cache");
+    EXPECT_EQ(results[2].status.code(),
+              util::StatusCode::kInvalidArgument);
+    EXPECT_EQ(results[2].label, "bad-tlb");
+    EXPECT_FALSE(results[3].status.ok());
+    EXPECT_NE(results[3].status.message().find("l2"), std::string::npos);
+}
+
+TEST(SweepRunner, ReplayOneValidatesBeforeConstructing)
+{
+    const SweepResult result =
+        ReplayOne({}, MakeCacheJob({.size_bytes = 1u << 10,
+                                    .block_bytes = 2048}));
+    EXPECT_EQ(result.status.code(), util::StatusCode::kInvalidArgument);
+}
+
 TEST(PerProcessProfiles, ParallelMatchesSerialSubstreams)
 {
     const std::vector<Record> records = SyntheticTrace(20000);

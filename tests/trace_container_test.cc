@@ -1,0 +1,429 @@
+// Corruption matrix for the ATF2 container: every truncation point,
+// bit flips in every chunk position, crash-model truncation, legacy v1
+// handling, and the fault-injection harness itself. No test here may
+// kill the process — malformed file input must always come back as a
+// Status or a damage report.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/container.h"
+#include "trace/fault.h"
+#include "trace/record.h"
+#include "trace/sink.h"
+#include "util/status.h"
+
+namespace atum::trace {
+namespace {
+
+std::string
+TempPath(const char* name)
+{
+    return std::string(::testing::TempDir()) + "/" + name;
+}
+
+Record
+TestRecord(uint32_t i)
+{
+    Record r;
+    r.type = i % 2 ? RecordType::kRead : RecordType::kWrite;
+    r.addr = 0x2000 + i * 4;
+    r.flags = MakeFlags(i % 3 == 0, 4);
+    r.info = static_cast<uint16_t>(i);
+    return r;
+}
+
+std::vector<Record>
+TestRecords(uint32_t n)
+{
+    std::vector<Record> records;
+    for (uint32_t i = 0; i < n; ++i)
+        records.push_back(TestRecord(i));
+    return records;
+}
+
+/** A sealed container of `n` records, 4 records per chunk. */
+std::vector<uint8_t>
+SealedContainer(uint32_t n)
+{
+    MemoryByteSink sink;
+    EXPECT_TRUE(WriteAtf2(sink, TestRecords(n), {.chunk_records = 4}).ok());
+    return sink.bytes();
+}
+
+ScanReport
+Scan(const std::vector<uint8_t>& bytes, std::vector<Record>* out = nullptr)
+{
+    MemoryByteSource source(bytes);
+    return ScanTrace(source, out);
+}
+
+// With chunk_records = 4 the layout of a 10-record container is:
+//   [0,32)    header
+//   [32,80)   chunk 0 (records 0..3)
+//   [80,128)  chunk 1 (records 4..7)
+//   [128,160) chunk 2 (records 8..9, partial: 16 + 2*8)
+//   [160,184) footer
+constexpr size_t kChunk0 = 32;
+constexpr size_t kChunk1 = 80;
+constexpr size_t kChunk2 = 128;
+constexpr size_t kFooter = 160;
+constexpr size_t kEnd = 184;
+
+TEST(Container, SealedRoundTripIsIntact)
+{
+    const std::vector<uint8_t> bytes = SealedContainer(10);
+    ASSERT_EQ(bytes.size(), kEnd);
+
+    std::vector<Record> back;
+    const ScanReport report = Scan(bytes, &back);
+    EXPECT_TRUE(report.intact());
+    EXPECT_TRUE(report.sealed);
+    EXPECT_FALSE(report.legacy_v1);
+    EXPECT_EQ(report.chunks_ok, 3u);
+    EXPECT_EQ(report.chunks_bad, 0u);
+    EXPECT_EQ(report.records_salvaged, 10u);
+    EXPECT_EQ(report.footer_records, 10u);
+    EXPECT_EQ(report.valid_prefix_records, 10u);
+    EXPECT_EQ(back, TestRecords(10));
+}
+
+TEST(Container, EmptyTraceSealsAndVerifies)
+{
+    MemoryByteSink sink;
+    ASSERT_TRUE(WriteAtf2(sink, {}, {.chunk_records = 4}).ok());
+    const ScanReport report = Scan(sink.bytes());
+    EXPECT_TRUE(report.intact());
+    EXPECT_EQ(report.records_salvaged, 0u);
+}
+
+TEST(Container, ZeroLengthFileIsNotATrace)
+{
+    const ScanReport report = Scan({});
+    EXPECT_FALSE(report.recognized);
+    EXPECT_FALSE(report.intact());
+    ASSERT_EQ(report.issues.size(), 1u);
+    EXPECT_EQ(report.issues[0].error, "empty file");
+}
+
+// Truncate the container at EVERY byte boundary. The scanner must never
+// die, never report intact, and always salvage exactly the records of
+// the complete chunks in the surviving prefix.
+TEST(Container, TruncationAtEveryOffsetSalvagesCompleteChunks)
+{
+    const std::vector<uint8_t> full = SealedContainer(10);
+    ASSERT_EQ(full.size(), kEnd);
+
+    for (size_t len = 0; len < full.size(); ++len) {
+        const std::vector<uint8_t> cut(full.begin(), full.begin() + len);
+        std::vector<Record> back;
+        const ScanReport report = Scan(cut, &back);
+
+        uint64_t want = 0;
+        if (len >= kChunk1)
+            want = 4;
+        if (len >= kChunk2)
+            want = 8;
+        if (len >= kFooter)
+            want = 10;
+
+        EXPECT_FALSE(report.intact()) << "truncated to " << len;
+        EXPECT_EQ(report.records_salvaged, want) << "truncated to " << len;
+        EXPECT_EQ(report.valid_prefix_records, want)
+            << "truncated to " << len;
+        EXPECT_FALSE(report.sealed) << "truncated to " << len;
+        ASSERT_EQ(back.size(), want) << "truncated to " << len;
+        for (size_t i = 0; i < back.size(); ++i)
+            EXPECT_EQ(back[i], TestRecord(static_cast<uint32_t>(i)));
+    }
+}
+
+// Flip one payload byte in the first, middle, and last chunk: exactly
+// that chunk is lost, the islands around it are salvaged bit-exact, and
+// the guaranteed prefix stops at the flip.
+TEST(Container, PayloadFlipConfinesLossToOneChunk)
+{
+    struct Case {
+        size_t chunk_offset;
+        uint64_t prefix;            ///< records before the bad chunk
+        std::vector<uint32_t> ids;  ///< surviving record indices
+    };
+    const std::vector<Case> cases = {
+        {kChunk0, 0, {4, 5, 6, 7, 8, 9}},
+        {kChunk1, 4, {0, 1, 2, 3, 8, 9}},
+        {kChunk2, 8, {0, 1, 2, 3, 4, 5, 6, 7}},
+    };
+    for (const Case& c : cases) {
+        std::vector<uint8_t> bytes = SealedContainer(10);
+        bytes[c.chunk_offset + kAtf2ChunkHeaderBytes + 3] ^= 0x40;
+
+        std::vector<Record> back;
+        const ScanReport report = Scan(bytes, &back);
+        EXPECT_FALSE(report.intact());
+        EXPECT_TRUE(report.sealed);  // the footer itself is fine
+        EXPECT_EQ(report.chunks_ok, 2u);
+        EXPECT_EQ(report.chunks_bad, 1u);
+        EXPECT_EQ(report.records_salvaged, c.ids.size());
+        EXPECT_EQ(report.valid_prefix_records, c.prefix);
+        ASSERT_EQ(back.size(), c.ids.size());
+        for (size_t i = 0; i < back.size(); ++i)
+            EXPECT_EQ(back[i], TestRecord(c.ids[i]));
+    }
+}
+
+TEST(Container, ChunkHeaderFlipResynchronizesAtNextMarker)
+{
+    std::vector<uint8_t> bytes = SealedContainer(10);
+    bytes[kChunk1 + 5] ^= 0xFF;  // chunk 1's record-count field
+
+    std::vector<Record> back;
+    const ScanReport report = Scan(bytes, &back);
+    EXPECT_FALSE(report.intact());
+    EXPECT_EQ(report.records_salvaged, 6u);  // chunks 0 and 2
+    EXPECT_EQ(report.valid_prefix_records, 4u);
+    ASSERT_EQ(back.size(), 6u);
+    EXPECT_EQ(back[4], TestRecord(8));
+}
+
+TEST(Container, HeaderFlipStillSalvagesAllChunks)
+{
+    std::vector<uint8_t> bytes = SealedContainer(10);
+    bytes[9] ^= 0x01;  // version field; header CRC now fails
+
+    const ScanReport report = Scan(bytes);
+    EXPECT_FALSE(report.intact());
+    // Chunks self-describe, so an untrusted header loses nothing.
+    EXPECT_EQ(report.records_salvaged, 10u);
+    EXPECT_EQ(report.valid_prefix_records, 0u);
+}
+
+TEST(Container, FooterFlipLeavesRecordsButNotSealed)
+{
+    std::vector<uint8_t> bytes = SealedContainer(10);
+    bytes[kFooter + 8] ^= 0xFF;  // footer's record total
+
+    const ScanReport report = Scan(bytes);
+    EXPECT_FALSE(report.intact());
+    EXPECT_FALSE(report.sealed);
+    EXPECT_EQ(report.records_salvaged, 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Legacy v1.
+
+std::vector<uint8_t>
+V1Container(uint32_t n)
+{
+    std::vector<uint8_t> bytes(kV1Magic, kV1Magic + sizeof kV1Magic);
+    for (uint32_t i = 0; i < n; ++i) {
+        uint8_t packed[kRecordBytes];
+        PackRecord(TestRecord(i), packed);
+        bytes.insert(bytes.end(), packed, packed + sizeof packed);
+    }
+    return bytes;
+}
+
+TEST(Container, LegacyV1ReadsInFull)
+{
+    std::vector<Record> back;
+    const ScanReport report = Scan(V1Container(7), &back);
+    EXPECT_TRUE(report.intact());
+    EXPECT_TRUE(report.legacy_v1);
+    EXPECT_EQ(report.records_salvaged, 7u);
+    EXPECT_EQ(back, TestRecords(7));
+}
+
+TEST(Container, LegacyV1TruncationKeepsWholeRecords)
+{
+    std::vector<uint8_t> bytes = V1Container(7);
+    bytes.resize(bytes.size() - 3);  // tear the last record
+
+    std::vector<Record> back;
+    const ScanReport report = Scan(bytes, &back);
+    EXPECT_FALSE(report.intact());
+    EXPECT_EQ(report.records_salvaged, 6u);
+    ASSERT_EQ(report.issues.size(), 1u);
+    EXPECT_NE(report.issues[0].error.find("truncated"), std::string::npos);
+}
+
+TEST(Container, LegacyV1StopsAtImplausibleRecord)
+{
+    std::vector<uint8_t> bytes = V1Container(7);
+    // Poison record 3's type byte: v1 has no checksums, so nothing after
+    // this point can be trusted (the bytes may be misaligned garbage).
+    bytes[sizeof kV1Magic + 3 * kRecordBytes + 4] = 0xFF;
+
+    std::vector<Record> back;
+    const ScanReport report = Scan(bytes, &back);
+    EXPECT_FALSE(report.intact());
+    EXPECT_EQ(report.records_salvaged, 3u);
+    EXPECT_EQ(back, TestRecords(3));
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection through the writer.
+
+TEST(Container, FailedAppendConsumesNothingAndIsRetryable)
+{
+    MemoryByteSink base;
+    // Write 0 is the header; write 1 is chunk 0's flush.
+    FaultySink sink(base, FaultPlan{}.FailWrite(1));
+    Atf2Writer writer(sink, {.chunk_records = 4});
+
+    const std::vector<Record> records = TestRecords(10);
+    uint64_t delivered = 0;
+    unsigned retries = 0;
+    while (delivered < records.size()) {
+        const util::Status status = writer.Append(records[delivered]);
+        if (status.ok())
+            ++delivered;
+        else
+            ++retries;  // same record goes again: nothing was consumed
+    }
+    ASSERT_TRUE(writer.Seal().ok());
+    EXPECT_EQ(retries, 1u);
+    EXPECT_EQ(sink.faults_fired(), 1u);
+
+    // Despite the mid-stream failure and retry: no duplicate, no gap.
+    std::vector<Record> back;
+    const ScanReport report = Scan(base.bytes(), &back);
+    EXPECT_TRUE(report.intact());
+    EXPECT_EQ(back, records);
+}
+
+TEST(Container, CrashTruncationLeavesRecoverablePrefix)
+{
+    MemoryByteSink base;
+    // Crash model: everything past byte 100 claims success but vanishes.
+    // 100 bytes = header (32) + chunk 0 (48) + 20 bytes of chunk 1.
+    FaultySink sink(base, FaultPlan{}.TruncateAt(100));
+    ASSERT_TRUE(
+        WriteAtf2(sink, TestRecords(10), {.chunk_records = 4}).ok());
+    ASSERT_EQ(base.bytes().size(), 100u);
+
+    std::vector<Record> back;
+    const ScanReport report = Scan(base.bytes(), &back);
+    EXPECT_FALSE(report.intact());
+    EXPECT_FALSE(report.sealed);
+    EXPECT_EQ(report.records_salvaged, 4u);
+    EXPECT_EQ(back, TestRecords(4));
+}
+
+TEST(Container, InFlightFlipIsDetected)
+{
+    MemoryByteSink base;
+    FaultySink sink(base, FaultPlan{}.FlipByte(kChunk1 + 20));
+    ASSERT_TRUE(
+        WriteAtf2(sink, TestRecords(10), {.chunk_records = 4}).ok());
+
+    const ScanReport report = Scan(base.bytes());
+    EXPECT_FALSE(report.intact());
+    EXPECT_EQ(report.chunks_bad, 1u);
+    EXPECT_EQ(report.records_salvaged, 6u);
+}
+
+TEST(Container, FailedReadIsReportedNotFatal)
+{
+    const std::vector<uint8_t> bytes = SealedContainer(10);
+    MemoryByteSource base(bytes);
+    FaultySource source(base, FaultPlan{}.FailRead(0));
+    const ScanReport report = ScanTrace(source, nullptr);
+    EXPECT_FALSE(report.intact());
+    EXPECT_EQ(report.records_salvaged, 0u);
+    ASSERT_FALSE(report.issues.empty());
+    EXPECT_NE(report.issues[0].error.find("read failed"), std::string::npos);
+}
+
+TEST(Container, SalvageOfDamagedFileVerifiesIntact)
+{
+    std::vector<uint8_t> bytes = SealedContainer(10);
+    bytes[kChunk1 + 20] ^= 0x80;
+
+    std::vector<Record> salvaged;
+    const ScanReport damaged = Scan(bytes, &salvaged);
+    ASSERT_FALSE(damaged.intact());
+    ASSERT_GE(salvaged.size(), damaged.valid_prefix_records);
+
+    MemoryByteSink repaired;
+    ASSERT_TRUE(WriteAtf2(repaired, salvaged).ok());
+    std::vector<Record> back;
+    const ScanReport report = Scan(repaired.bytes(), &back);
+    EXPECT_TRUE(report.intact());
+    EXPECT_EQ(back, salvaged);
+}
+
+TEST(Container, RandomPlansAreDeterministic)
+{
+    const FaultPlan a = FaultPlan::Random(42, 4096, 3);
+    const FaultPlan b = FaultPlan::Random(42, 4096, 3);
+    ASSERT_EQ(a.ops.size(), b.ops.size());
+    for (size_t i = 0; i < a.ops.size(); ++i)
+        EXPECT_EQ(a.ops[i].ToString(), b.ops[i].ToString());
+    const FaultPlan c = FaultPlan::Random(43, 4096, 3);
+    EXPECT_NE(a.ToString(), c.ToString());
+}
+
+// ---------------------------------------------------------------------------
+// File-backed sink/source behavior.
+
+TEST(Container, FileSinkDoubleCloseIsIdempotent)
+{
+    const std::string path = TempPath("double_close.atf");
+    auto sink = FileSink::Open(path);
+    ASSERT_TRUE(sink.ok());
+    for (uint32_t i = 0; i < 5; ++i)
+        ASSERT_TRUE((*sink)->Append(TestRecord(i)).ok());
+
+    EXPECT_TRUE((*sink)->Close().ok());
+    EXPECT_TRUE((*sink)->Close().ok());  // second close: same outcome
+    EXPECT_EQ((*sink)->count(), 5u);
+
+    const util::Status late = (*sink)->Append(TestRecord(9));
+    EXPECT_EQ(late.code(), util::StatusCode::kFailedPrecondition);
+
+    auto loaded = LoadTrace(path);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(*loaded, TestRecords(5));
+    std::remove(path.c_str());
+}
+
+TEST(Container, FileSinkOpenFailureIsStatusNotFatal)
+{
+    auto sink = FileSink::Open("/nonexistent/dir/trace.atf");
+    ASSERT_FALSE(sink.ok());
+    EXPECT_EQ(sink.status().code(), util::StatusCode::kIoError);
+}
+
+TEST(Container, LoadTraceOnDamagedFileIsDataLoss)
+{
+    const std::string path = TempPath("damaged.atf");
+    {
+        auto out = FileByteSink::Open(path);
+        ASSERT_TRUE(out.ok());
+        std::vector<uint8_t> bytes = SealedContainer(10);
+        bytes[kChunk0 + 20] ^= 0x01;
+        ASSERT_TRUE((*out)->Write(bytes.data(), bytes.size()).ok());
+        ASSERT_TRUE((*out)->Close().ok());
+    }
+    auto loaded = LoadTrace(path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), util::StatusCode::kDataLoss);
+    EXPECT_NE(loaded.status().message().find("salvageable"),
+              std::string::npos);
+
+    // The tolerant source still serves the islands.
+    auto source = FileSource::Open(path);
+    ASSERT_TRUE(source.ok());
+    size_t served = 0;
+    while ((*source)->Next().has_value())
+        ++served;
+    EXPECT_EQ(served, 6u);
+    EXPECT_EQ((*source)->status().code(), util::StatusCode::kDataLoss);
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace atum::trace

@@ -136,21 +136,24 @@ TEST(Sinks, VectorSourceIterates)
     EXPECT_EQ(source.Next()->info, 1u);
 }
 
-TEST(SinksDeath, BadMagicIsFatal)
+TEST(Sinks, BadMagicIsInvalidArgument)
 {
     const std::string path = TempPath("notatrace.bin");
     std::FILE* f = std::fopen(path.c_str(), "wb");
     ASSERT_NE(f, nullptr);
     std::fwrite("garbage!", 1, 8, f);
     std::fclose(f);
-    EXPECT_DEATH(FileSource source(path), "not an ATUM trace");
+    auto source = FileSource::Open(path);
+    ASSERT_FALSE(source.ok());
+    EXPECT_EQ(source.status().code(), util::StatusCode::kInvalidArgument);
     std::remove(path.c_str());
 }
 
-TEST(SinksDeath, MissingFileIsFatal)
+TEST(Sinks, MissingFileIsNotFound)
 {
-    EXPECT_DEATH(FileSource source("/nonexistent/path/x.atum"),
-                 "cannot open");
+    auto source = FileSource::Open("/nonexistent/path/x.atum");
+    ASSERT_FALSE(source.ok());
+    EXPECT_EQ(source.status().code(), util::StatusCode::kNotFound);
 }
 
 TEST(Stats, CountsByType)

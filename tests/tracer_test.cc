@@ -290,5 +290,122 @@ TEST(AtumTracer, OpcodeRecordsMatchInstructionCount)
     EXPECT_GE(sobgtr_count, 500u);
 }
 
+// ---------------------------------------------------------------------------
+// Drain failure policy: retry, degrade to counting-only, recover with a
+// loss marker. The simulated machine must never die with the sink.
+
+/** Sink that refuses the first `failures` appends, then accepts. */
+class FlakySink : public trace::TraceSink
+{
+  public:
+    explicit FlakySink(uint64_t failures) : remaining_(failures) {}
+
+    util::Status Append(const trace::Record& record) override
+    {
+        if (remaining_ > 0) {
+            --remaining_;
+            return util::Unavailable("sink offline");
+        }
+        records_.push_back(record);
+        return util::OkStatus();
+    }
+
+    const std::vector<trace::Record>& records() const { return records_; }
+
+  private:
+    uint64_t remaining_;
+    std::vector<trace::Record> records_;
+};
+
+/** Sink that never accepts anything. */
+class DeadSink : public trace::TraceSink
+{
+  public:
+    util::Status Append(const trace::Record&) override
+    {
+        ++attempts_;
+        return util::IoError("disk full");
+    }
+    uint64_t attempts() const { return attempts_; }
+
+  private:
+    uint64_t attempts_ = 0;
+};
+
+TEST(AtumTracerFaults, TransientSinkFailureIsRetriedWithoutLoss)
+{
+    auto machine = SmallMachine();
+    // Two refusals: the first drain attempt fails twice at its head
+    // record, then the bounded backoff retries succeed.
+    FlakySink sink(2);
+    AtumConfig config;
+    config.buffer_bytes = 4u << 10;
+    AtumTracer tracer(*machine, sink, config);
+    kernel::BootSystem(*machine, {TinyLoop(2000)});
+
+    const SessionResult result = RunTraced(*machine, tracer, 10'000'000);
+    ASSERT_TRUE(result.halted);
+    EXPECT_EQ(tracer.drain_retries(), 2u);
+    EXPECT_FALSE(result.degraded);
+    EXPECT_EQ(result.lost_records, 0u);
+    EXPECT_EQ(result.loss_events, 0u);
+    EXPECT_EQ(sink.records().size(), result.records);
+    for (const auto& r : sink.records())
+        EXPECT_NE(r.type, RecordType::kLoss);
+}
+
+TEST(AtumTracerFaults, DeadSinkDegradesToCountingOnly)
+{
+    auto machine = SmallMachine();
+    DeadSink sink;
+    AtumConfig config;
+    config.buffer_bytes = 4u << 10;
+    AtumTracer tracer(*machine, sink, config);
+    kernel::BootSystem(*machine, {TinyLoop(2000)});
+
+    // The machine must run to completion even though every drain fails.
+    const SessionResult result = RunTraced(*machine, tracer, 10'000'000);
+    ASSERT_TRUE(result.halted);
+    EXPECT_TRUE(result.degraded);
+    EXPECT_GE(result.loss_events, 1u);
+    EXPECT_EQ(result.lost_records, result.records);
+    EXPECT_GT(sink.attempts(), 0u);
+    EXPECT_FALSE(tracer.last_drain_error().ok());
+}
+
+TEST(AtumTracerFaults, RecoveredSinkGetsOneLossMarker)
+{
+    auto machine = SmallMachine();
+    // One full drain cycle fails (1 try + 3 retries = 4 refusals), then
+    // the sink comes back: the next drain's recovery probe plants the
+    // loss marker and capture resumes.
+    FlakySink sink(4);
+    AtumConfig config;
+    config.buffer_bytes = 4u << 10;
+    AtumTracer tracer(*machine, sink, config);
+    kernel::BootSystem(*machine, {TinyLoop(2000)});
+
+    const SessionResult result = RunTraced(*machine, tracer, 10'000'000);
+    ASSERT_TRUE(result.halted);
+    EXPECT_FALSE(result.degraded);  // recovered before the end
+    EXPECT_EQ(result.loss_events, 1u);
+    EXPECT_GT(result.lost_records, 0u);
+
+    uint64_t markers = 0;
+    uint32_t marked_lost = 0;
+    for (const auto& r : sink.records()) {
+        if (r.type == RecordType::kLoss) {
+            ++markers;
+            marked_lost = r.addr;
+        }
+    }
+    ASSERT_EQ(markers, 1u);
+    // The marker documents the gap: exactly the records tallied as lost.
+    EXPECT_EQ(marked_lost, result.lost_records);
+    // Everything that wasn't lost made it to the sink (plus the marker).
+    EXPECT_EQ(sink.records().size() - markers,
+              result.records - result.lost_records);
+}
+
 }  // namespace
 }  // namespace atum::core

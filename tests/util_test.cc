@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include "util/bitops.h"
+#include "util/crc32.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/status.h"
 #include "util/table.h"
 
 namespace atum {
@@ -183,6 +185,76 @@ TEST(Table, WrongArityPanics)
 {
     Table t({"a", "b"});
     EXPECT_DEATH(t.AddRow({"only-one"}), "cells");
+}
+
+TEST(Crc32c, MatchesCheckValue)
+{
+    // RFC 3720's CRC32C check value for "123456789".
+    EXPECT_EQ(util::Crc32c("123456789", 9), 0xE3069283u);
+    EXPECT_EQ(util::Crc32c("", 0), 0u);
+}
+
+TEST(Crc32c, ExtendComposes)
+{
+    const char* s = "123456789";
+    uint32_t crc = util::Crc32cExtend(0, s, 4);
+    crc = util::Crc32cExtend(crc, s + 4, 5);
+    EXPECT_EQ(crc, util::Crc32c(s, 9));
+}
+
+TEST(Crc32c, DetectsSingleBitFlip)
+{
+    uint8_t data[64] = {0};
+    for (size_t i = 0; i < sizeof data; ++i)
+        data[i] = static_cast<uint8_t>(i * 7);
+    const uint32_t clean = util::Crc32c(data, sizeof data);
+    for (int bit = 0; bit < 8; ++bit) {
+        data[13] ^= static_cast<uint8_t>(1 << bit);
+        EXPECT_NE(util::Crc32c(data, sizeof data), clean);
+        data[13] ^= static_cast<uint8_t>(1 << bit);
+    }
+}
+
+TEST(Status, OkAndErrors)
+{
+    EXPECT_TRUE(util::OkStatus().ok());
+    EXPECT_EQ(util::OkStatus().ToString(), "ok");
+
+    const util::Status s = util::DataLoss("lost ", 42, " records");
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), util::StatusCode::kDataLoss);
+    EXPECT_EQ(s.message(), "lost 42 records");
+    EXPECT_EQ(s.ToString(), "data-loss: lost 42 records");
+}
+
+TEST(Status, StatusOrHoldsValueOrStatus)
+{
+    util::StatusOr<int> ok_value(7);
+    ASSERT_TRUE(ok_value.ok());
+    EXPECT_EQ(*ok_value, 7);
+    EXPECT_EQ(ok_value.value(), 7);
+
+    util::StatusOr<int> err(util::NotFound("nope"));
+    ASSERT_FALSE(err.ok());
+    EXPECT_EQ(err.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(StatusDeath, ValueOfErrorPanics)
+{
+    util::StatusOr<int> err(util::NotFound("nope"));
+    EXPECT_DEATH(err.value(), "nope");
+}
+
+TEST(Status, ExitCodesFollowTheToolContract)
+{
+    EXPECT_EQ(util::ExitCodeFor(util::OkStatus()), util::kExitOk);
+    EXPECT_EQ(util::ExitCodeFor(util::NotFound("x")), util::kExitIo);
+    EXPECT_EQ(util::ExitCodeFor(util::IoError("x")), util::kExitIo);
+    EXPECT_EQ(util::ExitCodeFor(util::Unavailable("x")), util::kExitIo);
+    EXPECT_EQ(util::ExitCodeFor(util::DataLoss("x")), util::kExitCorrupt);
+    EXPECT_EQ(util::ExitCodeFor(util::InvalidArgument("x")),
+              util::kExitCorrupt);
+    EXPECT_EQ(util::ExitCodeFor(util::InternalError("x")), util::kExitError);
 }
 
 }  // namespace

@@ -8,10 +8,15 @@
 //
 // --pipeline N adds the IPC producer/consumer pair with N messages.
 // --user-only PID captures with the pre-ATUM baseline probe instead.
+//
+// Exit codes: 0 capture complete, 1 machine did not halt or internal
+// failure, 2 usage error, 3 output file could not be opened or durably
+// written.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,10 +28,21 @@
 #include "trace/sink.h"
 #include "trace/stats.h"
 #include "util/logging.h"
+#include "util/status.h"
 #include "workloads/workloads.h"
 
 namespace atum {
 namespace {
+
+/** Command-line mistakes exit with the usage code, not Fatal's 1. */
+template <typename... Args>
+[[noreturn]] void
+UsageError(Args&&... args)
+{
+    std::fprintf(stderr, "atum-capture: %s\n",
+                 internal::StrCat(std::forward<Args>(args)...).c_str());
+    std::exit(util::kExitUsage);
+}
 
 struct Options {
     std::string out;
@@ -65,7 +81,7 @@ ParseArgs(int argc, char** argv)
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
             if (i + 1 >= argc)
-                Fatal(arg, " requires a value");
+                UsageError(arg, " requires a value");
             return argv[++i];
         };
         if (arg == "--out")
@@ -87,11 +103,11 @@ ParseArgs(int argc, char** argv)
         else if (arg == "--user-only")
             opts.user_only_pid = std::strtoul(next().c_str(), nullptr, 0);
         else
-            Fatal("unknown argument: ", arg,
-                  " (see the header comment for usage)");
+            UsageError("unknown argument: ", arg,
+                       " (see the header comment for usage)");
     }
     if (opts.out.empty())
-        Fatal("--out is required");
+        UsageError("--out is required");
     return opts;
 }
 
@@ -115,30 +131,46 @@ Run(const Options& opts)
     kernel::BootOptions boot_options;
     boot_options.max_pool_frames = opts.pool_frames;
 
-    trace::FileSink sink(opts.out);
+    util::StatusOr<std::unique_ptr<trace::FileSink>> sink =
+        trace::FileSink::Open(opts.out);
+    if (!sink.ok()) {
+        std::fprintf(stderr, "atum-capture: %s\n",
+                     sink.status().ToString().c_str());
+        return util::ExitCodeFor(sink.status());
+    }
     core::SessionResult result;
     if (opts.user_only_pid != 0) {
         core::UserTracerConfig tracer_config;
         tracer_config.target_pid =
             static_cast<uint16_t>(opts.user_only_pid);
-        core::UserOnlyTracer tracer(machine, sink, tracer_config);
+        core::UserOnlyTracer tracer(machine, **sink, tracer_config);
         kernel::BootSystem(machine, programs, boot_options);
         result = core::RunBaseline(machine, tracer, 2'000'000'000);
     } else {
         core::AtumConfig tracer_config;
         tracer_config.buffer_bytes = opts.buffer_kb << 10;
-        core::AtumTracer tracer(machine, sink, tracer_config);
+        core::AtumTracer tracer(machine, **sink, tracer_config);
         kernel::BootSystem(machine, programs, boot_options);
         result = core::RunTraced(machine, tracer, 2'000'000'000);
     }
-    sink.Close();
+    const util::Status close_status = (*sink)->Close();
 
     std::printf("halted=%d instructions=%llu ucycles=%llu records=%llu\n",
                 result.halted,
                 static_cast<unsigned long long>(result.instructions),
                 static_cast<unsigned long long>(result.ucycles),
-                static_cast<unsigned long long>(sink.count()));
+                static_cast<unsigned long long>((*sink)->count()));
+    if (result.lost_records > 0 || result.degraded) {
+        std::printf("lost=%llu loss-events=%u degraded=%d\n",
+                    static_cast<unsigned long long>(result.lost_records),
+                    result.loss_events, result.degraded);
+    }
     std::printf("console: \"%s\"\n", machine.console_output().c_str());
+    if (!close_status.ok()) {
+        std::fprintf(stderr, "atum-capture: closing %s: %s\n",
+                     opts.out.c_str(), close_status.ToString().c_str());
+        return util::ExitCodeFor(close_status);
+    }
     std::printf("wrote %s\n", opts.out.c_str());
     return result.halted ? 0 : 1;
 }

@@ -5,11 +5,21 @@
 //                [--sweep SPEC,SPEC,...] [--jobs N]
 //                [--flush-on-switch] [--pid-tags] [--no-kernel]
 //                [--tlb ENTRIES] [--working-sets] [--stack-distance]
+//   atum-report trace.atf --verify
+//   atum-report trace.atf --salvage repaired.atf
 //
 // Default output is the trace-characterization summary (T1-style). Each
 // additional flag appends the corresponding analysis. --sweep replays
 // every listed cache spec over the trace concurrently (--jobs workers)
 // and prints one table row per config, in input order.
+//
+// --verify runs the tolerant container scanner and prints its damage
+// report without analyzing anything; --salvage additionally writes every
+// recoverable record to a fresh sealed container.
+//
+// Exit codes: 0 success (--verify: file intact), 1 internal failure,
+// 2 usage error, 3 input missing/unreadable, 4 input corrupt
+// (--verify: damage found).
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,9 +33,11 @@
 #include "cache/trace_driver.h"
 #include "replay/sweep.h"
 #include "tlbsim/tlb_sim.h"
+#include "trace/container.h"
 #include "trace/sink.h"
 #include "trace/stats.h"
 #include "util/logging.h"
+#include "util/status.h"
 #include "util/table.h"
 
 namespace atum {
@@ -42,7 +54,19 @@ struct Options {
     uint32_t tlb_entries = 0;
     bool working_sets = false;
     bool stack_distance = false;
+    bool verify = false;        ///< scan and report damage, nothing else
+    std::string salvage_out;    ///< write recovered records here
 };
+
+/** Command-line mistakes exit with the usage code, not Fatal's 1. */
+template <typename... Args>
+[[noreturn]] void
+UsageError(Args&&... args)
+{
+    std::fprintf(stderr, "atum-report: %s\n",
+                 internal::StrCat(std::forward<Args>(args)...).c_str());
+    std::exit(util::kExitUsage);
+}
 
 cache::CacheConfig
 ParseCacheSpec(const std::string& spec)
@@ -50,7 +74,7 @@ ParseCacheSpec(const std::string& spec)
     cache::CacheConfig config;
     unsigned size_kb = 0, block = 0, assoc = 0;
     if (std::sscanf(spec.c_str(), "%u:%u:%u", &size_kb, &block, &assoc) != 3)
-        Fatal("bad --cache spec '", spec, "', want SIZE_KB:BLOCK:ASSOC");
+        UsageError("bad --cache spec '", spec, "', want SIZE_KB:BLOCK:ASSOC");
     config.size_bytes = size_kb << 10;
     config.block_bytes = block;
     config.assoc = assoc;
@@ -85,7 +109,7 @@ ParseArgs(int argc, char** argv)
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
             if (i + 1 >= argc)
-                Fatal(arg, " requires a value");
+                UsageError(arg, " requires a value");
             return argv[++i];
         };
         if (arg == "--head")
@@ -109,13 +133,17 @@ ParseArgs(int argc, char** argv)
             opts.working_sets = true;
         else if (arg == "--stack-distance")
             opts.stack_distance = true;
+        else if (arg == "--verify")
+            opts.verify = true;
+        else if (arg == "--salvage")
+            opts.salvage_out = next();
         else if (!arg.empty() && arg[0] != '-')
             opts.path = arg;
         else
-            Fatal("unknown argument: ", arg);
+            UsageError("unknown argument: ", arg);
     }
     if (opts.path.empty())
-        Fatal("usage: atum-report TRACE [options]");
+        UsageError("usage: atum-report TRACE [options]");
     return opts;
 }
 
@@ -124,15 +152,64 @@ TypeName(trace::RecordType type)
 {
     static const char* const kNames[] = {"ifetch",  "read",   "write",
                                          "pte",     "ctxsw",  "tlbmiss",
-                                         "except",  "opcode"};
+                                         "except",  "opcode", "loss"};
     return kNames[static_cast<unsigned>(type)];
+}
+
+/** `--verify` / `--salvage`: tolerant scan, report, optional rewrite. */
+int
+RunSalvage(const Options& opts)
+{
+    auto source = trace::FileByteSource::Open(opts.path);
+    if (!source.ok()) {
+        std::fprintf(stderr, "atum-report: %s\n",
+                     source.status().ToString().c_str());
+        return util::ExitCodeFor(source.status());
+    }
+    std::vector<trace::Record> records;
+    const trace::ScanReport report = trace::ScanTrace(
+        **source, opts.salvage_out.empty() ? nullptr : &records);
+    std::printf("%s", report.ToString().c_str());
+
+    if (!report.recognized)
+        return util::kExitCorrupt;
+
+    if (!opts.salvage_out.empty()) {
+        auto out = trace::FileByteSink::Open(opts.salvage_out);
+        if (!out.ok()) {
+            std::fprintf(stderr, "atum-report: %s\n",
+                         out.status().ToString().c_str());
+            return util::ExitCodeFor(out.status());
+        }
+        util::Status status = trace::WriteAtf2(**out, records);
+        if (status.ok())
+            status = (*out)->Close();
+        if (!status.ok()) {
+            std::fprintf(stderr, "atum-report: salvage write failed: %s\n",
+                         status.ToString().c_str());
+            return util::ExitCodeFor(status);
+        }
+        std::printf("salvaged %zu records -> %s\n", records.size(),
+                    opts.salvage_out.c_str());
+        return util::kExitOk;
+    }
+    return report.intact() ? util::kExitOk : util::kExitCorrupt;
 }
 
 int
 Run(const Options& opts)
 {
-    const std::vector<trace::Record> records =
-        trace::ReadTraceFile(opts.path);
+    if (opts.verify || !opts.salvage_out.empty())
+        return RunSalvage(opts);
+
+    util::StatusOr<std::vector<trace::Record>> loaded =
+        trace::LoadTrace(opts.path);
+    if (!loaded.ok()) {
+        std::fprintf(stderr, "atum-report: %s\n",
+                     loaded.status().ToString().c_str());
+        return util::ExitCodeFor(loaded.status());
+    }
+    const std::vector<trace::Record>& records = *loaded;
 
     if (opts.head > 0) {
         for (size_t i = 0; i < opts.head && i < records.size(); ++i) {
@@ -171,13 +248,14 @@ Run(const Options& opts)
         const std::vector<replay::SweepResult> results =
             runner.Run(records, jobs);
         std::printf("sweep: %zu configs\n", results.size());
-        Table table({"cache", "accesses", "miss%", "writebacks"});
+        Table table({"cache", "accesses", "miss%", "writebacks", "status"});
         for (const replay::SweepResult& r : results) {
             table.AddRow({
                 r.label,
                 std::to_string(r.cache_stats.accesses),
                 Table::Fmt(100.0 * r.cache_stats.MissRate(), 3),
                 std::to_string(r.cache_stats.writebacks),
+                r.status.ok() ? "ok" : r.status.ToString(),
             });
         }
         std::printf("%s\n", table.ToString().c_str());
