@@ -100,4 +100,77 @@ printf '\377' | dd of="$TMP/synth.atum" bs=1 seek=700 conv=notrunc 2>/dev/null
 expect_exit 4 "$BUILD/tools/atum-report" "$TMP/synth.atum" --verify
 diff -u "$SRC/tests/golden/verify_flip700.txt" "$TMP/out.txt"
 
+# ---------------------------------------------------------------------------
+# Kill-and-resume: a capture SIGKILLed mid-run (--kill-after-fills dies
+# with _Exit(137): no destructors, no seal -- an honest crash) must be
+# continuable from its last checkpoint into a trace byte-identical to an
+# uninterrupted capture.
+
+"$BUILD/tools/atum-capture" --out "$TMP/ref.atum" --workloads grep \
+    --scale 1 --buffer-kb 16 > "$TMP/ref.txt"
+grep -q "halted=1" "$TMP/ref.txt"
+
+expect_exit 137 "$BUILD/tools/atum-capture" --out "$TMP/crash.atum" \
+    --workloads grep --scale 1 --buffer-kb 16 \
+    --checkpoint "$TMP/crash.ckpt" --checkpoint-every 2 \
+    --kill-after-fills 7
+latest=$(ls "$TMP"/crash.ckpt.*.atck | sort | tail -n 1)
+[ -n "$latest" ] || { echo "FAIL: no checkpoint written before kill" >&2; exit 1; }
+
+"$BUILD/tools/atum-capture" --resume "$latest" > "$TMP/resumed.txt"
+grep -q "halted=1" "$TMP/resumed.txt"
+cmp "$TMP/ref.atum" "$TMP/crash.atum" || {
+    echo "FAIL: resumed trace differs from uninterrupted capture" >&2
+    exit 1
+}
+expect_exit 0 "$BUILD/tools/atum-report" "$TMP/crash.atum" --verify
+grep -q "status:  intact" "$TMP/out.txt"
+
+# Graceful SIGTERM: the capture stops at a drain boundary, seals the
+# trace, writes a final checkpoint, and exits 5 (interrupted, resumable).
+"$BUILD/tools/atum-capture" --out "$TMP/sig.atum" --workloads matrix \
+    --scale 6 --buffer-kb 16 --checkpoint "$TMP/sig.ckpt" \
+    > "$TMP/sig.txt" 2>&1 &
+cappid=$!
+sleep 1
+kill -TERM "$cappid" 2>/dev/null || true
+set +e
+wait "$cappid"
+sig_exit=$?
+set -e
+if [ "$sig_exit" = 5 ]; then
+    grep -q "stopped=signal" "$TMP/sig.txt"
+    grep -q "checkpoint=" "$TMP/sig.txt"
+    expect_exit 0 "$BUILD/tools/atum-report" "$TMP/sig.atum" --verify
+    grep -q "status:  intact" "$TMP/out.txt"
+elif [ "$sig_exit" != 0 ]; then
+    # Exit 0 means the workload finished before the signal landed (slow
+    # host scheduling); anything else is a real failure.
+    echo "FAIL: SIGTERM capture exited $sig_exit" >&2
+    cat "$TMP/sig.txt" >&2
+    exit 1
+fi
+
+# Watchdog: a guest wedged in an exception loop is detected, the run
+# stops with the dedicated exit code 6, and the partial trace is sealed.
+expect_exit 6 "$BUILD/tools/atum-capture" --out "$TMP/wedge.atum" \
+    --wedge-demo --watchdog 100000
+grep -q "stopped=watchdog" "$TMP/out.txt"
+expect_exit 0 "$BUILD/tools/atum-report" "$TMP/wedge.atum" --verify
+grep -q "status:  intact" "$TMP/out.txt"
+
+# Broken pipes are success, not death: `| head` closes the pipe early
+# and the tools must still exit 0 (SIGPIPE death would surface as 141).
+# $? after a pipeline is head's status, so the tool's own status is
+# smuggled out through a file.
+{ "$BUILD/tools/atum-disasm" --kernel; echo $? > "$TMP/pipe_status"; } \
+    | head -n 3 > "$TMP/pipe.txt"
+pipe_exit=$(cat "$TMP/pipe_status")
+[ "$pipe_exit" = 0 ] || { echo "FAIL: disasm | head exited $pipe_exit" >&2; exit 1; }
+grep -q "k_start:" "$TMP/pipe.txt"
+{ "$BUILD/tools/atum-report" "$TMP/t.atum" --head 1000; \
+  echo $? > "$TMP/pipe_status"; } | head -n 2 > /dev/null
+pipe_exit=$(cat "$TMP/pipe_status")
+[ "$pipe_exit" = 0 ] || { echo "FAIL: report | head exited $pipe_exit" >&2; exit 1; }
+
 echo "tools OK"

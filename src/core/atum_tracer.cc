@@ -173,7 +173,7 @@ AtumTracer::Drain()
     return pause;
 }
 
-void
+util::Status
 AtumTracer::Flush()
 {
     if (head_ != 0) {
@@ -184,6 +184,76 @@ AtumTracer::Flush()
     } else if (degraded_) {
         TryRecover();  // still owe the stream its loss marker
     }
+    if (degraded_ || lost_records_ > 0) {
+        if (!last_drain_error_.ok())
+            return last_drain_error_;
+        return util::DataLoss(lost_records_, " records lost in ",
+                              loss_events_, " sink-failure episodes");
+    }
+    return util::OkStatus();
+}
+
+util::Status
+AtumTracer::Save(util::StateWriter& w) const
+{
+    w.U32(buf_base_);
+    w.U32(buf_bytes_);
+    w.U32(head_);
+    w.Bool(attached_);
+    w.U64(records_);
+    w.U64(buffer_fills_);
+    w.U64(overhead_ucycles_);
+    w.Bool(degraded_);
+    w.U64(lost_records_);
+    w.U32(loss_events_);
+    w.U64(drain_retries_);
+    w.U8(static_cast<uint8_t>(last_drain_error_.code()));
+    w.Str(std::string(last_drain_error_.message()));
+    return util::OkStatus();
+}
+
+util::Status
+AtumTracer::Restore(util::StateReader& r)
+{
+    const uint32_t base = r.U32();
+    const uint32_t bytes = r.U32();
+    if (r.ok() && (base != buf_base_ || bytes != buf_bytes_))
+        r.Fail(util::DataLoss(
+            "checkpoint tracer buffer at ", base, "+", bytes,
+            " does not match this tracer's reservation at ", buf_base_, "+",
+            buf_bytes_, " (was the tracer built from the checkpoint meta?)"));
+    const uint32_t head = r.U32();
+    if (r.ok() && (head > buf_bytes_ || head % trace::kRecordBytes != 0))
+        r.Fail(util::DataLoss("checkpoint buffer cursor ", head,
+                              " outside the ", buf_bytes_, "-byte buffer"));
+    // The saved attach flag is informational only: microcode patches are
+    // live objects on this process's control store, so the caller (not
+    // the checkpoint) decides when to Attach() the restored tracer.
+    (void)r.Bool();
+    const uint64_t records = r.U64();
+    const uint64_t fills = r.U64();
+    const uint64_t overhead = r.U64();
+    const bool degraded = r.Bool();
+    const uint64_t lost = r.U64();
+    const uint32_t loss_events = r.U32();
+    const uint64_t retries = r.U64();
+    const auto code = static_cast<util::StatusCode>(r.U8());
+    const std::string message = r.Str();
+    if (!r.ok())
+        return r.status();
+
+    head_ = head;
+    records_ = records;
+    buffer_fills_ = fills;
+    overhead_ucycles_ = overhead;
+    degraded_ = degraded;
+    lost_records_ = lost;
+    loss_events_ = loss_events;
+    drain_retries_ = retries;
+    last_drain_error_ = code == util::StatusCode::kOk
+                            ? util::OkStatus()
+                            : util::Status(code, message);
+    return util::OkStatus();
 }
 
 }  // namespace atum::core

@@ -26,6 +26,7 @@
 #include "cpu/machine.h"
 #include "trace/record.h"
 #include "trace/sink.h"
+#include "util/serialize.h"
 #include "util/status.h"
 
 namespace atum::core {
@@ -90,8 +91,32 @@ class AtumTracer
 
     bool attached() const { return attached_; }
 
-    /** Drains any residual buffered records to the sink. */
-    void Flush();
+    /**
+     * Drains any residual buffered records to the sink. Returns the
+     * capture's drain health: OK when every record reached the sink,
+     * otherwise the error that forced records to be dropped (a capture
+     * that ended degraded reports the failure that degraded it, so
+     * end-of-run loss is never silent).
+     */
+    util::Status Flush();
+
+    // -- checkpoint hooks --------------------------------------------------
+    /**
+     * Serializes the tracer's capture counters and buffer cursor. The
+     * buffered records themselves live in the reserved region of guest
+     * physical memory and travel with PhysicalMemory::Save; this hook
+     * covers everything else a resumed capture needs to continue the
+     * statistics and drain exactly where they left off.
+     */
+    util::Status Save(util::StateWriter& w) const;
+
+    /**
+     * Restores counters saved by Save(). The tracer must have been
+     * constructed with the same buffer geometry (checkpoint meta carries
+     * the AtumConfig); a mismatch fails with data-loss rather than
+     * continuing a capture whose buffer cursor points into the weeds.
+     */
+    util::Status Restore(util::StateReader& r);
 
     // -- capture statistics ------------------------------------------------
     uint64_t records() const { return records_; }

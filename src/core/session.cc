@@ -1,5 +1,11 @@
 #include "core/session.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "util/logging.h"
+
 namespace atum::core {
 
 namespace {
@@ -16,7 +22,36 @@ RunCommon(cpu::Machine& machine, uint64_t max_instructions)
     return result;
 }
 
+void
+FillTracerStats(SessionResult& result, AtumTracer& tracer)
+{
+    result.records = tracer.records();
+    result.buffer_fills = tracer.buffer_fills();
+    result.overhead_ucycles = tracer.overhead_ucycles();
+    result.lost_records = tracer.lost_records();
+    result.loss_events = tracer.loss_events();
+    result.degraded = tracer.degraded();
+}
+
 }  // namespace
+
+const char*
+StopCauseName(StopCause cause)
+{
+    switch (cause) {
+    case StopCause::kHalted:
+        return "halted";
+    case StopCause::kInstrLimit:
+        return "instr-limit";
+    case StopCause::kDeadline:
+        return "deadline";
+    case StopCause::kWatchdog:
+        return "watchdog";
+    case StopCause::kSignal:
+        return "signal";
+    }
+    return "?";
+}
 
 SessionResult
 RunTraced(cpu::Machine& machine, AtumTracer& tracer,
@@ -25,13 +60,10 @@ RunTraced(cpu::Machine& machine, AtumTracer& tracer,
     if (!tracer.attached())
         tracer.Attach();
     SessionResult result = RunCommon(machine, max_instructions);
-    tracer.Flush();
-    result.records = tracer.records();
-    result.buffer_fills = tracer.buffer_fills();
-    result.overhead_ucycles = tracer.overhead_ucycles();
-    result.lost_records = tracer.lost_records();
-    result.loss_events = tracer.loss_events();
-    result.degraded = tracer.degraded();
+    result.drain_status = tracer.Flush();
+    result.stop_cause =
+        result.halted ? StopCause::kHalted : StopCause::kInstrLimit;
+    FillTracerStats(result, tracer);
     return result;
 }
 
@@ -42,6 +74,8 @@ RunBaseline(cpu::Machine& machine, UserOnlyTracer& tracer,
     if (!tracer.attached())
         tracer.Attach();
     SessionResult result = RunCommon(machine, max_instructions);
+    result.stop_cause =
+        result.halted ? StopCause::kHalted : StopCause::kInstrLimit;
     result.records = tracer.records();
     result.lost_records = tracer.lost_records();
     return result;
@@ -50,7 +84,139 @@ RunBaseline(cpu::Machine& machine, UserOnlyTracer& tracer,
 SessionResult
 RunUntraced(cpu::Machine& machine, uint64_t max_instructions)
 {
-    return RunCommon(machine, max_instructions);
+    SessionResult result = RunCommon(machine, max_instructions);
+    result.stop_cause =
+        result.halted ? StopCause::kHalted : StopCause::kInstrLimit;
+    return result;
+}
+
+SessionResult
+RunSupervised(cpu::Machine& machine, AtumTracer& tracer,
+              const SupervisorOptions& options)
+{
+    using Clock = std::chrono::steady_clock;
+
+    if (!tracer.attached())
+        tracer.Attach();
+
+    SessionResult result;
+    const uint64_t ucycles_before = machine.ucycles();
+    const Clock::time_point start = Clock::now();
+    const Clock::time_point deadline =
+        start + std::chrono::milliseconds(options.deadline_ms);
+
+    // Watchdog anchor: the micro-cycle stamp of the last clean (i.e.
+    // non-faulting) retirement. Faulting dispatches advance icount too,
+    // so icount alone cannot distinguish a wedged exception loop from a
+    // busy guest; LastStepFaulted can.
+    uint64_t last_progress_ucycles = machine.ucycles();
+    uint64_t fills_at_last_checkpoint = tracer.buffer_fills();
+    StopCause cause = StopCause::kInstrLimit;
+    bool stopped = false;
+
+    const auto take_checkpoint = [&](uint64_t instructions_done) {
+        CheckpointMeta meta = options.meta;
+        meta.instructions = machine.icount();
+        meta.instructions_remaining =
+            options.max_instructions == UINT64_MAX
+                ? UINT64_MAX
+                : options.max_instructions - instructions_done;
+        util::Status status;
+        if (options.file_sink) {
+            util::StatusOr<trace::Atf2ResumeState> sink_state =
+                options.file_sink->SaveState();
+            if (sink_state.ok()) {
+                meta.has_sink_state = true;
+                status = options.checkpoints->Write(meta, machine, tracer,
+                                                    &*sink_state);
+            } else {
+                status = sink_state.status();
+            }
+        } else {
+            status =
+                options.checkpoints->Write(meta, machine, tracer, nullptr);
+        }
+        if (!status.ok()) {
+            // The capture goes on: losing checkpoint coverage is strictly
+            // better than losing the capture.
+            if (result.checkpoint_status.ok())
+                result.checkpoint_status = status;
+            Warn("checkpoint write failed (capture continues): ",
+                 status.ToString());
+        }
+        fills_at_last_checkpoint = tracer.buffer_fills();
+    };
+
+    uint64_t executed = 0;
+    while (!stopped && !machine.halted() &&
+           executed < options.max_instructions) {
+        // One supervision slice: instruction-by-instruction so the
+        // watchdog and checkpoint policy see every boundary, but all
+        // host-side clock/flag checks stay out here at slice granularity.
+        const uint64_t slice_end =
+            executed + std::min(options.slice_instructions,
+                                options.max_instructions - executed);
+        while (!machine.halted() && executed < slice_end) {
+            machine.StepOne();
+            ++executed;
+            if (!machine.LastStepFaulted())
+                last_progress_ucycles = machine.ucycles();
+            else if (options.watchdog_ucycles != 0 &&
+                     machine.ucycles() - last_progress_ucycles >
+                         options.watchdog_ucycles) {
+                cause = StopCause::kWatchdog;
+                stopped = true;
+                Warn("watchdog: no clean instruction retirement in ",
+                     machine.ucycles() - last_progress_ucycles,
+                     " ucycles; stopping capture");
+                break;
+            }
+            if (options.checkpoints &&
+                tracer.buffer_fills() - fills_at_last_checkpoint >=
+                    options.checkpoint_every_fills)
+                take_checkpoint(executed);
+            if (options.kill_after_fills != 0 &&
+                tracer.buffer_fills() >= options.kill_after_fills) {
+                // Test hook: vanish exactly as SIGKILL would — no
+                // destructors, no seal, no final checkpoint. 137 is the
+                // shell's exit code for a SIGKILLed process.
+                std::_Exit(137);
+            }
+        }
+        if (stopped)
+            break;
+        if (options.stop_flag && *options.stop_flag != 0) {
+            cause = StopCause::kSignal;
+            break;
+        }
+        if (options.deadline_ms != 0 && Clock::now() >= deadline) {
+            cause = StopCause::kDeadline;
+            break;
+        }
+    }
+    if (machine.halted())
+        cause = StopCause::kHalted;
+
+    result.instructions = executed;
+    result.ucycles = machine.ucycles() - ucycles_before;
+    result.halted = machine.halted();
+    result.stop_cause = cause;
+
+    // Seal order matters for resumability: the final checkpoint is taken
+    // *before* the final drain, so the trace bytes the drain appends are
+    // past the checkpoint's high-water mark — a resume truncates them
+    // away and replays the identical drain. Flushing first would leave
+    // the final records un-resumable.
+    if (options.checkpoints)
+        take_checkpoint(executed);
+
+    result.drain_status = tracer.Flush();
+    FillTracerStats(result, tracer);
+    if (options.checkpoints) {
+        result.checkpoints_written = options.checkpoints->written();
+        result.last_checkpoint = options.checkpoints->last_path();
+    }
+    return result;
 }
 
 }  // namespace atum::core

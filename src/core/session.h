@@ -4,7 +4,9 @@
 /**
  * @file
  * Capture-session helpers: run a prepared machine to completion under a
- * tracer and collect the capture-side statistics in one struct.
+ * tracer and collect the capture-side statistics in one struct — plus
+ * the supervised long-haul run loop (RunSupervised) that adds periodic
+ * checkpoints, a deadman watchdog, deadlines and graceful signal stops.
  *
  * Ordering note: an AtumTracer must be constructed *before* the guest
  * kernel is booted (its buffer reservation must be visible to the boot
@@ -12,13 +14,30 @@
  * tracer rather than building one internally.
  */
 
+#include <csignal>
 #include <cstdint>
+#include <string>
 
 #include "core/atum_tracer.h"
+#include "core/checkpoint.h"
 #include "core/user_tracer.h"
 #include "cpu/machine.h"
+#include "trace/sink.h"
+#include "util/status.h"
 
 namespace atum::core {
+
+/** Why a (supervised) capture run stopped. */
+enum class StopCause {
+    kHalted,     ///< guest executed HALT — normal completion
+    kInstrLimit, ///< the instruction budget was exhausted
+    kDeadline,   ///< wall-clock deadline reached (clean stop, resumable)
+    kWatchdog,   ///< deadman fired: no clean retirement within budget
+    kSignal,     ///< SIGINT/SIGTERM latched (clean stop, resumable)
+};
+
+/** Short lowercase name ("watchdog") for logs and reports. */
+const char* StopCauseName(StopCause cause);
 
 /** Outcome of one capture run. */
 struct SessionResult {
@@ -31,6 +50,15 @@ struct SessionResult {
     uint64_t lost_records = 0;  ///< records dropped on a failing sink
     uint32_t loss_events = 0;   ///< distinct sink-failure episodes
     bool degraded = false;      ///< capture ended in counting-only mode
+
+    // -- supervision outcome (RunSupervised only) --------------------------
+    StopCause stop_cause = StopCause::kInstrLimit;
+    uint32_t checkpoints_written = 0;
+    std::string last_checkpoint;     ///< newest checkpoint file ("" if none)
+    /** End-of-run drain health (AtumTracer::Flush). */
+    util::Status drain_status;
+    /** First checkpoint-write failure, if any (capture continues anyway). */
+    util::Status checkpoint_status;
 };
 
 /** Runs with ATUM microcode tracing attached; flushes the buffer at end. */
@@ -43,6 +71,75 @@ SessionResult RunBaseline(cpu::Machine& machine, UserOnlyTracer& tracer,
 
 /** Runs without any tracer (for slowdown comparisons). */
 SessionResult RunUntraced(cpu::Machine& machine, uint64_t max_instructions);
+
+/** Knobs for the supervised long-haul run loop. */
+struct SupervisorOptions {
+    /** Guest instruction budget. */
+    uint64_t max_instructions = UINT64_MAX;
+
+    /**
+     * Supervision granularity: signals, deadlines and the wall clock are
+     * checked every this many instructions (a safe drain boundary). Small
+     * enough to stop promptly, large enough to stay off the hot path.
+     */
+    uint64_t slice_instructions = 4096;
+
+    /**
+     * Deadman watchdog: stop with kWatchdog when this many micro-cycles
+     * pass without one *clean* (non-faulting) instruction retirement.
+     * Faulting dispatches do advance icount, so progress is defined as
+     * clean retirement — a guest wedged in an exception loop makes none.
+     * 0 disables the watchdog.
+     */
+    uint64_t watchdog_ucycles = 0;
+
+    /** Wall-clock budget in milliseconds; 0 = none. */
+    uint64_t deadline_ms = 0;
+
+    /**
+     * Graceful-stop flag, usually latched by a SIGINT/SIGTERM handler
+     * (util/signals.h). Checked at slice boundaries; a set flag stops
+     * the run with kSignal after sealing state. May be null.
+     */
+    volatile std::sig_atomic_t* stop_flag = nullptr;
+
+    // -- checkpointing -----------------------------------------------------
+    /** Rotating checkpoint series; null disables checkpointing. */
+    CheckpointRotator* checkpoints = nullptr;
+    /** Take a checkpoint every N trace-buffer fills. */
+    uint64_t checkpoint_every_fills = 8;
+    /**
+     * The trace sink being written, for recording its high-water mark in
+     * each checkpoint. Null = checkpoints carry no sink state (resume
+     * will not truncate/continue a trace file).
+     */
+    trace::FileSink* file_sink = nullptr;
+    /** Template for each checkpoint's meta (configs, trace path). */
+    CheckpointMeta meta;
+
+    /**
+     * Test hook: die with _Exit(137) — no destructors, no seal, exactly
+     * like SIGKILL — once this many buffer fills have happened. 0 = off.
+     */
+    uint64_t kill_after_fills = 0;
+};
+
+/**
+ * The long-haul capture loop: RunTraced plus supervision. Steps the
+ * machine in slices, writing periodic checkpoints at buffer-fill
+ * boundaries, stopping cleanly on signal/deadline/watchdog, and sealing
+ * capture state on every exit path:
+ *
+ *   1. a final checkpoint is written *before* the final drain, so a
+ *      resume from it replays the drain and stays byte-identical;
+ *   2. the tracer is flushed (drain_status reports end-of-run loss);
+ *   3. the caller seals the sink (FileSink::Close) as usual.
+ *
+ * Checkpoint-write failures never stop the capture (the trace is the
+ * valuable artifact); the first one is reported in checkpoint_status.
+ */
+SessionResult RunSupervised(cpu::Machine& machine, AtumTracer& tracer,
+                            const SupervisorOptions& options);
 
 }  // namespace atum::core
 

@@ -375,6 +375,79 @@ Machine::RestoreSnapshot(const MachineSnapshot& snapshot)
     mmu_.tlb().InvalidateAll();
 }
 
+util::Status
+Machine::Save(util::StateWriter& w) const
+{
+    for (uint32_t reg : regs_)
+        w.U32(reg);
+    w.U32(psl_.ToWord());
+    w.U32(banked_sp_[0]);
+    w.U32(banked_sp_[1]);
+    w.U32(scbb_);
+    w.U32(pcbb_);
+    w.U32(pid_);
+    w.U32(iccs_);
+    w.U32(icr_reload_);
+    w.U32(icr_count_);
+    w.Bool(timer_pending_);
+    w.Bool(software_pending_);
+    w.Bool(halted_);
+    w.Bool(last_step_faulted_);
+    w.U64(icount_);
+    w.U64(ucycles_);
+    // The prefetch buffer is saved exactly: invalidating it instead would
+    // insert a refetch — and so an extra ifetch trace record — that the
+    // uninterrupted run does not have.
+    w.Bool(ibuf_valid_);
+    w.U32(ibuf_va_);
+    w.Bytes(ibuf_bytes_, sizeof ibuf_bytes_);
+    // pending_fault_ and the restart journal are live only *inside* one
+    // StepOne; at an instruction boundary they carry nothing, so they are
+    // reset on restore rather than serialized.
+    w.Str(console_output_);
+    util::Status status = memory_.Save(w);
+    if (!status.ok())
+        return status;
+    return mmu_.Save(w);
+}
+
+util::Status
+Machine::Restore(util::StateReader& r)
+{
+    for (uint32_t& reg : regs_)
+        reg = r.U32();
+    psl_ = Psl::FromWord(r.U32());
+    banked_sp_[0] = r.U32();
+    banked_sp_[1] = r.U32();
+    scbb_ = r.U32();
+    pcbb_ = r.U32();
+    pid_ = r.U32();
+    iccs_ = r.U32();
+    icr_reload_ = r.U32();
+    icr_count_ = r.U32();
+    timer_pending_ = r.Bool();
+    software_pending_ = r.Bool();
+    halted_ = r.Bool();
+    last_step_faulted_ = r.Bool();
+    icount_ = r.U64();
+    ucycles_ = r.U64();
+    ibuf_valid_ = r.Bool();
+    ibuf_va_ = r.U32();
+    r.Bytes(ibuf_bytes_, sizeof ibuf_bytes_);
+    console_output_ = r.Str();
+    pending_fault_.active = false;
+    if (!r.ok())
+        return r.status();
+    if (icr_reload_ == 0 || icr_count_ == 0) {
+        return util::DataLoss(
+            "checkpoint carries a zero interval-timer count");
+    }
+    util::Status status = memory_.Restore(r);
+    if (!status.ok())
+        return status;
+    return mmu_.Restore(r);
+}
+
 Machine::RunResult
 Machine::Run(uint64_t max_instructions)
 {

@@ -25,6 +25,8 @@
 #include "mem/physical_memory.h"
 #include "mmu/mmu.h"
 #include "ucode/control_store.h"
+#include "util/serialize.h"
+#include "util/status.h"
 
 namespace atum::cpu {
 
@@ -159,6 +161,23 @@ class Machine
     MachineSnapshot SaveSnapshot() const;
     /** Restores state saved on this machine (same memory size). */
     void RestoreSnapshot(const MachineSnapshot& snapshot);
+
+    /**
+     * Serializes the *complete* machine — architectural state, physical
+     * memory, MMU registers, and, unlike SaveSnapshot, the exact
+     * microarchitectural state too: TB contents and the instruction
+     * prefetch buffer. A restored machine re-executes the identical
+     * micro-event stream (ifetches, TB misses, PTE walks), which the
+     * checkpoint/resume subsystem needs for byte-identical traces.
+     * Must be called at an instruction boundary (between StepOne calls).
+     */
+    util::Status Save(util::StateWriter& w) const;
+    /**
+     * Restores state saved by Save into a machine built with the same
+     * Config. Mismatches (memory size, TB geometry) and truncation are
+     * reported as a Status — a corrupt checkpoint never crashes.
+     */
+    util::Status Restore(util::StateReader& r);
 
     /** Bytes written to the console via the ConsTx processor register. */
     const std::string& console_output() const { return console_output_; }

@@ -103,6 +103,37 @@ PhysicalMemory::RestoreData(const std::vector<uint8_t>& data)
     data_ = data;
 }
 
+util::Status
+PhysicalMemory::Save(util::StateWriter& w) const
+{
+    w.U32(size());
+    w.U32(reserved_base_);
+    w.Bytes(data_.data(), data_.size());
+    return util::OkStatus();
+}
+
+util::Status
+PhysicalMemory::Restore(util::StateReader& r)
+{
+    const uint32_t saved_size = r.U32();
+    const uint32_t saved_reserved = r.U32();
+    if (!r.ok())
+        return r.status();
+    if (saved_size != size()) {
+        return util::DataLoss("checkpoint memory size ", saved_size,
+                              " does not match machine memory ", size());
+    }
+    if (saved_reserved != reserved_base_) {
+        return util::DataLoss("checkpoint trace-buffer reservation (base 0x",
+                              std::hex, saved_reserved,
+                              ") does not match the active reservation "
+                              "(base 0x",
+                              reserved_base_, ")");
+    }
+    r.Bytes(data_.data(), data_.size());
+    return r.status();
+}
+
 bool
 PhysicalMemory::Contains(uint32_t pa, uint32_t len) const
 {

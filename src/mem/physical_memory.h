@@ -15,6 +15,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/serialize.h"
+#include "util/status.h"
+
 namespace atum {
 
 /** VAX-style page/frame size: 512 bytes. */
@@ -67,6 +70,15 @@ class PhysicalMemory
     std::vector<uint8_t> SaveData() const { return data_; }
     /** Restores contents saved by SaveData; sizes must match. */
     void RestoreData(const std::vector<uint8_t>& data);
+
+    /** Serializes size, reservation and contents (checkpoint hook). */
+    util::Status Save(util::StateWriter& w) const;
+    /**
+     * Restores state saved by Save into a memory of the same size with
+     * the same reservation; mismatches are a data-loss Status, never a
+     * crash (checkpoints are external input).
+     */
+    util::Status Restore(util::StateReader& r);
 
     /** Base of the reserved region, or size() when nothing is reserved. */
     uint32_t reserved_base() const { return reserved_base_; }

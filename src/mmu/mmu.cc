@@ -122,4 +122,30 @@ Mmu::Walk(uint32_t vaddr, bool write, bool kernel_mode)
     return res;
 }
 
+util::Status
+Mmu::Save(util::StateWriter& w) const
+{
+    w.Bool(enabled_);
+    for (const RegionRegs& regs : regions_) {
+        w.U32(regs.base);
+        w.U32(regs.length);
+    }
+    w.U64(pte_reads_);
+    return tlb_.Save(w);
+}
+
+util::Status
+Mmu::Restore(util::StateReader& r)
+{
+    enabled_ = r.Bool();
+    for (RegionRegs& regs : regions_) {
+        regs.base = r.U32();
+        regs.length = r.U32();
+    }
+    pte_reads_ = r.U64();
+    if (!r.ok())
+        return r.status();
+    return tlb_.Restore(r);
+}
+
 }  // namespace atum::mmu

@@ -108,6 +108,11 @@ class Mmu
     /** Count of PTE fetches performed by table walks. */
     uint64_t pte_reads() const { return pte_reads_; }
 
+    /** Serializes MMU registers, statistics and the TB (checkpoint hook). */
+    util::Status Save(util::StateWriter& w) const;
+    /** Restores state saved by Save; TB geometry must match. */
+    util::Status Restore(util::StateReader& r);
+
   private:
     XlateResult Walk(uint32_t vaddr, bool write, bool kernel_mode);
 

@@ -91,4 +91,51 @@ Tlb::FlushProcessEntries()
     return flushed;
 }
 
+util::Status
+Tlb::Save(util::StateWriter& w) const
+{
+    w.U32(sets_);
+    w.U32(ways_);
+    w.U64(stamp_);
+    w.U64(lookups_);
+    w.U64(misses_);
+    for (const TlbEntry& e : entries_) {
+        w.Bool(e.valid);
+        w.U32(e.vpn);
+        w.U32(e.pfn);
+        w.U8(static_cast<uint8_t>((e.user ? 1 : 0) | (e.writable ? 2 : 0) |
+                                  (e.modified ? 4 : 0)));
+        w.U64(e.lru);
+    }
+    return util::OkStatus();
+}
+
+util::Status
+Tlb::Restore(util::StateReader& r)
+{
+    const uint32_t saved_sets = r.U32();
+    const uint32_t saved_ways = r.U32();
+    if (!r.ok())
+        return r.status();
+    if (saved_sets != sets_ || saved_ways != ways_) {
+        return util::DataLoss("checkpoint TB geometry ", saved_sets, "x",
+                              saved_ways, " does not match machine TB ",
+                              sets_, "x", ways_);
+    }
+    stamp_ = r.U64();
+    lookups_ = r.U64();
+    misses_ = r.U64();
+    for (TlbEntry& e : entries_) {
+        e.valid = r.Bool();
+        e.vpn = r.U32();
+        e.pfn = r.U32();
+        const uint8_t flags = r.U8();
+        e.user = flags & 1;
+        e.writable = flags & 2;
+        e.modified = flags & 4;
+        e.lru = r.U64();
+    }
+    return r.status();
+}
+
 }  // namespace atum::mmu

@@ -15,6 +15,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/serialize.h"
+#include "util/status.h"
+
 namespace atum::mmu {
 
 /** One cached translation. */
@@ -55,6 +58,17 @@ class Tlb
 
     unsigned sets() const { return sets_; }
     unsigned ways() const { return ways_; }
+
+    /**
+     * Serializes the full TB — entries, LRU stamps and statistics
+     * (checkpoint hook). The TB must be restored exactly, not flushed:
+     * a resumed capture replays the same miss stream, and TB-miss
+     * records are part of the trace the resume must reproduce
+     * byte-for-byte.
+     */
+    util::Status Save(util::StateWriter& w) const;
+    /** Restores state saved by Save; geometry must match. */
+    util::Status Restore(util::StateReader& r);
 
     uint64_t lookups() const { return lookups_; }
     uint64_t misses() const { return misses_; }

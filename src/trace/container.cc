@@ -95,6 +95,40 @@ FileByteSink::Open(const std::string& path)
     return std::unique_ptr<FileByteSink>(new FileByteSink(file, path));
 }
 
+util::StatusOr<std::unique_ptr<FileByteSink>>
+FileByteSink::OpenAt(const std::string& path, uint64_t offset)
+{
+    std::FILE* file = std::fopen(path.c_str(), "r+b");
+    if (file == nullptr) {
+        if (errno == ENOENT)
+            return util::NotFound("no such trace file to resume: ", path);
+        return util::IoError("cannot reopen ", path, ": ", ErrnoMessage());
+    }
+    auto fail = [&](util::Status status) -> util::Status {
+        std::fclose(file);
+        return status;
+    };
+    if (std::fseek(file, 0, SEEK_END) != 0)
+        return fail(util::IoError("seek in ", path, ": ", ErrnoMessage()));
+    const long size = std::ftell(file);
+    if (size < 0)
+        return fail(util::IoError("tell in ", path, ": ", ErrnoMessage()));
+    if (static_cast<uint64_t>(size) < offset) {
+        return fail(util::DataLoss(
+            path, " is shorter (", size, " bytes) than the checkpoint's ",
+            offset, "-byte high-water mark; the trace and checkpoint do "
+            "not belong together"));
+    }
+    // Rewind to the durable prefix: everything past the mark (torn chunk,
+    // chunks newer than the checkpoint, or a shutdown footer) goes.
+    if (::ftruncate(::fileno(file), static_cast<off_t>(offset)) != 0)
+        return fail(util::IoError("truncate of ", path, " to ", offset,
+                                  " bytes failed: ", ErrnoMessage()));
+    if (std::fseek(file, static_cast<long>(offset), SEEK_SET) != 0)
+        return fail(util::IoError("seek in ", path, ": ", ErrnoMessage()));
+    return std::unique_ptr<FileByteSink>(new FileByteSink(file, path));
+}
+
 FileByteSink::~FileByteSink()
 {
     const util::Status status = Close();
@@ -119,6 +153,18 @@ FileByteSink::Flush()
         return util::FailedPrecondition("flush of closed file ", path_);
     if (std::fflush(file_) != 0)
         return util::IoError("flush of ", path_, " failed: ", ErrnoMessage());
+    return util::OkStatus();
+}
+
+util::Status
+FileByteSink::Sync()
+{
+    util::Status status = Flush();
+    if (!status.ok())
+        return status;
+    if (::fsync(::fileno(file_)) != 0)
+        return util::IoError("fsync of ", path_, " failed: ",
+                             ErrnoMessage());
     return util::OkStatus();
 }
 
@@ -195,6 +241,34 @@ Atf2Writer::Atf2Writer(ByteSink& out, const Atf2WriterOptions& options)
                      kRecordBytes);
 }
 
+Atf2Writer::Atf2Writer(ByteSink& out, ResumeFrom resume)
+    : out_(out),
+      options_{resume.state.chunk_records},
+      pending_(resume.state.pending),
+      pending_records_(
+          static_cast<uint32_t>(resume.state.pending.size() / kRecordBytes)),
+      records_(resume.state.records),
+      chunks_(resume.state.chunks),
+      bytes_written_(resume.state.file_bytes),
+      started_(resume.state.file_bytes > 0)
+{
+    if (options_.chunk_records == 0 ||
+        options_.chunk_records > kAtf2MaxChunkRecords)
+        Fatal("bad ATF2 chunk capacity: ", options_.chunk_records);
+}
+
+Atf2ResumeState
+Atf2Writer::SaveState() const
+{
+    Atf2ResumeState state;
+    state.file_bytes = bytes_written_;
+    state.chunks = chunks_;
+    state.records = records_;
+    state.chunk_records = options_.chunk_records;
+    state.pending = pending_;
+    return state;
+}
+
 util::Status
 Atf2Writer::Start()
 {
@@ -209,8 +283,10 @@ Atf2Writer::Start()
     Put64(header, 0);  // reserved
     Put32(header, util::Crc32c(header.data(), header.size()));
     util::Status status = out_.Write(header.data(), header.size());
-    if (status.ok())
+    if (status.ok()) {
         started_ = true;
+        bytes_written_ += header.size();
+    }
     return status;
 }
 
@@ -232,6 +308,7 @@ Atf2Writer::FlushChunk()
     if (!status.ok())
         return status;  // pending_ kept: the flush can be retried
     ++chunks_;
+    bytes_written_ += chunk.size();
     pending_.clear();
     pending_records_ = 0;
     return util::OkStatus();

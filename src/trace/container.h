@@ -63,6 +63,13 @@ class ByteSink
     /** Writes all `len` bytes or returns a non-OK status. */
     virtual util::Status Write(const void* data, size_t len) = 0;
     virtual util::Status Flush() { return util::OkStatus(); }
+    /**
+     * Makes everything written so far durable (fsync for files). The
+     * checkpoint subsystem calls this before recording a trace-file
+     * high-water mark, so the mark never points past what a crash can
+     * lose.
+     */
+    virtual util::Status Sync() { return Flush(); }
     /** Flushes and releases the destination; idempotent. */
     virtual util::Status Close() { return Flush(); }
 };
@@ -82,6 +89,15 @@ class FileByteSink : public ByteSink
   public:
     static util::StatusOr<std::unique_ptr<FileByteSink>> Open(
         const std::string& path);
+    /**
+     * Re-opens an existing file for appending at `offset`: bytes past the
+     * offset (a torn chunk, a footer from a sealed-then-resumed capture)
+     * are truncated away first. The resume path of atum-capture uses this
+     * to rewind a trace to its checkpoint's high-water mark. Fails with
+     * data-loss when the file is shorter than `offset`.
+     */
+    static util::StatusOr<std::unique_ptr<FileByteSink>> OpenAt(
+        const std::string& path, uint64_t offset);
     ~FileByteSink() override;
 
     FileByteSink(const FileByteSink&) = delete;
@@ -89,6 +105,7 @@ class FileByteSink : public ByteSink
 
     util::Status Write(const void* data, size_t len) override;
     util::Status Flush() override;
+    util::Status Sync() override;
     util::Status Close() override;
 
   private:
@@ -174,6 +191,22 @@ struct Atf2WriterOptions {
     uint32_t chunk_records = 512;
 };
 
+/**
+ * Everything needed to continue an interrupted ATF2 stream elsewhere:
+ * the durable prefix (header + full chunks, never rewritten once on
+ * disk) plus the open chunk's buffered records. A checkpoint carries
+ * this; resume truncates the file back to `file_bytes` and reconstructs
+ * the writer, after which continued appends are byte-identical to an
+ * uninterrupted run.
+ */
+struct Atf2ResumeState {
+    uint64_t file_bytes = 0;   ///< durable prefix length (0 = header unwritten)
+    uint32_t chunks = 0;       ///< full chunks inside that prefix
+    uint64_t records = 0;      ///< records accepted, incl. the open chunk
+    uint32_t chunk_records = 512;   ///< writer geometry
+    std::vector<uint8_t> pending;   ///< open chunk's packed records
+};
+
 // ---------------------------------------------------------------------------
 // Writer.
 
@@ -192,6 +225,19 @@ class Atf2Writer
   public:
     explicit Atf2Writer(ByteSink& out, const Atf2WriterOptions& options = {});
 
+    /** Tag selecting the resume constructor (keeps the options overload
+     *  unambiguous under designated initializers). */
+    struct ResumeFrom {
+        const Atf2ResumeState& state;
+    };
+
+    /**
+     * Reconstructs a writer mid-stream from checkpointed state; `out`
+     * must already be positioned at `state.file_bytes` (FileByteSink::
+     * OpenAt does the truncation).
+     */
+    Atf2Writer(ByteSink& out, ResumeFrom resume);
+
     Atf2Writer(const Atf2Writer&) = delete;
     Atf2Writer& operator=(const Atf2Writer&) = delete;
 
@@ -205,6 +251,11 @@ class Atf2Writer
     /** Records accepted so far (buffered or written). */
     uint64_t records() const { return records_; }
     uint32_t chunks_written() const { return chunks_; }
+    /** Bytes of durable prefix handed to the sink (header + full chunks). */
+    uint64_t bytes_written() const { return bytes_written_; }
+
+    /** Captures the mid-stream state a checkpoint needs (see above). */
+    Atf2ResumeState SaveState() const;
 
   private:
     util::Status Start();
@@ -216,6 +267,7 @@ class Atf2Writer
     uint32_t pending_records_ = 0;
     uint64_t records_ = 0;
     uint32_t chunks_ = 0;
+    uint64_t bytes_written_ = 0;
     bool started_ = false;
     bool sealed_ = false;
 };

@@ -34,6 +34,34 @@ FileSink::Open(const std::string& path, const Atf2WriterOptions& options)
         new FileSink(std::move(*out), options));
 }
 
+FileSink::FileSink(std::unique_ptr<ByteSink> out,
+                   const Atf2ResumeState& state)
+    : out_(std::move(out))
+{
+    writer_ = std::make_unique<Atf2Writer>(*out_, Atf2Writer::ResumeFrom{state});
+}
+
+util::StatusOr<std::unique_ptr<FileSink>>
+FileSink::OpenResumed(const std::string& path, const Atf2ResumeState& state)
+{
+    util::StatusOr<std::unique_ptr<FileByteSink>> out =
+        FileByteSink::OpenAt(path, state.file_bytes);
+    if (!out.ok())
+        return out.status();
+    return std::unique_ptr<FileSink>(new FileSink(std::move(*out), state));
+}
+
+util::StatusOr<Atf2ResumeState>
+FileSink::SaveState()
+{
+    if (closed_)
+        return util::FailedPrecondition("SaveState on a closed FileSink");
+    const util::Status status = out_->Sync();
+    if (!status.ok())
+        return status;
+    return writer_->SaveState();
+}
+
 FileSink::~FileSink()
 {
     const util::Status status = Close();

@@ -88,6 +88,16 @@ class FileSink : public TraceSink
     static util::StatusOr<std::unique_ptr<FileSink>> Open(
         const std::string& path, const Atf2WriterOptions& options = {});
 
+    /**
+     * Re-opens an interrupted capture's trace file for continuation:
+     * truncates it back to the checkpointed high-water mark and
+     * reconstructs the container writer (including the open chunk's
+     * buffered records) so continued appends are byte-identical to a
+     * capture that was never interrupted.
+     */
+    static util::StatusOr<std::unique_ptr<FileSink>> OpenResumed(
+        const std::string& path, const Atf2ResumeState& state);
+
     /** Writes the container into an arbitrary byte sink (fault tests). */
     explicit FileSink(std::unique_ptr<ByteSink> out,
                       const Atf2WriterOptions& options = {});
@@ -109,7 +119,16 @@ class FileSink : public TraceSink
 
     uint64_t count() const { return writer_ ? writer_->records() : 0; }
 
+    /**
+     * Makes the durable prefix crash-safe (fsync) and returns the
+     * writer's mid-stream state for a checkpoint. Called between drains;
+     * fails after Close().
+     */
+    util::StatusOr<Atf2ResumeState> SaveState();
+
   private:
+    FileSink(std::unique_ptr<ByteSink> out, const Atf2ResumeState& state);
+
     std::unique_ptr<ByteSink> out_;
     std::unique_ptr<Atf2Writer> writer_;
     bool closed_ = false;

@@ -1,0 +1,110 @@
+#include "util/serialize.h"
+
+#include <cstring>
+
+namespace atum::util {
+
+void
+StateWriter::Bytes(const void* data, size_t len)
+{
+    const auto* p = static_cast<const uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + len);
+}
+
+void
+StateWriter::Blob(const void* data, size_t len)
+{
+    U32(static_cast<uint32_t>(len));
+    Bytes(data, len);
+}
+
+bool
+StateReader::Need(size_t n)
+{
+    if (!status_.ok())
+        return false;
+    if (len_ - pos_ < n) {
+        status_ = DataLoss("state truncated: need ", n, " bytes at offset ",
+                           pos_, ", have ", len_ - pos_);
+        return false;
+    }
+    return true;
+}
+
+uint8_t
+StateReader::U8()
+{
+    if (!Need(1))
+        return 0;
+    return data_[pos_++];
+}
+
+uint16_t
+StateReader::U16()
+{
+    if (!Need(2))
+        return 0;
+    const uint16_t v =
+        static_cast<uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+    pos_ += 2;
+    return v;
+}
+
+uint32_t
+StateReader::U32()
+{
+    if (!Need(4))
+        return 0;
+    const uint32_t v = static_cast<uint32_t>(data_[pos_]) |
+                       static_cast<uint32_t>(data_[pos_ + 1]) << 8 |
+                       static_cast<uint32_t>(data_[pos_ + 2]) << 16 |
+                       static_cast<uint32_t>(data_[pos_ + 3]) << 24;
+    pos_ += 4;
+    return v;
+}
+
+uint64_t
+StateReader::U64()
+{
+    const uint64_t lo = U32();
+    const uint64_t hi = U32();
+    return lo | (hi << 32);
+}
+
+void
+StateReader::Bytes(void* dst, size_t len)
+{
+    if (!Need(len)) {
+        std::memset(dst, 0, len);
+        return;
+    }
+    std::memcpy(dst, data_ + pos_, len);
+    pos_ += len;
+}
+
+std::vector<uint8_t>
+StateReader::Blob()
+{
+    const uint32_t len = U32();
+    if (!Need(len))
+        return {};
+    std::vector<uint8_t> out(data_ + pos_, data_ + pos_ + len);
+    pos_ += len;
+    return out;
+}
+
+std::string
+StateReader::Str()
+{
+    const std::vector<uint8_t> b = Blob();
+    return std::string(b.begin(), b.end());
+}
+
+void
+StateReader::Fail(Status status)
+{
+    if (status_.ok())
+        status_ = std::move(status);
+}
+
+}  // namespace atum::util

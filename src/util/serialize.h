@@ -1,0 +1,110 @@
+#ifndef ATUM_UTIL_SERIALIZE_H_
+#define ATUM_UTIL_SERIALIZE_H_
+
+/**
+ * @file
+ * Bounded little-endian state serialization: StateWriter / StateReader.
+ *
+ * The checkpoint subsystem (core/checkpoint.h) snapshots every layer of
+ * the machine — CPU, physical memory, MMU/TLB, tracer counters — through
+ * Save(StateWriter&)/Restore(StateReader&) hooks. The writer is an
+ * append-only byte buffer; the reader is bounds-checked and *latching*:
+ * the first overrun or failed validation records a data-loss Status,
+ * every later read returns zero, and the caller checks status() once at
+ * the end instead of threading a Status through every field. No byte of
+ * a corrupt checkpoint can crash the process.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace atum::util {
+
+/** Append-only little-endian byte buffer. */
+class StateWriter
+{
+  public:
+    void U8(uint8_t v) { bytes_.push_back(v); }
+    void U16(uint16_t v)
+    {
+        U8(static_cast<uint8_t>(v));
+        U8(static_cast<uint8_t>(v >> 8));
+    }
+    void U32(uint32_t v)
+    {
+        U16(static_cast<uint16_t>(v));
+        U16(static_cast<uint16_t>(v >> 16));
+    }
+    void U64(uint64_t v)
+    {
+        U32(static_cast<uint32_t>(v));
+        U32(static_cast<uint32_t>(v >> 32));
+    }
+    void Bool(bool v) { U8(v ? 1 : 0); }
+
+    /** Raw bytes, no length prefix (fixed-size fields). */
+    void Bytes(const void* data, size_t len);
+
+    /** u32 length prefix + bytes. */
+    void Blob(const void* data, size_t len);
+    void Str(const std::string& s) { Blob(s.data(), s.size()); }
+
+    const std::vector<uint8_t>& bytes() const { return bytes_; }
+    std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+  private:
+    std::vector<uint8_t> bytes_;
+};
+
+/** Bounds-checked reader over a borrowed buffer; errors latch. */
+class StateReader
+{
+  public:
+    StateReader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+    explicit StateReader(const std::vector<uint8_t>& bytes)
+        : StateReader(bytes.data(), bytes.size())
+    {
+    }
+
+    uint8_t U8();
+    uint16_t U16();
+    uint32_t U32();
+    uint64_t U64();
+    bool Bool() { return U8() != 0; }
+
+    /** Copies `len` raw bytes out; zero-fills on overrun. */
+    void Bytes(void* dst, size_t len);
+
+    /** Reads a u32-length-prefixed blob; empty on overrun. */
+    std::vector<uint8_t> Blob();
+    std::string Str();
+
+    /**
+     * Latches a validation failure found by the caller (e.g. a geometry
+     * mismatch), so Restore hooks can flag bad fields without extra
+     * plumbing. The first latched error wins.
+     */
+    void Fail(Status status);
+
+    size_t remaining() const { return len_ - pos_; }
+    bool AtEnd() const { return pos_ == len_; }
+
+    /** OK until the first overrun or Fail(); kDataLoss afterwards. */
+    const Status& status() const { return status_; }
+    bool ok() const { return status_.ok(); }
+
+  private:
+    bool Need(size_t n);
+
+    const uint8_t* data_;
+    size_t len_;
+    size_t pos_ = 0;
+    Status status_;
+};
+
+}  // namespace atum::util
+
+#endif  // ATUM_UTIL_SERIALIZE_H_

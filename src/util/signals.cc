@@ -1,0 +1,52 @@
+#include "util/signals.h"
+
+#include <cerrno>
+#include <cstdio>
+
+#include "util/status.h"
+
+namespace atum::util {
+
+namespace {
+
+volatile std::sig_atomic_t* g_stop_flag = nullptr;
+
+extern "C" void
+StopHandler(int signum)
+{
+    if (g_stop_flag != nullptr)
+        *g_stop_flag = signum;
+}
+
+}  // namespace
+
+void
+IgnoreSigpipe()
+{
+#ifdef SIGPIPE
+    std::signal(SIGPIPE, SIG_IGN);
+#endif
+}
+
+void
+InstallStopSignalHandlers(volatile std::sig_atomic_t* flag)
+{
+    g_stop_flag = flag;
+    std::signal(SIGINT, StopHandler);
+    std::signal(SIGTERM, StopHandler);
+}
+
+int
+FinishStdout(int code)
+{
+    errno = 0;
+    if (std::fflush(stdout) == 0 && !std::ferror(stdout))
+        return code;
+    // EPIPE: the reader closed the pipe after taking what it needed
+    // (| head); that is success, not an error worth a dirty exit.
+    if (errno == EPIPE)
+        return code == kExitOk ? kExitOk : code;
+    return code == kExitOk ? kExitIo : code;
+}
+
+}  // namespace atum::util

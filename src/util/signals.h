@@ -1,0 +1,48 @@
+#ifndef ATUM_UTIL_SIGNALS_H_
+#define ATUM_UTIL_SIGNALS_H_
+
+/**
+ * @file
+ * Process-signal plumbing shared by the command-line tools.
+ *
+ * Two concerns live here:
+ *
+ *  - *Broken pipes.* `atum-report trace.atum | head` must exit cleanly,
+ *    not die with SIGPIPE, so tools ignore the signal and instead notice
+ *    the EPIPE write error when flushing stdout at exit. A broken pipe
+ *    means the consumer got everything it wanted — it is a success.
+ *
+ *  - *Graceful shutdown.* A long capture interrupted with SIGINT/SIGTERM
+ *    must stop at a safe drain boundary, seal its trace and write a final
+ *    checkpoint instead of dying mid-chunk. The handler installed here
+ *    only latches the signal number into a sig_atomic_t flag; the
+ *    supervised session loop (core/session.h) polls it between
+ *    instructions.
+ */
+
+#include <csignal>
+
+namespace atum::util {
+
+/** Ignores SIGPIPE so piped tools see EPIPE write errors instead. */
+void IgnoreSigpipe();
+
+/**
+ * Installs SIGINT and SIGTERM handlers that store the signal number into
+ * `*flag` (which must have static storage duration and outlive the
+ * handlers). Repeated signals simply re-latch; the second Ctrl-C does not
+ * force a hard kill — use SIGKILL for that.
+ */
+void InstallStopSignalHandlers(volatile std::sig_atomic_t* flag);
+
+/**
+ * Flushes stdout and returns the exit code a tool should use: `code`
+ * normally, but a clean 0 when the only failure was a broken pipe
+ * (the `| head` case), and an I/O exit code when the flush failed for
+ * a real reason while `code` claimed success.
+ */
+int FinishStdout(int code);
+
+}  // namespace atum::util
+
+#endif  // ATUM_UTIL_SIGNALS_H_

@@ -181,6 +181,18 @@ inline constexpr int kExitError = 1;    ///< Fatal(): generic user error
 inline constexpr int kExitUsage = 2;    ///< bad command-line arguments
 inline constexpr int kExitIo = 3;       ///< missing/unreadable/unwritable file
 inline constexpr int kExitCorrupt = 4;  ///< recognized trace, corrupt content
+/**
+ * Capture stopped early but *cleanly* on an external signal or deadline:
+ * the trace is sealed, a final checkpoint exists, and the run can be
+ * continued with --resume. Scripts treat this as "pause", not failure.
+ */
+inline constexpr int kExitInterrupted = 5;
+/**
+ * The supervisor's deadman watchdog fired: the guest made no clean
+ * instruction-retirement progress within its micro-cycle budget (wedged
+ * in an exception loop or spinning). The trace up to the wedge is sealed.
+ */
+inline constexpr int kExitWedged = 6;
 
 /** Maps an error Status to the tool exit-code convention above. */
 int ExitCodeFor(const Status& status);

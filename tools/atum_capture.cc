@@ -5,13 +5,30 @@
 //   atum-capture --out trace.atum [--workloads hash,matrix,listproc]
 //                [--scale 2] [--timer 2000] [--mem-mb 4] [--buffer-kb 256]
 //                [--pool-frames N] [--pipeline N] [--user-only PID]
+//                [--max-instructions N]
+//                [--checkpoint BASE] [--checkpoint-every FILLS]
+//                [--checkpoint-keep K] [--watchdog UCYCLES]
+//                [--deadline-ms MS]
+//   atum-capture --resume CKPT [--checkpoint BASE] [... supervision flags]
 //
 // --pipeline N adds the IPC producer/consumer pair with N messages.
 // --user-only PID captures with the pre-ATUM baseline probe instead.
 //
-// Exit codes: 0 capture complete, 1 machine did not halt or internal
-// failure, 2 usage error, 3 output file could not be opened or durably
-// written.
+// Long captures: --checkpoint BASE writes rotating BASE.NNNNNN.atck
+// snapshots every --checkpoint-every buffer fills (default 8), keeping
+// the last --checkpoint-keep (default 3). SIGINT/SIGTERM stop at a safe
+// drain boundary, seal the trace and write a final checkpoint. --resume
+// CKPT restores a checkpoint, truncates the trace to its high-water mark
+// and continues the capture byte-identically.
+//
+// Exit codes follow the shared contract in util/status.h:
+//   0  capture ran to completion (guest halted)
+//   1  guest did not halt within the instruction budget, or internal error
+//   2  usage error
+//   3  I/O failure (output file, checkpoint unreadable)
+//   4  checkpoint/trace recognized but corrupt
+//   5  stopped cleanly on SIGINT/SIGTERM or --deadline-ms (resumable)
+//   6  watchdog: guest wedged (no clean retirement within --watchdog)
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +38,7 @@
 #include <vector>
 
 #include "core/atum_tracer.h"
+#include "core/checkpoint.h"
 #include "core/session.h"
 #include "core/user_tracer.h"
 #include "cpu/machine.h"
@@ -28,11 +46,14 @@
 #include "trace/sink.h"
 #include "trace/stats.h"
 #include "util/logging.h"
+#include "util/signals.h"
 #include "util/status.h"
 #include "workloads/workloads.h"
 
 namespace atum {
 namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
 
 /** Command-line mistakes exit with the usage code, not Fatal's 1. */
 template <typename... Args>
@@ -54,6 +75,17 @@ struct Options {
     uint32_t pool_frames = 0;
     uint32_t pipeline = 0;
     uint32_t user_only_pid = 0;  // 0 = full-system ATUM capture
+    uint64_t max_instructions = 2'000'000'000;
+
+    // -- supervision / checkpointing ---------------------------------------
+    std::string resume;      // checkpoint file to continue from
+    std::string checkpoint;  // rotating checkpoint base path
+    uint64_t checkpoint_every = 8;
+    uint32_t checkpoint_keep = 3;
+    uint64_t watchdog_ucycles = 0;
+    uint64_t deadline_ms = 0;
+    uint64_t kill_after_fills = 0;  // test hook: emulate SIGKILL
+    bool wedge_demo = false;        // boot a guest that can never progress
 };
 
 std::vector<std::string>
@@ -102,18 +134,226 @@ ParseArgs(int argc, char** argv)
             opts.pipeline = std::strtoul(next().c_str(), nullptr, 0);
         else if (arg == "--user-only")
             opts.user_only_pid = std::strtoul(next().c_str(), nullptr, 0);
+        else if (arg == "--max-instructions")
+            opts.max_instructions =
+                std::strtoull(next().c_str(), nullptr, 0);
+        else if (arg == "--resume")
+            opts.resume = next();
+        else if (arg == "--checkpoint")
+            opts.checkpoint = next();
+        else if (arg == "--checkpoint-every")
+            opts.checkpoint_every =
+                std::strtoull(next().c_str(), nullptr, 0);
+        else if (arg == "--checkpoint-keep")
+            opts.checkpoint_keep = std::strtoul(next().c_str(), nullptr, 0);
+        else if (arg == "--watchdog")
+            opts.watchdog_ucycles =
+                std::strtoull(next().c_str(), nullptr, 0);
+        else if (arg == "--deadline-ms")
+            opts.deadline_ms = std::strtoull(next().c_str(), nullptr, 0);
+        else if (arg == "--kill-after-fills")
+            opts.kill_after_fills =
+                std::strtoull(next().c_str(), nullptr, 0);
+        else if (arg == "--wedge-demo")
+            opts.wedge_demo = true;
         else
             UsageError("unknown argument: ", arg,
                        " (see the header comment for usage)");
     }
-    if (opts.out.empty())
+    if (opts.resume.empty() && opts.out.empty())
         UsageError("--out is required");
+    if (!opts.resume.empty() && opts.user_only_pid != 0)
+        UsageError("--resume continues an ATUM capture; "
+                   "--user-only has no checkpoint support");
+    if (!opts.resume.empty() && opts.wedge_demo)
+        UsageError("--wedge-demo and --resume are mutually exclusive");
+    if (opts.checkpoint_every == 0)
+        UsageError("--checkpoint-every must be at least 1");
+    if (opts.user_only_pid != 0 &&
+        (!opts.checkpoint.empty() || opts.watchdog_ucycles != 0))
+        UsageError("--user-only does not support checkpoint/watchdog "
+                   "supervision");
     return opts;
+}
+
+int
+ExitCodeForStop(const core::SessionResult& result)
+{
+    switch (result.stop_cause) {
+    case core::StopCause::kHalted:
+        return util::kExitOk;
+    case core::StopCause::kInstrLimit:
+        return util::kExitError;  // legacy "did not halt"
+    case core::StopCause::kSignal:
+    case core::StopCause::kDeadline:
+        return util::kExitInterrupted;
+    case core::StopCause::kWatchdog:
+        return util::kExitWedged;
+    }
+    return util::kExitError;
+}
+
+void
+PrintResult(const core::SessionResult& result, const cpu::Machine& machine,
+            uint64_t sink_records)
+{
+    std::printf("halted=%d instructions=%llu ucycles=%llu records=%llu\n",
+                result.halted,
+                static_cast<unsigned long long>(result.instructions),
+                static_cast<unsigned long long>(result.ucycles),
+                static_cast<unsigned long long>(sink_records));
+    if (result.lost_records > 0 || result.degraded) {
+        std::printf("lost=%llu loss-events=%u degraded=%d\n",
+                    static_cast<unsigned long long>(result.lost_records),
+                    result.loss_events, result.degraded);
+    }
+    if (result.stop_cause != core::StopCause::kHalted &&
+        result.stop_cause != core::StopCause::kInstrLimit)
+        std::printf("stopped=%s\n",
+                    core::StopCauseName(result.stop_cause));
+    if (!result.last_checkpoint.empty())
+        std::printf("checkpoint=%s\n", result.last_checkpoint.c_str());
+    std::printf("console: \"%s\"\n", machine.console_output().c_str());
+}
+
+/**
+ * A guest that can never retire an instruction cleanly: every SCB vector
+ * points at a reserved opcode, so the first dispatch faults into itself
+ * forever. Exercises the deadman watchdog end to end.
+ */
+void
+BootWedge(cpu::Machine& machine)
+{
+    constexpr uint32_t kBadPc = 0x200;
+    machine.WriteIpr(isa::Ipr::kScbb, 0x0);
+    machine.WriteIpr(isa::Ipr::kKsp, 0x8000);
+    for (uint32_t v = 0;
+         v < static_cast<uint32_t>(cpu::ExcVector::kNumVectors); ++v)
+        machine.memory().Write32(4 * v, kBadPc);
+    machine.memory().Write8(kBadPc, 0xFF);  // unassigned opcode
+    machine.set_pc(kBadPc);
+}
+
+/** Builds the supervisor options shared by fresh and resumed captures. */
+core::SupervisorOptions
+MakeSupervision(const Options& opts, core::CheckpointRotator* rotator,
+                trace::FileSink* sink, const core::CheckpointMeta& meta,
+                uint64_t max_instructions)
+{
+    core::SupervisorOptions sup;
+    sup.max_instructions = max_instructions;
+    sup.watchdog_ucycles = opts.watchdog_ucycles;
+    sup.deadline_ms = opts.deadline_ms;
+    sup.stop_flag = &g_stop;
+    sup.checkpoints = rotator;
+    sup.checkpoint_every_fills = opts.checkpoint_every;
+    sup.file_sink = rotator ? sink : nullptr;
+    sup.meta = meta;
+    sup.kill_after_fills = opts.kill_after_fills;
+    return sup;
+}
+
+int
+Finish(const Options& opts, const core::SessionResult& result,
+       const cpu::Machine& machine, trace::FileSink& sink,
+       const std::string& out_path)
+{
+    const util::Status close_status = sink.Close();
+    PrintResult(result, machine, sink.count());
+    if (!result.drain_status.ok())
+        std::fprintf(stderr, "atum-capture: trace drain: %s\n",
+                     result.drain_status.ToString().c_str());
+    if (!result.checkpoint_status.ok())
+        std::fprintf(stderr, "atum-capture: checkpointing: %s\n",
+                     result.checkpoint_status.ToString().c_str());
+    if (!close_status.ok()) {
+        std::fprintf(stderr, "atum-capture: closing %s: %s\n",
+                     out_path.c_str(), close_status.ToString().c_str());
+        return util::ExitCodeFor(close_status);
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+    (void)opts;
+    return ExitCodeForStop(result);
+}
+
+int
+RunResumed(const Options& opts)
+{
+    util::StatusOr<core::Checkpoint> ckpt =
+        core::Checkpoint::Load(opts.resume);
+    if (!ckpt.ok()) {
+        std::fprintf(stderr, "atum-capture: loading %s: %s\n",
+                     opts.resume.c_str(),
+                     ckpt.status().ToString().c_str());
+        return util::ExitCodeFor(ckpt.status());
+    }
+    const core::CheckpointMeta& meta = ckpt->meta();
+    if (!meta.has_sink_state) {
+        std::fprintf(stderr,
+                     "atum-capture: %s carries no trace-sink state; "
+                     "nothing to resume into\n",
+                     opts.resume.c_str());
+        return util::kExitCorrupt;
+    }
+    const std::string out =
+        opts.out.empty() ? meta.trace_path : opts.out;
+
+    util::StatusOr<std::unique_ptr<trace::FileSink>> sink =
+        trace::FileSink::OpenResumed(out, ckpt->sink_state());
+    if (!sink.ok()) {
+        std::fprintf(stderr, "atum-capture: reopening %s: %s\n",
+                     out.c_str(), sink.status().ToString().c_str());
+        return util::ExitCodeFor(sink.status());
+    }
+
+    // Construction order matters: the tracer's buffer reservation must
+    // exist before the memory image is restored over it, and both must
+    // match the geometry recorded in the checkpoint meta.
+    cpu::Machine machine(meta.machine_config);
+    core::AtumTracer tracer(machine, **sink, meta.tracer_config);
+    util::Status status = ckpt->RestoreMachine(machine);
+    if (status.ok())
+        status = ckpt->RestoreTracer(tracer);
+    if (!status.ok()) {
+        std::fprintf(stderr, "atum-capture: restoring %s: %s\n",
+                     opts.resume.c_str(), status.ToString().c_str());
+        return util::ExitCodeFor(status);
+    }
+
+    // Continue the original rotation series: a checkpoint path looks like
+    // BASE.NNNNNN.atck, so the base is recoverable from --resume itself
+    // when --checkpoint is not repeated.
+    std::string base = opts.checkpoint;
+    if (base.empty()) {
+        base = opts.resume;
+        const size_t dot = base.rfind(".atck");
+        size_t seq_dot = std::string::npos;
+        if (dot != std::string::npos)
+            seq_dot = base.find_last_of('.', dot - 1);
+        if (seq_dot != std::string::npos && seq_dot + 1 < dot)
+            base = base.substr(0, seq_dot);
+        else
+            base = out + ".ckpt";
+    }
+    core::CheckpointRotator rotator(base, opts.checkpoint_keep,
+                                    meta.sequence + 1);
+    core::CheckpointMeta next_meta = meta;
+    next_meta.trace_path = out;
+    core::SupervisorOptions sup =
+        MakeSupervision(opts, &rotator, sink->get(), next_meta,
+                        meta.instructions_remaining);
+
+    const core::SessionResult result =
+        core::RunSupervised(machine, tracer, sup);
+    return Finish(opts, result, machine, **sink, out);
 }
 
 int
 Run(const Options& opts)
 {
+    if (!opts.resume.empty())
+        return RunResumed(opts);
+
     cpu::Machine::Config config;
     config.mem_bytes = opts.mem_mb << 20;
     config.timer_reload = opts.timer;
@@ -138,41 +378,42 @@ Run(const Options& opts)
                      sink.status().ToString().c_str());
         return util::ExitCodeFor(sink.status());
     }
-    core::SessionResult result;
+
     if (opts.user_only_pid != 0) {
         core::UserTracerConfig tracer_config;
         tracer_config.target_pid =
             static_cast<uint16_t>(opts.user_only_pid);
         core::UserOnlyTracer tracer(machine, **sink, tracer_config);
         kernel::BootSystem(machine, programs, boot_options);
-        result = core::RunBaseline(machine, tracer, 2'000'000'000);
-    } else {
-        core::AtumConfig tracer_config;
-        tracer_config.buffer_bytes = opts.buffer_kb << 10;
-        core::AtumTracer tracer(machine, **sink, tracer_config);
-        kernel::BootSystem(machine, programs, boot_options);
-        result = core::RunTraced(machine, tracer, 2'000'000'000);
+        const core::SessionResult result =
+            core::RunBaseline(machine, tracer, opts.max_instructions);
+        return Finish(opts, result, machine, **sink, opts.out);
     }
-    const util::Status close_status = (*sink)->Close();
 
-    std::printf("halted=%d instructions=%llu ucycles=%llu records=%llu\n",
-                result.halted,
-                static_cast<unsigned long long>(result.instructions),
-                static_cast<unsigned long long>(result.ucycles),
-                static_cast<unsigned long long>((*sink)->count()));
-    if (result.lost_records > 0 || result.degraded) {
-        std::printf("lost=%llu loss-events=%u degraded=%d\n",
-                    static_cast<unsigned long long>(result.lost_records),
-                    result.loss_events, result.degraded);
-    }
-    std::printf("console: \"%s\"\n", machine.console_output().c_str());
-    if (!close_status.ok()) {
-        std::fprintf(stderr, "atum-capture: closing %s: %s\n",
-                     opts.out.c_str(), close_status.ToString().c_str());
-        return util::ExitCodeFor(close_status);
-    }
-    std::printf("wrote %s\n", opts.out.c_str());
-    return result.halted ? 0 : 1;
+    core::AtumConfig tracer_config;
+    tracer_config.buffer_bytes = opts.buffer_kb << 10;
+    core::AtumTracer tracer(machine, **sink, tracer_config);
+    if (opts.wedge_demo)
+        BootWedge(machine);
+    else
+        kernel::BootSystem(machine, programs, boot_options);
+
+    core::CheckpointMeta meta;
+    meta.machine_config = config;
+    meta.tracer_config = tracer_config;
+    meta.trace_path = opts.out;
+
+    std::unique_ptr<core::CheckpointRotator> rotator;
+    if (!opts.checkpoint.empty())
+        rotator = std::make_unique<core::CheckpointRotator>(
+            opts.checkpoint, opts.checkpoint_keep);
+
+    core::SupervisorOptions sup =
+        MakeSupervision(opts, rotator.get(), sink->get(), meta,
+                        opts.max_instructions);
+    const core::SessionResult result =
+        core::RunSupervised(machine, tracer, sup);
+    return Finish(opts, result, machine, **sink, opts.out);
 }
 
 }  // namespace
@@ -181,5 +422,7 @@ Run(const Options& opts)
 int
 main(int argc, char** argv)
 {
+    atum::util::IgnoreSigpipe();
+    atum::util::InstallStopSignalHandlers(&atum::g_stop);
     return atum::Run(atum::ParseArgs(argc, argv));
 }

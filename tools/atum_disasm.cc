@@ -16,6 +16,7 @@
 #include "kernel/kernel_builder.h"
 #include "kernel/layout.h"
 #include "util/logging.h"
+#include "util/signals.h"
 #include "workloads/workloads.h"
 
 namespace atum {
@@ -92,5 +93,7 @@ Run(int argc, char** argv)
 int
 main(int argc, char** argv)
 {
-    return atum::Run(argc, argv);
+    // Listings are long; `atum-disasm --kernel | head` must exit cleanly.
+    atum::util::IgnoreSigpipe();
+    return atum::util::FinishStdout(atum::Run(argc, argv));
 }

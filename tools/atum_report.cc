@@ -37,6 +37,7 @@
 #include "trace/sink.h"
 #include "trace/stats.h"
 #include "util/logging.h"
+#include "util/signals.h"
 #include "util/status.h"
 #include "util/table.h"
 
@@ -324,5 +325,8 @@ Run(const Options& opts)
 int
 main(int argc, char** argv)
 {
-    return atum::Run(atum::ParseArgs(argc, argv));
+    // Reports are made to be piped (`atum-report t.atum | head`): ignore
+    // SIGPIPE and treat a broken pipe at exit as success.
+    atum::util::IgnoreSigpipe();
+    return atum::util::FinishStdout(atum::Run(atum::ParseArgs(argc, argv)));
 }
