@@ -126,7 +126,12 @@ Run()
 
     Table table({"plan", "bytes", "salvaged", "prefix", "bad-chunks",
                  "sealed", "survival%"});
+    bench::BenchReport report("a10_fault_recovery");
     for (const PlanOutcome& o : outcomes) {
+        report.Add("survival",
+                   100.0 * static_cast<double>(o.salvaged) /
+                       static_cast<double>(records.size()),
+                   "%", {{"plan", o.name}});
         table.AddRow({o.name, std::to_string(o.written_bytes),
                       std::to_string(o.salvaged), std::to_string(o.prefix),
                       std::to_string(o.chunks_bad), o.sealed ? "yes" : "no",

@@ -20,6 +20,7 @@ Run()
     std::printf("A1: compact trace encoding vs fixed 8-byte records\n\n");
     Table table({"workload", "records", "raw-KB", "packed-KB",
                  "bytes/record", "ratio"});
+    bench::BenchReport report("a1_compression");
 
     for (const std::string& name : workloads::AllWorkloadNames()) {
         const bench::Capture cap =
@@ -29,6 +30,13 @@ Run()
             Fatal("compression round-trip failed for ", name);
         const double raw = static_cast<double>(cap.records.size()) *
                            trace::kRecordBytes;
+        report.Add("bytes_per_record",
+                   static_cast<double>(bytes.size()) /
+                       static_cast<double>(cap.records.size()),
+                   "B", {{"workload", name}});
+        report.Add("compression_ratio",
+                   static_cast<double>(bytes.size()) / raw, "ratio",
+                   {{"workload", name}});
         table.AddRow({
             name,
             std::to_string(cap.records.size()),

@@ -36,8 +36,12 @@ Run()
     std::printf("A2: fully-associative LRU miss rate from one-pass stack\n"
                 "distances (16B blocks, no switch flushing)\n\n");
     Table table({"capacity", "full-system%", "user-only%"});
+    bench::BenchReport report("a2_stack_distance");
     for (uint32_t kib : {1u, 4u, 16u, 64u, 256u}) {
         const uint64_t blocks = (kib << 10) >> kBlockShift;
+        report.Add("miss_rate", 100.0 * full.MissRateForCapacity(blocks),
+                   "%", {{"capacity_kb", std::to_string(kib)},
+                         {"view", "full-system"}});
         table.AddRow({
             std::to_string(kib) + "K",
             Table::Fmt(100.0 * full.MissRateForCapacity(blocks), 3),

@@ -44,7 +44,15 @@ Run()
     const auto results = replay::SweepRunner().Run(cap.records, jobs);
 
     Table table({"l2", "discipline", "l1d-miss%", "global-miss%", "amat"});
+    bench::BenchReport report("a3_hierarchy");
     for (size_t i = 0; i < results.size(); ++i) {
+        report.Add("global_miss_rate", 100.0 * results[i].global_miss_rate,
+                   "%",
+                   {{"l2_kb", std::to_string(grid[i].first)},
+                    {"discipline", grid[i].second ? "flush" : "pid-tags"}});
+        report.Add("amat", results[i].amat, "cycles",
+                   {{"l2_kb", std::to_string(grid[i].first)},
+                    {"discipline", grid[i].second ? "flush" : "pid-tags"}});
         table.AddRow({
             std::to_string(grid[i].first) + "K",
             grid[i].second ? "flush" : "pid-tags",

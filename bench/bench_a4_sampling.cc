@@ -40,6 +40,8 @@ Run()
 
     Table table({"window(instr)", "duty", "records", "sampled-miss%",
                  "error%"});
+    bench::BenchReport report("a4_sampling");
+    report.Add("full_miss_rate", 100.0 * full_rate, "%");
     for (const auto& [window, period] :
          std::vector<std::pair<uint64_t, uint64_t>>{
              {5000, 50000}, {20000, 80000}, {20000, 40000},
@@ -58,6 +60,12 @@ Run()
             machine.Run(period - window);
         }
         const double rate = MissRateOf(sink.records());
+        report.Add("sampled_miss_rate", 100.0 * rate, "%",
+                   {{"window", std::to_string(window)},
+                    {"period", std::to_string(period)}});
+        report.Add("error", 100.0 * (rate - full_rate) / full_rate, "%",
+                   {{"window", std::to_string(window)},
+                    {"period", std::to_string(period)}});
         table.AddRow({
             std::to_string(window),
             Table::Fmt(100.0 * static_cast<double>(window) /

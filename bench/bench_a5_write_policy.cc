@@ -42,6 +42,10 @@ Run()
     // Write-through: every store goes to memory through a write buffer.
     Table table({"buffer-depth", "wt-traffic(B/ref)", "stalls/store",
                  "stall-cycles"});
+    bench::BenchReport report("a5_write_policy");
+    report.Add("wb_traffic",
+               wb_traffic / static_cast<double>(wb_cache.stats().accesses),
+               "B/ref");
     for (uint32_t depth : {1u, 2u, 4u, 8u}) {
         cache::CacheConfig wt_config = wb_config;
         wt_config.write_back = false;
@@ -71,6 +75,12 @@ Run()
             static_cast<double>(wt_cache.stats().read_misses) *
                 wt_config.block_bytes +
             static_cast<double>(writes) * 4.0;
+        report.Add("wt_traffic",
+                   wt_traffic /
+                       static_cast<double>(wt_cache.stats().accesses),
+                   "B/ref", {{"depth", std::to_string(depth)}});
+        report.Add("stalls_per_store", buffer.StallsPerWrite(), "stalls",
+                   {{"depth", std::to_string(depth)}});
         table.AddRow({
             std::to_string(depth),
             Table::Fmt(wt_traffic /

@@ -29,6 +29,7 @@ Run()
                 "(hash workload)\n\n");
     Table table({"geometry", "hw-lookups", "hw-miss%", "trace-miss%",
                  "agreement"});
+    bench::BenchReport report("a6_machine_tb");
     struct Geometry {
         unsigned sets, ways;
     };
@@ -52,6 +53,12 @@ Run()
             sim.Feed(r);
         const double sim_rate = sim.stats().MissRate();
 
+        const std::string geom =
+            std::to_string(g.sets) + "x" + std::to_string(g.ways);
+        report.Add("hw_miss_rate", 100.0 * hw_rate, "%",
+                   {{"geometry", geom}});
+        report.Add("trace_miss_rate", 100.0 * sim_rate, "%",
+                   {{"geometry", geom}});
         table.AddRow({
             std::to_string(g.sets) + "x" + std::to_string(g.ways),
             std::to_string(tlb.lookups()),

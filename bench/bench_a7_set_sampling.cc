@@ -29,6 +29,7 @@ Run()
                 "full-system trace)\n\n");
     Table table({"cache", "full-miss%", "1/2-sets%", "1/4-sets%",
                  "1/16-sets%", "1/16-access-share%"});
+    bench::BenchReport report("a7_set_sampling");
     for (uint32_t kib : {8u, 32u, 128u}) {
         cache::CacheConfig config{.size_bytes = kib << 10,
                                   .block_bytes = 16,
@@ -40,6 +41,16 @@ Run()
             analysis::SetSampledMissRate(cap.records, config, opts, 2);
         const auto s16 =
             analysis::SetSampledMissRate(cap.records, config, opts, 4);
+        report.Add("miss_rate", 100.0 * full.MissRate(), "%",
+                   {{"size_kb", std::to_string(kib)}, {"sets", "full"}});
+        for (const auto& [frac, stats] :
+             {std::pair<const char*, const analysis::SampledStats*>{
+                  "1/2", &s2},
+              {"1/4", &s4}, {"1/16", &s16}}) {
+            report.Add("miss_rate", 100.0 * stats->MissRate(), "%",
+                       {{"size_kb", std::to_string(kib)},
+                        {"sets", frac}});
+        }
         table.AddRow({
             std::to_string(kib) + "K",
             Table::Fmt(100.0 * full.MissRate(), 3),

@@ -45,11 +45,20 @@ Run()
                 "(full-system traces)\n\n");
     Table table({"workload", "I-miss%", "I-miss%+obl", "D-miss%",
                  "D-miss%+obl"});
+    bench::BenchReport report("a8_prefetch");
     for (const char* name : {"grep", "matrix", "listproc", "hash"}) {
         const bench::Capture cap =
             bench::CaptureFullSystem({workloads::MakeWorkload(name, 2)});
         const Split base = RunSplit(cap.records, false);
         const Split obl = RunSplit(cap.records, true);
+        report.Add("i_miss_rate", 100.0 * base.i_miss, "%",
+                   {{"workload", name}, {"prefetch", "off"}});
+        report.Add("i_miss_rate", 100.0 * obl.i_miss, "%",
+                   {{"workload", name}, {"prefetch", "obl"}});
+        report.Add("d_miss_rate", 100.0 * base.d_miss, "%",
+                   {{"workload", name}, {"prefetch", "off"}});
+        report.Add("d_miss_rate", 100.0 * obl.d_miss, "%",
+                   {{"workload", name}, {"prefetch", "obl"}});
         table.AddRow({
             name,
             Table::Fmt(100.0 * base.i_miss, 3),

@@ -55,6 +55,10 @@ Run()
     const double serial_secs = SecondsSince(serial_start);
 
     Table table({"threads", "seconds", "configs/sec", "speedup"});
+    bench::BenchReport report("a9_parallel_sweep");
+    report.Add("configs_per_sec",
+               static_cast<double>(jobs.size()) / serial_secs, "configs/s",
+               {{"threads", "serial"}});
     table.AddRow({"serial", Table::Fmt(serial_secs, 2),
                   Table::Fmt(static_cast<double>(jobs.size()) / serial_secs,
                              1),
@@ -72,6 +76,11 @@ Run()
                 Fatal("nondeterministic replay at config ", i, " with ",
                       threads, " threads");
         }
+        report.Add("configs_per_sec",
+                   static_cast<double>(jobs.size()) / secs, "configs/s",
+                   {{"threads", std::to_string(threads)}});
+        report.Add("speedup", serial_secs / secs, "x",
+                   {{"threads", std::to_string(threads)}});
         table.AddRow({std::to_string(threads), Table::Fmt(secs, 2),
                       Table::Fmt(static_cast<double>(jobs.size()) / secs, 1),
                       Table::Fmt(serial_secs / secs, 2)});

@@ -51,9 +51,15 @@ Run()
     std::printf("full-system trace: %zu refs; user-only trace: %zu refs\n\n",
                 full.records.size(), user.records.size());
     Table table({"cache", "full-system%", "user-only%", "ratio"});
+    bench::BenchReport report("f1_miss_vs_cachesize");
     for (size_t i = 0; i < sizes.size(); ++i) {
         const double f = full_points[i].MissRate();
         const double u = user_points[i].MissRate();
+        const std::string size_kb = std::to_string(sizes[i] / 1024);
+        report.Add("miss_rate", 100.0 * f, "%",
+                   {{"size_kb", size_kb}, {"trace", "full-system"}});
+        report.Add("miss_rate", 100.0 * u, "%",
+                   {{"size_kb", size_kb}, {"trace", "user-only"}});
         table.AddRow({
             std::to_string(sizes[i] / 1024) + "K",
             Table::Fmt(100.0 * f, 2),

@@ -30,6 +30,7 @@ Run()
     std::printf("F2: miss rate vs block size (64K direct-mapped, "
                 "full-system trace)\n\n");
     Table table({"block", "miss%", "misses", "traffic(B/ref)"});
+    bench::BenchReport report("f2_miss_vs_blocksize");
     for (size_t i = 0; i < blocks.size(); ++i) {
         const auto stats =
             analysis::SimulateCache(full.records, [&] {
@@ -41,6 +42,10 @@ Run()
         const double traffic =
             static_cast<double>((stats.misses + stats.writebacks)) *
             blocks[i] / static_cast<double>(stats.accesses);
+        report.Add("miss_rate", 100.0 * points[i].miss_rate, "%",
+                   {{"block_bytes", std::to_string(blocks[i])}});
+        report.Add("traffic", traffic, "B/ref",
+                   {{"block_bytes", std::to_string(blocks[i])}});
         table.AddRow({
             std::to_string(blocks[i]) + "B",
             Table::Fmt(100.0 * points[i].miss_rate, 2),

@@ -41,9 +41,13 @@ Run()
     std::printf("F3: miss rate vs associativity (8K PID-tagged, 16B blocks, "
                 "full-system trace)\n\n");
     Table table({"assoc", "miss%", "improvement-vs-prev%"});
+    bench::BenchReport report("f3_miss_vs_assoc");
     double prev = 0;
     for (size_t i = 0; i < assocs.size(); ++i) {
         const double m = points[i].MissRate();
+        report.Add("miss_rate", 100.0 * m, "%",
+                   {{"assoc", std::to_string(assocs[i])},
+                    {"replacement", "lru"}});
         table.AddRow({
             std::to_string(assocs[i]) + "-way",
             Table::Fmt(100.0 * m, 3),
@@ -58,6 +62,8 @@ Run()
     std::printf("4-way random replacement: %.3f%% (vs LRU %.3f%%)\n\n",
                 100.0 * points.back().MissRate(),
                 100.0 * points[2].MissRate());
+    report.Add("miss_rate", 100.0 * points.back().MissRate(), "%",
+               {{"assoc", "4"}, {"replacement", "random"}});
     std::printf("Shape check: largest gain 1-way -> 2-way; LRU edges out\n"
                 "random at equal geometry.\n");
     return 0;

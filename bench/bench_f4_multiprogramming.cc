@@ -25,6 +25,7 @@ Run()
                 "(2-way, 16B blocks)\n\n");
     Table table({"degree", "cache", "flush-on-switch%", "pid-tagged%",
                  "flush-penalty%"});
+    bench::BenchReport report("f4_multiprogramming");
 
     for (uint32_t degree : {1u, 2u, 4u}) {
         const bench::Capture cap =
@@ -46,6 +47,14 @@ Run()
                 analysis::SimulateCache(cap.records, pid_cfg, pid_opts);
             const double f = flushed.MissRate();
             const double p = tagged.MissRate();
+            report.Add("miss_rate", 100.0 * f, "%",
+                       {{"degree", std::to_string(degree)},
+                        {"size_kb", std::to_string(kib)},
+                        {"mode", "flush-on-switch"}});
+            report.Add("miss_rate", 100.0 * p, "%",
+                       {{"degree", std::to_string(degree)},
+                        {"size_kb", std::to_string(kib)},
+                        {"mode", "pid-tagged"}});
             table.AddRow({
                 std::to_string(degree),
                 std::to_string(kib) + "K",

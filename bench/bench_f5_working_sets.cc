@@ -39,9 +39,16 @@ Run()
     std::printf("F5: average working-set size (512B pages) vs window\n\n");
     Table table({"window(refs)", "full-system", "user-only", "kernel-only",
                  "full/user"});
+    bench::BenchReport report("f5_working_sets");
     for (size_t i = 0; i < windows.size(); ++i) {
         const double f = full.AverageWorkingSet(i);
         const double u = user_all.AverageWorkingSet(i);
+        report.Add("working_set", f, "pages",
+                   {{"window", std::to_string(windows[i])},
+                    {"view", "full-system"}});
+        report.Add("working_set", u, "pages",
+                   {{"window", std::to_string(windows[i])},
+                    {"view", "user-only"}});
         table.AddRow({
             std::to_string(windows[i]),
             Table::Fmt(f, 1),

@@ -21,6 +21,7 @@ Run()
     std::printf("F6: frame-pool size vs paging activity (sort workload)\n\n");
     Table table({"pool(frames)", "pgfaults", "swap-outs", "swap-ins",
                  "os-refs%", "instr"});
+    bench::BenchReport report("f6_paging");
 
     for (uint32_t pool : {0u, 48u, 32u, 24u, 16u, 12u}) {
         cpu::Machine machine(bench::StandardMachineConfig());
@@ -39,6 +40,14 @@ Run()
         for (const auto& r : sink.records())
             stats.Accumulate(r);
 
+        const std::string pool_key =
+            pool == 0 ? "unlimited" : std::to_string(pool);
+        report.Add("page_faults",
+                   static_cast<double>(info.ReadKdata(
+                       machine, kernel::KdataOffsets::kPfCount)),
+                   "faults", {{"pool_frames", pool_key}});
+        report.Add("os_share", 100.0 * stats.KernelFraction(), "%",
+                   {{"pool_frames", pool_key}});
         table.AddRow({
             pool == 0 ? "unlimited" : std::to_string(pool),
             std::to_string(

@@ -19,13 +19,20 @@ namespace atum {
 namespace {
 
 void
-AddRow(Table& table, const std::string& name, const bench::Capture& capture)
+AddRow(Table& table, bench::BenchReport& report, const std::string& name,
+       const bench::Capture& capture)
 {
     trace::TraceStats stats;
     for (const auto& r : capture.records)
         stats.Accumulate(r);
 
     const double mem = static_cast<double>(stats.mem_refs());
+    report.Add("mem_refs", mem, "records", {{"workload", name}});
+    report.Add("os_share", 100.0 * stats.KernelFraction(), "%",
+               {{"workload", name}});
+    report.Add("write_share",
+               100.0 * stats.CountOf(trace::RecordType::kWrite) / mem, "%",
+               {{"workload", name}});
     table.AddRow({
         name,
         std::to_string(capture.session.instructions),
@@ -46,12 +53,14 @@ Run()
     std::printf("T1: trace characteristics (full-system ATUM capture)\n\n");
     Table table({"workload", "instrs", "mem-refs", "ifetch%", "read%",
                  "write%", "pte%", "os%", "ctxsw", "pgflts"});
+    bench::BenchReport report("t1_trace_characteristics");
 
     for (const std::string& name : workloads::AllWorkloadNames()) {
-        AddRow(table, name,
+        AddRow(table, report, name,
                bench::CaptureFullSystem({workloads::MakeWorkload(name)}));
     }
-    AddRow(table, "mix-3", bench::CaptureFullSystem(bench::MixOfDegree(3)));
+    AddRow(table, report, "mix-3",
+           bench::CaptureFullSystem(bench::MixOfDegree(3)));
 
     std::printf("%s\n", table.ToString().c_str());
     std::printf("Shape check: OS share is a substantial minority and\n"

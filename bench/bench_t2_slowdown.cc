@@ -35,6 +35,7 @@ Run()
 
     Table table({"cost/record(uc)", "records", "traced-ucycles", "slowdown",
                  "overhead%"});
+    bench::BenchReport report("t2_slowdown");
     for (uint32_t cost : {1u, 8u, 16u, 32u, 64u, 128u}) {
         core::AtumConfig config;
         config.cost_per_record = cost;
@@ -44,6 +45,8 @@ Run()
             Fatal("tracing perturbed the instruction stream");
         const double slowdown = static_cast<double>(cap.session.ucycles) /
                                 static_cast<double>(base.ucycles);
+        report.Add("slowdown", slowdown, "x",
+                   {{"cost_per_record", std::to_string(cost)}});
         table.AddRow({
             std::to_string(cost),
             std::to_string(cap.session.records),

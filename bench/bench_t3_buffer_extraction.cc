@@ -22,6 +22,7 @@ Run()
     std::printf("T3: reserved trace buffer behaviour (degree-2 mix)\n\n");
     Table table({"buffer", "records", "fills", "records/fill",
                  "pause-ucycles", "pause%"});
+    bench::BenchReport report("t3_buffer_extraction");
 
     for (uint32_t kib : {16u, 64u, 256u, 1024u}) {
         core::AtumConfig config;
@@ -30,6 +31,13 @@ Run()
             bench::CaptureFullSystem(bench::MixOfDegree(2), config);
         const uint64_t pauses =
             cap.session.buffer_fills * config.drain_pause_ucycles;
+        report.Add("buffer_fills",
+                   static_cast<double>(cap.session.buffer_fills), "fills",
+                   {{"buffer_kb", std::to_string(kib)}});
+        report.Add("pause_share",
+                   100.0 * static_cast<double>(pauses) /
+                       static_cast<double>(cap.session.ucycles),
+                   "%", {{"buffer_kb", std::to_string(kib)}});
         table.AddRow({
             std::to_string(kib) + "K",
             std::to_string(cap.session.records),

@@ -32,6 +32,7 @@ Run()
 
     std::printf("T4: TLB miss rate (fully associative, LRU) vs entries\n\n");
     Table table({"entries", "full+flush%", "full-noflush%", "user-only%"});
+    bench::BenchReport report("t4_tlb");
     for (uint32_t entries : {8u, 16u, 32u, 64u, 128u, 256u}) {
         tlbsim::TlbSimConfig full_flush{.entries = entries};
         tlbsim::TlbSimConfig full_noflush{.entries = entries};
@@ -40,11 +41,19 @@ Run()
         user_only.include_kernel = false;
         user_only.flush_on_switch = false;
 
+        const double full = 100.0 * Simulate(cap.records, full_flush);
+        const double user = 100.0 * Simulate(cap.records, user_only);
+        report.Add("miss_rate", full, "%",
+                   {{"entries", std::to_string(entries)},
+                    {"mode", "full+flush"}});
+        report.Add("miss_rate", user, "%",
+                   {{"entries", std::to_string(entries)},
+                    {"mode", "user-only"}});
         table.AddRow({
             std::to_string(entries),
-            Table::Fmt(100.0 * Simulate(cap.records, full_flush), 3),
+            Table::Fmt(full, 3),
             Table::Fmt(100.0 * Simulate(cap.records, full_noflush), 3),
-            Table::Fmt(100.0 * Simulate(cap.records, user_only), 3),
+            Table::Fmt(user, 3),
         });
     }
     std::printf("%s\n", table.ToString().c_str());

@@ -7,6 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "analysis/compare.h"
 #include "common.h"
 
@@ -86,4 +90,34 @@ BENCHMARK(BM_TraceCaptureOnly)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace atum
 
-BENCHMARK_MAIN();
+// Custom main: console output as usual, plus the full google-benchmark
+// JSON report written to ${ATUM_BENCH_DIR:-.}/BENCH_t5_sim_speed.json so
+// the speed sheet lands next to the other BENCH_*.json files. An explicit
+// --benchmark_out on the command line wins over the default.
+int
+main(int argc, char** argv)
+{
+    const char* dir = std::getenv("ATUM_BENCH_DIR");
+    const std::string out_flag = "--benchmark_out=" +
+                                 std::string(dir && *dir ? dir : ".") +
+                                 "/BENCH_t5_sim_speed.json";
+    std::vector<char*> args(argv, argv + argc);
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0)
+            has_out = true;
+    }
+    std::string flag_storage = out_flag;
+    std::string format_storage = "--benchmark_out_format=json";
+    if (!has_out) {
+        args.push_back(flag_storage.data());
+        args.push_back(format_storage.data());
+    }
+    int args_count = static_cast<int>(args.size());
+    benchmark::Initialize(&args_count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -47,12 +47,18 @@ Run()
                 "degree-3 mix)\n\n",
                 static_cast<unsigned long long>(total));
     Table table({"rank", "opcode", "total%", "user%", "kernel%"});
+    bench::BenchReport report("t6_opcode_mix");
     double cumulative = 0;
     for (size_t i = 0; i < ranked.size() && i < 15; ++i) {
         const auto [op, n] = ranked[i];
         const double pct = 100.0 * static_cast<double>(n) /
                            static_cast<double>(total);
         cumulative += pct;
+        if (i < 5)
+            report.Add("opcode_share", pct, "%",
+                       {{"opcode",
+                         isa::MnemonicOf(static_cast<isa::Opcode>(op))},
+                        {"rank", std::to_string(i + 1)}});
         table.AddRow({
             std::to_string(i + 1),
             isa::MnemonicOf(static_cast<isa::Opcode>(op)),
@@ -69,6 +75,9 @@ Run()
     std::printf("top-15 cover %.1f%% of dynamic instructions; %zu distinct "
                 "opcodes executed\n\n",
                 cumulative, combined.size());
+    report.Add("top15_coverage", cumulative, "%");
+    report.Add("distinct_opcodes", static_cast<double>(combined.size()),
+               "opcodes");
     std::printf("Shape check: a handful of simple moves/branches dominate\n"
                 "the dynamic mix of a CISC — the classic measurement that\n"
                 "fed the RISC argument.\n");

@@ -173,4 +173,62 @@ grep -q "k_start:" "$TMP/pipe.txt"
 pipe_exit=$(cat "$TMP/pipe_status")
 [ "$pipe_exit" = 0 ] || { echo "FAIL: report | head exited $pipe_exit" >&2; exit 1; }
 
+# ---------------------------------------------------------------------------
+# Observability: --version everywhere, metrics JSONL + RUN.json schemas,
+# the aggregate stats footer, and the atum-top one-shot renderer.
+
+for tool in atum-capture atum-report atum-disasm atum-top; do
+    expect_exit 0 "$BUILD/tools/$tool" --version
+    grep -q "^$tool " "$TMP/out.txt" || {
+        echo "FAIL: $tool --version output malformed" >&2
+        cat "$TMP/out.txt" >&2
+        exit 1
+    }
+done
+
+# --metrics-out requires the supervised loop, so it conflicts with
+# --user-only.
+expect_exit 2 "$BUILD/tools/atum-capture" --out "$TMP/m.atum" \
+    --workloads grep --user-only --metrics-out "$TMP/m.jsonl"
+
+# A supervised capture streams snapshots and writes a RUN.json manifest.
+expect_exit 0 "$BUILD/tools/atum-capture" --out "$TMP/m.atum" \
+    --workloads grep --scale 1 --buffer-kb 16 \
+    --metrics-out "$TMP/m.jsonl" --metrics-interval-ms 0
+[ -s "$TMP/m.jsonl" ] || { echo "FAIL: metrics JSONL empty" >&2; exit 1; }
+[ -s "$TMP/m.atum.run.json" ] || { echo "FAIL: RUN.json missing" >&2; exit 1; }
+
+# atum-report --stats appends the aggregate counter table.
+expect_exit 0 "$BUILD/tools/atum-report" "$TMP/m.atum" --stats
+grep -q "report.records" "$TMP/out.txt"
+
+# atum-top renders the newest snapshot once and exits.
+expect_exit 0 "$BUILD/tools/atum-top" --once "$TMP/m.jsonl"
+grep -q "instructions" "$TMP/out.txt"
+expect_exit 4 "$BUILD/tools/atum-top" --once /dev/null
+expect_exit 3 "$BUILD/tools/atum-top" --once "$TMP/absent.jsonl"
+
+if command -v jq > /dev/null 2>&1; then
+    # Every JSONL line parses and carries the v1 schema + required keys.
+    jq -es 'all(.schema == "atum-metrics-v1"
+                and .phase and (.seq >= 0)
+                and (.counters | type == "object")
+                and (.gauges | type == "object")
+                and (.histograms | type == "object"))' \
+        "$TMP/m.jsonl" > /dev/null
+    # First line is phase=start, last line phase=final with real totals.
+    [ "$(head -n 1 "$TMP/m.jsonl" | jq -r .phase)" = "start" ]
+    [ "$(tail -n 1 "$TMP/m.jsonl" | jq -r .phase)" = "final" ]
+    final_instr=$(tail -n 1 "$TMP/m.jsonl" \
+        | jq -r '.counters["cpu.instructions"]')
+    [ "$final_instr" -gt 0 ]
+    # RUN.json: schema, tool identity, exit code, and the finals block.
+    jq -e '.schema == "atum-run-v1" and .tool == "atum-capture"
+           and .exit_code == 0 and (.config | type == "object")
+           and (.counters["tracer.records"] > 0)' \
+        "$TMP/m.atum.run.json" > /dev/null
+else
+    echo "note: jq not found, skipping JSON schema checks"
+fi
+
 echo "tools OK"

@@ -1,5 +1,8 @@
 #include "core/atum_tracer.h"
 
+#include <chrono>
+
+#include "util/json.h"
 #include "util/logging.h"
 
 namespace atum::core {
@@ -10,7 +13,10 @@ using ucode::MemAccess;
 
 AtumTracer::AtumTracer(cpu::Machine& machine, trace::TraceSink& sink,
                        const AtumConfig& config)
-    : machine_(machine), sink_(sink), config_(config)
+    : machine_(machine),
+      sink_(sink),
+      config_(config),
+      drain_hist_(&obs::Registry::Global().GetHistogram("tracer.drain_us"))
 {
     if (config_.buffer_bytes < trace::kRecordBytes)
         Fatal("trace buffer too small: ", config_.buffer_bytes);
@@ -152,6 +158,7 @@ AtumTracer::Drain()
 
     uint32_t pause = config_.drain_pause_ucycles;
     uint32_t delivered = 0;
+    const auto t0 = std::chrono::steady_clock::now();
     util::Status status = DeliverRange(&delivered, total);
     for (uint32_t retry = 0; !status.ok() && retry < config_.drain_max_retries;
          ++retry) {
@@ -161,14 +168,27 @@ AtumTracer::Drain()
         ++drain_retries_;
         status = DeliverRange(&delivered, total);
     }
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    drain_hist_->Add(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count()));
     if (!status.ok()) {
         degraded_ = true;
         ++loss_events_;
         lost_records_ += total - delivered;
         last_drain_error_ = status;
-        Warn("trace drain failed after ", config_.drain_max_retries,
-             " retries (", status.ToString(),
-             "); degrading to counting-only capture");
+        // One structured line so log scrapers can alert on degrades
+        // without parsing prose.
+        util::JsonWriter w;
+        w.BeginObject();
+        w.KeyValue("event", "trace-drain-degrade");
+        w.KeyValue("episode", static_cast<uint64_t>(loss_events_));
+        w.KeyValue("retries", static_cast<uint64_t>(config_.drain_max_retries));
+        w.KeyValue("delivered", static_cast<uint64_t>(delivered));
+        w.KeyValue("lost", static_cast<uint64_t>(total - delivered));
+        w.KeyValue("error", status.ToString());
+        w.EndObject();
+        Warn(w.str());
     }
     return pause;
 }
@@ -191,6 +211,19 @@ AtumTracer::Flush()
                               loss_events_, " sink-failure episodes");
     }
     return util::OkStatus();
+}
+
+void
+AtumTracer::PublishMetrics(obs::Registry& reg) const
+{
+    reg.GetCounter("tracer.records").Set(records_);
+    reg.GetCounter("tracer.buffer_fills").Set(buffer_fills_);
+    reg.GetCounter("tracer.overhead_ucycles").Set(overhead_ucycles_);
+    reg.GetCounter("tracer.lost_records").Set(lost_records_);
+    reg.GetCounter("tracer.loss_events").Set(loss_events_);
+    reg.GetCounter("tracer.drain_retries").Set(drain_retries_);
+    reg.GetGauge("tracer.degraded").Set(degraded_ ? 1 : 0);
+    reg.GetGauge("tracer.buffered_records").Set(buffered_records());
 }
 
 util::Status

@@ -24,6 +24,7 @@
 #include <cstdint>
 
 #include "cpu/machine.h"
+#include "obs/metrics.h"
 #include "trace/record.h"
 #include "trace/sink.h"
 #include "util/serialize.h"
@@ -141,6 +142,15 @@ class AtumTracer
     /** Records currently sitting in the (undrained) buffer. */
     uint32_t buffered_records() const { return head_ / trace::kRecordBytes; }
 
+    /**
+     * Publishes capture tallies into `reg` as `tracer.*` counters and
+     * gauges (records, fills, overhead, retries, degrades, losses,
+     * buffered records). The per-drain extraction latency histogram
+     * `tracer.drain_us` is event-driven and always live in the global
+     * registry regardless of publishing.
+     */
+    void PublishMetrics(obs::Registry& reg) const;
+
   private:
     uint32_t Append(const trace::Record& record);
     /** Empties the buffer (deliver or count-as-lost); returns the
@@ -164,6 +174,8 @@ class AtumTracer
     uint32_t loss_events_ = 0;
     uint64_t drain_retries_ = 0;
     util::Status last_drain_error_;
+    /** Extraction-pause wall latency, log2 buckets of microseconds. */
+    obs::Histogram* drain_hist_;
 };
 
 }  // namespace atum::core

@@ -35,6 +35,16 @@ FillTracerStats(SessionResult& result, AtumTracer& tracer)
 
 }  // namespace
 
+void
+PublishCaptureMetrics(obs::Registry& reg, const cpu::Machine& machine,
+                      const AtumTracer& tracer, const trace::FileSink* sink)
+{
+    machine.PublishMetrics(reg);
+    tracer.PublishMetrics(reg);
+    if (sink)
+        sink->PublishMetrics(reg);
+}
+
 const char*
 StopCauseName(StopCause cause)
 {
@@ -114,7 +124,32 @@ RunSupervised(cpu::Machine& machine, AtumTracer& tracer,
     StopCause cause = StopCause::kInstrLimit;
     bool stopped = false;
 
+    obs::Registry& registry = obs::Registry::Global();
+    obs::Counter& checkpoint_counter =
+        registry.GetCounter("supervisor.checkpoints");
+    obs::Histogram& checkpoint_us =
+        registry.GetHistogram("supervisor.checkpoint_us");
+    obs::Gauge& watchdog_slack =
+        registry.GetGauge("supervisor.watchdog_slack_ucycles");
+
+    // Publishes every layer and, when streaming is on, hands the emitter
+    // a chance to write a snapshot line. All of this runs on the machine
+    // thread at drain-safe boundaries, so publishing plain members races
+    // with nothing.
+    const auto publish = [&] {
+        PublishCaptureMetrics(registry, machine, tracer, options.file_sink);
+        if (options.watchdog_ucycles != 0) {
+            const uint64_t since =
+                machine.ucycles() - last_progress_ucycles;
+            watchdog_slack.Set(
+                since >= options.watchdog_ucycles
+                    ? 0
+                    : static_cast<int64_t>(options.watchdog_ucycles - since));
+        }
+    };
+
     const auto take_checkpoint = [&](uint64_t instructions_done) {
+        const auto cp_start = Clock::now();
         CheckpointMeta meta = options.meta;
         meta.instructions = machine.icount();
         meta.instructions_remaining =
@@ -145,7 +180,21 @@ RunSupervised(cpu::Machine& machine, AtumTracer& tracer,
                  status.ToString());
         }
         fills_at_last_checkpoint = tracer.buffer_fills();
+        checkpoint_counter.Add(1);
+        checkpoint_us.Add(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - cp_start)
+                .count()));
+        if (options.emitter) {
+            publish();
+            options.emitter->Emit("checkpoint");
+        }
     };
+
+    if (options.emitter) {
+        publish();
+        options.emitter->Emit("start");
+    }
 
     uint64_t executed = 0;
     while (!stopped && !machine.halted() &&
@@ -183,6 +232,10 @@ RunSupervised(cpu::Machine& machine, AtumTracer& tracer,
                 std::_Exit(137);
             }
         }
+        if (options.emitter) {
+            publish();
+            options.emitter->MaybeEmit("interval");
+        }
         if (stopped)
             break;
         if (options.stop_flag && *options.stop_flag != 0) {
@@ -216,6 +269,11 @@ RunSupervised(cpu::Machine& machine, AtumTracer& tracer,
         result.checkpoints_written = options.checkpoints->written();
         result.last_checkpoint = options.checkpoints->last_path();
     }
+    // Final publish happens even without an emitter so the global
+    // registry's counters are current for the caller's run manifest.
+    publish();
+    if (options.emitter)
+        options.emitter->Emit("final");
     return result;
 }
 

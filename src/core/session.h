@@ -22,6 +22,7 @@
 #include "core/checkpoint.h"
 #include "core/user_tracer.h"
 #include "cpu/machine.h"
+#include "obs/stats_emitter.h"
 #include "trace/sink.h"
 #include "util/status.h"
 
@@ -122,7 +123,29 @@ struct SupervisorOptions {
      * like SIGKILL — once this many buffer fills have happened. 0 = off.
      */
     uint64_t kill_after_fills = 0;
+
+    // -- telemetry ---------------------------------------------------------
+    /**
+     * Metrics emitter ticked synchronously from the supervision loop:
+     * an unconditional "start" snapshot, interval-gated snapshots at
+     * slice boundaries, one after every checkpoint, and a "final" one
+     * before returning. Null disables streaming; the global registry is
+     * still published at the end of the run either way (for RUN.json
+     * final counters).
+     */
+    obs::StatsEmitter* emitter = nullptr;
 };
+
+/**
+ * Publishes the whole capture stack — machine (cpu.* / mmu.*), tracer
+ * (tracer.*) and optionally the sink's container tallies
+ * (trace.sink.*) — into `reg`. Called at every telemetry boundary by
+ * RunSupervised; callers can reuse it to refresh finals before writing
+ * a run manifest.
+ */
+void PublishCaptureMetrics(obs::Registry& reg, const cpu::Machine& machine,
+                           const AtumTracer& tracer,
+                           const trace::FileSink* sink);
 
 /**
  * The long-haul capture loop: RunTraced plus supervision. Steps the

@@ -76,6 +76,7 @@ Machine::DispatchException(ExcVector vector, uint32_t extra0, uint32_t extra1,
 
     set_pc(handler);
     last_step_faulted_ = true;
+    ++exceptions_;
 }
 
 void

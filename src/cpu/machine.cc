@@ -1,5 +1,6 @@
 #include "cpu/machine.h"
 
+#include "obs/metrics.h"
 #include "util/bitops.h"
 #include "util/logging.h"
 
@@ -288,6 +289,7 @@ Machine::FetchByte(uint8_t* out)
         for (int i = 0; i < 4; ++i)
             ibuf_bytes_[i] = static_cast<uint8_t>(word >> (8 * i));
         ibuf_valid_ = true;
+        ++ibuf_refills_;
     }
     *out = ibuf_bytes_[va & 3];
     regs_[isa::kRegPc] = va + 1;
@@ -314,6 +316,17 @@ Machine::StepOne()
             timer_pending_ = true;
         }
     }
+}
+
+void
+Machine::PublishMetrics(obs::Registry& reg) const
+{
+    reg.GetCounter("cpu.instructions").Set(icount_);
+    reg.GetCounter("cpu.ucycles").Set(ucycles_);
+    reg.GetCounter("cpu.exceptions").Set(exceptions_);
+    reg.GetCounter("cpu.ibuf_refills").Set(ibuf_refills_);
+    reg.GetGauge("cpu.halted").Set(halted_ ? 1 : 0);
+    mmu_.PublishMetrics(reg);
 }
 
 MachineSnapshot

@@ -28,6 +28,10 @@
 #include "util/serialize.h"
 #include "util/status.h"
 
+namespace atum::obs {
+class Registry;
+}
+
 namespace atum::cpu {
 
 /** CPU privilege modes. */
@@ -152,6 +156,19 @@ class Machine
 
     uint64_t icount() const { return icount_; }
     uint64_t ucycles() const { return ucycles_; }
+    /** Exception/interrupt dispatches performed so far. */
+    uint64_t exceptions_dispatched() const { return exceptions_; }
+    /** Instruction prefetch-buffer refills (one aligned longword each). */
+    uint64_t ibuf_refills() const { return ibuf_refills_; }
+
+    /**
+     * Publishes the machine's internal tallies (instructions, ucycles,
+     * exceptions, prefetch refills, TB and page-walk traffic) into `reg`
+     * as `cpu.*` / `mmu.*` counters. The tallies themselves are plain
+     * members updated on the interpreter hot path for free; publishing
+     * copies them out at snapshot boundaries (docs/METRICS.md).
+     */
+    void PublishMetrics(obs::Registry& reg) const;
 
     /**
      * Captures the complete architectural state (including a copy of
@@ -241,6 +258,10 @@ class Machine
     bool halted_ = false;
     uint64_t icount_ = 0;
     uint64_t ucycles_ = 0;
+    // Observability tallies (not checkpointed: metrics restart at zero on
+    // resume, by design — the checkpoint format stays frozen).
+    uint64_t exceptions_ = 0;
+    uint64_t ibuf_refills_ = 0;
     bool last_step_faulted_ = false;
 
     // Pending fault set by MicroRead/MicroWrite.

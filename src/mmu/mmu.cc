@@ -1,5 +1,6 @@
 #include "mmu/mmu.h"
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace atum::mmu {
@@ -120,6 +121,15 @@ Mmu::Walk(uint32_t vaddr, bool write, bool kernel_mode)
     res.paddr = ((pte & kPtePfnMask) << kPageShift) |
                 (vaddr & (kPageBytes - 1));
     return res;
+}
+
+void
+Mmu::PublishMetrics(obs::Registry& reg) const
+{
+    reg.GetCounter("mmu.tb_lookups").Set(tlb_.lookups());
+    reg.GetCounter("mmu.tb_misses").Set(tlb_.misses());
+    reg.GetCounter("mmu.tb_hits").Set(tlb_.lookups() - tlb_.misses());
+    reg.GetCounter("mmu.pte_reads").Set(pte_reads_);
 }
 
 util::Status

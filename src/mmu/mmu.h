@@ -31,6 +31,10 @@
 #include "mmu/tlb.h"
 #include "ucode/control_store.h"
 
+namespace atum::obs {
+class Registry;
+}
+
 namespace atum::mmu {
 
 /** PTE field helpers. */
@@ -107,6 +111,13 @@ class Mmu
 
     /** Count of PTE fetches performed by table walks. */
     uint64_t pte_reads() const { return pte_reads_; }
+
+    /**
+     * Publishes TB and page-walk tallies into `reg` as `mmu.*` counters
+     * (lookups, hits, misses, pte_reads). Snapshot-time copy; the hot
+     * translation path keeps its plain counters.
+     */
+    void PublishMetrics(obs::Registry& reg) const;
 
     /** Serializes MMU registers, statistics and the TB (checkpoint hook). */
     util::Status Save(util::StateWriter& w) const;

@@ -1,0 +1,115 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+
+namespace atum::obs {
+
+uint64_t
+HistogramSnapshot::ValueAtQuantile(double q) const
+{
+    if (count == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank of the target sample, 1-based; ceil without float error.
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+    if (rank == 0)
+        rank = 1;
+    uint64_t seen = 0;
+    for (const auto& [index, n] : buckets) {
+        seen += n;
+        if (seen >= rank)
+            return Histogram::BucketUpperBound(index);
+    }
+    return Histogram::BucketUpperBound(buckets.back().first);
+}
+
+std::string
+RegistrySnapshot::ToText() const
+{
+    std::ostringstream os;
+    for (const auto& [name, value] : counters)
+        os << name << " = " << value << "\n";
+    for (const auto& [name, value] : gauges)
+        os << name << " = " << value << "\n";
+    for (const auto& [name, h] : histograms) {
+        os << name << ": count=" << h.count << " sum=" << h.sum
+           << " p50=" << h.p50() << " p99=" << h.p99() << "\n";
+    }
+    return os.str();
+}
+
+Counter&
+Registry::GetCounter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<Counter>& slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge&
+Registry::GetGauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<Gauge>& slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram&
+Registry::GetHistogram(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<Histogram>& slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+RegistrySnapshot
+Registry::Snapshot() const
+{
+    RegistrySnapshot snap;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, counter] : counters_)
+        snap.counters.emplace(name, counter->value());
+    for (const auto& [name, gauge] : gauges_)
+        snap.gauges.emplace(name, gauge->value());
+    for (const auto& [name, hist] : histograms_) {
+        HistogramSnapshot h;
+        h.count = hist->count();
+        h.sum = hist->sum();
+        for (unsigned i = 0; i < Histogram::kBuckets; ++i) {
+            if (const uint64_t n = hist->BucketCount(i); n != 0)
+                h.buckets.emplace_back(i, n);
+        }
+        snap.histograms.emplace(name, std::move(h));
+    }
+    return snap;
+}
+
+void
+Registry::Reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, counter] : counters_)
+        counter->Set(0);
+    for (auto& [name, gauge] : gauges_)
+        gauge->Set(0);
+    for (auto& [name, hist] : histograms_)
+        hist->Reset();
+}
+
+Registry&
+Registry::Global()
+{
+    static Registry* registry = new Registry;
+    return *registry;
+}
+
+}  // namespace atum::obs

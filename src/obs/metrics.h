@@ -1,0 +1,233 @@
+#ifndef ATUM_OBS_METRICS_H_
+#define ATUM_OBS_METRICS_H_
+
+/**
+ * @file
+ * The metrics registry: named counters, gauges and log2-bucket histograms
+ * shared by every layer of the capture/replay stack.
+ *
+ * Design constraints, in order:
+ *
+ *  1. Lock-cheap. Instrument updates are single relaxed atomic RMWs; the
+ *     registry mutex is touched only on first lookup of a name (layers
+ *     cache the returned reference) and on snapshot. Nothing on a hot
+ *     path blocks, and concurrent updates from replay workers are exact.
+ *
+ *  2. TSan-clean. All cross-thread data flow goes through std::atomic.
+ *     A snapshot taken while writers are mid-update observes each value
+ *     atomically (no torn reads); counter totals are monotone between
+ *     snapshots.
+ *
+ *  3. Removable. `-DATUM_METRICS=OFF` compiles every update to nothing,
+ *     which is the baseline the 3%-overhead budget in ISSUE 4 is measured
+ *     against. The registry and emitter still exist (they just report
+ *     zeros) so no call site needs #ifdefs.
+ *
+ * Update semantics by layer (documented in docs/METRICS.md):
+ *  - event counters (`Add`) accumulate process-wide across instances —
+ *    used by cold paths (drains, chunk flushes, sweep configs);
+ *  - published counters/gauges (`Set`) mirror a live object's internal
+ *    tally at snapshot time — used for per-instruction tallies that are
+ *    too hot to update atomically (cpu.*, mmu.*).
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef ATUM_METRICS_ENABLED
+#define ATUM_METRICS_ENABLED 1
+#endif
+
+namespace atum::obs {
+
+/** A monotonically-increasing (or published) 64-bit counter. */
+class Counter
+{
+  public:
+    void Add(uint64_t delta = 1)
+    {
+#if ATUM_METRICS_ENABLED
+        value_.fetch_add(delta, std::memory_order_relaxed);
+#else
+        (void)delta;
+#endif
+    }
+
+    /** Publishes an externally-maintained tally (see file comment). */
+    void Set(uint64_t value)
+    {
+#if ATUM_METRICS_ENABLED
+        value_.store(value, std::memory_order_relaxed);
+#else
+        (void)value;
+#endif
+    }
+
+    uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** A point-in-time signed value (queue depth, degraded flag, slack). */
+class Gauge
+{
+  public:
+    void Set(int64_t value)
+    {
+#if ATUM_METRICS_ENABLED
+        value_.store(value, std::memory_order_relaxed);
+#else
+        (void)value;
+#endif
+    }
+
+    void Add(int64_t delta)
+    {
+#if ATUM_METRICS_ENABLED
+        value_.fetch_add(delta, std::memory_order_relaxed);
+#else
+        (void)delta;
+#endif
+    }
+
+    int64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<int64_t> value_{0};
+};
+
+/**
+ * A log2-bucketed histogram of non-negative integer samples (latencies
+ * in microseconds, sizes in bytes). Bucket i counts samples in
+ * [2^i, 2^(i+1)); samples 0 and 1 both land in bucket 0, matching
+ * util::Log2Histogram. Concurrent Adds are exact (each bucket and the
+ * count/sum are independent relaxed atomics); a concurrent snapshot may
+ * observe a sample in `count` before `sum` or vice versa, which is the
+ * documented (and tested) consistency: each field is itself torn-free.
+ */
+class Histogram
+{
+  public:
+    static constexpr unsigned kBuckets = 64;
+
+    void Add(uint64_t sample)
+    {
+#if ATUM_METRICS_ENABLED
+        buckets_[BucketOf(sample)].fetch_add(1, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(sample, std::memory_order_relaxed);
+#else
+        (void)sample;
+#endif
+    }
+
+    uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+    uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+    uint64_t BucketCount(unsigned i) const
+    {
+        return i < kBuckets ? buckets_[i].load(std::memory_order_relaxed)
+                            : 0;
+    }
+
+    /**
+     * Zeroes every field. Only meaningful while no concurrent Adds are
+     * in flight (test/bench isolation); a racing Add may survive or be
+     * split across fields, but each store is still atomic.
+     */
+    void Reset()
+    {
+        for (auto& b : buckets_)
+            b.store(0, std::memory_order_relaxed);
+        count_.store(0, std::memory_order_relaxed);
+        sum_.store(0, std::memory_order_relaxed);
+    }
+
+    /** Bucket index of a sample: floor(log2(max(sample, 1))). */
+    static unsigned BucketOf(uint64_t sample)
+    {
+        if (sample < 2)
+            return 0;
+        return 63u - static_cast<unsigned>(__builtin_clzll(sample));
+    }
+
+    /** Inclusive upper bound of bucket i (2^(i+1) - 1). */
+    static uint64_t BucketUpperBound(unsigned i)
+    {
+        return i >= 63 ? UINT64_MAX : (uint64_t{2} << i) - 1;
+    }
+
+  private:
+    std::atomic<uint64_t> buckets_[kBuckets] = {};
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+};
+
+/** Point-in-time copy of one histogram (only non-empty buckets kept). */
+struct HistogramSnapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    /** (bucket index, count) pairs, ascending by index. */
+    std::vector<std::pair<unsigned, uint64_t>> buckets;
+
+    /**
+     * Upper bound of the bucket containing the q-th quantile sample
+     * (q in [0,1]); 0 when empty. Log2 buckets bound the estimate to a
+     * factor of two, which is plenty for drain/write latency dashboards.
+     */
+    uint64_t ValueAtQuantile(double q) const;
+    uint64_t p50() const { return ValueAtQuantile(0.50); }
+    uint64_t p99() const { return ValueAtQuantile(0.99); }
+};
+
+/** Point-in-time copy of a whole registry, sorted by name. */
+struct RegistrySnapshot {
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, int64_t> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+
+    /** Multi-line human-readable rendering (atum-report --stats). */
+    std::string ToText() const;
+};
+
+/**
+ * Owns every named instrument. Lookup creates on first use and returns a
+ * reference that stays valid for the registry's lifetime, so layers
+ * resolve names once (constructor) and update lock-free thereafter.
+ */
+class Registry
+{
+  public:
+    Counter& GetCounter(const std::string& name);
+    Gauge& GetGauge(const std::string& name);
+    Histogram& GetHistogram(const std::string& name);
+
+    RegistrySnapshot Snapshot() const;
+
+    /** Resets every instrument to zero (tests and bench isolation). */
+    void Reset();
+
+    /** The process-wide default registry. */
+    static Registry& Global();
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace atum::obs
+
+#endif  // ATUM_OBS_METRICS_H_

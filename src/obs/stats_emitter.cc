@@ -1,0 +1,177 @@
+#include "obs/stats_emitter.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace atum::obs {
+
+uint64_t
+WallClockMs()
+{
+    using namespace std::chrono;
+    return static_cast<uint64_t>(
+        duration_cast<milliseconds>(system_clock::now().time_since_epoch())
+            .count());
+}
+
+namespace {
+
+void
+AppendSnapshotFields(util::JsonWriter& w, const RegistrySnapshot& snapshot)
+{
+    w.Key("counters");
+    w.BeginObject();
+    for (const auto& [name, value] : snapshot.counters)
+        w.KeyValue(name, value);
+    w.EndObject();
+
+    w.Key("gauges");
+    w.BeginObject();
+    for (const auto& [name, value] : snapshot.gauges)
+        w.KeyValue(name, value);
+    w.EndObject();
+
+    w.Key("histograms");
+    w.BeginObject();
+    for (const auto& [name, h] : snapshot.histograms) {
+        w.Key(name);
+        w.BeginObject();
+        w.KeyValue("count", h.count);
+        w.KeyValue("sum", h.sum);
+        w.KeyValue("p50", h.p50());
+        w.KeyValue("p99", h.p99());
+        w.Key("buckets");
+        w.BeginArray();
+        for (const auto& [index, n] : h.buckets) {
+            w.BeginArray();
+            w.Value(index);
+            w.Value(n);
+            w.EndArray();
+        }
+        w.EndArray();
+        w.EndObject();
+    }
+    w.EndObject();
+}
+
+}  // namespace
+
+std::string
+SnapshotToJsonLine(const RegistrySnapshot& snapshot, uint64_t seq,
+                   uint64_t ts_ms, const std::string& phase)
+{
+    util::JsonWriter w;
+    w.BeginObject();
+    w.KeyValue("schema", "atum-metrics-v1");
+    w.KeyValue("seq", seq);
+    w.KeyValue("ts_ms", ts_ms);
+    w.KeyValue("phase", phase);
+    AppendSnapshotFields(w, snapshot);
+    w.EndObject();
+    return w.TakeStr();
+}
+
+StatsEmitter::StatsEmitter(std::FILE* file, std::string path,
+                           Registry& registry,
+                           const StatsEmitterOptions& options)
+    : file_(file),
+      path_(std::move(path)),
+      registry_(registry),
+      options_(options)
+{
+}
+
+util::StatusOr<std::unique_ptr<StatsEmitter>>
+StatsEmitter::Open(const std::string& path, Registry& registry,
+                   const StatsEmitterOptions& options)
+{
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        return util::IoError("cannot open metrics file ", path, ": ",
+                             std::strerror(errno));
+    return std::unique_ptr<StatsEmitter>(
+        new StatsEmitter(file, path, registry, options));
+}
+
+StatsEmitter::~StatsEmitter()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+StatsEmitter::Emit(const std::string& phase)
+{
+    if (!status_.ok())
+        return;  // sticky failure: stop touching a dead file
+    const uint64_t now =
+        options_.now_ms ? options_.now_ms() : WallClockMs();
+    const std::string line =
+        SnapshotToJsonLine(registry_.Snapshot(), seq_, now, phase);
+    ++seq_;
+    // One line, flushed whole, so a tailer never sees a torn document.
+    if (std::fprintf(file_, "%s\n", line.c_str()) < 0 ||
+        std::fflush(file_) != 0) {
+        status_ = util::IoError("writing metrics to ", path_, ": ",
+                                std::strerror(errno));
+        Warn("metrics emission disabled: ", status_.ToString());
+        return;
+    }
+    ++lines_;
+    last_emit_ms_ = now;
+}
+
+void
+StatsEmitter::MaybeEmit(const std::string& phase)
+{
+    const uint64_t now =
+        options_.now_ms ? options_.now_ms() : WallClockMs();
+    if (lines_ != 0 && now - last_emit_ms_ < options_.interval_ms)
+        return;
+    Emit(phase);
+}
+
+util::Status
+WriteRunManifest(const std::string& path, const RunManifest& manifest)
+{
+    util::JsonWriter w;
+    w.BeginObject();
+    w.KeyValue("schema", "atum-run-v1");
+    w.KeyValue("tool", manifest.tool);
+    w.KeyValue("version", manifest.version);
+    w.KeyValue("build", manifest.build_type);
+    w.KeyValue("trace", manifest.trace_path);
+    w.KeyValue("started_ms", manifest.started_ms);
+    w.KeyValue("ended_ms", manifest.ended_ms);
+    w.KeyValue("exit_code", static_cast<int64_t>(manifest.exit_code));
+    w.KeyValue("stop_cause", manifest.stop_cause);
+    w.Key("config");
+    w.BeginObject();
+    for (const auto& [key, value] : manifest.config)
+        w.KeyValue(key, value);
+    w.EndObject();
+    AppendSnapshotFields(w, manifest.finals);
+    w.EndObject();
+
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        return util::IoError("cannot open run manifest ", path, ": ",
+                             std::strerror(errno));
+    const std::string& body = w.str();
+    util::Status status;
+    if (std::fwrite(body.data(), 1, body.size(), file) != body.size() ||
+        std::fputc('\n', file) == EOF) {
+        status = util::IoError("writing run manifest ", path, ": ",
+                               std::strerror(errno));
+    }
+    if (std::fclose(file) != 0 && status.ok())
+        status = util::IoError("closing run manifest ", path, ": ",
+                               std::strerror(errno));
+    return status;
+}
+
+}  // namespace atum::obs

@@ -1,0 +1,117 @@
+#ifndef ATUM_OBS_STATS_EMITTER_H_
+#define ATUM_OBS_STATS_EMITTER_H_
+
+/**
+ * @file
+ * Periodic registry snapshots as JSON Lines, plus the RUN.json manifest.
+ *
+ * The emitter is driven synchronously by whoever owns the run loop
+ * (core::RunSupervised ticks it at supervision-slice boundaries), so no
+ * emitter thread ever races the machine. Each line is one self-contained
+ * JSON document flushed immediately — `tail -f` and atum-top can follow
+ * a live capture. Schema (documented in docs/METRICS.md):
+ *
+ *   {"schema":"atum-metrics-v1","seq":N,"ts_ms":...,"phase":"interval",
+ *    "counters":{...},"gauges":{...},
+ *    "histograms":{"name":{"count":..,"sum":..,"p50":..,"p99":..,
+ *                          "buckets":[[i,n],...]}}}
+ *
+ * Emission failures are sticky and never abort the capture: metrics are
+ * a flight recorder, not a second point of failure.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace atum::obs {
+
+struct StatsEmitterOptions {
+    /** Minimum wall-clock gap between MaybeEmit() lines. */
+    uint64_t interval_ms = 1000;
+    /**
+     * Wall-clock source in milliseconds since the epoch; tests override
+     * it to get deterministic ts_ms values. Null = system clock.
+     */
+    std::function<uint64_t()> now_ms;
+};
+
+/** Milliseconds since the Unix epoch (system clock). */
+uint64_t WallClockMs();
+
+class StatsEmitter
+{
+  public:
+    /** Opens (truncates) `path` for JSONL snapshots of `registry`. */
+    static util::StatusOr<std::unique_ptr<StatsEmitter>> Open(
+        const std::string& path, Registry& registry,
+        const StatsEmitterOptions& options = {});
+
+    ~StatsEmitter();
+
+    StatsEmitter(const StatsEmitter&) = delete;
+    StatsEmitter& operator=(const StatsEmitter&) = delete;
+
+    /** Unconditionally snapshots and writes one line. */
+    void Emit(const std::string& phase);
+
+    /** Emits iff `interval_ms` has elapsed since the previous line. */
+    void MaybeEmit(const std::string& phase = "interval");
+
+    /** Lines successfully written. */
+    uint64_t lines() const { return lines_; }
+
+    /** First write failure, OK while healthy. Emission stops after the
+     *  first failure (the file is likely on a dead disk). */
+    const util::Status& status() const { return status_; }
+
+  private:
+    StatsEmitter(std::FILE* file, std::string path, Registry& registry,
+                 const StatsEmitterOptions& options);
+
+    std::FILE* file_;
+    std::string path_;
+    Registry& registry_;
+    StatsEmitterOptions options_;
+    uint64_t seq_ = 0;
+    uint64_t lines_ = 0;
+    uint64_t last_emit_ms_ = 0;
+    util::Status status_;
+};
+
+/** Serializes one snapshot as the canonical JSONL document. */
+std::string SnapshotToJsonLine(const RegistrySnapshot& snapshot,
+                               uint64_t seq, uint64_t ts_ms,
+                               const std::string& phase);
+
+/**
+ * The RUN.json manifest written next to every captured trace: enough to
+ * re-run, attribute and compare the capture without parsing prose.
+ */
+struct RunManifest {
+    std::string tool;          ///< "atum-capture"
+    std::string version;       ///< git describe (util/build_info.h)
+    std::string build_type;    ///< CMAKE_BUILD_TYPE
+    std::string trace_path;
+    uint64_t started_ms = 0;
+    uint64_t ended_ms = 0;
+    int exit_code = 0;
+    std::string stop_cause;    ///< "halted", "signal", ...
+    /** Flat key/value capture configuration (workloads, buffer size...). */
+    std::vector<std::pair<std::string, std::string>> config;
+    /** Final registry state. */
+    RegistrySnapshot finals;
+};
+
+/** Writes `manifest` to `path` as a single JSON document. */
+util::Status WriteRunManifest(const std::string& path,
+                              const RunManifest& manifest);
+
+}  // namespace atum::obs
+
+#endif  // ATUM_OBS_STATS_EMITTER_H_

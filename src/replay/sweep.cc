@@ -1,8 +1,10 @@
 #include "replay/sweep.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
+#include "obs/metrics.h"
 #include "replay/thread_pool.h"
 
 namespace atum::replay {
@@ -161,12 +163,29 @@ SweepRunner::Run(const std::vector<trace::Record>& records,
         jobs = 1;
     jobs = std::min<unsigned>(jobs, static_cast<unsigned>(configs.size()));
 
+    obs::Registry& registry = obs::Registry::Global();
+    registry.GetCounter("replay.sweeps").Add(1);
+    obs::Counter& configs_done = registry.GetCounter("replay.configs");
+    obs::Gauge& active_workers = registry.GetGauge("replay.active_workers");
+    obs::Histogram& config_wall_ms =
+        registry.GetHistogram("replay.config_wall_ms");
+
     // Each task owns its simulator and writes one pre-sized result slot;
-    // the trace is shared read-only. No synchronization on the hot path.
+    // the trace is shared read-only. No synchronization on the hot path —
+    // the metrics below are relaxed atomics, updated once per config.
     ThreadPool pool(jobs);
     for (std::size_t i = 0; i < configs.size(); ++i) {
-        pool.Submit([&records, &configs, &results, i] {
+        pool.Submit([&records, &configs, &results, &configs_done,
+                     &active_workers, &config_wall_ms, i] {
+            active_workers.Add(1);
+            const auto t0 = std::chrono::steady_clock::now();
             results[i] = ReplayOne(records, configs[i]);
+            config_wall_ms.Add(static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()));
+            configs_done.Add(1);
+            active_workers.Add(-1);
         });
     }
     pool.Wait();

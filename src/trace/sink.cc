@@ -1,10 +1,43 @@
 #include "trace/sink.h"
 
+#include <chrono>
 #include <utility>
 
 #include "util/logging.h"
 
 namespace atum::trace {
+
+MeteredByteSink::MeteredByteSink(std::unique_ptr<ByteSink> inner)
+    : inner_(std::move(inner)),
+      bytes_(&obs::Registry::Global().GetCounter("trace.sink.bytes")),
+      writes_(&obs::Registry::Global().GetCounter("trace.sink.writes")),
+      fsyncs_(&obs::Registry::Global().GetCounter("trace.sink.fsyncs")),
+      write_us_(&obs::Registry::Global().GetHistogram("trace.sink.write_us"))
+{
+}
+
+util::Status
+MeteredByteSink::Write(const void* data, size_t len)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    util::Status status = inner_->Write(data, len);
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    write_us_->Add(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count()));
+    writes_->Add(1);
+    if (status.ok())
+        bytes_->Add(len);
+    return status;
+}
+
+util::Status
+MeteredByteSink::Sync()
+{
+    util::Status status = inner_->Sync();
+    fsyncs_->Add(1);
+    return status;
+}
 
 FileSink::FileSink(const std::string& path)
 {
@@ -12,13 +45,13 @@ FileSink::FileSink(const std::string& path)
         FileByteSink::Open(path);
     if (!out.ok())
         Fatal(out.status().message());
-    out_ = std::move(*out);
+    out_ = std::make_unique<MeteredByteSink>(std::move(*out));
     writer_ = std::make_unique<Atf2Writer>(*out_);
 }
 
 FileSink::FileSink(std::unique_ptr<ByteSink> out,
                    const Atf2WriterOptions& options)
-    : out_(std::move(out))
+    : out_(std::make_unique<MeteredByteSink>(std::move(out)))
 {
     writer_ = std::make_unique<Atf2Writer>(*out_, options);
 }
@@ -36,7 +69,7 @@ FileSink::Open(const std::string& path, const Atf2WriterOptions& options)
 
 FileSink::FileSink(std::unique_ptr<ByteSink> out,
                    const Atf2ResumeState& state)
-    : out_(std::move(out))
+    : out_(std::make_unique<MeteredByteSink>(std::move(out)))
 {
     writer_ = std::make_unique<Atf2Writer>(*out_, Atf2Writer::ResumeFrom{state});
 }
@@ -88,6 +121,16 @@ FileSink::Close()
     if (close_status_.ok())
         close_status_ = out_status;
     return close_status_;
+}
+
+void
+FileSink::PublishMetrics(obs::Registry& reg) const
+{
+    if (!writer_)
+        return;
+    reg.GetCounter("trace.sink.records").Set(writer_->records());
+    reg.GetCounter("trace.sink.chunks").Set(writer_->chunks_written());
+    reg.GetCounter("trace.sink.file_bytes").Set(writer_->bytes_written());
 }
 
 util::StatusOr<std::unique_ptr<FileSource>>

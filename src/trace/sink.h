@@ -22,11 +22,38 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "trace/container.h"
 #include "trace/record.h"
 #include "util/status.h"
 
 namespace atum::trace {
+
+/**
+ * ByteSink decorator that meters the host-side write path: bytes and
+ * write calls (`trace.sink.bytes`, `trace.sink.writes`), fsyncs
+ * (`trace.sink.fsyncs`) and per-Write wall latency (`trace.sink.write_us`
+ * log2-µs histogram), all in the global metrics registry. Pure
+ * pass-through otherwise — statuses (including injected faults)
+ * propagate unchanged.
+ */
+class MeteredByteSink : public ByteSink
+{
+  public:
+    explicit MeteredByteSink(std::unique_ptr<ByteSink> inner);
+
+    util::Status Write(const void* data, size_t len) override;
+    util::Status Flush() override { return inner_->Flush(); }
+    util::Status Sync() override;
+    util::Status Close() override { return inner_->Close(); }
+
+  private:
+    std::unique_ptr<ByteSink> inner_;
+    obs::Counter* bytes_;
+    obs::Counter* writes_;
+    obs::Counter* fsyncs_;
+    obs::Histogram* write_us_;
+};
 
 /** Receives records drained from the trace buffer. */
 class TraceSink
@@ -125,6 +152,14 @@ class FileSink : public TraceSink
      * fails after Close().
      */
     util::StatusOr<Atf2ResumeState> SaveState();
+
+    /**
+     * Publishes container-level tallies into `reg` as `trace.sink.*`
+     * counters (records, chunks, file_bytes). The byte-path metrics
+     * (bytes/writes/fsyncs/write_us) are event-driven via
+     * MeteredByteSink and need no publishing.
+     */
+    void PublishMetrics(obs::Registry& reg) const;
 
   private:
     FileSink(std::unique_ptr<ByteSink> out, const Atf2ResumeState& state);

@@ -1,0 +1,410 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace atum::util {
+
+std::string
+JsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::Comma()
+{
+    if (need_comma_.back())
+        out_ += ',';
+    need_comma_.back() = true;
+}
+
+void
+JsonWriter::BeginObject()
+{
+    Comma();
+    out_ += '{';
+    need_comma_.push_back(false);
+}
+
+void
+JsonWriter::EndObject()
+{
+    out_ += '}';
+    need_comma_.pop_back();
+}
+
+void
+JsonWriter::BeginArray()
+{
+    Comma();
+    out_ += '[';
+    need_comma_.push_back(false);
+}
+
+void
+JsonWriter::EndArray()
+{
+    out_ += ']';
+    need_comma_.pop_back();
+}
+
+void
+JsonWriter::Key(const std::string& key)
+{
+    Comma();
+    out_ += '"';
+    out_ += JsonEscape(key);
+    out_ += "\":";
+    // The value that follows must not emit its own comma.
+    need_comma_.back() = false;
+}
+
+void
+JsonWriter::Value(const std::string& s)
+{
+    Comma();
+    out_ += '"';
+    out_ += JsonEscape(s);
+    out_ += '"';
+}
+
+void
+JsonWriter::Value(const char* s)
+{
+    Value(std::string(s));
+}
+
+void
+JsonWriter::Value(bool b)
+{
+    Comma();
+    out_ += b ? "true" : "false";
+}
+
+void
+JsonWriter::Value(uint64_t v)
+{
+    Comma();
+    out_ += std::to_string(v);
+}
+
+void
+JsonWriter::Value(int64_t v)
+{
+    Comma();
+    out_ += std::to_string(v);
+}
+
+void
+JsonWriter::Value(double d)
+{
+    Comma();
+    if (!std::isfinite(d)) {
+        out_ += "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out_ += buf;
+}
+
+void
+JsonWriter::Null()
+{
+    Comma();
+    out_ += "null";
+}
+
+uint64_t
+JsonValue::AsU64() const
+{
+    if (kind_ != Kind::kNumber || num_ < 0)
+        return 0;
+    return static_cast<uint64_t>(num_);
+}
+
+const JsonValue&
+JsonValue::Get(const std::string& key) const
+{
+    static const JsonValue kNull;
+    const auto it = object_.find(key);
+    return it == object_.end() ? kNull : it->second;
+}
+
+/** Recursive-descent parser over a borrowed string. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string& text) : text_(text) {}
+
+    StatusOr<JsonValue> Parse()
+    {
+        JsonValue v;
+        Status status = ParseValue(v, 0);
+        if (!status.ok())
+            return status;
+        SkipSpace();
+        if (pos_ != text_.size())
+            return Error("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    static constexpr unsigned kMaxDepth = 64;
+
+    Status Error(const std::string& what)
+    {
+        return InvalidArgument("JSON parse error at offset ", pos_, ": ",
+                               what);
+    }
+
+    void SkipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool Consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool ConsumeWord(const char* word)
+    {
+        const size_t len = std::char_traits<char>::length(word);
+        if (text_.compare(pos_, len, word) == 0) {
+            pos_ += len;
+            return true;
+        }
+        return false;
+    }
+
+    Status ParseValue(JsonValue& out, unsigned depth)
+    {
+        if (depth > kMaxDepth)
+            return Error("nesting too deep");
+        SkipSpace();
+        if (pos_ >= text_.size())
+            return Error("unexpected end of input");
+        const char c = text_[pos_];
+        if (c == '{')
+            return ParseObject(out, depth);
+        if (c == '[')
+            return ParseArray(out, depth);
+        if (c == '"') {
+            out.kind_ = JsonValue::Kind::kString;
+            return ParseString(out.str_);
+        }
+        if (ConsumeWord("true")) {
+            out.kind_ = JsonValue::Kind::kBool;
+            out.bool_ = true;
+            return OkStatus();
+        }
+        if (ConsumeWord("false")) {
+            out.kind_ = JsonValue::Kind::kBool;
+            out.bool_ = false;
+            return OkStatus();
+        }
+        if (ConsumeWord("null")) {
+            out.kind_ = JsonValue::Kind::kNull;
+            return OkStatus();
+        }
+        return ParseNumber(out);
+    }
+
+    Status ParseObject(JsonValue& out, unsigned depth)
+    {
+        out.kind_ = JsonValue::Kind::kObject;
+        ++pos_;  // '{'
+        SkipSpace();
+        if (Consume('}'))
+            return OkStatus();
+        while (true) {
+            SkipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return Error("expected object key");
+            std::string key;
+            if (Status s = ParseString(key); !s.ok())
+                return s;
+            SkipSpace();
+            if (!Consume(':'))
+                return Error("expected ':' after object key");
+            JsonValue value;
+            if (Status s = ParseValue(value, depth + 1); !s.ok())
+                return s;
+            out.object_.emplace(std::move(key), std::move(value));
+            SkipSpace();
+            if (Consume('}'))
+                return OkStatus();
+            if (!Consume(','))
+                return Error("expected ',' or '}' in object");
+        }
+    }
+
+    Status ParseArray(JsonValue& out, unsigned depth)
+    {
+        out.kind_ = JsonValue::Kind::kArray;
+        ++pos_;  // '['
+        SkipSpace();
+        if (Consume(']'))
+            return OkStatus();
+        while (true) {
+            JsonValue value;
+            if (Status s = ParseValue(value, depth + 1); !s.ok())
+                return s;
+            out.array_.push_back(std::move(value));
+            SkipSpace();
+            if (Consume(']'))
+                return OkStatus();
+            if (!Consume(','))
+                return Error("expected ',' or ']' in array");
+        }
+    }
+
+    Status ParseString(std::string& out)
+    {
+        ++pos_;  // opening quote
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return OkStatus();
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+            case '"':
+            case '\\':
+            case '/':
+                out += esc;
+                break;
+            case 'n':
+                out += '\n';
+                break;
+            case 'r':
+                out += '\r';
+                break;
+            case 't':
+                out += '\t';
+                break;
+            case 'b':
+                out += '\b';
+                break;
+            case 'f':
+                out += '\f';
+                break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return Error("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return Error("bad hex digit in \\u escape");
+                }
+                // Basic-plane only; encode as UTF-8. Surrogate pairs are
+                // not needed for any string this repo produces.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+            }
+            default:
+                return Error("unknown escape");
+            }
+        }
+        return Error("unterminated string");
+    }
+
+    Status ParseNumber(JsonValue& out)
+    {
+        const size_t start = pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        bool digits = false;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                digits = true;
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '-' ||
+                       c == '+') {
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (!digits)
+            return Error("expected a value");
+        out.kind_ = JsonValue::Kind::kNumber;
+        out.num_ = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                               nullptr);
+        return OkStatus();
+    }
+
+    const std::string& text_;
+    size_t pos_ = 0;
+};
+
+StatusOr<JsonValue>
+JsonValue::Parse(const std::string& text)
+{
+    return JsonParser(text).Parse();
+}
+
+}  // namespace atum::util

@@ -1,0 +1,132 @@
+#ifndef ATUM_UTIL_JSON_H_
+#define ATUM_UTIL_JSON_H_
+
+/**
+ * @file
+ * Minimal JSON support for the observability layer: a streaming writer
+ * (metrics JSONL, BENCH_*.json, RUN.json manifests) and a small
+ * recursive-descent parser (atum-top, schema tests). Deliberately tiny —
+ * no external dependency, no DOM mutation API, doubles for all numbers
+ * on the read side (counters in practice stay far below 2^53).
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace atum::util {
+
+/** Escapes `s` for inclusion inside a JSON string literal (no quotes). */
+std::string JsonEscape(const std::string& s);
+
+/**
+ * Appends JSON tokens to an owned string. The caller supplies structure
+ * (Begin/End pairs); the writer handles comma placement and escaping.
+ * Misuse (unbalanced Begin/End) is the caller's bug, not checked here.
+ */
+class JsonWriter
+{
+  public:
+    void BeginObject();
+    void EndObject();
+    void BeginArray();
+    void EndArray();
+
+    /** Emits `"key":` inside an object; follow with a value call. */
+    void Key(const std::string& key);
+
+    void Value(const std::string& s);
+    void Value(const char* s);
+    void Value(bool b);
+    void Value(uint64_t v);
+    void Value(int64_t v);
+    void Value(uint32_t v) { Value(static_cast<uint64_t>(v)); }
+    void Value(int v) { Value(static_cast<int64_t>(v)); }
+    /** Doubles are emitted with enough digits to round-trip; NaN and
+     *  infinities (not representable in JSON) are emitted as null. */
+    void Value(double d);
+    void Null();
+
+    /** Key+value in one call. */
+    template <typename T>
+    void KeyValue(const std::string& key, T&& value)
+    {
+        Key(key);
+        Value(std::forward<T>(value));
+    }
+
+    const std::string& str() const { return out_; }
+    std::string TakeStr() { return std::move(out_); }
+
+  private:
+    void Comma();
+
+    std::string out_;
+    /** Whether a value was already written at the current nesting depth
+     *  (one bit per depth; depth 0 is the top level). */
+    std::vector<bool> need_comma_ = {false};
+};
+
+/** A parsed JSON value (immutable tree). */
+class JsonValue
+{
+  public:
+    enum class Kind : uint8_t {
+        kNull,
+        kBool,
+        kNumber,
+        kString,
+        kArray,
+        kObject,
+    };
+
+    Kind kind() const { return kind_; }
+    bool is_null() const { return kind_ == Kind::kNull; }
+    bool is_object() const { return kind_ == Kind::kObject; }
+    bool is_array() const { return kind_ == Kind::kArray; }
+    bool is_number() const { return kind_ == Kind::kNumber; }
+    bool is_string() const { return kind_ == Kind::kString; }
+    bool is_bool() const { return kind_ == Kind::kBool; }
+
+    /** Value accessors; wrong-kind access returns a zero value. */
+    bool AsBool() const { return kind_ == Kind::kBool && bool_; }
+    double AsDouble() const { return kind_ == Kind::kNumber ? num_ : 0.0; }
+    uint64_t AsU64() const;
+    const std::string& AsString() const { return str_; }
+    const std::vector<JsonValue>& AsArray() const { return array_; }
+    const std::map<std::string, JsonValue>& AsObject() const
+    {
+        return object_;
+    }
+
+    /** Object member lookup; returns null-kind value when absent. */
+    const JsonValue& Get(const std::string& key) const;
+    bool Has(const std::string& key) const
+    {
+        return object_.find(key) != object_.end();
+    }
+
+    /**
+     * Parses one JSON document. Trailing garbage after the document is
+     * an error (a JSONL line holds exactly one document).
+     */
+    static StatusOr<JsonValue> Parse(const std::string& text);
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::kNull;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> array_;
+    std::map<std::string, JsonValue> object_;
+};
+
+}  // namespace atum::util
+
+#endif  // ATUM_UTIL_JSON_H_

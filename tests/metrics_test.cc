@@ -1,0 +1,256 @@
+// Unit tests for the obs metrics registry and the JSONL stats emitter:
+// concurrent-update exactness, log2 bucket geometry, snapshot
+// consistency under writers, and the atum-metrics-v1 line schema.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/stats_emitter.h"
+#include "util/json.h"
+
+namespace atum::obs {
+namespace {
+
+TEST(Counter, ConcurrentAddsAreExact)
+{
+    Registry registry;
+    Counter& counter = registry.GetCounter("test.hits");
+    constexpr int kThreads = 4;
+    constexpr uint64_t kPerThread = 100'000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&counter] {
+            for (uint64_t i = 0; i < kPerThread; ++i)
+                counter.Add(1);
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(Gauge, SignedSetAndAdd)
+{
+    Gauge gauge;
+    gauge.Set(-5);
+    EXPECT_EQ(gauge.value(), -5);
+    gauge.Add(12);
+    EXPECT_EQ(gauge.value(), 7);
+}
+
+TEST(Histogram, BucketBoundaries)
+{
+    // Samples 0 and 1 share bucket 0; every power of two opens a bucket.
+    EXPECT_EQ(Histogram::BucketOf(0), 0u);
+    EXPECT_EQ(Histogram::BucketOf(1), 0u);
+    EXPECT_EQ(Histogram::BucketOf(2), 1u);
+    EXPECT_EQ(Histogram::BucketOf(3), 1u);
+    EXPECT_EQ(Histogram::BucketOf(4), 2u);
+    EXPECT_EQ(Histogram::BucketOf(7), 2u);
+    EXPECT_EQ(Histogram::BucketOf(8), 3u);
+    EXPECT_EQ(Histogram::BucketOf(1023), 9u);
+    EXPECT_EQ(Histogram::BucketOf(1024), 10u);
+    EXPECT_EQ(Histogram::BucketOf(UINT64_MAX), 63u);
+
+    EXPECT_EQ(Histogram::BucketUpperBound(0), 1u);
+    EXPECT_EQ(Histogram::BucketUpperBound(1), 3u);
+    EXPECT_EQ(Histogram::BucketUpperBound(9), 1023u);
+    EXPECT_EQ(Histogram::BucketUpperBound(63), UINT64_MAX);
+
+    Histogram h;
+    h.Add(0);
+    h.Add(1);
+    h.Add(2);
+    h.Add(3);
+    h.Add(1024);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 1030u);
+    EXPECT_EQ(h.BucketCount(0), 2u);
+    EXPECT_EQ(h.BucketCount(1), 2u);
+    EXPECT_EQ(h.BucketCount(10), 1u);
+    EXPECT_EQ(h.BucketCount(2), 0u);
+}
+
+TEST(Histogram, ConcurrentAddsAreExact)
+{
+    Histogram h;
+    constexpr int kThreads = 4;
+    constexpr uint64_t kPerThread = 50'000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&h, t] {
+            for (uint64_t i = 0; i < kPerThread; ++i)
+                h.Add(static_cast<uint64_t>(t) * 100 + (i % 7));
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    EXPECT_EQ(h.count(), kThreads * kPerThread);
+    uint64_t bucket_total = 0;
+    for (unsigned i = 0; i < Histogram::kBuckets; ++i)
+        bucket_total += h.BucketCount(i);
+    EXPECT_EQ(bucket_total, kThreads * kPerThread);
+}
+
+TEST(Histogram, Quantiles)
+{
+    Registry registry;
+    Histogram& h = registry.GetHistogram("test.lat");
+    // 99 samples in bucket 3 ([8,15]) and one far outlier in bucket 10.
+    for (int i = 0; i < 99; ++i)
+        h.Add(10);
+    h.Add(1500);
+    const RegistrySnapshot snap = registry.Snapshot();
+    const HistogramSnapshot& hs = snap.histograms.at("test.lat");
+    EXPECT_EQ(hs.count, 100u);
+    EXPECT_EQ(hs.p50(), Histogram::BucketUpperBound(3));
+    EXPECT_EQ(hs.p99(), Histogram::BucketUpperBound(3));
+    EXPECT_EQ(hs.ValueAtQuantile(1.0), Histogram::BucketUpperBound(10));
+    EXPECT_EQ(HistogramSnapshot{}.p50(), 0u);
+}
+
+TEST(Registry, LookupIsStableAndSnapshotSorted)
+{
+    Registry registry;
+    Counter& a = registry.GetCounter("b.second");
+    Counter& b = registry.GetCounter("a.first");
+    EXPECT_EQ(&a, &registry.GetCounter("b.second"));
+    a.Add(2);
+    b.Add(1);
+    registry.GetGauge("g").Set(-3);
+    const RegistrySnapshot snap = registry.Snapshot();
+    ASSERT_EQ(snap.counters.size(), 2u);
+    EXPECT_EQ(snap.counters.begin()->first, "a.first");
+    EXPECT_EQ(snap.counters.at("b.second"), 2u);
+    EXPECT_EQ(snap.gauges.at("g"), -3);
+    EXPECT_NE(snap.ToText().find("b.second"), std::string::npos);
+}
+
+TEST(Registry, SnapshotWhileWritingIsMonotone)
+{
+    // Counter totals observed by repeated snapshots never decrease while
+    // a writer hammers them — the documented torn-free guarantee.
+    Registry registry;
+    Counter& counter = registry.GetCounter("mono");
+    std::thread writer([&counter] {
+        for (uint64_t i = 0; i < 200'000; ++i)
+            counter.Add(1);
+    });
+    uint64_t last = 0;
+    for (int i = 0; i < 50; ++i) {
+        const uint64_t seen = registry.Snapshot().counters.at("mono");
+        EXPECT_GE(seen, last);
+        last = seen;
+    }
+    writer.join();
+    EXPECT_EQ(registry.Snapshot().counters.at("mono"), 200'000u);
+}
+
+TEST(Registry, ResetZeroesEverything)
+{
+    Registry registry;
+    registry.GetCounter("c").Add(5);
+    registry.GetGauge("g").Set(9);
+    registry.GetHistogram("h").Add(100);
+    registry.Reset();
+    const RegistrySnapshot snap = registry.Snapshot();
+    EXPECT_EQ(snap.counters.at("c"), 0u);
+    EXPECT_EQ(snap.gauges.at("g"), 0);
+    EXPECT_EQ(snap.histograms.at("h").count, 0u);
+}
+
+// The golden schema check: a line produced by the emitter parses as one
+// JSON document with exactly the atum-metrics-v1 shape.
+TEST(StatsEmitter, JsonlLineMatchesSchema)
+{
+    Registry registry;
+    registry.GetCounter("cpu.instructions").Set(123456);
+    registry.GetGauge("tracer.degraded").Set(1);
+    Histogram& h = registry.GetHistogram("tracer.drain_us");
+    h.Add(5);
+    h.Add(300);
+
+    const std::string line =
+        SnapshotToJsonLine(registry.Snapshot(), /*seq=*/7,
+                           /*ts_ms=*/1700000000123, "interval");
+    auto parsed = util::JsonValue::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    const util::JsonValue& v = *parsed;
+    EXPECT_EQ(v.Get("schema").AsString(), "atum-metrics-v1");
+    EXPECT_EQ(v.Get("seq").AsU64(), 7u);
+    EXPECT_EQ(v.Get("ts_ms").AsU64(), 1700000000123u);
+    EXPECT_EQ(v.Get("phase").AsString(), "interval");
+    EXPECT_EQ(v.Get("counters").Get("cpu.instructions").AsU64(), 123456u);
+    EXPECT_EQ(v.Get("gauges").Get("tracer.degraded").AsDouble(), 1.0);
+    const util::JsonValue& hist =
+        v.Get("histograms").Get("tracer.drain_us");
+    EXPECT_EQ(hist.Get("count").AsU64(), 2u);
+    EXPECT_EQ(hist.Get("sum").AsU64(), 305u);
+    EXPECT_TRUE(hist.Get("p50").is_number());
+    EXPECT_TRUE(hist.Get("p99").is_number());
+    const auto& buckets = hist.Get("buckets").AsArray();
+    ASSERT_EQ(buckets.size(), 2u);  // bucket 2 (sample 5), bucket 8 (300)
+    EXPECT_EQ(buckets[0].AsArray()[0].AsU64(), 2u);
+    EXPECT_EQ(buckets[0].AsArray()[1].AsU64(), 1u);
+}
+
+TEST(StatsEmitter, EmitWritesTailableLines)
+{
+    Registry registry;
+    registry.GetCounter("c").Set(1);
+    const std::string path =
+        testing::TempDir() + "/metrics_emit_test.jsonl";
+    StatsEmitterOptions options;
+    options.interval_ms = 1000;
+    uint64_t fake_now = 1000;
+    options.now_ms = [&fake_now] { return fake_now; };
+    auto emitter = StatsEmitter::Open(path, registry, options);
+    ASSERT_TRUE(emitter.ok()) << emitter.status().ToString();
+
+    (*emitter)->Emit("start");
+    (*emitter)->MaybeEmit();  // same ms: suppressed by the interval
+    fake_now += 250;
+    (*emitter)->MaybeEmit();  // still inside the interval
+    fake_now += 1000;
+    (*emitter)->MaybeEmit();  // past the interval: emitted
+    (*emitter)->Emit("final");
+    EXPECT_EQ((*emitter)->lines(), 3u);
+    EXPECT_TRUE((*emitter)->status().ok());
+
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    int lines = 0;
+    uint64_t last_seq = 0;
+    std::string last_phase;
+    while (std::fgets(buf, sizeof buf, f)) {
+        auto parsed = util::JsonValue::Parse(std::string(buf));
+        ASSERT_TRUE(parsed.ok()) << "line " << lines << ": "
+                                 << parsed.status().ToString();
+        last_seq = parsed->Get("seq").AsU64();
+        last_phase = parsed->Get("phase").AsString();
+        ++lines;
+    }
+    std::fclose(f);
+    std::remove(path.c_str());
+    EXPECT_EQ(lines, 3);
+    EXPECT_EQ(last_phase, "final");
+    // Suppressed MaybeEmit calls still consume no sequence numbers.
+    EXPECT_EQ(last_seq, 2u);
+}
+
+TEST(StatsEmitter, OpenFailurePropagates)
+{
+    Registry registry;
+    auto emitter =
+        StatsEmitter::Open("/no/such/dir/metrics.jsonl", registry, {});
+    EXPECT_FALSE(emitter.ok());
+}
+
+}  // namespace
+}  // namespace atum::obs

@@ -10,9 +10,16 @@
 //                [--checkpoint-keep K] [--watchdog UCYCLES]
 //                [--deadline-ms MS]
 //   atum-capture --resume CKPT [--checkpoint BASE] [... supervision flags]
+//   atum-capture --version
 //
 // --pipeline N adds the IPC producer/consumer pair with N messages.
 // --user-only PID captures with the pre-ATUM baseline probe instead.
+//
+// Telemetry: --metrics-out FILE streams registry snapshots as JSON Lines
+// (schema atum-metrics-v1; follow live with atum-top FILE) at
+// --metrics-interval-ms granularity (default 1000). Every capture also
+// writes a <out>.run.json manifest — tool version, config, timing, exit
+// code and final counters — whether or not --metrics-out was given.
 //
 // Long captures: --checkpoint BASE writes rotating BASE.NNNNNN.atck
 // snapshots every --checkpoint-every buffer fills (default 8), keeping
@@ -43,8 +50,11 @@
 #include "core/user_tracer.h"
 #include "cpu/machine.h"
 #include "kernel/boot.h"
+#include "obs/metrics.h"
+#include "obs/stats_emitter.h"
 #include "trace/sink.h"
 #include "trace/stats.h"
+#include "util/build_info.h"
 #include "util/logging.h"
 #include "util/signals.h"
 #include "util/status.h"
@@ -86,6 +96,10 @@ struct Options {
     uint64_t deadline_ms = 0;
     uint64_t kill_after_fills = 0;  // test hook: emulate SIGKILL
     bool wedge_demo = false;        // boot a guest that can never progress
+
+    // -- telemetry ---------------------------------------------------------
+    std::string metrics_out;  // JSONL snapshot stream ("" = off)
+    uint64_t metrics_interval_ms = 1000;
 };
 
 std::vector<std::string>
@@ -154,8 +168,17 @@ ParseArgs(int argc, char** argv)
         else if (arg == "--kill-after-fills")
             opts.kill_after_fills =
                 std::strtoull(next().c_str(), nullptr, 0);
+        else if (arg == "--metrics-out")
+            opts.metrics_out = next();
+        else if (arg == "--metrics-interval-ms")
+            opts.metrics_interval_ms =
+                std::strtoull(next().c_str(), nullptr, 0);
         else if (arg == "--wedge-demo")
             opts.wedge_demo = true;
+        else if (arg == "--version") {
+            std::printf("%s\n", util::VersionString("atum-capture").c_str());
+            std::exit(util::kExitOk);
+        }
         else
             UsageError("unknown argument: ", arg,
                        " (see the header comment for usage)");
@@ -173,6 +196,9 @@ ParseArgs(int argc, char** argv)
         (!opts.checkpoint.empty() || opts.watchdog_ucycles != 0))
         UsageError("--user-only does not support checkpoint/watchdog "
                    "supervision");
+    if (opts.user_only_pid != 0 && !opts.metrics_out.empty())
+        UsageError("--metrics-out needs the supervised ATUM capture loop; "
+                   "--user-only runs unsupervised");
     return opts;
 }
 
@@ -253,10 +279,48 @@ MakeSupervision(const Options& opts, core::CheckpointRotator* rotator,
     return sup;
 }
 
+/** Flat key/value capture configuration for the run manifest. */
+std::vector<std::pair<std::string, std::string>>
+ManifestConfig(const Options& opts)
+{
+    std::string workloads;
+    for (const std::string& name : opts.workload_names) {
+        if (!workloads.empty())
+            workloads += ',';
+        workloads += name;
+    }
+    std::vector<std::pair<std::string, std::string>> config = {
+        {"workloads", workloads},
+        {"scale", std::to_string(opts.scale)},
+        {"timer", std::to_string(opts.timer)},
+        {"mem_mb", std::to_string(opts.mem_mb)},
+        {"buffer_kb", std::to_string(opts.buffer_kb)},
+        {"max_instructions", std::to_string(opts.max_instructions)},
+    };
+    if (opts.pipeline > 0)
+        config.emplace_back("pipeline", std::to_string(opts.pipeline));
+    if (opts.user_only_pid != 0)
+        config.emplace_back("user_only_pid",
+                            std::to_string(opts.user_only_pid));
+    if (!opts.resume.empty())
+        config.emplace_back("resume", opts.resume);
+    if (!opts.checkpoint.empty())
+        config.emplace_back("checkpoint", opts.checkpoint);
+    if (opts.watchdog_ucycles != 0)
+        config.emplace_back("watchdog_ucycles",
+                            std::to_string(opts.watchdog_ucycles));
+    if (opts.deadline_ms != 0)
+        config.emplace_back("deadline_ms",
+                            std::to_string(opts.deadline_ms));
+    if (!opts.metrics_out.empty())
+        config.emplace_back("metrics_out", opts.metrics_out);
+    return config;
+}
+
 int
 Finish(const Options& opts, const core::SessionResult& result,
        const cpu::Machine& machine, trace::FileSink& sink,
-       const std::string& out_path)
+       const std::string& out_path, uint64_t started_ms)
 {
     const util::Status close_status = sink.Close();
     PrintResult(result, machine, sink.count());
@@ -266,18 +330,55 @@ Finish(const Options& opts, const core::SessionResult& result,
     if (!result.checkpoint_status.ok())
         std::fprintf(stderr, "atum-capture: checkpointing: %s\n",
                      result.checkpoint_status.ToString().c_str());
+    int exit_code = ExitCodeForStop(result);
     if (!close_status.ok()) {
         std::fprintf(stderr, "atum-capture: closing %s: %s\n",
                      out_path.c_str(), close_status.ToString().c_str());
-        return util::ExitCodeFor(close_status);
+        exit_code = util::ExitCodeFor(close_status);
+    } else {
+        std::printf("wrote %s\n", out_path.c_str());
     }
-    std::printf("wrote %s\n", out_path.c_str());
-    (void)opts;
-    return ExitCodeForStop(result);
+
+    // The manifest is written last, once the exit code is known, so it
+    // describes the run's actual outcome. A manifest-write failure is a
+    // warning only — it must never change the capture's exit code.
+    obs::RunManifest manifest;
+    manifest.tool = "atum-capture";
+    manifest.version = util::kGitDescribe;
+    manifest.build_type = util::kBuildType;
+    manifest.trace_path = out_path;
+    manifest.started_ms = started_ms;
+    manifest.ended_ms = obs::WallClockMs();
+    manifest.exit_code = exit_code;
+    manifest.stop_cause = core::StopCauseName(result.stop_cause);
+    manifest.config = ManifestConfig(opts);
+    // Refresh the machine/sink tallies so the finals are current even on
+    // paths (e.g. --user-only) that bypass the supervised publish.
+    machine.PublishMetrics(obs::Registry::Global());
+    sink.PublishMetrics(obs::Registry::Global());
+    manifest.finals = obs::Registry::Global().Snapshot();
+    const util::Status manifest_status =
+        obs::WriteRunManifest(out_path + ".run.json", manifest);
+    if (!manifest_status.ok())
+        Warn("writing run manifest: ", manifest_status.ToString());
+
+    return exit_code;
+}
+
+/** Opens the JSONL metrics emitter when --metrics-out was given. */
+util::StatusOr<std::unique_ptr<obs::StatsEmitter>>
+OpenEmitter(const Options& opts)
+{
+    if (opts.metrics_out.empty())
+        return std::unique_ptr<obs::StatsEmitter>();
+    obs::StatsEmitterOptions eopts;
+    eopts.interval_ms = opts.metrics_interval_ms;
+    return obs::StatsEmitter::Open(opts.metrics_out,
+                                   obs::Registry::Global(), eopts);
 }
 
 int
-RunResumed(const Options& opts)
+RunResumed(const Options& opts, uint64_t started_ms)
 {
     util::StatusOr<core::Checkpoint> ckpt =
         core::Checkpoint::Load(opts.resume);
@@ -343,16 +444,27 @@ RunResumed(const Options& opts)
         MakeSupervision(opts, &rotator, sink->get(), next_meta,
                         meta.instructions_remaining);
 
+    util::StatusOr<std::unique_ptr<obs::StatsEmitter>> emitter =
+        OpenEmitter(opts);
+    if (!emitter.ok()) {
+        std::fprintf(stderr, "atum-capture: opening %s: %s\n",
+                     opts.metrics_out.c_str(),
+                     emitter.status().ToString().c_str());
+        return util::ExitCodeFor(emitter.status());
+    }
+    sup.emitter = emitter->get();
+
     const core::SessionResult result =
         core::RunSupervised(machine, tracer, sup);
-    return Finish(opts, result, machine, **sink, out);
+    return Finish(opts, result, machine, **sink, out, started_ms);
 }
 
 int
 Run(const Options& opts)
 {
+    const uint64_t started_ms = obs::WallClockMs();
     if (!opts.resume.empty())
-        return RunResumed(opts);
+        return RunResumed(opts, started_ms);
 
     cpu::Machine::Config config;
     config.mem_bytes = opts.mem_mb << 20;
@@ -387,7 +499,7 @@ Run(const Options& opts)
         kernel::BootSystem(machine, programs, boot_options);
         const core::SessionResult result =
             core::RunBaseline(machine, tracer, opts.max_instructions);
-        return Finish(opts, result, machine, **sink, opts.out);
+        return Finish(opts, result, machine, **sink, opts.out, started_ms);
     }
 
     core::AtumConfig tracer_config;
@@ -411,9 +523,20 @@ Run(const Options& opts)
     core::SupervisorOptions sup =
         MakeSupervision(opts, rotator.get(), sink->get(), meta,
                         opts.max_instructions);
+
+    util::StatusOr<std::unique_ptr<obs::StatsEmitter>> emitter =
+        OpenEmitter(opts);
+    if (!emitter.ok()) {
+        std::fprintf(stderr, "atum-capture: opening %s: %s\n",
+                     opts.metrics_out.c_str(),
+                     emitter.status().ToString().c_str());
+        return util::ExitCodeFor(emitter.status());
+    }
+    sup.emitter = emitter->get();
+
     const core::SessionResult result =
         core::RunSupervised(machine, tracer, sup);
-    return Finish(opts, result, machine, **sink, opts.out);
+    return Finish(opts, result, machine, **sink, opts.out, started_ms);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // Usage:
 //   atum-disasm --workload hash [--scale 1]
 //   atum-disasm --kernel [--mem-mb 4]
+//   atum-disasm --version
 //
 // Linear sweep; data regions (CASEL tables, embedded constants) stop the
 // sweep at the first undecodable byte, which is reported.
@@ -15,6 +16,7 @@
 #include "isa/disassembler.h"
 #include "kernel/kernel_builder.h"
 #include "kernel/layout.h"
+#include "util/build_info.h"
 #include "util/logging.h"
 #include "util/signals.h"
 #include "workloads/workloads.h"
@@ -71,6 +73,10 @@ Run(int argc, char** argv)
             kernel = true;
         else if (arg == "--mem-mb")
             mem_mb = std::strtoul(next().c_str(), nullptr, 0);
+        else if (arg == "--version") {
+            std::printf("%s\n", util::VersionString("atum-disasm").c_str());
+            return 0;
+        }
         else
             Fatal("unknown argument: ", arg);
     }

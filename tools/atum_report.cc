@@ -5,8 +5,14 @@
 //                [--sweep SPEC,SPEC,...] [--jobs N]
 //                [--flush-on-switch] [--pid-tags] [--no-kernel]
 //                [--tlb ENTRIES] [--working-sets] [--stack-distance]
+//                [--stats]
 //   atum-report trace.atf --verify
 //   atum-report trace.atf --salvage repaired.atf
+//   atum-report --version
+//
+// --stats appends a dump of the process's metrics registry (replay.*
+// counters, per-config wall-time histogram...) after the analyses — a
+// quick look at what the replay engine actually did.
 //
 // Default output is the trace-characterization summary (T1-style). Each
 // additional flag appends the corresponding analysis. --sweep replays
@@ -21,6 +27,7 @@
 // 2 usage error, 3 input missing/unreadable, 4 input corrupt
 // (--verify: damage found).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -31,7 +38,9 @@
 #include "analysis/working_set.h"
 #include "cache/cache.h"
 #include "cache/trace_driver.h"
+#include "obs/metrics.h"
 #include "replay/sweep.h"
+#include "util/build_info.h"
 #include "tlbsim/tlb_sim.h"
 #include "trace/container.h"
 #include "trace/sink.h"
@@ -57,6 +66,7 @@ struct Options {
     bool stack_distance = false;
     bool verify = false;        ///< scan and report damage, nothing else
     std::string salvage_out;    ///< write recovered records here
+    bool stats = false;         ///< dump the metrics registry at the end
 };
 
 /** Command-line mistakes exit with the usage code, not Fatal's 1. */
@@ -138,6 +148,12 @@ ParseArgs(int argc, char** argv)
             opts.verify = true;
         else if (arg == "--salvage")
             opts.salvage_out = next();
+        else if (arg == "--stats")
+            opts.stats = true;
+        else if (arg == "--version") {
+            std::printf("%s\n", util::VersionString("atum-report").c_str());
+            std::exit(util::kExitOk);
+        }
         else if (!arg.empty() && arg[0] != '-')
             opts.path = arg;
         else
@@ -203,6 +219,7 @@ Run(const Options& opts)
     if (opts.verify || !opts.salvage_out.empty())
         return RunSalvage(opts);
 
+    const auto load_start = std::chrono::steady_clock::now();
     util::StatusOr<std::vector<trace::Record>> loaded =
         trace::LoadTrace(opts.path);
     if (!loaded.ok()) {
@@ -211,6 +228,13 @@ Run(const Options& opts)
         return util::ExitCodeFor(loaded.status());
     }
     const std::vector<trace::Record>& records = *loaded;
+    auto& reg = obs::Registry::Global();
+    reg.GetCounter("report.records").Set(records.size());
+    reg.GetHistogram("report.load_us")
+        .Add(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - load_start)
+                .count()));
 
     if (opts.head > 0) {
         for (size_t i = 0; i < opts.head && i < records.size(); ++i) {
@@ -316,6 +340,10 @@ Run(const Options& opts)
         }
         std::printf("%s\n", per_pid.ToString().c_str());
     }
+
+    if (opts.stats)
+        std::printf("%s",
+                    obs::Registry::Global().Snapshot().ToText().c_str());
     return 0;
 }
 
