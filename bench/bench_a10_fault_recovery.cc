@@ -1,149 +1,128 @@
-// Ablation A10: crash-safety of the ATF2 trace container.
+// Ablation A10: crash-safety and recovery latency of the capture stack.
 //
-// One full-system capture is streamed through the Atf2Writer into a
-// fault-injecting sink under a battery of deterministic, seeded fault
-// plans — mid-stream write failures, short writes, in-flight bit flips,
-// and crash truncations. Each damaged container then goes through the
-// tolerant scanner, and the table reports how much of the capture
-// survived each failure.
+// Each row is a complete disaster drill through the chaos Vfs
+// (chaos/campaign.h): a supervised full-system capture with rotating
+// checkpoints runs against a seeded fault schedule — ENOSPC bursts, torn
+// checkpoint publishes, power cuts mid-drain — then is recovered the way
+// an operator would (resume from the newest durable checkpoint, or
+// tolerant salvage) and the no-silent-loss invariant battery is applied.
+// The run aborts on any violation.
 //
-// Hard invariants checked per plan (the run aborts if violated):
-//  - the scanner never reports more records than were written;
-//  - every record in the guaranteed prefix is bit-identical to the
-//    original capture at the same position (salvage >= valid prefix);
-//  - re-containerizing the salvage yields an intact file holding
-//    exactly the salvaged records — the --salvage round trip.
+// Reported per campaign: how much of the capture survived (deterministic
+// per seed), how much loss was loudly declared, and the wall-clock
+// latency of the recovery action itself — checkpoint load + trace reopen
+// + state restore — as p50/p90/p99 across every power-cut drill.
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "chaos/campaign.h"
 #include "common.h"
-#include "trace/container.h"
-#include "trace/fault.h"
+#include "io/chaos.h"
 #include "util/logging.h"
 #include "util/table.h"
 
 namespace atum {
 namespace {
 
-struct PlanOutcome {
+struct CampaignRow {
     std::string name;
-    uint64_t written_bytes = 0;
-    uint64_t salvaged = 0;
-    uint64_t prefix = 0;
-    uint32_t chunks_bad = 0;
-    bool sealed = false;
+    std::vector<std::string> campaigns;
+    uint64_t seeds = 0;
 };
+
+double
+Percentile(std::vector<uint64_t> sorted_us, double p)
+{
+    if (sorted_us.empty())
+        return 0.0;
+    const size_t idx = static_cast<size_t>(
+        p * static_cast<double>(sorted_us.size() - 1) / 100.0 + 0.5);
+    return static_cast<double>(sorted_us[std::min(idx,
+                                                  sorted_us.size() - 1)]);
+}
 
 int
 Run()
 {
-    const bench::Capture cap =
-        bench::CaptureFullSystem(bench::MixOfDegree(2));
-    const std::vector<trace::Record>& records = cap.records;
-    std::printf("A10: fault recovery, %zu captured records\n\n",
-                records.size());
+    const chaos::CampaignSpec spec;  // the standard drill shape
 
-    // A clean write establishes the container size the plans corrupt.
-    trace::MemoryByteSink clean;
-    if (!trace::WriteAtf2(clean, records).ok())
-        Fatal("clean container write failed");
-    const uint64_t container_bytes = clean.bytes().size();
+    // The fault-free drill establishes what "everything survived" means.
+    util::StatusOr<chaos::SeedResult> baseline =
+        chaos::ReplaySchedule(spec, io::ChaosSchedule{});
+    if (!baseline.ok() || !baseline->ok())
+        Fatal("A10: fault-free baseline drill failed");
+    const double total =
+        static_cast<double>(baseline->data_records);
+    std::printf("A10: fault recovery, %llu records per fault-free drill\n\n",
+                static_cast<unsigned long long>(baseline->data_records));
 
-    struct NamedPlan {
-        std::string name;
-        trace::FaultPlan plan;
+    const std::vector<CampaignRow> rows = {
+        {"powercut", {"powercut"}, 6},
+        {"enospc", {"enospc"}, 4},
+        {"torn-rename", {"torn-rename"}, 4},
+        {"mixed", {"powercut", "enospc", "torn-rename"}, 10},
     };
-    std::vector<NamedPlan> plans;
-    plans.push_back({"fail-write-8", trace::FaultPlan{}.FailWrite(8)});
-    plans.push_back(
-        {"short-write-20", trace::FaultPlan{}.ShortWrite(20, 100)});
-    plans.push_back(
-        {"flip-mid", trace::FaultPlan{}.FlipByte(container_bytes / 2)});
-    plans.push_back(
-        {"crash-25%", trace::FaultPlan{}.TruncateAt(container_bytes / 4)});
-    plans.push_back(
-        {"crash-90%",
-         trace::FaultPlan{}.TruncateAt(container_bytes * 9 / 10)});
-    for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
-        plans.push_back(
-            {"seeded-" + std::to_string(seed),
-             trace::FaultPlan::Random(seed, container_bytes, 3)});
-    }
 
-    std::vector<PlanOutcome> outcomes;
-    for (const NamedPlan& np : plans) {
-        trace::MemoryByteSink base;
-        trace::FaultySink faulty(base, np.plan);
-        trace::Atf2Writer writer(faulty);
-
-        // The capture loop treats the sink exactly as the tracer drain
-        // does: a refused append is retried once, then the record is
-        // dropped (the fault plans here fire each fault only once, so one
-        // retry always clears a transient write failure).
-        uint64_t dropped = 0;
-        for (const trace::Record& r : records) {
-            if (writer.Append(r).ok())
-                continue;
-            if (!writer.Append(r).ok())
-                ++dropped;
-        }
-        if (!writer.Seal().ok() && !writer.Seal().ok())
-            Warn("plan ", np.name, ": container could not be sealed");
-
-        std::vector<trace::Record> salvaged;
-        trace::MemoryByteSource source(base.bytes());
-        const trace::ScanReport report =
-            trace::ScanTrace(source, &salvaged);
-
-        // ---- invariants ------------------------------------------------
-        const uint64_t written = records.size() - dropped;
-        if (report.records_salvaged > written)
-            Fatal("plan ", np.name, ": salvaged ", report.records_salvaged,
-                  " of only ", written, " written records");
-        if (report.records_salvaged < report.valid_prefix_records)
-            Fatal("plan ", np.name, ": salvage below the valid prefix");
-        for (uint64_t i = 0; i < report.valid_prefix_records; ++i) {
-            if (!(salvaged[i] == records[i]))
-                Fatal("plan ", np.name, ": prefix record ", i,
-                      " not bit-identical");
-        }
-        trace::MemoryByteSink repaired;
-        if (!trace::WriteAtf2(repaired, salvaged).ok())
-            Fatal("plan ", np.name, ": salvage re-write failed");
-        std::vector<trace::Record> reread;
-        trace::MemoryByteSource repaired_source(repaired.bytes());
-        const trace::ScanReport verify =
-            trace::ScanTrace(repaired_source, &reread);
-        if (!verify.intact() || !(reread == salvaged))
-            Fatal("plan ", np.name, ": salvaged container not intact");
-
-        outcomes.push_back({np.name, base.bytes().size(),
-                            report.records_salvaged,
-                            report.valid_prefix_records, report.chunks_bad,
-                            report.sealed});
-    }
-
-    Table table({"plan", "bytes", "salvaged", "prefix", "bad-chunks",
-                 "sealed", "survival%"});
+    Table table({"campaign", "seeds", "faults", "cuts", "resumes",
+                 "salvages", "survival%min", "lost-max"});
     bench::BenchReport report("a10_fault_recovery");
-    for (const PlanOutcome& o : outcomes) {
-        report.Add("survival",
-                   100.0 * static_cast<double>(o.salvaged) /
-                       static_cast<double>(records.size()),
-                   "%", {{"plan", o.name}});
-        table.AddRow({o.name, std::to_string(o.written_bytes),
-                      std::to_string(o.salvaged), std::to_string(o.prefix),
-                      std::to_string(o.chunks_bad), o.sealed ? "yes" : "no",
-                      Table::Fmt(100.0 * static_cast<double>(o.salvaged) /
-                                     static_cast<double>(records.size()),
-                                 2)});
+    std::vector<uint64_t> recovery_us;
+    uint64_t drills = 0;
+
+    for (const CampaignRow& row : rows) {
+        chaos::CampaignSpec row_spec = spec;
+        row_spec.campaigns = row.campaigns;
+
+        double survival_min = 100.0;
+        uint64_t lost_max = 0;
+        util::StatusOr<chaos::CampaignResult> result = chaos::RunCampaign(
+            row_spec, /*first_seed=*/1, row.seeds,
+            [&](const chaos::SeedResult& r) {
+                if (!r.ok())
+                    Fatal("A10: invariant violated: ", r.Summary());
+                const double survival =
+                    100.0 * static_cast<double>(r.data_records) / total;
+                survival_min = std::min(survival_min, survival);
+                lost_max = std::max(lost_max, r.lost_records);
+                if (r.recovery_us > 0)
+                    recovery_us.push_back(r.recovery_us);
+            });
+        if (!result.ok())
+            Fatal("A10: campaign failed to run: ",
+                  result.status().ToString());
+        drills += result->seeds_run;
+
+        // Survival is deterministic per (campaign, seed) — exact-match
+        // material for the regression gate. Latency is wall time (banded).
+        report.Add("survival_min", survival_min, "%",
+                   {{"campaign", row.name}});
+        report.Add("declared_lost_max", static_cast<double>(lost_max),
+                   "records", {{"campaign", row.name}});
+        table.AddRow({row.name, std::to_string(result->seeds_run),
+                      std::to_string(result->faults_fired),
+                      std::to_string(result->power_cuts),
+                      std::to_string(result->resumes),
+                      std::to_string(result->salvages),
+                      Table::Fmt(survival_min, 2),
+                      std::to_string(lost_max)});
     }
     std::printf("%s\n", table.ToString().c_str());
-    std::printf("clean container: %llu bytes, all invariants held on %zu "
-                "fault plans\n",
-                static_cast<unsigned long long>(container_bytes),
-                outcomes.size());
+
+    std::sort(recovery_us.begin(), recovery_us.end());
+    const double p50 = Percentile(recovery_us, 50);
+    const double p90 = Percentile(recovery_us, 90);
+    const double p99 = Percentile(recovery_us, 99);
+    report.Add("recovery_latency_p50", p50, "us", {});
+    report.Add("recovery_latency_p90", p90, "us", {});
+    report.Add("recovery_latency_p99", p99, "us", {});
+    std::printf("recovery latency over %zu power-cut drills: "
+                "p50 %.0f us, p90 %.0f us, p99 %.0f us\n",
+                recovery_us.size(), p50, p90, p99);
+    std::printf("all invariants held on %llu drills\n",
+                static_cast<unsigned long long>(drills));
     return 0;
 }
 

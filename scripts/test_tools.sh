@@ -177,7 +177,7 @@ pipe_exit=$(cat "$TMP/pipe_status")
 # Observability: --version everywhere, metrics JSONL + RUN.json schemas,
 # the aggregate stats footer, and the atum-top one-shot renderer.
 
-for tool in atum-capture atum-report atum-disasm atum-top; do
+for tool in atum-capture atum-report atum-disasm atum-top atum-chaos; do
     expect_exit 0 "$BUILD/tools/$tool" --version
     grep -q "^$tool " "$TMP/out.txt" || {
         echo "FAIL: $tool --version output malformed" >&2
@@ -230,5 +230,29 @@ if command -v jq > /dev/null 2>&1; then
 else
     echo "note: jq not found, skipping JSON schema checks"
 fi
+
+# ---------------------------------------------------------------------------
+# Chaos campaigns: the seeded crash-drill driver (see docs/CHAOS.md).
+
+expect_exit 2 "$BUILD/tools/atum-chaos"
+expect_exit 2 "$BUILD/tools/atum-chaos" --no-such-flag
+expect_exit 2 "$BUILD/tools/atum-chaos" --campaign powercut --seeds 0
+expect_exit 3 "$BUILD/tools/atum-chaos" --replay "$TMP/absent.schedule"
+
+# --probe prints the op counts schedules are aimed into.
+expect_exit 0 "$BUILD/tools/atum-chaos" --probe --max-instructions 60000
+grep -q "^writes " "$TMP/out.txt"
+grep -q "^renames " "$TMP/out.txt"
+
+# A small seeded campaign upholds every invariant.
+expect_exit 0 "$BUILD/tools/atum-chaos" --campaign powercut,enospc \
+    --seeds 2 --max-instructions 60000
+grep -q "0 failing" "$TMP/out.txt"
+
+# Corpus schedules replay clean through the CLI too (they are also run
+# by chaos_test; this exercises the --replay file path end to end).
+expect_exit 0 "$BUILD/tools/atum-chaos" \
+    --replay "$SRC/tests/chaos_corpus/torn-rename.schedule"
+grep -q ": ok" "$TMP/out.txt"
 
 echo "tools OK"

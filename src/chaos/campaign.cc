@@ -1,0 +1,528 @@
+#include "chaos/campaign.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <sstream>
+
+#include "core/checkpoint.h"
+#include "core/session.h"
+#include "io/mem_vfs.h"
+#include "kernel/boot.h"
+#include "trace/container.h"
+#include "trace/sink.h"
+#include "util/logging.h"
+#include "workloads/workloads.h"
+
+namespace atum::chaos {
+
+namespace {
+
+// Every drill lives in a MemVfs, so the names are fixed and flat.
+constexpr char kTracePath[] = "trace.atf2";
+constexpr char kCkptBase[] = "ckpt";
+
+cpu::Machine::Config
+MachineConfigFor(const CampaignSpec&)
+{
+    cpu::Machine::Config config;
+    config.mem_bytes = 2u << 20;
+    config.timer_reload = 2000;
+    return config;
+}
+
+core::AtumConfig
+TracerConfigFor(const CampaignSpec& spec)
+{
+    core::AtumConfig config;
+    config.buffer_bytes = spec.buffer_bytes;
+    return config;
+}
+
+/**
+ * True when the schedule physically damages stored bytes (bit-flips) or
+ * tears writes mid-buffer (short writes): prefix-consistency and marker
+ * checks are about *loss*, not injected rot, so they stand down.
+ */
+bool
+ScheduleHasDamage(const io::ChaosSchedule& schedule)
+{
+    for (const io::ChaosOp& op : schedule.ops) {
+        if (op.kind == io::ChaosOpKind::kFlipWrite ||
+            op.kind == io::ChaosOpKind::kFlipRead ||
+            op.kind == io::ChaosOpKind::kShortWrite)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * A short write that keeps the whole buffer but reports failure makes
+ * the writer retry a chunk that already landed — duplication, the one
+ * case where the scan can legitimately recover MORE than was appended.
+ */
+bool
+ScheduleHasShortWrite(const io::ChaosSchedule& schedule)
+{
+    for (const io::ChaosOp& op : schedule.ops) {
+        if (op.kind == io::ChaosOpKind::kShortWrite)
+            return true;
+    }
+    return false;
+}
+
+/** Everything the harness knows about the pre-crash capture process. */
+struct CaptureOutcome {
+    util::Status open_status;
+    bool sink_opened = false;
+    core::SessionResult session;
+    util::Status close_status;
+    uint64_t tracer_records = 0;
+    uint64_t tracer_lost = 0;
+    bool end_degraded = false;
+    uint32_t ckpts_written = 0;
+    uint64_t next_seq = 1;
+};
+
+CaptureOutcome
+RunCapture(const CampaignSpec& spec, io::ChaosVfs& vfs)
+{
+    CaptureOutcome out;
+    const cpu::Machine::Config mconfig = MachineConfigFor(spec);
+    const core::AtumConfig tconfig = TracerConfigFor(spec);
+
+    cpu::Machine machine(mconfig);
+    util::StatusOr<std::unique_ptr<trace::FileSink>> sink =
+        trace::FileSink::Open(kTracePath,
+                              trace::Atf2WriterOptions{spec.chunk_records},
+                              vfs);
+    out.open_status = sink.status();
+    if (!sink.ok())
+        return out;
+    out.sink_opened = true;
+
+    core::AtumTracer tracer(machine, **sink, tconfig);
+    kernel::BootSystem(machine,
+                       {workloads::MakeWorkload(spec.workload, spec.scale)});
+
+    core::CheckpointRotator rotator(kCkptBase, spec.keep_checkpoints, 1, vfs);
+    core::SupervisorOptions sup;
+    sup.max_instructions = spec.max_instructions;
+    sup.stop_flag = vfs.cut_flag();
+    sup.checkpoints = &rotator;
+    sup.checkpoint_every_fills = spec.checkpoint_every_fills;
+    sup.file_sink = sink->get();
+    sup.meta.machine_config = mconfig;
+    sup.meta.tracer_config = tconfig;
+    sup.meta.trace_path = kTracePath;
+
+    out.session = core::RunSupervised(machine, tracer, sup);
+    out.close_status = (*sink)->Close();
+    out.tracer_records = tracer.records();
+    out.tracer_lost = tracer.lost_records();
+    out.end_degraded = tracer.degraded();
+    out.ckpts_written = rotator.written();
+    out.next_seq = rotator.next_sequence();
+    return out;
+}
+
+/** What a tolerant scan of the (recovered) trace found. */
+struct TraceFacts {
+    bool file_exists = false;
+    trace::ScanReport report;
+    std::vector<trace::Record> records;
+    uint64_t data = 0;          ///< non-marker records
+    uint64_t markers = 0;       ///< kLoss markers
+    uint32_t last_marker = 0;   ///< addr of the last kLoss marker
+};
+
+util::StatusOr<TraceFacts>
+ScanUniverse(io::Vfs& vfs)
+{
+    TraceFacts facts;
+    util::StatusOr<std::unique_ptr<trace::FileByteSource>> in =
+        trace::FileByteSource::Open(kTracePath, vfs);
+    if (!in.ok()) {
+        if (in.status().code() == util::StatusCode::kNotFound)
+            return facts;  // nothing durable was ever promised
+        return in.status();
+    }
+    facts.file_exists = true;
+    facts.report = trace::ScanTrace(**in, &facts.records);
+    for (const trace::Record& r : facts.records) {
+        if (r.type == trace::RecordType::kLoss) {
+            ++facts.markers;
+            facts.last_marker = r.addr;
+        } else {
+            ++facts.data;
+        }
+    }
+    return facts;
+}
+
+void
+Fail(SeedResult& r, const char* invariant, std::string detail)
+{
+    r.violations.push_back(InvariantViolation{invariant, std::move(detail)});
+}
+
+/** Round-trips the salvaged records through a fresh container. */
+void
+CheckSalvageRoundTrip(SeedResult& r, const TraceFacts& facts)
+{
+    if (facts.records.empty())
+        return;
+    trace::MemoryByteSink resealed;
+    const util::Status status = trace::WriteAtf2(resealed, facts.records);
+    if (!status.ok()) {
+        Fail(r, "prefix-consistency",
+             "salvaged records fail to re-serialize: " + status.ToString());
+        return;
+    }
+    trace::MemoryByteSource in(resealed.bytes());
+    const trace::ScanReport report = trace::ScanTrace(in, nullptr);
+    if (!report.intact() ||
+        report.records_salvaged != facts.records.size()) {
+        Fail(r, "prefix-consistency",
+             "salvage round-trip is not intact: " + report.ToString());
+    }
+}
+
+/**
+ * The full invariant battery for a trace whose owning session's final
+ * accounting is known (a fault-free close or a completed resume).
+ */
+void
+CheckAccountedTrace(SeedResult& r, const TraceFacts& facts,
+                    uint64_t appended, uint64_t lost, bool close_ok,
+                    bool end_degraded, bool has_damage, bool has_short,
+                    uint32_t chunk_records)
+{
+    std::ostringstream ctx;
+    ctx << " (appended=" << appended << " lost=" << lost
+        << " data=" << facts.data << " markers=" << facts.markers
+        << " chunks_bad=" << facts.report.chunks_bad
+        << " close_ok=" << close_ok << ")";
+
+    if (!facts.file_exists || !facts.report.recognized) {
+        if (appended > lost)
+            Fail(r, "accounting",
+                 "trace missing/unrecognized though records were "
+                 "delivered" + ctx.str());
+        return;
+    }
+
+    // I1 — accounting. Every appended record is either scanned back or
+    // declared lost; detected-corrupt chunks and an unsealed pending
+    // chunk bound the only permissible gap, and both are *loud* (scan
+    // issues / a failed close).
+    const uint64_t declared = facts.data + lost;
+    const uint64_t slack =
+        static_cast<uint64_t>(facts.report.chunks_bad) * chunk_records +
+        (close_ok ? 0 : chunk_records);
+    if (declared > appended && !has_short)
+        Fail(r, "accounting",
+             "more records recovered+declared-lost than were ever "
+             "appended" + ctx.str());
+    if (declared + slack < appended)
+        Fail(r, "accounting", "silent loss: recovered + declared-lost + "
+             "detected-damage bound < appended" + ctx.str());
+
+    // The in-stream loss marker: once the sink recovered (not degraded
+    // at the end), the stream documents the cumulative loss itself.
+    if (lost > 0 && !end_degraded && close_ok && !has_damage) {
+        const uint32_t want =
+            lost > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(lost);
+        if (facts.markers == 0 || facts.last_marker != want)
+            Fail(r, "accounting",
+                 "lost records but the stream's kLoss marker does not "
+                 "declare them" + ctx.str());
+    }
+
+    // I3 — prefix consistency (only meaningful without injected rot).
+    if (!has_damage) {
+        if (facts.report.chunks_bad != 0)
+            Fail(r, "prefix-consistency",
+                 "bad chunks without injected corruption" + ctx.str());
+        if (facts.report.valid_prefix_records !=
+            facts.report.records_salvaged)
+            Fail(r, "prefix-consistency",
+                 "salvageable records beyond the valid prefix" + ctx.str());
+        if (close_ok && !facts.report.intact())
+            Fail(r, "prefix-consistency",
+                 "clean close but the container is not intact" + ctx.str());
+    }
+
+    CheckSalvageRoundTrip(r, facts);
+}
+
+/** Reduced battery when only the durable prefix survives (no resume). */
+void
+CheckSalvagedTrace(SeedResult& r, const TraceFacts& facts,
+                   uint64_t max_appended, bool has_damage, bool has_short)
+{
+    if (!facts.file_exists || !facts.report.recognized)
+        return;  // a cut before the first sync promises nothing
+    if (facts.data > max_appended && !has_short) {
+        Fail(r, "accounting", "durable trace holds more records than the "
+             "capture ever appended");
+    }
+    if (!has_damage) {
+        if (facts.report.chunks_bad != 0)
+            Fail(r, "prefix-consistency",
+                 "bad chunks in the durable prefix without injected "
+                 "corruption: " + facts.report.ToString());
+        if (facts.report.valid_prefix_records !=
+            facts.report.records_salvaged)
+            Fail(r, "prefix-consistency",
+                 "salvageable records beyond the valid prefix: " +
+                     facts.report.ToString());
+    }
+    CheckSalvageRoundTrip(r, facts);
+}
+
+/**
+ * Post-crash recovery: newest loadable checkpoint wins; its absence when
+ * the session counted a durable write is THE no-silent-loss violation
+ * this subsystem exists to catch.
+ */
+void
+RecoverAfterCut(const CampaignSpec& spec, SeedResult& r,
+                const CaptureOutcome& cap, io::MemVfs& rebooted,
+                bool has_damage, bool has_short)
+{
+    const auto recovery_start = std::chrono::steady_clock::now();
+    const auto stop_recovery_clock = [&] {
+        r.recovery_us = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - recovery_start)
+                .count());
+    };
+    const core::CheckpointRotator paths(kCkptBase, spec.keep_checkpoints);
+    std::unique_ptr<core::Checkpoint> found;
+    for (uint64_t seq = cap.next_seq; seq-- > 1 && !found;) {
+        util::StatusOr<core::Checkpoint> ckpt =
+            core::Checkpoint::Load(paths.PathFor(seq), rebooted);
+        if (ckpt.ok() && ckpt->meta().has_sink_state)
+            found = std::make_unique<core::Checkpoint>(std::move(*ckpt));
+    }
+
+    if (found == nullptr) {
+        if (cap.ckpts_written > 0) {
+            Fail(r, "durable-checkpoint",
+                 "session counted " + std::to_string(cap.ckpts_written) +
+                     " checkpoints written but none is loadable after "
+                     "the crash");
+        }
+        util::StatusOr<TraceFacts> facts = ScanUniverse(rebooted);
+        stop_recovery_clock();
+        if (!facts.ok()) {
+            Fail(r, "prefix-consistency",
+                 "durable trace unreadable: " + facts.status().ToString());
+            return;
+        }
+        r.salvaged = facts->file_exists;
+        r.data_records = facts->data;
+        CheckSalvagedTrace(r, *facts, cap.tracer_records, has_damage,
+                           has_short);
+        return;
+    }
+
+    // I2 — the checkpoint names a trace high-water mark that SaveState
+    // made durable *before* the checkpoint was published; resume must
+    // find the trace at (or past) it.
+    util::StatusOr<std::unique_ptr<trace::FileSink>> sink =
+        trace::FileSink::OpenResumed(kTracePath, found->sink_state(),
+                                     rebooted);
+    if (!sink.ok()) {
+        Fail(r, "durable-checkpoint",
+             "loadable checkpoint but the trace cannot be resumed: " +
+                 sink.status().ToString());
+        return;
+    }
+
+    cpu::Machine machine(found->meta().machine_config);
+    core::AtumTracer tracer(machine, **sink, found->meta().tracer_config);
+    if (util::Status s = found->RestoreMachine(machine); !s.ok()) {
+        Fail(r, "durable-checkpoint",
+             "machine restore failed: " + s.ToString());
+        return;
+    }
+    if (util::Status s = found->RestoreTracer(tracer); !s.ok()) {
+        Fail(r, "durable-checkpoint",
+             "tracer restore failed: " + s.ToString());
+        return;
+    }
+    stop_recovery_clock();  // ready to continue the capture
+
+    uint64_t remaining = found->meta().instructions_remaining;
+    if (remaining == 0 || remaining == UINT64_MAX)
+        remaining = spec.max_instructions;
+    (void)core::RunTraced(machine, tracer, remaining);
+    const util::Status close_status = (*sink)->Close();
+
+    util::StatusOr<TraceFacts> facts = ScanUniverse(rebooted);
+    if (!facts.ok()) {
+        Fail(r, "prefix-consistency",
+             "recovered trace unreadable: " + facts.status().ToString());
+        return;
+    }
+    r.resumed = true;
+    r.data_records = facts->data;
+    r.lost_records = tracer.lost_records();
+    CheckAccountedTrace(r, *facts, tracer.records(), tracer.lost_records(),
+                        close_status.ok(), tracer.degraded(), has_damage,
+                        has_short, spec.chunk_records);
+}
+
+}  // namespace
+
+std::string
+SeedResult::Summary() const
+{
+    std::ostringstream os;
+    os << "seed " << seed << ": " << faults_fired << " faults";
+    if (power_cut)
+        os << ", power-cut";
+    os << (resumed ? ", resumed" : salvaged ? ", salvaged" : ", in-place");
+    os << ", " << data_records << " records";
+    if (lost_records > 0)
+        os << " + " << lost_records << " declared lost";
+    if (violations.empty()) {
+        os << ": ok";
+    } else {
+        os << ": " << violations.size() << " VIOLATIONS";
+        for (const InvariantViolation& v : violations)
+            os << " [" << v.invariant << "] " << v.detail;
+    }
+    return os.str();
+}
+
+util::StatusOr<io::OpCounts>
+ProbeOpCounts(const CampaignSpec& spec)
+{
+    io::MemVfs mem;
+    io::ChaosVfs vfs(mem, io::ChaosSchedule{});
+    const CaptureOutcome cap = RunCapture(spec, vfs);
+    if (!cap.sink_opened)
+        return cap.open_status;
+    if (!cap.close_status.ok())
+        return cap.close_status;
+    if (!cap.session.drain_status.ok())
+        return cap.session.drain_status;
+    return vfs.counts();
+}
+
+util::StatusOr<SeedResult>
+ReplaySchedule(const CampaignSpec& spec, const io::ChaosSchedule& schedule)
+{
+    SeedResult r;
+    r.seed = schedule.seed;
+    r.schedule = schedule;
+    const bool has_damage = ScheduleHasDamage(schedule);
+    const bool has_short = ScheduleHasShortWrite(schedule);
+
+    io::MemVfs mem;
+    io::ChaosVfs vfs(mem, schedule);
+    const CaptureOutcome cap = RunCapture(spec, vfs);
+    r.faults_fired = vfs.faults_fired();
+    r.power_cut = vfs.power_cut_fired();
+
+    if (!cap.sink_opened && !r.power_cut)
+        return cap.open_status;  // MemVfs cannot refuse Create otherwise
+
+    if (r.power_cut) {
+        // Reboot onto the crash-consistent state and recover.
+        io::MemVfs rebooted(vfs.snapshot());
+        RecoverAfterCut(spec, r, cap, rebooted, has_damage, has_short);
+        return r;
+    }
+
+    // The process survived its faults; its own books must balance.
+    util::StatusOr<TraceFacts> facts = ScanUniverse(mem);
+    if (!facts.ok()) {
+        Fail(r, "prefix-consistency",
+             "trace unreadable: " + facts.status().ToString());
+        return r;
+    }
+    r.data_records = facts->data;
+    r.lost_records = cap.tracer_lost;
+    CheckAccountedTrace(r, *facts, cap.tracer_records, cap.tracer_lost,
+                        cap.close_status.ok(), cap.end_degraded, has_damage,
+                        has_short, spec.chunk_records);
+    return r;
+}
+
+util::StatusOr<CampaignResult>
+RunCampaign(const CampaignSpec& spec, uint64_t first_seed, uint64_t seeds,
+            const std::function<void(const SeedResult&)>& on_seed)
+{
+    util::StatusOr<io::OpCounts> probe = ProbeOpCounts(spec);
+    if (!probe.ok())
+        return probe.status();
+
+    CampaignResult result;
+    for (uint64_t i = 0; i < seeds; ++i) {
+        const uint64_t seed = first_seed + i;
+        util::StatusOr<io::ChaosSchedule> schedule =
+            io::ChaosSchedule::Random(seed, spec.campaigns, *probe);
+        if (!schedule.ok())
+            return schedule.status();
+        util::StatusOr<SeedResult> seed_result =
+            ReplaySchedule(spec, *schedule);
+        if (!seed_result.ok())
+            return seed_result.status();
+        ++result.seeds_run;
+        result.faults_fired += seed_result->faults_fired;
+        if (seed_result->power_cut)
+            ++result.power_cuts;
+        if (seed_result->resumed)
+            ++result.resumes;
+        if (seed_result->salvaged)
+            ++result.salvages;
+        if (!seed_result->ok())
+            result.failures.push_back(*seed_result);
+        if (on_seed)
+            on_seed(*seed_result);
+    }
+    return result;
+}
+
+util::StatusOr<io::ChaosSchedule>
+Minimize(const CampaignSpec& spec, const io::ChaosSchedule& schedule)
+{
+    const auto fails = [&](const io::ChaosSchedule& s)
+        -> util::StatusOr<bool> {
+        util::StatusOr<SeedResult> r = ReplaySchedule(spec, s);
+        if (!r.ok())
+            return r.status();
+        return !r->ok();
+    };
+
+    util::StatusOr<bool> failing = fails(schedule);
+    if (!failing.ok())
+        return failing.status();
+    if (!*failing)
+        return schedule;  // nothing to preserve; return unchanged
+
+    io::ChaosSchedule current = schedule;
+    bool shrunk = true;
+    while (shrunk && current.ops.size() > 1) {
+        shrunk = false;
+        for (size_t i = 0; i < current.ops.size(); ++i) {
+            io::ChaosSchedule trial = current;
+            trial.ops.erase(trial.ops.begin() + static_cast<long>(i));
+            util::StatusOr<bool> still = fails(trial);
+            if (!still.ok())
+                return still.status();
+            if (*still) {
+                current = std::move(trial);
+                shrunk = true;
+                break;
+            }
+        }
+    }
+    return current;
+}
+
+}  // namespace atum::chaos

@@ -1,0 +1,143 @@
+#ifndef ATUM_CHAOS_CAMPAIGN_H_
+#define ATUM_CHAOS_CAMPAIGN_H_
+
+/**
+ * @file
+ * Seeded crash campaigns and the no-silent-loss invariant checker.
+ *
+ * One campaign iteration is a complete disaster drill, entirely inside a
+ * MemVfs (no host filesystem is touched):
+ *
+ *   1. roll a deterministic fault schedule for the seed (io/chaos.h),
+ *      aimed by a fault-free probe run's operation counts;
+ *   2. run a small supervised capture through a ChaosVfs executing that
+ *      schedule — faults land mid-drain, mid-checkpoint, mid-rename, or
+ *      the power dies outright;
+ *   3. recover the way an operator would: reboot onto the crash-
+ *      consistent state, resume from the newest loadable checkpoint, or
+ *      salvage the bare trace with the tolerant scanner;
+ *   4. check the no-silent-loss invariants (docs/CHAOS.md §Invariants):
+ *
+ *      I1 accounting — scanned data records + the tracer's loss tally
+ *         equals every record the tracer accepted; a non-zero tally is
+ *         documented in-stream by a kLoss marker carrying it. Loss may
+ *         exist, but it is *loud*.
+ *      I2 durable checkpoint — a checkpoint the session counted as
+ *         written is loadable after the crash, and the trace it names
+ *         reaches its high-water mark (SaveState syncs trace-first).
+ *      I3 prefix consistency — absent injected corruption, the durable
+ *         trace scans clean (no bad chunks) and salvage round-trips.
+ *
+ * A failing (seed, schedule) pair serializes to a small text file that
+ * replays the identical failure forever — tests/chaos_corpus/ collects
+ * them as regression tests. Minimize() shrinks a failing schedule to the
+ * fewest ops that still violate.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "io/chaos.h"
+#include "util/status.h"
+
+namespace atum::chaos {
+
+/** Shape of the capture each iteration runs (small but complete). */
+struct CampaignSpec {
+    /** Fault mix, e.g. {"powercut", "enospc"} (io/chaos.h names). */
+    std::vector<std::string> campaigns;
+    /** Workload (workloads::MakeWorkload name) and its scale. */
+    std::string workload = "grep";
+    uint32_t scale = 1;
+    /** Guest instruction budget per capture. */
+    uint64_t max_instructions = 200'000;
+    /** Trace-buffer bytes (small: many drains = many fault targets). */
+    uint32_t buffer_bytes = 8u << 10;
+    /** ATF2 chunk capacity in records. */
+    uint32_t chunk_records = 128;
+    /** Checkpoint cadence in buffer fills. */
+    uint64_t checkpoint_every_fills = 2;
+    /** Checkpoint retention window. */
+    uint32_t keep_checkpoints = 3;
+};
+
+/** One invariant breach, with enough detail to debug from the log. */
+struct InvariantViolation {
+    std::string invariant;  ///< "accounting" | "durable-checkpoint" | ...
+    std::string detail;
+};
+
+/** Outcome of one seed's crash drill. */
+struct SeedResult {
+    uint64_t seed = 0;
+    io::ChaosSchedule schedule;
+    uint32_t faults_fired = 0;
+    bool power_cut = false;
+    bool resumed = false;    ///< recovery went through a checkpoint
+    bool salvaged = false;   ///< recovery scanned the bare trace
+    uint64_t data_records = 0;  ///< non-marker records recovered
+    uint64_t lost_records = 0;  ///< loudly-declared loss
+    /**
+     * Wall time of the recovery action after a power cut — finding and
+     * loading the newest checkpoint, reopening the trace at its high-water
+     * mark and restoring machine+tracer (resume), or the tolerant salvage
+     * scan (no checkpoint). 0 when no cut fired (bench_a10 percentiles).
+     */
+    uint64_t recovery_us = 0;
+    std::vector<InvariantViolation> violations;
+
+    bool ok() const { return violations.empty(); }
+    /** One log line: seed, faults, recovery mode, verdict. */
+    std::string Summary() const;
+};
+
+/** Aggregate of a whole campaign. */
+struct CampaignResult {
+    uint64_t seeds_run = 0;
+    uint64_t faults_fired = 0;
+    uint64_t power_cuts = 0;
+    uint64_t resumes = 0;
+    uint64_t salvages = 0;
+    /** Failing seeds only (schedules are the repro artifacts). */
+    std::vector<SeedResult> failures;
+
+    bool ok() const { return failures.empty(); }
+};
+
+/**
+ * Runs the spec's capture fault-free and returns its operation counts —
+ * the address space random schedules aim their fault indices into.
+ * Deterministic per spec, so one probe serves a whole seed range.
+ */
+util::StatusOr<io::OpCounts> ProbeOpCounts(const CampaignSpec& spec);
+
+/**
+ * Runs one complete drill for an explicit schedule (the replay path for
+ * corpus files and minimization).
+ */
+util::StatusOr<SeedResult> ReplaySchedule(const CampaignSpec& spec,
+                                          const io::ChaosSchedule& schedule);
+
+/**
+ * Runs seeds [first_seed, first_seed + seeds): rolls each schedule from
+ * the shared probe and drills it. `on_seed` (may be null) observes every
+ * result as it completes (progress reporting, artifact writing).
+ */
+util::StatusOr<CampaignResult> RunCampaign(
+    const CampaignSpec& spec, uint64_t first_seed, uint64_t seeds,
+    const std::function<void(const SeedResult&)>& on_seed = nullptr);
+
+/**
+ * Greedy delta-debugging of a failing schedule: repeatedly drops ops
+ * whose removal keeps at least one invariant violated, until no single
+ * op can be removed. Returns the (still-failing) minimal schedule; if
+ * `schedule` does not fail at all, returns it unchanged.
+ */
+util::StatusOr<io::ChaosSchedule> Minimize(const CampaignSpec& spec,
+                                           const io::ChaosSchedule& schedule);
+
+}  // namespace atum::chaos
+
+#endif  // ATUM_CHAOS_CAMPAIGN_H_

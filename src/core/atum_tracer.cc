@@ -160,10 +160,13 @@ AtumTracer::Drain()
     uint32_t delivered = 0;
     const auto t0 = std::chrono::steady_clock::now();
     util::Status status = DeliverRange(&delivered, total);
-    for (uint32_t retry = 0; !status.ok() && retry < config_.drain_max_retries;
+    for (uint32_t retry = 0;
+         !status.ok() && status.code() != util::StatusCode::kNoSpace &&
+         retry < config_.drain_max_retries;
          ++retry) {
         // Bounded backoff: the freeze lengthens 1x, 2x, 4x... while the
-        // host-side sink sorts itself out.
+        // host-side sink sorts itself out. ENOSPC skips this: a full
+        // disk will not recover within a freeze, so degrade immediately.
         pause += config_.drain_retry_ucycles << retry;
         ++drain_retries_;
         status = DeliverRange(&delivered, total);
@@ -175,6 +178,8 @@ AtumTracer::Drain()
     if (!status.ok()) {
         degraded_ = true;
         ++loss_events_;
+        if (status.code() == util::StatusCode::kNoSpace)
+            ++enospc_events_;
         lost_records_ += total - delivered;
         last_drain_error_ = status;
         // One structured line so log scrapers can alert on degrades
@@ -221,6 +226,7 @@ AtumTracer::PublishMetrics(obs::Registry& reg) const
     reg.GetCounter("tracer.overhead_ucycles").Set(overhead_ucycles_);
     reg.GetCounter("tracer.lost_records").Set(lost_records_);
     reg.GetCounter("tracer.loss_events").Set(loss_events_);
+    reg.GetCounter("tracer.enospc_events").Set(enospc_events_);
     reg.GetCounter("tracer.drain_retries").Set(drain_retries_);
     reg.GetGauge("tracer.degraded").Set(degraded_ ? 1 : 0);
     reg.GetGauge("tracer.buffered_records").Set(buffered_records());
@@ -239,6 +245,7 @@ AtumTracer::Save(util::StateWriter& w) const
     w.Bool(degraded_);
     w.U64(lost_records_);
     w.U32(loss_events_);
+    w.U32(enospc_events_);
     w.U64(drain_retries_);
     w.U8(static_cast<uint8_t>(last_drain_error_.code()));
     w.Str(std::string(last_drain_error_.message()));
@@ -269,6 +276,7 @@ AtumTracer::Restore(util::StateReader& r)
     const bool degraded = r.Bool();
     const uint64_t lost = r.U64();
     const uint32_t loss_events = r.U32();
+    const uint32_t enospc_events = r.U32();
     const uint64_t retries = r.U64();
     const auto code = static_cast<util::StatusCode>(r.U8());
     const std::string message = r.Str();
@@ -282,6 +290,7 @@ AtumTracer::Restore(util::StateReader& r)
     degraded_ = degraded;
     lost_records_ = lost;
     loss_events_ = loss_events;
+    enospc_events_ = enospc_events;
     drain_retries_ = retries;
     last_drain_error_ = code == util::StatusCode::kOk
                             ? util::OkStatus()

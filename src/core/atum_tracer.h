@@ -58,7 +58,10 @@ struct AtumConfig {
     // pause, and if the sink still refuses the tracer degrades to
     // counting-only capture — records are tallied as lost, and a kLoss
     // marker is emitted at the next successful append so consumers can
-    // resynchronize around the gap (HMTT-style).
+    // resynchronize around the gap (HMTT-style). A kNoSpace failure
+    // skips the retries entirely: a full disk does not empty itself in
+    // a few hundred milliseconds, so the machine degrades immediately
+    // instead of stalling in pointless backoff.
     /** Retries per failed drain before degrading. */
     uint32_t drain_max_retries = 3;
     /** Micro-cycles charged for the first retry pause; doubles per retry
@@ -134,6 +137,8 @@ class AtumTracer
     uint32_t loss_events() const { return loss_events_; }
     /** Drain retry attempts that were needed (0 on a healthy sink). */
     uint64_t drain_retries() const { return drain_retries_; }
+    /** Drain failures that were out-of-space (each degraded instantly). */
+    uint32_t enospc_events() const { return enospc_events_; }
     /** The failure that triggered the most recent degrade. */
     const util::Status& last_drain_error() const { return last_drain_error_; }
 
@@ -172,6 +177,7 @@ class AtumTracer
     bool degraded_ = false;
     uint64_t lost_records_ = 0;
     uint32_t loss_events_ = 0;
+    uint32_t enospc_events_ = 0;
     uint64_t drain_retries_ = 0;
     util::Status last_drain_error_;
     /** Extraction-pause wall latency, log2 buckets of microseconds. */

@@ -1,9 +1,5 @@
 #include "core/checkpoint.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -277,10 +273,20 @@ WriteCheckpoint(trace::ByteSink& out, const CheckpointMeta& meta,
     return out.Flush();
 }
 
+namespace {
+bool g_checkpoint_dirsync_enabled = true;
+}  // namespace
+
+void
+SetCheckpointDirSyncForTest(bool enabled)
+{
+    g_checkpoint_dirsync_enabled = enabled;
+}
+
 util::Status
 WriteCheckpointFile(const std::string& path, const CheckpointMeta& meta,
                     const cpu::Machine& machine, const AtumTracer& tracer,
-                    const trace::Atf2ResumeState* sink_state)
+                    const trace::Atf2ResumeState* sink_state, io::Vfs& vfs)
 {
     // Atomic publish: write a sibling temp file, fsync it, then rename
     // over the target. A crash at any point leaves either the previous
@@ -289,7 +295,7 @@ WriteCheckpointFile(const std::string& path, const CheckpointMeta& meta,
     const std::string tmp = path + ".tmp";
     {
         util::StatusOr<std::unique_ptr<trace::FileByteSink>> out =
-            trace::FileByteSink::Open(tmp);
+            trace::FileByteSink::Open(tmp, vfs);
         if (!out.ok())
             return out.status();
         util::Status status =
@@ -300,26 +306,20 @@ WriteCheckpointFile(const std::string& path, const CheckpointMeta& meta,
         if (status.ok())
             status = close_status;
         if (!status.ok()) {
-            std::remove(tmp.c_str());
+            (void)vfs.Unlink(tmp);
             return status;
         }
     }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        const int err = errno;
-        std::remove(tmp.c_str());
-        return util::IoError("rename ", tmp, " -> ", path, ": ",
-                             std::strerror(err));
+    if (util::Status status = vfs.Rename(tmp, path); !status.ok()) {
+        (void)vfs.Unlink(tmp);
+        return status;
     }
-    // Best effort: make the rename itself durable by fsyncing the
-    // directory. Failure here is not fatal — the data is safe, only the
-    // name's durability across a whole-system crash is weakened.
-    std::string dir = ".";
-    if (const size_t slash = path.find_last_of('/');
-        slash != std::string::npos)
-        dir = path.substr(0, slash + 1);
-    if (const int fd = ::open(dir.c_str(), O_RDONLY); fd >= 0) {
-        (void)::fsync(fd);
-        ::close(fd);
+    // The rename is only a promise until the directory itself is synced:
+    // without this, a power cut can roll the namespace back and silently
+    // un-publish a checkpoint the session already counted as written.
+    if (g_checkpoint_dirsync_enabled) {
+        if (util::Status status = vfs.DirSync(path); !status.ok())
+            return status;
     }
     return util::OkStatus();
 }
@@ -422,10 +422,10 @@ Checkpoint::Read(trace::ByteSource& in)
 }
 
 util::StatusOr<Checkpoint>
-Checkpoint::Load(const std::string& path)
+Checkpoint::Load(const std::string& path, io::Vfs& vfs)
 {
     util::StatusOr<std::unique_ptr<trace::FileByteSource>> in =
-        trace::FileByteSource::Open(path);
+        trace::FileByteSource::Open(path, vfs);
     if (!in.ok())
         return in.status();
     return Read(**in);
@@ -458,9 +458,9 @@ Checkpoint::RestoreTracer(AtumTracer& tracer) const
 }
 
 CheckpointRotator::CheckpointRotator(std::string base, uint32_t keep,
-                                     uint64_t next_seq)
+                                     uint64_t next_seq, io::Vfs& vfs)
     : base_(std::move(base)), keep_(keep == 0 ? 1 : keep),
-      seq_(next_seq == 0 ? 1 : next_seq)
+      seq_(next_seq == 0 ? 1 : next_seq), vfs_(&vfs)
 {
 }
 
@@ -480,7 +480,7 @@ CheckpointRotator::Write(CheckpointMeta meta, const cpu::Machine& machine,
     meta.sequence = seq_;
     const std::string path = PathFor(seq_);
     const util::Status status =
-        WriteCheckpointFile(path, meta, machine, tracer, sink_state);
+        WriteCheckpointFile(path, meta, machine, tracer, sink_state, *vfs_);
     if (!status.ok())
         return status;
     last_path_ = path;
@@ -490,7 +490,7 @@ CheckpointRotator::Write(CheckpointMeta meta, const cpu::Machine& machine,
         // The checkpoint that just fell out of the retention window. A
         // failed remove is harmless (the file may belong to an earlier
         // series or already be gone).
-        std::remove(PathFor(seq_ - 1 - keep_).c_str());
+        (void)vfs_->Unlink(PathFor(seq_ - 1 - keep_));
     }
     return util::OkStatus();
 }

@@ -46,6 +46,7 @@
 
 #include "core/atum_tracer.h"
 #include "cpu/machine.h"
+#include "io/vfs.h"
 #include "trace/container.h"
 #include "util/status.h"
 
@@ -97,12 +98,25 @@ util::Status WriteCheckpoint(trace::ByteSink& out, const CheckpointMeta& meta,
                              const AtumTracer& tracer,
                              const trace::Atf2ResumeState* sink_state);
 
-/** WriteCheckpoint to `path` atomically: temp file + fsync + rename. */
+/**
+ * WriteCheckpoint to `path` atomically: temp file + fsync + rename +
+ * parent-directory fsync. Success means the checkpoint is durable under
+ * its final name; any failure (including the directory sync) is reported,
+ * because a checkpoint whose name a power cut can erase is no checkpoint.
+ */
 util::Status WriteCheckpointFile(const std::string& path,
                                  const CheckpointMeta& meta,
                                  const cpu::Machine& machine,
                                  const AtumTracer& tracer,
-                                 const trace::Atf2ResumeState* sink_state);
+                                 const trace::Atf2ResumeState* sink_state,
+                                 io::Vfs& vfs = io::RealVfs());
+
+/**
+ * Test-only: disables the parent-directory fsync in WriteCheckpointFile,
+ * reintroducing the durability bug the chaos campaign exists to catch
+ * (tests/chaos_test.cc proves the torn-rename campaign flags it).
+ */
+void SetCheckpointDirSyncForTest(bool enabled);
 
 /**
  * A parsed, CRC-verified checkpoint. Two-phase restore: Load (or Read)
@@ -115,7 +129,8 @@ class Checkpoint
     /** Reads and verifies a whole checkpoint stream. */
     static util::StatusOr<Checkpoint> Read(trace::ByteSource& in);
     /** Read() on a file; kNotFound/kIoError when unreadable. */
-    static util::StatusOr<Checkpoint> Load(const std::string& path);
+    static util::StatusOr<Checkpoint> Load(const std::string& path,
+                                           io::Vfs& vfs = io::RealVfs());
 
     const CheckpointMeta& meta() const { return meta_; }
     const trace::Atf2ResumeState& sink_state() const { return sink_state_; }
@@ -140,7 +155,8 @@ class Checkpoint
 class CheckpointRotator
 {
   public:
-    CheckpointRotator(std::string base, uint32_t keep, uint64_t next_seq = 1);
+    CheckpointRotator(std::string base, uint32_t keep, uint64_t next_seq = 1,
+                      io::Vfs& vfs = io::RealVfs());
 
     /**
      * Writes the next checkpoint in the series (atomically) and prunes
@@ -163,6 +179,7 @@ class CheckpointRotator
     std::string base_;
     uint32_t keep_;
     uint64_t seq_;
+    io::Vfs* vfs_;
     uint32_t written_ = 0;
     std::string last_path_;
 };

@@ -1,0 +1,94 @@
+#include "io/posix.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace atum::io {
+
+util::Status
+ErrnoStatus(int err, const std::string& context)
+{
+    const std::string message = context + ": " + std::strerror(err);
+    switch (err) {
+      case ENOSPC:
+#ifdef EDQUOT
+      case EDQUOT:
+#endif
+        return util::NoSpace(message);
+      case ENOENT:
+        return util::NotFound(message);
+      case EINTR:
+        return util::Interrupted(message);
+      default:
+        return util::IoError(message);
+    }
+}
+
+util::StatusOr<int>
+RetryOpen(const std::string& path, int flags, mode_t mode)
+{
+    for (;;) {
+        const int fd = ::open(path.c_str(), flags, mode);
+        if (fd >= 0)
+            return fd;
+        if (errno != EINTR)
+            return ErrnoStatus(errno, "open " + path);
+    }
+}
+
+util::Status
+RetryWriteAll(int fd, const void* data, size_t len, const std::string& path)
+{
+    const auto* p = static_cast<const uint8_t*>(data);
+    while (len > 0) {
+        const ssize_t n = ::write(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return ErrnoStatus(errno, "write " + path);
+        }
+        // A short write without an errno (e.g. just under the quota edge)
+        // is legal; keep pushing the remainder.
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return util::OkStatus();
+}
+
+util::StatusOr<size_t>
+RetryRead(int fd, void* data, size_t len, const std::string& path)
+{
+    for (;;) {
+        const ssize_t n = ::read(fd, data, len);
+        if (n >= 0)
+            return static_cast<size_t>(n);
+        if (errno != EINTR)
+            return ErrnoStatus(errno, "read " + path);
+    }
+}
+
+util::Status
+RetryFsync(int fd, const std::string& path)
+{
+    while (::fsync(fd) != 0) {
+        if (errno != EINTR)
+            return ErrnoStatus(errno, "fsync " + path);
+    }
+    return util::OkStatus();
+}
+
+util::Status
+CloseFd(int fd, const std::string& path)
+{
+    // POSIX leaves the fd state unspecified after EINTR; on Linux the
+    // descriptor is gone either way, and retrying risks closing a
+    // recycled fd. Treat EINTR as success.
+    if (::close(fd) != 0 && errno != EINTR)
+        return ErrnoStatus(errno, "close " + path);
+    return util::OkStatus();
+}
+
+}  // namespace atum::io

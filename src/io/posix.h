@@ -1,0 +1,56 @@
+#ifndef ATUM_IO_POSIX_H_
+#define ATUM_IO_POSIX_H_
+
+/**
+ * @file
+ * Thin, typed wrappers over the raw POSIX file calls.
+ *
+ * Every syscall the capture path makes goes through these helpers, which
+ * fold the two classic loose ends into the Status contract:
+ *
+ *  - EINTR: a signal arriving mid-call must not tear a trace chunk or a
+ *    checkpoint section, so read/write/fsync/open/close retry the call
+ *    until it completes or fails for a real reason;
+ *  - errno classes: a full disk (ENOSPC/EDQUOT) is kNoSpace — retrying
+ *    in microseconds is futile and the tracer should degrade instead of
+ *    burning backoff; a missing file is kNotFound; everything else is
+ *    kIoError with the strerror text attached.
+ *
+ * RealVfs (io/vfs.h) is the only intended caller; code above the Vfs seam
+ * never touches a file descriptor.
+ */
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+namespace atum::io {
+
+/** Maps an errno value to the typed Status classes described above;
+ *  `context` args prefix the message ("open /x: No such file..."). */
+util::Status ErrnoStatus(int err, const std::string& context);
+
+/** open(2) with EINTR retry; returns the fd. */
+util::StatusOr<int> RetryOpen(const std::string& path, int flags,
+                              mode_t mode = 0644);
+
+/** Writes all `len` bytes, continuing across EINTR and partial writes. */
+util::Status RetryWriteAll(int fd, const void* data, size_t len,
+                           const std::string& path);
+
+/** One read(2) with EINTR retry; returns bytes read (0 at end of file). */
+util::StatusOr<size_t> RetryRead(int fd, void* data, size_t len,
+                                 const std::string& path);
+
+/** fsync(2) with EINTR retry. */
+util::Status RetryFsync(int fd, const std::string& path);
+
+/** close(2); EINTR from close is treated as closed (Linux semantics). */
+util::Status CloseFd(int fd, const std::string& path);
+
+}  // namespace atum::io
+
+#endif  // ATUM_IO_POSIX_H_

@@ -136,7 +136,8 @@ StatsEmitter::MaybeEmit(const std::string& phase)
 }
 
 util::Status
-WriteRunManifest(const std::string& path, const RunManifest& manifest)
+WriteRunManifest(const std::string& path, const RunManifest& manifest,
+                 io::Vfs& vfs)
 {
     util::JsonWriter w;
     w.BeginObject();
@@ -157,21 +158,29 @@ WriteRunManifest(const std::string& path, const RunManifest& manifest)
     AppendSnapshotFields(w, manifest.finals);
     w.EndObject();
 
-    std::FILE* file = std::fopen(path.c_str(), "wb");
-    if (!file)
-        return util::IoError("cannot open run manifest ", path, ": ",
-                             std::strerror(errno));
-    const std::string& body = w.str();
-    util::Status status;
-    if (std::fwrite(body.data(), 1, body.size(), file) != body.size() ||
-        std::fputc('\n', file) == EOF) {
-        status = util::IoError("writing run manifest ", path, ": ",
-                               std::strerror(errno));
+    const std::string body = w.str() + "\n";
+    const std::string tmp = path + ".tmp";
+    {
+        util::StatusOr<std::unique_ptr<io::WritableFile>> file =
+            vfs.Create(tmp);
+        if (!file.ok())
+            return file.status();
+        util::Status status = (*file)->Write(body.data(), body.size());
+        if (status.ok())
+            status = (*file)->Sync();
+        const util::Status close_status = (*file)->Close();
+        if (status.ok())
+            status = close_status;
+        if (!status.ok()) {
+            (void)vfs.Unlink(tmp);
+            return status;
+        }
     }
-    if (std::fclose(file) != 0 && status.ok())
-        status = util::IoError("closing run manifest ", path, ": ",
-                               std::strerror(errno));
-    return status;
+    if (util::Status status = vfs.Rename(tmp, path); !status.ok()) {
+        (void)vfs.Unlink(tmp);
+        return status;
+    }
+    return vfs.DirSync(path);
 }
 
 }  // namespace atum::obs

@@ -26,6 +26,7 @@
 #include <memory>
 #include <string>
 
+#include "io/vfs.h"
 #include "obs/metrics.h"
 #include "util/status.h"
 
@@ -108,9 +109,15 @@ struct RunManifest {
     RegistrySnapshot finals;
 };
 
-/** Writes `manifest` to `path` as a single JSON document. */
+/**
+ * Writes `manifest` to `path` as a single JSON document, atomically
+ * (temp + fsync + rename + directory sync): the manifest is the "this
+ * run completed" witness, so a crash must leave either the whole
+ * document or nothing — never a torn one.
+ */
 util::Status WriteRunManifest(const std::string& path,
-                              const RunManifest& manifest);
+                              const RunManifest& manifest,
+                              io::Vfs& vfs = io::RealVfs());
 
 }  // namespace atum::obs
 

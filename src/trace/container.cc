@@ -1,10 +1,7 @@
 #include "trace/container.h"
 
-#include <cerrno>
 #include <cstring>
 #include <sstream>
-
-#include <unistd.h>
 
 #include "util/crc32.h"
 #include "util/logging.h"
@@ -55,13 +52,14 @@ Get64(const uint8_t* p)
            static_cast<uint64_t>(Get32(p + 4)) << 32;
 }
 
-std::string
-ErrnoMessage()
-{
-    return std::strerror(errno);
-}
-
 constexpr size_t kNpos = static_cast<size_t>(-1);
+
+/**
+ * Bound on consecutive kInterrupted results retried before giving up.
+ * Real EINTRs are already absorbed by io/posix.cc, so hitting this means
+ * a fault injector (or a pathological signal storm) is at work.
+ */
+constexpr int kMaxInterrupts = 100;
 
 /** First offset >= `from` holding a chunk or footer marker, or kNpos. */
 size_t
@@ -80,53 +78,34 @@ FindMarker(const std::vector<uint8_t>& b, size_t from)
 // ---------------------------------------------------------------------------
 // File-backed byte streams.
 
-FileByteSink::FileByteSink(std::FILE* file, std::string path)
-    : file_(file), path_(std::move(path))
+FileByteSink::FileByteSink(std::unique_ptr<io::WritableFile> file,
+                           std::string path)
+    : file_(std::move(file)), path_(std::move(path))
 {
 }
 
 util::StatusOr<std::unique_ptr<FileByteSink>>
-FileByteSink::Open(const std::string& path)
+FileByteSink::Open(const std::string& path, io::Vfs& vfs)
 {
-    std::FILE* file = std::fopen(path.c_str(), "wb");
-    if (file == nullptr)
-        return util::IoError("cannot open ", path, " for writing: ",
-                             ErrnoMessage());
-    return std::unique_ptr<FileByteSink>(new FileByteSink(file, path));
+    util::StatusOr<std::unique_ptr<io::WritableFile>> file =
+        vfs.Create(path);
+    if (!file.ok())
+        return file.status();
+    return std::unique_ptr<FileByteSink>(
+        new FileByteSink(std::move(*file), path));
 }
 
 util::StatusOr<std::unique_ptr<FileByteSink>>
-FileByteSink::OpenAt(const std::string& path, uint64_t offset)
+FileByteSink::OpenAt(const std::string& path, uint64_t offset, io::Vfs& vfs)
 {
-    std::FILE* file = std::fopen(path.c_str(), "r+b");
-    if (file == nullptr) {
-        if (errno == ENOENT)
-            return util::NotFound("no such trace file to resume: ", path);
-        return util::IoError("cannot reopen ", path, ": ", ErrnoMessage());
-    }
-    auto fail = [&](util::Status status) -> util::Status {
-        std::fclose(file);
-        return status;
-    };
-    if (std::fseek(file, 0, SEEK_END) != 0)
-        return fail(util::IoError("seek in ", path, ": ", ErrnoMessage()));
-    const long size = std::ftell(file);
-    if (size < 0)
-        return fail(util::IoError("tell in ", path, ": ", ErrnoMessage()));
-    if (static_cast<uint64_t>(size) < offset) {
-        return fail(util::DataLoss(
-            path, " is shorter (", size, " bytes) than the checkpoint's ",
-            offset, "-byte high-water mark; the trace and checkpoint do "
-            "not belong together"));
-    }
-    // Rewind to the durable prefix: everything past the mark (torn chunk,
+    // Rewinds to the durable prefix: everything past the mark (torn chunk,
     // chunks newer than the checkpoint, or a shutdown footer) goes.
-    if (::ftruncate(::fileno(file), static_cast<off_t>(offset)) != 0)
-        return fail(util::IoError("truncate of ", path, " to ", offset,
-                                  " bytes failed: ", ErrnoMessage()));
-    if (std::fseek(file, static_cast<long>(offset), SEEK_SET) != 0)
-        return fail(util::IoError("seek in ", path, ": ", ErrnoMessage()));
-    return std::unique_ptr<FileByteSink>(new FileByteSink(file, path));
+    util::StatusOr<std::unique_ptr<io::WritableFile>> file =
+        vfs.OpenForAppendAt(path, offset);
+    if (!file.ok())
+        return file.status();
+    return std::unique_ptr<FileByteSink>(
+        new FileByteSink(std::move(*file), path));
 }
 
 FileByteSink::~FileByteSink()
@@ -141,31 +120,27 @@ FileByteSink::Write(const void* data, size_t len)
 {
     if (file_ == nullptr)
         return util::FailedPrecondition("write to closed file ", path_);
-    if (std::fwrite(data, 1, len, file_) != len)
-        return util::IoError("short write to ", path_, ": ", ErrnoMessage());
-    return util::OkStatus();
-}
-
-util::Status
-FileByteSink::Flush()
-{
-    if (file_ == nullptr)
-        return util::FailedPrecondition("flush of closed file ", path_);
-    if (std::fflush(file_) != 0)
-        return util::IoError("flush of ", path_, " failed: ", ErrnoMessage());
-    return util::OkStatus();
+    util::Status status;
+    for (int i = 0; i < kMaxInterrupts; ++i) {
+        status = file_->Write(data, len);
+        if (status.code() != util::StatusCode::kInterrupted)
+            return status;
+    }
+    return status;
 }
 
 util::Status
 FileByteSink::Sync()
 {
-    util::Status status = Flush();
-    if (!status.ok())
-        return status;
-    if (::fsync(::fileno(file_)) != 0)
-        return util::IoError("fsync of ", path_, " failed: ",
-                             ErrnoMessage());
-    return util::OkStatus();
+    if (file_ == nullptr)
+        return util::FailedPrecondition("fsync of closed file ", path_);
+    util::Status status;
+    for (int i = 0; i < kMaxInterrupts; ++i) {
+        status = file_->Sync();
+        if (status.code() != util::StatusCode::kInterrupted)
+            return status;
+    }
+    return status;
 }
 
 util::Status
@@ -175,46 +150,40 @@ FileByteSink::Close()
         return util::OkStatus();
     // fsync before close: a capture is hours of machine time, and "the
     // kernel probably wrote it eventually" is not crash-safe.
-    util::Status status = Flush();
-    if (status.ok() && ::fsync(::fileno(file_)) != 0)
-        status = util::IoError("fsync of ", path_, " failed: ",
-                               ErrnoMessage());
-    if (std::fclose(file_) != 0 && status.ok())
-        status = util::IoError("close of ", path_, " failed: ",
-                               ErrnoMessage());
+    util::Status status = Sync();
+    const util::Status close_status = file_->Close();
+    if (status.ok())
+        status = close_status;
     file_ = nullptr;
     return status;
 }
 
-FileByteSource::FileByteSource(std::FILE* file, std::string path)
-    : file_(file), path_(std::move(path))
+FileByteSource::FileByteSource(std::unique_ptr<io::ReadableFile> file,
+                               std::string path)
+    : file_(std::move(file)), path_(std::move(path))
 {
 }
 
 util::StatusOr<std::unique_ptr<FileByteSource>>
-FileByteSource::Open(const std::string& path)
+FileByteSource::Open(const std::string& path, io::Vfs& vfs)
 {
-    std::FILE* file = std::fopen(path.c_str(), "rb");
-    if (file == nullptr) {
-        if (errno == ENOENT)
-            return util::NotFound("no such trace file: ", path);
-        return util::IoError("cannot open ", path, ": ", ErrnoMessage());
-    }
-    return std::unique_ptr<FileByteSource>(new FileByteSource(file, path));
-}
-
-FileByteSource::~FileByteSource()
-{
-    if (file_ != nullptr)
-        std::fclose(file_);
+    util::StatusOr<std::unique_ptr<io::ReadableFile>> file =
+        vfs.OpenRead(path);
+    if (!file.ok())
+        return file.status();
+    return std::unique_ptr<FileByteSource>(
+        new FileByteSource(std::move(*file), path));
 }
 
 util::StatusOr<size_t>
 FileByteSource::Read(void* data, size_t len)
 {
-    const size_t got = std::fread(data, 1, len, file_);
-    if (got < len && std::ferror(file_))
-        return util::IoError("read of ", path_, " failed");
+    util::StatusOr<size_t> got = file_->Read(data, len);
+    for (int i = 1;
+         i < kMaxInterrupts &&
+         got.status().code() == util::StatusCode::kInterrupted;
+         ++i)
+        got = file_->Read(data, len);
     return got;
 }
 
@@ -598,10 +567,10 @@ ScanReport::ToString() const
 }
 
 util::StatusOr<std::vector<Record>>
-LoadTrace(const std::string& path)
+LoadTrace(const std::string& path, io::Vfs& vfs)
 {
     util::StatusOr<std::unique_ptr<FileByteSource>> source =
-        FileByteSource::Open(path);
+        FileByteSource::Open(path, vfs);
     if (!source.ok())
         return source.status();
 

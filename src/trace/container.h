@@ -40,11 +40,11 @@
  */
 
 #include <cstdint>
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "io/vfs.h"
 #include "trace/record.h"
 #include "util/status.h"
 
@@ -83,12 +83,16 @@ class ByteSource
     virtual util::StatusOr<size_t> Read(void* data, size_t len) = 0;
 };
 
-/** File-backed ByteSink; Close() is fsync-then-close. */
+/**
+ * File-backed ByteSink over the Vfs seam (io/vfs.h); Close() is
+ * fsync-then-close. Interrupted (EINTR-class) writes and syncs are
+ * retried here, so callers only ever see them if they persist.
+ */
 class FileByteSink : public ByteSink
 {
   public:
     static util::StatusOr<std::unique_ptr<FileByteSink>> Open(
-        const std::string& path);
+        const std::string& path, io::Vfs& vfs = io::RealVfs());
     /**
      * Re-opens an existing file for appending at `offset`: bytes past the
      * offset (a torn chunk, a footer from a sealed-then-resumed capture)
@@ -97,31 +101,30 @@ class FileByteSink : public ByteSink
      * data-loss when the file is shorter than `offset`.
      */
     static util::StatusOr<std::unique_ptr<FileByteSink>> OpenAt(
-        const std::string& path, uint64_t offset);
+        const std::string& path, uint64_t offset,
+        io::Vfs& vfs = io::RealVfs());
     ~FileByteSink() override;
 
     FileByteSink(const FileByteSink&) = delete;
     FileByteSink& operator=(const FileByteSink&) = delete;
 
     util::Status Write(const void* data, size_t len) override;
-    util::Status Flush() override;
     util::Status Sync() override;
     util::Status Close() override;
 
   private:
-    FileByteSink(std::FILE* file, std::string path);
+    FileByteSink(std::unique_ptr<io::WritableFile> file, std::string path);
 
-    std::FILE* file_;
+    std::unique_ptr<io::WritableFile> file_;
     std::string path_;
 };
 
-/** File-backed ByteSource. */
+/** File-backed ByteSource over the Vfs seam. */
 class FileByteSource : public ByteSource
 {
   public:
     static util::StatusOr<std::unique_ptr<FileByteSource>> Open(
-        const std::string& path);
-    ~FileByteSource() override;
+        const std::string& path, io::Vfs& vfs = io::RealVfs());
 
     FileByteSource(const FileByteSource&) = delete;
     FileByteSource& operator=(const FileByteSource&) = delete;
@@ -129,9 +132,9 @@ class FileByteSource : public ByteSource
     util::StatusOr<size_t> Read(void* data, size_t len) override;
 
   private:
-    FileByteSource(std::FILE* file, std::string path);
+    FileByteSource(std::unique_ptr<io::ReadableFile> file, std::string path);
 
-    std::FILE* file_;
+    std::unique_ptr<io::ReadableFile> file_;
     std::string path_;
 };
 
@@ -317,7 +320,8 @@ ScanReport ScanTrace(ByteSource& in, std::vector<Record>* out);
  * kDataLoss when damaged — the message then names the salvageable record
  * count). Accepts legacy v1 files with a one-line warning.
  */
-util::StatusOr<std::vector<Record>> LoadTrace(const std::string& path);
+util::StatusOr<std::vector<Record>> LoadTrace(const std::string& path,
+                                              io::Vfs& vfs = io::RealVfs());
 
 /** Writes `records` as a sealed ATF2 container on `out`. */
 util::Status WriteAtf2(ByteSink& out, const std::vector<Record>& records,

@@ -57,10 +57,11 @@ FileSink::FileSink(std::unique_ptr<ByteSink> out,
 }
 
 util::StatusOr<std::unique_ptr<FileSink>>
-FileSink::Open(const std::string& path, const Atf2WriterOptions& options)
+FileSink::Open(const std::string& path, const Atf2WriterOptions& options,
+               io::Vfs& vfs)
 {
     util::StatusOr<std::unique_ptr<FileByteSink>> out =
-        FileByteSink::Open(path);
+        FileByteSink::Open(path, vfs);
     if (!out.ok())
         return out.status();
     return std::unique_ptr<FileSink>(
@@ -75,10 +76,11 @@ FileSink::FileSink(std::unique_ptr<ByteSink> out,
 }
 
 util::StatusOr<std::unique_ptr<FileSink>>
-FileSink::OpenResumed(const std::string& path, const Atf2ResumeState& state)
+FileSink::OpenResumed(const std::string& path, const Atf2ResumeState& state,
+                      io::Vfs& vfs)
 {
     util::StatusOr<std::unique_ptr<FileByteSink>> out =
-        FileByteSink::OpenAt(path, state.file_bytes);
+        FileByteSink::OpenAt(path, state.file_bytes, vfs);
     if (!out.ok())
         return out.status();
     return std::unique_ptr<FileSink>(new FileSink(std::move(*out), state));
@@ -134,10 +136,10 @@ FileSink::PublishMetrics(obs::Registry& reg) const
 }
 
 util::StatusOr<std::unique_ptr<FileSource>>
-FileSource::Open(const std::string& path)
+FileSource::Open(const std::string& path, io::Vfs& vfs)
 {
     util::StatusOr<std::unique_ptr<FileByteSource>> in =
-        FileByteSource::Open(path);
+        FileByteSource::Open(path, vfs);
     if (!in.ok())
         return in.status();
 

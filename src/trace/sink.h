@@ -16,7 +16,6 @@
  */
 
 #include <cstdint>
-#include <cstdio>
 #include <memory>
 #include <optional>
 #include <string>
@@ -111,9 +110,10 @@ class FileSink : public TraceSink
      */
     explicit FileSink(const std::string& path);
 
-    /** Recoverable open. */
+    /** Recoverable open; `vfs` selects the filesystem (chaos tests). */
     static util::StatusOr<std::unique_ptr<FileSink>> Open(
-        const std::string& path, const Atf2WriterOptions& options = {});
+        const std::string& path, const Atf2WriterOptions& options = {},
+        io::Vfs& vfs = io::RealVfs());
 
     /**
      * Re-opens an interrupted capture's trace file for continuation:
@@ -123,7 +123,8 @@ class FileSink : public TraceSink
      * capture that was never interrupted.
      */
     static util::StatusOr<std::unique_ptr<FileSink>> OpenResumed(
-        const std::string& path, const Atf2ResumeState& state);
+        const std::string& path, const Atf2ResumeState& state,
+        io::Vfs& vfs = io::RealVfs());
 
     /** Writes the container into an arbitrary byte sink (fault tests). */
     explicit FileSink(std::unique_ptr<ByteSink> out,
@@ -212,7 +213,7 @@ class FileSource : public TraceSource
 {
   public:
     static util::StatusOr<std::unique_ptr<FileSource>> Open(
-        const std::string& path);
+        const std::string& path, io::Vfs& vfs = io::RealVfs());
 
     std::optional<Record> Next() override;
 

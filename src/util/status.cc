@@ -22,6 +22,10 @@ StatusCodeName(StatusCode code)
         return "unavailable";
       case StatusCode::kInternal:
         return "internal";
+      case StatusCode::kNoSpace:
+        return "no-space";
+      case StatusCode::kInterrupted:
+        return "interrupted";
     }
     return "unknown";
 }
@@ -48,6 +52,8 @@ ExitCodeFor(const Status& status)
       case StatusCode::kNotFound:
       case StatusCode::kIoError:
       case StatusCode::kUnavailable:
+      case StatusCode::kNoSpace:
+      case StatusCode::kInterrupted:
         return kExitIo;
       case StatusCode::kInvalidArgument:
       case StatusCode::kDataLoss:

@@ -37,6 +37,8 @@ enum class StatusCode : uint8_t {
     kFailedPrecondition,  ///< operation illegal in the current state
     kUnavailable,         ///< transient failure; retrying may succeed
     kInternal,            ///< unexpected failure inside atum
+    kNoSpace,             ///< device full (ENOSPC/EDQUOT); retrying is futile
+    kInterrupted,         ///< a signal interrupted the call (EINTR); retry
 };
 
 /** Stable lowercase name ("data-loss") for messages and reports. */
@@ -114,6 +116,18 @@ Status InternalError(Args&&... args)
     return Status(StatusCode::kInternal,
                   internal::StrCat(std::forward<Args>(args)...));
 }
+template <typename... Args>
+Status NoSpace(Args&&... args)
+{
+    return Status(StatusCode::kNoSpace,
+                  internal::StrCat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+Status Interrupted(Args&&... args)
+{
+    return Status(StatusCode::kInterrupted,
+                  internal::StrCat(std::forward<Args>(args)...));
+}
 
 /** A Status or a value of type T; exactly one is ever present. */
 template <typename T>
@@ -179,7 +193,9 @@ class StatusOr
 inline constexpr int kExitOk = 0;
 inline constexpr int kExitError = 1;    ///< Fatal(): generic user error
 inline constexpr int kExitUsage = 2;    ///< bad command-line arguments
-inline constexpr int kExitIo = 3;       ///< missing/unreadable/unwritable file
+inline constexpr int kExitIo = 3;       ///< missing/unreadable/unwritable file,
+                                        ///< full disk (kNoSpace) or an
+                                        ///< unrecoverably interrupted call
 inline constexpr int kExitCorrupt = 4;  ///< recognized trace, corrupt content
 /**
  * Capture stopped early but *cleanly* on an external signal or deadline:

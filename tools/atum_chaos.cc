@@ -1,0 +1,314 @@
+// atum-chaos: seeded crash campaigns against the capture stack, with a
+// no-silent-loss verdict.
+//
+// Usage:
+//   atum-chaos --campaign powercut,enospc,torn-rename [--seeds N]
+//              [--first-seed S] [--workload NAME] [--scale N]
+//              [--max-instructions N] [--buffer-kb N] [--chunk-records N]
+//              [--checkpoint-every FILLS] [--checkpoint-keep K]
+//              [--out-dir DIR] [--no-minimize] [--verbose]
+//   atum-chaos --replay FILE [--minimize] [... capture shape flags]
+//   atum-chaos --probe [... capture shape flags]
+//   atum-chaos --version
+//
+// Each seed runs one complete disaster drill inside an in-memory
+// filesystem: a supervised capture is subjected to a deterministic fault
+// schedule (ENOSPC bursts, torn renames, bit-flips, power cuts), then
+// recovered the way an operator would — resume from the newest loadable
+// checkpoint or salvage the trace with the tolerant scanner — and the
+// no-silent-loss invariants are checked (docs/CHAOS.md).
+//
+// A failing seed's schedule is minimized (unless --no-minimize) and, with
+// --out-dir, written as DIR/failing-seed-N.schedule; such a file replays
+// the identical failure forever via --replay and belongs in
+// tests/chaos_corpus/ as a regression test.
+//
+// Exit codes follow the shared contract in util/status.h:
+//   0  every seed upheld every invariant
+//   1  at least one invariant violation (schedules reported/written)
+//   2  usage error
+//   3  I/O failure (replay file unreadable, --out-dir unwritable)
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chaos/campaign.h"
+#include "io/chaos.h"
+#include "util/build_info.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace atum {
+namespace {
+
+template <typename... Args>
+[[noreturn]] void
+UsageError(Args&&... args)
+{
+    std::fprintf(stderr, "atum-chaos: %s\n",
+                 internal::StrCat(std::forward<Args>(args)...).c_str());
+    std::exit(util::kExitUsage);
+}
+
+struct Options {
+    std::vector<std::string> campaigns;
+    uint64_t seeds = 50;
+    uint64_t first_seed = 1;
+    std::string replay;   // schedule file to replay instead of a campaign
+    std::string out_dir;  // where failing schedules are written
+    bool probe = false;   // print the fault-free op counts and exit
+    bool minimize = true;
+    bool verbose = false;
+
+    chaos::CampaignSpec spec;
+};
+
+std::vector<std::string>
+SplitCommas(const std::string& s)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= s.size()) {
+        const size_t comma = s.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(s.substr(start));
+            break;
+        }
+        out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+uint64_t
+ParseUint(const std::string& arg, const std::string& value)
+{
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        UsageError(arg, " wants a number, got '", value, "'");
+    return v;
+}
+
+Options
+ParseArgs(int argc, char** argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                UsageError(arg, " requires a value");
+            return argv[++i];
+        };
+        if (arg == "--campaign")
+            opts.campaigns = SplitCommas(next());
+        else if (arg == "--seeds")
+            opts.seeds = ParseUint(arg, next());
+        else if (arg == "--first-seed")
+            opts.first_seed = ParseUint(arg, next());
+        else if (arg == "--replay")
+            opts.replay = next();
+        else if (arg == "--probe")
+            opts.probe = true;
+        else if (arg == "--out-dir")
+            opts.out_dir = next();
+        else if (arg == "--no-minimize")
+            opts.minimize = false;
+        else if (arg == "--minimize")
+            opts.minimize = true;
+        else if (arg == "--verbose")
+            opts.verbose = true;
+        else if (arg == "--workload")
+            opts.spec.workload = next();
+        else if (arg == "--scale")
+            opts.spec.scale = static_cast<uint32_t>(ParseUint(arg, next()));
+        else if (arg == "--max-instructions")
+            opts.spec.max_instructions = ParseUint(arg, next());
+        else if (arg == "--buffer-kb")
+            opts.spec.buffer_bytes =
+                static_cast<uint32_t>(ParseUint(arg, next())) << 10;
+        else if (arg == "--chunk-records")
+            opts.spec.chunk_records =
+                static_cast<uint32_t>(ParseUint(arg, next()));
+        else if (arg == "--checkpoint-every")
+            opts.spec.checkpoint_every_fills = ParseUint(arg, next());
+        else if (arg == "--checkpoint-keep")
+            opts.spec.keep_checkpoints =
+                static_cast<uint32_t>(ParseUint(arg, next()));
+        else if (arg == "--version") {
+            std::printf("%s\n", util::VersionString("atum-chaos").c_str());
+            std::exit(util::kExitOk);
+        } else {
+            UsageError("unknown argument: ", arg,
+                       " (see the header of tools/atum_chaos.cc)");
+        }
+    }
+    if (opts.replay.empty() && opts.campaigns.empty() && !opts.probe)
+        UsageError("--campaign, --replay or --probe is required");
+    if (!opts.replay.empty() && !opts.campaigns.empty())
+        UsageError("--campaign and --replay are mutually exclusive");
+    if (opts.seeds == 0)
+        UsageError("--seeds must be at least 1");
+    return opts;
+}
+
+/** Exits with the I/O code when the host filesystem fails us. */
+template <typename... Args>
+[[noreturn]] void
+IoFatal(Args&&... args)
+{
+    std::fprintf(stderr, "atum-chaos: %s\n",
+                 internal::StrCat(std::forward<Args>(args)...).c_str());
+    std::exit(util::kExitIo);
+}
+
+std::string
+ReadFileOrDie(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        IoFatal("cannot open ", path);
+    std::ostringstream body;
+    body << in.rdbuf();
+    if (in.bad())
+        IoFatal("cannot read ", path);
+    return body.str();
+}
+
+void
+WriteFileOrDie(const std::string& path, const std::string& body)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << body;
+    out.flush();
+    if (!out)
+        IoFatal("cannot write ", path);
+}
+
+/**
+ * Minimizes (optionally) and reports one failing seed; writes the repro
+ * schedule under --out-dir when given. Returns the schedule actually
+ * reported (minimized or original).
+ */
+void
+ReportFailure(const Options& opts, const chaos::SeedResult& failure)
+{
+    io::ChaosSchedule repro = failure.schedule;
+    if (opts.minimize) {
+        util::StatusOr<io::ChaosSchedule> minimized =
+            chaos::Minimize(opts.spec, failure.schedule);
+        if (minimized.ok())
+            repro = *minimized;
+        else
+            std::fprintf(stderr, "atum-chaos: minimize failed: %s\n",
+                         minimized.status().ToString().c_str());
+    }
+    std::fprintf(stderr, "FAIL %s\n", failure.Summary().c_str());
+    if (!opts.out_dir.empty()) {
+        const std::string path = opts.out_dir + "/failing-seed-" +
+                                 std::to_string(failure.seed) + ".schedule";
+        WriteFileOrDie(path, repro.Serialize());
+        std::fprintf(stderr, "  repro written to %s\n", path.c_str());
+    } else {
+        std::fprintf(stderr, "  repro schedule:\n%s",
+                     repro.Serialize().c_str());
+    }
+}
+
+/** Prints the fault-free op counts schedules aim into (for authoring). */
+int
+RunProbe(const Options& opts)
+{
+    util::StatusOr<io::OpCounts> probe = chaos::ProbeOpCounts(opts.spec);
+    if (!probe.ok())
+        IoFatal("probe failed: ", probe.status().ToString());
+    std::printf("writes %llu\nsyncs %llu\nreads %llu\nrenames %llu\n"
+                "unlinks %llu\ndirsyncs %llu\n",
+                static_cast<unsigned long long>(probe->writes),
+                static_cast<unsigned long long>(probe->syncs),
+                static_cast<unsigned long long>(probe->reads),
+                static_cast<unsigned long long>(probe->renames),
+                static_cast<unsigned long long>(probe->unlinks),
+                static_cast<unsigned long long>(probe->dirsyncs));
+    return util::kExitOk;
+}
+
+int
+RunReplay(const Options& opts)
+{
+    util::StatusOr<io::ChaosSchedule> schedule =
+        io::ChaosSchedule::Parse(ReadFileOrDie(opts.replay));
+    if (!schedule.ok())
+        IoFatal(opts.replay, ": ", schedule.status().ToString());
+
+    chaos::CampaignSpec spec = opts.spec;
+    if (spec.campaigns.empty())
+        spec.campaigns = schedule->campaigns;
+
+    util::StatusOr<chaos::SeedResult> result =
+        chaos::ReplaySchedule(spec, *schedule);
+    if (!result.ok())
+        IoFatal("replay failed to run: ", result.status().ToString());
+
+    std::printf("%s\n", result->Summary().c_str());
+    if (result->ok())
+        return util::kExitOk;
+    Options report_opts = opts;
+    report_opts.spec = spec;
+    ReportFailure(report_opts, *result);
+    return util::kExitError;
+}
+
+int
+RunSeeds(Options& opts)
+{
+    opts.spec.campaigns = opts.campaigns;
+    uint64_t done = 0;
+    const auto on_seed = [&](const chaos::SeedResult& r) {
+        ++done;
+        if (opts.verbose || !r.ok())
+            std::printf("%s\n", r.Summary().c_str());
+        else if (done % 50 == 0)
+            std::printf("... %llu/%llu seeds\n",
+                        static_cast<unsigned long long>(done),
+                        static_cast<unsigned long long>(opts.seeds));
+    };
+
+    util::StatusOr<chaos::CampaignResult> result =
+        chaos::RunCampaign(opts.spec, opts.first_seed, opts.seeds, on_seed);
+    if (!result.ok())
+        IoFatal("campaign failed to run: ", result.status().ToString());
+
+    std::printf(
+        "campaign: %llu seeds, %llu faults fired, %llu power cuts, "
+        "%llu resumes, %llu salvages, %zu failing\n",
+        static_cast<unsigned long long>(result->seeds_run),
+        static_cast<unsigned long long>(result->faults_fired),
+        static_cast<unsigned long long>(result->power_cuts),
+        static_cast<unsigned long long>(result->resumes),
+        static_cast<unsigned long long>(result->salvages),
+        result->failures.size());
+
+    for (const chaos::SeedResult& failure : result->failures)
+        ReportFailure(opts, failure);
+    return result->ok() ? util::kExitOk : util::kExitError;
+}
+
+}  // namespace
+}  // namespace atum
+
+int
+main(int argc, char** argv)
+{
+    atum::Options opts = atum::ParseArgs(argc, argv);
+    if (opts.probe)
+        return atum::RunProbe(opts);
+    if (!opts.replay.empty())
+        return atum::RunReplay(opts);
+    return atum::RunSeeds(opts);
+}
