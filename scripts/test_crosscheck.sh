@@ -1,0 +1,59 @@
+#!/bin/sh
+# Quick-lane crosscheck gate: capture two adversarial workloads and
+# require zero unexplained delta between the trace and the machine's
+# hardware event counters (docs/COUNTERS.md). Also pins the failure
+# mode: a doctored manifest must fail with the corrupt exit code.
+# Run by ctest as: test_crosscheck.sh BUILD_DIR.
+set -e
+BUILD=$1
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+expect_exit() {
+    want=$1
+    shift
+    set +e
+    "$@" > "$TMP/out.txt" 2> "$TMP/err.txt"
+    got=$?
+    set -e
+    if [ "$got" != "$want" ]; then
+        echo "FAIL: wanted exit $want, got $got: $*" >&2
+        cat "$TMP/out.txt" "$TMP/err.txt" >&2
+        exit 1
+    fi
+}
+
+for w in server iostorm; do
+    "$BUILD/tools/atum-capture" --out "$TMP/$w.atum" --workloads "$w" \
+        --record-opcodes > /dev/null
+    "$BUILD/tools/atum-report" "$TMP/$w.atum" --crosscheck \
+        > "$TMP/cc.txt"
+    grep -q "crosscheck: PASS" "$TMP/cc.txt"
+done
+
+# The iostorm capture must actually exercise the DMA counter.
+grep -q "dma_bytes" "$TMP/cc.txt"
+if grep -Eq "dma_bytes +0 " "$TMP/cc.txt"; then
+    echo "FAIL: iostorm moved no DMA bytes" >&2
+    exit 1
+fi
+
+# Teeth: inflate one counter in the manifest; the checker must fail
+# with the corrupt exit code and blame that counter.
+sed 's/"cpu.ev.syscalls":/"cpu.ev.syscalls":9/' \
+    "$TMP/iostorm.atum.run.json" > "$TMP/doctored.run.json"
+expect_exit 4 "$BUILD/tools/atum-report" "$TMP/iostorm.atum" \
+    --crosscheck --manifest "$TMP/doctored.run.json"
+grep -q "MISMATCH" "$TMP/out.txt"
+grep -q "crosscheck: FAIL" "$TMP/out.txt"
+
+# A manifest without counters (older build) is unusable input, not a
+# silent pass (invalid-argument -> the corrupt exit code), and a
+# missing manifest is an I/O error.
+printf '{"schema":"atum-run-v1"}\n' > "$TMP/empty.run.json"
+expect_exit 4 "$BUILD/tools/atum-report" "$TMP/iostorm.atum" \
+    --crosscheck --manifest "$TMP/empty.run.json"
+expect_exit 3 "$BUILD/tools/atum-report" "$TMP/iostorm.atum" \
+    --crosscheck --manifest "$TMP/nosuch.run.json"
+
+echo "crosscheck CLI scenarios passed"

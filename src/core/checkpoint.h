@@ -54,7 +54,9 @@ namespace atum::core {
 
 inline constexpr uint8_t kCheckpointMagic[8] = {'A', 'T',  'C', 'K',
                                                 '\r', '\n', 0x1a, '\n'};
-inline constexpr uint16_t kCheckpointVersion = 1;
+// Version 2: the machine section gained the DMA engine registers and the
+// hardware event counters (cpu/event_counters.h).
+inline constexpr uint16_t kCheckpointVersion = 2;
 inline constexpr uint32_t kCheckpointHeaderBytes = 32;
 inline constexpr uint32_t kCheckpointSectionHeaderBytes = 24;
 inline constexpr uint32_t kCheckpointFooterBytes = 24;

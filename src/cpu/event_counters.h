@@ -1,0 +1,43 @@
+#ifndef ATUM_CPU_EVENT_COUNTERS_H_
+#define ATUM_CPU_EVENT_COUNTERS_H_
+
+/**
+ * @file
+ * Hardware-style event counters, independent of the tracer.
+ *
+ * CounterPoint-style cross-validation needs two observers of the same
+ * execution that share no code path: the ATUM tracer (a control-store
+ * patch writing records into the reserved buffer) and these counters
+ * (plain increments on the interpreter hot path, bumped immediately next
+ * to each control-store fire site). `atum-report --crosscheck` re-derives
+ * every one of these from the trace and fails on any unexplained delta,
+ * so a bug in either path is caught by the other.
+ *
+ * The struct is header-only and dependency-free so the MMU (a layer below
+ * cpu) can hold a pointer to the machine's instance without a cycle.
+ */
+
+#include <cstdint>
+
+namespace atum::cpu {
+
+struct EventCounters {
+    uint64_t instructions = 0;  ///< decode dispatches (opcode byte fetched)
+    uint64_t ifetches = 0;      ///< instruction-stream longword fetches
+    uint64_t reads = 0;         ///< data-stream reads (incl. microcode PCB/SCB)
+    uint64_t writes = 0;        ///< data-stream writes
+    uint64_t pte_reads = 0;     ///< page-table entry reads during TB-miss walks
+    uint64_t tlb_misses = 0;    ///< translation-buffer misses (walks started)
+    uint64_t tlb_fills = 0;     ///< TB entries inserted (successful walks)
+    uint64_t exceptions = 0;    ///< exception/interrupt dispatches
+    uint64_t syscalls = 0;      ///< CHMK dispatches (subset of exceptions)
+    uint64_t dma_bytes = 0;     ///< bytes moved by the DMA engine
+
+    void Reset() { *this = EventCounters{}; }
+
+    bool operator==(const EventCounters&) const = default;
+};
+
+}  // namespace atum::cpu
+
+#endif  // ATUM_CPU_EVENT_COUNTERS_H_

@@ -63,6 +63,7 @@ Machine::DispatchException(ExcVector vector, uint32_t extra0, uint32_t extra1,
               " outside physical memory (scbb=0x", std::hex, scbb_, ")");
     const uint32_t handler = memory_.Read32(vec_pa);
     AddCycles(ucode::CostOf(MicroOpKind::kDRead));
+    ++ev_.reads;  // SCB vector read, mirrored by the fire below
     AddCycles(control_store_.FireMemAccess(
         MemAccess{vec_pa, vec_pa, 4, MemAccessKind::kRead, true}));
     if (handler == 0) {
@@ -71,6 +72,9 @@ Machine::DispatchException(ExcVector vector, uint32_t extra0, uint32_t extra1,
     }
 
     AddCycles(ucode::CostOf(MicroOpKind::kExcDispatch));
+    ++ev_.exceptions;
+    if (vector == ExcVector::kChmk)
+        ++ev_.syscalls;
     AddCycles(
         control_store_.FireExceptionDispatch(static_cast<uint8_t>(vector)));
 
@@ -88,6 +92,11 @@ Machine::DispatchSimple(ExcVector vector, uint32_t restart_pc)
 bool
 Machine::CheckInterrupts()
 {
+    if (dma_pending_ && psl_.ipl < kDmaIpl) {
+        dma_pending_ = false;
+        DispatchSimple(ExcVector::kDmaDone, pc());
+        return true;
+    }
     if (timer_pending_ && psl_.ipl < kTimerIpl) {
         timer_pending_ = false;
         DispatchSimple(ExcVector::kTimer, pc());

@@ -372,6 +372,7 @@ Executor::PhysRead32Traced(uint32_t pa, uint32_t* out)
         Panic("physical context access outside memory: 0x", std::hex, pa);
     *out = m_.memory_.Read32(pa);
     m_.AddCycles(ucode::CostOf(MicroOpKind::kDRead));
+    ++m_.ev_.reads;
     m_.AddCycles(m_.control_store_.FireMemAccess(
         MemAccess{pa, pa, 4, MemAccessKind::kRead, true}));
     return true;
@@ -384,6 +385,7 @@ Executor::PhysWrite32Traced(uint32_t pa, uint32_t v)
         Panic("physical context access outside memory: 0x", std::hex, pa);
     m_.memory_.Write32(pa, v);
     m_.AddCycles(ucode::CostOf(MicroOpKind::kDWrite));
+    ++m_.ev_.writes;
     m_.AddCycles(m_.control_store_.FireMemAccess(
         MemAccess{pa, pa, 4, MemAccessKind::kWrite, true}));
 }
@@ -1321,6 +1323,10 @@ Executor::Run()
     uint8_t raw_op = 0;
     bool ok = Fetch8(&raw_op);
     if (ok) {
+        // "Instructions" counts decode dispatches (opcode byte fetched),
+        // mirroring the kDecode fire — not icount_, which also advances
+        // when the initial ifetch faults before any decode happens.
+        ++m_.ev_.instructions;
         m_.AddCycles(m_.control_store_.FireDecode(
             inst_pc_, raw_op, m_.psl_.cur_mode == CpuMode::kKernel));
         ok = Dispatch(static_cast<Opcode>(raw_op));

@@ -41,6 +41,7 @@ Machine::Machine(const Config& config)
 {
     if (config.timer_reload == 0)
         Fatal("timer_reload must be nonzero");
+    mmu_.set_event_counters(&ev_);
 }
 
 uint32_t
@@ -102,6 +103,14 @@ Machine::ReadIpr(isa::Ipr ipr)
         return icr_reload_;
       case Ipr::kPid:
         return pid_;
+      case Ipr::kDmaSrc:
+        return dma_src_;
+      case Ipr::kDmaDst:
+        return dma_dst_;
+      case Ipr::kDmaLen:
+        return dma_len_;
+      case Ipr::kDmaCtl:
+        return dma_delay_ > 0 ? 1 : 0;  // busy bit
       case Ipr::kTbia:
       case Ipr::kTbis:
       case Ipr::kConsTx:
@@ -189,6 +198,19 @@ Machine::WriteIpr(isa::Ipr ipr, uint32_t v)
       case Ipr::kPid:
         pid_ = v;
         return;
+      case Ipr::kDmaSrc:
+        dma_src_ = v;
+        return;
+      case Ipr::kDmaDst:
+        dma_dst_ = v;
+        return;
+      case Ipr::kDmaLen:
+        dma_len_ = v;
+        return;
+      case Ipr::kDmaCtl:
+        if (v & 1)
+            StartDma();
+        return;
       case Ipr::kNumIprs:
         break;
     }
@@ -238,6 +260,10 @@ Machine::MicroRead(uint32_t va, uint8_t size, MemAccessKind kind,
     AddCycles(ucode::CostOf(kind == MemAccessKind::kIFetch
                                 ? MicroOpKind::kIFetch
                                 : MicroOpKind::kDRead));
+    if (kind == MemAccessKind::kIFetch)
+        ++ev_.ifetches;
+    else
+        ++ev_.reads;
     AddCycles(control_store_.FireMemAccess(
         MemAccess{va, pa, size, kind,
                   psl_.cur_mode == CpuMode::kKernel}));
@@ -270,10 +296,36 @@ Machine::MicroWrite(uint32_t va, uint8_t size, uint32_t value)
     }
 
     AddCycles(ucode::CostOf(MicroOpKind::kDWrite));
+    ++ev_.writes;
     AddCycles(control_store_.FireMemAccess(
         MemAccess{va, pa, size, MemAccessKind::kWrite,
                   psl_.cur_mode == CpuMode::kKernel}));
     return true;
+}
+
+void
+Machine::StartDma()
+{
+    if (dma_len_ == 0 || (dma_len_ & 3) != 0)
+        Panic("DMA: length must be a nonzero multiple of 4, got ", dma_len_);
+    if (!memory_.Contains(dma_src_, dma_len_) ||
+        !memory_.Contains(dma_dst_, dma_len_)) {
+        Panic("DMA: transfer outside physical memory (src=0x", std::hex,
+              dma_src_, " dst=0x", dma_dst_, " len=0x", dma_len_, ")");
+    }
+    // The engine writes the destination over the bus; like HMTT's bus
+    // snooper, the trace sees one kDma reference per word on the write
+    // side only. The source read happens on the device's private port.
+    for (uint32_t off = 0; off < dma_len_; off += 4) {
+        memory_.Write32(dma_dst_ + off, memory_.Read32(dma_src_ + off));
+        AddCycles(control_store_.FireMemAccess(
+            MemAccess{dma_dst_ + off, dma_dst_ + off, 4,
+                      MemAccessKind::kDma, true}));
+    }
+    ev_.dma_bytes += dma_len_;
+    // Completion interrupt after roughly one word per instruction slot,
+    // restarting any countdown already in flight (transfers coalesce).
+    dma_delay_ = dma_len_ / 4 + 8;
 }
 
 bool
@@ -316,6 +368,12 @@ Machine::StepOne()
             timer_pending_ = true;
         }
     }
+
+    // DMA completion countdown, same deterministic clock.
+    if (dma_delay_ > 0 && !halted_) {
+        if (--dma_delay_ == 0)
+            dma_pending_ = true;
+    }
 }
 
 void
@@ -326,6 +384,18 @@ Machine::PublishMetrics(obs::Registry& reg) const
     reg.GetCounter("cpu.exceptions").Set(exceptions_);
     reg.GetCounter("cpu.ibuf_refills").Set(ibuf_refills_);
     reg.GetGauge("cpu.halted").Set(halted_ ? 1 : 0);
+    // Hardware event counters (docs/COUNTERS.md): the tracer-independent
+    // ground truth that atum-report --crosscheck validates traces against.
+    reg.GetCounter("cpu.ev.instructions").Set(ev_.instructions);
+    reg.GetCounter("cpu.ev.ifetches").Set(ev_.ifetches);
+    reg.GetCounter("cpu.ev.reads").Set(ev_.reads);
+    reg.GetCounter("cpu.ev.writes").Set(ev_.writes);
+    reg.GetCounter("cpu.ev.pte_reads").Set(ev_.pte_reads);
+    reg.GetCounter("cpu.ev.tlb_misses").Set(ev_.tlb_misses);
+    reg.GetCounter("cpu.ev.tlb_fills").Set(ev_.tlb_fills);
+    reg.GetCounter("cpu.ev.exceptions").Set(ev_.exceptions);
+    reg.GetCounter("cpu.ev.syscalls").Set(ev_.syscalls);
+    reg.GetCounter("cpu.ev.dma_bytes").Set(ev_.dma_bytes);
     mmu_.PublishMetrics(reg);
 }
 
@@ -355,6 +425,12 @@ Machine::SaveSnapshot() const
     snap.regions[1] = mmu_.GetRegion(mmu::Region::kP1);
     snap.regions[2] = mmu_.GetRegion(mmu::Region::kS0);
     snap.console_output = console_output_;
+    snap.ev = ev_;
+    snap.dma_src = dma_src_;
+    snap.dma_dst = dma_dst_;
+    snap.dma_len = dma_len_;
+    snap.dma_delay = dma_delay_;
+    snap.dma_pending = dma_pending_;
     return snap;
 }
 
@@ -383,6 +459,12 @@ Machine::RestoreSnapshot(const MachineSnapshot& snapshot)
     mmu_.SetRegion(mmu::Region::kP1, snapshot.regions[1]);
     mmu_.SetRegion(mmu::Region::kS0, snapshot.regions[2]);
     console_output_ = snapshot.console_output;
+    ev_ = snapshot.ev;
+    dma_src_ = snapshot.dma_src;
+    dma_dst_ = snapshot.dma_dst;
+    dma_len_ = snapshot.dma_len;
+    dma_delay_ = snapshot.dma_delay;
+    dma_pending_ = snapshot.dma_pending;
     pending_fault_.active = false;
     InvalidateIBuf();
     mmu_.tlb().InvalidateAll();
@@ -414,6 +496,24 @@ Machine::Save(util::StateWriter& w) const
     w.Bool(ibuf_valid_);
     w.U32(ibuf_va_);
     w.Bytes(ibuf_bytes_, sizeof ibuf_bytes_);
+    // DMA engine registers and the in-flight completion countdown.
+    w.U32(dma_src_);
+    w.U32(dma_dst_);
+    w.U32(dma_len_);
+    w.U32(dma_delay_);
+    w.Bool(dma_pending_);
+    // Hardware event counters are checkpointed (unlike the observability
+    // tallies above) so crosscheck intervals stay valid across resume.
+    w.U64(ev_.instructions);
+    w.U64(ev_.ifetches);
+    w.U64(ev_.reads);
+    w.U64(ev_.writes);
+    w.U64(ev_.pte_reads);
+    w.U64(ev_.tlb_misses);
+    w.U64(ev_.tlb_fills);
+    w.U64(ev_.exceptions);
+    w.U64(ev_.syscalls);
+    w.U64(ev_.dma_bytes);
     // pending_fault_ and the restart journal are live only *inside* one
     // StepOne; at an instruction boundary they carry nothing, so they are
     // reset on restore rather than serialized.
@@ -447,6 +547,21 @@ Machine::Restore(util::StateReader& r)
     ibuf_valid_ = r.Bool();
     ibuf_va_ = r.U32();
     r.Bytes(ibuf_bytes_, sizeof ibuf_bytes_);
+    dma_src_ = r.U32();
+    dma_dst_ = r.U32();
+    dma_len_ = r.U32();
+    dma_delay_ = r.U32();
+    dma_pending_ = r.Bool();
+    ev_.instructions = r.U64();
+    ev_.ifetches = r.U64();
+    ev_.reads = r.U64();
+    ev_.writes = r.U64();
+    ev_.pte_reads = r.U64();
+    ev_.tlb_misses = r.U64();
+    ev_.tlb_fills = r.U64();
+    ev_.exceptions = r.U64();
+    ev_.syscalls = r.U64();
+    ev_.dma_bytes = r.U64();
     console_output_ = r.Str();
     pending_fault_.active = false;
     if (!r.ok())

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <string>
 
+#include "cpu/event_counters.h"
 #include "isa/isa.h"
 #include "mem/physical_memory.h"
 #include "mmu/mmu.h"
@@ -51,6 +52,7 @@ enum class ExcVector : uint8_t {
     kChmk = 9,            ///< system call (+code frame)
     kTimer = 10,          ///< interval timer interrupt
     kSoftware = 11,       ///< SIRR-requested software interrupt
+    kDmaDone = 12,        ///< DMA transfer-complete interrupt
     kNumVectors = 16,
 };
 
@@ -72,6 +74,8 @@ struct Psl {
 inline constexpr uint8_t kTimerIpl = 20;
 /** Software-interrupt priority level. */
 inline constexpr uint8_t kSoftwareIpl = 4;
+/** DMA-completion interrupt priority level (a device, above the clock). */
+inline constexpr uint8_t kDmaIpl = 21;
 
 /**
  * Process control block layout (physical memory, PCBB-addressed), used by
@@ -102,6 +106,9 @@ struct MachineSnapshot {
     bool mapen;
     mmu::RegionRegs regions[3];
     std::string console_output;
+    EventCounters ev;
+    uint32_t dma_src, dma_dst, dma_len, dma_delay;
+    bool dma_pending;
 };
 
 class Machine
@@ -156,6 +163,11 @@ class Machine
 
     uint64_t icount() const { return icount_; }
     uint64_t ucycles() const { return ucycles_; }
+    /**
+     * Hardware-style event counters, maintained independently of any
+     * tracer patch (see cpu/event_counters.h and docs/COUNTERS.md).
+     */
+    const EventCounters& event_counters() const { return ev_; }
     /** Exception/interrupt dispatches performed so far. */
     uint64_t exceptions_dispatched() const { return exceptions_; }
     /** Instruction prefetch-buffer refills (one aligned longword each). */
@@ -221,6 +233,12 @@ class Machine
     bool FetchByte(uint8_t* out);
     void InvalidateIBuf() { ibuf_valid_ = false; }
 
+    // DMA engine: copies immediately (the memory image is consistent at
+    // once), then raises the completion interrupt after a transfer-sized
+    // number of retired instructions, so completion lands at a
+    // deterministic point in the instruction stream.
+    void StartDma();
+
     // --- implemented in exceptions.cc ---
     void DispatchException(ExcVector vector, uint32_t extra0, uint32_t extra1,
                            unsigned num_extra, uint32_t restart_pc);
@@ -255,11 +273,21 @@ class Machine
     bool timer_pending_ = false;
     bool software_pending_ = false;
 
+    // DMA engine registers and completion countdown (in instructions).
+    uint32_t dma_src_ = 0;
+    uint32_t dma_dst_ = 0;
+    uint32_t dma_len_ = 0;
+    uint32_t dma_delay_ = 0;
+    bool dma_pending_ = false;
+
     bool halted_ = false;
     uint64_t icount_ = 0;
     uint64_t ucycles_ = 0;
+    // Hardware event counters: checkpointed, so crosscheck intervals stay
+    // valid across resume (docs/COUNTERS.md).
+    EventCounters ev_;
     // Observability tallies (not checkpointed: metrics restart at zero on
-    // resume, by design — the checkpoint format stays frozen).
+    // resume, by design).
     uint64_t exceptions_ = 0;
     uint64_t ibuf_refills_ = 0;
     bool last_step_faulted_ = false;

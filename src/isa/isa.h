@@ -214,7 +214,11 @@ enum class Ipr : uint32_t {
     kConsTx = 15,      ///< write: console transmit byte
     kSirr = 16,        ///< write: request software interrupt
     kPid = 17,         ///< current process id (ATUM context tagging)
-    kNumIprs = 18,
+    kDmaSrc = 18,      ///< DMA engine: source physical address
+    kDmaDst = 19,      ///< DMA engine: destination physical address
+    kDmaLen = 20,      ///< DMA engine: byte count (multiple of 4)
+    kDmaCtl = 21,      ///< write 1: start transfer; read: 1 while busy
+    kNumIprs = 22,
 };
 
 }  // namespace atum::isa

@@ -103,6 +103,7 @@ BootSystem(cpu::Machine& machine, const std::vector<GuestProgram>& programs,
     set_vector(ExcVector::kAcv, "k_acv");
     set_vector(ExcVector::kChmk, "k_chmk");
     set_vector(ExcVector::kTimer, "k_timer");
+    set_vector(ExcVector::kDmaDone, "k_dma");
 
     // Processes.
     FrameBump bump(PagesFor(lay.ktext_pa + ktext.size()), lay.usable_frames);
@@ -194,6 +195,8 @@ BootSystem(cpu::Machine& machine, const std::vector<GuestProgram>& programs,
     mem.Write32(kdata + KO::kFifoNotMask, ~(fifo_entries - 1));
     mem.Write32(kdata + KO::kSwapOuts, 0);
     mem.Write32(kdata + KO::kSwapIns, 0);
+    mem.Write32(kdata + KO::kDmaDone, 0);
+    mem.Write32(kdata + KO::kForks, 0);
     info.swap_frames = options.swap_frames;
 
     // Frame free list: remaining frames, linked through their first word.

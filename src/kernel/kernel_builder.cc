@@ -55,6 +55,8 @@ BuildKernelImage(const KernelLayout& layout)
     const uint32_t fifo_notmask = layout.KdataVa(KO::kFifoNotMask);
     const uint32_t sw_outs = layout.KdataVa(KO::kSwapOuts);
     const uint32_t sw_ins = layout.KdataVa(KO::kSwapIns);
+    const uint32_t dma_done = layout.KdataVa(KO::kDmaDone);
+    const uint32_t forks = layout.KdataVa(KO::kForks);
 
     Assembler a(layout.ktext_va);
 
@@ -66,6 +68,8 @@ BuildKernelImage(const KernelLayout& layout)
     Label k_acv = a.NewLabel("k_acv");
     Label k_fault8 = a.NewLabel("k_fault8");
     Label k_pf = a.NewLabel("k_pf");
+    Label k_dma = a.NewLabel("k_dma");
+    Label pf_get_frame = a.NewLabel("pf_get_frame");
 
     // ------------------------------------------------------------------
     // k_start: enable the clock, dispatch the first process.
@@ -127,11 +131,13 @@ BuildKernelImage(const KernelLayout& layout)
     Label sys_brk = a.NewLabel("sys_brk");
     Label sys_send = a.NewLabel("sys_send");
     Label sys_recv = a.NewLabel("sys_recv");
+    Label sys_fork = a.NewLabel("sys_fork");
+    Label sys_dma = a.NewLabel("sys_dma");
     Label chmk_ret = a.NewLabel("chmk_ret");
     // Jump-table dispatch (VAX idiom); out-of-range codes fall through.
-    a.Emit(Opcode::kCasel, {R(0), Imm(0), Imm(6)});
+    a.Emit(Opcode::kCasel, {R(0), Imm(0), Imm(8)});
     a.CaseTable({sys_exit, sys_yield, sys_putc, sys_getpid, sys_brk,
-                 sys_send, sys_recv});
+                 sys_send, sys_recv, sys_fork, sys_dma});
 
     // kExit and unknown codes: terminate the process.
     a.Bind(sys_exit);
@@ -211,6 +217,178 @@ BuildKernelImage(const KernelLayout& layout)
     a.Emit(Opcode::kBrw, {}, chmk_ret);  // chmk_ret is beyond brb range here
 
     // ------------------------------------------------------------------
+    // sys_fork: clone the caller, clone-style. The child shares the
+    // parent's P0 table (text and heap frames — vfork/clone semantics,
+    // there is no copy-on-write) and gets a fresh, empty P1 stack table,
+    // so its stack pages demand-zero on first touch. Parent r0 = child
+    // pid, child r0 = 0; r0 = 0xffffffff when no process slot is free.
+    // After the extra saves: r5@0 r4@4 r3@8 r2@12 r1@16 r0@20 code@24
+    // pc@28 psl@32.
+    // ------------------------------------------------------------------
+    a.Bind(sys_fork);
+    a.Emit(Opcode::kPushl, {R(3)});
+    a.Emit(Opcode::kPushl, {R(4)});
+    a.Emit(Opcode::kPushl, {R(5)});
+    // r4 = first free slot, scanning alive[].
+    a.Emit(Opcode::kClrl, {R(4)});
+    Label fk_scan = a.Here("fk_scan");
+    Label fk_found = a.NewLabel("fk_found");
+    Label fk_out = a.NewLabel("fk_out");
+    a.Emit(Opcode::kAshl, {Imm(2), R(4), R(0)});
+    a.Emit(Opcode::kAddl3, {R(0), Imm(alive), R(1)});
+    a.Emit(Opcode::kTstl, {assembler::Def(1)});
+    a.Emit(Opcode::kBeql, {}, fk_found);
+    a.Emit(Opcode::kIncl, {R(4)});
+    a.Emit(Opcode::kCmpl, {R(4), Imm(kMaxProcs)});
+    a.Emit(Opcode::kBlss, {}, fk_scan);
+    a.Emit(Opcode::kMovl, {Imm(0xffffffff), Disp(20, kRegSp)});
+    a.Emit(Opcode::kBrw, {}, fk_out);
+    a.Bind(fk_found);
+    // r3 = a zeroed frame for the child's P1 page table. Deliberately not
+    // entered in the resident FIFO: page tables must never be evicted.
+    a.Emit(Opcode::kJsb, {Ref(pf_get_frame)});  // clobbers r0, r1, r5
+    a.Emit(Opcode::kMovl, {R(3), R(0)});
+    a.Emit(Opcode::kMovl, {Imm(128), R(1)});
+    Label fk_zero = a.Here("fk_zero");
+    a.Emit(Opcode::kClrl, {Inc(0)});
+    a.Emit(Opcode::kSobgtr, {R(1)}, fk_zero);
+    // r5 = child PCB (S0 va). Build the full LDPCTX image.
+    a.Emit(Opcode::kAshl, {Imm(7), R(4), R(5)});
+    a.Emit(Opcode::kAddl2, {Imm(kS0Base + layout.pcb_base_pa), R(5)});
+    a.Emit(Opcode::kClrl, {assembler::Def(5)});               // child r0 = 0
+    a.Emit(Opcode::kMovl, {Disp(16, kRegSp), Disp(4, 5)});    // r1
+    a.Emit(Opcode::kMovl, {Disp(12, kRegSp), Disp(8, 5)});    // r2
+    a.Emit(Opcode::kMovl, {Disp(8, kRegSp), Disp(12, 5)});    // r3
+    a.Emit(Opcode::kMovl, {Disp(4, kRegSp), Disp(16, 5)});    // r4
+    a.Emit(Opcode::kMovl, {Disp(0, kRegSp), Disp(20, 5)});    // r5
+    a.Emit(Opcode::kMovl, {R(6), Disp(24, 5)});
+    a.Emit(Opcode::kMovl, {R(7), Disp(28, 5)});
+    a.Emit(Opcode::kMovl, {R(8), Disp(32, 5)});
+    a.Emit(Opcode::kMovl, {R(9), Disp(36, 5)});
+    a.Emit(Opcode::kMovl, {R(10), Disp(40, 5)});
+    a.Emit(Opcode::kMovl, {R(11), Disp(44, 5)});
+    a.Emit(Opcode::kMovl, {R(12), Disp(48, 5)});
+    a.Emit(Opcode::kMovl, {R(13), Disp(52, 5)});
+    // USP = top of the (empty) child stack: kP1Base + P1LR pages.
+    a.Emit(Opcode::kMfpr, {IprImm(isa::Ipr::kP1Lr), R(0)});
+    a.Emit(Opcode::kAshl, {Imm(9), R(0), R(1)});
+    a.Emit(Opcode::kAddl2, {Imm(kP1Base), R(1)});
+    a.Emit(Opcode::kMovl, {R(1), Disp(56, 5)});               // kUsp
+    a.Emit(Opcode::kMovl, {Disp(28, kRegSp), Disp(60, 5)});   // kPc
+    a.Emit(Opcode::kMovl, {Disp(32, kRegSp), Disp(64, 5)});   // kPsl
+    a.Emit(Opcode::kMfpr, {IprImm(isa::Ipr::kP0Br), Disp(68, 5)});
+    a.Emit(Opcode::kMfpr, {IprImm(isa::Ipr::kP0Lr), Disp(72, 5)});
+    a.Emit(Opcode::kSubl3, {Imm(kS0Base), R(3), R(0)});
+    a.Emit(Opcode::kMovl, {R(0), Disp(76, 5)});               // kP1Br (pa)
+    a.Emit(Opcode::kMfpr, {IprImm(isa::Ipr::kP1Lr), Disp(80, 5)});
+    a.Emit(Opcode::kAddl3, {Imm(1), R(4), R(0)});
+    a.Emit(Opcode::kMovl, {R(0), Disp(84, 5)});               // kPid = j+1
+    // Bookkeeping: alive[j] = 1, nlive++, nproc = max(nproc, j+1),
+    // p0tbl[j] = p0tbl[cur], p0cap[j] = p0cap[cur], p1tbl[j] = r3.
+    a.Emit(Opcode::kAshl, {Imm(2), R(4), R(1)});
+    a.Emit(Opcode::kAddl3, {R(1), Imm(alive), R(0)});
+    a.Emit(Opcode::kMovl, {Imm(1), assembler::Def(0)});
+    a.Emit(Opcode::kIncl, {Abs(nlive)});
+    a.Emit(Opcode::kAddl3, {Imm(1), R(4), R(0)});
+    a.Emit(Opcode::kCmpl, {R(0), Abs(nproc)});
+    Label fk_nproc_ok = a.NewLabel("fk_nproc_ok");
+    a.Emit(Opcode::kBleq, {}, fk_nproc_ok);
+    a.Emit(Opcode::kMovl, {R(0), Abs(nproc)});
+    a.Bind(fk_nproc_ok);
+    a.Emit(Opcode::kMovl, {Abs(cur), R(2)});
+    a.Emit(Opcode::kAshl, {Imm(2), R(2), R(2)});
+    a.Emit(Opcode::kAddl3, {R(2), Imm(p0tbl), R(0)});
+    a.Emit(Opcode::kMovl, {assembler::Def(0), R(0)});
+    a.Emit(Opcode::kAddl3, {R(1), Imm(p0tbl), R(5)});
+    a.Emit(Opcode::kMovl, {R(0), assembler::Def(5)});
+    a.Emit(Opcode::kAddl3, {R(2), Imm(p0cap), R(0)});
+    a.Emit(Opcode::kMovl, {assembler::Def(0), R(0)});
+    a.Emit(Opcode::kAddl3, {R(1), Imm(p0cap), R(5)});
+    a.Emit(Opcode::kMovl, {R(0), assembler::Def(5)});
+    a.Emit(Opcode::kAddl3, {R(1), Imm(p1tbl), R(0)});
+    a.Emit(Opcode::kMovl, {R(3), assembler::Def(0)});
+    a.Emit(Opcode::kIncl, {Abs(forks)});
+    // Parent r0 = child pid.
+    a.Emit(Opcode::kAddl3, {Imm(1), R(4), Disp(20, kRegSp)});
+    a.Bind(fk_out);
+    a.Emit(Opcode::kMovl, {Inc(kRegSp), R(5)});
+    a.Emit(Opcode::kMovl, {Inc(kRegSp), R(4)});
+    a.Emit(Opcode::kMovl, {Inc(kRegSp), R(3)});
+    a.Emit(Opcode::kBrw, {}, chmk_ret);
+
+    // ------------------------------------------------------------------
+    // sys_dma: DMA-copy the resident page at P0 va r1 to the resident
+    // page at P0 va r2. Walks the caller's P0 table; either page not
+    // resident -> r0 = 0xffffffff (the caller must touch it first).
+    // After the extra saves: r4@0 r3@4 r2@8 r1@12 r0@16 code@20.
+    // ------------------------------------------------------------------
+    a.Bind(sys_dma);
+    a.Emit(Opcode::kPushl, {R(3)});
+    a.Emit(Opcode::kPushl, {R(4)});
+    Label dma_fail = a.NewLabel("dma_fail");
+    Label dma_out = a.NewLabel("dma_out");
+    Label dma_xlate = a.NewLabel("dma_xlate");
+    // r4 = P0 page-table base (S0 va).
+    a.Emit(Opcode::kMovl, {Abs(cur), R(0)});
+    a.Emit(Opcode::kAshl, {Imm(2), R(0), R(0)});
+    a.Emit(Opcode::kAddl2, {Imm(p0tbl), R(0)});
+    a.Emit(Opcode::kMovl, {assembler::Def(0), R(4)});
+    // Source page (saved r1), then destination page (saved r2). dma_xlate
+    // returns the physical page base in r0, 0 when not resident (frame 0
+    // is the SCB — never a user mapping).
+    a.Emit(Opcode::kMovl, {Disp(12, kRegSp), R(1)});
+    a.Emit(Opcode::kJsb, {Ref(dma_xlate)});
+    a.Emit(Opcode::kTstl, {R(0)});
+    a.Emit(Opcode::kBeql, {}, dma_fail);
+    a.Emit(Opcode::kMtpr, {R(0), IprImm(isa::Ipr::kDmaSrc)});
+    a.Emit(Opcode::kMovl, {Disp(8, kRegSp), R(1)});
+    a.Emit(Opcode::kJsb, {Ref(dma_xlate)});
+    a.Emit(Opcode::kTstl, {R(0)});
+    a.Emit(Opcode::kBeql, {}, dma_fail);
+    a.Emit(Opcode::kMtpr, {R(0), IprImm(isa::Ipr::kDmaDst)});
+    // Program one page and fire the engine.
+    a.Emit(Opcode::kMtpr, {Imm(kPageBytes), IprImm(isa::Ipr::kDmaLen)});
+    a.Emit(Opcode::kMtpr, {Imm(1), IprImm(isa::Ipr::kDmaCtl)});
+    a.Emit(Opcode::kClrl, {Disp(16, kRegSp)});  // r0 = 0
+    a.Emit(Opcode::kBrb, {}, dma_out);
+    a.Bind(dma_fail);
+    a.Emit(Opcode::kMovl, {Imm(0xffffffff), Disp(16, kRegSp)});
+    a.Bind(dma_out);
+    a.Emit(Opcode::kMovl, {Inc(kRegSp), R(4)});
+    a.Emit(Opcode::kMovl, {Inc(kRegSp), R(3)});
+    a.Emit(Opcode::kBrw, {}, chmk_ret);
+
+    // dma_xlate: r1 = P0 va, r4 = P0 table base. Returns r0 = physical
+    // page base, or 0 when the va is outside P0/unmapped/not resident.
+    // Clobbers r0-r2.
+    a.Bind(dma_xlate);
+    Label dx_bad = a.NewLabel("dx_bad");
+    a.Emit(Opcode::kBitl, {Imm(0xc0000000), R(1)});
+    a.Emit(Opcode::kBneq, {}, dx_bad);  // not a P0 address
+    a.Emit(Opcode::kAshl, {Imm(0xf7 /* -9 */), R(1), R(0)});
+    a.Emit(Opcode::kMfpr, {IprImm(isa::Ipr::kP0Lr), R(2)});
+    a.Emit(Opcode::kCmpl, {R(0), R(2)});
+    a.Emit(Opcode::kBgequ, {}, dx_bad);  // beyond P0 length
+    a.Emit(Opcode::kAshl, {Imm(2), R(0), R(0)});
+    a.Emit(Opcode::kAddl2, {R(4), R(0)});
+    a.Emit(Opcode::kMovl, {assembler::Def(0), R(0)});  // the pte
+    a.Emit(Opcode::kTstl, {R(0)});
+    a.Emit(Opcode::kBgeq, {}, dx_bad);  // valid bit (31) clear
+    a.Emit(Opcode::kBicl2, {Imm(0xffc00000), R(0)});
+    a.Emit(Opcode::kAshl, {Imm(9), R(0), R(0)});
+    a.Emit(Opcode::kRsb);
+    a.Bind(dx_bad);
+    a.Emit(Opcode::kClrl, {R(0)});
+    a.Emit(Opcode::kRsb);
+
+    // ------------------------------------------------------------------
+    // k_dma: DMA completion interrupt. Frame: [pc][psl].
+    // ------------------------------------------------------------------
+    a.Bind(k_dma);
+    a.Emit(Opcode::kIncl, {Abs(dma_done)});
+    a.Emit(Opcode::kRei);
+
+    // ------------------------------------------------------------------
     // k_kill_common: current process dies. Kernel stack must be empty.
     // ------------------------------------------------------------------
     a.Bind(k_kill_common);
@@ -264,7 +442,6 @@ BuildKernelImage(const KernelLayout& layout)
     // microcoded MOVC3, so paging shows up in traces as the dense kernel
     // reference bursts it really is.
     // ------------------------------------------------------------------
-    Label pf_get_frame = a.NewLabel("pf_get_frame");
     a.Bind(k_pf);
     a.Emit(Opcode::kPushl, {R(0)});
     a.Emit(Opcode::kPushl, {R(1)});

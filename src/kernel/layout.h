@@ -47,6 +47,10 @@ enum class Syscall : uint32_t {
     kBrk = 4,     ///< set P0 length to r1 pages (clamped to capacity)
     kSend = 5,    ///< enqueue the byte in r1; r0 = 1, or 0 if full
     kRecv = 6,    ///< dequeue into r0; r0 = 0xffffffff if empty
+    kFork = 7,    ///< clone the caller; r0 = child pid, 0 in the child,
+                  ///< 0xffffffff if no slot/frame (shares P0, fresh stack)
+    kDmaCopy = 8, ///< DMA-copy the page at va r1 to the page at va r2;
+                  ///< r0 = 0, or 0xffffffff if either page is not resident
 };
 
 /** Capacity of the kernel's IPC mailbox ring, a power of two. */
@@ -78,6 +82,8 @@ struct KdataOffsets {
     static constexpr uint32_t kFifoNotMask = 208;  ///< ~(ring entries - 1)
     static constexpr uint32_t kSwapOuts = 212;   ///< pages swapped out
     static constexpr uint32_t kSwapIns = 216;    ///< pages swapped in
+    static constexpr uint32_t kDmaDone = 220;    ///< DMA completion interrupts
+    static constexpr uint32_t kForks = 224;      ///< successful kFork calls
 };
 
 /** PTE bit marking a swapped-out page (slot number in the PFN field). */

@@ -1,5 +1,6 @@
 #include "mmu/mmu.h"
 
+#include "cpu/event_counters.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
 
@@ -65,6 +66,8 @@ Mmu::Walk(uint32_t vaddr, bool write, bool kernel_mode)
     XlateResult res;
     res.tb_miss = true;
     res.ucycles = ucode::CostOf(MicroOpKind::kPteRead);
+    if (ev_ != nullptr)
+        ++ev_->tlb_misses;
     res.ucycles += control_store_.FireTlbMiss(vaddr, kernel_mode);
 
     const Region region = RegionOf(vaddr);
@@ -86,6 +89,8 @@ Mmu::Walk(uint32_t vaddr, bool write, bool kernel_mode)
         return res;
     }
     ++pte_reads_;
+    if (ev_ != nullptr)
+        ++ev_->pte_reads;
     uint32_t pte = memory_.Read32(pte_pa);
     res.ucycles += control_store_.FireMemAccess(
         MemAccess{pte_pa, pte_pa, 4, MemAccessKind::kPte, kernel_mode});
@@ -115,6 +120,8 @@ Mmu::Walk(uint32_t vaddr, bool write, bool kernel_mode)
     entry.user = user;
     entry.writable = writable;
     entry.modified = (pte & kPteModified) != 0;
+    if (ev_ != nullptr)
+        ++ev_->tlb_fills;
     tlb_.Insert(entry);
 
     res.status = XlateStatus::kOk;

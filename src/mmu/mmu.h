@@ -35,6 +35,10 @@ namespace atum::obs {
 class Registry;
 }
 
+namespace atum::cpu {
+struct EventCounters;
+}
+
 namespace atum::mmu {
 
 /** PTE field helpers. */
@@ -113,6 +117,13 @@ class Mmu
     uint64_t pte_reads() const { return pte_reads_; }
 
     /**
+     * Hands the MMU the machine's hardware event counters so table walks
+     * can tally TB misses, fills, and PTE reads on the counter path too
+     * (cpu/event_counters.h). Optional; null disables the tallies.
+     */
+    void set_event_counters(cpu::EventCounters* ev) { ev_ = ev; }
+
+    /**
      * Publishes TB and page-walk tallies into `reg` as `mmu.*` counters
      * (lookups, hits, misses, pte_reads). Snapshot-time copy; the hot
      * translation path keeps its plain counters.
@@ -133,6 +144,7 @@ class Mmu
     bool enabled_ = false;
     RegionRegs regions_[3];
     uint64_t pte_reads_ = 0;
+    cpu::EventCounters* ev_ = nullptr;
 };
 
 }  // namespace atum::mmu

@@ -43,6 +43,9 @@ FromMemAccess(const ucode::MemAccess& access)
       case ucode::MemAccessKind::kPte:
         r.type = RecordType::kPte;
         break;
+      case ucode::MemAccessKind::kDma:
+        r.type = RecordType::kDma;
+        break;
     }
     r.flags = MakeFlags(access.kernel, access.size);
     return r;

@@ -30,7 +30,8 @@ enum class RecordType : uint8_t {
     kException = 6,  ///< exception/interrupt dispatch; info = vector
     kOpcode = 7,     ///< instruction decode marker; addr = pc, info = opcode
     kLoss = 8,       ///< capture gap; addr = records lost, info = event no.
-    kNumTypes = 9,
+    kDma = 9,        ///< DMA engine bus write; addr is physical
+    kNumTypes = 10,
 };
 
 /** Flag bits in Record::flags. */

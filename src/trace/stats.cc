@@ -74,6 +74,7 @@ TraceStats::ToString() const
        << "  exception:    " << CountOf(RecordType::kException) << "\n"
        << "  opcode:       " << CountOf(RecordType::kOpcode) << "\n"
        << "  loss:         " << CountOf(RecordType::kLoss) << "\n"
+       << "  dma:          " << CountOf(RecordType::kDma) << "\n"
        << "memory refs:    " << mem_refs_ << "\n"
        << "  kernel:       " << kernel_refs_ << " ("
        << static_cast<int>(KernelFraction() * 1000) / 10.0 << "%)\n"

@@ -48,6 +48,7 @@ enum class MemAccessKind : uint8_t {
     kRead = 1,    ///< data-stream read
     kWrite = 2,   ///< data-stream write
     kPte = 3,     ///< page-table entry read (TB miss service)
+    kDma = 4,     ///< DMA engine bus write (physical; vaddr == paddr)
 };
 
 /**

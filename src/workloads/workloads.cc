@@ -628,13 +628,323 @@ MakePipelinePair(uint32_t count, uint32_t seed)
     return {std::move(producer), std::move(consumer)};
 }
 
+GuestProgram
+MakeServer(uint32_t requests, uint32_t seed)
+{
+    if (requests < 1)
+        Fatal("server: requests must be >= 1");
+    if (seed == 0)
+        Fatal("server: seed must be nonzero");
+
+    Assembler a(0);
+    // r9 = LCG, r8 = request counter, r7 = checksum. Each request makes
+    // three or four system calls with almost no user-mode work between
+    // them: the kernel-entry rate is the signature.
+    a.Emit(Opcode::kMovl, {Imm(requests), R(8)});
+    a.Emit(Opcode::kMovl, {Imm(seed), R(9)});
+    a.Emit(Opcode::kClrl, {R(7)});
+
+    Label req = a.Here("req");
+    EmitLcg(a, 9);
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kGetpid))});
+    a.Emit(Opcode::kAddl2, {R(0), R(7)});
+    a.Emit(Opcode::kBicl3, {Imm(~0xffu), R(9), R(1)});
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kSend))});
+    Label no_recv = a.NewLabel("no_recv");
+    a.Emit(Opcode::kTstl, {R(0)});
+    a.Emit(Opcode::kBeql, {}, no_recv);  // mailbox full: skip the drain
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kRecv))});
+    a.Emit(Opcode::kAddl2, {R(0), R(7)});
+    a.Bind(no_recv);
+    Label no_yield = a.NewLabel("no_yield");
+    a.Emit(Opcode::kBicl3, {Imm(~7u), R(8), R(4)});
+    a.Emit(Opcode::kTstl, {R(4)});
+    a.Emit(Opcode::kBneq, {}, no_yield);
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kYield))});
+    a.Bind(no_yield);
+    a.Emit(Opcode::kSobgtr, {R(8)}, req);
+
+    EmitEpilogue(a, 'v');
+    Label heap = a.NewLabel("heap");
+    a.Align(kPageBytes);
+    a.Bind(heap);
+
+    GuestProgram gp;
+    gp.name = "server";
+    gp.program = a.Finish();
+    gp.heap_pages = 2;
+    return gp;
+}
+
+GuestProgram
+MakeIoStorm(uint32_t transfers, uint32_t seed)
+{
+    if (transfers < 1)
+        Fatal("iostorm: transfers must be >= 1");
+    if (seed == 0)
+        Fatal("iostorm: seed must be nonzero");
+
+    Assembler a(0);
+    Label heap = a.NewLabel("heap");
+    // r11 = source page, r10 = destination page, r8 = transfer counter,
+    // r7 = checksum, r6 = LCG.
+    a.Emit(Opcode::kMoval, {Ref(heap), R(11)});
+    a.Emit(Opcode::kAddl3, {Imm(kPageBytes), R(11), R(10)});
+
+    // Fill the source page so the first transfer moves real data.
+    a.Emit(Opcode::kMovl, {Imm(seed), R(6)});
+    a.Emit(Opcode::kMovl, {R(11), R(1)});
+    a.Emit(Opcode::kMovl, {Imm(kPageBytes / 4), R(2)});
+    Label fill = a.Here("fill");
+    EmitLcg(a, 6);
+    a.Emit(Opcode::kMovl, {R(6), Inc(1)});
+    a.Emit(Opcode::kSobgtr, {R(2)}, fill);
+
+    a.Emit(Opcode::kMovl, {Imm(transfers), R(8)});
+    a.Emit(Opcode::kClrl, {R(7)});
+    Label xfer = a.Here("xfer");
+    // Touch both pages so they are resident (the pager may have evicted
+    // them), then ask the kernel for a page-sized DMA copy.
+    a.Emit(Opcode::kMovl, {Def(11), R(3)});
+    a.Emit(Opcode::kMovl, {R(3), Def(10)});
+    a.Emit(Opcode::kMovl, {R(11), R(1)});
+    a.Emit(Opcode::kMovl, {R(10), R(2)});
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kDmaCopy))});
+    Label started = a.NewLabel("started");
+    a.Emit(Opcode::kTstl, {R(0)});
+    a.Emit(Opcode::kBeql, {}, started);
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kYield))});
+    a.Emit(Opcode::kBrb, {}, xfer);
+    a.Bind(started);
+    // Pace: compute long enough that the transfer-complete interrupt
+    // (len/4 + 8 instructions after the start) lands inside this loop.
+    a.Emit(Opcode::kMovl, {Imm(200), R(4)});
+    a.Emit(Opcode::kMovl, {R(8), R(5)});
+    Label pace = a.Here("pace");
+    EmitLcg(a, 5);
+    a.Emit(Opcode::kSobgtr, {R(4)}, pace);
+    // Verify the copy and fold it into the checksum.
+    a.Emit(Opcode::kMovl, {Def(11), R(3)});
+    Label copy_ok = a.NewLabel("copy_ok");
+    a.Emit(Opcode::kCmpl, {R(3), Def(10)});
+    a.Emit(Opcode::kBeql, {}, copy_ok);
+    a.Emit(Opcode::kMovl, {Imm('!'), R(1)});
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kPutc))});
+    a.Bind(copy_ok);
+    a.Emit(Opcode::kAddl2, {Def(10), R(7)});
+    // Mutate the source page head so every transfer moves fresh data.
+    a.Emit(Opcode::kMovl, {R(5), Def(11)});
+    a.Emit(Opcode::kSobgtr, {R(8)}, xfer);
+
+    EmitEpilogue(a, 'd');
+    a.Align(kPageBytes);
+    a.Bind(heap);
+
+    GuestProgram gp;
+    gp.name = "iostorm";
+    gp.program = a.Finish();
+    gp.heap_pages = HeapPagesFor(2 * kPageBytes);
+    return gp;
+}
+
+GuestProgram
+MakeForkWave(uint32_t children, uint32_t seed)
+{
+    if (children < 1)
+        Fatal("forkwave: children must be >= 1");
+    if (seed == 0)
+        Fatal("forkwave: seed must be nonzero");
+
+    Assembler a(0);
+    // r8 = forks remaining, r7 = forks achieved. Children share the
+    // parent's text (P0) but get a fresh empty stack, so both sides of
+    // the fork stay register-only: no stack state crosses the clone.
+    a.Emit(Opcode::kMovl, {Imm(children), R(8)});
+    a.Emit(Opcode::kClrl, {R(7)});
+
+    Label floop = a.Here("floop");
+    Label child = a.NewLabel("child");
+    Label fnext = a.NewLabel("fnext");
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kFork))});
+    a.Emit(Opcode::kTstl, {R(0)});
+    a.Emit(Opcode::kBeql, {}, child);
+    a.Emit(Opcode::kCmpl, {R(0), Imm(0xffffffff)});
+    a.Emit(Opcode::kBneq, {}, fnext);
+    // Process table full: yield until a child exits and frees a slot.
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kYield))});
+    a.Emit(Opcode::kBrb, {}, floop);
+    a.Bind(fnext);
+    a.Emit(Opcode::kIncl, {R(7)});
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kYield))});
+    a.Emit(Opcode::kSobgtr, {R(8)}, floop);
+    Label done = a.NewLabel("done");
+    a.Emit(Opcode::kBrb, {}, done);
+
+    // Child: a short register-only compute burst, then exit.
+    a.Bind(child);
+    a.Emit(Opcode::kMovl, {Imm(seed), R(9)});
+    a.Emit(Opcode::kMovl, {Imm(400), R(6)});
+    Label cburst = a.Here("cburst");
+    EmitLcg(a, 9);
+    a.Emit(Opcode::kSobgtr, {R(6)}, cburst);
+    a.Emit(Opcode::kMovl, {Imm('+'), R(1)});
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kPutc))});
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kExit))});
+
+    a.Bind(done);
+    EmitEpilogue(a, 'w');
+    Label heap = a.NewLabel("heap");
+    a.Align(kPageBytes);
+    a.Bind(heap);
+
+    GuestProgram gp;
+    gp.name = "forkwave";
+    gp.program = a.Finish();
+    gp.heap_pages = 2;
+    return gp;
+}
+
+GuestProgram
+MakeTlbThrash(uint32_t pages, uint32_t passes, uint32_t seed)
+{
+    if (pages < 1 || passes < 1)
+        Fatal("tlbthrash: pages and passes must be >= 1");
+    if (seed == 0)
+        Fatal("tlbthrash: seed must be nonzero");
+
+    Assembler a(0);
+    Label heap = a.NewLabel("heap");
+    // One load per page per pass. With `pages` comfortably above the TB
+    // capacity, every steady-state access both misses the TB and walks
+    // the page table: the miss *rate* is the signature.
+    a.Emit(Opcode::kMoval, {Ref(heap), R(11)});
+    a.Emit(Opcode::kMovl, {Imm(passes), R(8)});
+    a.Emit(Opcode::kClrl, {R(7)});
+    Label pass = a.Here("pass");
+    a.Emit(Opcode::kMovl, {R(11), R(1)});
+    a.Emit(Opcode::kMovl, {Imm(pages), R(2)});
+    Label ploop = a.Here("ploop");
+    a.Emit(Opcode::kAddl2, {Def(1), R(7)});
+    a.Emit(Opcode::kAddl2, {Imm(kPageBytes), R(1)});
+    a.Emit(Opcode::kSobgtr, {R(2)}, ploop);
+    a.Emit(Opcode::kSobgtr, {R(8)}, pass);
+
+    EmitEpilogue(a, 't');
+    a.Align(kPageBytes);
+    a.Bind(heap);
+
+    GuestProgram gp;
+    gp.name = "tlbthrash";
+    gp.program = a.Finish();
+    gp.heap_pages = HeapPagesFor(pages * kPageBytes);
+    return gp;
+}
+
+GuestProgram
+MakeSmc(uint32_t rewrites, uint32_t seed)
+{
+    if (rewrites < 1)
+        Fatal("smc: rewrites must be >= 1");
+    if (seed == 0)
+        Fatal("smc: seed must be nonzero");
+
+    Assembler a(0);
+    // The callee below is hand-assembled as data so the main loop can
+    // patch its immediate field: each iteration stores new bytes into the
+    // program's own text page, then JSBs to the routine, which must
+    // return the just-written value. The prefetch buffer holds a single
+    // aligned word and the call itself moves the fetch stream away from
+    // and back onto the patched word, so the new bytes are always
+    // observed — that refill traffic is the signature.
+    Label smc_fn = a.NewLabel("smc_fn");
+    Label smc_imm = a.NewLabel("smc_imm");
+    a.Emit(Opcode::kMovl, {Imm(rewrites), R(8)});
+    a.Emit(Opcode::kMovl, {Imm(seed), R(6)});
+    a.Emit(Opcode::kClrl, {R(7)});
+    a.Emit(Opcode::kMoval, {Ref(smc_imm), R(9)});
+
+    Label loop = a.Here("loop");
+    EmitLcg(a, 6);
+    a.Emit(Opcode::kMovl, {R(6), Def(9)});  // rewrite our own text
+    a.Emit(Opcode::kJsb, {Ref(smc_fn)});
+    Label patched_ok = a.NewLabel("patched_ok");
+    a.Emit(Opcode::kCmpl, {R(0), R(6)});
+    a.Emit(Opcode::kBeql, {}, patched_ok);
+    a.Emit(Opcode::kMovl, {Imm('!'), R(1)});
+    a.Emit(Opcode::kChmk, {Imm(static_cast<uint32_t>(Syscall::kPutc))});
+    a.Bind(patched_ok);
+    a.Emit(Opcode::kAddl2, {R(0), R(7)});
+    a.Emit(Opcode::kSobgtr, {R(8)}, loop);
+
+    EmitEpilogue(a, 'x');
+
+    // smc_fn:  MOVL #<patched>, r0 ; RSB
+    a.Bind(smc_fn);
+    a.Byte(static_cast<uint8_t>(Opcode::kMovl));
+    a.Byte(isa::SpecifierByte(isa::AddrMode::kImm, 0));
+    a.Bind(smc_imm);
+    a.Long(0);
+    a.Byte(isa::SpecifierByte(isa::AddrMode::kReg, 0));
+    a.Byte(static_cast<uint8_t>(Opcode::kRsb));
+
+    Label heap = a.NewLabel("heap");
+    a.Align(kPageBytes);
+    a.Bind(heap);
+
+    GuestProgram gp;
+    gp.name = "smc";
+    gp.program = a.Finish();
+    gp.heap_pages = 2;
+    return gp;
+}
+
+namespace {
+
+/**
+ * The single source of truth for name -> generator. Order is load-bearing:
+ * bench mixes (bench/common.h) index AllWorkloadNames() round-robin, so
+ * the original eight keep their positions and new entries append.
+ */
+struct WorkloadEntry {
+    const char* name;
+    GuestProgram (*make)(uint32_t scale);
+};
+
+constexpr WorkloadEntry kWorkloadTable[] = {
+    {"matrix",
+     [](uint32_t s) { return MakeMatrix(16 * s > 64 ? 64 : 16 * s); }},
+    {"sort", [](uint32_t s) { return MakeSort(600 * s); }},
+    {"listproc", [](uint32_t s) { return MakeListProc(400 * s, 24); }},
+    {"grep", [](uint32_t s) { return MakeGrep(8192 * s, 6); }},
+    {"hash", [](uint32_t s) { return MakeHash(2500 * s); }},
+    {"fft",
+     [](uint32_t s) {
+         uint32_t size = 512;
+         while (size < 512 * s)
+             size <<= 1;
+         return MakeFft(size);
+     }},
+    {"editor", [](uint32_t s) { return MakeEditor(40 * s, 4); }},
+    {"queuesim", [](uint32_t s) { return MakeQueueSim(600 * s); }},
+    {"server", [](uint32_t s) { return MakeServer(300 * s); }},
+    {"iostorm", [](uint32_t s) { return MakeIoStorm(40 * s); }},
+    {"forkwave",
+     [](uint32_t s) { return MakeForkWave(12 * s > 48 ? 48 : 12 * s); }},
+    {"tlbthrash", [](uint32_t s) { return MakeTlbThrash(192 * s, 8); }},
+    {"smc", [](uint32_t s) { return MakeSmc(400 * s); }},
+};
+
+}  // namespace
+
 const std::vector<std::string>&
 AllWorkloadNames()
 {
-    static const std::vector<std::string>& names = *new std::vector<std::string>{
-        "matrix", "sort", "listproc", "grep", "hash", "fft", "editor",
-        "queuesim",
-    };
+    static const std::vector<std::string>& names = *[] {
+        auto* v = new std::vector<std::string>;
+        for (const WorkloadEntry& e : kWorkloadTable)
+            v->push_back(e.name);
+        return v;
+    }();
     return names;
 }
 
@@ -643,26 +953,10 @@ MakeWorkload(const std::string& name, uint32_t scale)
 {
     if (scale < 1)
         Fatal("workload scale must be >= 1");
-    if (name == "matrix")
-        return MakeMatrix(16 * scale > 64 ? 64 : 16 * scale);
-    if (name == "sort")
-        return MakeSort(600 * scale);
-    if (name == "listproc")
-        return MakeListProc(400 * scale, 24);
-    if (name == "grep")
-        return MakeGrep(8192 * scale, 6);
-    if (name == "hash")
-        return MakeHash(2500 * scale);
-    if (name == "fft") {
-        uint32_t size = 512;
-        while (size < 512 * scale)
-            size <<= 1;
-        return MakeFft(size);
+    for (const WorkloadEntry& e : kWorkloadTable) {
+        if (name == e.name)
+            return e.make(scale);
     }
-    if (name == "editor")
-        return MakeEditor(40 * scale, 4);
-    if (name == "queuesim")
-        return MakeQueueSim(600 * scale);
     Fatal("unknown workload: ", name);
 }
 

@@ -18,6 +18,17 @@
  *               chasing), node allocation, subroutine calls
  *   - fft:      butterfly strides (power-of-two stride sweep)
  *
+ * The adversarial zoo stresses the *capture machinery* rather than the
+ * memory hierarchy: each one is built to push a specific counter or
+ * tracer path to an extreme so the crosscheck harness
+ * (analysis/crosscheck.h) has hostile inputs:
+ *
+ *   - server:    system-call storm; kernel-entry rate near the maximum
+ *   - iostorm:   DMA transfers racing the completion interrupt
+ *   - forkwave:  process creation/destruction churn (context switches)
+ *   - tlbthrash: strided sweep sized at a multiple of the TB capacity
+ *   - smc:       self-modifying code; rewrites its own text page mid-run
+ *
  * Every program is deterministic (guest-side LCG with a fixed seed),
  * allocates from its demand-zero heap (exercising the kernel pager), makes
  * system calls, and exits via CHMK #0.
@@ -67,6 +78,48 @@ kernel::GuestProgram MakeQueueSim(uint32_t events = 600,
  */
 std::vector<kernel::GuestProgram> MakePipelinePair(
     uint32_t count = 400, uint32_t seed = 0x9abcdef);
+
+/**
+ * Syscall-storm server loop: `requests` iterations of getpid + mailbox
+ * send/recv with periodic yields. Nearly every fourth instruction is a
+ * kernel entry or exit.
+ */
+kernel::GuestProgram MakeServer(uint32_t requests = 300,
+                                uint32_t seed = 0xa012345);
+
+/**
+ * DMA-heavy I/O scenario: `transfers` page-sized kDmaCopy transfers, each
+ * paced by a compute loop long enough that the transfer-complete interrupt
+ * lands mid-computation, then verified word-by-word.
+ */
+kernel::GuestProgram MakeIoStorm(uint32_t transfers = 40,
+                                 uint32_t seed = 0xb123456);
+
+/**
+ * Fork-heavy shell flavour: the parent forks `children` short-lived
+ * compute bursts (retrying with yields when the process table is full)
+ * and every child exits via CHMK #0.
+ */
+kernel::GuestProgram MakeForkWave(uint32_t children = 12,
+                                  uint32_t seed = 0xc234567);
+
+/**
+ * TB thrasher: `passes` sequential sweeps touching one word in each of
+ * `pages` pages. Size `pages` at a multiple of the simulated TB capacity
+ * (sets x ways; the default machine holds 64 entries) so steady-state
+ * sweeps miss on every access.
+ */
+kernel::GuestProgram MakeTlbThrash(uint32_t pages = 192, uint32_t passes = 8,
+                                   uint32_t seed = 0xd345678);
+
+/**
+ * Self-modifying code: a hand-assembled `MOVL #imm, r0; RSB` routine whose
+ * immediate field the main loop rewrites before every JSB — `rewrites`
+ * stores into the program's own text page, each followed by a call that
+ * must observe the new bytes.
+ */
+kernel::GuestProgram MakeSmc(uint32_t rewrites = 400,
+                             uint32_t seed = 0xe456789);
 
 /** Names accepted by MakeWorkload. */
 const std::vector<std::string>& AllWorkloadNames();

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "core/atum_tracer.h"
@@ -35,6 +36,9 @@ struct RunOutcome {
     std::string console;
     uint64_t instructions = 0;
     uint32_t page_faults = 0;
+    uint32_t dma_interrupts = 0;
+    uint32_t forks = 0;
+    cpu::EventCounters ev;
 };
 
 RunOutcome
@@ -50,6 +54,11 @@ RunOne(GuestProgram program, uint64_t max_instructions = 30'000'000)
     out.instructions = result.instructions;
     out.page_faults = machine->memory().Read32(info.layout.kdata_pa +
                                                KdataOffsets::kPfCount);
+    out.dma_interrupts = machine->memory().Read32(info.layout.kdata_pa +
+                                                  KdataOffsets::kDmaDone);
+    out.forks = machine->memory().Read32(info.layout.kdata_pa +
+                                         KdataOffsets::kForks);
+    out.ev = machine->event_counters();
     return out;
 }
 
@@ -191,11 +200,141 @@ TEST(Workloads, StandardMixRunsMultiprogrammed)
     EXPECT_GT(cs, 0u);
 }
 
+// ---------------------------------------------------------------------
+// The adversarial zoo. Each generator exists to push one counter or
+// capture path to an extreme, so its test asserts that *signature*, not
+// just completion.
+// ---------------------------------------------------------------------
+
+TEST(Workloads, ServerCompletes)
+{
+    const RunOutcome out = RunOne(MakeServer(200));
+    EXPECT_EQ(out.console, "v");
+    EXPECT_GT(out.ev.syscalls, 600u);  // >= 3 per request
+}
+
+TEST(Workloads, ServerIsSyscallStorm)
+{
+    // The server's syscalls-per-instruction rate must dwarf a
+    // compute-bound workload's.
+    const RunOutcome server = RunOne(MakeServer(200));
+    const RunOutcome compute = RunOne(MakeMatrix(12));
+    const double server_rate = static_cast<double>(server.ev.syscalls) /
+                               static_cast<double>(server.ev.instructions);
+    const double compute_rate = static_cast<double>(compute.ev.syscalls) /
+                                static_cast<double>(compute.ev.instructions);
+    EXPECT_GT(server_rate, compute_rate * 20);
+}
+
+TEST(Workloads, IoStormMovesDataThroughDma)
+{
+    const RunOutcome out = RunOne(MakeIoStorm(30));
+    EXPECT_EQ(out.console, "d");  // no '!' = every copy verified
+    // Every transfer is one page through the DMA engine, and every
+    // completion interrupt was delivered.
+    EXPECT_EQ(out.ev.dma_bytes, 30u * 512u);
+    EXPECT_EQ(out.dma_interrupts, 30u);
+}
+
+TEST(Workloads, ForkWaveSpawnsAndReapsChildren)
+{
+    const RunOutcome out = RunOne(MakeForkWave(10));
+    // Ten children each print '+'; the parent prints 'w' when done.
+    EXPECT_EQ(out.forks, 10u);
+    EXPECT_EQ(out.console.size(), 11u);
+    EXPECT_EQ(std::count(out.console.begin(), out.console.end(), '+'), 10);
+    EXPECT_NE(out.console.find('w'), std::string::npos);
+}
+
+TEST(Workloads, TlbThrashMissRateIsExtreme)
+{
+    // 192 pages against a 64-entry TB: steady-state sweeps miss on every
+    // page touched. grep streams through a few pages and barely misses.
+    const RunOutcome thrash = RunOne(MakeTlbThrash(192, 8));
+    const RunOutcome stream = RunOne(MakeGrep(2048, 2));
+    EXPECT_EQ(thrash.console, "t");
+    const double thrash_rate =
+        static_cast<double>(thrash.ev.tlb_misses) /
+        static_cast<double>(thrash.ev.instructions);
+    const double stream_rate =
+        static_cast<double>(stream.ev.tlb_misses) /
+        static_cast<double>(stream.ev.instructions);
+    EXPECT_GT(thrash_rate, stream_rate * 10);
+    // At minimum every page of every steady-state pass misses.
+    EXPECT_GT(thrash.ev.tlb_misses, 192u * 7u);
+}
+
+TEST(Workloads, SmcRewritesItsOwnText)
+{
+    // Trace the run and count user-mode writes landing in the program's
+    // first text page — the patched immediate lives there.
+    cpu::Machine::Config config;
+    config.mem_bytes = 2u << 20;
+    config.timer_reload = 3000;
+    cpu::Machine machine(config);
+    trace::VectorSink sink;
+    core::AtumTracer tracer(machine, sink);
+    std::vector<GuestProgram> programs;
+    programs.push_back(MakeSmc(100));
+    BootSystem(machine, std::move(programs));
+    core::RunTraced(machine, tracer, 30'000'000);
+    EXPECT_EQ(machine.console_output(), "x");  // no '!' = every call saw
+                                               // the patched bytes
+    uint64_t text_writes = 0;
+    for (const auto& r : sink.records()) {
+        if (r.type == trace::RecordType::kWrite && !r.kernel() &&
+            r.addr < 512)
+            ++text_writes;
+    }
+    EXPECT_EQ(text_writes, 100u);
+}
+
+TEST(Workloads, ZooIsDeterministic)
+{
+    for (const char* name : {"server", "iostorm", "forkwave", "tlbthrash",
+                             "smc"}) {
+        const RunOutcome a = RunOne(MakeWorkload(name));
+        const RunOutcome b = RunOne(MakeWorkload(name));
+        EXPECT_EQ(a.instructions, b.instructions) << name;
+        EXPECT_TRUE(a.ev == b.ev) << name;
+        EXPECT_EQ(a.console, b.console) << name;
+    }
+}
+
+TEST(Workloads, GoldenInstructionCounts)
+{
+    // Retired-instruction counts for every registered workload at scale 1
+    // on the standard small machine. These pin down the exact guest
+    // execution: any change to the generators, the kernel, or the
+    // executor's instruction semantics shows up here first. Update
+    // deliberately when semantics change on purpose.
+    const struct {
+        const char* name;
+        uint64_t instructions;
+    } golden[] = {
+        {"matrix", 69485},   {"sort", 144255},    {"listproc", 121222},
+        {"grep", 194860},    {"hash", 119943},    {"fft", 50266},
+        {"editor", 15279},   {"queuesim", 17128}, {"server", 21079},
+        {"iostorm", 28467},  {"forkwave", 19791}, {"tlbthrash", 64971},
+        {"smc", 4367},
+    };
+    EXPECT_EQ(std::size(golden), AllWorkloadNames().size());
+    for (const auto& g : golden) {
+        const RunOutcome out = RunOne(MakeWorkload(g.name));
+        EXPECT_EQ(out.instructions, g.instructions) << g.name;
+    }
+}
+
 TEST(WorkloadsDeath, BadParametersAreFatal)
 {
     EXPECT_DEATH(MakeMatrix(1), "n must be");
     EXPECT_DEATH(MakeFft(100), "power of two");
     EXPECT_DEATH(MakeWorkload("nope"), "unknown workload");
+    EXPECT_DEATH(MakeServer(0), "requests must be");
+    EXPECT_DEATH(MakeIoStorm(1, 0), "seed must be");
+    EXPECT_DEATH(MakeForkWave(0), "children must be");
+    EXPECT_DEATH(MakeTlbThrash(0, 1), "pages and passes");
+    EXPECT_DEATH(MakeSmc(0), "rewrites must be");
 }
 
 }  // namespace

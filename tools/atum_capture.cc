@@ -5,7 +5,7 @@
 //   atum-capture --out trace.atum [--workloads hash,matrix,listproc]
 //                [--scale 2] [--timer 2000] [--mem-mb 4] [--buffer-kb 256]
 //                [--pool-frames N] [--pipeline N] [--user-only PID]
-//                [--max-instructions N]
+//                [--max-instructions N] [--record-opcodes]
 //                [--checkpoint BASE] [--checkpoint-every FILLS]
 //                [--checkpoint-keep K] [--watchdog UCYCLES]
 //                [--deadline-ms MS]
@@ -14,6 +14,8 @@
 //
 // --pipeline N adds the IPC producer/consumer pair with N messages.
 // --user-only PID captures with the pre-ATUM baseline probe instead.
+// --record-opcodes adds a kOpcode marker per retired instruction so
+// `atum-report --crosscheck` can bound the instruction counter too.
 //
 // Telemetry: --metrics-out FILE streams registry snapshots as JSON Lines
 // (schema atum-metrics-v1; follow live with atum-top FILE) at
@@ -96,6 +98,7 @@ struct Options {
     uint64_t deadline_ms = 0;
     uint64_t kill_after_fills = 0;  // test hook: emulate SIGKILL
     bool wedge_demo = false;        // boot a guest that can never progress
+    bool record_opcodes = false;    // emit kOpcode markers (crosscheck)
 
     // -- telemetry ---------------------------------------------------------
     std::string metrics_out;  // JSONL snapshot stream ("" = off)
@@ -175,6 +178,8 @@ ParseArgs(int argc, char** argv)
                 std::strtoull(next().c_str(), nullptr, 0);
         else if (arg == "--wedge-demo")
             opts.wedge_demo = true;
+        else if (arg == "--record-opcodes")
+            opts.record_opcodes = true;
         else if (arg == "--version") {
             std::printf("%s\n", util::VersionString("atum-capture").c_str());
             std::exit(util::kExitOk);
@@ -314,6 +319,8 @@ ManifestConfig(const Options& opts)
                             std::to_string(opts.deadline_ms));
     if (!opts.metrics_out.empty())
         config.emplace_back("metrics_out", opts.metrics_out);
+    if (opts.record_opcodes)
+        config.emplace_back("record_opcodes", "1");
     return config;
 }
 
@@ -504,6 +511,7 @@ Run(const Options& opts)
 
     core::AtumConfig tracer_config;
     tracer_config.buffer_bytes = opts.buffer_kb << 10;
+    tracer_config.record_opcodes = opts.record_opcodes;
     core::AtumTracer tracer(machine, **sink, tracer_config);
     if (opts.wedge_demo)
         BootWedge(machine);

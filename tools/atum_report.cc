@@ -8,6 +8,7 @@
 //                [--stats]
 //   atum-report trace.atf --verify
 //   atum-report trace.atf --salvage repaired.atf
+//   atum-report trace.atf --crosscheck [--prefix]
 //   atum-report --version
 //
 // --stats appends a dump of the process's metrics registry (replay.*
@@ -23,9 +24,15 @@
 // report without analyzing anything; --salvage additionally writes every
 // recoverable record to a fresh sealed container.
 //
+// --crosscheck re-derives the hardware event counters from the record
+// stream and compares them against the cpu.ev.* finals in the capture's
+// run manifest (<trace>.run.json); any counter outside its derived
+// interval fails the run with the corrupt exit code. --prefix marks the
+// trace as a salvaged prefix (lower bounds only). See docs/COUNTERS.md.
+//
 // Exit codes: 0 success (--verify: file intact), 1 internal failure,
 // 2 usage error, 3 input missing/unreadable, 4 input corrupt
-// (--verify: damage found).
+// (--verify: damage found; --crosscheck: counter mismatch).
 
 #include <chrono>
 #include <cstdio>
@@ -33,11 +40,13 @@
 #include <string>
 #include <vector>
 
+#include "analysis/crosscheck.h"
 #include "analysis/parallel_profiles.h"
 #include "analysis/stack_distance.h"
 #include "analysis/working_set.h"
 #include "cache/cache.h"
 #include "cache/trace_driver.h"
+#include "io/vfs.h"
 #include "obs/metrics.h"
 #include "replay/sweep.h"
 #include "util/build_info.h"
@@ -67,6 +76,9 @@ struct Options {
     bool verify = false;        ///< scan and report damage, nothing else
     std::string salvage_out;    ///< write recovered records here
     bool stats = false;         ///< dump the metrics registry at the end
+    bool crosscheck = false;    ///< validate counters against the manifest
+    bool prefix = false;        ///< trace is a salvaged prefix
+    std::string manifest;       ///< run manifest; default <trace>.run.json
 };
 
 /** Command-line mistakes exit with the usage code, not Fatal's 1. */
@@ -150,6 +162,12 @@ ParseArgs(int argc, char** argv)
             opts.salvage_out = next();
         else if (arg == "--stats")
             opts.stats = true;
+        else if (arg == "--crosscheck")
+            opts.crosscheck = true;
+        else if (arg == "--prefix")
+            opts.prefix = true;
+        else if (arg == "--manifest")
+            opts.manifest = next();
         else if (arg == "--version") {
             std::printf("%s\n", util::VersionString("atum-report").c_str());
             std::exit(util::kExitOk);
@@ -169,15 +187,44 @@ TypeName(trace::RecordType type)
 {
     static const char* const kNames[] = {"ifetch",  "read",   "write",
                                          "pte",     "ctxsw",  "tlbmiss",
-                                         "except",  "opcode", "loss"};
+                                         "except",  "opcode", "loss",
+                                         "dma"};
     return kNames[static_cast<unsigned>(type)];
+}
+
+/** `--crosscheck`: validate the trace against the run manifest. */
+int
+RunCrosscheck(const Options& opts, io::Vfs& vfs)
+{
+    const std::string manifest_path =
+        opts.manifest.empty() ? opts.path + ".run.json" : opts.manifest;
+    util::StatusOr<cpu::EventCounters> actual =
+        analysis::ReadCountersFromManifest(manifest_path, vfs);
+    if (!actual.ok()) {
+        std::fprintf(stderr, "atum-report: %s\n",
+                     actual.status().ToString().c_str());
+        return util::ExitCodeFor(actual.status());
+    }
+    util::StatusOr<std::vector<trace::Record>> loaded =
+        trace::LoadTrace(opts.path, vfs);
+    if (!loaded.ok()) {
+        std::fprintf(stderr, "atum-report: %s\n",
+                     loaded.status().ToString().c_str());
+        return util::ExitCodeFor(loaded.status());
+    }
+    analysis::CrosscheckOptions cc_opts;
+    cc_opts.prefix = opts.prefix;
+    const analysis::CrosscheckReport report =
+        analysis::Crosscheck(*loaded, *actual, cc_opts);
+    std::printf("%s", report.ToString().c_str());
+    return report.passed() ? util::kExitOk : util::kExitCorrupt;
 }
 
 /** `--verify` / `--salvage`: tolerant scan, report, optional rewrite. */
 int
-RunSalvage(const Options& opts)
+RunSalvage(const Options& opts, io::Vfs& vfs)
 {
-    auto source = trace::FileByteSource::Open(opts.path);
+    auto source = trace::FileByteSource::Open(opts.path, vfs);
     if (!source.ok()) {
         std::fprintf(stderr, "atum-report: %s\n",
                      source.status().ToString().c_str());
@@ -192,7 +239,7 @@ RunSalvage(const Options& opts)
         return util::kExitCorrupt;
 
     if (!opts.salvage_out.empty()) {
-        auto out = trace::FileByteSink::Open(opts.salvage_out);
+        auto out = trace::FileByteSink::Open(opts.salvage_out, vfs);
         if (!out.ok()) {
             std::fprintf(stderr, "atum-report: %s\n",
                          out.status().ToString().c_str());
@@ -214,14 +261,16 @@ RunSalvage(const Options& opts)
 }
 
 int
-Run(const Options& opts)
+Run(const Options& opts, io::Vfs& vfs)
 {
     if (opts.verify || !opts.salvage_out.empty())
-        return RunSalvage(opts);
+        return RunSalvage(opts, vfs);
+    if (opts.crosscheck)
+        return RunCrosscheck(opts, vfs);
 
     const auto load_start = std::chrono::steady_clock::now();
     util::StatusOr<std::vector<trace::Record>> loaded =
-        trace::LoadTrace(opts.path);
+        trace::LoadTrace(opts.path, vfs);
     if (!loaded.ok()) {
         std::fprintf(stderr, "atum-report: %s\n",
                      loaded.status().ToString().c_str());
@@ -356,5 +405,6 @@ main(int argc, char** argv)
     // Reports are made to be piped (`atum-report t.atum | head`): ignore
     // SIGPIPE and treat a broken pipe at exit as success.
     atum::util::IgnoreSigpipe();
-    return atum::util::FinishStdout(atum::Run(atum::ParseArgs(argc, argv)));
+    return atum::util::FinishStdout(
+        atum::Run(atum::ParseArgs(argc, argv), atum::io::RealVfs()));
 }
