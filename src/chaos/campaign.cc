@@ -2,15 +2,23 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <memory>
+#include <random>
+#include <set>
 #include <sstream>
 
 #include "core/checkpoint.h"
 #include "core/session.h"
 #include "io/mem_vfs.h"
 #include "kernel/boot.h"
+#include "obs/metrics.h"
+#include "serve/journal.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
 #include "trace/container.h"
 #include "trace/sink.h"
+#include "util/json.h"
 #include "util/logging.h"
 #include "workloads/workloads.h"
 
@@ -137,11 +145,11 @@ struct TraceFacts {
 };
 
 util::StatusOr<TraceFacts>
-ScanUniverse(io::Vfs& vfs)
+ScanUniverse(io::Vfs& vfs, const std::string& path = kTracePath)
 {
     TraceFacts facts;
     util::StatusOr<std::unique_ptr<trace::FileByteSource>> in =
-        trace::FileByteSource::Open(kTracePath, vfs);
+        trace::FileByteSource::Open(path, vfs);
     if (!in.ok()) {
         if (in.status().code() == util::StatusCode::kNotFound)
             return facts;  // nothing durable was ever promised
@@ -166,9 +174,16 @@ Fail(SeedResult& r, const char* invariant, std::string detail)
     r.violations.push_back(InvariantViolation{invariant, std::move(detail)});
 }
 
-/** Round-trips the salvaged records through a fresh container. */
 void
-CheckSalvageRoundTrip(SeedResult& r, const TraceFacts& facts)
+Fail(ServeSeedResult& r, const char* invariant, std::string detail)
+{
+    r.violations.push_back(InvariantViolation{invariant, std::move(detail)});
+}
+
+/** Round-trips the salvaged records through a fresh container. */
+template <typename Result>
+void
+CheckSalvageRoundTrip(Result& r, const TraceFacts& facts)
 {
     if (facts.records.empty())
         return;
@@ -375,6 +390,295 @@ RecoverAfterCut(const CampaignSpec& spec, SeedResult& r,
                         has_short, spec.chunk_records);
 }
 
+// ---------------------------------------------------------------------------
+// Serve kill-restart drills (campaign.h §serve).
+
+/**
+ * The deterministic request script one seed drives into the daemon:
+ * whether to run a queued job right after each submit, and which
+ * submission (if any) gets a cancel. Derived from the seed alone —
+ * never from responses — so a fault cannot change the action sequence,
+ * only each action's effect.
+ */
+struct ServePlan {
+    std::vector<uint8_t> run_after;
+    bool cancel_some = false;
+    uint32_t cancel_index = 0;
+};
+
+ServePlan
+MakeServePlan(const ServeCampaignSpec& spec, uint64_t seed)
+{
+    std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ull + 0xA7ull);
+    ServePlan plan;
+    plan.run_after.resize(spec.jobs);
+    for (uint32_t j = 0; j < spec.jobs; ++j)
+        plan.run_after[j] = (rng() & 1) != 0;
+    plan.cancel_some = spec.jobs > 1 && (rng() & 3) != 0;
+    plan.cancel_index = spec.jobs > 0
+                            ? static_cast<uint32_t>(rng() % spec.jobs)
+                            : 0;
+    return plan;
+}
+
+serve::ServeConfig
+ServeConfigFor(const ServeCampaignSpec& spec)
+{
+    serve::ServeConfig config;
+    config.dir = ".";    // flat MemVfs names, like the capture drills
+    config.workers = 0;  // drill mode: jobs run on this thread, in order
+    config.admission.max_queue_depth = spec.jobs + 4;
+    config.admission.max_per_tenant = spec.jobs + 4;
+    config.admission.default_max_instructions = spec.max_instructions;
+    config.buffer_bytes = spec.buffer_bytes;
+    config.chunk_records = spec.chunk_records;
+    config.checkpoint_every_fills = spec.checkpoint_every_fills;
+    config.keep_checkpoints = spec.keep_checkpoints;
+    return config;
+}
+
+/** What the pre-crash daemon generation promised and last believed. */
+struct ServeGeneration {
+    bool started = false;
+    util::Status start_status;
+    std::vector<uint64_t> acked;       ///< ids whose submit was answered ok
+    std::vector<serve::JobInfo> jobs;  ///< in-memory table at process end
+};
+
+/** The id a submit response promises, or 0 when it promises nothing. */
+uint64_t
+AckedId(const std::string& response)
+{
+    util::StatusOr<util::JsonValue> doc = util::JsonValue::Parse(response);
+    if (!doc.ok() || !doc->Get("ok").AsBool() || !doc->Has("id"))
+        return 0;
+    return doc->Get("id").AsU64();
+}
+
+/**
+ * Generation 1 — the daemon that will die. Runs the seed's script under
+ * the fault schedule; every action first checks the power-cut latch,
+ * because a SIGKILLed process executes nothing further.
+ */
+ServeGeneration
+RunServeScript(const ServeCampaignSpec& spec, uint64_t seed,
+               io::ChaosVfs& vfs)
+{
+    const ServePlan plan = MakeServePlan(spec, seed);
+    ServeGeneration gen;
+
+    serve::ServeConfig config = ServeConfigFor(spec);
+    config.external_stop = vfs.cut_flag();
+    obs::Registry registry;
+    serve::ServeCore core(config, vfs, &registry);
+    gen.start_status = core.Start();
+    if (!gen.start_status.ok())
+        return gen;  // never came up, never promised anything
+    gen.started = true;
+
+    const auto cut = [&] { return vfs.power_cut_fired(); };
+    const uint32_t tenants = spec.tenants > 0 ? spec.tenants : 1;
+    for (uint32_t j = 0; j < spec.jobs && !cut(); ++j) {
+        serve::Request submit;
+        submit.op = serve::RequestOp::kSubmit;
+        submit.tenant = "tenant-" + std::to_string(j % tenants);
+        submit.workload = spec.workload;
+        submit.scale = spec.scale;
+        submit.quota.max_instructions = spec.max_instructions;
+        const uint64_t id =
+            AckedId(core.HandleRequest(serve::SerializeRequest(submit)));
+        if (id != 0)
+            gen.acked.push_back(id);
+        if (plan.run_after[j] && !cut())
+            core.RunNextQueuedJob();
+    }
+    if (plan.cancel_some && plan.cancel_index < gen.acked.size() && !cut()) {
+        serve::Request cancel;
+        cancel.op = serve::RequestOp::kCancel;
+        cancel.id = gen.acked[plan.cancel_index];
+        cancel.has_id = true;
+        core.HandleRequest(serve::SerializeRequest(cancel));
+    }
+    while (!cut() && core.RunNextQueuedJob()) {
+    }
+    if (!cut())
+        core.Shutdown();  // the fault mix let the daemon live: clean exit
+    gen.jobs = core.Jobs();
+    return gen;
+    // ~ServeCore on a cut generation is the abandoned process: its
+    // shutdown I/O all fails against the dead disk and changes nothing.
+}
+
+/**
+ * Generation 2 — the restarted daemon. Boots on the crash-consistent
+ * snapshot, recovers from the journal, drains every surviving job to a
+ * terminal state, and exits cleanly. No faults: recovery itself must
+ * work on a healthy disk.
+ */
+std::vector<serve::JobInfo>
+RecoverServe(const ServeCampaignSpec& spec, io::MemVfs& rebooted,
+             ServeSeedResult& r)
+{
+    serve::ServeConfig config = ServeConfigFor(spec);
+    obs::Registry registry;
+    serve::ServeCore core(config, rebooted, &registry);
+    if (util::Status s = core.Start(); !s.ok()) {
+        Fail(r, "serve-recovery",
+             "restarted daemon cannot recover: " + s.ToString());
+        return {};
+    }
+    while (core.RunNextQueuedJob()) {
+    }
+    core.Shutdown();
+    return core.Jobs();
+}
+
+util::StatusOr<std::string>
+ReadWholeFile(io::Vfs& vfs, const std::string& path)
+{
+    util::StatusOr<std::unique_ptr<io::ReadableFile>> in = vfs.OpenRead(path);
+    if (!in.ok())
+        return in.status();
+    std::string bytes;
+    char buf[4096];
+    for (;;) {
+        util::StatusOr<size_t> n = (*in)->Read(buf, sizeof buf);
+        if (!n.ok())
+            return n.status();
+        if (*n == 0)
+            break;
+        bytes.append(buf, *n);
+    }
+    return bytes;
+}
+
+bool
+IsTerminalJobState(serve::JobState state)
+{
+    return state == serve::JobState::kDone ||
+           state == serve::JobState::kFailed ||
+           state == serve::JobState::kCancelled;
+}
+
+/** The S1-S3 battery over the final generation's truth. */
+void
+CheckServeInvariants(ServeSeedResult& r, const std::vector<uint64_t>& acked,
+                     const std::vector<serve::JobInfo>& final_jobs,
+                     io::Vfs& final_vfs, bool has_damage)
+{
+    r.jobs_acked = static_cast<uint32_t>(acked.size());
+    std::map<uint64_t, const serve::JobInfo*> by_id;
+    for (const serve::JobInfo& job : final_jobs) {
+        by_id[job.id] = &job;
+        if (job.state == serve::JobState::kDone)
+            ++r.jobs_done;
+        if (job.resumed)
+            ++r.jobs_resumed;
+        if (job.outcome == "salvaged")
+            ++r.jobs_salvaged;
+    }
+
+    // Scan the surviving journal exactly the way a next restart would.
+    util::StatusOr<std::string> bytes =
+        ReadWholeFile(final_vfs, "serve.journal");
+    std::vector<serve::JournalRecord> records;
+    bool journal_dropped = false;
+    if (bytes.ok()) {
+        records = serve::ScanJournalBytes(*bytes, nullptr, &journal_dropped);
+    } else if (!acked.empty()) {
+        Fail(r, "serve-journal",
+             "daemon acked jobs but left no readable journal: " +
+                 bytes.status().ToString());
+        return;
+    }
+
+    std::set<uint64_t> submitted;
+    std::set<uint64_t> terminal;
+    std::set<uint64_t> reported_after_terminal;
+    for (const serve::JournalRecord& record : records) {
+        if (record.kind == serve::JournalKind::kSubmitted)
+            submitted.insert(record.id);
+        // S2 — nothing may happen to a job after its terminal record; a
+        // second start or finish after one IS the double-run.
+        if (terminal.count(record.id) &&
+            reported_after_terminal.insert(record.id).second) {
+            Fail(r, "serve-double-run",
+                 "journal records for job " + std::to_string(record.id) +
+                     " continue after its terminal record");
+        }
+        if (record.kind == serve::JournalKind::kFinished ||
+            record.kind == serve::JournalKind::kCancelled)
+            terminal.insert(record.id);
+    }
+
+    // S1 — no lost jobs: an ack is a promise that survives any kill.
+    for (uint64_t id : acked) {
+        if (has_damage && !submitted.count(id))
+            continue;  // injected rot ate the record — J3's prefix rule
+        const auto it = by_id.find(id);
+        if (it == by_id.end()) {
+            Fail(r, "serve-lost-job",
+                 "acked job " + std::to_string(id) +
+                     " is gone from the recovered daemon");
+            continue;
+        }
+        if (!IsTerminalJobState(it->second->state))
+            Fail(r, "serve-lost-job",
+                 "acked job " + std::to_string(id) + " is stuck in state " +
+                     serve::JobStateName(it->second->state));
+        // Across a restart the journal is the only memory; the terminal
+        // verdict must be in it, not just in the replacement's RAM.
+        if (r.power_cut && !terminal.count(id))
+            Fail(r, "serve-lost-job",
+                 "acked job " + std::to_string(id) +
+                     " has no terminal journal record after recovery");
+    }
+
+    // S3 — the surviving journal itself scans clean (absent injected rot;
+    // gen-1's torn tail was truncated away when the journal reopened).
+    if (!has_damage && journal_dropped)
+        Fail(r, "serve-journal",
+             "final journal has a torn/corrupt tail after recovery");
+
+    // S3 — every completed job's trace is prefix-consistent and its
+    // salvage round-trips (only provable without injected rot).
+    if (has_damage)
+        return;
+    for (const serve::JobInfo& job : final_jobs) {
+        if (job.state != serve::JobState::kDone)
+            continue;
+        const std::string trace_path =
+            "job-" + std::to_string(job.id) + ".atf2";
+        util::StatusOr<TraceFacts> facts =
+            ScanUniverse(final_vfs, trace_path);
+        if (!facts.ok()) {
+            Fail(r, "serve-trace", trace_path + " unreadable: " +
+                                       facts.status().ToString());
+            continue;
+        }
+        if (!facts->file_exists || !facts->report.recognized) {
+            // A "done" sealed before the cut may have lost un-synced
+            // bytes with the power; only a daemon that never crashed
+            // owes us the file.
+            if (!r.power_cut)
+                Fail(r, "serve-trace",
+                     "job " + std::to_string(job.id) +
+                         " is done but its trace is missing/unrecognized");
+            continue;
+        }
+        if (facts->report.chunks_bad != 0)
+            Fail(r, "serve-trace",
+                 trace_path + " has bad chunks without injected "
+                              "corruption: " + facts->report.ToString());
+        if (facts->report.valid_prefix_records !=
+            facts->report.records_salvaged)
+            Fail(r, "serve-trace",
+                 trace_path + " has salvageable records beyond the valid "
+                              "prefix: " + facts->report.ToString());
+        CheckSalvageRoundTrip(r, *facts);
+    }
+}
+
 }  // namespace
 
 std::string
@@ -504,6 +808,152 @@ Minimize(const CampaignSpec& spec, const io::ChaosSchedule& schedule)
         return failing.status();
     if (!*failing)
         return schedule;  // nothing to preserve; return unchanged
+
+    io::ChaosSchedule current = schedule;
+    bool shrunk = true;
+    while (shrunk && current.ops.size() > 1) {
+        shrunk = false;
+        for (size_t i = 0; i < current.ops.size(); ++i) {
+            io::ChaosSchedule trial = current;
+            trial.ops.erase(trial.ops.begin() + static_cast<long>(i));
+            util::StatusOr<bool> still = fails(trial);
+            if (!still.ok())
+                return still.status();
+            if (*still) {
+                current = std::move(trial);
+                shrunk = true;
+                break;
+            }
+        }
+    }
+    return current;
+}
+
+// ---------------------------------------------------------------------------
+// Serve kill-restart campaign entry points.
+
+std::string
+ServeSeedResult::Summary() const
+{
+    std::ostringstream os;
+    os << "seed " << seed << ": " << faults_fired << " faults";
+    if (power_cut)
+        os << ", power-cut";
+    os << ", " << jobs_acked << " acked, " << jobs_done << " done";
+    if (jobs_resumed > 0)
+        os << ", " << jobs_resumed << " resumed";
+    if (jobs_salvaged > 0)
+        os << ", " << jobs_salvaged << " salvaged";
+    if (violations.empty()) {
+        os << ": ok";
+    } else {
+        os << ": " << violations.size() << " VIOLATIONS";
+        for (const InvariantViolation& v : violations)
+            os << " [" << v.invariant << "] " << v.detail;
+    }
+    return os.str();
+}
+
+util::StatusOr<io::OpCounts>
+ProbeServeOpCounts(const ServeCampaignSpec& spec, uint64_t seed)
+{
+    io::MemVfs mem;
+    io::ChaosVfs vfs(mem, io::ChaosSchedule{});
+    const ServeGeneration gen = RunServeScript(spec, seed, vfs);
+    if (!gen.started)
+        return gen.start_status;
+    return vfs.counts();
+}
+
+util::StatusOr<ServeSeedResult>
+ReplayServeSchedule(const ServeCampaignSpec& spec,
+                    const io::ChaosSchedule& schedule)
+{
+    ServeSeedResult r;
+    r.seed = schedule.seed;
+    r.schedule = schedule;
+    const bool has_damage = ScheduleHasDamage(schedule);
+
+    io::MemVfs mem;
+    io::ChaosVfs vfs(mem, schedule);
+    const ServeGeneration gen1 = RunServeScript(spec, schedule.seed, vfs);
+    r.faults_fired = vfs.faults_fired();
+    r.power_cut = vfs.power_cut_fired();
+
+    if (!gen1.started) {
+        // The daemon refused to come up (journal unopenable under a
+        // fault, or died to the cut before listening). Loud and
+        // promise-free — vacuously within the invariants.
+        return r;
+    }
+
+    if (r.power_cut) {
+        io::MemVfs rebooted(vfs.snapshot());
+        const std::vector<serve::JobInfo> final_jobs =
+            RecoverServe(spec, rebooted, r);
+        CheckServeInvariants(r, gen1.acked, final_jobs, rebooted,
+                             has_damage);
+        return r;
+    }
+
+    // The daemon survived its faults and shut down cleanly; its own
+    // final table and journal must already balance.
+    CheckServeInvariants(r, gen1.acked, gen1.jobs, mem, has_damage);
+    return r;
+}
+
+util::StatusOr<ServeCampaignResult>
+RunServeCampaign(const ServeCampaignSpec& spec, uint64_t first_seed,
+                 uint64_t seeds,
+                 const std::function<void(const ServeSeedResult&)>& on_seed)
+{
+    ServeCampaignResult result;
+    for (uint64_t i = 0; i < seeds; ++i) {
+        const uint64_t seed = first_seed + i;
+        // Each seed scripts its own request mix, so each aims its fault
+        // schedule with its own fault-free probe.
+        util::StatusOr<io::OpCounts> probe = ProbeServeOpCounts(spec, seed);
+        if (!probe.ok())
+            return probe.status();
+        util::StatusOr<io::ChaosSchedule> schedule =
+            io::ChaosSchedule::Random(seed, spec.campaigns, *probe);
+        if (!schedule.ok())
+            return schedule.status();
+        util::StatusOr<ServeSeedResult> seed_result =
+            ReplayServeSchedule(spec, *schedule);
+        if (!seed_result.ok())
+            return seed_result.status();
+        ++result.seeds_run;
+        result.faults_fired += seed_result->faults_fired;
+        if (seed_result->power_cut)
+            ++result.power_cuts;
+        result.resumes += seed_result->jobs_resumed;
+        result.salvages += seed_result->jobs_salvaged;
+        if (!seed_result->ok())
+            result.failures.push_back(*seed_result);
+        if (on_seed)
+            on_seed(*seed_result);
+    }
+    return result;
+}
+
+util::StatusOr<io::ChaosSchedule>
+MinimizeServe(const ServeCampaignSpec& spec,
+              const io::ChaosSchedule& schedule)
+{
+    const auto fails = [&](const io::ChaosSchedule& s)
+        -> util::StatusOr<bool> {
+        util::StatusOr<ServeSeedResult> r = ReplayServeSchedule(spec, s);
+        if (!r.ok())
+            return r.status();
+        return !r->ok();
+    };
+
+    util::StatusOr<bool> failing = fails(schedule);
+    if (!failing.ok())
+        return failing.status();
+    if (!*failing)
+        return schedule;
 
     io::ChaosSchedule current = schedule;
     bool shrunk = true;

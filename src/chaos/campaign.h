@@ -138,6 +138,101 @@ util::StatusOr<CampaignResult> RunCampaign(
 util::StatusOr<io::ChaosSchedule> Minimize(const CampaignSpec& spec,
                                            const io::ChaosSchedule& schedule);
 
+// ---------------------------------------------------------------------------
+// Kill-restart drills against the serve daemon (docs/SERVE.md).
+//
+// Where the capture drills above crash ONE capture, a serve drill crashes
+// a whole daemon: a ServeCore in drill mode (workers == 0, so the I/O
+// sequence is deterministic) admits a seed-scripted mix of multi-tenant
+// jobs, runs them under a fault schedule, and — when the power cut fires —
+// is abandoned exactly as SIGKILL would leave it. A second ServeCore then
+// boots on the crash-consistent snapshot, recovers from the journal, and
+// drains every surviving job. The battery then checks the recovery
+// invariants the daemon promises:
+//
+//   S1 no lost jobs      — every acked submission reaches a terminal
+//                          state (J1: journaled-before-ack held);
+//   S2 no double-run     — at most one terminal journal record per job,
+//                          and nothing journaled for a job after it;
+//   S3 journal integrity — the final journal scans clean end-to-end, and
+//                          (absent injected rot) every completed job's
+//                          trace is prefix-consistent and salvage
+//                          round-trips.
+
+/** Shape of one serve drill (a small but complete multi-job daemon). */
+struct ServeCampaignSpec {
+    /** Fault mix, e.g. {"powercut", "enospc"} (io/chaos.h names). */
+    std::vector<std::string> campaigns;
+    /** Workload every job runs (workloads::MakeWorkload name) + scale. */
+    std::string workload = "grep";
+    uint32_t scale = 1;
+    /** Jobs the script submits, spread round-robin over tenants. */
+    uint32_t jobs = 4;
+    uint32_t tenants = 2;
+    /** Per-job guest instruction budget (small: drills must be quick). */
+    uint64_t max_instructions = 6000;
+    /** Capture shape (small buffers = many drains = many fault targets). */
+    uint32_t buffer_bytes = 4u << 10;
+    uint32_t chunk_records = 64;
+    uint64_t checkpoint_every_fills = 1;
+    uint32_t keep_checkpoints = 2;
+};
+
+/** Outcome of one seed's kill-restart drill. */
+struct ServeSeedResult {
+    uint64_t seed = 0;
+    io::ChaosSchedule schedule;
+    uint32_t faults_fired = 0;
+    bool power_cut = false;
+    uint32_t jobs_acked = 0;     ///< submissions the daemon promised
+    uint32_t jobs_done = 0;      ///< terminal "done" after recovery
+    uint32_t jobs_resumed = 0;   ///< continued from a checkpoint
+    uint32_t jobs_salvaged = 0;  ///< trace recovered by the scanner
+    std::vector<InvariantViolation> violations;
+
+    bool ok() const { return violations.empty(); }
+    /** One log line: seed, faults, job fates, verdict. */
+    std::string Summary() const;
+};
+
+/** Aggregate of a whole serve campaign. */
+struct ServeCampaignResult {
+    uint64_t seeds_run = 0;
+    uint64_t faults_fired = 0;
+    uint64_t power_cuts = 0;
+    uint64_t resumes = 0;
+    uint64_t salvages = 0;
+    std::vector<ServeSeedResult> failures;
+
+    bool ok() const { return failures.empty(); }
+};
+
+/**
+ * Runs seed `seed`'s request script fault-free and returns its operation
+ * counts. Unlike the capture probe, the script itself is seed-derived
+ * (submit/run interleave, which job gets cancelled), so each seed aims
+ * its schedule with its own probe.
+ */
+util::StatusOr<io::OpCounts> ProbeServeOpCounts(const ServeCampaignSpec& spec,
+                                                uint64_t seed);
+
+/**
+ * Runs one complete serve drill for an explicit schedule; the request
+ * script is re-derived from schedule.seed, so a serialized schedule
+ * replays the identical drill forever.
+ */
+util::StatusOr<ServeSeedResult> ReplayServeSchedule(
+    const ServeCampaignSpec& spec, const io::ChaosSchedule& schedule);
+
+/** Runs seeds [first_seed, first_seed + seeds) of serve drills. */
+util::StatusOr<ServeCampaignResult> RunServeCampaign(
+    const ServeCampaignSpec& spec, uint64_t first_seed, uint64_t seeds,
+    const std::function<void(const ServeSeedResult&)>& on_seed = nullptr);
+
+/** Minimize() for a failing serve schedule. */
+util::StatusOr<io::ChaosSchedule> MinimizeServe(
+    const ServeCampaignSpec& spec, const io::ChaosSchedule& schedule);
+
 }  // namespace atum::chaos
 
 #endif  // ATUM_CHAOS_CAMPAIGN_H_

@@ -124,7 +124,8 @@ RunSupervised(cpu::Machine& machine, AtumTracer& tracer,
     StopCause cause = StopCause::kInstrLimit;
     bool stopped = false;
 
-    obs::Registry& registry = obs::Registry::Global();
+    obs::Registry& registry =
+        options.registry ? *options.registry : obs::Registry::Global();
     obs::Counter& checkpoint_counter =
         registry.GetCounter("supervisor.checkpoints");
     obs::Histogram& checkpoint_us =
@@ -236,6 +237,8 @@ RunSupervised(cpu::Machine& machine, AtumTracer& tracer,
             publish();
             options.emitter->MaybeEmit("interval");
         }
+        if (options.on_slice)
+            options.on_slice();
         if (stopped)
             break;
         if (options.stop_flag && *options.stop_flag != 0) {

@@ -16,6 +16,7 @@
 
 #include <csignal>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "core/atum_tracer.h"
@@ -129,11 +130,27 @@ struct SupervisorOptions {
      * Metrics emitter ticked synchronously from the supervision loop:
      * an unconditional "start" snapshot, interval-gated snapshots at
      * slice boundaries, one after every checkpoint, and a "final" one
-     * before returning. Null disables streaming; the global registry is
-     * still published at the end of the run either way (for RUN.json
-     * final counters).
+     * before returning. Null disables streaming; the registry is still
+     * published at the end of the run either way (for RUN.json final
+     * counters).
      */
     obs::StatsEmitter* emitter = nullptr;
+
+    /**
+     * Registry the loop publishes into; null = the process-wide Global().
+     * A daemon running several captures concurrently gives each job its
+     * own registry — publish uses Set(), so two jobs sharing one registry
+     * would clobber each other's cpu.* and mmu.* tallies.
+     */
+    obs::Registry* registry = nullptr;
+
+    /**
+     * Called at every slice boundary (after the emitter tick, before the
+     * stop-flag/deadline checks). The serve layer's per-job hook: quota
+     * enforcement and cancel/drain propagation set *stop_flag from here.
+     * May be null. Must not throw.
+     */
+    std::function<void()> on_slice;
 };
 
 /**

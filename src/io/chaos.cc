@@ -466,6 +466,14 @@ ChaosVfs::Unlink(const std::string& path)
     return base_.Unlink(path);
 }
 
+util::StatusOr<std::vector<std::string>>
+ChaosVfs::ListDir(const std::string& dir)
+{
+    if (power_cut_)
+        return DeadStatus("listdir");
+    return base_.ListDir(dir);
+}
+
 util::Status
 ChaosVfs::DirSync(const std::string& path)
 {

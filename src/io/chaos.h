@@ -131,6 +131,10 @@ class ChaosVfs : public Vfs
                         const std::string& to) override;
     util::Status Unlink(const std::string& path) override;
     util::Status DirSync(const std::string& path) override;
+    /** Not fault-scheduled (recovery's eyes must be reliable), but dead
+     *  after a power cut like everything else. */
+    util::StatusOr<std::vector<std::string>> ListDir(
+        const std::string& dir) override;
     const char* name() const override { return "chaos"; }
 
     /** Operation tallies so far (the probe's product). */

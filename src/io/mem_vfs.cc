@@ -172,6 +172,19 @@ MemVfs::DirSync(const std::string& path)
     return util::OkStatus();
 }
 
+util::StatusOr<std::vector<std::string>>
+MemVfs::ListDir(const std::string& dir)
+{
+    // live_ is an ordered map over full paths, so the basenames of one
+    // directory's files come out already sorted.
+    std::vector<std::string> names;
+    for (const auto& [name, inode] : live_) {
+        if (DirOf(name) == dir)
+            names.push_back(name.substr(name.find_last_of('/') + 1));
+    }
+    return names;
+}
+
 MemVfs::Snapshot
 MemVfs::SnapshotDurable() const
 {

@@ -65,6 +65,10 @@ class MemVfs : public Vfs
                         const std::string& to) override;
     util::Status Unlink(const std::string& path) override;
     util::Status DirSync(const std::string& path) override;
+    /** MemVfs has no directory inodes, so a dir with no files lists as
+     *  empty rather than kNotFound. */
+    util::StatusOr<std::vector<std::string>> ListDir(
+        const std::string& dir) override;
     const char* name() const override { return "mem"; }
 
     /** What a power cut right now would leave behind. */

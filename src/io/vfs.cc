@@ -1,8 +1,10 @@
 #include "io/vfs.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -168,6 +170,32 @@ class RealVfsImpl : public Vfs
         if (status.ok())
             status = close_status;
         return status;
+    }
+
+    util::StatusOr<std::vector<std::string>> ListDir(
+        const std::string& dir) override
+    {
+        DIR* d = ::opendir(dir.c_str());
+        if (d == nullptr)
+            return ErrnoStatus(errno, "opendir " + dir);
+        std::vector<std::string> names;
+        errno = 0;
+        while (struct dirent* entry = ::readdir(d)) {
+            const std::string name = entry->d_name;
+            if (name == "." || name == "..")
+                continue;
+            struct stat st;
+            const std::string full = dir + "/" + name;
+            if (::stat(full.c_str(), &st) == 0 && S_ISREG(st.st_mode))
+                names.push_back(name);
+            errno = 0;
+        }
+        const int read_errno = errno;
+        ::closedir(d);
+        if (read_errno != 0)
+            return ErrnoStatus(read_errno, "readdir " + dir);
+        std::sort(names.begin(), names.end());
+        return names;
     }
 
     const char* name() const override { return "real"; }

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
@@ -101,6 +102,16 @@ class Vfs
      * `path` names a file in the directory, not the directory itself.
      */
     virtual util::Status DirSync(const std::string& path) = 0;
+
+    /**
+     * Lists the plain files in directory `dir`, as basenames in sorted
+     * order ("." and ".." excluded). The recovery path's eyes: a
+     * restarted daemon discovers surviving journals and checkpoints
+     * with this rather than trusting any in-file inventory that may
+     * itself be stale. kNotFound when the directory does not exist.
+     */
+    virtual util::StatusOr<std::vector<std::string>> ListDir(
+        const std::string& dir) = 0;
 
     /** Short implementation name for logs ("real", "mem", "chaos"). */
     virtual const char* name() const = 0;

@@ -41,6 +41,54 @@ RegistrySnapshot::ToText() const
     return os.str();
 }
 
+namespace {
+
+/** "serve.jobs.admitted" -> "atum_serve_jobs_admitted". */
+std::string
+PrometheusName(const std::string& name)
+{
+    std::string out = "atum_";
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9');
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string
+RegistrySnapshot::ToPrometheusText() const
+{
+    std::ostringstream os;
+    for (const auto& [name, value] : counters) {
+        const std::string p = PrometheusName(name);
+        os << "# TYPE " << p << "_total counter\n";
+        os << p << "_total " << value << "\n";
+    }
+    for (const auto& [name, value] : gauges) {
+        const std::string p = PrometheusName(name);
+        os << "# TYPE " << p << " gauge\n";
+        os << p << " " << value << "\n";
+    }
+    for (const auto& [name, h] : histograms) {
+        const std::string p = PrometheusName(name);
+        os << "# TYPE " << p << " histogram\n";
+        uint64_t cumulative = 0;
+        for (const auto& [index, n] : h.buckets) {
+            cumulative += n;
+            os << p << "_bucket{le=\""
+               << Histogram::BucketUpperBound(index) << "\"} "
+               << cumulative << "\n";
+        }
+        os << p << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+        os << p << "_sum " << h.sum << "\n";
+        os << p << "_count " << h.count << "\n";
+    }
+    return os.str();
+}
+
 Counter&
 Registry::GetCounter(const std::string& name)
 {

@@ -199,6 +199,16 @@ struct RegistrySnapshot {
 
     /** Multi-line human-readable rendering (atum-report --stats). */
     std::string ToText() const;
+
+    /**
+     * Prometheus text exposition (version 0.0.4) of the snapshot, the
+     * body atum-serve's metrics endpoint returns. Dots in atum metric
+     * names become underscores ("serve.jobs.admitted" ->
+     * "atum_serve_jobs_admitted"); counters get a `_total` suffix,
+     * histograms emit cumulative `_bucket{le="..."}` series plus
+     * `_sum`/`_count`, gauges pass through.
+     */
+    std::string ToPrometheusText() const;
 };
 
 /**

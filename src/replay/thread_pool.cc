@@ -25,13 +25,33 @@ ThreadPool::~ThreadPool()
 }
 
 void
-ThreadPool::Submit(std::function<void()> task)
+ThreadPool::Submit(std::function<void()> task,
+                   const CancellationToken* token)
 {
+    if (token != nullptr && token->cancelled()) {
+        abandoned_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
     {
         std::unique_lock<std::mutex> lock(mu_);
-        queue_.push_back(std::move(task));
+        queue_.push_back(Task{std::move(task), token});
     }
     work_cv_.notify_one();
+}
+
+std::size_t
+ThreadPool::AbandonPending()
+{
+    std::size_t dropped = 0;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        dropped = queue_.size();
+        queue_.clear();
+        if (active_ == 0)
+            idle_cv_.notify_all();
+    }
+    abandoned_.fetch_add(dropped, std::memory_order_relaxed);
+    return dropped;
 }
 
 void
@@ -57,12 +77,20 @@ ThreadPool::WorkerLoop()
                 return;
             continue;
         }
-        std::function<void()> task = std::move(queue_.front());
+        Task task = std::move(queue_.front());
         queue_.pop_front();
+        if (task.token != nullptr && task.token->cancelled()) {
+            // Abandoned at dequeue time: never started, so it neither
+            // counts as active nor runs. Wait() may now be satisfied.
+            abandoned_.fetch_add(1, std::memory_order_relaxed);
+            if (queue_.empty() && active_ == 0)
+                idle_cv_.notify_all();
+            continue;
+        }
         ++active_;
         lock.unlock();
         try {
-            task();
+            task.fn();
         } catch (...) {
             lock.lock();
             if (!first_error_)

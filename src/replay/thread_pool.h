@@ -11,15 +11,40 @@
  * pre-sized output slots so the answer never depends on scheduling.
  */
 
+#include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace atum::replay {
+
+/**
+ * A cooperative cancellation flag shared between whoever submits work
+ * and whoever drains it. A task submitted with a token is *abandoned* —
+ * dequeued and dropped without running — once the token is cancelled,
+ * so a drain (daemon shutdown, sweep abort) does not have to execute a
+ * backlog it no longer wants. Cancellation is one-way and sticky; a
+ * token outlives no task that references it (callers keep it alive at
+ * least until Wait() returns).
+ */
+class CancellationToken
+{
+  public:
+    void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+    bool cancelled() const
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+};
 
 class ThreadPool
 {
@@ -38,8 +63,30 @@ class ThreadPool
         return static_cast<unsigned>(workers_.size());
     }
 
-    /** Enqueues one task. Safe from any thread, including workers. */
-    void Submit(std::function<void()> task);
+    /**
+     * Enqueues one task. Safe from any thread, including workers — and
+     * safe to race with AbandonPending() or the token's Cancel(): the
+     * task either runs exactly once or is dropped, never both and never
+     * a crash. A task whose `token` is already cancelled at dequeue time
+     * (or at submit time) is abandoned without running; `abandoned()`
+     * counts every such drop.
+     */
+    void Submit(std::function<void()> task,
+                const CancellationToken* token = nullptr);
+
+    /**
+     * Drops every queued-but-unstarted task (regardless of token);
+     * already-running tasks finish. Returns the number dropped. The
+     * drain path for a shutdown that wants "stop soon" rather than
+     * "finish the backlog".
+     */
+    std::size_t AbandonPending();
+
+    /** Tasks dropped unrun (cancelled token or AbandonPending). */
+    std::size_t abandoned() const
+    {
+        return abandoned_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Blocks until every submitted task has finished. If any task threw,
@@ -49,16 +96,22 @@ class ThreadPool
     void Wait();
 
   private:
+    struct Task {
+        std::function<void()> fn;
+        const CancellationToken* token = nullptr;
+    };
+
     void WorkerLoop();
 
     std::vector<std::thread> workers_;
     std::mutex mu_;
     std::condition_variable work_cv_;  ///< workers: queue non-empty or stop
     std::condition_variable idle_cv_;  ///< Wait(): everything finished
-    std::deque<std::function<void()>> queue_;
+    std::deque<Task> queue_;
     std::size_t active_ = 0;  ///< tasks currently executing
     bool stop_ = false;
     std::exception_ptr first_error_;
+    std::atomic<std::size_t> abandoned_{0};
 };
 
 }  // namespace atum::replay

@@ -1,0 +1,112 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+namespace atum::serve {
+
+uint32_t
+AdmissionController::TenantLoad(const std::string& tenant) const
+{
+    uint32_t load = 0;
+    if (auto it = running_per_tenant_.find(tenant);
+        it != running_per_tenant_.end())
+        load += it->second;
+    if (auto it = pending_per_tenant_.find(tenant);
+        it != pending_per_tenant_.end())
+        load += it->second;
+    return load;
+}
+
+util::Status
+AdmissionController::Admit(uint64_t id, const std::string& tenant)
+{
+    if (pending_.size() >= config_.max_queue_depth) {
+        return util::ResourceExhausted(
+            "queue full: ", pending_.size(), " jobs pending (bound ",
+            config_.max_queue_depth, "); resubmit after the backlog drains");
+    }
+    if (TenantLoad(tenant) >= config_.max_per_tenant) {
+        return util::ResourceExhausted(
+            "tenant '", tenant, "' holds ", TenantLoad(tenant),
+            " jobs, its fair share (bound ", config_.max_per_tenant, ")");
+    }
+    pending_.emplace_back(id, tenant);
+    ++pending_per_tenant_[tenant];
+    return util::OkStatus();
+}
+
+bool
+AdmissionController::PickNext(uint64_t* id)
+{
+    if (pending_.empty())
+        return false;
+    // The fewest-running tenant goes first; the FIFO deque breaks ties
+    // within a tenant, the earliest-queued candidate across tenants.
+    size_t best = pending_.size();
+    uint32_t best_running = UINT32_MAX;
+    for (size_t i = 0; i < pending_.size(); ++i) {
+        const std::string& tenant = pending_[i].second;
+        uint32_t running = 0;
+        if (auto it = running_per_tenant_.find(tenant);
+            it != running_per_tenant_.end())
+            running = it->second;
+        if (running < best_running) {
+            best_running = running;
+            best = i;
+        }
+    }
+    const auto [job_id, tenant] = pending_[best];
+    pending_.erase(pending_.begin() + static_cast<long>(best));
+    if (--pending_per_tenant_[tenant] == 0)
+        pending_per_tenant_.erase(tenant);
+    running_[job_id] = tenant;
+    ++running_per_tenant_[tenant];
+    *id = job_id;
+    return true;
+}
+
+bool
+AdmissionController::RemovePending(uint64_t id)
+{
+    for (size_t i = 0; i < pending_.size(); ++i) {
+        if (pending_[i].first != id)
+            continue;
+        const std::string tenant = pending_[i].second;
+        pending_.erase(pending_.begin() + static_cast<long>(i));
+        if (--pending_per_tenant_[tenant] == 0)
+            pending_per_tenant_.erase(tenant);
+        return true;
+    }
+    return false;
+}
+
+void
+AdmissionController::FinishRunning(uint64_t id)
+{
+    auto it = running_.find(id);
+    if (it == running_.end())
+        return;
+    if (--running_per_tenant_[it->second] == 0)
+        running_per_tenant_.erase(it->second);
+    running_.erase(it);
+}
+
+JobQuota
+AdmissionController::EffectiveQuota(const JobQuota& requested) const
+{
+    JobQuota q = requested;
+    if (q.max_instructions == 0)
+        q.max_instructions = config_.default_max_instructions;
+    if (config_.max_instructions_cap != 0)
+        q.max_instructions =
+            std::min(q.max_instructions, config_.max_instructions_cap);
+    if (config_.max_trace_bytes_cap != 0) {
+        q.max_trace_bytes =
+            q.max_trace_bytes == 0
+                ? config_.max_trace_bytes_cap
+                : std::min(q.max_trace_bytes, config_.max_trace_bytes_cap);
+    }
+    return q;
+}
+
+}  // namespace atum::serve

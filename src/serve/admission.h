@@ -1,0 +1,108 @@
+#ifndef ATUM_SERVE_ADMISSION_H_
+#define ATUM_SERVE_ADMISSION_H_
+
+/**
+ * @file
+ * Admission control and fair-share scheduling for the serve daemon.
+ *
+ * Two decisions live here, both made under bounded state so the daemon
+ * can never be queued into the ground:
+ *
+ *  - Admit or shed. A submission is refused with kResourceExhausted
+ *    (exit code 8 at the client) the moment the pending queue is full or
+ *    the tenant already holds its per-tenant share. Refusal is cheap and
+ *    immediate; unbounded queueing is the failure mode HMTT documents
+ *    for swamped trace pipelines, and it is the one thing this class
+ *    makes impossible.
+ *
+ *  - Pick next. When a worker frees up, the pending job whose tenant has
+ *    the fewest running jobs goes first (FIFO within a tenant), so one
+ *    chatty tenant saturating the queue cannot starve a quiet one — the
+ *    quiet tenant's first job jumps the chatty tenant's fifth.
+ *
+ * Purely in-memory bookkeeping; journaling its decisions durable is the
+ * server's job. Not thread-safe by itself — the server serializes access
+ * under its own lock.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "serve/protocol.h"
+#include "util/status.h"
+
+namespace atum::serve {
+
+/** Bounds and defaults the daemon enforces on every job. */
+struct AdmissionConfig {
+    /** Pending (admitted, not yet running) jobs across all tenants. */
+    uint32_t max_queue_depth = 16;
+    /** Pending + running jobs any one tenant may hold. */
+    uint32_t max_per_tenant = 8;
+    /** Instruction budget for jobs that do not ask for one. */
+    uint64_t default_max_instructions = 200'000;
+    /** Hard per-job instruction cap (0 = uncapped). */
+    uint64_t max_instructions_cap = 0;
+    /** Hard per-job trace-byte cap (0 = uncapped). */
+    uint64_t max_trace_bytes_cap = 0;
+};
+
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(AdmissionConfig config)
+        : config_(config)
+    {
+    }
+
+    /**
+     * Admits job `id` for `tenant` into the pending queue, or refuses
+     * with kResourceExhausted (queue full / tenant over share). The id
+     * must be new.
+     */
+    util::Status Admit(uint64_t id, const std::string& tenant);
+
+    /**
+     * Fair-share pick: moves the pending job whose tenant has the fewest
+     * running jobs (FIFO within a tenant, lowest id breaking ties across
+     * equally-loaded tenants) into the running set. False when nothing
+     * is pending.
+     */
+    bool PickNext(uint64_t* id);
+
+    /** Removes a pending job (cancel); false when not pending. */
+    bool RemovePending(uint64_t id);
+
+    /** Retires a running job, releasing its tenant share. */
+    void FinishRunning(uint64_t id);
+
+    /** Clamps a requested quota to the server's defaults and caps. */
+    JobQuota EffectiveQuota(const JobQuota& requested) const;
+
+    uint32_t pending_count() const
+    {
+        return static_cast<uint32_t>(pending_.size());
+    }
+    uint32_t running_count() const
+    {
+        return static_cast<uint32_t>(running_.size());
+    }
+
+    const AdmissionConfig& config() const { return config_; }
+
+  private:
+    uint32_t TenantLoad(const std::string& tenant) const;
+
+    AdmissionConfig config_;
+    /** Admission order (FIFO backbone of the fair-share pick). */
+    std::deque<std::pair<uint64_t, std::string>> pending_;
+    std::map<uint64_t, std::string> running_;
+    std::map<std::string, uint32_t> running_per_tenant_;
+    std::map<std::string, uint32_t> pending_per_tenant_;
+};
+
+}  // namespace atum::serve
+
+#endif  // ATUM_SERVE_ADMISSION_H_

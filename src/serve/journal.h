@@ -1,0 +1,143 @@
+#ifndef ATUM_SERVE_JOURNAL_H_
+#define ATUM_SERVE_JOURNAL_H_
+
+/**
+ * @file
+ * The job journal: the daemon's crash-safe memory of every job it ever
+ * accepted.
+ *
+ * An append-only file of CRC32C-framed records — [u32 LE length]
+ * [u32 LE crc32c(payload)][payload JSON] — with one rule that buys the
+ * recovery invariants in docs/SERVE.md:
+ *
+ *   J1 (no lost jobs): a record is fsynced before the daemon acts on it.
+ *      Submission is journaled before the client's ack, start before the
+ *      worker runs, finish before the terminal state is reported — so a
+ *      SIGKILL at any instant leaves the journal describing a state the
+ *      daemon actually passed through, never one it merely intended.
+ *
+ * Opening the journal IS recovery: Open() scans the existing file,
+ * keeps every intact record, drops a torn or corrupt tail (the write the
+ * crash interrupted), and re-opens for append exactly past the valid
+ * prefix. A corrupt record mid-file ends the valid prefix there —
+ * trusting frames past a bad CRC would resurrect jobs from noise.
+ *
+ * Compact() rewrites the journal with the ATCK publish pattern
+ * (tmp + fsync + rename + dirsync) so a long-lived daemon's journal
+ * doesn't grow with its whole history.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/vfs.h"
+#include "serve/protocol.h"
+#include "util/status.h"
+
+namespace atum::serve {
+
+/** What happened to a job — the journal's event vocabulary. */
+enum class JournalKind : uint8_t {
+    kSubmitted,  ///< admitted into the queue (spec payload)
+    kStarted,    ///< a worker picked it up
+    kFinished,   ///< reached a terminal state (outcome payload)
+    kCancelled,  ///< client cancelled before/while running
+};
+
+/** Stable wire token ("submitted") for one kind. */
+const char* JournalKindName(JournalKind kind);
+
+/** One journal event. Spec fields are set for kSubmitted; outcome for
+ *  kFinished/kCancelled. */
+struct JournalRecord {
+    JournalKind kind = JournalKind::kSubmitted;
+    uint64_t id = 0;
+
+    // -- kSubmitted --------------------------------------------------------
+    std::string tenant;
+    std::string workload;
+    uint32_t scale = 1;
+    JobQuota quota;
+
+    // -- kFinished ---------------------------------------------------------
+    /** "done" | "failed" | "quota-bytes" | "deadline" | "wedged" |
+     *  "cancelled" | "salvaged" */
+    std::string outcome;
+    std::string detail;  ///< human-readable context (status message)
+};
+
+/** The append side plus the recovery scan. */
+class JobJournal
+{
+  public:
+    /**
+     * Opens (creating if absent) the journal at `path`, recovering every
+     * intact record into recovered() and positioning appends after the
+     * valid prefix. A torn/corrupt tail is truncated away and reported
+     * via tail_dropped() — dropped bytes were never acked, so dropping
+     * them loses nothing a client was promised.
+     */
+    static util::StatusOr<std::unique_ptr<JobJournal>> Open(
+        const std::string& path, io::Vfs& vfs);
+
+    /**
+     * Appends one record and fsyncs it (J1: durable before acted-on).
+     * A failed append truncates its own torn frame back off the tail, so
+     * a transient write fault can never hide later records from the
+     * recovery scan; when even the truncation fails, the journal refuses
+     * further appends rather than append after garbage.
+     */
+    util::Status Append(const JournalRecord& record);
+
+    /**
+     * Atomically replaces the journal's content with `records` (tmp +
+     * fsync + rename + dirsync) and re-opens for append. On failure the
+     * old journal remains the published truth.
+     */
+    util::Status Compact(const std::vector<JournalRecord>& records);
+
+    /** Records recovered by Open(), in append order. */
+    const std::vector<JournalRecord>& recovered() const
+    {
+        return recovered_;
+    }
+
+    /** Whether Open() dropped a torn or corrupt tail. */
+    bool tail_dropped() const { return tail_dropped_; }
+
+    const std::string& path() const { return path_; }
+
+  private:
+    JobJournal(std::string path, io::Vfs& vfs);
+
+    std::string path_;
+    io::Vfs& vfs_;
+    std::unique_ptr<io::WritableFile> file_;
+    std::vector<JournalRecord> recovered_;
+    /** Byte length of the known-durable prefix — where a failed append
+     *  truncates back to so its torn frame cannot hide later records. */
+    uint64_t durable_bytes_ = 0;
+    bool tail_dropped_ = false;
+};
+
+/** Serializes one record to its JSON payload (frame body). */
+std::string SerializeJournalRecord(const JournalRecord& record);
+
+/** Parses one payload; kDataLoss / kInvalidArgument on damage. */
+util::StatusOr<JournalRecord> ParseJournalRecord(const std::string& payload);
+
+/**
+ * Scans raw journal bytes: every intact frame in order, stopping at the
+ * first torn or corrupt frame. `valid_bytes` (may be null) receives the
+ * clean prefix length; `dropped` (may be null) whether anything was cut.
+ * Never fails — a journal of pure noise is simply zero records.
+ */
+std::vector<JournalRecord> ScanJournalBytes(const std::string& bytes,
+                                            uint64_t* valid_bytes,
+                                            bool* dropped);
+
+}  // namespace atum::serve
+
+#endif  // ATUM_SERVE_JOURNAL_H_

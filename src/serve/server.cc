@@ -1,0 +1,878 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "core/checkpoint.h"
+#include "core/session.h"
+#include "kernel/boot.h"
+#include "trace/container.h"
+#include "trace/sink.h"
+#include "util/json.h"
+#include "util/logging.h"
+#include "workloads/workloads.h"
+
+namespace atum::serve {
+
+namespace {
+
+constexpr char kJournalName[] = "serve.journal";
+constexpr char kStatusName[] = "serve.status.json";
+constexpr char kStatusVersion[] = "atum-serve-status-v1";
+
+std::string
+JoinPath(const std::string& dir, const std::string& name)
+{
+    // "." keeps MemVfs paths flat (DirOf("x") == "."), matching the
+    // chaos campaign's convention.
+    if (dir == "." || dir.empty())
+        return name;
+    return dir + "/" + name;
+}
+
+uint64_t
+ElapsedUs(std::chrono::steady_clock::time_point since)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - since)
+            .count());
+}
+
+/** Terminal JobState a journaled outcome token folds to. */
+JobState
+StateForOutcome(const std::string& outcome)
+{
+    if (outcome == "cancelled")
+        return JobState::kCancelled;
+    if (outcome == "failed" || outcome == "wedged")
+        return JobState::kFailed;
+    // "done", "quota-bytes", "deadline", "salvaged": the capture stopped
+    // cleanly and its durable trace is the (possibly truncated) product.
+    return JobState::kDone;
+}
+
+bool
+IsKnownWorkload(const std::string& name)
+{
+    const std::vector<std::string>& names = workloads::AllWorkloadNames();
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+void
+WriteJobJson(util::JsonWriter& w, const JobInfo& info)
+{
+    w.BeginObject();
+    w.KeyValue("id", info.id);
+    w.KeyValue("tenant", info.tenant);
+    w.KeyValue("workload", info.workload);
+    w.KeyValue("scale", info.scale);
+    w.KeyValue("state", JobStateName(info.state));
+    if (!info.outcome.empty())
+        w.KeyValue("outcome", info.outcome);
+    if (!info.detail.empty())
+        w.KeyValue("detail", info.detail);
+    w.KeyValue("max_instructions", info.quota.max_instructions);
+    w.KeyValue("max_trace_bytes", info.quota.max_trace_bytes);
+    w.KeyValue("deadline_ms", info.quota.deadline_ms);
+    w.KeyValue("records", info.records);
+    w.KeyValue("trace_bytes", info.trace_bytes);
+    w.KeyValue("instructions", info.instructions);
+    w.KeyValue("resumed", info.resumed);
+    w.EndObject();
+}
+
+}  // namespace
+
+const char*
+JobStateName(JobState state)
+{
+    switch (state) {
+      case JobState::kQueued:
+        return "queued";
+      case JobState::kRunning:
+        return "running";
+      case JobState::kDone:
+        return "done";
+      case JobState::kFailed:
+        return "failed";
+      case JobState::kCancelled:
+        return "cancelled";
+      case JobState::kInterrupted:
+        return "interrupted";
+    }
+    return "?";
+}
+
+ServeCore::ServeCore(ServeConfig config, io::Vfs& vfs,
+                     obs::Registry* registry)
+    : config_(std::move(config)),
+      vfs_(vfs),
+      registry_(registry != nullptr ? *registry : obs::Registry::Global()),
+      admission_(config_.admission)
+{
+}
+
+ServeCore::~ServeCore()
+{
+    Shutdown();
+}
+
+std::string
+ServeCore::TracePath(uint64_t id) const
+{
+    return JoinPath(config_.dir, "job-" + std::to_string(id) + ".atf2");
+}
+
+std::string
+ServeCore::CheckpointBase(uint64_t id) const
+{
+    return JoinPath(config_.dir, "job-" + std::to_string(id) + ".ckpt");
+}
+
+util::Status
+ServeCore::Start()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_)
+        return util::FailedPrecondition("ServeCore::Start called twice");
+
+    util::StatusOr<std::unique_ptr<JobJournal>> journal =
+        JobJournal::Open(JoinPath(config_.dir, kJournalName), vfs_);
+    if (!journal.ok())
+        return journal.status();
+    journal_ = std::move(*journal);
+    if (journal_->tail_dropped()) {
+        // J3: the torn tail was never acked, so dropping it is recovery
+        // working, not data loss — but it is worth counting.
+        registry_.GetCounter("serve.journal.tail_dropped").Add();
+    }
+
+    if (util::Status s = RecoverLocked(); !s.ok())
+        return s;
+
+    started_ = true;
+    slots_free_ = config_.workers;
+    if (config_.workers > 0) {
+        pool_ = std::make_unique<replay::ThreadPool>(config_.workers);
+        ScheduleMoreLocked();
+    }
+    PublishGaugesLocked();
+    WriteStatusFileLocked();
+    return util::OkStatus();
+}
+
+util::Status
+ServeCore::RecoverLocked()
+{
+    // Pass 1: fold the journal into the job table. Later records win —
+    // a kFinished forever outranks the kStarted before it (J2).
+    for (const JournalRecord& record : journal_->recovered()) {
+        next_id_ = std::max(next_id_, record.id + 1);
+        std::unique_ptr<Job>& slot = jobs_[record.id];
+        if (slot == nullptr)
+            slot = std::make_unique<Job>();
+        Job& job = *slot;
+        switch (record.kind) {
+          case JournalKind::kSubmitted:
+            job.info.id = record.id;
+            job.info.tenant = record.tenant;
+            job.info.workload = record.workload;
+            job.info.scale = record.scale;
+            job.info.quota = record.quota;
+            job.info.state = JobState::kQueued;
+            break;
+          case JournalKind::kStarted:
+            job.info.state = JobState::kRunning;
+            break;
+          case JournalKind::kFinished:
+            job.info.state = StateForOutcome(record.outcome);
+            job.info.outcome = record.outcome;
+            job.info.detail = record.detail;
+            break;
+          case JournalKind::kCancelled:
+            job.info.state = JobState::kCancelled;
+            job.info.outcome = "cancelled";
+            break;
+        }
+    }
+
+    // A submitted record may have been lost with the torn tail while its
+    // later records survived — impossible by construction (appends are
+    // ordered), so a job without a workload means a corrupt mid-file
+    // record slipped past the CRC. Treat it as noise, not a job.
+    for (auto it = jobs_.begin(); it != jobs_.end();) {
+        if (it->second->info.workload.empty())
+            it = jobs_.erase(it);
+        else
+            ++it;
+    }
+
+    // Pass 2: re-dispatch everything non-terminal.
+    for (auto& [id, slot] : jobs_) {
+        Job& job = *slot;
+        switch (job.info.state) {
+          case JobState::kQueued:
+            ReadmitRecoveredLocked(id, job);
+            break;
+          case JobState::kRunning:
+            ResolveInterruptedLocked(id, job);
+            break;
+          default:
+            break;  // terminal: history, never re-run (J2)
+        }
+    }
+    return util::OkStatus();
+}
+
+void
+ServeCore::ReadmitRecoveredLocked(uint64_t id, Job& job)
+{
+    util::Status admitted = admission_.Admit(id, job.info.tenant);
+    if (admitted.ok()) {
+        job.info.state = JobState::kQueued;
+        return;
+    }
+    // A tighter restart config can make the recovered backlog overflow
+    // its own bounds; shedding stays the answer, and the shed must be
+    // journaled so the next restart does not resurrect the job.
+    JournalRecord record;
+    record.kind = JournalKind::kFinished;
+    record.id = id;
+    record.outcome = "failed";
+    record.detail = "shed on restart: " + std::string(admitted.message());
+    AppendJournalLocked(record);
+    job.info.state = JobState::kFailed;
+    job.info.outcome = record.outcome;
+    job.info.detail = record.detail;
+    registry_.GetCounter("serve.jobs.shed").Add();
+}
+
+void
+ServeCore::ResolveInterruptedLocked(uint64_t id, Job& job)
+{
+    // The daemon died (or was killed) while this job ran. Three ways
+    // forward, in order of how much of the work they preserve:
+    //  1. a loadable checkpoint -> re-queue; the run resumes from it
+    //     byte-identically (RunJob discovers it again);
+    //  2. no checkpoint but a recognizable durable trace -> salvage the
+    //     intact prefix and finish the job as "salvaged";
+    //  3. nothing durable -> re-queue for a fresh run (nothing was
+    //     promised, nothing is lost).
+    uint64_t seq = 0;
+    if (LoadNewestCheckpoint(id, &seq) != nullptr) {
+        ReadmitRecoveredLocked(id, job);
+        return;
+    }
+
+    util::StatusOr<std::unique_ptr<trace::FileByteSource>> in =
+        trace::FileByteSource::Open(TracePath(id), vfs_);
+    if (in.ok()) {
+        std::vector<trace::Record> records;
+        const trace::ScanReport report = trace::ScanTrace(**in, &records);
+        if (report.recognized) {
+            JournalRecord record;
+            record.kind = JournalKind::kFinished;
+            record.id = id;
+            record.outcome = "salvaged";
+            record.detail = report.ToString();
+            AppendJournalLocked(record);
+            job.info.state = JobState::kDone;
+            job.info.outcome = record.outcome;
+            job.info.detail = record.detail;
+            job.info.records = report.records_salvaged;
+            registry_.GetCounter("serve.jobs.salvaged").Add();
+            return;
+        }
+    }
+    ReadmitRecoveredLocked(id, job);
+}
+
+std::unique_ptr<core::Checkpoint>
+ServeCore::LoadNewestCheckpoint(uint64_t id, uint64_t* seq) const
+{
+    *seq = 0;
+    util::StatusOr<std::vector<std::string>> names =
+        vfs_.ListDir(config_.dir);
+    if (!names.ok())
+        return nullptr;
+
+    // job-<id>.ckpt.NNNNNN.atck, newest sequence first.
+    const std::string prefix = "job-" + std::to_string(id) + ".ckpt.";
+    const std::string suffix = ".atck";
+    std::vector<uint64_t> seqs;
+    for (const std::string& name : *names) {
+        if (name.size() <= prefix.size() + suffix.size() ||
+            name.compare(0, prefix.size(), prefix) != 0 ||
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0)
+            continue;
+        const std::string digits = name.substr(
+            prefix.size(), name.size() - prefix.size() - suffix.size());
+        if (digits.empty() ||
+            digits.find_first_not_of("0123456789") != std::string::npos)
+            continue;
+        seqs.push_back(std::strtoull(digits.c_str(), nullptr, 10));
+    }
+    std::sort(seqs.rbegin(), seqs.rend());
+
+    const core::CheckpointRotator paths(CheckpointBase(id),
+                                        config_.keep_checkpoints, 1, vfs_);
+    for (uint64_t s : seqs) {
+        util::StatusOr<core::Checkpoint> ckpt =
+            core::Checkpoint::Load(paths.PathFor(s), vfs_);
+        if (ckpt.ok() && ckpt->meta().has_sink_state) {
+            *seq = s;
+            return std::make_unique<core::Checkpoint>(std::move(*ckpt));
+        }
+        // A damaged newest checkpoint is expected after a crash; the one
+        // before it is the durable truth.
+    }
+    return nullptr;
+}
+
+std::string
+ServeCore::HandleRequest(const std::string& payload)
+{
+    util::StatusOr<Request> request = ParseRequest(payload);
+    if (!request.ok()) {
+        registry_.GetCounter("serve.requests.bad").Add();
+        return ErrorResponse(request.status());
+    }
+
+    switch (request->op) {
+      case RequestOp::kPing: {
+        util::JsonWriter w;
+        w.BeginObject();
+        w.KeyValue("ok", true);
+        w.KeyValue("v", kProtocolVersion);
+        w.KeyValue("draining", draining());
+        w.EndObject();
+        return w.TakeStr();
+      }
+      case RequestOp::kSubmit: {
+        const auto t0 = std::chrono::steady_clock::now();
+        std::string response = HandleSubmit(*request);
+        registry_.GetHistogram("serve.admit.us").Add(ElapsedUs(t0));
+        return response;
+      }
+      case RequestOp::kStatus:
+        return HandleStatus(*request);
+      case RequestOp::kCancel:
+        return HandleCancel(*request);
+      case RequestOp::kMetrics: {
+        util::JsonWriter w;
+        w.BeginObject();
+        w.KeyValue("ok", true);
+        w.KeyValue("text", registry_.Snapshot().ToPrometheusText());
+        w.EndObject();
+        return w.TakeStr();
+      }
+      case RequestOp::kDrain: {
+        RequestDrain();
+        util::JsonWriter w;
+        w.BeginObject();
+        w.KeyValue("ok", true);
+        w.KeyValue("draining", true);
+        w.EndObject();
+        return w.TakeStr();
+      }
+    }
+    return ErrorResponse(util::InternalError("unhandled request op"));
+}
+
+std::string
+ServeCore::HandleSubmit(const Request& request)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_)
+        return ErrorResponse(
+            util::FailedPrecondition("daemon is not started"));
+    if (draining_.load(std::memory_order_relaxed))
+        return ErrorResponse(util::Unavailable(
+            "daemon is draining; retry against the next instance"));
+    if (!IsKnownWorkload(request.workload))
+        return ErrorResponse(util::InvalidArgument(
+            "unknown workload '", request.workload, "'"));
+
+    const uint64_t id = next_id_;
+    if (util::Status admitted = admission_.Admit(id, request.tenant);
+        !admitted.ok()) {
+        registry_.GetCounter("serve.jobs.shed").Add();
+        return ErrorResponse(admitted);
+    }
+    const JobQuota quota = admission_.EffectiveQuota(request.quota);
+
+    // J1: the submission is durable before the client hears "accepted".
+    JournalRecord record;
+    record.kind = JournalKind::kSubmitted;
+    record.id = id;
+    record.tenant = request.tenant;
+    record.workload = request.workload;
+    record.scale = request.scale;
+    record.quota = quota;
+    if (util::Status logged = journal_->Append(record); !logged.ok()) {
+        admission_.RemovePending(id);
+        registry_.GetCounter("serve.journal.append_errors").Add();
+        return ErrorResponse(util::Unavailable(
+            "cannot journal the submission: ", logged.message()));
+    }
+    next_id_ = id + 1;
+
+    auto job = std::make_unique<Job>();
+    job->info.id = id;
+    job->info.tenant = request.tenant;
+    job->info.workload = request.workload;
+    job->info.scale = request.scale;
+    job->info.quota = quota;
+    job->info.state = JobState::kQueued;
+    jobs_[id] = std::move(job);
+
+    registry_.GetCounter("serve.jobs.submitted").Add();
+    ScheduleMoreLocked();
+    PublishGaugesLocked();
+    WriteStatusFileLocked();
+
+    util::JsonWriter w;
+    w.BeginObject();
+    w.KeyValue("ok", true);
+    w.KeyValue("id", id);
+    w.KeyValue("state", "queued");
+    w.EndObject();
+    return w.TakeStr();
+}
+
+std::string
+ServeCore::HandleStatus(const Request& request)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (request.has_id && jobs_.find(request.id) == jobs_.end())
+        return ErrorResponse(util::NotFound("no job ", request.id));
+
+    util::JsonWriter w;
+    w.BeginObject();
+    w.KeyValue("ok", true);
+    w.KeyValue("draining", draining_.load(std::memory_order_relaxed));
+    w.KeyValue("queue_depth", admission_.pending_count());
+    w.KeyValue("running", admission_.running_count());
+    w.Key("jobs");
+    w.BeginArray();
+    for (const auto& [id, job] : jobs_) {
+        if (request.has_id && id != request.id)
+            continue;
+        WriteJobJson(w, job->info);
+    }
+    w.EndArray();
+    w.EndObject();
+    return w.TakeStr();
+}
+
+std::string
+ServeCore::HandleCancel(const Request& request)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(request.id);
+    if (it == jobs_.end())
+        return ErrorResponse(util::NotFound("no job ", request.id));
+    Job& job = *it->second;
+
+    const char* state = nullptr;
+    switch (job.info.state) {
+      case JobState::kQueued:
+      case JobState::kInterrupted: {
+        admission_.RemovePending(request.id);
+        JournalRecord record;
+        record.kind = JournalKind::kCancelled;
+        record.id = request.id;
+        AppendJournalLocked(record);
+        job.info.state = JobState::kCancelled;
+        job.info.outcome = "cancelled";
+        registry_.GetCounter("serve.jobs.cancelled").Add();
+        PublishGaugesLocked();
+        WriteStatusFileLocked();
+        state = "cancelled";
+        break;
+      }
+      case JobState::kRunning:
+        // Asynchronous: the job stops at its next slice boundary and the
+        // worker journals the terminal record (J1 holds — "cancelled" is
+        // only durable once it actually stopped).
+        job.cancel_requested.store(true, std::memory_order_relaxed);
+        job.stop_flag = 1;
+        state = "cancelling";
+        break;
+      default:
+        state = JobStateName(job.info.state);  // idempotent on terminal
+        break;
+    }
+
+    util::JsonWriter w;
+    w.BeginObject();
+    w.KeyValue("ok", true);
+    w.KeyValue("id", request.id);
+    w.KeyValue("state", state);
+    w.EndObject();
+    return w.TakeStr();
+}
+
+void
+ServeCore::ScheduleMoreLocked()
+{
+    if (pool_ == nullptr || draining_.load(std::memory_order_relaxed))
+        return;
+    uint64_t id = 0;
+    while (slots_free_ > 0 && admission_.PickNext(&id)) {
+        --slots_free_;
+        pool_->Submit([this, id] { RunJob(id); }, &drain_token_);
+    }
+}
+
+bool
+ServeCore::RunNextQueuedJob()
+{
+    uint64_t id = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (pool_ != nullptr || !started_)
+            return false;
+        if (!admission_.PickNext(&id))
+            return false;
+    }
+    RunJob(id);
+    return true;
+}
+
+void
+ServeCore::RunJob(uint64_t id)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    Job* job = nullptr;
+    JobInfo spec;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = jobs_.find(id);
+        if (it == jobs_.end())
+            return;
+        job = it->second.get();
+        job->info.state = JobState::kRunning;
+        spec = job->info;
+        JournalRecord record;
+        record.kind = JournalKind::kStarted;
+        record.id = id;
+        AppendJournalLocked(record);
+        PublishGaugesLocked();
+        WriteStatusFileLocked();
+    }
+
+    // Seals the job: journals the terminal record (unless the stop was an
+    // interruption — drain/power — which must stay resumable), updates
+    // the table, frees the slot, schedules the next job.
+    const auto finish = [&](const std::string& outcome,
+                            const std::string& detail, bool interrupted,
+                            const core::SessionResult* result,
+                            uint64_t trace_bytes, bool resumed) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (result != nullptr) {
+            job->info.records = result->records;
+            job->info.instructions += result->instructions;
+        }
+        job->info.trace_bytes = trace_bytes;
+        job->info.resumed = resumed;
+        if (resumed)
+            registry_.GetCounter("serve.jobs.resumed").Add();
+        if (interrupted) {
+            // No journal record: the dangling kStarted is exactly what
+            // recovery looks for, and the sealed checkpoint/trace are
+            // what it resumes from.
+            job->info.state = JobState::kInterrupted;
+        } else {
+            JournalRecord record;
+            record.kind = JournalKind::kFinished;
+            record.id = id;
+            record.outcome = outcome;
+            record.detail = detail;
+            AppendJournalLocked(record);
+            job->info.state = StateForOutcome(outcome);
+            job->info.outcome = outcome;
+            job->info.detail = detail;
+            switch (job->info.state) {
+              case JobState::kDone:
+                registry_.GetCounter("serve.jobs.completed").Add();
+                break;
+              case JobState::kFailed:
+                registry_.GetCounter("serve.jobs.failed").Add();
+                break;
+              default:
+                registry_.GetCounter("serve.jobs.cancelled").Add();
+                break;
+            }
+        }
+        admission_.FinishRunning(id);
+        if (pool_ != nullptr)
+            ++slots_free_;
+        registry_.GetHistogram("serve.job.us").Add(ElapsedUs(t0));
+        ScheduleMoreLocked();
+        PublishGaugesLocked();
+        WriteStatusFileLocked();
+    };
+
+    // -- build the capture stack, resuming from a checkpoint if one
+    //    survived a previous life of this daemon -------------------------
+    cpu::Machine::Config mconfig;
+    mconfig.mem_bytes = config_.mem_bytes;
+    mconfig.timer_reload = 2000;
+    core::AtumConfig tconfig;
+    tconfig.buffer_bytes = config_.buffer_bytes;
+
+    const std::string trace_path = TracePath(id);
+    std::unique_ptr<trace::FileSink> sink;
+    std::unique_ptr<cpu::Machine> machine;
+    std::unique_ptr<core::AtumTracer> tracer;
+    uint64_t remaining = spec.quota.max_instructions;
+    uint64_t next_seq = 1;
+    bool resumed = false;
+
+    uint64_t found_seq = 0;
+    if (std::unique_ptr<core::Checkpoint> found =
+            LoadNewestCheckpoint(id, &found_seq)) {
+        util::StatusOr<std::unique_ptr<trace::FileSink>> rsink =
+            trace::FileSink::OpenResumed(trace_path, found->sink_state(),
+                                         vfs_);
+        if (rsink.ok()) {
+            mconfig = found->meta().machine_config;
+            tconfig = found->meta().tracer_config;
+            machine = std::make_unique<cpu::Machine>(mconfig);
+            tracer = std::make_unique<core::AtumTracer>(*machine, **rsink,
+                                                        tconfig);
+            if (found->RestoreMachine(*machine).ok() &&
+                found->RestoreTracer(*tracer).ok()) {
+                sink = std::move(*rsink);
+                resumed = true;
+                remaining = found->meta().instructions_remaining;
+                if (remaining == 0 || remaining == UINT64_MAX)
+                    remaining = spec.quota.max_instructions;
+                next_seq = found->meta().sequence + 1;
+            } else {
+                machine.reset();
+                tracer.reset();
+            }
+        }
+    }
+
+    if (!resumed) {
+        util::StatusOr<std::unique_ptr<trace::FileSink>> fresh =
+            trace::FileSink::Open(trace_path,
+                                  trace::Atf2WriterOptions{
+                                      config_.chunk_records},
+                                  vfs_);
+        if (!fresh.ok()) {
+            // A dead filesystem (power cut mid-drill, disk gone) is an
+            // interruption, not a job failure: the restart retries it.
+            const bool interrupted =
+                fresh.status().code() == util::StatusCode::kUnavailable;
+            finish("failed", fresh.status().ToString(), interrupted,
+                   nullptr, 0, false);
+            return;
+        }
+        sink = std::move(*fresh);
+        machine = std::make_unique<cpu::Machine>(mconfig);
+        tracer =
+            std::make_unique<core::AtumTracer>(*machine, *sink, tconfig);
+        kernel::BootSystem(
+            *machine, {workloads::MakeWorkload(spec.workload, spec.scale)});
+    }
+
+    core::CheckpointRotator rotator(CheckpointBase(id),
+                                    config_.keep_checkpoints, next_seq,
+                                    vfs_);
+    obs::Registry job_registry;  // Set() publishing must not cross jobs
+    trace::FileSink* sink_ptr = sink.get();
+    const uint64_t byte_quota = spec.quota.max_trace_bytes;
+
+    core::SupervisorOptions sup;
+    sup.max_instructions = remaining;
+    sup.watchdog_ucycles = config_.watchdog_ucycles;
+    sup.deadline_ms = spec.quota.deadline_ms;
+    sup.stop_flag = &job->stop_flag;
+    sup.checkpoints = &rotator;
+    sup.checkpoint_every_fills = config_.checkpoint_every_fills;
+    sup.file_sink = sink_ptr;
+    sup.meta.machine_config = mconfig;
+    sup.meta.tracer_config = tconfig;
+    sup.meta.trace_path = trace_path;
+    sup.registry = &job_registry;
+    sup.on_slice = [this, job, sink_ptr, byte_quota] {
+        if (config_.external_stop != nullptr && *config_.external_stop != 0)
+            job->stop_flag = 1;
+        if (draining_.load(std::memory_order_relaxed))
+            job->stop_flag = 1;
+        if (job->cancel_requested.load(std::memory_order_relaxed))
+            job->stop_flag = 1;
+        if (byte_quota != 0 && sink_ptr->bytes_written() >= byte_quota) {
+            job->quota_stopped.store(true, std::memory_order_relaxed);
+            job->stop_flag = 1;
+        }
+    };
+
+    const core::SessionResult result =
+        core::RunSupervised(*machine, *tracer, sup);
+    const util::Status close_status = sink->Close();
+
+    std::string outcome;
+    std::string detail;
+    bool interrupted = false;
+    switch (result.stop_cause) {
+      case core::StopCause::kHalted:
+      case core::StopCause::kInstrLimit:
+        outcome = "done";
+        break;
+      case core::StopCause::kDeadline:
+        outcome = "deadline";
+        break;
+      case core::StopCause::kWatchdog:
+        outcome = "wedged";
+        detail = "no clean retirement within the watchdog budget";
+        break;
+      case core::StopCause::kSignal:
+        if (job->cancel_requested.load(std::memory_order_relaxed)) {
+            outcome = "cancelled";
+        } else if (job->quota_stopped.load(std::memory_order_relaxed)) {
+            outcome = "quota-bytes";
+            detail = std::to_string(sink_ptr->bytes_written()) +
+                     " durable trace bytes against a quota of " +
+                     std::to_string(byte_quota);
+        } else {
+            interrupted = true;  // drain or external cut: resumable
+        }
+        break;
+    }
+    if (!close_status.ok() && detail.empty())
+        detail = "close: " + close_status.ToString();
+
+    finish(outcome, detail, interrupted, &result,
+           sink_ptr->bytes_written(), resumed);
+}
+
+void
+ServeCore::RequestDrain()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_.exchange(true, std::memory_order_relaxed))
+        return;
+    drain_token_.Cancel();
+    if (pool_ != nullptr)
+        pool_->AbandonPending();
+    for (auto& [id, job] : jobs_) {
+        if (job->info.state == JobState::kRunning)
+            job->stop_flag = 1;
+    }
+    registry_.GetGauge("serve.draining").Set(1);
+    WriteStatusFileLocked();
+}
+
+void
+ServeCore::Shutdown()
+{
+    if (!started_)
+        return;
+    RequestDrain();
+    std::unique_ptr<replay::ThreadPool> pool;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        pool = std::move(pool_);
+    }
+    if (pool != nullptr)
+        pool->Wait();
+    std::lock_guard<std::mutex> lock(mu_);
+    WriteStatusFileLocked();
+}
+
+std::vector<JobInfo>
+ServeCore::Jobs() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<JobInfo> jobs;
+    jobs.reserve(jobs_.size());
+    for (const auto& [id, job] : jobs_)
+        jobs.push_back(job->info);
+    return jobs;
+}
+
+std::string
+ServeCore::StatusJson() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return StatusJsonLocked();
+}
+
+std::string
+ServeCore::StatusJsonLocked() const
+{
+    util::JsonWriter w;
+    w.BeginObject();
+    w.KeyValue("v", kStatusVersion);
+    w.KeyValue("draining", draining_.load(std::memory_order_relaxed));
+    w.KeyValue("workers", config_.workers);
+    w.KeyValue("queue_depth", admission_.pending_count());
+    w.KeyValue("running", admission_.running_count());
+    w.Key("jobs");
+    w.BeginArray();
+    for (const auto& [id, job] : jobs_)
+        WriteJobJson(w, job->info);
+    w.EndArray();
+    w.EndObject();
+    return w.TakeStr();
+}
+
+void
+ServeCore::WriteStatusFileLocked()
+{
+    if (!started_)
+        return;
+    // Advisory (atum-top reads it); written on every state transition via
+    // the ATCK tmp+rename pattern so a reader never sees a torn document.
+    // Deliberately not fsynced — its truth is reconstructible from the
+    // journal, and transition-driven writes keep chaos drills
+    // deterministic (no timer-gated I/O).
+    const std::string path = JoinPath(config_.dir, kStatusName);
+    const std::string tmp = path + ".tmp";
+    const std::string body = StatusJsonLocked();
+    const auto fail = [&] {
+        registry_.GetCounter("serve.status.write_errors").Add();
+    };
+    util::StatusOr<std::unique_ptr<io::WritableFile>> out =
+        vfs_.Create(tmp);
+    if (!out.ok())
+        return fail();
+    if (!(*out)->Write(body.data(), body.size()).ok())
+        return fail();
+    if (!(*out)->Close().ok())
+        return fail();
+    if (!vfs_.Rename(tmp, path).ok())
+        return fail();
+}
+
+void
+ServeCore::PublishGaugesLocked()
+{
+    registry_.GetGauge("serve.queue.depth").Set(admission_.pending_count());
+    registry_.GetGauge("serve.jobs.running").Set(admission_.running_count());
+}
+
+void
+ServeCore::AppendJournalLocked(const JournalRecord& record)
+{
+    if (util::Status s = journal_->Append(record); !s.ok()) {
+        // The capture (and its checkpoints) are the valuable artifact;
+        // a journal write lost to an injected fault costs at worst a
+        // re-run after restart, never a silent loss, so the daemon keeps
+        // going. Submissions are the exception: their append is checked
+        // at the call site, before the ack (J1).
+        Warn("serve: journal append failed (", JournalKindName(record.kind),
+             " job ", record.id, "): ", s.ToString());
+        registry_.GetCounter("serve.journal.append_errors").Add();
+    }
+}
+
+}  // namespace atum::serve

@@ -1,0 +1,186 @@
+#include "serve/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace atum::serve {
+
+namespace {
+
+util::Status
+ErrnoStatus(int err, const std::string& what)
+{
+    return util::Unavailable(what, ": ", std::strerror(err));
+}
+
+util::StatusOr<int>
+MakeSocket()
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return ErrnoStatus(errno, "socket(AF_UNIX)");
+    return fd;
+}
+
+util::Status
+FillAddr(const std::string& path, sockaddr_un* addr)
+{
+    if (path.size() >= sizeof(addr->sun_path))
+        return util::InvalidArgument("socket path too long (", path.size(),
+                                     " bytes): ", path);
+    std::memset(addr, 0, sizeof *addr);
+    addr->sun_family = AF_UNIX;
+    std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+    return util::OkStatus();
+}
+
+}  // namespace
+
+util::Status
+WriteFrameFd(int fd, const std::string& payload)
+{
+    const std::string frame = EncodeFrame(payload);
+    size_t off = 0;
+    while (off < frame.size()) {
+        const ssize_t n =
+            ::write(fd, frame.data() + off, frame.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return ErrnoStatus(errno, "write frame");
+        }
+        off += static_cast<size_t>(n);
+    }
+    return util::OkStatus();
+}
+
+util::StatusOr<std::string>
+ReadFrameFd(int fd)
+{
+    FrameParser parser;
+    std::string payload;
+    char buf[4096];
+    for (;;) {
+        util::StatusOr<bool> got = parser.Next(&payload);
+        if (!got.ok())
+            return got.status();
+        if (*got)
+            return payload;
+        const ssize_t n = ::read(fd, buf, sizeof buf);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return ErrnoStatus(errno, "read frame");
+        }
+        if (n == 0) {
+            if (parser.pending_bytes() == 0)
+                return util::Unavailable("peer closed the connection");
+            return util::DataLoss("connection closed mid-frame (",
+                                  parser.pending_bytes(),
+                                  " bytes buffered)");
+        }
+        parser.Feed(buf, static_cast<size_t>(n));
+    }
+}
+
+util::StatusOr<std::unique_ptr<UnixListener>>
+UnixListener::Bind(const std::string& path)
+{
+    sockaddr_un addr;
+    if (util::Status s = FillAddr(path, &addr); !s.ok())
+        return s;
+    util::StatusOr<int> fd = MakeSocket();
+    if (!fd.ok())
+        return fd.status();
+    // A stale socket file from a crashed daemon blocks bind(2); the
+    // journal is what carries identity across restarts, so the file is
+    // safe to clear.
+    ::unlink(path.c_str());
+    if (::bind(*fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0) {
+        const int err = errno;
+        ::close(*fd);
+        return ErrnoStatus(err, "bind " + path);
+    }
+    if (::listen(*fd, 16) != 0) {
+        const int err = errno;
+        ::close(*fd);
+        return ErrnoStatus(err, "listen " + path);
+    }
+    return std::unique_ptr<UnixListener>(new UnixListener(*fd, path));
+}
+
+UnixListener::~UnixListener()
+{
+    Close();
+    ::unlink(path_.c_str());
+}
+
+util::StatusOr<int>
+UnixListener::Accept(int timeout_ms)
+{
+    if (fd_ < 0)
+        return util::Unavailable("listener is closed");
+    if (timeout_ms >= 0) {
+        pollfd pfd{};
+        pfd.fd = fd_;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, timeout_ms);
+        if (ready < 0 && errno != EINTR)
+            return ErrnoStatus(errno, "poll");
+        if (ready <= 0)
+            return -1;  // timeout (or signal): no connection this round
+    }
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0)
+        return ErrnoStatus(errno, "accept");
+    return fd;
+}
+
+void
+UnixListener::Close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+util::StatusOr<std::unique_ptr<UnixClient>>
+UnixClient::Connect(const std::string& path)
+{
+    sockaddr_un addr;
+    if (util::Status s = FillAddr(path, &addr); !s.ok())
+        return s;
+    util::StatusOr<int> fd = MakeSocket();
+    if (!fd.ok())
+        return fd.status();
+    if (::connect(*fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+        const int err = errno;
+        ::close(*fd);
+        return ErrnoStatus(err, "connect " + path);
+    }
+    return std::unique_ptr<UnixClient>(new UnixClient(*fd));
+}
+
+UnixClient::~UnixClient()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+util::StatusOr<std::string>
+UnixClient::Call(const std::string& payload)
+{
+    if (util::Status s = WriteFrameFd(fd_, payload); !s.ok())
+        return s;
+    return ReadFrameFd(fd_);
+}
+
+}  // namespace atum::serve

@@ -1,0 +1,100 @@
+#ifndef ATUM_SERVE_SOCKET_H_
+#define ATUM_SERVE_SOCKET_H_
+
+/**
+ * @file
+ * The thin POSIX rind around ServeCore: a Unix-domain stream listener
+ * and the matching client, speaking length-prefixed frames
+ * (serve/protocol.h).
+ *
+ * Kept deliberately small and separate — everything with behavior worth
+ * testing lives in ServeCore, and everything here is straight-line
+ * syscall plumbing: bind/listen/accept on the server side, connect +
+ * one-request/one-response exchanges on the client side. Blocking I/O
+ * with a per-connection frame parser; the daemon serves connections one
+ * at a time (requests are sub-millisecond — the expensive work happens
+ * on the worker pool, never on the accept thread).
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/protocol.h"
+#include "util/status.h"
+
+namespace atum::serve {
+
+/** Writes one length-prefixed frame to `fd` (blocking, EINTR-safe). */
+util::Status WriteFrameFd(int fd, const std::string& payload);
+
+/**
+ * Reads one complete frame from `fd`. kUnavailable on EOF before any
+ * byte (peer closed cleanly), kDataLoss on EOF mid-frame, kInvalidArgument
+ * on an oversized frame.
+ */
+util::StatusOr<std::string> ReadFrameFd(int fd);
+
+/** A bound, listening Unix-domain stream socket. */
+class UnixListener
+{
+  public:
+    /**
+     * Binds and listens on `path`, replacing a stale socket file from a
+     * previous (dead) daemon — the journal, not the socket, is the
+     * authority on daemon identity.
+     */
+    static util::StatusOr<std::unique_ptr<UnixListener>> Bind(
+        const std::string& path);
+
+    ~UnixListener();
+    UnixListener(const UnixListener&) = delete;
+    UnixListener& operator=(const UnixListener&) = delete;
+
+    /**
+     * Accepts one connection and returns its fd; the caller owns and
+     * closes it. `timeout_ms` bounds the wait (-1 = forever): -1 is
+     * returned when it elapses with no connection, so a daemon can
+     * re-check its SIGTERM flag between accepts (std::signal's
+     * SA_RESTART semantics would otherwise park accept(2) forever).
+     * kUnavailable on a closed listener or accept failure.
+     */
+    util::StatusOr<int> Accept(int timeout_ms = -1);
+
+    /** Closes the listening socket (thread-safe wakeup for Accept). */
+    void Close();
+
+    const std::string& path() const { return path_; }
+
+  private:
+    UnixListener(int fd, std::string path) : fd_(fd), path_(std::move(path))
+    {
+    }
+
+    int fd_;
+    std::string path_;
+};
+
+/** One client connection: connect, then Call() per request. */
+class UnixClient
+{
+  public:
+    static util::StatusOr<std::unique_ptr<UnixClient>> Connect(
+        const std::string& path);
+
+    ~UnixClient();
+    UnixClient(const UnixClient&) = delete;
+    UnixClient& operator=(const UnixClient&) = delete;
+
+    /** Sends one request payload, returns the response payload. */
+    util::StatusOr<std::string> Call(const std::string& payload);
+
+  private:
+    explicit UnixClient(int fd) : fd_(fd) {}
+
+    int fd_;
+};
+
+}  // namespace atum::serve
+
+#endif  // ATUM_SERVE_SOCKET_H_

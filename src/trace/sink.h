@@ -147,6 +147,13 @@ class FileSink : public TraceSink
 
     uint64_t count() const { return writer_ ? writer_->records() : 0; }
 
+    /** Bytes of durable container prefix so far — what a trace-byte
+     *  quota meters (buffered open-chunk records not yet included). */
+    uint64_t bytes_written() const
+    {
+        return writer_ ? writer_->bytes_written() : 0;
+    }
+
     /**
      * Makes the durable prefix crash-safe (fsync) and returns the
      * writer's mid-stream state for a checkpoint. Called between drains;

@@ -26,6 +26,8 @@ StatusCodeName(StatusCode code)
         return "no-space";
       case StatusCode::kInterrupted:
         return "interrupted";
+      case StatusCode::kResourceExhausted:
+        return "resource-exhausted";
     }
     return "unknown";
 }
@@ -51,10 +53,13 @@ ExitCodeFor(const Status& status)
         return kExitOk;
       case StatusCode::kNotFound:
       case StatusCode::kIoError:
-      case StatusCode::kUnavailable:
       case StatusCode::kNoSpace:
       case StatusCode::kInterrupted:
         return kExitIo;
+      case StatusCode::kUnavailable:
+        return kExitUnavailable;
+      case StatusCode::kResourceExhausted:
+        return kExitResourceExhausted;
       case StatusCode::kInvalidArgument:
       case StatusCode::kDataLoss:
         return kExitCorrupt;

@@ -39,6 +39,7 @@ enum class StatusCode : uint8_t {
     kInternal,            ///< unexpected failure inside atum
     kNoSpace,             ///< device full (ENOSPC/EDQUOT); retrying is futile
     kInterrupted,         ///< a signal interrupted the call (EINTR); retry
+    kResourceExhausted,   ///< admission refused: quota or queue bound hit
 };
 
 /** Stable lowercase name ("data-loss") for messages and reports. */
@@ -128,6 +129,12 @@ Status Interrupted(Args&&... args)
     return Status(StatusCode::kInterrupted,
                   internal::StrCat(std::forward<Args>(args)...));
 }
+template <typename... Args>
+Status ResourceExhausted(Args&&... args)
+{
+    return Status(StatusCode::kResourceExhausted,
+                  internal::StrCat(std::forward<Args>(args)...));
+}
 
 /** A Status or a value of type T; exactly one is ever present. */
 template <typename T>
@@ -209,6 +216,19 @@ inline constexpr int kExitInterrupted = 5;
  * in an exception loop or spinning). The trace up to the wedge is sealed.
  */
 inline constexpr int kExitWedged = 6;
+/**
+ * The peer is transiently unreachable (kUnavailable): the serve daemon
+ * is not listening, still starting, or mid-restart. Retrying — which
+ * atum-submit does itself with jittered backoff — may succeed; scripts
+ * seeing 7 should back off, not give up.
+ */
+inline constexpr int kExitUnavailable = 7;
+/**
+ * Admission refused (kResourceExhausted): the daemon shed load because a
+ * queue bound or per-tenant quota was hit. The request was well-formed
+ * and the server is healthy — resubmit later or to a quieter tenant.
+ */
+inline constexpr int kExitResourceExhausted = 8;
 
 /** Maps an error Status to the tool exit-code convention above. */
 int ExitCodeFor(const Status& status);

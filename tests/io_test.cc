@@ -190,6 +190,47 @@ TEST(MemVfs, OpenForAppendAtTruncates)
               util::StatusCode::kNotFound);
 }
 
+TEST(MemVfs, ListDirReturnsSortedBasenames)
+{
+    MemVfs vfs;
+    Put(vfs, "d/b.atf2", "x", /*sync=*/false);
+    Put(vfs, "d/a.atck", "y", /*sync=*/false);
+    Put(vfs, "other/c", "z", /*sync=*/false);
+    Put(vfs, "rootfile", "w", /*sync=*/false);
+
+    util::StatusOr<std::vector<std::string>> names = vfs.ListDir("d");
+    ASSERT_TRUE(names.ok());
+    ASSERT_EQ(names->size(), 2u);
+    EXPECT_EQ((*names)[0], "a.atck");
+    EXPECT_EQ((*names)[1], "b.atf2");
+
+    names = vfs.ListDir(".");
+    ASSERT_TRUE(names.ok());
+    ASSERT_EQ(names->size(), 1u);
+    EXPECT_EQ((*names)[0], "rootfile");
+
+    // MemVfs has no directory inodes: an unknown dir is simply empty.
+    names = vfs.ListDir("missing");
+    ASSERT_TRUE(names.ok());
+    EXPECT_TRUE(names->empty());
+}
+
+TEST(RealVfs, ListDirSeesRegularFiles)
+{
+    Vfs& vfs = RealVfs();
+    const std::string path = "io_test_listdir.tmp";
+    Put(vfs, path, "x", /*sync=*/false);
+    util::StatusOr<std::vector<std::string>> names = vfs.ListDir(".");
+    ASSERT_TRUE(names.ok());
+    bool found = false;
+    for (const std::string& name : *names)
+        found |= name == path;
+    EXPECT_TRUE(found);
+    ASSERT_TRUE(vfs.Unlink(path).ok());
+    EXPECT_EQ(vfs.ListDir("io_test_no_such_dir").status().code(),
+              util::StatusCode::kNotFound);
+}
+
 // ---------------------------------------------------------------------------
 // ChaosVfs fault injection
 
@@ -277,6 +318,8 @@ TEST(ChaosVfs, PowerCutWriteKillsTheWorld)
     EXPECT_EQ(vfs.Create("new").status().code(),
               util::StatusCode::kUnavailable);
     EXPECT_EQ(vfs.OpenRead("before").status().code(),
+              util::StatusCode::kUnavailable);
+    EXPECT_EQ(vfs.ListDir(".").status().code(),
               util::StatusCode::kUnavailable);
 
     // The snapshot holds the durable view: the synced file, intact; the

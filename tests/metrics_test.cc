@@ -131,6 +131,33 @@ TEST(Registry, LookupIsStableAndSnapshotSorted)
     EXPECT_NE(snap.ToText().find("b.second"), std::string::npos);
 }
 
+TEST(Registry, PrometheusTextExposition)
+{
+    Registry registry;
+    registry.GetCounter("serve.jobs.admitted").Add(7);
+    registry.GetGauge("serve.queue.depth").Set(-2);
+    Histogram& h = registry.GetHistogram("serve.admit.us");
+    h.Add(1);   // bucket 0, le=1
+    h.Add(10);  // bucket 3, le=15
+    const std::string text = registry.Snapshot().ToPrometheusText();
+
+    EXPECT_NE(text.find("# TYPE atum_serve_jobs_admitted_total counter\n"
+                        "atum_serve_jobs_admitted_total 7\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE atum_serve_queue_depth gauge\n"
+                        "atum_serve_queue_depth -2\n"),
+              std::string::npos);
+    // Histogram buckets are cumulative and end at +Inf == count.
+    EXPECT_NE(text.find("atum_serve_admit_us_bucket{le=\"1\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("atum_serve_admit_us_bucket{le=\"15\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("atum_serve_admit_us_bucket{le=\"+Inf\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("atum_serve_admit_us_sum 11\n"), std::string::npos);
+    EXPECT_NE(text.find("atum_serve_admit_us_count 2\n"), std::string::npos);
+}
+
 TEST(Registry, SnapshotWhileWritingIsMonotone)
 {
     // Counter totals observed by repeated snapshots never decrease while

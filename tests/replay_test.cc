@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "analysis/compare.h"
@@ -70,6 +71,105 @@ TEST(ThreadPool, TaskExceptionDoesNotDeadlock)
     pool.Submit([&ran] { ++ran; });
     pool.Wait();
     EXPECT_EQ(ran.load(), 21);
+}
+
+TEST(ThreadPool, CancelledTokenAbandonsQueuedWork)
+{
+    // One worker pinned on a gate guarantees the rest of the queue is
+    // still pending when we cancel: those tasks must never run.
+    ThreadPool pool(1);
+    CancellationToken token;
+    std::atomic<bool> gate{false};
+    std::atomic<int> ran{0};
+    pool.Submit([&gate] {
+        while (!gate.load())
+            std::this_thread::yield();
+    });
+    for (int i = 0; i < 10; ++i)
+        pool.Submit([&ran] { ++ran; }, &token);
+    token.Cancel();
+    gate.store(true);
+    pool.Wait();
+    EXPECT_EQ(ran.load(), 0);
+    EXPECT_EQ(pool.abandoned(), 10u);
+    // Submitting against an already-cancelled token drops immediately.
+    pool.Submit([&ran] { ++ran; }, &token);
+    pool.Wait();
+    EXPECT_EQ(ran.load(), 0);
+    EXPECT_EQ(pool.abandoned(), 11u);
+}
+
+TEST(ThreadPool, AbandonPendingDropsOnlyUnstartedWork)
+{
+    ThreadPool pool(1);
+    std::atomic<bool> gate{false};
+    std::atomic<int> started{0};
+    std::atomic<int> ran{0};
+    pool.Submit([&] {
+        ++started;
+        while (!gate.load())
+            std::this_thread::yield();
+        ++ran;
+    });
+    while (started.load() == 0)
+        std::this_thread::yield();
+    for (int i = 0; i < 7; ++i)
+        pool.Submit([&ran] { ++ran; });
+    EXPECT_EQ(pool.AbandonPending(), 7u);
+    gate.store(true);
+    pool.Wait();
+    // The in-flight task finished; the queued backlog never ran.
+    EXPECT_EQ(ran.load(), 1);
+    EXPECT_EQ(pool.abandoned(), 7u);
+    // The pool is still usable after a drain.
+    pool.Submit([&ran] { ++ran; });
+    pool.Wait();
+    EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPool, CancelRacesSubmitWithoutLossOrDoubleRun)
+{
+    // The stop/enqueue race the serve daemon hits on SIGTERM: one thread
+    // floods the queue while another cancels mid-stream. Under TSan this
+    // exercises the token read against concurrent Submit/dequeue; the
+    // invariant is every task either ran once or was counted abandoned.
+    for (int round = 0; round < 8; ++round) {
+        ThreadPool pool(4);
+        CancellationToken token;
+        std::atomic<int> ran{0};
+        constexpr int kTasks = 400;
+        std::thread submitter([&] {
+            for (int i = 0; i < kTasks; ++i)
+                pool.Submit([&ran] { ++ran; }, &token);
+        });
+        std::thread canceller([&] { token.Cancel(); });
+        submitter.join();
+        canceller.join();
+        pool.Wait();
+        EXPECT_EQ(static_cast<std::size_t>(ran.load()) + pool.abandoned(),
+                  static_cast<std::size_t>(kTasks));
+    }
+}
+
+TEST(ThreadPool, AbandonPendingRacesSubmit)
+{
+    // AbandonPending from one thread against a flood of Submits from
+    // another: conservation must hold and Wait must not hang.
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    constexpr int kTasks = 300;
+    std::size_t dropped = 0;
+    std::thread submitter([&] {
+        for (int i = 0; i < kTasks; ++i)
+            pool.Submit([&ran] { ++ran; });
+    });
+    std::thread drainer([&] { dropped = pool.AbandonPending(); });
+    submitter.join();
+    drainer.join();
+    pool.Wait();
+    EXPECT_EQ(pool.abandoned(), dropped);
+    EXPECT_EQ(static_cast<std::size_t>(ran.load()) + dropped,
+              static_cast<std::size_t>(kTasks));
 }
 
 TEST(ThreadPool, WaitCanBeCalledRepeatedly)

@@ -1,0 +1,645 @@
+// Serve daemon tests: frame codec fuzz, protocol validation, journal
+// recovery under a corruption matrix, admission/fair-share policy, the
+// ServeCore job lifecycle in drill mode, kill-restart recovery on an
+// in-memory disk, and a small seeded serve chaos campaign.
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "chaos/campaign.h"
+#include "io/chaos.h"
+#include "io/mem_vfs.h"
+#include "obs/metrics.h"
+#include "serve/admission.h"
+#include "serve/journal.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace atum::serve {
+namespace {
+
+std::string
+ReadAll(io::Vfs& vfs, const std::string& path)
+{
+    util::StatusOr<std::unique_ptr<io::ReadableFile>> in = vfs.OpenRead(path);
+    EXPECT_TRUE(in.ok()) << in.status().ToString();
+    if (!in.ok())
+        return {};
+    std::string bytes;
+    char buf[512];
+    for (;;) {
+        util::StatusOr<size_t> n = (*in)->Read(buf, sizeof buf);
+        EXPECT_TRUE(n.ok()) << n.status().ToString();
+        if (!n.ok() || *n == 0)
+            break;
+        bytes.append(buf, *n);
+    }
+    return bytes;
+}
+
+void
+WriteAll(io::Vfs& vfs, const std::string& path, const std::string& bytes)
+{
+    util::StatusOr<std::unique_ptr<io::WritableFile>> out = vfs.Create(path);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    ASSERT_TRUE((*out)->Write(bytes.data(), bytes.size()).ok());
+    ASSERT_TRUE((*out)->Sync().ok());
+    ASSERT_TRUE((*out)->Close().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec.
+
+TEST(FrameParser, RoundTripsAcrossArbitraryChunking)
+{
+    const std::vector<std::string> payloads = {"{}", R"({"op":"ping"})",
+                                               std::string(1000, 'x'), ""};
+    std::string stream;
+    for (const std::string& p : payloads)
+        stream += EncodeFrame(p);
+
+    // Every chunk size from 1 byte to the whole stream must reassemble
+    // the identical payload sequence.
+    for (size_t chunk = 1; chunk <= stream.size(); chunk += 7) {
+        FrameParser parser;
+        std::vector<std::string> got;
+        for (size_t pos = 0; pos < stream.size(); pos += chunk) {
+            parser.Feed(stream.data() + pos,
+                        std::min(chunk, stream.size() - pos));
+            for (;;) {
+                std::string payload;
+                util::StatusOr<bool> next = parser.Next(&payload);
+                ASSERT_TRUE(next.ok()) << next.status().ToString();
+                if (!*next)
+                    break;
+                got.push_back(payload);
+            }
+        }
+        EXPECT_EQ(got, payloads);
+        EXPECT_EQ(parser.pending_bytes(), 0u);
+    }
+}
+
+TEST(FrameParser, OversizedFramePoisonsForever)
+{
+    std::string evil;
+    const uint32_t huge = kMaxFrameBytes + 1;
+    for (int i = 0; i < 4; ++i)
+        evil.push_back(static_cast<char>((huge >> (8 * i)) & 0xFF));
+    FrameParser parser;
+    parser.Feed(evil.data(), evil.size());
+    std::string payload;
+    EXPECT_FALSE(parser.Next(&payload).ok());
+    // Even a valid frame afterwards must not resurrect the connection.
+    const std::string good = EncodeFrame("{}");
+    parser.Feed(good.data(), good.size());
+    EXPECT_FALSE(parser.Next(&payload).ok());
+}
+
+TEST(FrameParser, TruncatedFrameReportsPendingBytes)
+{
+    const std::string frame = EncodeFrame(R"({"op":"ping"})");
+    FrameParser parser;
+    parser.Feed(frame.data(), frame.size() - 3);
+    std::string payload;
+    util::StatusOr<bool> next = parser.Next(&payload);
+    ASSERT_TRUE(next.ok());
+    EXPECT_FALSE(*next);
+    EXPECT_GT(parser.pending_bytes(), 0u);  // the tear is detectable
+}
+
+// Seeded fuzz: random byte soup must never crash the parser — each
+// stream either yields frames, waits for more, or poisons cleanly.
+TEST(FrameParser, RandomByteSoupNeverCrashes)
+{
+    std::mt19937_64 rng(42);
+    for (int round = 0; round < 200; ++round) {
+        std::string soup(1 + rng() % 300, '\0');
+        for (char& c : soup)
+            c = static_cast<char>(rng() & 0xFF);
+        FrameParser parser;
+        parser.Feed(soup.data(), soup.size());
+        for (int step = 0; step < 64; ++step) {
+            std::string payload;
+            util::StatusOr<bool> next = parser.Next(&payload);
+            if (!next.ok() || !*next)
+                break;
+            EXPECT_LE(payload.size(), kMaxFrameBytes);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol validation.
+
+TEST(Protocol, RequestRoundTrip)
+{
+    Request request;
+    request.op = RequestOp::kSubmit;
+    request.tenant = "team-a";
+    request.workload = "sort";
+    request.scale = 3;
+    request.quota.max_instructions = 12345;
+    request.quota.max_trace_bytes = 777;
+    request.quota.deadline_ms = 42;
+    util::StatusOr<Request> parsed = ParseRequest(SerializeRequest(request));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->tenant, "team-a");
+    EXPECT_EQ(parsed->workload, "sort");
+    EXPECT_EQ(parsed->scale, 3u);
+    EXPECT_EQ(parsed->quota.max_instructions, 12345u);
+    EXPECT_EQ(parsed->quota.max_trace_bytes, 777u);
+    EXPECT_EQ(parsed->quota.deadline_ms, 42u);
+}
+
+TEST(Protocol, RejectsWrongVersionAndMalformedFrames)
+{
+    EXPECT_FALSE(ParseRequest("not json").ok());
+    EXPECT_FALSE(ParseRequest("{}").ok());
+    EXPECT_FALSE(ParseRequest(R"({"v":"atum-serve-v0","op":"ping"})").ok());
+    EXPECT_FALSE(
+        ParseRequest(R"({"v":"atum-serve-v1","op":"explode"})").ok());
+    EXPECT_TRUE(ParseRequest(R"({"v":"atum-serve-v1","op":"ping"})").ok());
+}
+
+TEST(Protocol, ErrorResponseRoundTripsStatusCode)
+{
+    const util::Status shed = util::ResourceExhausted("queue full");
+    const util::Status extracted = ResponseStatus(ErrorResponse(shed));
+    EXPECT_EQ(extracted.code(), util::StatusCode::kResourceExhausted);
+    EXPECT_TRUE(ResponseStatus(R"({"ok":true})").ok());
+    EXPECT_FALSE(ResponseStatus("garbage").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Journal recovery.
+
+JournalRecord
+Submitted(uint64_t id)
+{
+    JournalRecord r;
+    r.kind = JournalKind::kSubmitted;
+    r.id = id;
+    r.tenant = "t";
+    r.workload = "grep";
+    return r;
+}
+
+JournalRecord
+Finished(uint64_t id, const std::string& outcome)
+{
+    JournalRecord r;
+    r.kind = JournalKind::kFinished;
+    r.id = id;
+    r.outcome = outcome;
+    return r;
+}
+
+TEST(JobJournal, AppendThenRecover)
+{
+    io::MemVfs vfs;
+    {
+        util::StatusOr<std::unique_ptr<JobJournal>> journal =
+            JobJournal::Open("j", vfs);
+        ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+        EXPECT_TRUE((*journal)->Append(Submitted(1)).ok());
+        EXPECT_TRUE((*journal)->Append(Submitted(2)).ok());
+        EXPECT_TRUE((*journal)->Append(Finished(1, "done")).ok());
+    }
+    util::StatusOr<std::unique_ptr<JobJournal>> journal =
+        JobJournal::Open("j", vfs);
+    ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+    EXPECT_FALSE((*journal)->tail_dropped());
+    ASSERT_EQ((*journal)->recovered().size(), 3u);
+    EXPECT_EQ((*journal)->recovered()[0].id, 1u);
+    EXPECT_EQ((*journal)->recovered()[2].outcome, "done");
+}
+
+// The corruption matrix: flip every byte of a three-record journal in
+// turn. Recovery must never crash, never fabricate records, and always
+// return a prefix of what was written.
+TEST(JobJournal, SingleByteCorruptionAlwaysLeavesACleanPrefix)
+{
+    io::MemVfs vfs;
+    {
+        util::StatusOr<std::unique_ptr<JobJournal>> journal =
+            JobJournal::Open("j", vfs);
+        ASSERT_TRUE(journal.ok());
+        ASSERT_TRUE((*journal)->Append(Submitted(1)).ok());
+        ASSERT_TRUE((*journal)->Append(Submitted(2)).ok());
+        ASSERT_TRUE((*journal)->Append(Finished(1, "done")).ok());
+    }
+    const std::string clean = ReadAll(vfs, "j");
+    ASSERT_FALSE(clean.empty());
+
+    for (size_t pos = 0; pos < clean.size(); ++pos) {
+        std::string dirty = clean;
+        dirty[pos] = static_cast<char>(dirty[pos] ^ 0x5A);
+        const std::vector<JournalRecord> records =
+            ScanJournalBytes(dirty, nullptr, nullptr);
+        ASSERT_LE(records.size(), 3u) << "byte " << pos;
+        // Whatever survives must be the written prefix, id for id.
+        const uint64_t want_ids[] = {1, 2, 1};
+        for (size_t i = 0; i < records.size(); ++i)
+            EXPECT_EQ(records[i].id, want_ids[i]) << "byte " << pos;
+    }
+}
+
+TEST(JobJournal, TornTailIsDroppedAndAppendsContinue)
+{
+    io::MemVfs vfs;
+    std::string bytes;
+    {
+        util::StatusOr<std::unique_ptr<JobJournal>> journal =
+            JobJournal::Open("j", vfs);
+        ASSERT_TRUE(journal.ok());
+        ASSERT_TRUE((*journal)->Append(Submitted(1)).ok());
+        ASSERT_TRUE((*journal)->Append(Submitted(2)).ok());
+        bytes = ReadAll(vfs, "j");
+    }
+    // Cut mid-way through the second frame — the write the crash tore.
+    WriteAll(vfs, "j", bytes.substr(0, bytes.size() - 5));
+
+    util::StatusOr<std::unique_ptr<JobJournal>> journal =
+        JobJournal::Open("j", vfs);
+    ASSERT_TRUE(journal.ok());
+    EXPECT_TRUE((*journal)->tail_dropped());
+    ASSERT_EQ((*journal)->recovered().size(), 1u);
+    // Appending after recovery lands right past the valid prefix.
+    ASSERT_TRUE((*journal)->Append(Submitted(3)).ok());
+    const std::vector<JournalRecord> records =
+        ScanJournalBytes(ReadAll(vfs, "j"), nullptr, nullptr);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].id, 1u);
+    EXPECT_EQ(records[1].id, 3u);
+}
+
+TEST(JobJournal, PureNoiseRecoversAsEmpty)
+{
+    std::string noise(300, '\0');
+    std::mt19937_64 rng(7);
+    for (char& c : noise)
+        c = static_cast<char>(rng() & 0xFF);
+    bool dropped = false;
+    EXPECT_TRUE(ScanJournalBytes(noise, nullptr, &dropped).empty());
+    EXPECT_TRUE(dropped);
+}
+
+// Regression: a torn append (transient fault mid-write) must not leave
+// garbage that hides every later record from recovery. The journal heals
+// by truncating back to its last durable byte.
+TEST(JobJournal, TornAppendSelfHealsBeforeNextRecord)
+{
+    io::MemVfs mem;
+    io::ChaosSchedule schedule;
+    schedule.ops.push_back(io::ChaosOp{io::ChaosOpKind::kShortWrite,
+                                       /*at=*/2, /*arg=*/4,
+                                       util::StatusCode::kNoSpace});
+    io::ChaosVfs vfs(mem, schedule);
+
+    util::StatusOr<std::unique_ptr<JobJournal>> journal =
+        JobJournal::Open("j", vfs);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE((*journal)->Append(Submitted(1)).ok());
+    EXPECT_FALSE((*journal)->Append(Submitted(2)).ok());  // torn at 4 bytes
+    ASSERT_TRUE((*journal)->Append(Submitted(3)).ok());   // after self-heal
+
+    bool dropped = false;
+    const std::vector<JournalRecord> records =
+        ScanJournalBytes(ReadAll(mem, "j"), nullptr, &dropped);
+    EXPECT_FALSE(dropped) << "torn frame left in place hides record 3";
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].id, 1u);
+    EXPECT_EQ(records[1].id, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control and fair share.
+
+TEST(Admission, ShedsWhenQueueIsFull)
+{
+    AdmissionConfig config;
+    config.max_queue_depth = 2;
+    AdmissionController admission(config);
+    EXPECT_TRUE(admission.Admit(1, "a").ok());
+    EXPECT_TRUE(admission.Admit(2, "b").ok());
+    const util::Status shed = admission.Admit(3, "c");
+    EXPECT_EQ(shed.code(), util::StatusCode::kResourceExhausted);
+}
+
+TEST(Admission, ShedsTenantOverItsShare)
+{
+    AdmissionConfig config;
+    config.max_per_tenant = 2;
+    AdmissionController admission(config);
+    EXPECT_TRUE(admission.Admit(1, "chatty").ok());
+    EXPECT_TRUE(admission.Admit(2, "chatty").ok());
+    EXPECT_EQ(admission.Admit(3, "chatty").code(),
+              util::StatusCode::kResourceExhausted);
+    EXPECT_TRUE(admission.Admit(4, "quiet").ok());  // others unaffected
+}
+
+TEST(Admission, FairShareLetsQuietTenantJumpTheQueue)
+{
+    AdmissionController admission(AdmissionConfig{});
+    ASSERT_TRUE(admission.Admit(1, "chatty").ok());
+    ASSERT_TRUE(admission.Admit(2, "chatty").ok());
+    ASSERT_TRUE(admission.Admit(3, "quiet").ok());
+
+    uint64_t id = 0;
+    ASSERT_TRUE(admission.PickNext(&id));
+    EXPECT_EQ(id, 1u);  // nobody running yet: plain FIFO
+    ASSERT_TRUE(admission.PickNext(&id));
+    EXPECT_EQ(id, 3u);  // chatty now holds a worker; quiet's first jumps
+    ASSERT_TRUE(admission.PickNext(&id));
+    EXPECT_EQ(id, 2u);
+    EXPECT_FALSE(admission.PickNext(&id));
+}
+
+TEST(Admission, EffectiveQuotaClampsToCaps)
+{
+    AdmissionConfig config;
+    config.default_max_instructions = 1000;
+    config.max_instructions_cap = 5000;
+    config.max_trace_bytes_cap = 4096;
+    AdmissionController admission(config);
+
+    JobQuota asked;  // all zero: take defaults
+    JobQuota got = admission.EffectiveQuota(asked);
+    EXPECT_EQ(got.max_instructions, 1000u);
+
+    asked.max_instructions = 9999999;
+    asked.max_trace_bytes = 1u << 30;
+    got = admission.EffectiveQuota(asked);
+    EXPECT_EQ(got.max_instructions, 5000u);
+    EXPECT_EQ(got.max_trace_bytes, 4096u);
+}
+
+// ---------------------------------------------------------------------------
+// ServeCore in drill mode (workers == 0, synchronous, in-memory disk).
+
+ServeConfig
+DrillConfig()
+{
+    ServeConfig config;
+    config.dir = ".";
+    config.workers = 0;
+    config.buffer_bytes = 4u << 10;
+    config.chunk_records = 64;
+    config.checkpoint_every_fills = 1;
+    config.keep_checkpoints = 2;
+    config.admission.default_max_instructions = 20'000;
+    return config;
+}
+
+std::string
+SubmitPayload(const std::string& workload = "grep")
+{
+    Request request;
+    request.op = RequestOp::kSubmit;
+    request.workload = workload;
+    return SerializeRequest(request);
+}
+
+uint64_t
+SubmitOk(ServeCore& core, const std::string& workload = "grep")
+{
+    const std::string response = core.HandleRequest(SubmitPayload(workload));
+    util::StatusOr<util::JsonValue> doc = util::JsonValue::Parse(response);
+    EXPECT_TRUE(doc.ok() && doc->Get("ok").AsBool()) << response;
+    if (!doc.ok())
+        return 0;
+    return doc->Get("id").AsU64();
+}
+
+const JobInfo*
+FindJob(const std::vector<JobInfo>& jobs, uint64_t id)
+{
+    for (const JobInfo& job : jobs)
+        if (job.id == id)
+            return &job;
+    return nullptr;
+}
+
+TEST(ServeCore, SubmitRunStatusLifecycle)
+{
+    io::MemVfs vfs;
+    obs::Registry registry;
+    ServeCore core(DrillConfig(), vfs, &registry);
+    ASSERT_TRUE(core.Start().ok());
+
+    const uint64_t id = SubmitOk(core);
+    ASSERT_NE(id, 0u);
+    EXPECT_TRUE(core.RunNextQueuedJob());
+    EXPECT_FALSE(core.RunNextQueuedJob());  // queue drained
+
+    const JobInfo* job = FindJob(core.Jobs(), id);
+    ASSERT_NE(job, nullptr);
+    EXPECT_EQ(job->state, JobState::kDone);
+    EXPECT_EQ(job->outcome, "done");
+    EXPECT_GT(job->records, 0u);
+    core.Shutdown();
+}
+
+TEST(ServeCore, RejectsUnknownWorkloadAndBadPayloads)
+{
+    io::MemVfs vfs;
+    obs::Registry registry;
+    ServeCore core(DrillConfig(), vfs, &registry);
+    ASSERT_TRUE(core.Start().ok());
+
+    EXPECT_FALSE(
+        ResponseStatus(core.HandleRequest(SubmitPayload("no-such"))).ok());
+    EXPECT_FALSE(ResponseStatus(core.HandleRequest("not json")).ok());
+    EXPECT_FALSE(ResponseStatus(core.HandleRequest(
+                                    R"({"v":"bogus","op":"ping"})"))
+                     .ok());
+    EXPECT_TRUE(core.Jobs().empty());  // none of it was admitted
+    core.Shutdown();
+}
+
+TEST(ServeCore, CancelQueuedJobBeforeItRuns)
+{
+    io::MemVfs vfs;
+    obs::Registry registry;
+    ServeCore core(DrillConfig(), vfs, &registry);
+    ASSERT_TRUE(core.Start().ok());
+
+    const uint64_t id = SubmitOk(core);
+    Request cancel;
+    cancel.op = RequestOp::kCancel;
+    cancel.id = id;
+    cancel.has_id = true;
+    EXPECT_TRUE(
+        ResponseStatus(core.HandleRequest(SerializeRequest(cancel))).ok());
+    EXPECT_FALSE(core.RunNextQueuedJob());  // nothing left to run
+
+    const JobInfo* job = FindJob(core.Jobs(), id);
+    ASSERT_NE(job, nullptr);
+    EXPECT_EQ(job->state, JobState::kCancelled);
+    core.Shutdown();
+}
+
+TEST(ServeCore, DrainingRefusesNewSubmissionsAsUnavailable)
+{
+    io::MemVfs vfs;
+    obs::Registry registry;
+    ServeCore core(DrillConfig(), vfs, &registry);
+    ASSERT_TRUE(core.Start().ok());
+    core.RequestDrain();
+    const util::Status refused =
+        ResponseStatus(core.HandleRequest(SubmitPayload()));
+    EXPECT_EQ(refused.code(), util::StatusCode::kUnavailable);
+    core.Shutdown();
+}
+
+TEST(ServeCore, OverloadShedsWithResourceExhausted)
+{
+    ServeConfig config = DrillConfig();
+    config.admission.max_queue_depth = 1;
+    io::MemVfs vfs;
+    obs::Registry registry;
+    ServeCore core(config, vfs, &registry);
+    ASSERT_TRUE(core.Start().ok());
+
+    ASSERT_NE(SubmitOk(core), 0u);
+    const util::Status shed =
+        ResponseStatus(core.HandleRequest(SubmitPayload()));
+    EXPECT_EQ(shed.code(), util::StatusCode::kResourceExhausted);
+    core.Shutdown();
+}
+
+// Kill-restart: a daemon that dies with a job mid-flight must, on the
+// next start, finish that job exactly once (J1 + J2) — whether by
+// checkpoint resume or a fresh re-run.
+TEST(ServeCore, KillRestartFinishesInterruptedJobExactlyOnce)
+{
+    io::MemVfs vfs;
+    uint64_t id = 0;
+    {
+        volatile std::sig_atomic_t stop = 0;
+        ServeConfig config = DrillConfig();
+        config.external_stop = &stop;
+        obs::Registry registry;
+        ServeCore core(config, vfs, &registry);
+        ASSERT_TRUE(core.Start().ok());
+        id = SubmitOk(core);
+        ASSERT_NE(id, 0u);
+        stop = 1;  // the axe falls at the job's first slice boundary
+        EXPECT_TRUE(core.RunNextQueuedJob());
+        const JobInfo* job = FindJob(core.Jobs(), id);
+        ASSERT_NE(job, nullptr);
+        EXPECT_EQ(job->state, JobState::kInterrupted);
+        // No Shutdown(): the core is dropped like a SIGKILLed process.
+    }
+    {
+        obs::Registry registry;
+        ServeCore core(DrillConfig(), vfs, &registry);
+        ASSERT_TRUE(core.Start().ok());
+        while (core.RunNextQueuedJob()) {
+        }
+        const JobInfo* job = FindJob(core.Jobs(), id);
+        ASSERT_NE(job, nullptr);
+        EXPECT_EQ(job->state, JobState::kDone) << job->detail;
+        core.Shutdown();
+    }
+    // J2 in the durable record: exactly one terminal entry for the job.
+    int finished = 0;
+    for (const JournalRecord& record :
+         ScanJournalBytes(ReadAll(vfs, "serve.journal"), nullptr, nullptr))
+        if (record.id == id && record.kind == JournalKind::kFinished)
+            ++finished;
+    EXPECT_EQ(finished, 1);
+}
+
+// A job journaled done must never run again on restart (J2), and a
+// queued-but-never-started job must be re-admitted and finished (J1).
+TEST(ServeCore, RestartRunsQueuedButNeverFinishedJobs)
+{
+    io::MemVfs vfs;
+    uint64_t done_id = 0;
+    uint64_t queued_id = 0;
+    {
+        obs::Registry registry;
+        ServeCore core(DrillConfig(), vfs, &registry);
+        ASSERT_TRUE(core.Start().ok());
+        done_id = SubmitOk(core);
+        ASSERT_TRUE(core.RunNextQueuedJob());
+        queued_id = SubmitOk(core);
+        // Dropped without Shutdown: the queued job never got a worker.
+    }
+    obs::Registry registry;
+    ServeCore core(DrillConfig(), vfs, &registry);
+    ASSERT_TRUE(core.Start().ok());
+    while (core.RunNextQueuedJob()) {
+    }
+    const std::vector<JobInfo> jobs = core.Jobs();
+    const JobInfo* done_job = FindJob(jobs, done_id);
+    const JobInfo* queued_job = FindJob(jobs, queued_id);
+    ASSERT_NE(done_job, nullptr);
+    ASSERT_NE(queued_job, nullptr);
+    EXPECT_EQ(done_job->state, JobState::kDone);
+    EXPECT_EQ(queued_job->state, JobState::kDone) << queued_job->detail;
+    core.Shutdown();
+
+    int done_started = 0;
+    for (const JournalRecord& record :
+         ScanJournalBytes(ReadAll(vfs, "serve.journal"), nullptr, nullptr))
+        if (record.id == done_id && record.kind == JournalKind::kStarted)
+            ++done_started;
+    EXPECT_EQ(done_started, 1) << "finished job was started again";
+}
+
+TEST(ServeCore, ByteQuotaStopsARunawayTrace)
+{
+    ServeConfig config = DrillConfig();
+    io::MemVfs vfs;
+    obs::Registry registry;
+    ServeCore core(config, vfs, &registry);
+    ASSERT_TRUE(core.Start().ok());
+
+    Request request;
+    request.op = RequestOp::kSubmit;
+    request.workload = "grep";
+    request.quota.max_instructions = 1'000'000;
+    request.quota.max_trace_bytes = 8192;
+    const std::string response =
+        core.HandleRequest(SerializeRequest(request));
+    util::StatusOr<util::JsonValue> doc = util::JsonValue::Parse(response);
+    ASSERT_TRUE(doc.ok() && doc->Get("ok").AsBool()) << response;
+    const uint64_t id = doc->Get("id").AsU64();
+
+    EXPECT_TRUE(core.RunNextQueuedJob());
+    const JobInfo* job = FindJob(core.Jobs(), id);
+    ASSERT_NE(job, nullptr);
+    EXPECT_EQ(job->outcome, "quota-bytes") << job->detail;
+    EXPECT_EQ(job->state, JobState::kDone);
+    core.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// The seeded serve chaos campaign (quick shape; the full 200-seed run is
+// scripts/test_serve.sh and the nightly workflow).
+
+TEST(ServeChaos, KillRestartCampaignUpholdsInvariants)
+{
+    chaos::ServeCampaignSpec spec;
+    spec.campaigns = {"powercut", "enospc", "torn-rename"};
+    spec.jobs = 3;
+    spec.max_instructions = 4000;
+    util::StatusOr<chaos::ServeCampaignResult> result =
+        chaos::RunServeCampaign(spec, /*first_seed=*/1, /*seeds=*/4);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    for (const chaos::ServeSeedResult& failure : result->failures)
+        ADD_FAILURE() << failure.Summary();
+    EXPECT_GE(result->power_cuts, 1u);
+}
+
+}  // namespace
+}  // namespace atum::serve

@@ -250,11 +250,16 @@ TEST(Status, ExitCodesFollowTheToolContract)
     EXPECT_EQ(util::ExitCodeFor(util::OkStatus()), util::kExitOk);
     EXPECT_EQ(util::ExitCodeFor(util::NotFound("x")), util::kExitIo);
     EXPECT_EQ(util::ExitCodeFor(util::IoError("x")), util::kExitIo);
-    EXPECT_EQ(util::ExitCodeFor(util::Unavailable("x")), util::kExitIo);
+    EXPECT_EQ(util::ExitCodeFor(util::Unavailable("x")),
+              util::kExitUnavailable);
+    EXPECT_EQ(util::ExitCodeFor(util::ResourceExhausted("x")),
+              util::kExitResourceExhausted);
     EXPECT_EQ(util::ExitCodeFor(util::DataLoss("x")), util::kExitCorrupt);
     EXPECT_EQ(util::ExitCodeFor(util::InvalidArgument("x")),
               util::kExitCorrupt);
     EXPECT_EQ(util::ExitCodeFor(util::InternalError("x")), util::kExitError);
+    EXPECT_EQ(util::StatusCodeName(util::StatusCode::kResourceExhausted),
+              std::string("resource-exhausted"));
 }
 
 }  // namespace

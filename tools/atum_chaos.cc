@@ -7,8 +7,10 @@
 //              [--max-instructions N] [--buffer-kb N] [--chunk-records N]
 //              [--checkpoint-every FILLS] [--checkpoint-keep K]
 //              [--out-dir DIR] [--no-minimize] [--verbose]
-//   atum-chaos --replay FILE [--minimize] [... capture shape flags]
-//   atum-chaos --probe [... capture shape flags]
+//   atum-chaos --serve --campaign ... [--jobs N] [--tenants N]
+//              [... shared shape flags]
+//   atum-chaos --replay FILE [--serve] [--minimize] [... shape flags]
+//   atum-chaos --probe [--serve] [... shape flags]
 //   atum-chaos --version
 //
 // Each seed runs one complete disaster drill inside an in-memory
@@ -17,6 +19,13 @@
 // recovered the way an operator would — resume from the newest loadable
 // checkpoint or salvage the trace with the tolerant scanner — and the
 // no-silent-loss invariants are checked (docs/CHAOS.md).
+//
+// With --serve the subject is the whole atum-serve daemon instead of one
+// capture: each seed scripts a multi-tenant mix of submits, runs and a
+// cancel into a drill-mode ServeCore, kills it mid-flight when the
+// schedule's power cut fires, restarts it on the crash-consistent disk
+// image, and checks the recovery invariants — no acked job lost, no job
+// double-run, journal and traces clean (docs/SERVE.md).
 //
 // A failing seed's schedule is minimized (unless --no-minimize) and, with
 // --out-dir, written as DIR/failing-seed-N.schedule; such a file replays
@@ -61,10 +70,12 @@ struct Options {
     std::string replay;   // schedule file to replay instead of a campaign
     std::string out_dir;  // where failing schedules are written
     bool probe = false;   // print the fault-free op counts and exit
+    bool serve = false;   // drill the serve daemon, not a lone capture
     bool minimize = true;
     bool verbose = false;
 
     chaos::CampaignSpec spec;
+    chaos::ServeCampaignSpec serve_spec;
 };
 
 std::vector<std::string>
@@ -115,6 +126,14 @@ ParseArgs(int argc, char** argv)
             opts.replay = next();
         else if (arg == "--probe")
             opts.probe = true;
+        else if (arg == "--serve")
+            opts.serve = true;
+        else if (arg == "--jobs")
+            opts.serve_spec.jobs =
+                static_cast<uint32_t>(ParseUint(arg, next()));
+        else if (arg == "--tenants")
+            opts.serve_spec.tenants =
+                static_cast<uint32_t>(ParseUint(arg, next()));
         else if (arg == "--out-dir")
             opts.out_dir = next();
         else if (arg == "--no-minimize")
@@ -124,21 +143,25 @@ ParseArgs(int argc, char** argv)
         else if (arg == "--verbose")
             opts.verbose = true;
         else if (arg == "--workload")
-            opts.spec.workload = next();
+            opts.spec.workload = opts.serve_spec.workload = next();
         else if (arg == "--scale")
-            opts.spec.scale = static_cast<uint32_t>(ParseUint(arg, next()));
+            opts.spec.scale = opts.serve_spec.scale =
+                static_cast<uint32_t>(ParseUint(arg, next()));
         else if (arg == "--max-instructions")
-            opts.spec.max_instructions = ParseUint(arg, next());
+            opts.spec.max_instructions = opts.serve_spec.max_instructions =
+                ParseUint(arg, next());
         else if (arg == "--buffer-kb")
-            opts.spec.buffer_bytes =
+            opts.spec.buffer_bytes = opts.serve_spec.buffer_bytes =
                 static_cast<uint32_t>(ParseUint(arg, next())) << 10;
         else if (arg == "--chunk-records")
-            opts.spec.chunk_records =
+            opts.spec.chunk_records = opts.serve_spec.chunk_records =
                 static_cast<uint32_t>(ParseUint(arg, next()));
         else if (arg == "--checkpoint-every")
-            opts.spec.checkpoint_every_fills = ParseUint(arg, next());
+            opts.spec.checkpoint_every_fills =
+                opts.serve_spec.checkpoint_every_fills =
+                    ParseUint(arg, next());
         else if (arg == "--checkpoint-keep")
-            opts.spec.keep_checkpoints =
+            opts.spec.keep_checkpoints = opts.serve_spec.keep_checkpoints =
                 static_cast<uint32_t>(ParseUint(arg, next()));
         else if (arg == "--version") {
             std::printf("%s\n", util::VersionString("atum-chaos").c_str());
@@ -220,11 +243,40 @@ ReportFailure(const Options& opts, const chaos::SeedResult& failure)
     }
 }
 
+/** ReportFailure for a failing serve drill (MinimizeServe instead). */
+void
+ReportServeFailure(const Options& opts, const chaos::ServeSeedResult& failure)
+{
+    io::ChaosSchedule repro = failure.schedule;
+    if (opts.minimize) {
+        util::StatusOr<io::ChaosSchedule> minimized =
+            chaos::MinimizeServe(opts.serve_spec, failure.schedule);
+        if (minimized.ok())
+            repro = *minimized;
+        else
+            std::fprintf(stderr, "atum-chaos: minimize failed: %s\n",
+                         minimized.status().ToString().c_str());
+    }
+    std::fprintf(stderr, "FAIL %s\n", failure.Summary().c_str());
+    if (!opts.out_dir.empty()) {
+        const std::string path = opts.out_dir + "/failing-serve-seed-" +
+                                 std::to_string(failure.seed) + ".schedule";
+        WriteFileOrDie(path, repro.Serialize());
+        std::fprintf(stderr, "  repro written to %s\n", path.c_str());
+    } else {
+        std::fprintf(stderr, "  repro schedule:\n%s",
+                     repro.Serialize().c_str());
+    }
+}
+
 /** Prints the fault-free op counts schedules aim into (for authoring). */
 int
 RunProbe(const Options& opts)
 {
-    util::StatusOr<io::OpCounts> probe = chaos::ProbeOpCounts(opts.spec);
+    util::StatusOr<io::OpCounts> probe =
+        opts.serve
+            ? chaos::ProbeServeOpCounts(opts.serve_spec, opts.first_seed)
+            : chaos::ProbeOpCounts(opts.spec);
     if (!probe.ok())
         IoFatal("probe failed: ", probe.status().ToString());
     std::printf("writes %llu\nsyncs %llu\nreads %llu\nrenames %llu\n"
@@ -246,6 +298,23 @@ RunReplay(const Options& opts)
     if (!schedule.ok())
         IoFatal(opts.replay, ": ", schedule.status().ToString());
 
+    if (opts.serve) {
+        chaos::ServeCampaignSpec spec = opts.serve_spec;
+        if (spec.campaigns.empty())
+            spec.campaigns = schedule->campaigns;
+        util::StatusOr<chaos::ServeSeedResult> result =
+            chaos::ReplayServeSchedule(spec, *schedule);
+        if (!result.ok())
+            IoFatal("replay failed to run: ", result.status().ToString());
+        std::printf("%s\n", result->Summary().c_str());
+        if (result->ok())
+            return util::kExitOk;
+        Options report_opts = opts;
+        report_opts.serve_spec = spec;
+        ReportServeFailure(report_opts, *result);
+        return util::kExitError;
+    }
+
     chaos::CampaignSpec spec = opts.spec;
     if (spec.campaigns.empty())
         spec.campaigns = schedule->campaigns;
@@ -262,6 +331,43 @@ RunReplay(const Options& opts)
     report_opts.spec = spec;
     ReportFailure(report_opts, *result);
     return util::kExitError;
+}
+
+/** The serve kill-restart campaign (--serve --campaign ...). */
+int
+RunServeSeeds(Options& opts)
+{
+    opts.serve_spec.campaigns = opts.campaigns;
+    uint64_t done = 0;
+    const auto on_seed = [&](const chaos::ServeSeedResult& r) {
+        ++done;
+        if (opts.verbose || !r.ok())
+            std::printf("%s\n", r.Summary().c_str());
+        else if (done % 50 == 0)
+            std::printf("... %llu/%llu seeds\n",
+                        static_cast<unsigned long long>(done),
+                        static_cast<unsigned long long>(opts.seeds));
+    };
+
+    util::StatusOr<chaos::ServeCampaignResult> result =
+        chaos::RunServeCampaign(opts.serve_spec, opts.first_seed, opts.seeds,
+                                on_seed);
+    if (!result.ok())
+        IoFatal("serve campaign failed to run: ", result.status().ToString());
+
+    std::printf(
+        "serve campaign: %llu seeds, %llu faults fired, %llu power cuts, "
+        "%llu resumes, %llu salvages, %zu failing\n",
+        static_cast<unsigned long long>(result->seeds_run),
+        static_cast<unsigned long long>(result->faults_fired),
+        static_cast<unsigned long long>(result->power_cuts),
+        static_cast<unsigned long long>(result->resumes),
+        static_cast<unsigned long long>(result->salvages),
+        result->failures.size());
+
+    for (const chaos::ServeSeedResult& failure : result->failures)
+        ReportServeFailure(opts, failure);
+    return result->ok() ? util::kExitOk : util::kExitError;
 }
 
 int
@@ -310,5 +416,7 @@ main(int argc, char** argv)
         return atum::RunProbe(opts);
     if (!opts.replay.empty())
         return atum::RunReplay(opts);
+    if (opts.serve)
+        return atum::RunServeSeeds(opts);
     return atum::RunSeeds(opts);
 }

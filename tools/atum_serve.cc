@@ -1,0 +1,187 @@
+// atum-serve: the long-lived multi-tenant capture daemon.
+//
+// Usage:
+//   atum-serve --dir DIR [--socket PATH] [--workers N]
+//              [--max-queue N] [--max-per-tenant N]
+//              [--default-max-instructions N] [--max-instructions-cap N]
+//              [--max-trace-bytes-cap N] [--watchdog-ucycles N]
+//              [--checkpoint-every-fills N] [--keep-checkpoints N]
+//   atum-serve --version
+//
+// Accepts capture jobs over a Unix-domain socket (default DIR/serve.sock,
+// protocol atum-serve-v1 — docs/SERVE.md) and runs them on a shared
+// worker pool, each under its own instruction/byte/deadline quota with
+// rotating checkpoints. Every job transition is fsynced into
+// DIR/serve.journal before it is acted on, so a SIGKILL at any instant
+// is survivable: the next start re-admits queued jobs, resumes
+// interrupted captures from their newest checkpoint, and salvages what
+// cannot resume. SIGTERM (or an `op:drain` request) drains gracefully —
+// running jobs stop at their next slice boundary behind a final
+// checkpoint, queued jobs stay journaled for the next instance.
+//
+// DIR/serve.status.json is rewritten atomically on every transition for
+// `atum-top --serve DIR`; the `op:metrics` request serves serve.* (and
+// everything else in the registry) as Prometheus text.
+//
+// Exit codes (the shared tool contract): 0 clean shutdown, 2 usage
+// error, 3 unusable directory/socket, 7 environment unavailable.
+// Clients see 7 (unavailable, retryable) while draining and 8
+// (resource-exhausted) when admission sheds their job.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "serve/server.h"
+#include "serve/socket.h"
+#include "util/build_info.h"
+#include "util/logging.h"
+#include "util/signals.h"
+#include "util/status.h"
+
+namespace atum {
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+template <typename... Args>
+[[noreturn]] void
+UsageError(Args&&... args)
+{
+    std::fprintf(stderr, "atum-serve: %s\n",
+                 internal::StrCat(std::forward<Args>(args)...).c_str());
+    std::exit(util::kExitUsage);
+}
+
+struct Options {
+    serve::ServeConfig config;
+    std::string socket_path;
+};
+
+Options
+ParseArgs(int argc, char** argv)
+{
+    Options opts;
+    opts.config.dir.clear();
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                UsageError(arg, " requires a value");
+            return argv[++i];
+        };
+        auto next_u64 = [&] {
+            return std::strtoull(next().c_str(), nullptr, 0);
+        };
+        if (arg == "--dir")
+            opts.config.dir = next();
+        else if (arg == "--socket")
+            opts.socket_path = next();
+        else if (arg == "--workers")
+            opts.config.workers = static_cast<unsigned>(next_u64());
+        else if (arg == "--max-queue")
+            opts.config.admission.max_queue_depth =
+                static_cast<uint32_t>(next_u64());
+        else if (arg == "--max-per-tenant")
+            opts.config.admission.max_per_tenant =
+                static_cast<uint32_t>(next_u64());
+        else if (arg == "--default-max-instructions")
+            opts.config.admission.default_max_instructions = next_u64();
+        else if (arg == "--max-instructions-cap")
+            opts.config.admission.max_instructions_cap = next_u64();
+        else if (arg == "--max-trace-bytes-cap")
+            opts.config.admission.max_trace_bytes_cap = next_u64();
+        else if (arg == "--watchdog-ucycles")
+            opts.config.watchdog_ucycles = next_u64();
+        else if (arg == "--checkpoint-every-fills")
+            opts.config.checkpoint_every_fills = next_u64();
+        else if (arg == "--keep-checkpoints")
+            opts.config.keep_checkpoints =
+                static_cast<uint32_t>(next_u64());
+        else if (arg == "--version") {
+            std::printf("%s\n", util::VersionString("atum-serve").c_str());
+            std::exit(util::kExitOk);
+        }
+        else
+            UsageError("unknown argument: ", arg);
+    }
+    if (opts.config.dir.empty())
+        UsageError("usage: atum-serve --dir DIR [--socket PATH] "
+                   "[--workers N] [--max-queue N] ...");
+    if (opts.config.workers == 0)
+        UsageError("--workers must be >= 1 (0 is the in-process drill "
+                   "mode, not a daemon)");
+    if (opts.socket_path.empty())
+        opts.socket_path = opts.config.dir + "/serve.sock";
+    return opts;
+}
+
+/** One connection: frames in, responses out, until the peer hangs up. */
+void
+ServeConnection(serve::ServeCore& core, int fd)
+{
+    for (;;) {
+        util::StatusOr<std::string> payload = serve::ReadFrameFd(fd);
+        if (!payload.ok())
+            break;  // clean close, tear, or oversized frame — drop it
+        const std::string response = core.HandleRequest(*payload);
+        if (!serve::WriteFrameFd(fd, response).ok())
+            break;
+    }
+    ::close(fd);
+}
+
+int
+Run(const Options& opts)
+{
+    serve::ServeConfig config = opts.config;
+    config.external_stop = &g_stop;
+    serve::ServeCore core(config, io::RealVfs());
+    if (util::Status s = core.Start(); !s.ok()) {
+        std::fprintf(stderr, "atum-serve: cannot start: %s\n",
+                     s.ToString().c_str());
+        return util::ExitCodeFor(s);
+    }
+
+    util::StatusOr<std::unique_ptr<serve::UnixListener>> listener =
+        serve::UnixListener::Bind(opts.socket_path);
+    if (!listener.ok()) {
+        std::fprintf(stderr, "atum-serve: %s\n",
+                     listener.status().ToString().c_str());
+        return util::ExitCodeFor(listener.status());
+    }
+    Inform("atum-serve: listening on ", opts.socket_path, " (dir ",
+           config.dir, ", ", config.workers, " workers)");
+
+    while (g_stop == 0 && !core.draining()) {
+        util::StatusOr<int> fd = (*listener)->Accept(/*timeout_ms=*/200);
+        if (!fd.ok()) {
+            if (g_stop == 0)
+                Warn("atum-serve: accept: ", fd.status().ToString());
+            break;
+        }
+        if (*fd < 0)
+            continue;  // timeout tick: re-check the stop flag
+        ServeConnection(core, *fd);
+    }
+
+    Inform("atum-serve: draining (",
+           g_stop != 0 ? "signal" : "drain request", ")");
+    (*listener)->Close();
+    core.Shutdown();
+    return util::kExitOk;
+}
+
+}  // namespace
+}  // namespace atum
+
+int
+main(int argc, char** argv)
+{
+    atum::util::IgnoreSigpipe();
+    atum::util::InstallStopSignalHandlers(&atum::g_stop);
+    return atum::util::FinishStdout(atum::Run(atum::ParseArgs(argc, argv)));
+}

@@ -1,0 +1,267 @@
+// atum-submit: client for the atum-serve daemon.
+//
+// Usage:
+//   atum-submit --socket PATH submit [--tenant T] [--workload W]
+//               [--scale N] [--max-instructions N] [--max-trace-bytes N]
+//               [--deadline-ms N] [--wait]
+//   atum-submit --socket PATH status [--id N]
+//   atum-submit --socket PATH cancel --id N
+//   atum-submit --socket PATH ping | metrics | drain
+//   atum-submit --version
+//
+// Common flags: --retries N (default 5), --retry-base-ms N (default 50).
+//
+// Speaks atum-serve-v1 (docs/SERVE.md) over the daemon's Unix socket.
+// A kUnavailable answer — daemon draining, restarting, or not yet
+// listening — is retried with jittered exponential backoff, because
+// unavailability is the daemon keeping its crash-tolerance promise, not
+// an error: the next instance will be there. kResourceExhausted
+// (admission shed the job) is NOT retried blindly; backpressure is the
+// caller's to honor.
+//
+// Exit codes (the shared tool contract): 0 success, 1 job failed
+// (--wait), 2 usage error, 5 job cancelled (--wait), 7 daemon
+// unavailable after all retries, 8 admission refused
+// (queue full / tenant over its fair share).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+
+#include "serve/protocol.h"
+#include "serve/socket.h"
+#include "util/build_info.h"
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/signals.h"
+#include "util/status.h"
+
+namespace atum {
+namespace {
+
+template <typename... Args>
+[[noreturn]] void
+UsageError(Args&&... args)
+{
+    std::fprintf(stderr, "atum-submit: %s\n",
+                 internal::StrCat(std::forward<Args>(args)...).c_str());
+    std::exit(util::kExitUsage);
+}
+
+struct Options {
+    std::string socket_path;
+    serve::Request request;
+    bool wait = false;
+    uint32_t retries = 5;
+    uint64_t retry_base_ms = 50;
+};
+
+Options
+ParseArgs(int argc, char** argv)
+{
+    Options opts;
+    bool have_op = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                UsageError(arg, " requires a value");
+            return argv[++i];
+        };
+        auto next_u64 = [&] {
+            return std::strtoull(next().c_str(), nullptr, 0);
+        };
+        if (arg == "--socket")
+            opts.socket_path = next();
+        else if (arg == "--tenant")
+            opts.request.tenant = next();
+        else if (arg == "--workload")
+            opts.request.workload = next();
+        else if (arg == "--scale")
+            opts.request.scale = static_cast<uint32_t>(next_u64());
+        else if (arg == "--max-instructions")
+            opts.request.quota.max_instructions = next_u64();
+        else if (arg == "--max-trace-bytes")
+            opts.request.quota.max_trace_bytes = next_u64();
+        else if (arg == "--deadline-ms")
+            opts.request.quota.deadline_ms = next_u64();
+        else if (arg == "--id") {
+            opts.request.id = next_u64();
+            opts.request.has_id = true;
+        }
+        else if (arg == "--wait")
+            opts.wait = true;
+        else if (arg == "--retries")
+            opts.retries = static_cast<uint32_t>(next_u64());
+        else if (arg == "--retry-base-ms")
+            opts.retry_base_ms = next_u64();
+        else if (arg == "--version") {
+            std::printf("%s\n", util::VersionString("atum-submit").c_str());
+            std::exit(util::kExitOk);
+        }
+        else if (!have_op && !arg.empty() && arg[0] != '-') {
+            have_op = true;
+            if (arg == "ping")
+                opts.request.op = serve::RequestOp::kPing;
+            else if (arg == "submit")
+                opts.request.op = serve::RequestOp::kSubmit;
+            else if (arg == "status")
+                opts.request.op = serve::RequestOp::kStatus;
+            else if (arg == "cancel")
+                opts.request.op = serve::RequestOp::kCancel;
+            else if (arg == "metrics")
+                opts.request.op = serve::RequestOp::kMetrics;
+            else if (arg == "drain")
+                opts.request.op = serve::RequestOp::kDrain;
+            else
+                UsageError("unknown operation: ", arg);
+        }
+        else
+            UsageError("unknown argument: ", arg);
+    }
+    if (opts.socket_path.empty())
+        UsageError("usage: atum-submit --socket PATH "
+                   "submit|status|cancel|ping|metrics|drain [flags]");
+    if (!have_op)
+        UsageError("an operation is required "
+                   "(submit|status|cancel|ping|metrics|drain)");
+    if (opts.request.op == serve::RequestOp::kCancel &&
+        !opts.request.has_id)
+        UsageError("cancel requires --id");
+    return opts;
+}
+
+/**
+ * One request/response exchange, retrying kUnavailable (from connect,
+ * transport, or the daemon's answer) with jittered exponential backoff:
+ * base * 2^attempt, plus up to one base of jitter so a herd of clients
+ * hammering a restarting daemon spreads out.
+ */
+util::StatusOr<std::string>
+CallWithRetry(const Options& opts, const std::string& payload)
+{
+    std::mt19937_64 rng(std::random_device{}());
+    util::Status last = util::Unavailable("no attempt made");
+    for (uint32_t attempt = 0;; ++attempt) {
+        util::StatusOr<std::unique_ptr<serve::UnixClient>> client =
+            serve::UnixClient::Connect(opts.socket_path);
+        if (client.ok()) {
+            util::StatusOr<std::string> response =
+                (*client)->Call(payload);
+            if (response.ok()) {
+                last = serve::ResponseStatus(*response);
+                if (last.code() != util::StatusCode::kUnavailable)
+                    return *response;  // success or a non-retryable error
+            } else {
+                last = response.status();
+            }
+        } else {
+            last = client.status();
+        }
+        if (last.code() != util::StatusCode::kUnavailable ||
+            attempt >= opts.retries)
+            return last;
+        const uint64_t shift = attempt < 6 ? attempt : 6;
+        const uint64_t backoff = opts.retry_base_ms << shift;
+        const uint64_t jitter =
+            opts.retry_base_ms > 0 ? rng() % opts.retry_base_ms : 0;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(backoff + jitter));
+    }
+}
+
+int
+ExitFor(const util::Status& status)
+{
+    if (status.ok())
+        return util::kExitOk;
+    std::fprintf(stderr, "atum-submit: %s\n", status.ToString().c_str());
+    return util::ExitCodeFor(status);
+}
+
+/** Polls `status --id` until the job reaches a terminal state. */
+int
+WaitForJob(const Options& opts, uint64_t id)
+{
+    serve::Request poll;
+    poll.op = serve::RequestOp::kStatus;
+    poll.id = id;
+    poll.has_id = true;
+    const std::string payload = SerializeRequest(poll);
+    for (;;) {
+        util::StatusOr<std::string> response =
+            CallWithRetry(opts, payload);
+        if (!response.ok())
+            return ExitFor(response.status());
+        util::StatusOr<util::JsonValue> doc =
+            util::JsonValue::Parse(*response);
+        if (!doc.ok())
+            return ExitFor(util::DataLoss("unparseable status response"));
+        const util::JsonValue& jobs = doc->Get("jobs");
+        if (!jobs.is_array() || jobs.AsArray().empty())
+            return ExitFor(util::NotFound("job ", id, " disappeared"));
+        const util::JsonValue& job = jobs.AsArray().front();
+        const std::string state = job.Get("state").AsString();
+        if (state == "done" || state == "failed" || state == "cancelled") {
+            std::printf("%s\n", response->c_str());
+            if (state == "done")
+                return util::kExitOk;
+            if (state == "cancelled")
+                return util::kExitInterrupted;
+            return util::kExitError;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+}
+
+int
+Run(const Options& opts)
+{
+    const std::string payload = SerializeRequest(opts.request);
+    util::StatusOr<std::string> response = CallWithRetry(opts, payload);
+    if (!response.ok())
+        return ExitFor(response.status());
+
+    // A transported error ({"ok":false,...}) still prints — the caller
+    // gets the full response — but the exit code follows the embedded
+    // status (8 for a shed job, and so on), not the transport's success.
+    if (util::Status embedded = serve::ResponseStatus(*response);
+        !embedded.ok()) {
+        std::printf("%s\n", response->c_str());
+        return ExitFor(embedded);
+    }
+
+    if (opts.request.op == serve::RequestOp::kMetrics) {
+        // Unwrap the Prometheus text body; everything else prints JSON.
+        util::StatusOr<util::JsonValue> doc =
+            util::JsonValue::Parse(*response);
+        if (doc.ok() && doc->Has("text")) {
+            std::printf("%s", doc->Get("text").AsString().c_str());
+            return util::kExitOk;
+        }
+    }
+    std::printf("%s\n", response->c_str());
+
+    if (opts.wait && opts.request.op == serve::RequestOp::kSubmit) {
+        util::StatusOr<util::JsonValue> doc =
+            util::JsonValue::Parse(*response);
+        if (!doc.ok() || !doc->Has("id"))
+            return ExitFor(util::DataLoss("submit response carries no id"));
+        return WaitForJob(opts, doc->Get("id").AsU64());
+    }
+    return util::kExitOk;
+}
+
+}  // namespace
+}  // namespace atum
+
+int
+main(int argc, char** argv)
+{
+    atum::util::IgnoreSigpipe();
+    return atum::util::FinishStdout(atum::Run(atum::ParseArgs(argc, argv)));
+}

@@ -1,21 +1,29 @@
-// atum-top: live terminal dashboard over a capture's metrics stream.
+// atum-top: live terminal dashboard over a capture's metrics stream, or
+// over a serve daemon's job table.
 //
 // Usage:
 //   atum-top METRICS.jsonl [--interval-ms N] [--once]
+//   atum-top --serve DIR   [--interval-ms N] [--once]
 //   atum-top --version
 //
-// Follows the JSON Lines file that `atum-capture --metrics-out` streams
-// (schema atum-metrics-v1), re-reading it every --interval-ms (default
-// 500) and repainting one compact frame: capture totals, throughput
-// rates computed from the last two snapshots, and the drain/write
-// latency percentiles. Runs until the stream reports a "final" phase or
-// the user interrupts.
+// Default mode follows the JSON Lines file that `atum-capture
+// --metrics-out` streams (schema atum-metrics-v1), re-reading it every
+// --interval-ms (default 500) and repainting one compact frame: capture
+// totals, throughput rates computed from the last two snapshots, and the
+// drain/write latency percentiles. Runs until the stream reports a
+// "final" phase or the user interrupts.
+//
+// --serve DIR follows DIR/serve.status.json (schema atum-serve-status-v1,
+// rewritten atomically by atum-serve on every job transition): queue
+// depth, per-job state, quota consumption and outcomes.
 //
 // --once renders a single frame from the newest snapshot (no ANSI
 // clearing, no waiting) — the scriptable/testable mode.
 //
 // Exit codes: 0 clean (final snapshot seen, --once, or SIGINT), 2 usage
-// error, 3 file unreadable, 4 no parseable snapshot line.
+// error, 3 file unreadable, 4 no parseable snapshot/status document.
+// (The full tool contract adds 7 unavailable / 8 resource-exhausted,
+// used by the serve-aware tools atum-serve and atum-submit.)
 
 #include <chrono>
 #include <cstdio>
@@ -51,6 +59,7 @@ struct Options {
     std::string path;
     uint64_t interval_ms = 500;
     bool once = false;
+    bool serve = false;  ///< path is a serve dir; follow its status file
 };
 
 Options
@@ -68,6 +77,10 @@ ParseArgs(int argc, char** argv)
             opts.interval_ms = std::strtoull(next().c_str(), nullptr, 0);
         else if (arg == "--once")
             opts.once = true;
+        else if (arg == "--serve") {
+            opts.serve = true;
+            opts.path = next();
+        }
         else if (arg == "--version") {
             std::printf("%s\n", util::VersionString("atum-top").c_str());
             std::exit(util::kExitOk);
@@ -78,7 +91,8 @@ ParseArgs(int argc, char** argv)
             UsageError("unknown argument: ", arg);
     }
     if (opts.path.empty())
-        UsageError("usage: atum-top METRICS.jsonl [--interval-ms N] [--once]");
+        UsageError("usage: atum-top METRICS.jsonl | --serve DIR "
+                   "[--interval-ms N] [--once]");
     return opts;
 }
 
@@ -222,9 +236,90 @@ RenderFrame(const std::vector<Snapshot>& snaps, bool ansi)
     std::fflush(stdout);
 }
 
+/**
+ * --serve mode: render one frame of DIR/serve.status.json. The file is
+ * replaced atomically by the daemon, so a whole-file read never sees a
+ * torn document — at worst a missing one for the instant between unlink
+ * and rename, which the follow loop just retries.
+ */
+bool
+RenderServeFrame(const std::string& path, bool ansi, bool* rendered)
+{
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        return false;
+    std::string body;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, file)) > 0)
+        body.append(buf, n);
+    std::fclose(file);
+
+    util::StatusOr<util::JsonValue> doc = util::JsonValue::Parse(body);
+    if (!doc.ok() || doc->Get("v").AsString() != "atum-serve-status-v1")
+        return false;
+
+    if (ansi)
+        std::printf("\033[H\033[2J");
+    std::printf("atum-serve  draining=%s  queue=%llu  running=%llu  "
+                "workers=%llu\n",
+                doc->Get("draining").AsBool() ? "YES" : "no",
+                static_cast<unsigned long long>(
+                    doc->Get("queue_depth").AsU64()),
+                static_cast<unsigned long long>(doc->Get("running").AsU64()),
+                static_cast<unsigned long long>(
+                    doc->Get("workers").AsU64()));
+    std::printf("  %4s  %-12s %-12s %-11s %10s %12s %12s  %s\n", "ID",
+                "TENANT", "WORKLOAD", "STATE", "RECORDS", "BYTES",
+                "INSTR", "OUTCOME");
+    for (const util::JsonValue& job : doc->Get("jobs").AsArray()) {
+        std::string outcome = job.Get("outcome").AsString();
+        if (job.Get("resumed").AsBool())
+            outcome += outcome.empty() ? "(resumed)" : " (resumed)";
+        std::printf("  %4llu  %-12s %-12s %-11s %10llu %12llu %12llu  %s\n",
+                    static_cast<unsigned long long>(job.Get("id").AsU64()),
+                    job.Get("tenant").AsString().c_str(),
+                    job.Get("workload").AsString().c_str(),
+                    job.Get("state").AsString().c_str(),
+                    static_cast<unsigned long long>(
+                        job.Get("records").AsU64()),
+                    static_cast<unsigned long long>(
+                        job.Get("trace_bytes").AsU64()),
+                    static_cast<unsigned long long>(
+                        job.Get("instructions").AsU64()),
+                    outcome.c_str());
+    }
+    std::fflush(stdout);
+    *rendered = true;
+    return true;
+}
+
+int
+RunServe(const Options& opts)
+{
+    const std::string path = opts.path + "/serve.status.json";
+    bool rendered_any = false;
+    while (g_stop == 0) {
+        RenderServeFrame(path, /*ansi=*/!opts.once, &rendered_any);
+        if (opts.once)
+            break;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(opts.interval_ms));
+    }
+    if (!rendered_any) {
+        std::fprintf(stderr,
+                     "atum-top: no atum-serve-status-v1 document in %s\n",
+                     path.c_str());
+        return util::kExitCorrupt;
+    }
+    return util::kExitOk;
+}
+
 int
 Run(const Options& opts)
 {
+    if (opts.serve)
+        return RunServe(opts);
     std::FILE* file = std::fopen(opts.path.c_str(), "rb");
     if (!file) {
         std::fprintf(stderr, "atum-top: cannot open %s\n",
