@@ -66,6 +66,36 @@ grep -q '"atum-serve-status-v1"' "$DIR/serve.status.json"
 expect_exit 0 "$TOP" --serve "$DIR" --once
 grep -q "grep" "$TMP/out.txt"
 
+# -- replay sweeps over the finished capture --------------------------------
+# A clean sweep: every config's row streams back as JSONL and the job
+# lands "done".
+expect_exit 0 "$SUBMIT" --socket "$SOCK" sweep --of 1 \
+    --config cache:size_kb=8:assoc=2 --config tlb:entries=16:ways=4 --wait
+grep -q '"status":"ok"' "$TMP/out.txt"
+grep -q '"state":"done"' "$TMP/out.txt"
+# atum-top renders the sweep's CONFIGS column from the status file.
+expect_exit 0 "$TOP" --serve "$DIR" --once
+grep -q "CONFIGS" "$TMP/out.txt"
+grep -q "2/2" "$TMP/out.txt"
+# A config with impossible geometry costs exactly its own row: the sweep
+# degrades to "partial" (exit 1), the good row still streams.
+expect_exit 1 "$SUBMIT" --socket "$SOCK" sweep --of 1 \
+    --config cache:size_kb=8 --config cache:block=24 --wait
+grep -q '"status":"ok"' "$TMP/out.txt"
+grep -q '"outcome":"partial"' "$TMP/out.txt"
+# Sweeping a job that does not exist is refused (not-found -> exit 3).
+expect_exit 3 "$SUBMIT" --socket "$SOCK" sweep --of 999 \
+    --config cache:size_kb=8
+# A malformed --config spec dies at usage parsing, before the wire.
+expect_exit 2 "$SUBMIT" --socket "$SOCK" sweep --of 1 --config bogus:x=1
+
+# --wait-timeout-ms: a huge job cannot finish in 300 ms; the wait expires
+# with the unavailable exit code (7) while the job keeps running.
+expect_exit 7 "$SUBMIT" --socket "$SOCK" --workload grep \
+    --max-instructions 50000000 --wait --wait-timeout-ms 300 submit
+TIMED_ID=$(sed 's/.*"id":\([0-9]*\).*/\1/;q' "$TMP/out.txt")
+expect_exit 0 "$SUBMIT" --socket "$SOCK" --id "$TIMED_ID" cancel
+
 # A queued job with a huge budget cancels cleanly (exit 5, interrupted).
 "$SUBMIT" --socket "$SOCK" --workload grep --max-instructions 50000000 \
     submit > "$TMP/big.json"
@@ -158,8 +188,14 @@ wait "$SERVE_PID"
 set -e
 SERVE_PID=
 
+# -- atum-top treats a missing status file as transient, not corrupt --------
+mkdir -p "$TMP/empty"
+expect_exit 7 "$TOP" --serve "$TMP/empty" --once
+
 # -- a taste of the kill-restart drill campaign (full run is nightly) -------
 expect_exit 0 "$CHAOS" --serve --campaign powercut --seeds 2
+grep -q "0 failing" "$TMP/out.txt"
+expect_exit 0 "$CHAOS" --serve --sweeps --seeds 4
 grep -q "0 failing" "$TMP/out.txt"
 
 echo "serve CLI scenarios passed"

@@ -404,6 +404,12 @@ struct ServePlan {
     std::vector<uint8_t> run_after;
     bool cancel_some = false;
     uint32_t cancel_index = 0;
+    // Sweep phase (spec.sweeps > 0): which finished capture each sweep
+    // replays, whether to run it right after submitting, and whether one
+    // of its configs is deliberately invalid (per-row isolation drill).
+    std::vector<uint64_t> sweep_of;
+    std::vector<uint8_t> sweep_run_after;
+    std::vector<uint8_t> sweep_bad;
 };
 
 ServePlan
@@ -418,7 +424,60 @@ MakeServePlan(const ServeCampaignSpec& spec, uint64_t seed)
     plan.cancel_index = spec.jobs > 0
                             ? static_cast<uint32_t>(rng() % spec.jobs)
                             : 0;
+    // Sweep draws come after every classic draw, so adding sweeps to a
+    // spec never changes the capture phase a given seed scripts.
+    for (uint32_t s = 0; s < spec.sweeps; ++s) {
+        // Capture ids are 1..jobs in submission order (next_id_ starts
+        // at 1); a target whose capture failed or was cancelled simply
+        // earns a rejected submission, which the plan shrugs at.
+        plan.sweep_of.push_back(spec.jobs > 0 ? 1 + rng() % spec.jobs : 1);
+        plan.sweep_run_after.push_back((rng() & 1) != 0);
+        plan.sweep_bad.push_back((rng() & 3) == 0);
+    }
     return plan;
+}
+
+/**
+ * The deterministic config list sweep `s` submits: a mix of cache,
+ * hierarchy and TLB geometries varied by (sweep, config) index, with one
+ * impossible geometry (non-power-of-two block) when the plan injects a
+ * bad row — the sweep must isolate it, not die of it.
+ */
+std::vector<serve::SweepConfigSpec>
+SweepConfigsFor(const ServeCampaignSpec& spec, uint32_t s, bool inject_bad)
+{
+    std::vector<serve::SweepConfigSpec> configs;
+    const uint32_t n = spec.sweep_configs > 0 ? spec.sweep_configs : 1;
+    for (uint32_t j = 0; j < n; ++j) {
+        serve::SweepConfigSpec config;
+        switch ((s + j) % 3) {
+          case 0:
+            config.kind = "cache";
+            config.size_kb = 4u << (j % 3);
+            config.block = 16;
+            config.assoc = 1u << (j % 2);
+            break;
+          case 1:
+            config.kind = "hierarchy";
+            config.size_kb = 32u << (j % 2);
+            config.block = 16;
+            config.assoc = 2;
+            break;
+          default:
+            config.kind = "tlb";
+            config.entries = 16u << (j % 3);
+            config.ways = (j % 2) != 0 ? 4 : 0;
+            break;
+        }
+        configs.push_back(config);
+    }
+    if (inject_bad) {
+        serve::SweepConfigSpec& bad = configs[s % n];
+        bad.kind = "cache";
+        bad.block = 24;  // not a power of two: fails ValidateConfig
+        bad.label = "bad-geometry";
+    }
+    return configs;
 }
 
 serve::ServeConfig
@@ -501,6 +560,26 @@ RunServeScript(const ServeCampaignSpec& spec, uint64_t seed,
     }
     while (!cut() && core.RunNextQueuedJob()) {
     }
+    // Sweep phase: replay finished captures across config fans. Acked
+    // sweep ids join the same promise list — S1 makes no distinction
+    // between a capture and a sweep the daemon said yes to.
+    for (uint32_t s = 0;
+         s < static_cast<uint32_t>(plan.sweep_of.size()) && !cut(); ++s) {
+        serve::Request sweep;
+        sweep.op = serve::RequestOp::kSweep;
+        sweep.tenant = "tenant-" + std::to_string(s % tenants);
+        sweep.sweep_of = plan.sweep_of[s];
+        sweep.sweep_configs =
+            SweepConfigsFor(spec, s, plan.sweep_bad[s] != 0);
+        const uint64_t id =
+            AckedId(core.HandleRequest(serve::SerializeRequest(sweep)));
+        if (id != 0)
+            gen.acked.push_back(id);
+        if (plan.sweep_run_after[s] && !cut())
+            core.RunNextQueuedJob();
+    }
+    while (!cut() && core.RunNextQueuedJob()) {
+    }
     if (!cut())
         core.Shutdown();  // the fault mix let the daemon live: clean exit
     gen.jobs = core.Jobs();
@@ -533,6 +612,46 @@ RecoverServe(const ServeCampaignSpec& spec, io::MemVfs& rebooted,
     return core.Jobs();
 }
 
+util::StatusOr<std::string> ReadWholeFile(io::Vfs& vfs,
+                                          const std::string& path);
+
+/**
+ * Inspects the crash-consistent journal BEFORE recovery touches it: did
+ * the cut leave a sweep mid-flight with some — not zero, not all — of
+ * its configs journaled? Those are the drills where resume actually has
+ * a prefix to preserve, the acceptance bar for the S5 battery.
+ */
+void
+DetectSweepPartialResume(io::Vfs& rebooted, ServeSeedResult& r)
+{
+    util::StatusOr<std::string> bytes =
+        ReadWholeFile(rebooted, "serve.journal");
+    if (!bytes.ok())
+        return;
+    const std::vector<serve::JournalRecord> records =
+        serve::ScanJournalBytes(*bytes, nullptr, nullptr);
+    std::map<uint64_t, size_t> totals;
+    std::map<uint64_t, std::set<uint32_t>> rows;
+    std::set<uint64_t> terminal;
+    for (const serve::JournalRecord& record : records) {
+        if (record.kind == serve::JournalKind::kSubmitted &&
+            record.job == "sweep")
+            totals[record.id] = record.configs.size();
+        if (record.kind == serve::JournalKind::kSweepConfig)
+            rows[record.id].insert(record.config_index);
+        if (record.kind == serve::JournalKind::kFinished ||
+            record.kind == serve::JournalKind::kCancelled)
+            terminal.insert(record.id);
+    }
+    for (const auto& [id, total] : totals) {
+        if (terminal.count(id))
+            continue;
+        const size_t have = rows.count(id) ? rows[id].size() : 0;
+        if (have > 0 && have < total)
+            r.sweep_partial_resume = true;
+    }
+}
+
 util::StatusOr<std::string>
 ReadWholeFile(io::Vfs& vfs, const std::string& path)
 {
@@ -558,6 +677,121 @@ IsTerminalJobState(serve::JobState state)
     return state == serve::JobState::kDone ||
            state == serve::JobState::kFailed ||
            state == serve::JobState::kCancelled;
+}
+
+/** The input-trace record count a canonical row carries (its input
+ *  fingerprint), or UINT64_MAX when the row doesn't parse. */
+uint64_t
+RowRecordsFingerprint(const std::string& row)
+{
+    util::StatusOr<util::JsonValue> doc = util::JsonValue::Parse(row);
+    if (!doc.ok() || !doc->is_object() || !doc->Has("records"))
+        return UINT64_MAX;
+    return doc->Get("records").AsU64();
+}
+
+/**
+ * The S4/S5 battery over the final generation's sweeps.
+ *
+ * S4 — every config result journaled complete appears verbatim in the
+ * final sweep: the journal row and the streamed row are the same bytes.
+ * Absent injected damage, no (job, config) pair is journaled twice.
+ *
+ * S5 — the recovered sweep (journaled prefix + re-run remainder) is
+ * bit-identical to a clean replay of the same configs over the final
+ * durable trace. Rows whose input fingerprint disagrees with that trace
+ * are skipped: a power cut can legitimately shrink a capture's durable
+ * prefix after rows were journaled against the longer one, and those
+ * rows are S4's (kept verbatim), not S5's (recomputable).
+ */
+void
+CheckSweepInvariants(ServeSeedResult& r,
+                     const std::map<uint64_t, const serve::JobInfo*>& by_id,
+                     const std::vector<serve::JournalRecord>& records,
+                     io::Vfs& final_vfs, bool has_damage)
+{
+    std::set<std::pair<uint64_t, uint32_t>> journaled;
+    for (const serve::JournalRecord& record : records) {
+        if (record.kind != serve::JournalKind::kSweepConfig)
+            continue;
+        if (!journaled.insert({record.id, record.config_index}).second &&
+            !has_damage) {
+            Fail(r, "serve-sweep-dup",
+                 "config " + std::to_string(record.config_index) +
+                     " of sweep " + std::to_string(record.id) +
+                     " journaled twice");
+            continue;
+        }
+        const auto it = by_id.find(record.id);
+        if (it == by_id.end()) {
+            if (!has_damage)
+                Fail(r, "serve-sweep-lost-row",
+                     "journaled row for unknown sweep " +
+                         std::to_string(record.id));
+            continue;
+        }
+        const serve::JobInfo& job = *it->second;
+        if (job.kind != "sweep" ||
+            record.config_index >= job.sweep_rows.size()) {
+            Fail(r, "serve-sweep-lost-row",
+                 "journaled row for job " + std::to_string(record.id) +
+                     " config " + std::to_string(record.config_index) +
+                     " does not fit the recovered sweep");
+            continue;
+        }
+        // S4 proper: the journaled row IS the reported row, byte for
+        // byte, across any number of kill/restart cycles.
+        if (job.sweep_rows[record.config_index] != record.row)
+            Fail(r, "serve-sweep-lost-row",
+                 "sweep " + std::to_string(record.id) + " config " +
+                     std::to_string(record.config_index) +
+                     " diverges from its journaled row: journal=" +
+                     record.row + " reported=" +
+                     job.sweep_rows[record.config_index]);
+    }
+
+    for (const auto& [id, job] : by_id) {
+        if (job->kind != "sweep")
+            continue;
+        for (const std::string& row : job->sweep_rows)
+            if (!row.empty())
+                ++r.sweep_rows;
+
+        if (has_damage)
+            continue;  // S5 needs an undamaged trace to recompute against
+
+        // Clean-run golden: replay the journaled spec over the final
+        // durable trace with no controls, through the same canonical
+        // row serialization the daemon used.
+        util::StatusOr<std::unique_ptr<trace::FileByteSource>> in =
+            trace::FileByteSource::Open(
+                "job-" + std::to_string(job->sweep_of) + ".atf2",
+                final_vfs);
+        if (!in.ok())
+            continue;  // trace lost with the cut: nothing to recompute
+        std::vector<trace::Record> trace_records;
+        const trace::ScanReport report =
+            trace::ScanTrace(**in, &trace_records);
+        if (!report.recognized)
+            continue;
+        for (uint32_t i = 0; i < job->sweep_rows.size(); ++i) {
+            const std::string& row = job->sweep_rows[i];
+            if (row.empty())
+                continue;
+            if (RowRecordsFingerprint(row) != trace_records.size())
+                continue;  // journaled against a longer durable prefix
+            const replay::SweepResult result = replay::ReplayOne(
+                trace_records, job->configs[i].ToReplayConfig());
+            const std::string golden = serve::SweepRowJson(
+                i, trace_records.size(), job->configs[i], result);
+            if (row != golden)
+                Fail(r, "serve-sweep-divergence",
+                     "sweep " + std::to_string(id) + " config " +
+                         std::to_string(i) +
+                         " is not bit-identical to the clean run: got " +
+                         row + " want " + golden);
+        }
+    }
 }
 
 /** The S1-S3 battery over the final generation's truth. */
@@ -634,11 +868,21 @@ CheckServeInvariants(ServeSeedResult& r, const std::vector<uint64_t>& acked,
                      " has no terminal journal record after recovery");
     }
 
+    for (uint64_t id : acked) {
+        const auto it = by_id.find(id);
+        if (it != by_id.end() && it->second->kind == "sweep")
+            ++r.sweeps_acked;
+    }
+
     // S3 — the surviving journal itself scans clean (absent injected rot;
     // gen-1's torn tail was truncated away when the journal reopened).
     if (!has_damage && journal_dropped)
         Fail(r, "serve-journal",
              "final journal has a torn/corrupt tail after recovery");
+
+    // S4/S5 — sweep rows survive verbatim and the merged result matches
+    // a clean run (partially gated on damage, like the trace checks).
+    CheckSweepInvariants(r, by_id, records, final_vfs, has_damage);
 
     // S3 — every completed job's trace is prefix-consistent and its
     // salvage round-trips (only provable without injected rot).
@@ -647,6 +891,8 @@ CheckServeInvariants(ServeSeedResult& r, const std::vector<uint64_t>& acked,
     for (const serve::JobInfo& job : final_jobs) {
         if (job.state != serve::JobState::kDone)
             continue;
+        if (job.kind == "sweep")
+            continue;  // no trace of its own; its rows are S4/S5's beat
         const std::string trace_path =
             "job-" + std::to_string(job.id) + ".atf2";
         util::StatusOr<TraceFacts> facts =
@@ -844,6 +1090,10 @@ ServeSeedResult::Summary() const
         os << ", " << jobs_resumed << " resumed";
     if (jobs_salvaged > 0)
         os << ", " << jobs_salvaged << " salvaged";
+    if (sweeps_acked > 0)
+        os << ", " << sweeps_acked << " sweeps/" << sweep_rows << " rows";
+    if (sweep_partial_resume)
+        os << ", sweep-partial-resume";
     if (violations.empty()) {
         os << ": ok";
     } else {
@@ -889,6 +1139,7 @@ ReplayServeSchedule(const ServeCampaignSpec& spec,
 
     if (r.power_cut) {
         io::MemVfs rebooted(vfs.snapshot());
+        DetectSweepPartialResume(rebooted, r);
         const std::vector<serve::JobInfo> final_jobs =
             RecoverServe(spec, rebooted, r);
         CheckServeInvariants(r, gen1.acked, final_jobs, rebooted,
@@ -929,6 +1180,10 @@ RunServeCampaign(const ServeCampaignSpec& spec, uint64_t first_seed,
             ++result.power_cuts;
         result.resumes += seed_result->jobs_resumed;
         result.salvages += seed_result->jobs_salvaged;
+        result.sweeps_acked += seed_result->sweeps_acked;
+        result.sweep_rows += seed_result->sweep_rows;
+        if (seed_result->sweep_partial_resume)
+            ++result.sweep_partial_resumes;
         if (!seed_result->ok())
             result.failures.push_back(*seed_result);
         if (on_seed)

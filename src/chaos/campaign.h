@@ -157,7 +157,17 @@ util::StatusOr<io::ChaosSchedule> Minimize(const CampaignSpec& spec,
 //   S3 journal integrity — the final journal scans clean end-to-end, and
 //                          (absent injected rot) every completed job's
 //                          trace is prefix-consistent and salvage
-//                          round-trips.
+//                          round-trips;
+//   S4 no lost rows      — every sweep config result journaled complete
+//                          appears verbatim (byte-identical) in the final
+//                          sweep, and (absent injected rot) no config is
+//                          journaled twice;
+//   S5 resume = clean    — a recovered sweep's merged result (journaled
+//                          prefix + re-run remainder) is bit-identical to
+//                          replaying the same configs cleanly over the
+//                          final durable trace (checked per-row, skipping
+//                          rows whose input-trace fingerprint shows the
+//                          durable trace shrank under them with the cut).
 
 /** Shape of one serve drill (a small but complete multi-job daemon). */
 struct ServeCampaignSpec {
@@ -176,6 +186,14 @@ struct ServeCampaignSpec {
     uint32_t chunk_records = 64;
     uint64_t checkpoint_every_fills = 1;
     uint32_t keep_checkpoints = 2;
+    /**
+     * Replay sweeps the script submits after draining its captures
+     * (0 = the classic capture-only drill). Each targets a seed-picked
+     * capture and carries `sweep_configs` configs, one of which may be
+     * deliberately invalid (per-row isolation under fire).
+     */
+    uint32_t sweeps = 0;
+    uint32_t sweep_configs = 3;
 };
 
 /** Outcome of one seed's kill-restart drill. */
@@ -188,6 +206,12 @@ struct ServeSeedResult {
     uint32_t jobs_done = 0;      ///< terminal "done" after recovery
     uint32_t jobs_resumed = 0;   ///< continued from a checkpoint
     uint32_t jobs_salvaged = 0;  ///< trace recovered by the scanner
+    uint32_t sweeps_acked = 0;   ///< sweep submissions the daemon promised
+    uint32_t sweep_rows = 0;     ///< config rows complete after recovery
+    /** Recovery found a sweep with SOME (not all, not zero) configs
+     *  journaled and resumed it from that high-water mark — the drill
+     *  the S5 byte-identity check exists for. */
+    bool sweep_partial_resume = false;
     std::vector<InvariantViolation> violations;
 
     bool ok() const { return violations.empty(); }
@@ -202,6 +226,10 @@ struct ServeCampaignResult {
     uint64_t power_cuts = 0;
     uint64_t resumes = 0;
     uint64_t salvages = 0;
+    uint64_t sweeps_acked = 0;
+    uint64_t sweep_rows = 0;
+    /** Seeds whose recovery resumed a partially-journaled sweep. */
+    uint64_t sweep_partial_resumes = 0;
     std::vector<ServeSeedResult> failures;
 
     bool ok() const { return failures.empty(); }

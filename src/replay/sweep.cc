@@ -84,17 +84,74 @@ ValidateJob(const SweepConfig& config)
     return util::InvalidArgument("unknown sweep job kind");
 }
 
-/** The legacy replay body; runs after ValidateJob has passed. */
-void
-ReplayOneChecked(const std::vector<trace::Record>& records,
-                 const SweepConfig& config, SweepResult& result)
+/**
+ * Watches the slice-boundary stop conditions for one config's replay.
+ * The deadline is sampled lazily: the clock is only read at slice
+ * boundaries, and only when a deadline is set at all, so the
+ * control-free replay pays nothing but a masked counter test.
+ */
+class ReplayGovernor
 {
+  public:
+    explicit ReplayGovernor(const ReplayControl& control)
+        : control_(control),
+          mask_(control.slice_records > 0 ? control.slice_records - 1
+                                          : 4095),
+          armed_(control.stop_flag != nullptr || control.deadline_ms > 0)
+    {
+        if (control_.deadline_ms > 0)
+            deadline_ = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(control_.deadline_ms);
+    }
+
+    /** True when the replay must stop; Verdict() then says why. */
+    bool ShouldStop(uint64_t index)
+    {
+        if (!armed_ || (index & mask_) != 0)
+            return false;
+        if (control_.stop_flag != nullptr && *control_.stop_flag != 0) {
+            verdict_ = util::Interrupted("replay stopped at record ",
+                                         index, " of a sweep config");
+            return true;
+        }
+        if (control_.deadline_ms > 0 &&
+            std::chrono::steady_clock::now() >= deadline_) {
+            verdict_ = util::Unavailable("replay timed out after ",
+                                         control_.deadline_ms,
+                                         " ms at record ", index);
+            return true;
+        }
+        return false;
+    }
+
+    const util::Status& Verdict() const { return verdict_; }
+
+  private:
+    const ReplayControl& control_;
+    const uint64_t mask_;
+    const bool armed_;
+    std::chrono::steady_clock::time_point deadline_;
+    util::Status verdict_;
+};
+
+/** The legacy replay body; runs after ValidateJob has passed. Returns
+ *  non-OK (leaving the result to be zeroed by the caller) when the
+ *  control stopped the replay early. */
+util::Status
+ReplayOneChecked(const std::vector<trace::Record>& records,
+                 const SweepConfig& config, const ReplayControl& control,
+                 SweepResult& result)
+{
+    ReplayGovernor governor(control);
     switch (config.kind) {
       case SweepConfig::Kind::kCache: {
         cache::Cache c(config.cache);
         cache::TraceCacheDriver driver(c, config.driver);
-        for (const trace::Record& r : records)
-            driver.Feed(r);
+        for (uint64_t i = 0; i < records.size(); ++i) {
+            if (governor.ShouldStop(i))
+                return governor.Verdict();
+            driver.Feed(records[i]);
+        }
         result.cache_stats = c.stats();
         result.fed = driver.fed();
         result.filtered = driver.filtered();
@@ -102,8 +159,11 @@ ReplayOneChecked(const std::vector<trace::Record>& records,
       }
       case SweepConfig::Kind::kHierarchy: {
         cache::CacheHierarchy h(config.hierarchy);
-        for (const trace::Record& r : records)
-            h.Feed(r);
+        for (uint64_t i = 0; i < records.size(); ++i) {
+            if (governor.ShouldStop(i))
+                return governor.Verdict();
+            h.Feed(records[i]);
+        }
         result.l1i_stats = h.l1i().stats();
         result.l1d_stats = h.l1d().stats();
         result.l2_stats = h.l2().stats();
@@ -115,12 +175,16 @@ ReplayOneChecked(const std::vector<trace::Record>& records,
       }
       case SweepConfig::Kind::kTlb: {
         tlbsim::TlbSim sim(config.tlb);
-        for (const trace::Record& r : records)
-            sim.Feed(r);
+        for (uint64_t i = 0; i < records.size(); ++i) {
+            if (governor.ShouldStop(i))
+                return governor.Verdict();
+            sim.Feed(records[i]);
+        }
         result.tlb_stats = sim.stats();
         break;
       }
     }
+    return util::OkStatus();
 }
 
 }  // namespace
@@ -128,6 +192,13 @@ ReplayOneChecked(const std::vector<trace::Record>& records,
 SweepResult
 ReplayOne(const std::vector<trace::Record>& records,
           const SweepConfig& config)
+{
+    return ReplayOne(records, config, ReplayControl{});
+}
+
+SweepResult
+ReplayOne(const std::vector<trace::Record>& records,
+          const SweepConfig& config, const ReplayControl& control)
 {
     SweepResult result;
     result.kind = config.kind;
@@ -138,7 +209,16 @@ ReplayOne(const std::vector<trace::Record>& records,
     if (!result.status.ok())
         return result;
     try {
-        ReplayOneChecked(records, config, result);
+        util::Status ran = ReplayOneChecked(records, config, control,
+                                            result);
+        if (!ran.ok()) {
+            // Stopped early: partial simulator state must never read as
+            // a finished row.
+            result = SweepResult{};
+            result.kind = config.kind;
+            result.label = config.label;
+            result.status = ran;
+        }
     } catch (const std::exception& e) {
         result = SweepResult{};
         result.kind = config.kind;

@@ -13,6 +13,7 @@
  * never interact.
  */
 
+#include <csignal>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -88,9 +89,36 @@ struct SweepResult {
     double MissRate() const;
 };
 
+/**
+ * Slice-boundary controls for one config's replay. The record loop
+ * checks them every `slice_records` records, so a long replay can be
+ * stopped (serve cancellation/drain) or bounded in wall time (per-config
+ * timeout) without any cost on the per-record hot path beyond a masked
+ * counter test. Both default off; the default-constructed control is the
+ * legacy unbounded replay.
+ */
+struct ReplayControl {
+    /** Cooperative stop latch; non-zero stops at the next slice with
+     *  status kInterrupted. May be null. */
+    volatile std::sig_atomic_t* stop_flag = nullptr;
+    /** Wall-clock budget for this one config; 0 = unbounded. Exceeding
+     *  it stops at the next slice with status kUnavailable (the row is
+     *  retryable, unlike a bad geometry). */
+    uint64_t deadline_ms = 0;
+    /** Records between control checks (power of two; default 4096). */
+    uint32_t slice_records = 4096;
+};
+
 /** Replays one job over `records` serially (the legacy inner loop). */
 SweepResult ReplayOne(const std::vector<trace::Record>& records,
                       const SweepConfig& config);
+
+/** ReplayOne with slice-boundary cancellation and a wall-clock budget.
+ *  A stopped or timed-out replay reports it in the row's status with
+ *  zeroed statistics; partial simulator state is never published. */
+SweepResult ReplayOne(const std::vector<trace::Record>& records,
+                      const SweepConfig& config,
+                      const ReplayControl& control);
 
 /**
  * Evaluates many configurations over one in-memory trace concurrently.

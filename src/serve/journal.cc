@@ -61,6 +61,8 @@ JournalKindName(JournalKind kind)
         return "finished";
       case JournalKind::kCancelled:
         return "cancelled";
+      case JournalKind::kSweepConfig:
+        return "sweep-config";
     }
     return "?";
 }
@@ -73,12 +75,33 @@ SerializeJournalRecord(const JournalRecord& record)
     w.KeyValue("kind", JournalKindName(record.kind));
     w.KeyValue("id", record.id);
     if (record.kind == JournalKind::kSubmitted) {
+        if (record.job != "capture")
+            w.KeyValue("job", record.job);
         w.KeyValue("tenant", record.tenant);
         w.KeyValue("workload", record.workload);
         w.KeyValue("scale", record.scale);
         w.KeyValue("max_instructions", record.quota.max_instructions);
         w.KeyValue("max_trace_bytes", record.quota.max_trace_bytes);
         w.KeyValue("deadline_ms", record.quota.deadline_ms);
+        if (record.job == "sweep") {
+            w.KeyValue("of", record.sweep_of);
+            if (record.sweep_timeout_ms != 0)
+                w.KeyValue("timeout_ms", record.sweep_timeout_ms);
+            w.KeyValue("retries", record.sweep_retries);
+            w.Key("configs");
+            w.BeginArray();
+            for (const SweepConfigSpec& spec : record.configs)
+                spec.WriteJson(w);
+            w.EndArray();
+        }
+    }
+    if (record.kind == JournalKind::kSweepConfig) {
+        w.KeyValue("config", record.config_index);
+        // The canonical row travels as an escaped string, not a nested
+        // object: string escaping round-trips byte-for-byte, while a
+        // re-serialized object would reorder keys — and S4/S5 compare
+        // the journaled row against the streamed row as raw bytes.
+        w.KeyValue("row", record.row);
     }
     if (!record.outcome.empty())
         w.KeyValue("outcome", record.outcome);
@@ -108,11 +131,46 @@ ParseJournalRecord(const std::string& payload)
         record.kind = JournalKind::kFinished;
     else if (kind == "cancelled")
         record.kind = JournalKind::kCancelled;
+    else if (kind == "sweep-config")
+        record.kind = JournalKind::kSweepConfig;
     else
         return util::DataLoss("unknown journal record kind '", kind, "'");
     record.id = doc->Get("id").AsU64();
     if (record.id == 0)
         return util::DataLoss("journal record with id 0");
+    if (doc->Has("job"))
+        record.job = doc->Get("job").AsString();
+    if (record.job != "capture" && record.job != "sweep")
+        return util::DataLoss("unknown journal job kind '", record.job,
+                              "'");
+    if (record.job == "sweep" &&
+        record.kind == JournalKind::kSubmitted) {
+        record.sweep_of = doc->Get("of").AsU64();
+        record.sweep_timeout_ms = doc->Get("timeout_ms").AsU64();
+        if (doc->Has("retries"))
+            record.sweep_retries = doc->Get("retries").AsU64();
+        const util::JsonValue& configs = doc->Get("configs");
+        if (!configs.is_array() || configs.AsArray().empty() ||
+            configs.AsArray().size() > kMaxSweepConfigs)
+            return util::DataLoss(
+                "sweep submission record without a sane config list");
+        for (const util::JsonValue& entry : configs.AsArray()) {
+            util::StatusOr<SweepConfigSpec> spec =
+                ParseSweepConfigSpec(entry);
+            if (!spec.ok())
+                return util::DataLoss("sweep submission config: ",
+                                      spec.status().message());
+            record.configs.push_back(std::move(*spec));
+        }
+    }
+    if (record.kind == JournalKind::kSweepConfig) {
+        if (!doc->Has("config") || !doc->Has("row"))
+            return util::DataLoss(
+                "sweep-config record missing config/row");
+        record.config_index =
+            static_cast<uint32_t>(doc->Get("config").AsU64());
+        record.row = doc->Get("row").AsString();
+    }
     record.tenant = doc->Get("tenant").AsString();
     record.workload = doc->Get("workload").AsString();
     record.scale =

@@ -40,30 +40,47 @@ namespace atum::serve {
 
 /** What happened to a job — the journal's event vocabulary. */
 enum class JournalKind : uint8_t {
-    kSubmitted,  ///< admitted into the queue (spec payload)
-    kStarted,    ///< a worker picked it up
-    kFinished,   ///< reached a terminal state (outcome payload)
-    kCancelled,  ///< client cancelled before/while running
+    kSubmitted,    ///< admitted into the queue (spec payload)
+    kStarted,      ///< a worker picked it up
+    kFinished,     ///< reached a terminal state (outcome payload)
+    kCancelled,    ///< client cancelled before/while running
+    kSweepConfig,  ///< one sweep config completed (canonical row payload)
 };
 
 /** Stable wire token ("submitted") for one kind. */
 const char* JournalKindName(JournalKind kind);
 
 /** One journal event. Spec fields are set for kSubmitted; outcome for
- *  kFinished/kCancelled. */
+ *  kFinished/kCancelled; config/row for kSweepConfig. */
 struct JournalRecord {
     JournalKind kind = JournalKind::kSubmitted;
     uint64_t id = 0;
 
     // -- kSubmitted --------------------------------------------------------
+    /** What the job runs: "capture" (the default) or "sweep". */
+    std::string job = "capture";
     std::string tenant;
     std::string workload;
     uint32_t scale = 1;
     JobQuota quota;
+    // Sweep submissions carry their whole replay spec, so recovery can
+    // resume a half-done sweep from the journal alone.
+    uint64_t sweep_of = 0;
+    std::vector<SweepConfigSpec> configs;
+    uint64_t sweep_timeout_ms = 0;
+    uint64_t sweep_retries = 1;
+
+    // -- kSweepConfig ------------------------------------------------------
+    // The per-config completion record: fsynced before the row is ever
+    // reported (S4), and the high-water mark a restarted daemon resumes
+    // the sweep from (S5). `row` holds the canonical result-row JSON
+    // (serve/sweep_spec.h) byte-for-byte.
+    uint32_t config_index = 0;
+    std::string row;
 
     // -- kFinished ---------------------------------------------------------
-    /** "done" | "failed" | "quota-bytes" | "deadline" | "wedged" |
-     *  "cancelled" | "salvaged" */
+    /** "done" | "partial" | "failed" | "quota-bytes" | "deadline" |
+     *  "wedged" | "cancelled" | "salvaged" */
     std::string outcome;
     std::string detail;  ///< human-readable context (status message)
 };

@@ -111,6 +111,42 @@ ParseRequest(const std::string& payload)
         if (!(field = U64Field(*doc, "deadline_ms", 0)).ok())
             return field.status();
         req.quota.deadline_ms = *field;
+    } else if (op == "sweep") {
+        req.op = RequestOp::kSweep;
+        if (doc->Has("tenant"))
+            req.tenant = doc->Get("tenant").AsString();
+        if (req.tenant.empty() || req.tenant.size() > 64)
+            return util::InvalidArgument(
+                "tenant must be 1..64 characters");
+        util::StatusOr<uint64_t> field = U64Field(*doc, "of", 0);
+        if (!field.ok())
+            return field.status();
+        req.sweep_of = *field;
+        if (req.sweep_of == 0)
+            return util::InvalidArgument(
+                "sweep requires 'of': the finished job whose trace to "
+                "replay");
+        if (!(field = U64Field(*doc, "timeout_ms", 0)).ok())
+            return field.status();
+        req.sweep_timeout_ms = *field;
+        if (!(field = U64Field(*doc, "retries", 1)).ok())
+            return field.status();
+        req.sweep_retries = *field;
+        const util::JsonValue& configs = doc->Get("configs");
+        if (!configs.is_array() || configs.AsArray().empty())
+            return util::InvalidArgument(
+                "sweep requires a non-empty 'configs' array");
+        if (configs.AsArray().size() > kMaxSweepConfigs)
+            return util::InvalidArgument("sweep is limited to ",
+                                         kMaxSweepConfigs,
+                                         " configs per job");
+        for (const util::JsonValue& entry : configs.AsArray()) {
+            util::StatusOr<SweepConfigSpec> spec =
+                ParseSweepConfigSpec(entry);
+            if (!spec.ok())
+                return spec.status();
+            req.sweep_configs.push_back(std::move(*spec));
+        }
     } else if (op == "status" || op == "cancel") {
         req.op = op == "status" ? RequestOp::kStatus : RequestOp::kCancel;
         if (doc->Has("id")) {
@@ -153,6 +189,19 @@ SerializeRequest(const Request& request)
             w.KeyValue("max_trace_bytes", request.quota.max_trace_bytes);
         if (request.quota.deadline_ms != 0)
             w.KeyValue("deadline_ms", request.quota.deadline_ms);
+        break;
+      case RequestOp::kSweep:
+        w.KeyValue("op", "sweep");
+        w.KeyValue("tenant", request.tenant);
+        w.KeyValue("of", request.sweep_of);
+        if (request.sweep_timeout_ms != 0)
+            w.KeyValue("timeout_ms", request.sweep_timeout_ms);
+        w.KeyValue("retries", request.sweep_retries);
+        w.Key("configs");
+        w.BeginArray();
+        for (const SweepConfigSpec& spec : request.sweep_configs)
+            spec.WriteJson(w);
+        w.EndArray();
         break;
       case RequestOp::kStatus:
         w.KeyValue("op", "status");

@@ -19,6 +19,9 @@
  *   {"v":"atum-serve-v1","op":"submit","tenant":"t","workload":"grep",
  *    "scale":1,"max_instructions":200000,"max_trace_bytes":0,
  *    "deadline_ms":0}
+ *   {"v":"atum-serve-v1","op":"sweep","tenant":"t","of":7,
+ *    "configs":[{"kind":"cache","size_kb":64,"block":16,"assoc":2},...],
+ *    "timeout_ms":0,"retries":1}                   — replay job 7's trace
  *   {"v":"atum-serve-v1","op":"status"}            — all jobs
  *   {"v":"atum-serve-v1","op":"status","id":7}     — one job
  *   {"v":"atum-serve-v1","op":"cancel","id":7}
@@ -33,7 +36,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "serve/sweep_spec.h"
 #include "util/status.h"
 
 namespace atum::serve {
@@ -80,6 +85,7 @@ class FrameParser
 enum class RequestOp : uint8_t {
     kPing,
     kSubmit,
+    kSweep,
     kStatus,
     kCancel,
     kMetrics,
@@ -101,6 +107,11 @@ struct Request {
     std::string workload = "grep";
     uint32_t scale = 1;
     JobQuota quota;
+    // -- sweep -------------------------------------------------------------
+    uint64_t sweep_of = 0;  ///< finished capture job whose trace to replay
+    std::vector<SweepConfigSpec> sweep_configs;
+    uint64_t sweep_timeout_ms = 0;  ///< per-config wall budget; 0 = off
+    uint64_t sweep_retries = 1;     ///< extra attempts per retryable row
     // -- status / cancel ---------------------------------------------------
     uint64_t id = 0;
     bool has_id = false;

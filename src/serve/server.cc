@@ -65,6 +65,7 @@ WriteJobJson(util::JsonWriter& w, const JobInfo& info)
 {
     w.BeginObject();
     w.KeyValue("id", info.id);
+    w.KeyValue("kind", info.kind);
     w.KeyValue("tenant", info.tenant);
     w.KeyValue("workload", info.workload);
     w.KeyValue("scale", info.scale);
@@ -80,6 +81,24 @@ WriteJobJson(util::JsonWriter& w, const JobInfo& info)
     w.KeyValue("trace_bytes", info.trace_bytes);
     w.KeyValue("instructions", info.instructions);
     w.KeyValue("resumed", info.resumed);
+    if (info.kind == "sweep") {
+        w.KeyValue("of", info.sweep_of);
+        w.KeyValue("configs_total",
+                   static_cast<uint64_t>(info.configs.size()));
+        w.KeyValue("configs_done", info.configs_done);
+        w.KeyValue("configs_failed", info.configs_failed);
+        // The mergeable partial result: every finished row, streamed as
+        // it completed. Spliced verbatim — these are the canonical bytes
+        // the journal holds, and re-encoding would break the S4/S5
+        // byte-identity the drills enforce.
+        w.Key("rows");
+        w.BeginArray();
+        for (const std::string& row : info.sweep_rows) {
+            if (!row.empty())
+                w.RawValue(row);
+        }
+        w.EndArray();
+    }
     w.EndObject();
 }
 
@@ -177,14 +196,36 @@ ServeCore::RecoverLocked()
         switch (record.kind) {
           case JournalKind::kSubmitted:
             job.info.id = record.id;
+            job.info.kind = record.job;
             job.info.tenant = record.tenant;
             job.info.workload = record.workload;
             job.info.scale = record.scale;
             job.info.quota = record.quota;
             job.info.state = JobState::kQueued;
+            if (record.job == "sweep") {
+                job.info.sweep_of = record.sweep_of;
+                job.info.sweep_timeout_ms = record.sweep_timeout_ms;
+                job.info.sweep_retries = record.sweep_retries;
+                job.info.configs = record.configs;
+                job.info.sweep_rows.assign(record.configs.size(), "");
+            }
             break;
           case JournalKind::kStarted:
             job.info.state = JobState::kRunning;
+            break;
+          case JournalKind::kSweepConfig:
+            // The resume high-water mark: this config is complete and
+            // its row is final. RunSweepJob will skip it (S5: union of
+            // journaled prefix and re-run remainder).
+            if (record.config_index < job.info.sweep_rows.size() &&
+                job.info.sweep_rows[record.config_index].empty()) {
+                job.info.sweep_rows[record.config_index] = record.row;
+                if (record.row.find("\"status\":\"ok\"") !=
+                    std::string::npos)
+                    ++job.info.configs_done;
+                else
+                    ++job.info.configs_failed;
+            }
             break;
           case JournalKind::kFinished:
             job.info.state = StateForOutcome(record.outcome);
@@ -203,7 +244,11 @@ ServeCore::RecoverLocked()
     // ordered), so a job without a workload means a corrupt mid-file
     // record slipped past the CRC. Treat it as noise, not a job.
     for (auto it = jobs_.begin(); it != jobs_.end();) {
-        if (it->second->info.workload.empty())
+        const JobInfo& info = it->second->info;
+        const bool noise = info.kind == "sweep"
+                               ? info.configs.empty()
+                               : info.workload.empty();
+        if (noise)
             it = jobs_.erase(it);
         else
             ++it;
@@ -252,6 +297,16 @@ ServeCore::ReadmitRecoveredLocked(uint64_t id, Job& job)
 void
 ServeCore::ResolveInterruptedLocked(uint64_t id, Job& job)
 {
+    // Sweeps carry their own resume state in the journal: the folded
+    // kSweepConfig rows ARE the high-water mark, so there is no
+    // checkpoint to find and no trace to salvage — re-queue and let
+    // RunSweepJob skip every journaled row (S5: union of the journaled
+    // prefix and the re-run remainder).
+    if (job.info.kind == "sweep") {
+        ReadmitRecoveredLocked(id, job);
+        return;
+    }
+
     // The daemon died (or was killed) while this job ran. Three ways
     // forward, in order of how much of the work they preserve:
     //  1. a loadable checkpoint -> re-queue; the run resumes from it
@@ -357,6 +412,12 @@ ServeCore::HandleRequest(const std::string& payload)
         registry_.GetHistogram("serve.admit.us").Add(ElapsedUs(t0));
         return response;
       }
+      case RequestOp::kSweep: {
+        const auto t0 = std::chrono::steady_clock::now();
+        std::string response = HandleSweep(*request);
+        registry_.GetHistogram("serve.admit.us").Add(ElapsedUs(t0));
+        return response;
+      }
       case RequestOp::kStatus:
         return HandleStatus(*request);
       case RequestOp::kCancel:
@@ -438,6 +499,91 @@ ServeCore::HandleSubmit(const Request& request)
     w.BeginObject();
     w.KeyValue("ok", true);
     w.KeyValue("id", id);
+    w.KeyValue("state", "queued");
+    w.EndObject();
+    return w.TakeStr();
+}
+
+std::string
+ServeCore::HandleSweep(const Request& request)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_)
+        return ErrorResponse(
+            util::FailedPrecondition("daemon is not started"));
+    if (draining_.load(std::memory_order_relaxed))
+        return ErrorResponse(util::Unavailable(
+            "daemon is draining; retry against the next instance"));
+
+    // The sweep replays a finished capture's durable trace; anything
+    // else has no trace worth replaying (or not yet the final one).
+    auto target = jobs_.find(request.sweep_of);
+    if (target == jobs_.end())
+        return ErrorResponse(
+            util::NotFound("no job ", request.sweep_of, " to sweep"));
+    const JobInfo& of = target->second->info;
+    if (of.kind != "capture")
+        return ErrorResponse(util::InvalidArgument(
+            "job ", request.sweep_of, " is a ", of.kind,
+            " job; sweeps replay capture traces"));
+    if (of.state != JobState::kDone)
+        return ErrorResponse(util::FailedPrecondition(
+            "job ", request.sweep_of, " is ", JobStateName(of.state),
+            "; only a done capture's trace can be swept"));
+
+    const uint64_t id = next_id_;
+    if (util::Status admitted = admission_.Admit(id, request.tenant);
+        !admitted.ok()) {
+        registry_.GetCounter("serve.jobs.shed").Add();
+        return ErrorResponse(admitted);
+    }
+
+    // J1: the submission — including the whole config list, so recovery
+    // can resume from the journal alone — is durable before the ack.
+    JournalRecord record;
+    record.kind = JournalKind::kSubmitted;
+    record.id = id;
+    record.job = "sweep";
+    record.tenant = request.tenant;
+    record.workload = "sweep";
+    record.sweep_of = request.sweep_of;
+    record.sweep_timeout_ms = request.sweep_timeout_ms;
+    record.sweep_retries = request.sweep_retries;
+    record.configs = request.sweep_configs;
+    if (util::Status logged = journal_->Append(record); !logged.ok()) {
+        admission_.RemovePending(id);
+        registry_.GetCounter("serve.journal.append_errors").Add();
+        return ErrorResponse(util::Unavailable(
+            "cannot journal the sweep submission: ", logged.message()));
+    }
+    next_id_ = id + 1;
+
+    auto job = std::make_unique<Job>();
+    job->info.id = id;
+    job->info.kind = "sweep";
+    job->info.tenant = request.tenant;
+    job->info.workload = "sweep";
+    job->info.sweep_of = request.sweep_of;
+    job->info.sweep_timeout_ms = request.sweep_timeout_ms;
+    job->info.sweep_retries = request.sweep_retries;
+    job->info.configs = request.sweep_configs;
+    job->info.sweep_rows.assign(request.sweep_configs.size(), "");
+    job->info.state = JobState::kQueued;
+    jobs_[id] = std::move(job);
+
+    registry_.GetCounter("serve.jobs.submitted").Add();
+    registry_.GetCounter("serve.sweep.submitted").Add();
+    ScheduleMoreLocked();
+    PublishGaugesLocked();
+    WriteStatusFileLocked();
+
+    util::JsonWriter w;
+    w.BeginObject();
+    w.KeyValue("ok", true);
+    w.KeyValue("id", id);
+    w.KeyValue("of", request.sweep_of);
+    w.KeyValue("configs",
+               static_cast<uint64_t>(request.sweep_configs.size()));
     w.KeyValue("state", "queued");
     w.EndObject();
     return w.TakeStr();
@@ -544,6 +690,66 @@ ServeCore::RunNextQueuedJob()
 }
 
 void
+ServeCore::FinishJob(uint64_t id, Job* job,
+                     std::chrono::steady_clock::time_point t0,
+                     const std::string& outcome, const std::string& detail,
+                     bool interrupted, uint64_t records,
+                     uint64_t instructions, uint64_t trace_bytes,
+                     bool resumed)
+{
+    // Seals the job: journals the terminal record (unless the stop was an
+    // interruption — drain/power — which must stay resumable), updates
+    // the table, frees the slot, schedules the next job.
+    std::lock_guard<std::mutex> lock(mu_);
+    job->info.records = records;
+    job->info.instructions += instructions;
+    job->info.trace_bytes = trace_bytes;
+    job->info.resumed = resumed;
+    if (resumed)
+        registry_.GetCounter("serve.jobs.resumed").Add();
+    if (interrupted) {
+        // No journal record: the dangling kStarted is exactly what
+        // recovery looks for, and the sealed checkpoint/trace (or, for
+        // sweeps, the journaled rows) are what it resumes from.
+        job->info.state = JobState::kInterrupted;
+    } else {
+        JournalRecord record;
+        record.kind = JournalKind::kFinished;
+        record.id = id;
+        record.outcome = outcome;
+        record.detail = detail;
+        AppendJournalLocked(record);
+        job->info.state = StateForOutcome(outcome);
+        job->info.outcome = outcome;
+        job->info.detail = detail;
+        switch (job->info.state) {
+          case JobState::kDone:
+            registry_.GetCounter("serve.jobs.completed").Add();
+            break;
+          case JobState::kFailed:
+            registry_.GetCounter("serve.jobs.failed").Add();
+            break;
+          default:
+            registry_.GetCounter("serve.jobs.cancelled").Add();
+            break;
+        }
+        if (job->info.kind == "sweep") {
+            if (outcome == "partial")
+                registry_.GetCounter("serve.sweep.partial").Add();
+            if (job->info.state == JobState::kDone)
+                registry_.GetCounter("serve.sweep.completed").Add();
+        }
+    }
+    admission_.FinishRunning(id);
+    if (pool_ != nullptr)
+        ++slots_free_;
+    registry_.GetHistogram("serve.job.us").Add(ElapsedUs(t0));
+    ScheduleMoreLocked();
+    PublishGaugesLocked();
+    WriteStatusFileLocked();
+}
+
+void
 ServeCore::RunJob(uint64_t id)
 {
     const auto t0 = std::chrono::steady_clock::now();
@@ -565,56 +771,19 @@ ServeCore::RunJob(uint64_t id)
         WriteStatusFileLocked();
     }
 
-    // Seals the job: journals the terminal record (unless the stop was an
-    // interruption — drain/power — which must stay resumable), updates
-    // the table, frees the slot, schedules the next job.
+    if (spec.kind == "sweep") {
+        RunSweepJob(id, job, spec, t0);
+        return;
+    }
+
     const auto finish = [&](const std::string& outcome,
                             const std::string& detail, bool interrupted,
                             const core::SessionResult* result,
                             uint64_t trace_bytes, bool resumed) {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (result != nullptr) {
-            job->info.records = result->records;
-            job->info.instructions += result->instructions;
-        }
-        job->info.trace_bytes = trace_bytes;
-        job->info.resumed = resumed;
-        if (resumed)
-            registry_.GetCounter("serve.jobs.resumed").Add();
-        if (interrupted) {
-            // No journal record: the dangling kStarted is exactly what
-            // recovery looks for, and the sealed checkpoint/trace are
-            // what it resumes from.
-            job->info.state = JobState::kInterrupted;
-        } else {
-            JournalRecord record;
-            record.kind = JournalKind::kFinished;
-            record.id = id;
-            record.outcome = outcome;
-            record.detail = detail;
-            AppendJournalLocked(record);
-            job->info.state = StateForOutcome(outcome);
-            job->info.outcome = outcome;
-            job->info.detail = detail;
-            switch (job->info.state) {
-              case JobState::kDone:
-                registry_.GetCounter("serve.jobs.completed").Add();
-                break;
-              case JobState::kFailed:
-                registry_.GetCounter("serve.jobs.failed").Add();
-                break;
-              default:
-                registry_.GetCounter("serve.jobs.cancelled").Add();
-                break;
-            }
-        }
-        admission_.FinishRunning(id);
-        if (pool_ != nullptr)
-            ++slots_free_;
-        registry_.GetHistogram("serve.job.us").Add(ElapsedUs(t0));
-        ScheduleMoreLocked();
-        PublishGaugesLocked();
-        WriteStatusFileLocked();
+        FinishJob(id, job, t0, outcome, detail, interrupted,
+                  result != nullptr ? result->records : 0,
+                  result != nullptr ? result->instructions : 0, trace_bytes,
+                  resumed);
     };
 
     // -- build the capture stack, resuming from a checkpoint if one
@@ -752,6 +921,153 @@ ServeCore::RunJob(uint64_t id)
 
     finish(outcome, detail, interrupted, &result,
            sink_ptr->bytes_written(), resumed);
+}
+
+void
+ServeCore::RunSweepJob(uint64_t id, Job* job, const JobInfo& spec,
+                       std::chrono::steady_clock::time_point t0)
+{
+    // `spec` is the post-recovery snapshot: rows journaled complete in a
+    // previous life are already filled in, and this run never recomputes
+    // them (S4: a reported row is never lost or changed).
+    uint32_t prefilled = 0;
+    for (const std::string& row : spec.sweep_rows)
+        if (!row.empty())
+            ++prefilled;
+    const bool resumed = prefilled > 0;
+    const uint32_t total = static_cast<uint32_t>(spec.configs.size());
+
+    // Load the target capture's durable trace once, tolerantly: a
+    // quota-stopped or salvaged capture's valid prefix is a perfectly
+    // sweepable input.
+    util::StatusOr<std::unique_ptr<trace::FileByteSource>> in =
+        trace::FileByteSource::Open(TracePath(spec.sweep_of), vfs_);
+    if (!in.ok()) {
+        // A dead filesystem (power cut mid-drill) is an interruption the
+        // restart retries; a missing trace is a sweep failure.
+        const bool interrupted =
+            in.status().code() == util::StatusCode::kUnavailable;
+        FinishJob(id, job, t0, "failed",
+                  "trace of job " + std::to_string(spec.sweep_of) + ": " +
+                      in.status().ToString(),
+                  interrupted, 0, 0, 0, resumed);
+        return;
+    }
+    std::vector<trace::Record> records;
+    const trace::ScanReport report = trace::ScanTrace(**in, &records);
+    if (!report.recognized) {
+        FinishJob(id, job, t0, "failed",
+                  "trace of job " + std::to_string(spec.sweep_of) +
+                      " is not a recognizable capture: " + report.ToString(),
+                  false, 0, 0, 0, resumed);
+        return;
+    }
+
+    uint32_t done = spec.configs_done;
+    uint32_t failed = spec.configs_failed;
+    bool cancelled = false;
+    bool interrupted = false;
+    for (uint32_t i = 0; i < total; ++i) {
+        if (!spec.sweep_rows[i].empty())
+            continue;  // journaled in a previous life: the row is final
+
+        // Between-config stop checks: cancellation seals the sweep as
+        // partial work lost, drain/power leaves the dangling kStarted
+        // that recovery resumes from.
+        if (job->cancel_requested.load(std::memory_order_relaxed)) {
+            cancelled = true;
+            break;
+        }
+        if (job->stop_flag != 0 ||
+            draining_.load(std::memory_order_relaxed) ||
+            (config_.external_stop != nullptr &&
+             *config_.external_stop != 0)) {
+            interrupted = true;
+            break;
+        }
+
+        const auto c0 = std::chrono::steady_clock::now();
+        replay::ReplayControl control;
+        control.stop_flag = &job->stop_flag;
+        control.deadline_ms = spec.sweep_timeout_ms;
+        const replay::SweepConfig config = spec.configs[i].ToReplayConfig();
+
+        // Per-row isolation with bounded retry: a timeout or an internal
+        // replay error earns up to `sweep_retries` more attempts; a
+        // deterministically bad geometry (kInvalidArgument) fails the row
+        // immediately, and a stop latch is never retried against.
+        replay::SweepResult result = replay::ReplayOne(records, config,
+                                                       control);
+        for (uint64_t attempt = 0;
+             attempt < spec.sweep_retries && !result.status.ok() &&
+             (result.status.code() == util::StatusCode::kUnavailable ||
+              result.status.code() == util::StatusCode::kInternal);
+             ++attempt) {
+            registry_.GetCounter("serve.sweep.configs_retried").Add();
+            result = replay::ReplayOne(records, config, control);
+        }
+        if (result.status.code() == util::StatusCode::kInterrupted) {
+            if (job->cancel_requested.load(std::memory_order_relaxed))
+                cancelled = true;
+            else
+                interrupted = true;
+            break;
+        }
+
+        const bool row_ok = result.status.ok();
+        const std::string row =
+            SweepRowJson(i, records.size(), spec.configs[i], result);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            // S4: the completion record is durable before the row is
+            // ever reported. A failed append degrades, not lies: the row
+            // still streams (it is correct), but a restart will re-run
+            // this config — deterministically, to identical bytes.
+            JournalRecord record;
+            record.kind = JournalKind::kSweepConfig;
+            record.id = id;
+            record.config_index = i;
+            record.row = row;
+            if (util::Status s = journal_->Append(record); !s.ok()) {
+                Warn("serve: sweep row append failed (job ", id,
+                     " config ", i, "): ", s.ToString());
+                registry_.GetCounter("serve.journal.append_errors").Add();
+                registry_.GetCounter("serve.sweep.rows_unjournaled").Add();
+            }
+            job->info.sweep_rows[i] = row;
+            if (row_ok)
+                ++job->info.configs_done;
+            else
+                ++job->info.configs_failed;
+            registry_
+                .GetCounter(row_ok ? "serve.sweep.configs_done"
+                                   : "serve.sweep.configs_failed")
+                .Add();
+            registry_.GetHistogram("serve.sweep.config_us")
+                .Add(ElapsedUs(c0));
+            // Stream the mergeable partial result: status readers see
+            // every finished row without waiting for the sweep.
+            WriteStatusFileLocked();
+        }
+        if (row_ok)
+            ++done;
+        else
+            ++failed;
+    }
+
+    std::string outcome;
+    std::string detail;
+    if (cancelled) {
+        outcome = "cancelled";
+    } else if (!interrupted) {
+        outcome = failed == 0 ? "done" : "partial";
+        if (failed != 0)
+            detail = std::to_string(failed) + " of " +
+                     std::to_string(total) +
+                     " configs failed and were isolated";
+    }
+    FinishJob(id, job, t0, outcome, detail, interrupted,
+              records.size(), 0, 0, resumed);
 }
 
 void

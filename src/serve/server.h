@@ -36,6 +36,7 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <map>
@@ -74,19 +75,33 @@ const char* JobStateName(JobState state);
 /** One job as reported to clients and the status file. */
 struct JobInfo {
     uint64_t id = 0;
+    /** What the job runs: "capture" (the default) or "sweep". */
+    std::string kind = "capture";
     std::string tenant;
     std::string workload;
     uint32_t scale = 1;
     JobQuota quota;  ///< effective (clamped) quota
     JobState state = JobState::kQueued;
-    /** Terminal outcome token ("done", "quota-bytes", ...); "" until
-     *  terminal. */
+    /** Terminal outcome token ("done", "partial", "quota-bytes", ...);
+     *  "" until terminal. */
     std::string outcome;
     std::string detail;
     uint64_t records = 0;
     uint64_t trace_bytes = 0;
     uint64_t instructions = 0;
     bool resumed = false;  ///< continued from a checkpoint after restart
+
+    // -- sweep jobs only ---------------------------------------------------
+    uint64_t sweep_of = 0;  ///< the finished job whose trace is replayed
+    uint64_t sweep_timeout_ms = 0;
+    uint64_t sweep_retries = 1;
+    std::vector<SweepConfigSpec> configs;
+    uint32_t configs_done = 0;    ///< rows finished ok
+    uint32_t configs_failed = 0;  ///< rows isolated as failed
+    /** Canonical result row per config (sweep_spec.h), "" while pending.
+     *  Mergeable partial results: rows fill in as configs finish, and a
+     *  restarted daemon re-fills journaled rows byte-identically. */
+    std::vector<std::string> sweep_rows;
 };
 
 /** Daemon-wide knobs. */
@@ -181,6 +196,7 @@ class ServeCore
     };
 
     std::string HandleSubmit(const Request& request);
+    std::string HandleSweep(const Request& request);
     std::string HandleStatus(const Request& request);
     std::string HandleCancel(const Request& request);
 
@@ -208,6 +224,24 @@ class ServeCore
 
     /** The whole life of one running job (worker thread / drill call). */
     void RunJob(uint64_t id);
+
+    /**
+     * The sweep body: loads the target trace once, replays every config
+     * not already journaled complete (the resume high-water mark), with
+     * per-row isolation, bounded retry and a per-config timeout, and
+     * journals each completion fsync-first before streaming it.
+     */
+    void RunSweepJob(uint64_t id, Job* job, const JobInfo& spec,
+                     std::chrono::steady_clock::time_point t0);
+
+    /** Seals a job: journals the terminal record (unless interrupted),
+     *  updates the table, frees the slot, schedules the next job. */
+    void FinishJob(uint64_t id, Job* job,
+                   std::chrono::steady_clock::time_point t0,
+                   const std::string& outcome, const std::string& detail,
+                   bool interrupted, uint64_t records,
+                   uint64_t instructions, uint64_t trace_bytes,
+                   bool resumed);
 
     void WriteStatusFileLocked();
     void PublishGaugesLocked();

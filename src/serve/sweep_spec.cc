@@ -1,0 +1,203 @@
+#include "serve/sweep_spec.h"
+
+#include <cstdlib>
+
+namespace atum::serve {
+
+namespace {
+
+bool
+IsKnownKind(const std::string& kind)
+{
+    return kind == "cache" || kind == "hierarchy" || kind == "tlb";
+}
+
+/** A non-negative integral field, defaulting when absent. */
+util::StatusOr<uint32_t>
+U32Field(const util::JsonValue& doc, const std::string& key,
+         uint32_t fallback)
+{
+    if (!doc.Has(key))
+        return fallback;
+    const util::JsonValue& v = doc.Get(key);
+    if (!v.is_number() || v.AsDouble() < 0)
+        return util::InvalidArgument("sweep config field '", key,
+                                     "' must be a non-negative number");
+    return static_cast<uint32_t>(v.AsU64());
+}
+
+}  // namespace
+
+replay::SweepConfig
+SweepConfigSpec::ToReplayConfig() const
+{
+    if (kind == "hierarchy") {
+        cache::HierarchyConfig h;
+        h.l2.size_bytes = size_kb << 10;
+        h.l2.block_bytes = block;
+        h.l2.assoc = assoc;
+        return replay::MakeHierarchyJob(h, label);
+    }
+    if (kind == "tlb") {
+        tlbsim::TlbSimConfig t;
+        t.entries = entries;
+        t.ways = ways;
+        return replay::MakeTlbJob(t, label);
+    }
+    cache::CacheConfig c;
+    c.size_bytes = size_kb << 10;
+    c.block_bytes = block;
+    c.assoc = assoc;
+    return replay::MakeCacheJob(c, {}, label);
+}
+
+void
+SweepConfigSpec::WriteJson(util::JsonWriter& w) const
+{
+    w.BeginObject();
+    w.KeyValue("kind", kind);
+    if (!label.empty())
+        w.KeyValue("label", label);
+    if (kind == "tlb") {
+        w.KeyValue("entries", entries);
+        w.KeyValue("ways", ways);
+    } else {
+        w.KeyValue("size_kb", size_kb);
+        w.KeyValue("block", block);
+        w.KeyValue("assoc", assoc);
+    }
+    w.EndObject();
+}
+
+util::StatusOr<SweepConfigSpec>
+ParseSweepConfigSpec(const util::JsonValue& doc)
+{
+    if (!doc.is_object())
+        return util::InvalidArgument("sweep config must be a JSON object");
+    SweepConfigSpec spec;
+    if (doc.Has("kind"))
+        spec.kind = doc.Get("kind").AsString();
+    if (!IsKnownKind(spec.kind))
+        return util::InvalidArgument("unknown sweep config kind '",
+                                     spec.kind,
+                                     "' (cache | hierarchy | tlb)");
+    spec.label = doc.Get("label").AsString();
+    if (spec.label.size() > 64)
+        return util::InvalidArgument("sweep config label over 64 chars");
+    util::StatusOr<uint32_t> field = U32Field(doc, "size_kb", spec.size_kb);
+    if (!field.ok())
+        return field.status();
+    spec.size_kb = *field;
+    if (!(field = U32Field(doc, "block", spec.block)).ok())
+        return field.status();
+    spec.block = *field;
+    if (!(field = U32Field(doc, "assoc", spec.assoc)).ok())
+        return field.status();
+    spec.assoc = *field;
+    if (!(field = U32Field(doc, "entries", spec.entries)).ok())
+        return field.status();
+    spec.entries = *field;
+    if (!(field = U32Field(doc, "ways", spec.ways)).ok())
+        return field.status();
+    spec.ways = *field;
+    return spec;
+}
+
+util::StatusOr<SweepConfigSpec>
+ParseSweepConfigSpecText(const std::string& text)
+{
+    SweepConfigSpec spec;
+    size_t pos = text.find(':');
+    spec.kind = text.substr(0, pos);
+    if (!IsKnownKind(spec.kind))
+        return util::InvalidArgument("unknown sweep config kind '",
+                                     spec.kind,
+                                     "' (cache | hierarchy | tlb)");
+    while (pos != std::string::npos) {
+        const size_t start = pos + 1;
+        pos = text.find(':', start);
+        const std::string part =
+            text.substr(start, pos == std::string::npos ? std::string::npos
+                                                        : pos - start);
+        const size_t eq = part.find('=');
+        if (eq == std::string::npos || eq == 0)
+            return util::InvalidArgument("sweep config part '", part,
+                                         "' is not key=value");
+        const std::string key = part.substr(0, eq);
+        const std::string value = part.substr(eq + 1);
+        if (key == "label") {
+            if (value.size() > 64)
+                return util::InvalidArgument(
+                    "sweep config label over 64 chars");
+            spec.label = value;
+            continue;
+        }
+        char* end = nullptr;
+        const unsigned long long n = std::strtoull(value.c_str(), &end, 0);
+        if (end == value.c_str() || *end != '\0')
+            return util::InvalidArgument("sweep config value '", value,
+                                         "' for '", key,
+                                         "' is not a number");
+        const uint32_t v = static_cast<uint32_t>(n);
+        if (key == "size_kb")
+            spec.size_kb = v;
+        else if (key == "block")
+            spec.block = v;
+        else if (key == "assoc")
+            spec.assoc = v;
+        else if (key == "entries")
+            spec.entries = v;
+        else if (key == "ways")
+            spec.ways = v;
+        else
+            return util::InvalidArgument("unknown sweep config key '", key,
+                                         "'");
+    }
+    return spec;
+}
+
+std::string
+SweepRowJson(uint32_t config_index, uint64_t records,
+             const SweepConfigSpec& spec, const replay::SweepResult& result)
+{
+    util::JsonWriter w;
+    w.BeginObject();
+    w.KeyValue("config", config_index);
+    w.KeyValue("kind", spec.kind);
+    w.KeyValue("label", result.label);
+    w.KeyValue("records", records);
+    if (!result.status.ok()) {
+        w.KeyValue("status",
+                   util::StatusCodeName(result.status.code()));
+        w.KeyValue("error", result.status.message());
+        w.EndObject();
+        return w.TakeStr();
+    }
+    w.KeyValue("status", "ok");
+    switch (result.kind) {
+      case replay::SweepConfig::Kind::kCache:
+        w.KeyValue("accesses", result.cache_stats.accesses);
+        w.KeyValue("misses", result.cache_stats.misses);
+        w.KeyValue("fed", result.fed);
+        w.KeyValue("filtered", result.filtered);
+        break;
+      case replay::SweepConfig::Kind::kHierarchy:
+        w.KeyValue("accesses", result.hierarchy_accesses);
+        w.KeyValue("l1i_misses", result.l1i_stats.misses);
+        w.KeyValue("l1d_misses", result.l1d_stats.misses);
+        w.KeyValue("l2_misses", result.l2_stats.misses);
+        w.KeyValue("memory_accesses", result.memory_accesses);
+        w.KeyValue("amat", result.amat);
+        break;
+      case replay::SweepConfig::Kind::kTlb:
+        w.KeyValue("accesses", result.tlb_stats.accesses);
+        w.KeyValue("misses", result.tlb_stats.misses);
+        w.KeyValue("flushes", result.tlb_stats.flushes);
+        break;
+    }
+    w.KeyValue("miss_rate", result.MissRate());
+    w.EndObject();
+    return w.TakeStr();
+}
+
+}  // namespace atum::serve

@@ -1,0 +1,86 @@
+#ifndef ATUM_SERVE_SWEEP_SPEC_H_
+#define ATUM_SERVE_SWEEP_SPEC_H_
+
+/**
+ * @file
+ * The serializable half of a replay sweep: the config specs a client
+ * submits over the wire, the same specs as the journal re-reads them on
+ * recovery, and the canonical per-config result row the daemon streams
+ * back as each config finishes.
+ *
+ * Everything here must round-trip byte-for-byte, because the journal's
+ * per-config completion records are the daemon's resume high-water mark:
+ * a recovered sweep is the union of journaled rows and re-run remainder,
+ * and invariant S5 (docs/SERVE.md) demands that union be bit-identical
+ * to a clean run. That is only checkable if the row serialization is one
+ * canonical function used by the daemon, the recovery path, and the
+ * chaos checker alike — so it lives here, not inline in the server.
+ *
+ * Geometry is deliberately NOT validated at parse time. A sweep isolates
+ * failures per row: a config with a nonsensical geometry becomes one
+ * failed row (replay::ValidateConfig catches it before any simulator is
+ * built), never a rejected submission or a failed sweep.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "replay/sweep.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace atum::serve {
+
+/** Hard bound on configs per sweep: keeps the submission's journal
+ *  record far below the journal's record-size sanity limit. */
+inline constexpr uint32_t kMaxSweepConfigs = 64;
+
+/**
+ * One replayable configuration, in wire form. Kind selects which knobs
+ * matter: "cache" uses size_kb/block/assoc, "hierarchy" applies them to
+ * the unified L2 over default split L1s, "tlb" uses entries/ways.
+ */
+struct SweepConfigSpec {
+    std::string kind = "cache";  ///< "cache" | "hierarchy" | "tlb"
+    std::string label;           ///< optional row label (defaulted if empty)
+    uint32_t size_kb = 64;       ///< cache (or L2) capacity in KiB
+    uint32_t block = 16;         ///< block size in bytes
+    uint32_t assoc = 1;          ///< associativity; 0 = fully associative
+    uint32_t entries = 64;       ///< TLB entries
+    uint32_t ways = 0;           ///< TLB ways; 0 = fully associative
+
+    /** The replay-engine job this spec describes. */
+    replay::SweepConfig ToReplayConfig() const;
+
+    /** Emits the spec as one JSON object into an open writer. */
+    void WriteJson(util::JsonWriter& w) const;
+};
+
+/** Parses one spec object; kInvalidArgument for an unknown kind or a
+ *  malformed field (geometry itself is judged per-row at replay time). */
+util::StatusOr<SweepConfigSpec> ParseSweepConfigSpec(
+    const util::JsonValue& doc);
+
+/**
+ * Parses the compact CLI form `kind[:key=val]...`, e.g.
+ * "cache:size_kb=128:assoc=2", "hierarchy:size_kb=256:block=32",
+ * "tlb:entries=32:ways=4".
+ */
+util::StatusOr<SweepConfigSpec> ParseSweepConfigSpecText(
+    const std::string& text);
+
+/**
+ * The canonical result row for one finished config — the exact bytes
+ * journaled, streamed into the status file, and compared bit-for-bit by
+ * the S4/S5 drills. `records` is the input-trace record count the config
+ * replayed (the input fingerprint recovery uses to detect a trace that
+ * changed underneath journaled rows).
+ */
+std::string SweepRowJson(uint32_t config_index, uint64_t records,
+                         const SweepConfigSpec& spec,
+                         const replay::SweepResult& result);
+
+}  // namespace atum::serve
+
+#endif  // ATUM_SERVE_SWEEP_SPEC_H_

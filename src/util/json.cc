@@ -108,6 +108,13 @@ JsonWriter::Value(const char* s)
 }
 
 void
+JsonWriter::RawValue(const std::string& json)
+{
+    Comma();
+    out_ += json;
+}
+
+void
 JsonWriter::Value(bool b)
 {
     Comma();

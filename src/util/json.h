@@ -51,6 +51,14 @@ class JsonWriter
     void Value(double d);
     void Null();
 
+    /**
+     * Splices `json` — one pre-serialized JSON value — verbatim into the
+     * stream. For canonical sub-documents that must not be re-encoded
+     * (the serve sweep rows are compared byte-for-byte across crash
+     * recovery); the caller guarantees the bytes are valid JSON.
+     */
+    void RawValue(const std::string& json);
+
     /** Key+value in one call. */
     template <typename T>
     void KeyValue(const std::string& key, T&& value)

@@ -102,6 +102,42 @@ TEST(FrameParser, OversizedFramePoisonsForever)
     EXPECT_FALSE(parser.Next(&payload).ok());
 }
 
+// The boundary frames: a zero-length payload is a legal frame and must
+// round-trip (the protocol's smallest message), and the size limit is
+// exact — a payload of kMaxFrameBytes passes, one more byte poisons.
+TEST(FrameParser, ZeroLengthAndMaxLengthFramesAreExactBoundaries)
+{
+    {
+        const std::string frame = EncodeFrame("");
+        FrameParser parser;
+        parser.Feed(frame.data(), frame.size());
+        std::string payload = "sentinel";
+        util::StatusOr<bool> next = parser.Next(&payload);
+        ASSERT_TRUE(next.ok()) << next.status().ToString();
+        EXPECT_TRUE(*next);
+        EXPECT_TRUE(payload.empty());
+        EXPECT_EQ(parser.pending_bytes(), 0u);
+    }
+    {
+        const std::string frame = EncodeFrame(std::string(kMaxFrameBytes, 'x'));
+        FrameParser parser;
+        parser.Feed(frame.data(), frame.size());
+        std::string payload;
+        util::StatusOr<bool> next = parser.Next(&payload);
+        ASSERT_TRUE(next.ok()) << next.status().ToString();
+        EXPECT_TRUE(*next);
+        EXPECT_EQ(payload.size(), kMaxFrameBytes);
+    }
+    {
+        const std::string frame =
+            EncodeFrame(std::string(kMaxFrameBytes + 1, 'x'));
+        FrameParser parser;
+        parser.Feed(frame.data(), frame.size());
+        std::string payload;
+        EXPECT_FALSE(parser.Next(&payload).ok());
+    }
+}
+
 TEST(FrameParser, TruncatedFrameReportsPendingBytes)
 {
     const std::string frame = EncodeFrame(R"({"op":"ping"})");
@@ -166,6 +202,68 @@ TEST(Protocol, RejectsWrongVersionAndMalformedFrames)
     EXPECT_FALSE(
         ParseRequest(R"({"v":"atum-serve-v1","op":"explode"})").ok());
     EXPECT_TRUE(ParseRequest(R"({"v":"atum-serve-v1","op":"ping"})").ok());
+}
+
+TEST(Protocol, SweepRequestRoundTrip)
+{
+    Request request;
+    request.op = RequestOp::kSweep;
+    request.tenant = "team-b";
+    request.sweep_of = 7;
+    request.sweep_timeout_ms = 1500;
+    request.sweep_retries = 2;
+    SweepConfigSpec cache;
+    cache.kind = "cache";
+    cache.size_kb = 128;
+    cache.assoc = 2;
+    SweepConfigSpec tlb;
+    tlb.kind = "tlb";
+    tlb.entries = 32;
+    tlb.ways = 4;
+    request.sweep_configs = {cache, tlb};
+
+    util::StatusOr<Request> parsed = ParseRequest(SerializeRequest(request));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->op, RequestOp::kSweep);
+    EXPECT_EQ(parsed->sweep_of, 7u);
+    EXPECT_EQ(parsed->sweep_timeout_ms, 1500u);
+    EXPECT_EQ(parsed->sweep_retries, 2u);
+    ASSERT_EQ(parsed->sweep_configs.size(), 2u);
+    EXPECT_EQ(parsed->sweep_configs[0].kind, "cache");
+    EXPECT_EQ(parsed->sweep_configs[0].size_kb, 128u);
+    EXPECT_EQ(parsed->sweep_configs[0].assoc, 2u);
+    EXPECT_EQ(parsed->sweep_configs[1].kind, "tlb");
+    EXPECT_EQ(parsed->sweep_configs[1].entries, 32u);
+    EXPECT_EQ(parsed->sweep_configs[1].ways, 4u);
+}
+
+TEST(SweepSpec, ParsesCompactTextForm)
+{
+    util::StatusOr<SweepConfigSpec> spec =
+        ParseSweepConfigSpecText("cache:size_kb=128:assoc=2");
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    EXPECT_EQ(spec->kind, "cache");
+    EXPECT_EQ(spec->size_kb, 128u);
+    EXPECT_EQ(spec->assoc, 2u);
+
+    spec = ParseSweepConfigSpecText("tlb:entries=32:ways=4");
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    EXPECT_EQ(spec->kind, "tlb");
+    EXPECT_EQ(spec->entries, 32u);
+    EXPECT_EQ(spec->ways, 4u);
+
+    spec = ParseSweepConfigSpecText("hierarchy:size_kb=256:block=32");
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    EXPECT_EQ(spec->kind, "hierarchy");
+    EXPECT_EQ(spec->size_kb, 256u);
+    EXPECT_EQ(spec->block, 32u);
+
+    EXPECT_FALSE(ParseSweepConfigSpecText("").ok());
+    EXPECT_FALSE(ParseSweepConfigSpecText("bogus:size_kb=1").ok());
+    EXPECT_FALSE(ParseSweepConfigSpecText("cache:no_such_knob=1").ok());
+    // Geometry is judged per-row at replay time, not at parse time: a
+    // nonsensical block size parses fine and becomes one failed row.
+    EXPECT_TRUE(ParseSweepConfigSpecText("cache:block=24").ok());
 }
 
 TEST(Protocol, ErrorResponseRoundTripsStatusCode)
@@ -319,6 +417,83 @@ TEST(JobJournal, TornAppendSelfHealsBeforeNextRecord)
     EXPECT_EQ(records[1].id, 3u);
 }
 
+// Sweep records carry the resume high-water mark, so their round-trip
+// and damage behavior matter as much as the classic records': every
+// field of a sweep submission and every canonical row byte must survive
+// a reopen, and the corruption matrix must still always yield a clean
+// prefix — a flipped byte may cost records but never fabricates or
+// mutates a row.
+TEST(JobJournal, SweepRecordsRoundTripAndSurviveCorruptionMatrix)
+{
+    JournalRecord submitted;
+    submitted.kind = JournalKind::kSubmitted;
+    submitted.id = 9;
+    submitted.job = "sweep";
+    submitted.tenant = "t";
+    submitted.workload = "sweep";
+    submitted.sweep_of = 4;
+    submitted.sweep_timeout_ms = 250;
+    submitted.sweep_retries = 2;
+    SweepConfigSpec cache;
+    cache.kind = "cache";
+    cache.size_kb = 32;
+    SweepConfigSpec tlb;
+    tlb.kind = "tlb";
+    tlb.entries = 16;
+    submitted.configs = {cache, tlb};
+
+    JournalRecord row;
+    row.kind = JournalKind::kSweepConfig;
+    row.id = 9;
+    row.config_index = 1;
+    row.row = R"({"config":1,"kind":"tlb","label":"tlb-16e","records":10,)"
+              R"("status":"ok","accesses":10,"misses":3,"flushes":0,)"
+              R"("miss_rate":0.3})";
+
+    io::MemVfs vfs;
+    {
+        util::StatusOr<std::unique_ptr<JobJournal>> journal =
+            JobJournal::Open("j", vfs);
+        ASSERT_TRUE(journal.ok());
+        ASSERT_TRUE((*journal)->Append(submitted).ok());
+        ASSERT_TRUE((*journal)->Append(row).ok());
+        ASSERT_TRUE((*journal)->Append(Finished(9, "done")).ok());
+    }
+    util::StatusOr<std::unique_ptr<JobJournal>> journal =
+        JobJournal::Open("j", vfs);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_EQ((*journal)->recovered().size(), 3u);
+    const JournalRecord& got = (*journal)->recovered()[0];
+    EXPECT_EQ(got.job, "sweep");
+    EXPECT_EQ(got.sweep_of, 4u);
+    EXPECT_EQ(got.sweep_timeout_ms, 250u);
+    EXPECT_EQ(got.sweep_retries, 2u);
+    ASSERT_EQ(got.configs.size(), 2u);
+    EXPECT_EQ(got.configs[0].kind, "cache");
+    EXPECT_EQ(got.configs[0].size_kb, 32u);
+    EXPECT_EQ(got.configs[1].kind, "tlb");
+    EXPECT_EQ(got.configs[1].entries, 16u);
+    const JournalRecord& got_row = (*journal)->recovered()[1];
+    EXPECT_EQ(got_row.kind, JournalKind::kSweepConfig);
+    EXPECT_EQ(got_row.config_index, 1u);
+    EXPECT_EQ(got_row.row, row.row);  // byte-identical: S4's foundation
+
+    const std::string clean = ReadAll(vfs, "j");
+    for (size_t pos = 0; pos < clean.size(); ++pos) {
+        std::string dirty = clean;
+        dirty[pos] = static_cast<char>(dirty[pos] ^ 0x5A);
+        const std::vector<JournalRecord> records =
+            ScanJournalBytes(dirty, nullptr, nullptr);
+        ASSERT_LE(records.size(), 3u) << "byte " << pos;
+        if (records.size() >= 1) {
+            EXPECT_EQ(records[0].sweep_of, 4u) << "byte " << pos;
+        }
+        if (records.size() >= 2) {
+            EXPECT_EQ(records[1].row, row.row) << "byte " << pos;
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Admission control and fair share.
 
@@ -439,7 +614,8 @@ TEST(ServeCore, SubmitRunStatusLifecycle)
     EXPECT_TRUE(core.RunNextQueuedJob());
     EXPECT_FALSE(core.RunNextQueuedJob());  // queue drained
 
-    const JobInfo* job = FindJob(core.Jobs(), id);
+    const std::vector<JobInfo> jobs = core.Jobs();
+    const JobInfo* job = FindJob(jobs, id);
     ASSERT_NE(job, nullptr);
     EXPECT_EQ(job->state, JobState::kDone);
     EXPECT_EQ(job->outcome, "done");
@@ -480,7 +656,8 @@ TEST(ServeCore, CancelQueuedJobBeforeItRuns)
         ResponseStatus(core.HandleRequest(SerializeRequest(cancel))).ok());
     EXPECT_FALSE(core.RunNextQueuedJob());  // nothing left to run
 
-    const JobInfo* job = FindJob(core.Jobs(), id);
+    const std::vector<JobInfo> jobs = core.Jobs();
+    const JobInfo* job = FindJob(jobs, id);
     ASSERT_NE(job, nullptr);
     EXPECT_EQ(job->state, JobState::kCancelled);
     core.Shutdown();
@@ -533,7 +710,8 @@ TEST(ServeCore, KillRestartFinishesInterruptedJobExactlyOnce)
         ASSERT_NE(id, 0u);
         stop = 1;  // the axe falls at the job's first slice boundary
         EXPECT_TRUE(core.RunNextQueuedJob());
-        const JobInfo* job = FindJob(core.Jobs(), id);
+        const std::vector<JobInfo> jobs = core.Jobs();
+    const JobInfo* job = FindJob(jobs, id);
         ASSERT_NE(job, nullptr);
         EXPECT_EQ(job->state, JobState::kInterrupted);
         // No Shutdown(): the core is dropped like a SIGKILLed process.
@@ -544,7 +722,8 @@ TEST(ServeCore, KillRestartFinishesInterruptedJobExactlyOnce)
         ASSERT_TRUE(core.Start().ok());
         while (core.RunNextQueuedJob()) {
         }
-        const JobInfo* job = FindJob(core.Jobs(), id);
+        const std::vector<JobInfo> jobs = core.Jobs();
+    const JobInfo* job = FindJob(jobs, id);
         ASSERT_NE(job, nullptr);
         EXPECT_EQ(job->state, JobState::kDone) << job->detail;
         core.Shutdown();
@@ -616,11 +795,228 @@ TEST(ServeCore, ByteQuotaStopsARunawayTrace)
     const uint64_t id = doc->Get("id").AsU64();
 
     EXPECT_TRUE(core.RunNextQueuedJob());
-    const JobInfo* job = FindJob(core.Jobs(), id);
+    const std::vector<JobInfo> jobs = core.Jobs();
+    const JobInfo* job = FindJob(jobs, id);
     ASSERT_NE(job, nullptr);
     EXPECT_EQ(job->outcome, "quota-bytes") << job->detail;
     EXPECT_EQ(job->state, JobState::kDone);
     core.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Replay sweeps through the ServeCore.
+
+std::vector<SweepConfigSpec>
+ThreeSweepConfigs()
+{
+    SweepConfigSpec cache;
+    cache.kind = "cache";
+    cache.size_kb = 8;
+    cache.assoc = 2;
+    SweepConfigSpec hierarchy;
+    hierarchy.kind = "hierarchy";
+    hierarchy.size_kb = 32;
+    SweepConfigSpec tlb;
+    tlb.kind = "tlb";
+    tlb.entries = 16;
+    tlb.ways = 4;
+    return {cache, hierarchy, tlb};
+}
+
+uint64_t
+SweepOk(ServeCore& core, uint64_t of,
+        const std::vector<SweepConfigSpec>& configs)
+{
+    Request request;
+    request.op = RequestOp::kSweep;
+    request.sweep_of = of;
+    request.sweep_configs = configs;
+    const std::string response =
+        core.HandleRequest(SerializeRequest(request));
+    util::StatusOr<util::JsonValue> doc = util::JsonValue::Parse(response);
+    EXPECT_TRUE(doc.ok() && doc->Get("ok").AsBool()) << response;
+    if (!doc.ok())
+        return 0;
+    return doc->Get("id").AsU64();
+}
+
+/** Byte offset just past framed record `index` (frames map 1:1 onto
+ *  ScanJournalBytes order), for cutting a journal at a frame boundary. */
+size_t
+FrameEndOffset(const std::string& bytes, size_t index)
+{
+    size_t off = 0;
+    for (size_t i = 0;; ++i) {
+        EXPECT_LE(off + 8, bytes.size());
+        uint32_t len = 0;
+        for (int b = 0; b < 4; ++b)
+            len |= static_cast<uint32_t>(
+                       static_cast<unsigned char>(bytes[off + b]))
+                   << (8 * b);
+        off += 8 + len;
+        if (i == index)
+            return off;
+    }
+}
+
+TEST(ServeCore, SweepReplaysFinishedCaptureAcrossConfigs)
+{
+    io::MemVfs vfs;
+    obs::Registry registry;
+    ServeCore core(DrillConfig(), vfs, &registry);
+    ASSERT_TRUE(core.Start().ok());
+
+    const uint64_t capture = SubmitOk(core);
+    ASSERT_TRUE(core.RunNextQueuedJob());
+    const uint64_t sweep = SweepOk(core, capture, ThreeSweepConfigs());
+    ASSERT_NE(sweep, 0u);
+    ASSERT_TRUE(core.RunNextQueuedJob());
+
+    const std::vector<JobInfo> jobs = core.Jobs();
+    const JobInfo* job = FindJob(jobs, sweep);
+    ASSERT_NE(job, nullptr);
+    EXPECT_EQ(job->kind, "sweep");
+    EXPECT_EQ(job->sweep_of, capture);
+    EXPECT_EQ(job->state, JobState::kDone);
+    EXPECT_EQ(job->outcome, "done") << job->detail;
+    EXPECT_EQ(job->configs_done, 3u);
+    EXPECT_EQ(job->configs_failed, 0u);
+    ASSERT_EQ(job->sweep_rows.size(), 3u);
+    for (size_t i = 0; i < job->sweep_rows.size(); ++i) {
+        util::StatusOr<util::JsonValue> row =
+            util::JsonValue::Parse(job->sweep_rows[i]);
+        ASSERT_TRUE(row.ok()) << job->sweep_rows[i];
+        EXPECT_EQ(row->Get("config").AsU64(), i);
+        EXPECT_EQ(row->Get("status").AsString(), "ok");
+        EXPECT_GT(row->Get("records").AsU64(), 0u);
+    }
+    core.Shutdown();
+}
+
+TEST(ServeCore, SweepRejectsMissingOrUnfinishedTarget)
+{
+    io::MemVfs vfs;
+    obs::Registry registry;
+    ServeCore core(DrillConfig(), vfs, &registry);
+    ASSERT_TRUE(core.Start().ok());
+
+    Request request;
+    request.op = RequestOp::kSweep;
+    request.sweep_of = 99;  // no such job
+    request.sweep_configs = ThreeSweepConfigs();
+    EXPECT_FALSE(
+        ResponseStatus(core.HandleRequest(SerializeRequest(request))).ok());
+
+    const uint64_t queued = SubmitOk(core);  // exists but never ran
+    request.sweep_of = queued;
+    EXPECT_FALSE(
+        ResponseStatus(core.HandleRequest(SerializeRequest(request))).ok());
+    core.Shutdown();
+}
+
+// Per-row isolation: one config with impossible geometry must cost
+// exactly its own row — the sweep still terminates, the good configs
+// still produce canonical rows, and the outcome degrades to "partial".
+TEST(ServeCore, SweepIsolatesBadConfigToOneFailedRow)
+{
+    io::MemVfs vfs;
+    obs::Registry registry;
+    ServeCore core(DrillConfig(), vfs, &registry);
+    ASSERT_TRUE(core.Start().ok());
+
+    const uint64_t capture = SubmitOk(core);
+    ASSERT_TRUE(core.RunNextQueuedJob());
+    std::vector<SweepConfigSpec> configs = ThreeSweepConfigs();
+    configs[1].kind = "cache";
+    configs[1].block = 24;  // not a power of two: ValidateConfig rejects
+    const uint64_t sweep = SweepOk(core, capture, configs);
+    ASSERT_NE(sweep, 0u);
+    ASSERT_TRUE(core.RunNextQueuedJob());
+
+    const std::vector<JobInfo> jobs = core.Jobs();
+    const JobInfo* job = FindJob(jobs, sweep);
+    ASSERT_NE(job, nullptr);
+    EXPECT_EQ(job->state, JobState::kDone);
+    EXPECT_EQ(job->outcome, "partial") << job->detail;
+    EXPECT_EQ(job->configs_done, 2u);
+    EXPECT_EQ(job->configs_failed, 1u);
+    ASSERT_EQ(job->sweep_rows.size(), 3u);
+    util::StatusOr<util::JsonValue> bad =
+        util::JsonValue::Parse(job->sweep_rows[1]);
+    ASSERT_TRUE(bad.ok());
+    EXPECT_NE(bad->Get("status").AsString(), "ok");
+    EXPECT_FALSE(bad->Get("error").AsString().empty());
+    core.Shutdown();
+}
+
+// The resume drill, hand-built: run a sweep cleanly, then cut the
+// journal back to just after its first per-config record — exactly the
+// state a power cut mid-sweep leaves — and boot a fresh core on it. The
+// recovered sweep must resume from the journaled high-water mark (the
+// surviving row is never re-run: S4/J2) and the merged result must be
+// byte-identical to the clean run (S5).
+TEST(ServeCore, KillRestartResumesSweepFromJournaledRows)
+{
+    io::MemVfs vfs;
+    uint64_t sweep = 0;
+    std::vector<std::string> golden;
+    {
+        obs::Registry registry;
+        ServeCore core(DrillConfig(), vfs, &registry);
+        ASSERT_TRUE(core.Start().ok());
+        const uint64_t capture = SubmitOk(core);
+        ASSERT_TRUE(core.RunNextQueuedJob());
+        sweep = SweepOk(core, capture, ThreeSweepConfigs());
+        ASSERT_NE(sweep, 0u);
+        ASSERT_TRUE(core.RunNextQueuedJob());
+        const std::vector<JobInfo> jobs = core.Jobs();
+    const JobInfo* job = FindJob(jobs, sweep);
+        ASSERT_NE(job, nullptr);
+        ASSERT_EQ(job->outcome, "done") << job->detail;
+        golden = job->sweep_rows;
+        // Dropped without Shutdown, like a SIGKILLed daemon.
+    }
+
+    // Cut the journal back to the end of the sweep's first row record.
+    const std::string bytes = ReadAll(vfs, "serve.journal");
+    const std::vector<JournalRecord> records =
+        ScanJournalBytes(bytes, nullptr, nullptr);
+    size_t first_row_index = records.size();
+    for (size_t i = 0; i < records.size(); ++i) {
+        if (records[i].kind == JournalKind::kSweepConfig) {
+            first_row_index = i;
+            break;
+        }
+    }
+    ASSERT_LT(first_row_index, records.size());
+    WriteAll(vfs, "serve.journal",
+             bytes.substr(0, FrameEndOffset(bytes, first_row_index)));
+
+    obs::Registry registry;
+    ServeCore core(DrillConfig(), vfs, &registry);
+    ASSERT_TRUE(core.Start().ok());
+    while (core.RunNextQueuedJob()) {
+    }
+    const std::vector<JobInfo> jobs = core.Jobs();
+    const JobInfo* job = FindJob(jobs, sweep);
+    ASSERT_NE(job, nullptr);
+    EXPECT_EQ(job->state, JobState::kDone);
+    EXPECT_EQ(job->outcome, "done") << job->detail;
+    EXPECT_TRUE(job->resumed);  // it continued, it did not start over
+    ASSERT_EQ(job->sweep_rows.size(), golden.size());
+    for (size_t i = 0; i < golden.size(); ++i)
+        EXPECT_EQ(job->sweep_rows[i], golden[i]) << "config " << i;
+    core.Shutdown();
+
+    // S4/J2 in the durable record: the journaled config was not re-run —
+    // exactly one row record per config survives in the final journal.
+    std::vector<int> per_config(golden.size(), 0);
+    for (const JournalRecord& record :
+         ScanJournalBytes(ReadAll(vfs, "serve.journal"), nullptr, nullptr))
+        if (record.id == sweep && record.kind == JournalKind::kSweepConfig)
+            ++per_config[record.config_index];
+    for (size_t i = 0; i < per_config.size(); ++i)
+        EXPECT_EQ(per_config[i], 1) << "config " << i;
 }
 
 // ---------------------------------------------------------------------------
@@ -639,6 +1035,28 @@ TEST(ServeChaos, KillRestartCampaignUpholdsInvariants)
     for (const chaos::ServeSeedResult& failure : result->failures)
         ADD_FAILURE() << failure.Summary();
     EXPECT_GE(result->power_cuts, 1u);
+}
+
+// The sweep variant: light captures plus seed-scripted sweeps (some with
+// a deliberately bad config), killed and recovered under the same fault
+// mix, with S4/S5 checked per seed. The shape matches what
+// `atum-chaos --serve --sweeps` defaults to.
+TEST(ServeChaos, SweepKillRestartCampaignUpholdsS4AndS5)
+{
+    chaos::ServeCampaignSpec spec;
+    spec.campaigns = {"powercut", "enospc", "torn-rename"};
+    spec.jobs = 2;
+    spec.max_instructions = 2000;
+    spec.buffer_bytes = 8u << 10;
+    spec.sweeps = 2;
+    spec.sweep_configs = 3;
+    util::StatusOr<chaos::ServeCampaignResult> result =
+        chaos::RunServeCampaign(spec, /*first_seed=*/1, /*seeds=*/6);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    for (const chaos::ServeSeedResult& failure : result->failures)
+        ADD_FAILURE() << failure.Summary();
+    EXPECT_GE(result->sweeps_acked, 1u);
+    EXPECT_GE(result->sweep_rows, 1u);
 }
 
 }  // namespace

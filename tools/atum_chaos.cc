@@ -8,7 +8,7 @@
 //              [--checkpoint-every FILLS] [--checkpoint-keep K]
 //              [--out-dir DIR] [--no-minimize] [--verbose]
 //   atum-chaos --serve --campaign ... [--jobs N] [--tenants N]
-//              [... shared shape flags]
+//              [--sweeps [N]] [--sweep-configs N] [... shared shape flags]
 //   atum-chaos --replay FILE [--serve] [--minimize] [... shape flags]
 //   atum-chaos --probe [--serve] [... shape flags]
 //   atum-chaos --version
@@ -26,6 +26,14 @@
 // schedule's power cut fires, restarts it on the crash-consistent disk
 // image, and checks the recovery invariants — no acked job lost, no job
 // double-run, journal and traces clean (docs/SERVE.md).
+//
+// --serve --sweeps adds a replay-sweep phase to every drill: after its
+// captures drain, each seed submits seed-scripted sweeps (some with a
+// deliberately invalid config) and the kill can land mid-sweep, with
+// some per-config rows journaled and some not. The battery then also
+// enforces S4 (no journaled row lost or altered after it was reported)
+// and S5 (the recovered sweep is bit-identical to a clean run). With no
+// --campaign, --sweeps defaults to powercut,enospc,torn-rename.
 //
 // A failing seed's schedule is minimized (unless --no-minimize) and, with
 // --out-dir, written as DIR/failing-seed-N.schedule; such a file replays
@@ -109,6 +117,9 @@ Options
 ParseArgs(int argc, char** argv)
 {
     Options opts;
+    bool jobs_set = false;
+    bool max_instructions_set = false;
+    bool buffer_set = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -128,11 +139,30 @@ ParseArgs(int argc, char** argv)
             opts.probe = true;
         else if (arg == "--serve")
             opts.serve = true;
-        else if (arg == "--jobs")
+        else if (arg == "--jobs") {
             opts.serve_spec.jobs =
                 static_cast<uint32_t>(ParseUint(arg, next()));
+            jobs_set = true;
+        }
         else if (arg == "--tenants")
             opts.serve_spec.tenants =
+                static_cast<uint32_t>(ParseUint(arg, next()));
+        else if (arg == "--sweeps") {
+            // Bare --sweeps enables the default sweep mix; a following
+            // number sets how many sweeps each drill submits.
+            opts.serve_spec.sweeps = 2;
+            if (i + 1 < argc && argv[i + 1][0] != '-' &&
+                argv[i + 1][0] != '\0') {
+                char* end = nullptr;
+                const unsigned long long v =
+                    std::strtoull(argv[i + 1], &end, 10);
+                if (end != argv[i + 1] && *end == '\0') {
+                    opts.serve_spec.sweeps = static_cast<uint32_t>(v);
+                    ++i;
+                }
+            }
+        } else if (arg == "--sweep-configs")
+            opts.serve_spec.sweep_configs =
                 static_cast<uint32_t>(ParseUint(arg, next()));
         else if (arg == "--out-dir")
             opts.out_dir = next();
@@ -147,12 +177,15 @@ ParseArgs(int argc, char** argv)
         else if (arg == "--scale")
             opts.spec.scale = opts.serve_spec.scale =
                 static_cast<uint32_t>(ParseUint(arg, next()));
-        else if (arg == "--max-instructions")
+        else if (arg == "--max-instructions") {
             opts.spec.max_instructions = opts.serve_spec.max_instructions =
                 ParseUint(arg, next());
-        else if (arg == "--buffer-kb")
+            max_instructions_set = true;
+        } else if (arg == "--buffer-kb") {
             opts.spec.buffer_bytes = opts.serve_spec.buffer_bytes =
                 static_cast<uint32_t>(ParseUint(arg, next())) << 10;
+            buffer_set = true;
+        }
         else if (arg == "--chunk-records")
             opts.spec.chunk_records = opts.serve_spec.chunk_records =
                 static_cast<uint32_t>(ParseUint(arg, next()));
@@ -171,8 +204,26 @@ ParseArgs(int argc, char** argv)
                        " (see the header of tools/atum_chaos.cc)");
         }
     }
-    if (opts.replay.empty() && opts.campaigns.empty() && !opts.probe)
-        UsageError("--campaign, --replay or --probe is required");
+    if (opts.serve && opts.serve_spec.sweeps > 0) {
+        // Sweep drills want the kill to have a real chance of landing
+        // mid-sweep; the classic capture shape buries the sweep phase
+        // under thousands of capture I/O ops. Lighten the captures
+        // unless the caller shaped them explicitly.
+        if (!jobs_set)
+            opts.serve_spec.jobs = 2;
+        if (!max_instructions_set)
+            opts.serve_spec.max_instructions = 2000;
+        if (!buffer_set)
+            opts.serve_spec.buffer_bytes = 8u << 10;
+    }
+    if (opts.replay.empty() && opts.campaigns.empty() && !opts.probe) {
+        // Bare --serve --sweeps works out of the box with the classic
+        // crash mix; everything else still requires an explicit mode.
+        if (opts.serve && opts.serve_spec.sweeps > 0)
+            opts.campaigns = {"powercut", "enospc", "torn-rename"};
+        else
+            UsageError("--campaign, --replay or --probe is required");
+    }
     if (!opts.replay.empty() && !opts.campaigns.empty())
         UsageError("--campaign and --replay are mutually exclusive");
     if (opts.seeds == 0)
@@ -364,6 +415,13 @@ RunServeSeeds(Options& opts)
         static_cast<unsigned long long>(result->resumes),
         static_cast<unsigned long long>(result->salvages),
         result->failures.size());
+    if (opts.serve_spec.sweeps > 0)
+        std::printf(
+            "  sweeps: %llu acked, %llu rows complete, "
+            "%llu partial-journal resumes\n",
+            static_cast<unsigned long long>(result->sweeps_acked),
+            static_cast<unsigned long long>(result->sweep_rows),
+            static_cast<unsigned long long>(result->sweep_partial_resumes));
 
     for (const chaos::ServeSeedResult& failure : result->failures)
         ReportServeFailure(opts, failure);

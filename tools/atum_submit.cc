@@ -3,13 +3,29 @@
 // Usage:
 //   atum-submit --socket PATH submit [--tenant T] [--workload W]
 //               [--scale N] [--max-instructions N] [--max-trace-bytes N]
-//               [--deadline-ms N] [--wait]
+//               [--deadline-ms N] [--wait] [--wait-timeout-ms N]
+//   atum-submit --socket PATH sweep --of ID --config SPEC [--config SPEC]...
+//               [--tenant T] [--sweep-timeout-ms N] [--sweep-retries N]
+//               [--wait] [--wait-timeout-ms N]
 //   atum-submit --socket PATH status [--id N]
 //   atum-submit --socket PATH cancel --id N
 //   atum-submit --socket PATH ping | metrics | drain
 //   atum-submit --version
 //
 // Common flags: --retries N (default 5), --retry-base-ms N (default 50).
+//
+// `sweep` replays a finished capture's trace across many simulator
+// configs. Each --config is the compact form `kind[:key=val]...`, e.g.
+//   --config cache:size_kb=128:assoc=2 --config tlb:entries=32:ways=4
+// With --wait, each config's result row streams to stdout as a JSONL
+// line the moment the daemon completes (and journals) it — a sweep
+// killed mid-flight resumes on the next daemon from its journaled rows,
+// and the stream simply continues where it stopped. The final line is
+// the full status document, like a waited capture.
+//
+// --wait-timeout-ms bounds how long --wait polls; on expiry the job is
+// left running and the client exits 7 (unavailable): the result was not
+// ready, not wrong.
 //
 // Speaks atum-serve-v1 (docs/SERVE.md) over the daemon's Unix socket.
 // A kUnavailable answer — daemon draining, restarting, or not yet
@@ -19,16 +35,18 @@
 // (admission shed the job) is NOT retried blindly; backpressure is the
 // caller's to honor.
 //
-// Exit codes (the shared tool contract): 0 success, 1 job failed
-// (--wait), 2 usage error, 5 job cancelled (--wait), 7 daemon
-// unavailable after all retries, 8 admission refused
-// (queue full / tenant over its fair share).
+// Exit codes (the shared tool contract): 0 success, 1 job failed or
+// sweep only partially succeeded (--wait), 2 usage error, 5 job
+// cancelled (--wait), 7 daemon unavailable after all retries or
+// --wait-timeout-ms expired, 8 admission refused (queue full / tenant
+// over its fair share).
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <random>
+#include <set>
 #include <string>
 #include <thread>
 
@@ -56,6 +74,7 @@ struct Options {
     std::string socket_path;
     serve::Request request;
     bool wait = false;
+    uint64_t wait_timeout_ms = 0;  ///< 0 = wait forever
     uint32_t retries = 5;
     uint64_t retry_base_ms = 50;
 };
@@ -95,6 +114,21 @@ ParseArgs(int argc, char** argv)
         }
         else if (arg == "--wait")
             opts.wait = true;
+        else if (arg == "--wait-timeout-ms")
+            opts.wait_timeout_ms = next_u64();
+        else if (arg == "--of")
+            opts.request.sweep_of = next_u64();
+        else if (arg == "--config") {
+            util::StatusOr<serve::SweepConfigSpec> spec =
+                serve::ParseSweepConfigSpecText(next());
+            if (!spec.ok())
+                UsageError("--config: ", spec.status().message());
+            opts.request.sweep_configs.push_back(std::move(*spec));
+        }
+        else if (arg == "--sweep-timeout-ms")
+            opts.request.sweep_timeout_ms = next_u64();
+        else if (arg == "--sweep-retries")
+            opts.request.sweep_retries = next_u64();
         else if (arg == "--retries")
             opts.retries = static_cast<uint32_t>(next_u64());
         else if (arg == "--retry-base-ms")
@@ -109,6 +143,8 @@ ParseArgs(int argc, char** argv)
                 opts.request.op = serve::RequestOp::kPing;
             else if (arg == "submit")
                 opts.request.op = serve::RequestOp::kSubmit;
+            else if (arg == "sweep")
+                opts.request.op = serve::RequestOp::kSweep;
             else if (arg == "status")
                 opts.request.op = serve::RequestOp::kStatus;
             else if (arg == "cancel")
@@ -128,10 +164,16 @@ ParseArgs(int argc, char** argv)
                    "submit|status|cancel|ping|metrics|drain [flags]");
     if (!have_op)
         UsageError("an operation is required "
-                   "(submit|status|cancel|ping|metrics|drain)");
+                   "(submit|sweep|status|cancel|ping|metrics|drain)");
     if (opts.request.op == serve::RequestOp::kCancel &&
         !opts.request.has_id)
         UsageError("cancel requires --id");
+    if (opts.request.op == serve::RequestOp::kSweep) {
+        if (opts.request.sweep_of == 0)
+            UsageError("sweep requires --of (the finished job id)");
+        if (opts.request.sweep_configs.empty())
+            UsageError("sweep requires at least one --config SPEC");
+    }
     return opts;
 }
 
@@ -174,6 +216,40 @@ CallWithRetry(const Options& opts, const std::string& payload)
     }
 }
 
+/** Re-serializes one parsed JSON value (object keys in map order). */
+void
+DumpJson(const util::JsonValue& value, util::JsonWriter& w)
+{
+    switch (value.kind()) {
+      case util::JsonValue::Kind::kNull:
+        w.Null();
+        break;
+      case util::JsonValue::Kind::kBool:
+        w.Value(value.AsBool());
+        break;
+      case util::JsonValue::Kind::kNumber:
+        w.Value(value.AsDouble());
+        break;
+      case util::JsonValue::Kind::kString:
+        w.Value(value.AsString());
+        break;
+      case util::JsonValue::Kind::kArray:
+        w.BeginArray();
+        for (const util::JsonValue& entry : value.AsArray())
+            DumpJson(entry, w);
+        w.EndArray();
+        break;
+      case util::JsonValue::Kind::kObject:
+        w.BeginObject();
+        for (const auto& [key, entry] : value.AsObject()) {
+            w.Key(key);
+            DumpJson(entry, w);
+        }
+        w.EndObject();
+        break;
+    }
+}
+
 int
 ExitFor(const util::Status& status)
 {
@@ -183,7 +259,13 @@ ExitFor(const util::Status& status)
     return util::ExitCodeFor(status);
 }
 
-/** Polls `status --id` until the job reaches a terminal state. */
+/**
+ * Polls `status --id` until the job reaches a terminal state, streaming
+ * a sweep's per-config result rows as JSONL the moment they appear —
+ * the daemon journals each row before reporting it, so every line
+ * printed here is durable and survives a daemon kill mid-sweep. With a
+ * wait timeout, expiry exits 7 (unavailable) and leaves the job running.
+ */
 int
 WaitForJob(const Options& opts, uint64_t id)
 {
@@ -192,6 +274,10 @@ WaitForJob(const Options& opts, uint64_t id)
     poll.id = id;
     poll.has_id = true;
     const std::string payload = SerializeRequest(poll);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(opts.wait_timeout_ms);
+    std::set<uint64_t> streamed;  // config indices already printed
     for (;;) {
         util::StatusOr<std::string> response =
             CallWithRetry(opts, payload);
@@ -205,15 +291,38 @@ WaitForJob(const Options& opts, uint64_t id)
         if (!jobs.is_array() || jobs.AsArray().empty())
             return ExitFor(util::NotFound("job ", id, " disappeared"));
         const util::JsonValue& job = jobs.AsArray().front();
+
+        // Mergeable partial results: new rows stream as they finish.
+        const util::JsonValue& rows = job.Get("rows");
+        if (rows.is_array()) {
+            for (const util::JsonValue& row : rows.AsArray()) {
+                const uint64_t index = row.Get("config").AsU64();
+                if (!streamed.insert(index).second)
+                    continue;
+                util::JsonWriter line;
+                DumpJson(row, line);
+                std::printf("%s\n", line.TakeStr().c_str());
+                std::fflush(stdout);
+            }
+        }
+
         const std::string state = job.Get("state").AsString();
         if (state == "done" || state == "failed" || state == "cancelled") {
             std::printf("%s\n", response->c_str());
-            if (state == "done")
-                return util::kExitOk;
             if (state == "cancelled")
                 return util::kExitInterrupted;
-            return util::kExitError;
+            // A partial sweep delivered every row it could but isolated
+            // failures remain; 1 tells scripts to look at the rows.
+            if (state != "done" ||
+                job.Get("outcome").AsString() == "partial")
+                return util::kExitError;
+            return util::kExitOk;
         }
+        if (opts.wait_timeout_ms != 0 &&
+            std::chrono::steady_clock::now() >= deadline)
+            return ExitFor(util::Unavailable(
+                "job ", id, " not terminal within ", opts.wait_timeout_ms,
+                " ms (still ", state, "; it keeps running)"));
         std::this_thread::sleep_for(std::chrono::milliseconds(200));
     }
 }
@@ -246,7 +355,8 @@ Run(const Options& opts)
     }
     std::printf("%s\n", response->c_str());
 
-    if (opts.wait && opts.request.op == serve::RequestOp::kSubmit) {
+    if (opts.wait && (opts.request.op == serve::RequestOp::kSubmit ||
+                      opts.request.op == serve::RequestOp::kSweep)) {
         util::StatusOr<util::JsonValue> doc =
             util::JsonValue::Parse(*response);
         if (!doc.ok() || !doc->Has("id"))

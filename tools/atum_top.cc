@@ -15,15 +15,19 @@
 //
 // --serve DIR follows DIR/serve.status.json (schema atum-serve-status-v1,
 // rewritten atomically by atum-serve on every job transition): queue
-// depth, per-job state, quota consumption and outcomes.
+// depth, per-job state, quota consumption, sweep config progress and
+// outcomes. A missing or unparseable status file is TRANSIENT in this
+// mode — the daemon may not have started yet, may be mid-rename, or may
+// be rebooting after a crash — so follow mode renders a waiting
+// placeholder and retries every tick instead of exiting; --once retries
+// briefly and then exits 7 (unavailable), never 4.
 //
 // --once renders a single frame from the newest snapshot (no ANSI
 // clearing, no waiting) — the scriptable/testable mode.
 //
 // Exit codes: 0 clean (final snapshot seen, --once, or SIGINT), 2 usage
-// error, 3 file unreadable, 4 no parseable snapshot/status document.
-// (The full tool contract adds 7 unavailable / 8 resource-exhausted,
-// used by the serve-aware tools atum-serve and atum-submit.)
+// error, 3 file unreadable, 4 no parseable snapshot in metrics mode,
+// 7 serve status document unavailable under --serve --once.
 
 #include <chrono>
 #include <cstdio>
@@ -269,14 +273,31 @@ RenderServeFrame(const std::string& path, bool ansi, bool* rendered)
                 static_cast<unsigned long long>(doc->Get("running").AsU64()),
                 static_cast<unsigned long long>(
                     doc->Get("workers").AsU64()));
-    std::printf("  %4s  %-12s %-12s %-11s %10s %12s %12s  %s\n", "ID",
+    std::printf("  %4s  %-12s %-12s %-11s %10s %12s %12s %9s  %s\n", "ID",
                 "TENANT", "WORKLOAD", "STATE", "RECORDS", "BYTES",
-                "INSTR", "OUTCOME");
+                "INSTR", "CONFIGS", "OUTCOME");
     for (const util::JsonValue& job : doc->Get("jobs").AsArray()) {
         std::string outcome = job.Get("outcome").AsString();
         if (job.Get("resumed").AsBool())
             outcome += outcome.empty() ? "(resumed)" : " (resumed)";
-        std::printf("  %4llu  %-12s %-12s %-11s %10llu %12llu %12llu  %s\n",
+        // Sweep jobs report per-config progress; captures show a dash.
+        char configs[32] = "-";
+        if (job.Get("kind").AsString() == "sweep") {
+            const unsigned long long done =
+                job.Get("configs_done").AsU64();
+            const unsigned long long failed =
+                job.Get("configs_failed").AsU64();
+            const unsigned long long total =
+                job.Get("configs_total").AsU64();
+            if (failed != 0)
+                std::snprintf(configs, sizeof configs, "%llu/%llu!%llu",
+                              done, total, failed);
+            else
+                std::snprintf(configs, sizeof configs, "%llu/%llu", done,
+                              total);
+        }
+        std::printf("  %4llu  %-12s %-12s %-11s %10llu %12llu %12llu %9s"
+                    "  %s\n",
                     static_cast<unsigned long long>(job.Get("id").AsU64()),
                     job.Get("tenant").AsString().c_str(),
                     job.Get("workload").AsString().c_str(),
@@ -287,7 +308,7 @@ RenderServeFrame(const std::string& path, bool ansi, bool* rendered)
                         job.Get("trace_bytes").AsU64()),
                     static_cast<unsigned long long>(
                         job.Get("instructions").AsU64()),
-                    outcome.c_str());
+                    configs, outcome.c_str());
     }
     std::fflush(stdout);
     *rendered = true;
@@ -299,18 +320,36 @@ RunServe(const Options& opts)
 {
     const std::string path = opts.path + "/serve.status.json";
     bool rendered_any = false;
+    // A missing or unparseable status file is transient here: the daemon
+    // may not have started, may be in the instant between unlink and
+    // rename, or may be rebooting after a kill. Follow mode waits it out
+    // indefinitely (the operator is watching a screen, not a script);
+    // --once gives it a bounded ~1 s grace and then reports the daemon
+    // unavailable — exit 7, never the corrupt-data 4.
+    uint32_t once_retries = 0;
     while (g_stop == 0) {
-        RenderServeFrame(path, /*ansi=*/!opts.once, &rendered_any);
-        if (opts.once)
-            break;
+        const bool drew =
+            RenderServeFrame(path, /*ansi=*/!opts.once, &rendered_any);
+        if (opts.once) {
+            if (drew)
+                break;
+            if (++once_retries >= 20) {
+                std::fprintf(stderr,
+                             "atum-top: no atum-serve-status-v1 document "
+                             "in %s (daemon not running?)\n",
+                             path.c_str());
+                return util::kExitUnavailable;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            continue;
+        }
+        if (!drew && !rendered_any) {
+            std::printf("\033[H\033[2Jatum-top: waiting for %s ...\n",
+                        path.c_str());
+            std::fflush(stdout);
+        }
         std::this_thread::sleep_for(
             std::chrono::milliseconds(opts.interval_ms));
-    }
-    if (!rendered_any) {
-        std::fprintf(stderr,
-                     "atum-top: no atum-serve-status-v1 document in %s\n",
-                     path.c_str());
-        return util::kExitCorrupt;
     }
     return util::kExitOk;
 }
