@@ -7,12 +7,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "analysis/compare.h"
 #include "common.h"
+#include "obs/spans.h"
 
 namespace atum {
 namespace {
@@ -87,6 +89,79 @@ BM_TraceCaptureOnly(benchmark::State& state)
 }
 BENCHMARK(BM_TraceCaptureOnly)->Unit(benchmark::kMillisecond);
 
+/**
+ * One supervised hash capture; returns wall milliseconds. The profiler
+ * (may be null) attributes the run across the dispatch/translate/
+ * memory/tracer/drain phases; `spans` toggles the span tracing layer so
+ * the enabled-vs-disabled ratio measures its hot-path cost.
+ */
+double
+SupervisedCaptureMs(obs::PhaseProfiler* profiler, bool spans)
+{
+    obs::SetSpansEnabled(spans);
+    cpu::Machine machine(bench::StandardMachineConfig());
+    trace::CountingSink sink;
+    core::AtumTracer tracer(machine, sink);
+    kernel::BootSystem(machine, {workloads::MakeHash(1500)});
+    core::SupervisorOptions sup;
+    sup.max_instructions = 400'000'000;
+    sup.profiler = profiler;
+    const uint64_t t0 = obs::MonotonicNowNs();
+    const core::SessionResult r = core::RunSupervised(machine, tracer, sup);
+    const uint64_t wall_ns = obs::MonotonicNowNs() - t0;
+    if (!r.halted)
+        Fatal("phase-breakdown capture did not run to completion");
+    obs::SetSpansEnabled(true);
+    return static_cast<double>(wall_ns) / 1e6;
+}
+
+/**
+ * The dispatch-vs-drain speed sheet: a profiled supervised capture's
+ * per-phase split plus the span layer's measured overhead, written as
+ * BENCH_t5_phase_breakdown.json next to the google-benchmark report.
+ */
+void
+EmitPhaseBreakdown()
+{
+    bench::BenchReport report("t5_phase_breakdown");
+
+    obs::PhaseProfiler profiler;
+    const double wall_ms = SupervisedCaptureMs(&profiler, true);
+    report.Add("wall_ms", wall_ms, "ms");
+
+    const std::vector<obs::PhaseProfiler::Row> rows = profiler.Breakdown();
+    const double run_ms =
+        static_cast<double>(profiler.run_ns()) / 1e6;
+    for (const obs::PhaseProfiler::Row& row : rows) {
+        if (row.ns == 0)
+            continue;  // unexercised here (checkpoint/io): a zero
+                       // baseline makes any later drift look infinite
+        const double pct =
+            run_ms > 0.0
+                ? 100.0 * (static_cast<double>(row.ns) / 1e6) / run_ms
+                : 0.0;
+        report.Add("phase_pct", pct, "pct", {{"phase", row.name}});
+    }
+    report.Add("coverage_pct", 100.0 * profiler.CoverageFraction(), "pct");
+
+    // Span-layer cost: the best of three supervised captures with the
+    // tracing layer on vs off (min-of is robust to scheduler noise; the
+    // ISSUE budget for the layer is <= 5%, i.e. a ratio of 1.05).
+    double on_ms = SupervisedCaptureMs(nullptr, true);
+    double off_ms = SupervisedCaptureMs(nullptr, false);
+    for (int i = 0; i < 2; ++i) {
+        on_ms = std::min(on_ms, SupervisedCaptureMs(nullptr, true));
+        off_ms = std::min(off_ms, SupervisedCaptureMs(nullptr, false));
+    }
+    report.Add("span_overhead", off_ms > 0.0 ? on_ms / off_ms : 1.0, "x");
+
+    report.Write();
+    std::printf("phase breakdown: wall=%.1fms coverage=%.1f%% "
+                "span-overhead=%.3fx -> BENCH_t5_phase_breakdown.json\n",
+                wall_ms, 100.0 * profiler.CoverageFraction(),
+                off_ms > 0.0 ? on_ms / off_ms : 1.0);
+}
+
 }  // namespace
 }  // namespace atum
 
@@ -119,5 +194,6 @@ main(int argc, char** argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+    atum::EmitPhaseBreakdown();
     return 0;
 }

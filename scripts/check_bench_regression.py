@@ -34,8 +34,10 @@ import json
 import os
 import sys
 
-# Units whose values depend on the machine running the bench.
-BANDED_UNITS = {"us", "ms", "s", "MB/s", "records/s", "x", "/s"}
+# Units whose values depend on the machine running the bench. "pct"
+# covers sampled phase-breakdown shares (obs/spans.h profiler), which
+# shift with host timing just like raw wall-clock numbers.
+BANDED_UNITS = {"us", "ms", "s", "MB/s", "records/s", "x", "/s", "pct"}
 DEFAULT_BAND = 0.60
 
 
@@ -143,7 +145,8 @@ def main():
         default=os.path.join(os.path.dirname(os.path.abspath(__file__)),
                              "bench_baselines"),
         help="baseline directory (default: scripts/bench_baselines)")
-    parser.add_argument("--update", action="store_true",
+    parser.add_argument("--update", "--update-baselines",
+                        action="store_true", dest="update",
                         help="write current results as the new baseline")
     parser.add_argument("inputs", nargs="+",
                         help="BENCH_*.json files or directories of them")
@@ -156,6 +159,7 @@ def main():
 
     failures = []
     checked = 0
+    regressed = []  # bench names with at least one failure, in order
     for path in files:
         report, skip = load_report(path)
         if report is None:
@@ -172,13 +176,21 @@ def main():
                   "adopt with --update")
             continue
         checked += 1
-        failures.extend(compare(report, baseline, report["bench"]))
+        bench_failures = compare(report, baseline, report["bench"])
+        if bench_failures:
+            regressed.append(report["bench"])
+        failures.extend(bench_failures)
 
     if args.update:
         return 0
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if failures:
+        # Every regressing bench is reported in one run, so one CI pass
+        # shows the full damage instead of one bench per attempt.
+        print(f"bench regression gate: {len(regressed)} of {checked} "
+              f"bench(es) regressed: {', '.join(regressed)}",
+              file=sys.stderr)
         return 1
     print(f"bench regression gate: {checked} report(s) clean")
     return 0

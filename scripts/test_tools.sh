@@ -159,6 +159,14 @@ grep -q "stopped=watchdog" "$TMP/out.txt"
 expect_exit 0 "$BUILD/tools/atum-report" "$TMP/wedge.atum" --verify
 grep -q "status:  intact" "$TMP/out.txt"
 
+# The wedge also dumps the always-on flight recorder next to the trace
+# (docs/TRACING.md); its schema and last-breadcrumb contract are
+# jq-checked below.
+[ -s "$TMP/wedge.atum.flight.json" ] || {
+    echo "FAIL: wedged capture left no flight dump" >&2
+    exit 1
+}
+
 # Broken pipes are success, not death: `| head` closes the pipe early
 # and the tools must still exit 0 (SIGPIPE death would surface as 141).
 # $? after a pipeline is head's status, so the tool's own status is
@@ -208,10 +216,23 @@ grep -q "instructions" "$TMP/out.txt"
 expect_exit 4 "$BUILD/tools/atum-top" --once /dev/null
 expect_exit 3 "$BUILD/tools/atum-top" --once "$TMP/absent.jsonl"
 
+# Span tracing (docs/TRACING.md): --trace-out / --spans export Chrome
+# trace-event JSON in both build modes (an -DATUM_TRACING=OFF build
+# writes a valid document marked tracing:"off" with no events).
+expect_exit 0 "$BUILD/tools/atum-capture" --out "$TMP/s.atum" \
+    --workloads grep --scale 1 --buffer-kb 16 \
+    --trace-out "$TMP/cap.spans.json"
+grep -q "spans " "$TMP/out.txt"
+[ -s "$TMP/cap.spans.json" ] || { echo "FAIL: no capture spans" >&2; exit 1; }
+expect_exit 0 "$BUILD/tools/atum-report" "$TMP/s.atum" --cache 16:16:1 \
+    --spans "$TMP/rep.spans.json"
+[ -s "$TMP/rep.spans.json" ] || { echo "FAIL: no report spans" >&2; exit 1; }
+
 if command -v jq > /dev/null 2>&1; then
-    # Every JSONL line parses and carries the v1 schema + required keys.
+    # Every JSONL line parses and carries the v1 schema + required keys
+    # (mono_us pins each snapshot to the span/flight monotonic axis).
     jq -es 'all(.schema == "atum-metrics-v1"
-                and .phase and (.seq >= 0)
+                and .phase and (.seq >= 0) and (.mono_us > 0)
                 and (.counters | type == "object")
                 and (.gauges | type == "object")
                 and (.histograms | type == "object"))' \
@@ -227,6 +248,30 @@ if command -v jq > /dev/null 2>&1; then
            and .exit_code == 0 and (.config | type == "object")
            and (.counters["tracer.records"] > 0)' \
         "$TMP/m.atum.run.json" > /dev/null
+    # Span exports: valid trace-event documents; real "X" spans and the
+    # RUN.json "phases" profiler split only when the tracing layer is
+    # compiled in (an -DATUM_TRACING=OFF build legitimately has neither).
+    for spans in "$TMP/cap.spans.json" "$TMP/rep.spans.json"; do
+        jq -e '.displayTimeUnit == "ms"
+               and (.otherData.tracing == "on"
+                    or .otherData.tracing == "off")
+               and (.traceEvents | type == "array")' \
+            "$spans" > /dev/null
+        if [ "$(jq -r .otherData.tracing "$spans")" = "on" ]; then
+            jq -e '[.traceEvents[] | select(.ph == "X")] | length > 0' \
+                "$spans" > /dev/null
+        fi
+    done
+    if [ "$(jq -r .otherData.tracing "$TMP/cap.spans.json")" = "on" ]; then
+        jq -e '.phases | type == "object"' \
+            "$TMP/m.atum.run.json" > /dev/null
+    fi
+    # Flight dump from the wedged capture above: schema v1, and the
+    # newest breadcrumb names the failure point.
+    jq -e '.schema == "atum-flight-v1" and .reason == "watchdog"
+           and (.events | length > 0)
+           and .events[-1].name == "supervisor.watchdog"' \
+        "$TMP/wedge.atum.flight.json" > /dev/null
 else
     echo "note: jq not found, skipping JSON schema checks"
 fi

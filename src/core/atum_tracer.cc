@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/flight.h"
+#include "obs/spans.h"
 #include "util/json.h"
 #include "util/logging.h"
 
@@ -158,6 +160,9 @@ AtumTracer::Drain()
 
     uint32_t pause = config_.drain_pause_ucycles;
     uint32_t delivered = 0;
+    ATUM_SPAN_NAMED(drain_span, "tracer", "drain");
+    drain_span.set_arg("records", total);
+    const uint64_t t0_ns = obs::MonotonicNowNs();
     const auto t0 = std::chrono::steady_clock::now();
     util::Status status = DeliverRange(&delivered, total);
     for (uint32_t retry = 0;
@@ -175,6 +180,14 @@ AtumTracer::Drain()
     drain_hist_->Add(static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
             .count()));
+    if (profiler_ != nullptr) {
+        // Drains run inside a traced instruction (Append → Drain), so
+        // the window that caught one must not scale it by N: account the
+        // wall time exactly and excise it from the sample.
+        const uint64_t drain_ns = obs::MonotonicNowNs() - t0_ns;
+        profiler_->AddExact(obs::Phase::kDrain, drain_ns);
+        profiler_->SkipTime(drain_ns);
+    }
     if (!status.ok()) {
         degraded_ = true;
         ++loss_events_;
@@ -194,6 +207,11 @@ AtumTracer::Drain()
         w.KeyValue("error", status.ToString());
         w.EndObject();
         Warn(w.str());
+        // Post-mortem context: the degrade is one of the flight
+        // recorder's dump triggers (docs/TRACING.md).
+        obs::flight::Note("tracer.degrade", status.ToString().c_str(),
+                          loss_events_, total - delivered);
+        obs::flight::DumpNow("tracer-degrade");
     }
     return pause;
 }

@@ -156,6 +156,16 @@ class AtumTracer
      */
     void PublishMetrics(obs::Registry& reg) const;
 
+    /**
+     * Attaches the sampling phase profiler (obs/spans.h): each drain's
+     * wall time is then accounted exactly to the drain phase and excised
+     * from any open sampled window. Set and cleared by RunSupervised.
+     */
+    void SetPhaseProfiler(obs::PhaseProfiler* profiler)
+    {
+        profiler_ = profiler;
+    }
+
   private:
     uint32_t Append(const trace::Record& record);
     /** Empties the buffer (deliver or count-as-lost); returns the
@@ -182,6 +192,7 @@ class AtumTracer
     util::Status last_drain_error_;
     /** Extraction-pause wall latency, log2 buckets of microseconds. */
     obs::Histogram* drain_hist_;
+    obs::PhaseProfiler* profiler_ = nullptr;
 };
 
 }  // namespace atum::core

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "obs/flight.h"
 #include "util/logging.h"
 
 namespace atum::core {
@@ -149,7 +150,11 @@ RunSupervised(cpu::Machine& machine, AtumTracer& tracer,
         }
     };
 
+    obs::PhaseProfiler* const profiler = options.profiler;
+
     const auto take_checkpoint = [&](uint64_t instructions_done) {
+        ATUM_SPAN_NAMED(cp_span, "supervisor", "checkpoint");
+        const uint64_t cp_start_ns = obs::MonotonicNowNs();
         const auto cp_start = Clock::now();
         CheckpointMeta meta = options.meta;
         meta.instructions = machine.icount();
@@ -186,9 +191,24 @@ RunSupervised(cpu::Machine& machine, AtumTracer& tracer,
             std::chrono::duration_cast<std::chrono::microseconds>(
                 Clock::now() - cp_start)
                 .count()));
+        cp_span.set_arg("instructions", machine.icount());
+        if (profiler != nullptr) {
+            // Exact-timed and excised from any open sampled window, so
+            // scaling by N cannot multiply a checkpoint publish.
+            const uint64_t cp_ns = obs::MonotonicNowNs() - cp_start_ns;
+            profiler->AddExact(obs::Phase::kCheckpoint, cp_ns);
+            profiler->SkipTime(cp_ns);
+        }
         if (options.emitter) {
+            const uint64_t io_start_ns = obs::MonotonicNowNs();
             publish();
             options.emitter->Emit("checkpoint");
+            if (profiler != nullptr) {
+                const uint64_t io_ns =
+                    obs::MonotonicNowNs() - io_start_ns;
+                profiler->AddExact(obs::Phase::kIo, io_ns);
+                profiler->SkipTime(io_ns);
+            }
         }
     };
 
@@ -197,9 +217,19 @@ RunSupervised(cpu::Machine& machine, AtumTracer& tracer,
         options.emitter->Emit("start");
     }
 
+    // The profiler rides along for the whole supervised run: the machine
+    // attributes translate/memory/tracer time and the tracer its drains
+    // while a sampled window is open.
+    if (profiler != nullptr) {
+        machine.SetPhaseProfiler(profiler);
+        tracer.SetPhaseProfiler(profiler);
+        profiler->BeginRun();
+    }
+
     uint64_t executed = 0;
     while (!stopped && !machine.halted() &&
            executed < options.max_instructions) {
+        ATUM_SPAN_NAMED(slice_span, "supervisor", "slice");
         // One supervision slice: instruction-by-instruction so the
         // watchdog and checkpoint policy see every boundary, but all
         // host-side clock/flag checks stay out here at slice granularity.
@@ -207,6 +237,11 @@ RunSupervised(cpu::Machine& machine, AtumTracer& tracer,
             executed + std::min(options.slice_instructions,
                                 options.max_instructions - executed);
         while (!machine.halted() && executed < slice_end) {
+            // The sampled window covers the instruction *and* its
+            // supervision checks; the remainder outside nested phases is
+            // the dispatch cost the rewrite PR wants to shrink.
+            if (profiler != nullptr)
+                profiler->BeginSample();
             machine.StepOne();
             ++executed;
             if (!machine.LastStepFaulted())
@@ -219,6 +254,12 @@ RunSupervised(cpu::Machine& machine, AtumTracer& tracer,
                 Warn("watchdog: no clean instruction retirement in ",
                      machine.ucycles() - last_progress_ucycles,
                      " ucycles; stopping capture");
+                // The flight dump is the post-mortem: its last event
+                // names the failure the run journal will report.
+                obs::flight::Note("supervisor.watchdog", nullptr,
+                                  machine.ucycles() - last_progress_ucycles,
+                                  machine.icount());
+                obs::flight::DumpNow("watchdog");
                 break;
             }
             if (options.checkpoints &&
@@ -232,10 +273,19 @@ RunSupervised(cpu::Machine& machine, AtumTracer& tracer,
                 // shell's exit code for a SIGKILLed process.
                 std::_Exit(137);
             }
+            if (profiler != nullptr)
+                profiler->EndSample();
         }
+        if (profiler != nullptr)
+            profiler->EndSample();  // close a window left open by `break`
+        slice_span.set_arg("executed", executed);
         if (options.emitter) {
+            const uint64_t io_start_ns = obs::MonotonicNowNs();
             publish();
             options.emitter->MaybeEmit("interval");
+            if (profiler != nullptr)
+                profiler->AddExact(obs::Phase::kIo,
+                                   obs::MonotonicNowNs() - io_start_ns);
         }
         if (options.on_slice)
             options.on_slice();
@@ -266,7 +316,10 @@ RunSupervised(cpu::Machine& machine, AtumTracer& tracer,
     if (options.checkpoints)
         take_checkpoint(executed);
 
-    result.drain_status = tracer.Flush();
+    {
+        ATUM_SPAN("supervisor", "flush");
+        result.drain_status = tracer.Flush();
+    }
     FillTracerStats(result, tracer);
     if (options.checkpoints) {
         result.checkpoints_written = options.checkpoints->written();
@@ -277,6 +330,11 @@ RunSupervised(cpu::Machine& machine, AtumTracer& tracer,
     publish();
     if (options.emitter)
         options.emitter->Emit("final");
+    if (profiler != nullptr) {
+        profiler->EndRun();
+        machine.SetPhaseProfiler(nullptr);
+        tracer.SetPhaseProfiler(nullptr);
+    }
     return result;
 }
 

@@ -23,6 +23,7 @@
 #include "core/checkpoint.h"
 #include "core/user_tracer.h"
 #include "cpu/machine.h"
+#include "obs/spans.h"
 #include "obs/stats_emitter.h"
 #include "trace/sink.h"
 #include "util/status.h"
@@ -151,6 +152,16 @@ struct SupervisorOptions {
      * May be null. Must not throw.
      */
     std::function<void()> on_slice;
+
+    /**
+     * Sampling phase profiler (obs/spans.h). When set, the loop opens a
+     * 1-in-N sampled window around each instruction (attributing
+     * dispatch/translate/memory/tracer time), times checkpoint publishes,
+     * tracer drains and emitter I/O exactly, and attaches itself to the
+     * machine and tracer for the duration of the run. Null = off; the
+     * hot path then pays one null test per instruction.
+     */
+    obs::PhaseProfiler* profiler = nullptr;
 };
 
 /**

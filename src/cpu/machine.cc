@@ -1,6 +1,7 @@
 #include "cpu/machine.h"
 
 #include "obs/metrics.h"
+#include "obs/spans.h"
 #include "util/bitops.h"
 #include "util/logging.h"
 
@@ -9,6 +10,32 @@ namespace atum::cpu {
 using ucode::MemAccess;
 using ucode::MemAccessKind;
 using ucode::MicroOpKind;
+
+namespace {
+
+/**
+ * Attributes the enclosing scope to `phase` iff the profiler has a
+ * sampled window open. In unprofiled runs (and in -DATUM_TRACING=OFF
+ * builds, where sampling() is constant false) this folds to nothing.
+ */
+struct PhaseScope {
+    PhaseScope(obs::PhaseProfiler* profiler, obs::Phase phase)
+        : profiler_(profiler != nullptr && profiler->sampling() ? profiler
+                                                                : nullptr)
+    {
+        if (profiler_ != nullptr)
+            profiler_->Enter(phase);
+    }
+    ~PhaseScope()
+    {
+        if (profiler_ != nullptr)
+            profiler_->Exit();
+    }
+
+    obs::PhaseProfiler* profiler_;
+};
+
+}  // namespace
 
 uint32_t
 Psl::ToWord() const
@@ -220,6 +247,7 @@ Machine::WriteIpr(isa::Ipr ipr, uint32_t v)
 bool
 Machine::Translate(uint32_t va, bool write, uint32_t* pa)
 {
+    PhaseScope phase(profiler_, obs::Phase::kTranslate);
     mmu::XlateResult res =
         mmu_.Translate(va, write, psl_.cur_mode == CpuMode::kKernel);
     AddCycles(res.ucycles);
@@ -240,20 +268,23 @@ Machine::MicroRead(uint32_t va, uint8_t size, MemAccessKind kind,
         return false;
 
     uint32_t value;
-    const uint32_t last = va + size - 1;
-    if (AlignDown(va, kPageBytes) == AlignDown(last, kPageBytes)) {
-        value = size == 1   ? memory_.Read8(pa)
-                : size == 2 ? memory_.Read16(pa)
-                            : memory_.Read32(pa);
-    } else {
-        // Unaligned access straddling a page boundary: translate each
-        // byte's page and assemble (the microcode did two bus cycles).
-        value = 0;
-        for (uint8_t i = 0; i < size; ++i) {
-            uint32_t pb;
-            if (!Translate(va + i, false, &pb))
-                return false;
-            value |= static_cast<uint32_t>(memory_.Read8(pb)) << (8 * i);
+    {
+        PhaseScope phase(profiler_, obs::Phase::kMemory);
+        const uint32_t last = va + size - 1;
+        if (AlignDown(va, kPageBytes) == AlignDown(last, kPageBytes)) {
+            value = size == 1   ? memory_.Read8(pa)
+                    : size == 2 ? memory_.Read16(pa)
+                                : memory_.Read32(pa);
+        } else {
+            // Unaligned access straddling a page boundary: translate each
+            // byte's page and assemble (the microcode did two bus cycles).
+            value = 0;
+            for (uint8_t i = 0; i < size; ++i) {
+                uint32_t pb;
+                if (!Translate(va + i, false, &pb))
+                    return false;
+                value |= static_cast<uint32_t>(memory_.Read8(pb)) << (8 * i);
+            }
         }
     }
 
@@ -264,9 +295,12 @@ Machine::MicroRead(uint32_t va, uint8_t size, MemAccessKind kind,
         ++ev_.ifetches;
     else
         ++ev_.reads;
-    AddCycles(control_store_.FireMemAccess(
-        MemAccess{va, pa, size, kind,
-                  psl_.cur_mode == CpuMode::kKernel}));
+    {
+        PhaseScope phase(profiler_, obs::Phase::kTracer);
+        AddCycles(control_store_.FireMemAccess(
+            MemAccess{va, pa, size, kind,
+                      psl_.cur_mode == CpuMode::kKernel}));
+    }
     *out = value;
     return true;
 }
@@ -278,28 +312,34 @@ Machine::MicroWrite(uint32_t va, uint8_t size, uint32_t value)
     if (!Translate(va, true, &pa))
         return false;
 
-    const uint32_t last = va + size - 1;
-    if (AlignDown(va, kPageBytes) == AlignDown(last, kPageBytes)) {
-        if (size == 1)
-            memory_.Write8(pa, static_cast<uint8_t>(value));
-        else if (size == 2)
-            memory_.Write16(pa, static_cast<uint16_t>(value));
-        else
-            memory_.Write32(pa, value);
-    } else {
-        for (uint8_t i = 0; i < size; ++i) {
-            uint32_t pb;
-            if (!Translate(va + i, true, &pb))
-                return false;
-            memory_.Write8(pb, static_cast<uint8_t>(value >> (8 * i)));
+    {
+        PhaseScope phase(profiler_, obs::Phase::kMemory);
+        const uint32_t last = va + size - 1;
+        if (AlignDown(va, kPageBytes) == AlignDown(last, kPageBytes)) {
+            if (size == 1)
+                memory_.Write8(pa, static_cast<uint8_t>(value));
+            else if (size == 2)
+                memory_.Write16(pa, static_cast<uint16_t>(value));
+            else
+                memory_.Write32(pa, value);
+        } else {
+            for (uint8_t i = 0; i < size; ++i) {
+                uint32_t pb;
+                if (!Translate(va + i, true, &pb))
+                    return false;
+                memory_.Write8(pb, static_cast<uint8_t>(value >> (8 * i)));
+            }
         }
     }
 
     AddCycles(ucode::CostOf(MicroOpKind::kDWrite));
     ++ev_.writes;
-    AddCycles(control_store_.FireMemAccess(
-        MemAccess{va, pa, size, MemAccessKind::kWrite,
-                  psl_.cur_mode == CpuMode::kKernel}));
+    {
+        PhaseScope phase(profiler_, obs::Phase::kTracer);
+        AddCycles(control_store_.FireMemAccess(
+            MemAccess{va, pa, size, MemAccessKind::kWrite,
+                      psl_.cur_mode == CpuMode::kKernel}));
+    }
     return true;
 }
 

@@ -31,6 +31,7 @@
 
 namespace atum::obs {
 class Registry;
+class PhaseProfiler;
 }
 
 namespace atum::cpu {
@@ -183,6 +184,18 @@ class Machine
     void PublishMetrics(obs::Registry& reg) const;
 
     /**
+     * Attaches the sampling phase profiler (obs/spans.h) driven by the
+     * supervised run loop. While the profiler has a sampled window open,
+     * Translate/MicroRead/MicroWrite attribute their time to the
+     * translate/memory/tracer phases; outside a window (and with no
+     * profiler, the default) the hot path pays one pointer test.
+     */
+    void SetPhaseProfiler(obs::PhaseProfiler* profiler)
+    {
+        profiler_ = profiler;
+    }
+
+    /**
      * Captures the complete architectural state (including a copy of
      * physical memory). The TB is not saved; RestoreSnapshot flushes it,
      * which is architecturally invisible (it only re-walks page tables).
@@ -291,6 +304,7 @@ class Machine
     uint64_t exceptions_ = 0;
     uint64_t ibuf_refills_ = 0;
     bool last_step_faulted_ = false;
+    obs::PhaseProfiler* profiler_ = nullptr;
 
     // Pending fault set by MicroRead/MicroWrite.
     struct PendingFault {

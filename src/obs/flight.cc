@@ -1,0 +1,243 @@
+#include "obs/flight.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <string.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace atum::obs::flight {
+namespace {
+
+constexpr uint64_t kRingSlots = 256;  // power of two
+constexpr uint64_t kRingMask = kRingSlots - 1;
+
+struct FlightEvent {
+    uint64_t mono_ns;
+    uint32_t tid;
+    char name[40];
+    char detail[56];
+    uint64_t a;
+    uint64_t b;
+};
+
+FlightEvent g_ring[kRingSlots];
+std::atomic<uint64_t> g_head{0};
+char g_dump_path[512];
+std::atomic<bool> g_armed{false};
+std::atomic<bool> g_handlers_installed{false};
+
+/** Small process-local thread ids, assigned on first Note. */
+std::atomic<uint32_t> g_next_tid{1};
+thread_local uint32_t t_flight_tid = 0;
+
+uint32_t FlightTid()
+{
+    if (t_flight_tid == 0)
+        t_flight_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+    return t_flight_tid;
+}
+
+uint64_t NowNs(clockid_t clock)
+{
+    struct timespec ts;
+    clock_gettime(clock, &ts);
+    return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+           static_cast<uint64_t>(ts.tv_nsec);
+}
+
+void BoundedCopy(char* dst, size_t cap, const char* src)
+{
+    size_t i = 0;
+    if (src != nullptr)
+        for (; i + 1 < cap && src[i] != '\0'; ++i) dst[i] = src[i];
+    dst[i] = '\0';
+}
+
+// ---------------------------------------------------- signal-safe writer
+
+/** Buffered writer over write(2); the buffer lives on the dump caller's
+ *  stack, so concurrent dumps cannot interleave inside one buffer. */
+struct RawWriter {
+    explicit RawWriter(int f) : fd(f) {}
+
+    int fd;
+    char buf[4096];
+    size_t len = 0;
+    bool failed = false;
+
+    void Flush()
+    {
+        size_t off = 0;
+        while (off < len) {
+            const ssize_t n = write(fd, buf + off, len - off);
+            if (n < 0) {
+                if (errno == EINTR) continue;
+                failed = true;
+                break;
+            }
+            off += static_cast<size_t>(n);
+        }
+        len = 0;
+    }
+
+    void Put(char c)
+    {
+        if (len == sizeof buf) Flush();
+        buf[len++] = c;
+    }
+
+    void Str(const char* s)
+    {
+        for (; *s != '\0'; ++s) Put(*s);
+    }
+
+    void U64(uint64_t v)
+    {
+        char digits[20];
+        int n = 0;
+        do {
+            digits[n++] = static_cast<char>('0' + v % 10);
+            v /= 10;
+        } while (v != 0);
+        while (n > 0) Put(digits[--n]);
+    }
+
+    /** JSON string body: escapes quote/backslash, drops control bytes. */
+    void Escaped(const char* s)
+    {
+        for (; *s != '\0'; ++s) {
+            const unsigned char c = static_cast<unsigned char>(*s);
+            if (c < 0x20) continue;
+            if (c == '"' || c == '\\') Put('\\');
+            Put(static_cast<char>(c));
+        }
+    }
+};
+
+void WriteEvent(RawWriter& w, const FlightEvent& event, bool first)
+{
+    if (!first) w.Put(',');
+    w.Str("{\"mono_us\":");
+    w.U64(event.mono_ns / 1000);
+    w.Str(",\"tid\":");
+    w.U64(event.tid);
+    w.Str(",\"name\":\"");
+    w.Escaped(event.name);
+    w.Str("\",\"detail\":\"");
+    w.Escaped(event.detail);
+    w.Str("\",\"a\":");
+    w.U64(event.a);
+    w.Str(",\"b\":");
+    w.U64(event.b);
+    w.Put('}');
+}
+
+const char* SignalName(int sig)
+{
+    switch (sig) {
+        case SIGSEGV: return "signal:SIGSEGV";
+        case SIGBUS: return "signal:SIGBUS";
+        case SIGILL: return "signal:SIGILL";
+        case SIGFPE: return "signal:SIGFPE";
+        case SIGABRT: return "signal:SIGABRT";
+    }
+    return "signal:?";
+}
+
+void CrashHandler(int sig)
+{
+    Note(SignalName(sig));
+    DumpNow(SignalName(sig));
+    // Restore the default disposition and re-raise so the process still
+    // dies with the real signal (core dumps, wait status intact).
+    signal(sig, SIG_DFL);
+    raise(sig);
+}
+
+}  // namespace
+
+void Note(const char* name, const char* detail, uint64_t a, uint64_t b)
+{
+    const uint64_t slot = g_head.fetch_add(1, std::memory_order_relaxed);
+    FlightEvent& event = g_ring[slot & kRingMask];
+    event.mono_ns = NowNs(CLOCK_MONOTONIC);
+    event.tid = FlightTid();
+    BoundedCopy(event.name, sizeof event.name, name);
+    BoundedCopy(event.detail, sizeof event.detail, detail);
+    event.a = a;
+    event.b = b;
+}
+
+void SetDumpPath(const char* path)
+{
+    if (path == nullptr || path[0] == '\0' ||
+        strlen(path) >= sizeof g_dump_path) {
+        g_armed.store(false, std::memory_order_release);
+        return;
+    }
+    BoundedCopy(g_dump_path, sizeof g_dump_path, path);
+    g_armed.store(true, std::memory_order_release);
+}
+
+bool Armed()
+{
+    return g_armed.load(std::memory_order_acquire);
+}
+
+bool DumpNow(const char* reason)
+{
+    if (!Armed()) return false;
+    const int fd =
+        open(g_dump_path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) return false;
+
+    RawWriter w{fd};
+    const uint64_t head = g_head.load(std::memory_order_relaxed);
+    const uint64_t count = head < kRingSlots ? head : kRingSlots;
+
+    w.Str("{\"schema\":\"atum-flight-v1\",\"reason\":\"");
+    w.Escaped(reason != nullptr ? reason : "");
+    w.Str("\",\"wall_ms\":");
+    w.U64(NowNs(CLOCK_REALTIME) / 1'000'000);
+    w.Str(",\"mono_us\":");
+    w.U64(NowNs(CLOCK_MONOTONIC) / 1000);
+    w.Str(",\"pid\":");
+    w.U64(static_cast<uint64_t>(getpid()));
+    w.Str(",\"dropped\":");
+    w.U64(head - count);
+    w.Str(",\"events\":[");
+    for (uint64_t i = head - count; i < head; ++i)
+        WriteEvent(w, g_ring[i & kRingMask], i == head - count);
+    w.Str("]}\n");
+    w.Flush();
+    const bool ok = !w.failed;
+    close(fd);
+    return ok;
+}
+
+void InstallCrashHandler()
+{
+    bool expected = false;
+    if (!g_handlers_installed.compare_exchange_strong(expected, true))
+        return;
+    struct sigaction action;
+    memset(&action, 0, sizeof action);
+    action.sa_handler = CrashHandler;
+    sigemptyset(&action.sa_mask);
+    for (const int sig : {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT})
+        sigaction(sig, &action, nullptr);
+}
+
+void ResetForTest()
+{
+    g_head.store(0, std::memory_order_relaxed);
+    g_armed.store(false, std::memory_order_release);
+    g_dump_path[0] = '\0';
+    memset(g_ring, 0, sizeof g_ring);
+}
+
+}  // namespace atum::obs::flight

@@ -1,0 +1,78 @@
+#ifndef ATUM_OBS_FLIGHT_H_
+#define ATUM_OBS_FLIGHT_H_
+
+/**
+ * @file
+ * The crash flight recorder: a fixed-size, always-on, in-memory ring of
+ * breadcrumb events that can be dumped to JSON from contexts where
+ * nothing else is safe — a fatal signal handler, a watchdog that caught
+ * the interpreter wedged, a tracer falling into degraded mode, a serve
+ * quota kill.
+ *
+ * Design constraints, in order:
+ *
+ *  1. Signal-safe dump. DumpNow uses only open(2)/write(2)/close(2) and
+ *     hand-rolled integer formatting — no malloc, no stdio, no locks.
+ *     Event payloads are fixed char arrays inside a static ring, so the
+ *     dumper never follows a pointer that a crashing thread half-wrote.
+ *
+ *  2. Always compiled. Unlike spans (obs/spans.h), the flight recorder
+ *     is NOT gated by -DATUM_TRACING=OFF: post-mortem context for a
+ *     wedge or crash is cheap (one relaxed fetch_add + two bounded
+ *     string copies per Note) and too valuable to lose in lean builds.
+ *
+ *  3. Multi-producer. Writers claim distinct slots with a relaxed
+ *     fetch_add; two threads never write the same slot until the ring
+ *     wraps over it. A dump taken while writers are active may contain
+ *     one in-flight event — acceptable for a post-mortem artifact.
+ *
+ * The recorder is *disarmed* until SetDumpPath names a destination;
+ * producers may Note() unconditionally, and span completions mirror in
+ * automatically once armed (see obs/spans.cc). Dump schema
+ * ("atum-flight-v1", documented in docs/TRACING.md):
+ *
+ *   {"schema":"atum-flight-v1","reason":"watchdog","wall_ms":...,
+ *    "mono_us":...,"pid":...,"dropped":N,
+ *    "events":[{"mono_us":...,"tid":...,"name":"...","detail":"...",
+ *               "a":...,"b":...},...]}   // oldest → newest
+ */
+
+#include <cstdint>
+
+namespace atum::obs::flight {
+
+/**
+ * Appends one breadcrumb. `name` must be a short literal-ish tag
+ * ("tracer.drain", "supervisor.watchdog"); `detail` an optional free
+ * label; `a`/`b` optional numeric payloads. Never blocks, never fails.
+ */
+void Note(const char* name, const char* detail = nullptr, uint64_t a = 0,
+          uint64_t b = 0);
+
+/** Arms the recorder: dumps (including crash dumps) go to `path`.
+ *  Copied into a fixed buffer; truncation disarms rather than corrupts. */
+void SetDumpPath(const char* path);
+
+/** Whether SetDumpPath has named a destination. */
+bool Armed();
+
+/**
+ * Writes the ring to the armed path, newest state wins (O_TRUNC).
+ * Async-signal-safe. No-op when disarmed. Returns false on any write
+ * failure — callers on failure paths should not care.
+ */
+bool DumpNow(const char* reason);
+
+/**
+ * Installs handlers for SIGSEGV/SIGBUS/SIGILL/SIGFPE/SIGABRT that dump
+ * the ring (when armed) and re-raise with the default disposition, so
+ * the exit status still reflects the crash. Idempotent.
+ */
+void InstallCrashHandler();
+
+/** Clears the ring and disarms; tests only. */
+void ResetForTest();
+
+}  // namespace atum::obs::flight
+
+#endif  // ATUM_OBS_FLIGHT_H_

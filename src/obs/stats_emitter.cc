@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/spans.h"
 #include "util/json.h"
 #include "util/logging.h"
 
@@ -62,13 +63,15 @@ AppendSnapshotFields(util::JsonWriter& w, const RegistrySnapshot& snapshot)
 
 std::string
 SnapshotToJsonLine(const RegistrySnapshot& snapshot, uint64_t seq,
-                   uint64_t ts_ms, const std::string& phase)
+                   uint64_t ts_ms, uint64_t mono_us,
+                   const std::string& phase)
 {
     util::JsonWriter w;
     w.BeginObject();
     w.KeyValue("schema", "atum-metrics-v1");
     w.KeyValue("seq", seq);
     w.KeyValue("ts_ms", ts_ms);
+    w.KeyValue("mono_us", mono_us);
     w.KeyValue("phase", phase);
     AppendSnapshotFields(w, snapshot);
     w.EndObject();
@@ -110,8 +113,10 @@ StatsEmitter::Emit(const std::string& phase)
         return;  // sticky failure: stop touching a dead file
     const uint64_t now =
         options_.now_ms ? options_.now_ms() : WallClockMs();
-    const std::string line =
-        SnapshotToJsonLine(registry_.Snapshot(), seq_, now, phase);
+    // Both clocks on every line: ts_ms joins runs across machines,
+    // mono_us joins this line with span timelines and flight dumps.
+    const std::string line = SnapshotToJsonLine(
+        registry_.Snapshot(), seq_, now, MonotonicNowNs() / 1000, phase);
     ++seq_;
     // One line, flushed whole, so a tailer never sees a torn document.
     if (std::fprintf(file_, "%s\n", line.c_str()) < 0 ||
@@ -150,6 +155,14 @@ WriteRunManifest(const std::string& path, const RunManifest& manifest,
     w.KeyValue("ended_ms", manifest.ended_ms);
     w.KeyValue("exit_code", static_cast<int64_t>(manifest.exit_code));
     w.KeyValue("stop_cause", manifest.stop_cause);
+    if (!manifest.phase_ns.empty()) {
+        w.Key("phases");
+        w.BeginObject();
+        for (const auto& [name, ns] : manifest.phase_ns)
+            w.KeyValue(name + "_ms", static_cast<double>(ns) / 1e6);
+        w.KeyValue("coverage_pct", manifest.phase_coverage_pct);
+        w.EndObject();
+    }
     w.Key("config");
     w.BeginObject();
     for (const auto& [key, value] : manifest.config)

@@ -11,10 +11,14 @@
  * JSON document flushed immediately — `tail -f` and atum-top can follow
  * a live capture. Schema (documented in docs/METRICS.md):
  *
- *   {"schema":"atum-metrics-v1","seq":N,"ts_ms":...,"phase":"interval",
- *    "counters":{...},"gauges":{...},
+ *   {"schema":"atum-metrics-v1","seq":N,"ts_ms":...,"mono_us":...,
+ *    "phase":"interval","counters":{...},"gauges":{...},
  *    "histograms":{"name":{"count":..,"sum":..,"p50":..,"p99":..,
  *                          "buckets":[[i,n],...]}}}
+ *
+ * `ts_ms` is wall-clock (joins runs across machines); `mono_us` is
+ * CLOCK_MONOTONIC (joins a line with the span timeline and flight dump
+ * of the same process — see docs/TRACING.md).
  *
  * Emission failures are sticky and never abort the capture: metrics are
  * a flight recorder, not a second point of failure.
@@ -88,7 +92,7 @@ class StatsEmitter
 /** Serializes one snapshot as the canonical JSONL document. */
 std::string SnapshotToJsonLine(const RegistrySnapshot& snapshot,
                                uint64_t seq, uint64_t ts_ms,
-                               const std::string& phase);
+                               uint64_t mono_us, const std::string& phase);
 
 /**
  * The RUN.json manifest written next to every captured trace: enough to
@@ -105,6 +109,13 @@ struct RunManifest {
     std::string stop_cause;    ///< "halted", "signal", ...
     /** Flat key/value capture configuration (workloads, buffer size...). */
     std::vector<std::pair<std::string, std::string>> config;
+    /**
+     * Optional per-phase wall-time attribution from the PhaseProfiler
+     * (name → nanoseconds), written as a "phases" block of *_ms rows
+     * plus coverage_pct when non-empty.
+     */
+    std::vector<std::pair<std::string, uint64_t>> phase_ns;
+    double phase_coverage_pct = 0.0;
     /** Final registry state. */
     RegistrySnapshot finals;
 };

@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "obs/metrics.h"
+#include "obs/spans.h"
 #include "replay/thread_pool.h"
 
 namespace atum::replay {
@@ -250,6 +251,10 @@ SweepRunner::Run(const std::vector<trace::Record>& records,
     obs::Histogram& config_wall_ms =
         registry.GetHistogram("replay.config_wall_ms");
 
+    ATUM_SPAN_NAMED(sweep_span, "replay", "sweep.run");
+    sweep_span.set_arg("configs", configs.size());
+    sweep_span.set_arg("jobs", jobs);
+
     // Each task owns its simulator and writes one pre-sized result slot;
     // the trace is shared read-only. No synchronization on the hot path —
     // the metrics below are relaxed atomics, updated once per config.
@@ -257,6 +262,8 @@ SweepRunner::Run(const std::vector<trace::Record>& records,
     for (std::size_t i = 0; i < configs.size(); ++i) {
         pool.Submit([&records, &configs, &results, &configs_done,
                      &active_workers, &config_wall_ms, i] {
+            ATUM_SPAN_NAMED(config_span, "replay", "sweep.config");
+            config_span.set_detail(configs[i].label);
             active_workers.Add(1);
             const auto t0 = std::chrono::steady_clock::now();
             results[i] = ReplayOne(records, configs[i]);

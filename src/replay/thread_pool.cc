@@ -1,5 +1,7 @@
 #include "replay/thread_pool.h"
 
+#include "obs/spans.h"
+
 namespace atum::replay {
 
 ThreadPool::ThreadPool(unsigned threads)
@@ -69,6 +71,7 @@ ThreadPool::Wait()
 void
 ThreadPool::WorkerLoop()
 {
+    obs::SetCurrentThreadName("pool-worker");
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
         work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });

@@ -7,6 +7,8 @@
 #include "core/checkpoint.h"
 #include "core/session.h"
 #include "kernel/boot.h"
+#include "obs/flight.h"
+#include "obs/spans.h"
 #include "trace/container.h"
 #include "trace/sink.h"
 #include "util/json.h"
@@ -491,6 +493,8 @@ ServeCore::HandleSubmit(const Request& request)
     jobs_[id] = std::move(job);
 
     registry_.GetCounter("serve.jobs.submitted").Add();
+    obs::RecordInstant("serve", "serve.submit", request.workload.c_str(),
+                       "id", id);
     ScheduleMoreLocked();
     PublishGaugesLocked();
     WriteStatusFileLocked();
@@ -573,6 +577,7 @@ ServeCore::HandleSweep(const Request& request)
 
     registry_.GetCounter("serve.jobs.submitted").Add();
     registry_.GetCounter("serve.sweep.submitted").Add();
+    obs::RecordInstant("serve", "serve.submit", "sweep", "id", id);
     ScheduleMoreLocked();
     PublishGaugesLocked();
     WriteStatusFileLocked();
@@ -670,6 +675,7 @@ ServeCore::ScheduleMoreLocked()
     uint64_t id = 0;
     while (slots_free_ > 0 && admission_.PickNext(&id)) {
         --slots_free_;
+        obs::RecordInstant("serve", "serve.admit", nullptr, "id", id);
         pool_->Submit([this, id] { RunJob(id); }, &drain_token_);
     }
 }
@@ -744,6 +750,9 @@ ServeCore::FinishJob(uint64_t id, Job* job,
     if (pool_ != nullptr)
         ++slots_free_;
     registry_.GetHistogram("serve.job.us").Add(ElapsedUs(t0));
+    obs::RecordInstant("serve", "serve.finish",
+                       interrupted ? "interrupted" : outcome.c_str(), "id",
+                       id);
     ScheduleMoreLocked();
     PublishGaugesLocked();
     WriteStatusFileLocked();
@@ -775,6 +784,10 @@ ServeCore::RunJob(uint64_t id)
         RunSweepJob(id, job, spec, t0);
         return;
     }
+
+    ATUM_SPAN_NAMED(job_span, "serve", "serve.job");
+    job_span.set_detail(spec.workload);
+    job_span.set_arg("id", id);
 
     const auto finish = [&](const std::string& outcome,
                             const std::string& detail, bool interrupted,
@@ -911,6 +924,11 @@ ServeCore::RunJob(uint64_t id)
             detail = std::to_string(sink_ptr->bytes_written()) +
                      " durable trace bytes against a quota of " +
                      std::to_string(byte_quota);
+            // Quota kills are a flight-recorder trigger: the dump's last
+            // event names the job the quota stopped (docs/TRACING.md).
+            obs::flight::Note("serve.quota-kill", spec.workload.c_str(),
+                              sink_ptr->bytes_written(), byte_quota);
+            obs::flight::DumpNow("quota-kill");
         } else {
             interrupted = true;  // drain or external cut: resumable
         }
@@ -991,6 +1009,10 @@ ServeCore::RunSweepJob(uint64_t id, Job* job, const JobInfo& spec,
         control.stop_flag = &job->stop_flag;
         control.deadline_ms = spec.sweep_timeout_ms;
         const replay::SweepConfig config = spec.configs[i].ToReplayConfig();
+
+        ATUM_SPAN_NAMED(row_span, "serve", "serve.sweep.row");
+        row_span.set_detail(config.label);
+        row_span.set_arg("index", i);
 
         // Per-row isolation with bounded retry: a timeout or an internal
         // replay error earns up to `sweep_retries` more attempts; a

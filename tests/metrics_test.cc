@@ -204,13 +204,15 @@ TEST(StatsEmitter, JsonlLineMatchesSchema)
 
     const std::string line =
         SnapshotToJsonLine(registry.Snapshot(), /*seq=*/7,
-                           /*ts_ms=*/1700000000123, "interval");
+                           /*ts_ms=*/1700000000123, /*mono_us=*/987654321,
+                           "interval");
     auto parsed = util::JsonValue::Parse(line);
     ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
     const util::JsonValue& v = *parsed;
     EXPECT_EQ(v.Get("schema").AsString(), "atum-metrics-v1");
     EXPECT_EQ(v.Get("seq").AsU64(), 7u);
     EXPECT_EQ(v.Get("ts_ms").AsU64(), 1700000000123u);
+    EXPECT_EQ(v.Get("mono_us").AsU64(), 987654321u);
     EXPECT_EQ(v.Get("phase").AsString(), "interval");
     EXPECT_EQ(v.Get("counters").Get("cpu.instructions").AsU64(), 123456u);
     EXPECT_EQ(v.Get("gauges").Get("tracer.degraded").AsDouble(), 1.0);

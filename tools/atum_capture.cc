@@ -8,7 +8,7 @@
 //                [--max-instructions N] [--record-opcodes]
 //                [--checkpoint BASE] [--checkpoint-every FILLS]
 //                [--checkpoint-keep K] [--watchdog UCYCLES]
-//                [--deadline-ms MS]
+//                [--deadline-ms MS] [--trace-out SPANS.json]
 //   atum-capture --resume CKPT [--checkpoint BASE] [... supervision flags]
 //   atum-capture --version
 //
@@ -21,7 +21,13 @@
 // (schema atum-metrics-v1; follow live with atum-top FILE) at
 // --metrics-interval-ms granularity (default 1000). Every capture also
 // writes a <out>.run.json manifest — tool version, config, timing, exit
-// code and final counters — whether or not --metrics-out was given.
+// code, final counters and the sampled per-phase time breakdown —
+// whether or not --metrics-out was given.
+//
+// Profiling: --trace-out FILE exports the capture's causal span trace as
+// Chrome trace-event JSON (open in Perfetto / chrome://tracing). A
+// wedge, tracer degrade or crash additionally dumps the in-memory
+// flight recorder to <out>.flight.json (see docs/TRACING.md).
 //
 // Long captures: --checkpoint BASE writes rotating BASE.NNNNNN.atck
 // snapshots every --checkpoint-every buffer fills (default 8), keeping
@@ -52,7 +58,9 @@
 #include "core/user_tracer.h"
 #include "cpu/machine.h"
 #include "kernel/boot.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/spans.h"
 #include "obs/stats_emitter.h"
 #include "trace/sink.h"
 #include "trace/stats.h"
@@ -103,6 +111,7 @@ struct Options {
     // -- telemetry ---------------------------------------------------------
     std::string metrics_out;  // JSONL snapshot stream ("" = off)
     uint64_t metrics_interval_ms = 1000;
+    std::string trace_out;  // Chrome trace-event span export ("" = off)
 };
 
 std::vector<std::string>
@@ -171,6 +180,8 @@ ParseArgs(int argc, char** argv)
         else if (arg == "--kill-after-fills")
             opts.kill_after_fills =
                 std::strtoull(next().c_str(), nullptr, 0);
+        else if (arg == "--trace-out")
+            opts.trace_out = next();
         else if (arg == "--metrics-out")
             opts.metrics_out = next();
         else if (arg == "--metrics-interval-ms")
@@ -319,6 +330,8 @@ ManifestConfig(const Options& opts)
                             std::to_string(opts.deadline_ms));
     if (!opts.metrics_out.empty())
         config.emplace_back("metrics_out", opts.metrics_out);
+    if (!opts.trace_out.empty())
+        config.emplace_back("trace_out", opts.trace_out);
     if (opts.record_opcodes)
         config.emplace_back("record_opcodes", "1");
     return config;
@@ -327,7 +340,8 @@ ManifestConfig(const Options& opts)
 int
 Finish(const Options& opts, const core::SessionResult& result,
        const cpu::Machine& machine, trace::FileSink& sink,
-       const std::string& out_path, uint64_t started_ms)
+       const std::string& out_path, uint64_t started_ms,
+       const obs::PhaseProfiler* profiler = nullptr)
 {
     const util::Status close_status = sink.Close();
     PrintResult(result, machine, sink.count());
@@ -359,6 +373,11 @@ Finish(const Options& opts, const core::SessionResult& result,
     manifest.exit_code = exit_code;
     manifest.stop_cause = core::StopCauseName(result.stop_cause);
     manifest.config = ManifestConfig(opts);
+    if (profiler != nullptr && profiler->run_ns() > 0) {
+        for (const obs::PhaseProfiler::Row& row : profiler->Breakdown())
+            manifest.phase_ns.emplace_back(row.name, row.ns);
+        manifest.phase_coverage_pct = 100.0 * profiler->CoverageFraction();
+    }
     // Refresh the machine/sink tallies so the finals are current even on
     // paths (e.g. --user-only) that bypass the supervised publish.
     machine.PublishMetrics(obs::Registry::Global());
@@ -368,6 +387,15 @@ Finish(const Options& opts, const core::SessionResult& result,
         obs::WriteRunManifest(out_path + ".run.json", manifest);
     if (!manifest_status.ok())
         Warn("writing run manifest: ", manifest_status.ToString());
+
+    if (!opts.trace_out.empty()) {
+        const util::Status spans_status =
+            obs::WriteSpansFile(opts.trace_out, "atum-capture");
+        if (spans_status.ok())
+            std::printf("spans %s\n", opts.trace_out.c_str());
+        else
+            Warn("writing span trace: ", spans_status.ToString());
+    }
 
     return exit_code;
 }
@@ -461,9 +489,16 @@ RunResumed(const Options& opts, uint64_t started_ms)
     }
     sup.emitter = emitter->get();
 
+    const std::string flight_path = out + ".flight.json";
+    obs::flight::SetDumpPath(flight_path.c_str());
+    obs::flight::InstallCrashHandler();
+    obs::PhaseProfiler profiler;
+    sup.profiler = &profiler;
+
     const core::SessionResult result =
         core::RunSupervised(machine, tracer, sup);
-    return Finish(opts, result, machine, **sink, out, started_ms);
+    return Finish(opts, result, machine, **sink, out, started_ms,
+                  &profiler);
 }
 
 int
@@ -542,9 +577,16 @@ Run(const Options& opts)
     }
     sup.emitter = emitter->get();
 
+    const std::string flight_path = opts.out + ".flight.json";
+    obs::flight::SetDumpPath(flight_path.c_str());
+    obs::flight::InstallCrashHandler();
+    obs::PhaseProfiler profiler;
+    sup.profiler = &profiler;
+
     const core::SessionResult result =
         core::RunSupervised(machine, tracer, sup);
-    return Finish(opts, result, machine, **sink, opts.out, started_ms);
+    return Finish(opts, result, machine, **sink, opts.out, started_ms,
+                  &profiler);
 }
 
 }  // namespace

@@ -55,6 +55,7 @@
 
 #include "chaos/campaign.h"
 #include "io/chaos.h"
+#include "obs/flight.h"
 #include "util/build_info.h"
 #include "util/logging.h"
 #include "util/status.h"
@@ -283,6 +284,8 @@ ReportFailure(const Options& opts, const chaos::SeedResult& failure)
                          minimized.status().ToString().c_str());
     }
     std::fprintf(stderr, "FAIL %s\n", failure.Summary().c_str());
+    obs::flight::Note("chaos.seed-failure", failure.Summary().c_str(),
+                      failure.seed, 0);
     if (!opts.out_dir.empty()) {
         const std::string path = opts.out_dir + "/failing-seed-" +
                                  std::to_string(failure.seed) + ".schedule";
@@ -309,6 +312,8 @@ ReportServeFailure(const Options& opts, const chaos::ServeSeedResult& failure)
                          minimized.status().ToString().c_str());
     }
     std::fprintf(stderr, "FAIL %s\n", failure.Summary().c_str());
+    obs::flight::Note("chaos.seed-failure", failure.Summary().c_str(),
+                      failure.seed, 0);
     if (!opts.out_dir.empty()) {
         const std::string path = opts.out_dir + "/failing-serve-seed-" +
                                  std::to_string(failure.seed) + ".schedule";
@@ -425,6 +430,10 @@ RunServeSeeds(Options& opts)
 
     for (const chaos::ServeSeedResult& failure : result->failures)
         ReportServeFailure(opts, failure);
+    if (!result->ok() && obs::flight::Armed() &&
+        obs::flight::DumpNow("campaign-failure"))
+        std::fprintf(stderr, "  flight recorder: %s/chaos.flight.json\n",
+                     opts.out_dir.c_str());
     return result->ok() ? util::kExitOk : util::kExitError;
 }
 
@@ -460,6 +469,10 @@ RunSeeds(Options& opts)
 
     for (const chaos::SeedResult& failure : result->failures)
         ReportFailure(opts, failure);
+    if (!result->ok() && obs::flight::Armed() &&
+        obs::flight::DumpNow("campaign-failure"))
+        std::fprintf(stderr, "  flight recorder: %s/chaos.flight.json\n",
+                     opts.out_dir.c_str());
     return result->ok() ? util::kExitOk : util::kExitError;
 }
 
@@ -470,6 +483,15 @@ int
 main(int argc, char** argv)
 {
     atum::Options opts = atum::ParseArgs(argc, argv);
+    if (!opts.out_dir.empty()) {
+        // Failing seeds leave a post-mortem alongside the repro
+        // schedules; without --out-dir there is nowhere durable to put
+        // one, so the recorder stays disarmed.
+        const std::string flight_path =
+            opts.out_dir + "/chaos.flight.json";
+        atum::obs::flight::SetDumpPath(flight_path.c_str());
+        atum::obs::flight::InstallCrashHandler();
+    }
     if (opts.probe)
         return atum::RunProbe(opts);
     if (!opts.replay.empty())

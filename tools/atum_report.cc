@@ -5,7 +5,7 @@
 //                [--sweep SPEC,SPEC,...] [--jobs N]
 //                [--flush-on-switch] [--pid-tags] [--no-kernel]
 //                [--tlb ENTRIES] [--working-sets] [--stack-distance]
-//                [--stats]
+//                [--stats] [--spans SPANS.json]
 //   atum-report trace.atf --verify
 //   atum-report trace.atf --salvage repaired.atf
 //   atum-report trace.atf --crosscheck [--prefix]
@@ -14,6 +14,10 @@
 // --stats appends a dump of the process's metrics registry (replay.*
 // counters, per-config wall-time histogram...) after the analyses — a
 // quick look at what the replay engine actually did.
+//
+// --spans FILE exports the report's own span trace (load, each
+// analysis, every sweep config across the worker pool) as Chrome
+// trace-event JSON for Perfetto / chrome://tracing (docs/TRACING.md).
 //
 // Default output is the trace-characterization summary (T1-style). Each
 // additional flag appends the corresponding analysis. --sweep replays
@@ -48,6 +52,7 @@
 #include "cache/trace_driver.h"
 #include "io/vfs.h"
 #include "obs/metrics.h"
+#include "obs/spans.h"
 #include "replay/sweep.h"
 #include "util/build_info.h"
 #include "tlbsim/tlb_sim.h"
@@ -79,6 +84,7 @@ struct Options {
     bool crosscheck = false;    ///< validate counters against the manifest
     bool prefix = false;        ///< trace is a salvaged prefix
     std::string manifest;       ///< run manifest; default <trace>.run.json
+    std::string spans_out;      ///< Chrome trace-event export ("" = off)
 };
 
 /** Command-line mistakes exit with the usage code, not Fatal's 1. */
@@ -168,6 +174,8 @@ ParseArgs(int argc, char** argv)
             opts.prefix = true;
         else if (arg == "--manifest")
             opts.manifest = next();
+        else if (arg == "--spans")
+            opts.spans_out = next();
         else if (arg == "--version") {
             std::printf("%s\n", util::VersionString("atum-report").c_str());
             std::exit(util::kExitOk);
@@ -269,8 +277,11 @@ Run(const Options& opts, io::Vfs& vfs)
         return RunCrosscheck(opts, vfs);
 
     const auto load_start = std::chrono::steady_clock::now();
+    ATUM_SPAN_NAMED(load_span, "report", "load");
+    load_span.set_detail(opts.path);
     util::StatusOr<std::vector<trace::Record>> loaded =
         trace::LoadTrace(opts.path, vfs);
+    load_span.Close();
     if (!loaded.ok()) {
         std::fprintf(stderr, "atum-report: %s\n",
                      loaded.status().ToString().c_str());
@@ -296,11 +307,15 @@ Run(const Options& opts, io::Vfs& vfs)
     }
 
     trace::TraceStats stats;
-    for (const auto& r : records)
-        stats.Accumulate(r);
+    {
+        ATUM_SPAN("report", "characterize");
+        for (const auto& r : records)
+            stats.Accumulate(r);
+    }
     std::printf("%s\n", stats.ToString().c_str());
 
     if (opts.have_cache) {
+        ATUM_SPAN("report", "cache");
         cache::Cache c(opts.cache_config);
         cache::TraceCacheDriver driver(c, opts.driver_options);
         for (const auto& r : records)
@@ -336,6 +351,7 @@ Run(const Options& opts, io::Vfs& vfs)
     }
 
     if (opts.tlb_entries > 0) {
+        ATUM_SPAN("report", "tlb");
         tlbsim::TlbSim sim({.entries = opts.tlb_entries});
         for (const auto& r : records)
             sim.Feed(r);
@@ -346,6 +362,7 @@ Run(const Options& opts, io::Vfs& vfs)
     }
 
     if (opts.working_sets) {
+        ATUM_SPAN("report", "working-sets");
         analysis::WorkingSetAnalyzer ws({100, 1000, 10000, 100000});
         for (const auto& r : records)
             ws.Feed(r);
@@ -360,6 +377,7 @@ Run(const Options& opts, io::Vfs& vfs)
     }
 
     if (opts.stack_distance) {
+        ATUM_SPAN("report", "stack-distance");
         analysis::StackDistanceAnalyzer sd(4);
         for (const auto& r : records)
             sd.Feed(r);
@@ -396,6 +414,22 @@ Run(const Options& opts, io::Vfs& vfs)
     return 0;
 }
 
+/** Runs the report, then exports its span trace if --spans asked. */
+int
+RunAndExport(const Options& opts, io::Vfs& vfs)
+{
+    const int code = Run(opts, vfs);
+    if (!opts.spans_out.empty()) {
+        const util::Status status =
+            obs::WriteSpansFile(opts.spans_out, "atum-report", vfs);
+        if (status.ok())
+            std::printf("spans %s\n", opts.spans_out.c_str());
+        else
+            Warn("writing span trace: ", status.ToString());
+    }
+    return code;
+}
+
 }  // namespace
 }  // namespace atum
 
@@ -406,5 +440,6 @@ main(int argc, char** argv)
     // SIGPIPE and treat a broken pipe at exit as success.
     atum::util::IgnoreSigpipe();
     return atum::util::FinishStdout(
-        atum::Run(atum::ParseArgs(argc, argv), atum::io::RealVfs()));
+        atum::RunAndExport(atum::ParseArgs(argc, argv),
+                           atum::io::RealVfs()));
 }

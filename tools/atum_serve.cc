@@ -6,6 +6,7 @@
 //              [--default-max-instructions N] [--max-instructions-cap N]
 //              [--max-trace-bytes-cap N] [--watchdog-ucycles N]
 //              [--checkpoint-every-fills N] [--keep-checkpoints N]
+//              [--trace-out SPANS.json]
 //   atum-serve --version
 //
 // Accepts capture jobs over a Unix-domain socket (default DIR/serve.sock,
@@ -23,6 +24,12 @@
 // `atum-top --serve DIR`; the `op:metrics` request serves serve.* (and
 // everything else in the registry) as Prometheus text.
 //
+// --trace-out FILE exports the daemon's span trace (job lifecycle
+// instants, per-job and per-sweep-row spans across the worker pool) as
+// Chrome trace-event JSON at shutdown. A tracer degrade, quota kill or
+// crash dumps the flight recorder to DIR/serve.flight.json
+// (docs/TRACING.md).
+//
 // Exit codes (the shared tool contract): 0 clean shutdown, 2 usage
 // error, 3 unusable directory/socket, 7 environment unavailable.
 // Clients see 7 (unavailable, retryable) while draining and 8
@@ -35,6 +42,8 @@
 
 #include <unistd.h>
 
+#include "obs/flight.h"
+#include "obs/spans.h"
 #include "serve/server.h"
 #include "serve/socket.h"
 #include "util/build_info.h"
@@ -59,6 +68,7 @@ UsageError(Args&&... args)
 struct Options {
     serve::ServeConfig config;
     std::string socket_path;
+    std::string trace_out;  // Chrome trace-event export at shutdown
 };
 
 Options
@@ -101,6 +111,8 @@ ParseArgs(int argc, char** argv)
         else if (arg == "--keep-checkpoints")
             opts.config.keep_checkpoints =
                 static_cast<uint32_t>(next_u64());
+        else if (arg == "--trace-out")
+            opts.trace_out = next();
         else if (arg == "--version") {
             std::printf("%s\n", util::VersionString("atum-serve").c_str());
             std::exit(util::kExitOk);
@@ -139,6 +151,11 @@ Run(const Options& opts)
 {
     serve::ServeConfig config = opts.config;
     config.external_stop = &g_stop;
+
+    const std::string flight_path = config.dir + "/serve.flight.json";
+    obs::flight::SetDumpPath(flight_path.c_str());
+    obs::flight::InstallCrashHandler();
+
     serve::ServeCore core(config, io::RealVfs());
     if (util::Status s = core.Start(); !s.ok()) {
         std::fprintf(stderr, "atum-serve: cannot start: %s\n",
@@ -172,6 +189,18 @@ Run(const Options& opts)
            g_stop != 0 ? "signal" : "drain request", ")");
     (*listener)->Close();
     core.Shutdown();
+
+    if (!opts.trace_out.empty()) {
+        // After Shutdown the worker pool has joined: the collection-at-
+        // quiescence contract holds and every ring is final.
+        const util::Status spans_status =
+            obs::WriteSpansFile(opts.trace_out, "atum-serve");
+        if (spans_status.ok())
+            Inform("atum-serve: spans ", opts.trace_out);
+        else
+            Warn("atum-serve: writing span trace: ",
+                 spans_status.ToString());
+    }
     return util::kExitOk;
 }
 
