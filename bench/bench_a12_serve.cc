@@ -191,6 +191,74 @@ Run()
                       std::to_string(campaign->salvages),
                   ""});
 
+    // -- 4. hostile-wire drill + exactly-once dedup (deterministic) --------
+    // A small net campaign (chaos stream seam, docs/SERVE.md "Network
+    // failure model") plus a duplicate-token burst, reporting the
+    // serve.net.* side of the daemon: faults absorbed, kill-restarts,
+    // retries deduplicated, and the dup_token_hits counter itself.
+    constexpr uint32_t kDupBurst = 16;
+    io::MemVfs net_vfs;
+    obs::Registry net_registry;
+    serve::ServeCore net_core(BenchConfig(), net_vfs, &net_registry);
+    if (!net_core.Start().ok())
+        Fatal("A12: net daemon failed to start");
+    serve::Request tokened;
+    tokened.op = serve::RequestOp::kSubmit;
+    tokened.workload = "grep";
+    tokened.client_token = "a12-dup-token";
+    const std::string tokened_payload = serve::SerializeRequest(tokened);
+    for (uint32_t i = 0; i < kDupBurst; ++i)
+        if (!serve::ResponseStatus(net_core.HandleRequest(tokened_payload))
+                 .ok())
+            Fatal("A12: tokened submit refused");
+    net_core.Shutdown();
+    const uint64_t dup_hits =
+        net_registry.GetCounter("serve.net.dup_token_hits").value();
+    if (dup_hits != kDupBurst - 1)
+        Fatal("A12: expected ", kDupBurst - 1, " dup token hits, got ",
+              dup_hits);
+    report.Add("net_dup_token_hits", static_cast<double>(dup_hits),
+               "hits", {});
+    table.AddRow({"serve.net.dup_token_hits",
+                  std::to_string(dup_hits),
+                  "of " + std::to_string(kDupBurst) + " sends"});
+
+    chaos::NetCampaignSpec net_spec;
+    net_spec.campaigns = {"net-flaky", "net-cut", "net-flip",
+                          "net-stall", "net-dup", "net-kill"};
+    net_spec.submits = 3;
+    net_spec.max_instructions = 2000;
+    util::StatusOr<chaos::NetCampaignResult> net_campaign =
+        chaos::RunNetCampaign(net_spec, /*first_seed=*/1, /*seeds=*/10,
+                              [](const chaos::NetSeedResult& r) {
+                                  if (!r.ok())
+                                      Fatal("A12: net invariant violated: ",
+                                            r.Summary());
+                              });
+    if (!net_campaign.ok())
+        Fatal("A12: net campaign failed to run: ",
+              net_campaign.status().ToString());
+    report.Add("net_faults_fired",
+               static_cast<double>(net_campaign->faults_fired), "faults",
+               {});
+    report.Add("net_kills", static_cast<double>(net_campaign->kills),
+               "kills", {});
+    report.Add("net_acks", static_cast<double>(net_campaign->acks), "acks",
+               {});
+    report.Add("net_dup_acks", static_cast<double>(net_campaign->dup_acks),
+               "acks", {});
+    report.Add("net_retries", static_cast<double>(net_campaign->retries),
+               "retries", {});
+    table.AddRow({"net faults/kills",
+                  std::to_string(net_campaign->faults_fired) + "/" +
+                      std::to_string(net_campaign->kills),
+                  ""});
+    table.AddRow({"net acks (dedup)/retries",
+                  std::to_string(net_campaign->acks) + " (" +
+                      std::to_string(net_campaign->dup_acks) + ")/" +
+                      std::to_string(net_campaign->retries),
+                  ""});
+
     std::printf("A12: serve daemon, %u-job burst, drill mode\n\n%s\n",
                 kBurst, table.ToString().c_str());
     return 0;

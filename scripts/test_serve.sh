@@ -198,4 +198,59 @@ grep -q "0 failing" "$TMP/out.txt"
 expect_exit 0 "$CHAOS" --serve --sweeps --seeds 4
 grep -q "0 failing" "$TMP/out.txt"
 
+# -- hostile-network hardening (docs/SERVE.md "Network failure model") ------
+DIR4="$TMP/net"
+SOCK4="$TMP/net.sock"
+mkdir -p "$DIR4"
+"$SERVE" --dir "$DIR4" --socket "$SOCK4" --workers 1 --conn-idle-ms 400 \
+    > "$TMP/net.log" 2>&1 &
+SERVE_PID=$!
+wait_for_socket "$SOCK4"
+
+# A slowloris holding a half-frame past the idle deadline is evicted
+# (unavailable -> exit 7), and the daemon stays healthy for the next
+# client instead of wedging on the stuck connection.
+expect_exit 7 "$SUBMIT" --socket "$SOCK4" probe-slow --hold-ms 3000
+expect_exit 0 "$SUBMIT" --socket "$SOCK4" ping
+
+# Garbage bytes earn a structured protocol error before the close
+# (corrupt -> exit 4) — a poison frame is the sender's problem only.
+expect_exit 4 "$SUBMIT" --socket "$SOCK4" probe-garbage
+expect_exit 0 "$SUBMIT" --socket "$SOCK4" ping
+
+# Exactly-once: a duplicate submit with the same idempotency token is
+# answered with the original job id and the dup marker...
+"$SUBMIT" --socket "$SOCK4" --token net-tok-1 --max-instructions 20000 \
+    submit > "$TMP/tok1.json"
+TOK_ID=$(sed 's/.*"id":\([0-9]*\).*/\1/;q' "$TMP/tok1.json")
+expect_exit 0 "$SUBMIT" --socket "$SOCK4" --token net-tok-1 submit
+grep -q '"dup":true' "$TMP/out.txt"
+grep -q "\"id\":$TOK_ID[,}]" "$TMP/out.txt"
+
+# ...and the dedup map is rebuilt from the journal across SIGKILL +
+# restart: the same token still names the same job in the reborn daemon.
+kill -9 "$SERVE_PID"
+set +e
+wait "$SERVE_PID" 2>/dev/null
+set -e
+SERVE_PID=
+rm -f "$SOCK4"
+"$SERVE" --dir "$DIR4" --socket "$SOCK4" --workers 1 > "$TMP/net2.log" 2>&1 &
+SERVE_PID=$!
+wait_for_socket "$SOCK4"
+expect_exit 0 "$SUBMIT" --socket "$SOCK4" --token net-tok-1 submit
+grep -q '"dup":true' "$TMP/out.txt"
+grep -q "\"id\":$TOK_ID[,}]" "$TMP/out.txt"
+kill -TERM "$SERVE_PID"
+set +e
+wait "$SERVE_PID"
+set -e
+SERVE_PID=
+
+# -- a taste of the net drill + protocol fuzz sweep (full runs nightly) -----
+expect_exit 0 "$CHAOS" --net --seeds 2
+grep -q "0 failing" "$TMP/out.txt"
+expect_exit 0 "$CHAOS" --fuzz-protocol --seeds 500
+grep -q ": ok" "$TMP/out.txt"
+
 echo "serve CLI scenarios passed"

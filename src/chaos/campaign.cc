@@ -11,11 +11,13 @@
 #include "core/checkpoint.h"
 #include "core/session.h"
 #include "io/mem_vfs.h"
+#include "io/stream.h"
 #include "kernel/boot.h"
 #include "obs/metrics.h"
 #include "serve/journal.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
+#include "serve/socket.h"
 #include "trace/container.h"
 #include "trace/sink.h"
 #include "util/json.h"
@@ -176,6 +178,12 @@ Fail(SeedResult& r, const char* invariant, std::string detail)
 
 void
 Fail(ServeSeedResult& r, const char* invariant, std::string detail)
+{
+    r.violations.push_back(InvariantViolation{invariant, std::move(detail)});
+}
+
+void
+Fail(NetSeedResult& r, const char* invariant, std::string detail)
 {
     r.violations.push_back(InvariantViolation{invariant, std::move(detail)});
 }
@@ -925,6 +933,444 @@ CheckServeInvariants(ServeSeedResult& r, const std::vector<uint64_t>& acked,
     }
 }
 
+// ---------------------------------------------------------------------------
+// Hostile-network drills (campaign.h §net).
+
+/**
+ * True when the schedule silently rewrites bytes in flight. The client's
+ * book of promises is then unreliable — a flipped token or id is the
+ * wire's lie, not the daemon's — so the client-perspective checks (N3,
+ * answers-parse) stand down, exactly like the damage gates in the disk
+ * drills. The journal-side N1 check never stands down: dedup happens on
+ * the bytes the daemon received, whatever the wire did to them.
+ */
+bool
+ScheduleHasNetFlip(const io::ChaosSchedule& schedule)
+{
+    for (const io::ChaosOp& op : schedule.ops) {
+        if (op.kind == io::ChaosOpKind::kFlipSend ||
+            op.kind == io::ChaosOpKind::kFlipRecv)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * The deterministic client script one seed drives over the wire: which
+ * submits are followed by running a queued job, and where pings are
+ * interleaved. Derived from the seed alone — never from responses — so
+ * a fault cannot change the action sequence, only each action's effect.
+ */
+struct NetPlan {
+    std::vector<uint8_t> run_after;
+    std::vector<uint8_t> ping_after;
+};
+
+NetPlan
+MakeNetPlan(const NetCampaignSpec& spec, uint64_t seed)
+{
+    std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ull + 0xC3ull);
+    NetPlan plan;
+    plan.run_after.resize(spec.submits);
+    plan.ping_after.resize(spec.submits);
+    for (uint32_t j = 0; j < spec.submits; ++j) {
+        plan.run_after[j] = (rng() & 1) != 0;
+        plan.ping_after[j] = (rng() & 3) == 0;
+    }
+    return plan;
+}
+
+serve::ServeConfig
+NetServeConfigFor(const NetCampaignSpec& spec)
+{
+    serve::ServeConfig config;
+    config.dir = ".";    // flat MemVfs names, like the other drills
+    config.workers = 0;  // drill mode: jobs run on this thread, in order
+    config.admission.max_queue_depth = spec.submits + 4;
+    config.admission.max_per_tenant = spec.submits + 4;
+    config.admission.default_max_instructions = spec.max_instructions;
+    config.buffer_bytes = spec.buffer_bytes;
+    config.chunk_records = spec.chunk_records;
+    config.checkpoint_every_fills = spec.checkpoint_every_fills;
+    config.keep_checkpoints = spec.keep_checkpoints;
+    return config;
+}
+
+/** Loop bound for wire pumps: one delivery puts at most two small frames
+ *  on the wire (the duplicate), so running this long without drying up
+ *  is a wedge — the N2 violation, not an infinite loop. */
+constexpr int kNetPumpBound = 64;
+
+/**
+ * One hostile-network drill in flight: the daemon (disk, core and
+ * metrics registry, all replaced on every kill-restart), both ends'
+ * frame parsers, and the client's book of promises — every id it was
+ * ever acked, per idempotency token.
+ */
+class NetHarness
+{
+  public:
+    NetHarness(const NetCampaignSpec& spec, io::ChaosNet& net,
+               NetSeedResult& r)
+        : spec_(spec), net_(net), r_(r),
+          has_flip_(ScheduleHasNetFlip(r.schedule)),
+          disk_(std::make_unique<io::MemVfs>()),
+          registry_(std::make_unique<obs::Registry>())
+    {
+    }
+
+    util::Status Start()
+    {
+        core_ = std::make_unique<serve::ServeCore>(NetServeConfigFor(spec_),
+                                                   *disk_, registry_.get());
+        return core_->Start();
+    }
+
+    bool dead() const { return dead_; }
+
+    /**
+     * Delivers one request over the hostile wire, retrying ambiguous
+     * outcomes (sent, but no answer read back) with the SAME bytes —
+     * atum-submit's retry path, which is exactly what the idempotency
+     * token exists to make safe. A request without a token (ping) is
+     * fire-and-forget: one attempt, shrug at silence.
+     */
+    void Deliver(const serve::Request& request, const std::string& token)
+    {
+        const std::string payload = serve::SerializeRequest(request);
+        const uint32_t attempts =
+            token.empty() ? 1 : std::max(1u, spec_.max_attempts);
+        for (uint32_t a = 0; a < attempts && !dead_; ++a) {
+            if (a > 0) {
+                ++r_.retries;
+                ResetWire();  // dial again; the network remembers nothing
+            }
+            const uint64_t req = net_.NextRequest();
+            if (net_.TakeKillServe(req))
+                KillRestart();
+            if (dead_)
+                return;
+            const util::Status sent =
+                serve::WriteFrameStream(net_.client_to_server(), payload);
+            if (sent.ok() && net_.TakeDupRequest(req)) {
+                // The impatient client: the same bytes land twice and
+                // the daemon must treat them as one submission (N1).
+                (void)serve::WriteFrameStream(net_.client_to_server(),
+                                              payload);
+            }
+            PumpServer();
+            if (ReadAnswers(token) > 0)
+                return;  // answered (even a rejection is definitive)
+            // Sent-but-unanswered or never sent: retry with the token.
+        }
+    }
+
+    /** Runs one queued job to completion (the drill-mode worker). */
+    void RunOneJob()
+    {
+        if (!dead_)
+            core_->RunNextQueuedJob();
+    }
+
+    /**
+     * Drains every queued job, shuts the final daemon generation down
+     * cleanly, and runs the N1-N3 battery over its journal and job
+     * table.
+     */
+    void Finish()
+    {
+        if (dead_)
+            return;  // recovery already failed loudly; nothing to check
+        while (core_->RunNextQueuedJob()) {
+        }
+        core_->Shutdown();
+        CheckNetInvariants(core_->Jobs());
+    }
+
+  private:
+    /** A fresh dial over the same hostile network: queues drain, the
+     *  disconnect latch clears, both framing states start over. */
+    void ResetWire()
+    {
+        net_.ResetConnection();
+        server_parser_ = serve::FrameParser();
+        client_parser_ = serve::FrameParser();
+    }
+
+    /**
+     * The daemon dies mid-script (SIGKILL: no destructor courtesy
+     * reaches the disk that matters) and a supervisor restarts it on
+     * the crash-consistent state. The in-flight connection dies with
+     * the process.
+     */
+    void KillRestart()
+    {
+        ++r_.kills;
+        const io::MemVfs::Snapshot snap = disk_->SnapshotDurable();
+        core_.reset();  // the dying process's last I/O hits the old disk
+        registry_ = std::make_unique<obs::Registry>();
+        disk_ = std::make_unique<io::MemVfs>(snap);
+        core_ = std::make_unique<serve::ServeCore>(NetServeConfigFor(spec_),
+                                                   *disk_, registry_.get());
+        if (util::Status s = core_->Start(); !s.ok()) {
+            Fail(r_, "net-recovery",
+                 "restarted daemon cannot recover: " + s.ToString());
+            dead_ = true;
+            return;
+        }
+        ResetWire();
+    }
+
+    /**
+     * Reads everything currently on `wire` into `parser`. Returns false
+     * when the connection turned hostile (an injected fault or the
+     * disconnect latch) rather than merely running dry — the caller
+     * then drops its framing state like a real peer dropping a socket.
+     */
+    bool DrainWire(io::Stream& wire, serve::FrameParser& parser)
+    {
+        char buf[512];
+        for (int i = 0; i < kNetPumpBound; ++i) {
+            util::StatusOr<size_t> n = wire.Read(buf, sizeof buf);
+            if (!n.ok())
+                return false;
+            if (*n == 0)
+                return true;
+            parser.Feed(buf, *n);
+        }
+        Fail(r_, "net-wedged",
+             "wire did not run dry within " +
+                 std::to_string(kNetPumpBound) + " reads");
+        return true;
+    }
+
+    /**
+     * The daemon's side of one delivery: read whatever arrived, answer
+     * every complete frame, answer a poison frame with a structured
+     * error before dropping the connection (N2's contract).
+     */
+    void PumpServer()
+    {
+        const bool alive =
+            DrainWire(net_.client_to_server(), server_parser_);
+        std::string payload;
+        int extracted = 0;
+        for (; extracted < kNetPumpBound; ++extracted) {
+            util::StatusOr<bool> got = server_parser_.Next(&payload);
+            if (!got.ok()) {
+                (void)serve::WriteFrameStream(
+                    net_.server_to_client(),
+                    serve::ErrorResponse(got.status()));
+                server_parser_ = serve::FrameParser();
+                return;
+            }
+            if (!*got)
+                break;
+            (void)serve::WriteFrameStream(net_.server_to_client(),
+                                          core_->HandleRequest(payload));
+        }
+        if (extracted == kNetPumpBound) {
+            Fail(r_, "net-wedged",
+                 "server answered " + std::to_string(kNetPumpBound) +
+                     " frames from one delivery without running dry");
+        }
+        if (!alive) {
+            // The read faulted: the daemon saw a dead peer and drops
+            // any half-received frame with the connection.
+            server_parser_ = serve::FrameParser();
+        }
+    }
+
+    /**
+     * The client's side: read whatever answers arrived and record every
+     * ack against the token. Returns how many complete answers were
+     * read; 0 is the ambiguous outcome the retry loop exists for.
+     */
+    int ReadAnswers(const std::string& token)
+    {
+        const bool alive =
+            DrainWire(net_.server_to_client(), client_parser_);
+        int got = 0;
+        std::string payload;
+        while (got < kNetPumpBound) {
+            util::StatusOr<bool> next = client_parser_.Next(&payload);
+            if (!next.ok()) {
+                // An oversized frame from the daemon — only a rewritten
+                // length in flight can produce one.
+                if (!has_flip_)
+                    Fail(r_, "net-garbage-answer",
+                         "daemon framing poisoned the client parser on "
+                         "a clean wire: " + next.status().ToString());
+                ResetWire();
+                return got;
+            }
+            if (!*next)
+                break;
+            ++got;
+            RecordAnswer(token, payload);
+        }
+        if (got == kNetPumpBound)
+            Fail(r_, "net-wedged",
+                 "client read " + std::to_string(kNetPumpBound) +
+                     " answers to one delivery without running dry");
+        if (!alive || client_parser_.pending_bytes() > 0) {
+            // A faulted read or a torn answer: the client drops the
+            // connection (it cannot resynchronize a byte stream) and
+            // the retry loop dials fresh.
+            ResetWire();
+        }
+        return got;
+    }
+
+    void RecordAnswer(const std::string& token, const std::string& payload)
+    {
+        util::StatusOr<util::JsonValue> doc =
+            util::JsonValue::Parse(payload);
+        if (!doc.ok() || !doc->is_object() || !doc->Has("ok")) {
+            // N2 — on a clean wire, every byte the daemon frames is a
+            // JSON document; anything else is the daemon babbling.
+            if (!has_flip_)
+                Fail(r_, "net-garbage-answer",
+                     "daemon answered bytes that do not parse: " +
+                         payload);
+            return;
+        }
+        if (token.empty() || !doc->Get("ok").AsBool() || !doc->Has("id"))
+            return;
+        acked_[token].push_back(doc->Get("id").AsU64());
+        ++r_.acks;
+        if (doc->Has("dup") && doc->Get("dup").AsBool())
+            ++r_.dup_acks;
+    }
+
+    /** The N1-N3 battery over the final generation's truth. */
+    void CheckNetInvariants(const std::vector<serve::JobInfo>& final_jobs)
+    {
+        util::StatusOr<std::string> bytes =
+            ReadWholeFile(*disk_, "serve.journal");
+        std::vector<serve::JournalRecord> records;
+        bool dropped = false;
+        if (bytes.ok()) {
+            records = serve::ScanJournalBytes(*bytes, nullptr, &dropped);
+        } else if (!acked_.empty()) {
+            Fail(r_, "net-journal",
+                 "daemon acked submits but left no readable journal: " +
+                     bytes.status().ToString());
+            return;
+        }
+        // The wire cannot damage the disk: however hostile the network
+        // was, the surviving journal scans clean end-to-end.
+        if (dropped)
+            Fail(r_, "net-journal",
+                 "journal has a torn/corrupt tail after a wire-only "
+                 "drill");
+
+        // N1 — at most one submission per token, across every delivery,
+        // duplicate, retry and kill-restart. Checked on the journal's
+        // own bytes, so it holds even under flips.
+        std::map<std::string, std::set<uint64_t>> token_ids;
+        for (const serve::JournalRecord& record : records) {
+            if (record.kind == serve::JournalKind::kSubmitted &&
+                !record.client_token.empty())
+                token_ids[record.client_token].insert(record.id);
+        }
+        for (const auto& [token, ids] : token_ids) {
+            if (ids.size() <= 1)
+                continue;
+            std::string detail = "token '" + token + "' was submitted " +
+                                 std::to_string(ids.size()) + " times: ids";
+            for (uint64_t id : ids)
+                detail += " " + std::to_string(id);
+            Fail(r_, "net-double-run", detail);
+        }
+
+        if (has_flip_)
+            return;  // flipped bytes make the client's book unreliable
+
+        // N3 — every ack for one token names one id, that id is
+        // journaled under the token, and the promised job reached a
+        // terminal state.
+        std::map<uint64_t, const serve::JobInfo*> by_id;
+        for (const serve::JobInfo& job : final_jobs)
+            by_id[job.id] = &job;
+        for (const auto& [token, ids] : acked_) {
+            if (ids.empty())
+                continue;
+            const uint64_t id0 = ids[0];
+            for (uint64_t id : ids) {
+                if (id != id0) {
+                    Fail(r_, "net-ack-divergence",
+                         "token '" + token + "' was acked as job " +
+                             std::to_string(id0) + " and again as job " +
+                             std::to_string(id));
+                    break;
+                }
+            }
+            const auto journaled = token_ids.find(token);
+            if (journaled == token_ids.end() ||
+                journaled->second.count(id0) == 0) {
+                Fail(r_, "net-ack-orphan",
+                     "token '" + token + "' was acked as job " +
+                         std::to_string(id0) +
+                         " but the journal never submitted it");
+                continue;
+            }
+            const auto it = by_id.find(id0);
+            if (it == by_id.end()) {
+                Fail(r_, "net-lost-job",
+                     "acked job " + std::to_string(id0) +
+                         " is gone from the final daemon");
+            } else if (!IsTerminalJobState(it->second->state)) {
+                Fail(r_, "net-lost-job",
+                     "acked job " + std::to_string(id0) +
+                         " is stuck in state " +
+                         serve::JobStateName(it->second->state));
+            }
+        }
+    }
+
+    const NetCampaignSpec& spec_;
+    io::ChaosNet& net_;
+    NetSeedResult& r_;
+    const bool has_flip_;
+    bool dead_ = false;
+
+    std::unique_ptr<io::MemVfs> disk_;
+    std::unique_ptr<obs::Registry> registry_;
+    std::unique_ptr<serve::ServeCore> core_;
+    serve::FrameParser server_parser_;
+    serve::FrameParser client_parser_;
+    std::map<std::string, std::vector<uint64_t>> acked_;
+};
+
+/** Runs one seed's whole client script through `harness`. */
+void
+RunNetScript(const NetCampaignSpec& spec, uint64_t seed,
+             NetHarness& harness)
+{
+    const NetPlan plan = MakeNetPlan(spec, seed);
+    const uint32_t tenants = spec.tenants > 0 ? spec.tenants : 1;
+    for (uint32_t j = 0; j < spec.submits && !harness.dead(); ++j) {
+        serve::Request submit;
+        submit.op = serve::RequestOp::kSubmit;
+        submit.tenant = "tenant-" + std::to_string(j % tenants);
+        submit.workload = spec.workload;
+        submit.scale = spec.scale;
+        submit.quota.max_instructions = spec.max_instructions;
+        submit.client_token = "tok-" + std::to_string(seed) + "-" +
+                              std::to_string(j);
+        harness.Deliver(submit, submit.client_token);
+        if (plan.run_after[j])
+            harness.RunOneJob();
+        if (plan.ping_after[j]) {
+            serve::Request ping;
+            ping.op = serve::RequestOp::kPing;
+            harness.Deliver(ping, "");
+        }
+    }
+    harness.Finish();
+}
+
 }  // namespace
 
 std::string
@@ -1228,6 +1674,339 @@ MinimizeServe(const ServeCampaignSpec& spec,
         }
     }
     return current;
+}
+
+// ---------------------------------------------------------------------------
+// Hostile-network campaign entry points.
+
+std::string
+NetSeedResult::Summary() const
+{
+    std::ostringstream os;
+    os << "seed " << seed << ": " << faults_fired << " net faults";
+    if (kills > 0)
+        os << ", " << kills << " kills";
+    os << ", " << acks << " acked";
+    if (dup_acks > 0)
+        os << " (" << dup_acks << " dedup)";
+    if (retries > 0)
+        os << ", " << retries << " retries";
+    if (violations.empty()) {
+        os << ": ok";
+    } else {
+        os << ": " << violations.size() << " VIOLATIONS";
+        for (const InvariantViolation& v : violations)
+            os << " [" << v.invariant << "] " << v.detail;
+    }
+    return os.str();
+}
+
+util::StatusOr<io::OpCounts>
+ProbeNetOpCounts(const NetCampaignSpec& spec, uint64_t seed)
+{
+    NetSeedResult r;
+    io::ChaosNet net{io::ChaosSchedule{}};
+    NetHarness harness(spec, net, r);
+    if (util::Status s = harness.Start(); !s.ok())
+        return s;
+    RunNetScript(spec, seed, harness);
+    if (!r.ok())
+        return util::InternalError(
+            "fault-free net probe violated an invariant: " +
+            r.violations.front().detail);
+    return net.counts();
+}
+
+util::StatusOr<NetSeedResult>
+ReplayNetSchedule(const NetCampaignSpec& spec,
+                  const io::ChaosSchedule& schedule)
+{
+    NetSeedResult r;
+    r.seed = schedule.seed;
+    r.schedule = schedule;
+
+    io::ChaosNet net(schedule);
+    NetHarness harness(spec, net, r);
+    if (util::Status s = harness.Start(); !s.ok())
+        return s;  // a fresh MemVfs cannot refuse a start: a real error
+    RunNetScript(spec, schedule.seed, harness);
+    r.faults_fired = net.faults_fired();
+    return r;
+}
+
+util::StatusOr<NetCampaignResult>
+RunNetCampaign(const NetCampaignSpec& spec, uint64_t first_seed,
+               uint64_t seeds,
+               const std::function<void(const NetSeedResult&)>& on_seed)
+{
+    NetCampaignResult result;
+    for (uint64_t i = 0; i < seeds; ++i) {
+        const uint64_t seed = first_seed + i;
+        // Each seed scripts its own request mix, so each aims its fault
+        // schedule with its own fault-free probe.
+        util::StatusOr<io::OpCounts> probe = ProbeNetOpCounts(spec, seed);
+        if (!probe.ok())
+            return probe.status();
+        util::StatusOr<io::ChaosSchedule> schedule =
+            io::ChaosSchedule::Random(seed, spec.campaigns, *probe);
+        if (!schedule.ok())
+            return schedule.status();
+        util::StatusOr<NetSeedResult> seed_result =
+            ReplayNetSchedule(spec, *schedule);
+        if (!seed_result.ok())
+            return seed_result.status();
+        ++result.seeds_run;
+        result.faults_fired += seed_result->faults_fired;
+        result.kills += seed_result->kills;
+        result.retries += seed_result->retries;
+        result.acks += seed_result->acks;
+        result.dup_acks += seed_result->dup_acks;
+        if (!seed_result->ok())
+            result.failures.push_back(*seed_result);
+        if (on_seed)
+            on_seed(*seed_result);
+    }
+    return result;
+}
+
+util::StatusOr<io::ChaosSchedule>
+MinimizeNet(const NetCampaignSpec& spec, const io::ChaosSchedule& schedule)
+{
+    const auto fails = [&](const io::ChaosSchedule& s)
+        -> util::StatusOr<bool> {
+        util::StatusOr<NetSeedResult> r = ReplayNetSchedule(spec, s);
+        if (!r.ok())
+            return r.status();
+        return !r->ok();
+    };
+
+    util::StatusOr<bool> failing = fails(schedule);
+    if (!failing.ok())
+        return failing.status();
+    if (!*failing)
+        return schedule;
+
+    io::ChaosSchedule current = schedule;
+    bool shrunk = true;
+    while (shrunk && current.ops.size() > 1) {
+        shrunk = false;
+        for (size_t i = 0; i < current.ops.size(); ++i) {
+            io::ChaosSchedule trial = current;
+            trial.ops.erase(trial.ops.begin() + static_cast<long>(i));
+            util::StatusOr<bool> still = fails(trial);
+            if (!still.ok())
+                return still.status();
+            if (*still) {
+                current = std::move(trial);
+                shrunk = true;
+                break;
+            }
+        }
+    }
+    return current;
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic protocol fuzzing.
+
+std::string
+FuzzReport::Summary() const
+{
+    std::ostringstream os;
+    os << "fuzz: " << inputs << " inputs, " << frames
+       << " frames extracted, " << parsed << " parsed, " << rejected
+       << " rejected";
+    if (violations.empty()) {
+        os << ": ok";
+    } else {
+        os << ": " << violations.size() << " VIOLATIONS";
+        for (const InvariantViolation& v : violations)
+            os << " [" << v.invariant << "] " << v.detail;
+    }
+    return os.str();
+}
+
+namespace {
+
+/** A valid request of a seed-picked shape — the fuzzer's raw material,
+ *  so mutations explore the neighborhood of real traffic instead of
+ *  only the (easily rejected) space of pure noise. */
+std::string
+FuzzBasePayload(std::mt19937_64& rng)
+{
+    serve::Request request;
+    switch (rng() % 6) {
+      case 0:
+        request.op = serve::RequestOp::kPing;
+        break;
+      case 1:
+        request.op = serve::RequestOp::kSubmit;
+        request.tenant = "tenant-" + std::to_string(rng() % 4);
+        request.workload = "grep";
+        request.scale = 1 + static_cast<uint32_t>(rng() % 3);
+        request.quota.max_instructions = 1 + rng() % 100'000;
+        request.client_token = "fuzz-" + std::to_string(rng() % 1'000);
+        break;
+      case 2:
+        request.op = serve::RequestOp::kStatus;
+        if ((rng() & 1) != 0) {
+            request.id = rng() % 16;
+            request.has_id = true;
+        }
+        break;
+      case 3:
+        request.op = serve::RequestOp::kCancel;
+        request.id = rng() % 16;
+        request.has_id = true;
+        break;
+      case 4:
+        request.op = serve::RequestOp::kMetrics;
+        break;
+      default:
+        request.op = serve::RequestOp::kDrain;
+        break;
+    }
+    return serve::SerializeRequest(request);
+}
+
+/** One seed-mutated byte string: framed traffic with flips, truncations,
+ *  length tampering, splices, garbage — the hostile client's repertoire. */
+std::string
+FuzzInput(std::mt19937_64& rng)
+{
+    std::string bytes;
+    switch (rng() % 8) {
+      case 0:  // well-formed single frame (the control group)
+        bytes = serve::EncodeFrame(FuzzBasePayload(rng));
+        break;
+      case 1: {  // two spliced frames (pipelined requests)
+        bytes = serve::EncodeFrame(FuzzBasePayload(rng)) +
+                serve::EncodeFrame(FuzzBasePayload(rng));
+        break;
+      }
+      case 2: {  // flipped bits in a valid frame
+        bytes = serve::EncodeFrame(FuzzBasePayload(rng));
+        const size_t flips = 1 + rng() % 8;
+        for (size_t f = 0; f < flips && !bytes.empty(); ++f)
+            bytes[rng() % bytes.size()] ^=
+                static_cast<char>(1u << (rng() % 8));
+        break;
+      }
+      case 3: {  // truncated frame (mid-frame disconnect)
+        bytes = serve::EncodeFrame(FuzzBasePayload(rng));
+        bytes.resize(rng() % bytes.size());
+        break;
+      }
+      case 4: {  // tampered length prefix, up to and past the cap
+        bytes = serve::EncodeFrame(FuzzBasePayload(rng));
+        const uint32_t len = static_cast<uint32_t>(
+            rng() % (2ull * serve::kMaxFrameBytes));
+        bytes[0] = static_cast<char>(len & 0xFF);
+        bytes[1] = static_cast<char>((len >> 8) & 0xFF);
+        bytes[2] = static_cast<char>((len >> 16) & 0xFF);
+        bytes[3] = static_cast<char>((len >> 24) & 0xFF);
+        break;
+      }
+      case 5: {  // garbage prefix before a valid frame (desync)
+        const size_t n = 1 + rng() % 16;
+        for (size_t b = 0; b < n; ++b)
+            bytes.push_back(static_cast<char>(rng() & 0xFF));
+        bytes += serve::EncodeFrame(FuzzBasePayload(rng));
+        break;
+      }
+      case 6: {  // framed garbage (valid length, noise payload)
+        std::string noise;
+        const size_t n = rng() % 256;
+        for (size_t b = 0; b < n; ++b)
+            noise.push_back(static_cast<char>(rng() & 0xFF));
+        bytes = serve::EncodeFrame(noise);
+        break;
+      }
+      default: {  // pure noise, no framing at all
+        const size_t n = rng() % 256;
+        for (size_t b = 0; b < n; ++b)
+            bytes.push_back(static_cast<char>(rng() & 0xFF));
+        break;
+      }
+    }
+    return bytes;
+}
+
+}  // namespace
+
+FuzzReport
+FuzzProtocol(uint64_t seed, uint64_t inputs)
+{
+    FuzzReport report;
+    std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ull + 0xF2ull);
+    for (uint64_t i = 0; i < inputs; ++i) {
+        ++report.inputs;
+        const std::string bytes = FuzzInput(rng);
+
+        serve::FrameParser parser;
+        size_t off = 0;
+        bool poisoned = false;
+        int steps = 0;
+        while (off < bytes.size() && !poisoned && steps < 10'000) {
+            // Feed in random-sized chunks: every framing bug that
+            // depends on where read(2) happens to split the stream is
+            // in scope.
+            const size_t n =
+                std::min<size_t>(1 + rng() % 97, bytes.size() - off);
+            parser.Feed(bytes.data() + off, n);
+            off += n;
+            std::string payload;
+            for (; steps < 10'000; ++steps) {
+                util::StatusOr<bool> got = parser.Next(&payload);
+                if (!got.ok()) {
+                    // Poisoned: the daemon answers a structured error
+                    // and closes; feeding more would be a use-after-
+                    // close, so this input is done.
+                    ++report.rejected;
+                    poisoned = true;
+                    break;
+                }
+                if (!*got)
+                    break;
+                ++report.frames;
+                util::StatusOr<serve::Request> request =
+                    serve::ParseRequest(payload);
+                if (!request.ok()) {
+                    ++report.rejected;
+                    continue;
+                }
+                ++report.parsed;
+                // A request the daemon accepts must survive its own
+                // round trip: serialize and re-parse to the same op.
+                util::StatusOr<serve::Request> again =
+                    serve::ParseRequest(serve::SerializeRequest(*request));
+                if (!again.ok() || again->op != request->op) {
+                    report.violations.push_back(InvariantViolation{
+                        "fuzz-roundtrip",
+                        "accepted request does not round-trip: " +
+                            payload});
+                }
+            }
+            // The cap bounds what one connection can make the daemon
+            // buffer: a length prefix plus one maximal frame, never
+            // more.
+            if (parser.pending_bytes() >
+                static_cast<size_t>(serve::kMaxFrameBytes) + 4) {
+                report.violations.push_back(InvariantViolation{
+                    "fuzz-overbuffer",
+                    "parser buffered " +
+                        std::to_string(parser.pending_bytes()) +
+                        " bytes, past the frame cap"});
+                break;
+            }
+        }
+        if (steps >= 10'000) {
+            report.violations.push_back(InvariantViolation{
+                "fuzz-wedge", "input " + std::to_string(i) +
+                                  " did not drain in bounded steps"});
+        }
+    }
+    return report;
 }
 
 }  // namespace atum::chaos

@@ -261,6 +261,142 @@ util::StatusOr<ServeCampaignResult> RunServeCampaign(
 util::StatusOr<io::ChaosSchedule> MinimizeServe(
     const ServeCampaignSpec& spec, const io::ChaosSchedule& schedule);
 
+// ---------------------------------------------------------------------------
+// Hostile-network drills against the serve protocol (docs/SERVE.md
+// "Network failure model").
+//
+// Where the serve drills above kill the daemon's DISK, a net drill
+// attacks its WIRE: a seed-scripted multi-tenant client drives framed
+// requests through a ChaosNet (io/stream.h) into a drill-mode ServeCore,
+// with the schedule injecting short and failed sends, mid-frame
+// disconnects, bit flips, stalled reads, duplicated client retries, and
+// SIGKILL-style daemon deaths that restart onto the crash-consistent
+// disk. Every submit carries an idempotency token, and every ambiguous
+// outcome (sent, but no answer) is retried with the same token — exactly
+// what atum-submit does. The battery then checks:
+//
+//   N1 no double-run    — the final journal holds at most one submission
+//                         per idempotency token, however many times the
+//                         client (or the net-dup fault) delivered it,
+//                         and across any number of kill-restarts;
+//   N2 no crash/hang    — the daemon answers every parseable frame, and
+//                         a poison frame earns a structured error, never
+//                         a wedge (every pump loop is bounded) or a
+//                         garbage answer;
+//   N3 ack consistency  — every ack the client ever received for one
+//                         token names the same job id, that id is
+//                         journaled under the token, and the job reaches
+//                         a terminal state.
+//
+// Bit-flip campaigns silently rewrite bytes in flight — including the
+// token itself — so the client-perspective checks (N3, and N2's "answers
+// parse") stand down under flips, exactly like the damage gates in the
+// disk drills. N1's journal-side check never stands down: dedup happens
+// on received bytes, whatever the wire did to them.
+
+/** Shape of one net drill (a small multi-tenant client session). */
+struct NetCampaignSpec {
+    /** Fault mix, e.g. {"net-flaky", "net-cut"} (io/chaos.h names). */
+    std::vector<std::string> campaigns;
+    /** Workload every submit names (workloads::MakeWorkload) + scale. */
+    std::string workload = "grep";
+    uint32_t scale = 1;
+    /** Tokened submits the script delivers, round-robin over tenants. */
+    uint32_t submits = 4;
+    uint32_t tenants = 2;
+    /** Wire attempts per submit (first try + ambiguous retries). */
+    uint32_t max_attempts = 3;
+    /** Per-job guest instruction budget (small: drills must be quick). */
+    uint64_t max_instructions = 4000;
+    /** Capture shape for the jobs the submits create. */
+    uint32_t buffer_bytes = 4u << 10;
+    uint32_t chunk_records = 64;
+    uint64_t checkpoint_every_fills = 1;
+    uint32_t keep_checkpoints = 2;
+};
+
+/** Outcome of one seed's hostile-network drill. */
+struct NetSeedResult {
+    uint64_t seed = 0;
+    io::ChaosSchedule schedule;
+    uint32_t faults_fired = 0;
+    uint32_t kills = 0;      ///< daemon deaths (kill-serve ops fired)
+    uint32_t retries = 0;    ///< ambiguous submits re-sent (same token)
+    uint32_t acks = 0;       ///< submit answers carrying a job id
+    uint32_t dup_acks = 0;   ///< answers flagged "dup" (dedup served them)
+    std::vector<InvariantViolation> violations;
+
+    bool ok() const { return violations.empty(); }
+    /** One log line: seed, faults, retry/ack traffic, verdict. */
+    std::string Summary() const;
+};
+
+/** Aggregate of a whole net campaign. */
+struct NetCampaignResult {
+    uint64_t seeds_run = 0;
+    uint64_t faults_fired = 0;
+    uint64_t kills = 0;
+    uint64_t retries = 0;
+    uint64_t acks = 0;
+    uint64_t dup_acks = 0;
+    std::vector<NetSeedResult> failures;
+
+    bool ok() const { return failures.empty(); }
+};
+
+/**
+ * Runs seed `seed`'s client script over a fault-free ChaosNet and
+ * returns its send/recv/request counts — the address space net schedules
+ * aim their fault indices into.
+ */
+util::StatusOr<io::OpCounts> ProbeNetOpCounts(const NetCampaignSpec& spec,
+                                              uint64_t seed);
+
+/**
+ * Runs one complete net drill for an explicit schedule; the client
+ * script is re-derived from schedule.seed, so a serialized schedule
+ * replays the identical drill forever.
+ */
+util::StatusOr<NetSeedResult> ReplayNetSchedule(
+    const NetCampaignSpec& spec, const io::ChaosSchedule& schedule);
+
+/** Runs seeds [first_seed, first_seed + seeds) of net drills. */
+util::StatusOr<NetCampaignResult> RunNetCampaign(
+    const NetCampaignSpec& spec, uint64_t first_seed, uint64_t seeds,
+    const std::function<void(const NetSeedResult&)>& on_seed = nullptr);
+
+/** Minimize() for a failing net schedule. */
+util::StatusOr<io::ChaosSchedule> MinimizeNet(
+    const NetCampaignSpec& spec, const io::ChaosSchedule& schedule);
+
+// ---------------------------------------------------------------------------
+// Deterministic protocol fuzzing (no wire, no daemon: just the codec).
+
+/** What one FuzzProtocol sweep did and found. */
+struct FuzzReport {
+    uint64_t inputs = 0;    ///< mutated byte strings fed
+    uint64_t frames = 0;    ///< complete frames the parser extracted
+    uint64_t parsed = 0;    ///< frames that parsed into valid requests
+    uint64_t rejected = 0;  ///< frames rejected with a structured status
+    std::vector<InvariantViolation> violations;
+
+    bool ok() const { return violations.empty(); }
+    std::string Summary() const;
+};
+
+/**
+ * Feeds `inputs` seeded mutations of well-formed request traffic —
+ * flipped bits, truncations, tampered length prefixes, spliced frames,
+ * raw garbage — through FrameParser and ParseRequest in random-sized
+ * chunks, checking the codec's contract: extraction always terminates,
+ * buffered bytes stay bounded by the frame cap, a parsed request
+ * re-serializes and re-parses to the same op, and a rejection is a
+ * structured status, never a crash. Deterministic per (seed, inputs):
+ * a failure here is a failure forever, like every other repro in this
+ * subsystem.
+ */
+FuzzReport FuzzProtocol(uint64_t seed, uint64_t inputs);
+
 }  // namespace atum::chaos
 
 #endif  // ATUM_CHAOS_CAMPAIGN_H_

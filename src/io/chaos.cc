@@ -29,6 +29,17 @@ constexpr KindInfo kKinds[] = {
     {ChaosOpKind::kPowerCutRename, "power-cut-rename", false, false},
     {ChaosOpKind::kFailUnlink, "fail-unlink", true, false},
     {ChaosOpKind::kFailDirSync, "fail-dirsync", true, false},
+    {ChaosOpKind::kFailSend, "fail-send", true, false},
+    {ChaosOpKind::kShortSend, "short-send", false, true},
+    {ChaosOpKind::kFlipSend, "flip-send", false, true},
+    {ChaosOpKind::kCutSend, "cut-send", false, false},
+    {ChaosOpKind::kFailRecv, "fail-recv", true, false},
+    {ChaosOpKind::kShortRecv, "short-recv", false, true},
+    {ChaosOpKind::kFlipRecv, "flip-recv", false, true},
+    {ChaosOpKind::kCutRecv, "cut-recv", false, false},
+    {ChaosOpKind::kStallRecv, "stall-recv", false, false},
+    {ChaosOpKind::kDupRequest, "dup-request", false, false},
+    {ChaosOpKind::kKillServe, "kill-serve", false, false},
 };
 
 const KindInfo*
@@ -236,10 +247,40 @@ ChaosSchedule::Random(uint64_t seed,
             if (probe.reads > 0 && rng.NextDouble() < 0.5)
                 add(ChaosOpKind::kFlipRead, idx(probe.reads),
                     rng.Below(256));
+        } else if (campaign == "net-flaky") {
+            // Legal-but-hostile transport: tiny partial sends/recvs plus
+            // a transient send failure — reassembly and retry fodder.
+            add(ChaosOpKind::kShortSend, idx(probe.sends),
+                1 + rng.Below(8));
+            if (probe.recvs > 0 && rng.NextDouble() < 0.5)
+                add(ChaosOpKind::kShortRecv, idx(probe.recvs),
+                    1 + rng.Below(8));
+            if (rng.NextDouble() < 0.4)
+                add(ChaosOpKind::kFailSend, idx(probe.sends), 0,
+                    util::StatusCode::kUnavailable);
+        } else if (campaign == "net-cut") {
+            // Mid-frame disconnect on one side: the client can never
+            // know whether the request landed — the ambiguous retry.
+            if (rng.NextDouble() < 0.5)
+                add(ChaosOpKind::kCutSend, idx(probe.sends));
+            else
+                add(ChaosOpKind::kCutRecv, idx(probe.recvs));
+        } else if (campaign == "net-flip") {
+            add(ChaosOpKind::kFlipSend, idx(probe.sends), rng.Below(64));
+            if (probe.recvs > 0 && rng.NextDouble() < 0.5)
+                add(ChaosOpKind::kFlipRecv, idx(probe.recvs),
+                    rng.Below(64));
+        } else if (campaign == "net-stall") {
+            add(ChaosOpKind::kStallRecv, idx(probe.recvs));
+        } else if (campaign == "net-dup") {
+            add(ChaosOpKind::kDupRequest, idx(probe.requests));
+        } else if (campaign == "net-kill") {
+            add(ChaosOpKind::kKillServe, idx(probe.requests));
         } else {
             return util::InvalidArgument(
                 "unknown campaign '", campaign,
-                "' (powercut|enospc|torn-rename|eintr|bitflip)");
+                "' (powercut|enospc|torn-rename|eintr|bitflip|net-flaky|"
+                "net-cut|net-flip|net-stall|net-dup|net-kill)");
         }
     }
     return schedule;

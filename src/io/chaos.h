@@ -30,6 +30,11 @@
  *   op power-cut-rename 1         # cut right AFTER rename #1 (torn publish)
  *   op fail-unlink 1 io
  *   op fail-dirsync 1 io
+ *   op cut-send 3                 # connection reset at send #3
+ *   op short-recv 2 5             # recv #2 returns at most 5 bytes
+ *   op stall-recv 4               # recv #4 stalls past the deadline
+ *   op dup-request 2              # client duplicates request #2
+ *   op kill-serve 3               # daemon SIGKILLed before request #3
  *
  * Indices are 1-based per operation class. A power cut latches: the
  * durable state is snapshotted at the cut and every later operation fails
@@ -63,6 +68,21 @@ enum class ChaosOpKind : uint8_t {
     kPowerCutRename,
     kFailUnlink,
     kFailDirSync,
+    // Network stream faults (io/stream.h ChaosNet), indexed on the
+    // connection's send/recv operation counters:
+    kFailSend,    ///< send #at returns the error class
+    kShortSend,   ///< send #at accepts only `arg` bytes (legal partial)
+    kFlipSend,    ///< byte `arg` of send #at flipped in flight (silent)
+    kCutSend,     ///< connection drops at send #at (reset, latches)
+    kFailRecv,    ///< recv #at returns the error class
+    kShortRecv,   ///< recv #at returns at most `arg` bytes
+    kFlipRecv,    ///< byte `arg` of recv #at flipped in flight (silent)
+    kCutRecv,     ///< connection drops at recv #at (reset, latches)
+    kStallRecv,   ///< recv #at stalls past the read deadline
+    // Drill-level ops, indexed on the scripted client request counter
+    // (consumed by the net drill harness, not the streams):
+    kDupRequest,  ///< client resends request #at (same idempotency token)
+    kKillServe,   ///< daemon dies (SIGKILL-style) before request #at
 };
 
 /** Stable schedule-file token ("fail-write") for one kind. */
@@ -86,6 +106,11 @@ struct OpCounts {
     uint64_t renames = 0;
     uint64_t unlinks = 0;
     uint64_t dirsyncs = 0;
+    // Stream classes (ChaosNet): one send per Write call, one recv per
+    // Read call, one request per scripted client message.
+    uint64_t sends = 0;
+    uint64_t recvs = 0;
+    uint64_t requests = 0;
 };
 
 /** A deterministic fault program plus its provenance. */
@@ -102,9 +127,11 @@ struct ChaosSchedule {
 
     /**
      * Rolls a random schedule for `seed` from the named campaigns
-     * ("powercut", "enospc", "torn-rename", "eintr", "bitflip"), aiming
-     * the fault indices inside the operation counts a fault-free probe
-     * run measured. Equal inputs produce equal schedules.
+     * ("powercut", "enospc", "torn-rename", "eintr", "bitflip" on the
+     * Vfs seam; "net-flaky", "net-cut", "net-flip", "net-stall",
+     * "net-dup", "net-kill" on the stream seam), aiming the fault
+     * indices inside the operation counts a fault-free probe run
+     * measured. Equal inputs produce equal schedules.
      */
     static util::StatusOr<ChaosSchedule> Random(
         uint64_t seed, const std::vector<std::string>& campaigns,

@@ -1,0 +1,246 @@
+#include "io/stream.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "io/posix.h"
+
+namespace atum::io {
+
+util::Status
+WriteAll(Stream& stream, const void* data, size_t len)
+{
+    const auto* p = static_cast<const uint8_t*>(data);
+    size_t done = 0;
+    while (done < len) {
+        util::StatusOr<size_t> n = stream.Write(p + done, len - done);
+        if (!n.ok())
+            return n.status();
+        if (*n == 0)
+            return util::Unavailable("stream accepted 0 bytes (", done,
+                                     " of ", len, " written)");
+        done += *n;
+    }
+    return util::OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// FdStream.
+
+namespace {
+
+/** Polls `fd` for `events`; kUnavailable on deadline, retries EINTR. */
+util::Status
+AwaitFd(int fd, short events, int timeout_ms, const char* what)
+{
+    for (;;) {
+        struct pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = events;
+        pfd.revents = 0;
+        const int n = ::poll(&pfd, 1, timeout_ms);
+        if (n > 0)
+            return util::OkStatus();
+        if (n == 0)
+            return util::Unavailable("stream ", what, ": peer silent past ",
+                                     timeout_ms, " ms deadline");
+        if (errno == EINTR)
+            continue;
+        return ErrnoStatus(errno, atum::internal::StrCat("poll for ", what));
+    }
+}
+
+}  // namespace
+
+util::StatusOr<size_t>
+FdStream::Read(void* data, size_t len)
+{
+    if (op_timeout_ms_ >= 0) {
+        if (util::Status s = AwaitFd(fd_, POLLIN, op_timeout_ms_, "read");
+            !s.ok())
+            return s;
+    }
+    return RetryRead(fd_, data, len, "stream");
+}
+
+util::StatusOr<size_t>
+FdStream::Write(const void* data, size_t len)
+{
+    if (op_timeout_ms_ >= 0) {
+        if (util::Status s = AwaitFd(fd_, POLLOUT, op_timeout_ms_, "write");
+            !s.ok())
+            return s;
+    }
+    for (;;) {
+        const ssize_t n = ::write(fd_, data, len);
+        if (n >= 0)
+            return static_cast<size_t>(n);
+        if (errno == EINTR)
+            continue;
+        return ErrnoStatus(errno, "stream write");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PipeStream.
+
+util::StatusOr<size_t>
+PipeStream::Read(void* data, size_t len)
+{
+    const size_t n = std::min(len, buf_.size());
+    std::memcpy(data, buf_.data(), n);
+    buf_.erase(0, n);
+    return n;
+}
+
+util::StatusOr<size_t>
+PipeStream::Write(const void* data, size_t len)
+{
+    buf_.append(static_cast<const char*>(data), len);
+    return len;
+}
+
+// ---------------------------------------------------------------------------
+// ChaosNet.
+
+/** One wire end: Write runs the send fault battery, Read the recv one.
+ *  The client holds the c2s end's Write and the s2c end's Read; the
+ *  server the mirror — faults index operations, not peers. */
+class ChaosNet::ChaosEnd : public Stream
+{
+  public:
+    ChaosEnd(ChaosNet* net, PipeStream* wire) : net_(net), wire_(wire) {}
+
+    util::StatusOr<size_t> Read(void* data, size_t len) override
+    {
+        return net_->Recv(*wire_, data, len);
+    }
+
+    util::StatusOr<size_t> Write(const void* data, size_t len) override
+    {
+        return net_->Send(*wire_, data, len);
+    }
+
+    const char* name() const override { return "chaos"; }
+
+  private:
+    ChaosNet* net_;
+    PipeStream* wire_;
+};
+
+ChaosNet::ChaosNet(ChaosSchedule schedule)
+    : schedule_(std::move(schedule)), fired_(schedule_.ops.size(), false),
+      c2s_owned_(std::make_unique<ChaosEnd>(this, &c2s_wire_)),
+      s2c_owned_(std::make_unique<ChaosEnd>(this, &s2c_wire_)),
+      c2s_(*c2s_owned_), s2c_(*s2c_owned_)
+{
+}
+
+ChaosNet::~ChaosNet() = default;
+
+void
+ChaosNet::ResetConnection()
+{
+    disconnected_ = false;
+    c2s_wire_.Clear();
+    s2c_wire_.Clear();
+}
+
+const ChaosOp*
+ChaosNet::Take(ChaosOpKind kind, uint64_t at)
+{
+    for (size_t i = 0; i < schedule_.ops.size(); ++i) {
+        const ChaosOp& op = schedule_.ops[i];
+        if (!fired_[i] && op.kind == kind && op.at == at) {
+            fired_[i] = true;
+            ++faults_fired_;
+            return &op;
+        }
+    }
+    return nullptr;
+}
+
+util::Status
+ChaosNet::InjectedError(const ChaosOp& op, const char* what)
+{
+    return util::Status(op.error, atum::internal::StrCat(
+                                      "injected net fault on ", what, " #",
+                                      op.at));
+}
+
+bool
+ChaosNet::TakeDupRequest(uint64_t request_index)
+{
+    return Take(ChaosOpKind::kDupRequest, request_index) != nullptr;
+}
+
+bool
+ChaosNet::TakeKillServe(uint64_t request_index)
+{
+    return Take(ChaosOpKind::kKillServe, request_index) != nullptr;
+}
+
+util::StatusOr<size_t>
+ChaosNet::Send(PipeStream& wire, const void* data, size_t len)
+{
+    ++counts_.sends;
+    if (disconnected_)
+        return util::Unavailable("send on a reset connection");
+    if (Take(ChaosOpKind::kCutSend, counts_.sends) != nullptr) {
+        // The frame tears mid-flight: whatever was already queued stays
+        // (the peer may parse a prefix), this chunk is gone, and the
+        // connection is dead until the client dials again.
+        disconnected_ = true;
+        return util::Unavailable("connection reset during send #",
+                                 counts_.sends);
+    }
+    if (const ChaosOp* op = Take(ChaosOpKind::kFailSend, counts_.sends))
+        return InjectedError(*op, "send");
+    if (const ChaosOp* op = Take(ChaosOpKind::kShortSend, counts_.sends)) {
+        const size_t keep = static_cast<size_t>(
+            std::min<uint64_t>(std::max<uint64_t>(op->arg, 1), len));
+        return wire.Write(data, keep);
+    }
+    if (const ChaosOp* op = Take(ChaosOpKind::kFlipSend, counts_.sends)) {
+        // Silent in-flight corruption: the send "succeeds".
+        const auto* p = static_cast<const uint8_t*>(data);
+        std::vector<uint8_t> copy(p, p + len);
+        if (len > 0)
+            copy[static_cast<size_t>(op->arg % len)] ^= 0xFF;
+        return wire.Write(copy.data(), len);
+    }
+    return wire.Write(data, len);
+}
+
+util::StatusOr<size_t>
+ChaosNet::Recv(PipeStream& wire, void* data, size_t len)
+{
+    ++counts_.recvs;
+    if (disconnected_)
+        return util::Unavailable("recv on a reset connection");
+    if (Take(ChaosOpKind::kCutRecv, counts_.recvs) != nullptr) {
+        disconnected_ = true;
+        return util::Unavailable("connection reset during recv #",
+                                 counts_.recvs);
+    }
+    if (Take(ChaosOpKind::kStallRecv, counts_.recvs) != nullptr)
+        return util::Unavailable("recv #", counts_.recvs,
+                                 " stalled past the read deadline");
+    if (const ChaosOp* op = Take(ChaosOpKind::kFailRecv, counts_.recvs))
+        return InjectedError(*op, "recv");
+    size_t cap = len;
+    if (const ChaosOp* op = Take(ChaosOpKind::kShortRecv, counts_.recvs))
+        cap = static_cast<size_t>(
+            std::min<uint64_t>(std::max<uint64_t>(op->arg, 1), len));
+    const ChaosOp* flip = Take(ChaosOpKind::kFlipRecv, counts_.recvs);
+    util::StatusOr<size_t> got = wire.Read(data, cap);
+    if (got.ok() && flip != nullptr && *got > 0)
+        static_cast<uint8_t*>(data)[static_cast<size_t>(flip->arg % *got)] ^=
+            0xFF;
+    return got;
+}
+
+}  // namespace atum::io

@@ -1,0 +1,168 @@
+#ifndef ATUM_IO_STREAM_H_
+#define ATUM_IO_STREAM_H_
+
+/**
+ * @file
+ * The Stream seam — a connection as an interface, mirroring io/vfs.h.
+ *
+ * The serve daemon's wire protocol used to talk to file descriptors
+ * directly, which made its robustness claims untestable: nothing could
+ * prove the daemon survives a mid-frame disconnect, a trickling
+ * slowloris peer or a bit flip in flight without a hostile network to
+ * hand. This seam fixes that the same way io::Vfs fixed durability:
+ *
+ *  - FdStream   passes through to a connected socket/pipe fd via the
+ *               EINTR-retrying wrappers in io/posix.h, with an optional
+ *               per-operation deadline (poll before each read/write);
+ *  - PipeStream an in-memory one-direction byte queue (the loopback
+ *               wire a drill runs over);
+ *  - ChaosNet   a simulated duplex connection over two PipeStreams,
+ *               executing the net-* ops of a ChaosSchedule (io/chaos.h):
+ *               short reads/writes, mid-frame disconnects, stalls, bit
+ *               flips — deterministically, so every failure a seeded
+ *               campaign finds replays from a small text file.
+ *
+ * Operations are deliberately few: Read (0 at orderly close), Write
+ * (partial counts are legal — callers loop via WriteAll). Framing lives
+ * above the seam (serve/protocol.h).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "io/chaos.h"
+#include "util/status.h"
+
+namespace atum::io {
+
+/** A bidirectional byte stream end (one side of a connection). */
+class Stream
+{
+  public:
+    virtual ~Stream() = default;
+
+    /** Reads up to `len` bytes; returns the count read, 0 at orderly
+     *  close (or, for PipeStream, when the queue is empty). */
+    virtual util::StatusOr<size_t> Read(void* data, size_t len) = 0;
+
+    /** Writes up to `len` bytes; returns the count accepted, which may
+     *  be less than `len` (a legal partial write — loop or WriteAll). */
+    virtual util::StatusOr<size_t> Write(const void* data, size_t len) = 0;
+
+    /** Short implementation name for logs ("fd", "pipe", "chaos"). */
+    virtual const char* name() const = 0;
+};
+
+/** Writes all `len` bytes through `stream`, looping across partials. */
+util::Status WriteAll(Stream& stream, const void* data, size_t len);
+
+/**
+ * A borrowed connected file descriptor as a Stream. With a deadline
+ * (`op_timeout_ms >= 0`) every Read/Write polls first and fails
+ * kUnavailable when the peer stays silent/stuffed past it — the
+ * slowloris defence. The fd is NOT closed on destruction.
+ */
+class FdStream : public Stream
+{
+  public:
+    explicit FdStream(int fd, int op_timeout_ms = -1)
+        : fd_(fd), op_timeout_ms_(op_timeout_ms)
+    {
+    }
+
+    util::StatusOr<size_t> Read(void* data, size_t len) override;
+    util::StatusOr<size_t> Write(const void* data, size_t len) override;
+    const char* name() const override { return "fd"; }
+
+    int fd() const { return fd_; }
+
+  private:
+    int fd_;
+    int op_timeout_ms_;
+};
+
+/** A one-direction in-memory byte queue: what one peer wrote and the
+ *  other has not yet read. Read returns 0 when the queue is empty. */
+class PipeStream : public Stream
+{
+  public:
+    util::StatusOr<size_t> Read(void* data, size_t len) override;
+    util::StatusOr<size_t> Write(const void* data, size_t len) override;
+    const char* name() const override { return "pipe"; }
+
+    size_t buffered() const { return buf_.size(); }
+    void Clear() { buf_.clear(); }
+
+  private:
+    std::string buf_;
+};
+
+/**
+ * A simulated client<->server connection executing one ChaosSchedule's
+ * net-* ops. Both directions share one send counter (every Write on
+ * either end) and one recv counter (every Read), so a probe run's
+ * OpCounts aim fault indices exactly like the Vfs drills.
+ *
+ * A cut-send/cut-recv latches `disconnected` — every later operation on
+ * the *current* connection fails kUnavailable, exactly as a reset
+ * socket would. ResetConnection() models the client dialing again:
+ * queues drain, the latch clears, but fired ops stay fired and the
+ * counters keep counting (the network remembers nothing; the schedule
+ * remembers everything).
+ */
+class ChaosNet
+{
+  public:
+    explicit ChaosNet(ChaosSchedule schedule);
+    ~ChaosNet();  // out of line: ChaosEnd is incomplete here
+
+    /** The client's outgoing wire (server reads the other end). */
+    Stream& client_to_server() { return c2s_; }
+    /** The server's outgoing wire (client reads the other end). */
+    Stream& server_to_client() { return s2c_; }
+
+    /** A fresh connection attempt over the same hostile network. */
+    void ResetConnection();
+
+    bool disconnected() const { return disconnected_; }
+    const OpCounts& counts() const { return counts_; }
+    uint32_t faults_fired() const { return faults_fired_; }
+
+    // -- drill-level ops (consumed by the harness, not the streams) ---------
+
+    /** Advances the scripted-request counter; returns its new value. */
+    uint64_t NextRequest() { return ++counts_.requests; }
+    /** True when request #`request_index` is scheduled for duplication. */
+    bool TakeDupRequest(uint64_t request_index);
+    /** True when the daemon dies before request #`request_index`. */
+    bool TakeKillServe(uint64_t request_index);
+
+  private:
+    class ChaosEnd;
+
+    const ChaosOp* Take(ChaosOpKind kind, uint64_t at);
+    util::Status InjectedError(const ChaosOp& op, const char* what);
+
+    util::StatusOr<size_t> Send(PipeStream& wire, const void* data,
+                                size_t len);
+    util::StatusOr<size_t> Recv(PipeStream& wire, void* data, size_t len);
+
+    ChaosSchedule schedule_;
+    std::vector<bool> fired_;
+    OpCounts counts_;
+    uint32_t faults_fired_ = 0;
+    bool disconnected_ = false;
+
+    PipeStream c2s_wire_;
+    PipeStream s2c_wire_;
+    std::unique_ptr<ChaosEnd> c2s_owned_;
+    std::unique_ptr<ChaosEnd> s2c_owned_;
+    Stream& c2s_;
+    Stream& s2c_;
+};
+
+}  // namespace atum::io
+
+#endif  // ATUM_IO_STREAM_H_

@@ -77,6 +77,8 @@ SerializeJournalRecord(const JournalRecord& record)
     if (record.kind == JournalKind::kSubmitted) {
         if (record.job != "capture")
             w.KeyValue("job", record.job);
+        if (!record.client_token.empty())
+            w.KeyValue("token", record.client_token);
         w.KeyValue("tenant", record.tenant);
         w.KeyValue("workload", record.workload);
         w.KeyValue("scale", record.scale);
@@ -140,6 +142,8 @@ ParseJournalRecord(const std::string& payload)
         return util::DataLoss("journal record with id 0");
     if (doc->Has("job"))
         record.job = doc->Get("job").AsString();
+    if (doc->Has("token"))
+        record.client_token = doc->Get("token").AsString();
     if (record.job != "capture" && record.job != "sweep")
         return util::DataLoss("unknown journal job kind '", record.job,
                               "'");

@@ -59,6 +59,10 @@ struct JournalRecord {
     // -- kSubmitted --------------------------------------------------------
     /** What the job runs: "capture" (the default) or "sweep". */
     std::string job = "capture";
+    /** The submit's idempotency key, empty when the client sent none.
+     *  Journaled with the submission so recovery rebuilds the dedup map
+     *  and a retry after a kill-restart still maps to the same id. */
+    std::string client_token;
     std::string tenant;
     std::string workload;
     uint32_t scale = 1;

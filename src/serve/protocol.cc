@@ -111,6 +111,12 @@ ParseRequest(const std::string& payload)
         if (!(field = U64Field(*doc, "deadline_ms", 0)).ok())
             return field.status();
         req.quota.deadline_ms = *field;
+        if (doc->Has("token")) {
+            req.client_token = doc->Get("token").AsString();
+            if (req.client_token.empty() || req.client_token.size() > 128)
+                return util::InvalidArgument(
+                    "token must be 1..128 characters when present");
+        }
     } else if (op == "sweep") {
         req.op = RequestOp::kSweep;
         if (doc->Has("tenant"))
@@ -189,6 +195,8 @@ SerializeRequest(const Request& request)
             w.KeyValue("max_trace_bytes", request.quota.max_trace_bytes);
         if (request.quota.deadline_ms != 0)
             w.KeyValue("deadline_ms", request.quota.deadline_ms);
+        if (!request.client_token.empty())
+            w.KeyValue("token", request.client_token);
         break;
       case RequestOp::kSweep:
         w.KeyValue("op", "sweep");

@@ -18,7 +18,7 @@
  *   {"v":"atum-serve-v1","op":"ping"}
  *   {"v":"atum-serve-v1","op":"submit","tenant":"t","workload":"grep",
  *    "scale":1,"max_instructions":200000,"max_trace_bytes":0,
- *    "deadline_ms":0}
+ *    "deadline_ms":0,"token":"c0ffee-1"}   — token: idempotency key
  *   {"v":"atum-serve-v1","op":"sweep","tenant":"t","of":7,
  *    "configs":[{"kind":"cache","size_kb":64,"block":16,"assoc":2},...],
  *    "timeout_ms":0,"retries":1}                   — replay job 7's trace
@@ -107,6 +107,10 @@ struct Request {
     std::string workload = "grep";
     uint32_t scale = 1;
     JobQuota quota;
+    /** Idempotency key (1..128 chars, empty = none): a retry carrying
+     *  the same token is answered with the original job id instead of
+     *  double-running — see docs/SERVE.md "Network failure model". */
+    std::string client_token;
     // -- sweep -------------------------------------------------------------
     uint64_t sweep_of = 0;  ///< finished capture job whose trace to replay
     std::vector<SweepConfigSpec> sweep_configs;

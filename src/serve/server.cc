@@ -19,6 +19,10 @@ namespace atum::serve {
 
 namespace {
 
+/** Off only in the teeth test, which proves the net chaos campaign
+ *  catches the double-run N1 violation dedup exists to prevent. */
+std::atomic<bool> g_token_dedup{true};
+
 constexpr char kJournalName[] = "serve.journal";
 constexpr char kStatusName[] = "serve.status.json";
 constexpr char kStatusVersion[] = "atum-serve-status-v1";
@@ -105,6 +109,12 @@ WriteJobJson(util::JsonWriter& w, const JobInfo& info)
 }
 
 }  // namespace
+
+void
+SetTokenDedupForTest(bool enabled)
+{
+    g_token_dedup.store(enabled, std::memory_order_relaxed);
+}
 
 const char*
 JobStateName(JobState state)
@@ -198,6 +208,7 @@ ServeCore::RecoverLocked()
         switch (record.kind) {
           case JournalKind::kSubmitted:
             job.info.id = record.id;
+            job.client_token = record.client_token;
             job.info.kind = record.job;
             job.info.tenant = record.tenant;
             job.info.workload = record.workload;
@@ -254,6 +265,15 @@ ServeCore::RecoverLocked()
             it = jobs_.erase(it);
         else
             ++it;
+    }
+
+    // Rebuild the N1 dedup map: every journaled token still maps to its
+    // original id, so a retry that straddles a kill-restart is answered
+    // identically to one that never saw the daemon die (the first
+    // submission wins when corruption ever yields a token twice).
+    for (const auto& [id, slot] : jobs_) {
+        if (!slot->client_token.empty())
+            token_to_id_.emplace(slot->client_token, id);
     }
 
     // Pass 2: re-dispatch everything non-terminal.
@@ -459,6 +479,28 @@ ServeCore::HandleSubmit(const Request& request)
         return ErrorResponse(util::InvalidArgument(
             "unknown workload '", request.workload, "'"));
 
+    // N1 (exactly-once submits): a token seen before — in this life or,
+    // via the journal, in any previous one — is a client retrying an
+    // ambiguous submit. Answer with the original id; never double-run.
+    if (!request.client_token.empty() &&
+        g_token_dedup.load(std::memory_order_relaxed)) {
+        auto dup = token_to_id_.find(request.client_token);
+        if (dup != token_to_id_.end()) {
+            registry_.GetCounter("serve.net.dup_token_hits").Add();
+            auto it = jobs_.find(dup->second);
+            util::JsonWriter w;
+            w.BeginObject();
+            w.KeyValue("ok", true);
+            w.KeyValue("id", dup->second);
+            w.KeyValue("state", it != jobs_.end()
+                                    ? JobStateName(it->second->info.state)
+                                    : "queued");
+            w.KeyValue("dup", true);
+            w.EndObject();
+            return w.TakeStr();
+        }
+    }
+
     const uint64_t id = next_id_;
     if (util::Status admitted = admission_.Admit(id, request.tenant);
         !admitted.ok()) {
@@ -471,6 +513,7 @@ ServeCore::HandleSubmit(const Request& request)
     JournalRecord record;
     record.kind = JournalKind::kSubmitted;
     record.id = id;
+    record.client_token = request.client_token;
     record.tenant = request.tenant;
     record.workload = request.workload;
     record.scale = request.scale;
@@ -485,12 +528,15 @@ ServeCore::HandleSubmit(const Request& request)
 
     auto job = std::make_unique<Job>();
     job->info.id = id;
+    job->client_token = request.client_token;
     job->info.tenant = request.tenant;
     job->info.workload = request.workload;
     job->info.scale = request.scale;
     job->info.quota = quota;
     job->info.state = JobState::kQueued;
     jobs_[id] = std::move(job);
+    if (!request.client_token.empty())
+        token_to_id_.emplace(request.client_token, id);
 
     registry_.GetCounter("serve.jobs.submitted").Add();
     obs::RecordInstant("serve", "serve.submit", request.workload.c_str(),

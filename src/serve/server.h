@@ -33,6 +33,12 @@
  *   J2 no double-run     — a job journaled finished never runs again;
  *   J3 journal integrity — a torn/corrupt journal tail never poisons
  *                          recovery (the valid prefix wins, quietly).
+ *
+ * Exactly-once submits (invariant N1, docs/SERVE.md "Network failure
+ * model"): a submit carrying a client token is deduplicated against
+ * every token this daemon has ever journaled — a retry after a lost
+ * response (or a daemon kill-restart) is answered with the original
+ * job id instead of admitting a second job.
  */
 
 #include <atomic>
@@ -189,6 +195,9 @@ class ServeCore
   private:
     struct Job {
         JobInfo info;
+        /** The submit's idempotency key ("" = none), kept so recovery
+         *  rebuilds the dedup map from the journal alone. */
+        std::string client_token;
         /** Per-job graceful-stop latch (SupervisorOptions.stop_flag). */
         volatile std::sig_atomic_t stop_flag = 0;
         std::atomic<bool> cancel_requested{false};
@@ -255,6 +264,8 @@ class ServeCore
     std::unique_ptr<JobJournal> journal_;
     AdmissionController admission_;
     std::map<uint64_t, std::unique_ptr<Job>> jobs_;
+    /** client_token -> original job id (N1: one token, one job). */
+    std::map<std::string, uint64_t> token_to_id_;
     uint64_t next_id_ = 1;
     bool started_ = false;
     unsigned slots_free_ = 0;
@@ -263,6 +274,14 @@ class ServeCore
     std::unique_ptr<replay::ThreadPool> pool_;
     replay::CancellationToken drain_token_;
 };
+
+/**
+ * Test-only: disables submit-token deduplication, reintroducing the
+ * double-run-under-retry bug the net chaos drills exist to catch. The
+ * teeth test (tests/serve_test.cc) flips this off, proves the campaign
+ * reports an N1 violation, and flips it back on.
+ */
+void SetTokenDedupForTest(bool enabled);
 
 }  // namespace atum::serve
 

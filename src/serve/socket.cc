@@ -8,12 +8,14 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "io/posix.h"
+
 namespace atum::serve {
 
 namespace {
 
 util::Status
-ErrnoStatus(int err, const std::string& what)
+SocketErrno(int err, const std::string& what)
 {
     return util::Unavailable(what, ": ", std::strerror(err));
 }
@@ -23,7 +25,7 @@ MakeSocket()
 {
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0)
-        return ErrnoStatus(errno, "socket(AF_UNIX)");
+        return SocketErrno(errno, "socket(AF_UNIX)");
     return fd;
 }
 
@@ -39,30 +41,22 @@ FillAddr(const std::string& path, sockaddr_un* addr)
     return util::OkStatus();
 }
 
+/** Poll slice for an unbounded Accept: long enough to idle cheaply,
+ *  short enough that a SIGTERM drain never waits noticeably. */
+constexpr int kAcceptSliceMs = 200;
+
 }  // namespace
 
 util::Status
-WriteFrameFd(int fd, const std::string& payload)
+WriteFrameStream(io::Stream& stream, const std::string& payload)
 {
     const std::string frame = EncodeFrame(payload);
-    size_t off = 0;
-    while (off < frame.size()) {
-        const ssize_t n =
-            ::write(fd, frame.data() + off, frame.size() - off);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return ErrnoStatus(errno, "write frame");
-        }
-        off += static_cast<size_t>(n);
-    }
-    return util::OkStatus();
+    return io::WriteAll(stream, frame.data(), frame.size());
 }
 
 util::StatusOr<std::string>
-ReadFrameFd(int fd)
+ReadFrameStream(io::Stream& stream, FrameParser& parser)
 {
-    FrameParser parser;
     std::string payload;
     char buf[4096];
     for (;;) {
@@ -71,21 +65,33 @@ ReadFrameFd(int fd)
             return got.status();
         if (*got)
             return payload;
-        const ssize_t n = ::read(fd, buf, sizeof buf);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return ErrnoStatus(errno, "read frame");
-        }
-        if (n == 0) {
+        util::StatusOr<size_t> n = stream.Read(buf, sizeof buf);
+        if (!n.ok())
+            return n.status();
+        if (*n == 0) {
             if (parser.pending_bytes() == 0)
                 return util::Unavailable("peer closed the connection");
             return util::DataLoss("connection closed mid-frame (",
                                   parser.pending_bytes(),
                                   " bytes buffered)");
         }
-        parser.Feed(buf, static_cast<size_t>(n));
+        parser.Feed(buf, *n);
     }
+}
+
+util::Status
+WriteFrameFd(int fd, const std::string& payload)
+{
+    io::FdStream stream(fd);
+    return WriteFrameStream(stream, payload);
+}
+
+util::StatusOr<std::string>
+ReadFrameFd(int fd)
+{
+    io::FdStream stream(fd);
+    FrameParser parser;
+    return ReadFrameStream(stream, parser);
 }
 
 util::StatusOr<std::unique_ptr<UnixListener>>
@@ -104,13 +110,13 @@ UnixListener::Bind(const std::string& path)
     if (::bind(*fd, reinterpret_cast<const sockaddr*>(&addr),
                sizeof addr) != 0) {
         const int err = errno;
-        ::close(*fd);
-        return ErrnoStatus(err, "bind " + path);
+        io::CloseFd(*fd, path);
+        return SocketErrno(err, "bind " + path);
     }
     if (::listen(*fd, 16) != 0) {
         const int err = errno;
-        ::close(*fd);
-        return ErrnoStatus(err, "listen " + path);
+        io::CloseFd(*fd, path);
+        return SocketErrno(err, "listen " + path);
     }
     return std::unique_ptr<UnixListener>(new UnixListener(*fd, path));
 }
@@ -124,29 +130,43 @@ UnixListener::~UnixListener()
 util::StatusOr<int>
 UnixListener::Accept(int timeout_ms)
 {
-    if (fd_ < 0)
-        return util::Unavailable("listener is closed");
-    if (timeout_ms >= 0) {
+    // An unbounded wait is really a loop of bounded ones: each slice
+    // re-checks the stop flag and the listener fd, so a SIGTERM (or a
+    // concurrent Close) during an idle wait ends the accept loop instead
+    // of parking in accept(2) until the next client happens to dial.
+    const bool unbounded = timeout_ms < 0;
+    for (;;) {
+        if (fd_ < 0)
+            return util::Unavailable("listener is closed");
+        if (stop_flag_ != nullptr && *stop_flag_ != 0)
+            return util::Interrupted("listener stopped");
         pollfd pfd{};
         pfd.fd = fd_;
         pfd.events = POLLIN;
-        const int ready = ::poll(&pfd, 1, timeout_ms);
+        const int slice = unbounded ? kAcceptSliceMs : timeout_ms;
+        const int ready = ::poll(&pfd, 1, slice);
         if (ready < 0 && errno != EINTR)
-            return ErrnoStatus(errno, "poll");
-        if (ready <= 0)
-            return -1;  // timeout (or signal): no connection this round
+            return SocketErrno(errno, "poll");
+        if (ready <= 0) {
+            if (!unbounded)
+                return -1;  // timeout (or signal): no connection
+            continue;  // next slice; the stop flag is re-checked above
+        }
+        const int fd = ::accept(fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;  // the dialer gave up; keep listening
+            return SocketErrno(errno, "accept");
+        }
+        return fd;
     }
-    const int fd = ::accept(fd_, nullptr, nullptr);
-    if (fd < 0)
-        return ErrnoStatus(errno, "accept");
-    return fd;
 }
 
 void
 UnixListener::Close()
 {
     if (fd_ >= 0) {
-        ::close(fd_);
+        io::CloseFd(fd_, path_);
         fd_ = -1;
     }
 }
@@ -163,8 +183,8 @@ UnixClient::Connect(const std::string& path)
     if (::connect(*fd, reinterpret_cast<const sockaddr*>(&addr),
                   sizeof addr) != 0) {
         const int err = errno;
-        ::close(*fd);
-        return ErrnoStatus(err, "connect " + path);
+        io::CloseFd(*fd, path);
+        return SocketErrno(err, "connect " + path);
     }
     return std::unique_ptr<UnixClient>(new UnixClient(*fd));
 }
@@ -172,7 +192,7 @@ UnixClient::Connect(const std::string& path)
 UnixClient::~UnixClient()
 {
     if (fd_ >= 0)
-        ::close(fd_);
+        io::CloseFd(fd_, "client socket");
 }
 
 util::StatusOr<std::string>
@@ -181,6 +201,75 @@ UnixClient::Call(const std::string& payload)
     if (util::Status s = WriteFrameFd(fd_, payload); !s.ok())
         return s;
     return ReadFrameFd(fd_);
+}
+
+util::Status
+ConnGovernor::OnAccept(uint64_t conn_id, uint64_t now_ms)
+{
+    if (conns_.size() >= config_.max_connections)
+        return util::ResourceExhausted(
+            "connection limit reached (", config_.max_connections,
+            " open); retry after one closes");
+    Conn& conn = conns_[conn_id];
+    conn.last_activity_ms = now_ms;
+    return util::OkStatus();
+}
+
+util::Status
+ConnGovernor::OnTenant(uint64_t conn_id, const std::string& tenant)
+{
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end())
+        return util::NotFound("unknown connection ", conn_id);
+    if (it->second.tenant == tenant)
+        return util::OkStatus();
+    auto count = tenant_conns_.find(tenant);
+    if (count != tenant_conns_.end() &&
+        count->second >= config_.max_per_tenant)
+        return util::ResourceExhausted(
+            "tenant '", tenant, "' holds its connection share (",
+            config_.max_per_tenant, "); retry after one closes");
+    if (!it->second.tenant.empty()) {
+        auto old = tenant_conns_.find(it->second.tenant);
+        if (old != tenant_conns_.end() && --old->second == 0)
+            tenant_conns_.erase(old);
+    }
+    it->second.tenant = tenant;
+    ++tenant_conns_[tenant];
+    return util::OkStatus();
+}
+
+void
+ConnGovernor::OnActivity(uint64_t conn_id, uint64_t now_ms)
+{
+    auto it = conns_.find(conn_id);
+    if (it != conns_.end())
+        it->second.last_activity_ms = now_ms;
+}
+
+void
+ConnGovernor::OnClose(uint64_t conn_id)
+{
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end())
+        return;
+    if (!it->second.tenant.empty()) {
+        auto count = tenant_conns_.find(it->second.tenant);
+        if (count != tenant_conns_.end() && --count->second == 0)
+            tenant_conns_.erase(count);
+    }
+    conns_.erase(it);
+}
+
+std::vector<uint64_t>
+ConnGovernor::IdleConnections(uint64_t now_ms) const
+{
+    std::vector<uint64_t> idle;
+    for (const auto& [id, conn] : conns_) {
+        if (now_ms - conn.last_activity_ms >= config_.idle_timeout_ms)
+            idle.push_back(id);
+    }
+    return idle;
 }
 
 }  // namespace atum::serve

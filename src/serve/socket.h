@@ -3,36 +3,55 @@
 
 /**
  * @file
- * The thin POSIX rind around ServeCore: a Unix-domain stream listener
- * and the matching client, speaking length-prefixed frames
- * (serve/protocol.h).
+ * The POSIX rind around ServeCore: a Unix-domain stream listener, the
+ * matching client, frame I/O over the io::Stream seam, and the
+ * connection governor that keeps a hostile peer from wedging or
+ * starving the daemon.
  *
- * Kept deliberately small and separate — everything with behavior worth
- * testing lives in ServeCore, and everything here is straight-line
- * syscall plumbing: bind/listen/accept on the server side, connect +
- * one-request/one-response exchanges on the client side. Blocking I/O
- * with a per-connection frame parser; the daemon serves connections one
- * at a time (requests are sub-millisecond — the expensive work happens
- * on the worker pool, never on the accept thread).
+ * Everything with job-level behavior worth testing lives in ServeCore;
+ * this layer owns the connection-level robustness contract instead
+ * (docs/SERVE.md "Network failure model"):
+ *
+ *  - frame I/O is written against io::Stream, so the same code path the
+ *    daemon runs in production is driven through ChaosNet in the net
+ *    chaos drills (short reads, mid-frame cuts, bit flips, stalls);
+ *  - raw fd work goes through the EINTR-retrying wrappers in
+ *    io/posix.h, never bare read(2)/write(2);
+ *  - ConnGovernor bounds how many connections exist at once (globally
+ *    and per tenant), tracks per-connection activity for slowloris
+ *    eviction, and is pure bookkeeping over an injected clock so tests
+ *    need no wall time.
  */
 
 #include <cstdint>
+#include <csignal>
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "io/stream.h"
 #include "serve/protocol.h"
 #include "util/status.h"
 
 namespace atum::serve {
 
-/** Writes one length-prefixed frame to `fd` (blocking, EINTR-safe). */
-util::Status WriteFrameFd(int fd, const std::string& payload);
+/** Writes one length-prefixed frame through `stream` (loops partials). */
+util::Status WriteFrameStream(io::Stream& stream,
+                              const std::string& payload);
 
 /**
- * Reads one complete frame from `fd`. kUnavailable on EOF before any
- * byte (peer closed cleanly), kDataLoss on EOF mid-frame, kInvalidArgument
- * on an oversized frame.
+ * Reads one complete frame through `stream` into `parser` (which holds
+ * any read-ahead for the next call — one parser per connection).
+ * kUnavailable on orderly close before any byte, kDataLoss on close
+ * mid-frame, kInvalidArgument once the parser is poisoned by an
+ * oversized frame.
  */
+util::StatusOr<std::string> ReadFrameStream(io::Stream& stream,
+                                            FrameParser& parser);
+
+/** Frame I/O on a bare connected fd (one-shot; wraps FdStream). */
+util::Status WriteFrameFd(int fd, const std::string& payload);
 util::StatusOr<std::string> ReadFrameFd(int fd);
 
 /** A bound, listening Unix-domain stream socket. */
@@ -53,17 +72,27 @@ class UnixListener
 
     /**
      * Accepts one connection and returns its fd; the caller owns and
-     * closes it. `timeout_ms` bounds the wait (-1 = forever): -1 is
-     * returned when it elapses with no connection, so a daemon can
-     * re-check its SIGTERM flag between accepts (std::signal's
-     * SA_RESTART semantics would otherwise park accept(2) forever).
-     * kUnavailable on a closed listener or accept failure.
+     * closes it. `timeout_ms` bounds the wait: -1 is returned when it
+     * elapses with no connection, so a daemon can re-check its SIGTERM
+     * flag between accepts. `timeout_ms < 0` waits "forever" — but in
+     * bounded poll slices, re-checking the stop flag installed with
+     * set_stop_flag() each slice, so a SIGTERM during an idle wait
+     * returns kInterrupted instead of parking in accept(2) until the
+     * next client happens to dial. kUnavailable on a closed listener.
      */
     util::StatusOr<int> Accept(int timeout_ms = -1);
+
+    /** Stop latch consulted by an unbounded Accept between poll slices
+     *  (point it at the daemon's SIGTERM flag). May be null. */
+    void set_stop_flag(volatile std::sig_atomic_t* flag)
+    {
+        stop_flag_ = flag;
+    }
 
     /** Closes the listening socket (thread-safe wakeup for Accept). */
     void Close();
 
+    int fd() const { return fd_; }
     const std::string& path() const { return path_; }
 
   private:
@@ -73,6 +102,7 @@ class UnixListener
 
     int fd_;
     std::string path_;
+    volatile std::sig_atomic_t* stop_flag_ = nullptr;
 };
 
 /** One client connection: connect, then Call() per request. */
@@ -89,10 +119,78 @@ class UnixClient
     /** Sends one request payload, returns the response payload. */
     util::StatusOr<std::string> Call(const std::string& payload);
 
+    int fd() const { return fd_; }
+
   private:
     explicit UnixClient(int fd) : fd_(fd) {}
 
     int fd_;
+};
+
+/** Connection-governance knobs (docs/SERVE.md "Network failure model"). */
+struct ConnGovernorConfig {
+    /** Open connections across all tenants; past it, accepts shed. */
+    uint32_t max_connections = 64;
+    /** Open connections one tenant may hold (its connection share). */
+    uint32_t max_per_tenant = 16;
+    /** A connection silent this long is a slowloris and is evicted. */
+    uint64_t idle_timeout_ms = 30'000;
+    /** Bytes one connection may hold buffered (parser read-ahead plus
+     *  unsent responses) before it is evicted as a memory hog. */
+    size_t max_buffered_bytes = 4u << 20;
+};
+
+/**
+ * Per-connection bookkeeping for the daemon's accept loop: admission
+ * against the global and per-tenant connection caps, last-activity
+ * tracking for slowloris eviction. Pure state over caller-supplied
+ * timestamps (monotonic ms), so the net drills and unit tests govern
+ * simulated connections without wall-clock nondeterminism. Not
+ * thread-safe; the accept loop is single-threaded by design.
+ */
+class ConnGovernor
+{
+  public:
+    explicit ConnGovernor(ConnGovernorConfig config)
+        : config_(config)
+    {
+    }
+
+    /**
+     * Admits connection `conn_id` at `now_ms`; kResourceExhausted when
+     * the global cap is reached (the caller answers with a structured
+     * shed error, then closes — exit 8 on the client).
+     */
+    util::Status OnAccept(uint64_t conn_id, uint64_t now_ms);
+
+    /**
+     * Charges the connection to `tenant` (first request names it; a
+     * later request may re-name it, moving the charge).
+     * kResourceExhausted when the tenant's connection share is full.
+     */
+    util::Status OnTenant(uint64_t conn_id, const std::string& tenant);
+
+    /** Any byte read from or written to the connection. */
+    void OnActivity(uint64_t conn_id, uint64_t now_ms);
+
+    /** Releases the connection (close or eviction). */
+    void OnClose(uint64_t conn_id);
+
+    /** Connections silent since before `now_ms - idle_timeout_ms`. */
+    std::vector<uint64_t> IdleConnections(uint64_t now_ms) const;
+
+    size_t open_connections() const { return conns_.size(); }
+    const ConnGovernorConfig& config() const { return config_; }
+
+  private:
+    struct Conn {
+        std::string tenant;
+        uint64_t last_activity_ms = 0;
+    };
+
+    ConnGovernorConfig config_;
+    std::map<uint64_t, Conn> conns_;
+    std::map<std::string, uint32_t> tenant_conns_;
 };
 
 }  // namespace atum::serve

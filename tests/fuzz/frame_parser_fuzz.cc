@@ -1,0 +1,61 @@
+// libFuzzer harness over the serve wire codec (built with
+// -DATUM_FUZZ=ON, clang only): arbitrary bytes through FrameParser in
+// fuzzer-chosen chunk sizes, every extracted frame through ParseRequest,
+// every valid request back through SerializeRequest. ASan owns the
+// memory-safety claims; the asserts here pin the codec contract the
+// deterministic sweep (`atum-chaos --fuzz-protocol`) and the pinned
+// corpus (tests/protocol_corpus/) check without coverage guidance:
+// extraction terminates, read-ahead stays bounded by the frame cap, and
+// a parsed request round-trips to the same op.
+//
+// Run: ./build/tests/frame_parser_fuzz tests/protocol_corpus -max_total_time=60
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.h"
+#include "util/status.h"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t* data, size_t size)
+{
+    using namespace atum;
+
+    // The first byte picks the feed chunk size, so the corpus explores
+    // frame boundaries landing mid-header and mid-payload.
+    const size_t chunk = size > 0 ? static_cast<size_t>(data[0] % 63) + 1 : 1;
+    if (size > 0) {
+        ++data;
+        --size;
+    }
+
+    serve::FrameParser parser;
+    int steps = 0;
+    for (size_t off = 0; off < size; off += chunk) {
+        parser.Feed(data + off, std::min(chunk, size - off));
+        for (;;) {
+            assert(++steps < 100'000 && "frame extraction wedged");
+            std::string payload;
+            util::StatusOr<bool> got = parser.Next(&payload);
+            if (!got.ok())
+                return 0;  // poisoned: the connection would close here
+            if (!*got)
+                break;
+            util::StatusOr<serve::Request> request =
+                serve::ParseRequest(payload);
+            if (request.ok()) {
+                util::StatusOr<serve::Request> again =
+                    serve::ParseRequest(serve::SerializeRequest(*request));
+                assert(again.ok() && again->op == request->op &&
+                       "valid request failed to round-trip");
+            }
+        }
+        assert(parser.pending_bytes() <=
+                   size_t{serve::kMaxFrameBytes} + 4 &&
+               "parser buffered past the frame cap");
+    }
+    return 0;
+}

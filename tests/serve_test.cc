@@ -1,11 +1,16 @@
 // Serve daemon tests: frame codec fuzz, protocol validation, journal
 // recovery under a corruption matrix, admission/fair-share policy, the
 // ServeCore job lifecycle in drill mode, kill-restart recovery on an
-// in-memory disk, and a small seeded serve chaos campaign.
+// in-memory disk, connection governance, idempotency-token dedup, the
+// pinned protocol fuzz corpus, and small seeded serve/net chaos
+// campaigns.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <csignal>
+#include <filesystem>
+#include <fstream>
 #include <random>
 #include <string>
 #include <vector>
@@ -18,8 +23,13 @@
 #include "serve/journal.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
+#include "serve/socket.h"
 #include "util/json.h"
 #include "util/status.h"
+
+#ifndef ATUM_PROTOCOL_CORPUS_DIR
+#error "ATUM_PROTOCOL_CORPUS_DIR must point at tests/protocol_corpus"
+#endif
 
 namespace atum::serve {
 namespace {
@@ -1057,6 +1067,344 @@ TEST(ServeChaos, SweepKillRestartCampaignUpholdsS4AndS5)
         ADD_FAILURE() << failure.Summary();
     EXPECT_GE(result->sweeps_acked, 1u);
     EXPECT_GE(result->sweep_rows, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Connection governance (pure bookkeeping over an injected clock).
+
+TEST(ConnGovernor, GlobalCapShedsAndCloseReleases)
+{
+    ConnGovernorConfig config;
+    config.max_connections = 2;
+    ConnGovernor governor(config);
+
+    EXPECT_TRUE(governor.OnAccept(1, 0).ok());
+    EXPECT_TRUE(governor.OnAccept(2, 0).ok());
+    util::Status shed = governor.OnAccept(3, 0);
+    EXPECT_EQ(shed.code(), util::StatusCode::kResourceExhausted)
+        << shed.ToString();
+    EXPECT_EQ(governor.open_connections(), 2u);
+
+    governor.OnClose(1);
+    EXPECT_TRUE(governor.OnAccept(3, 0).ok());  // the slot came back
+}
+
+TEST(ConnGovernor, PerTenantShareIsEnforcedAndMovable)
+{
+    ConnGovernorConfig config;
+    config.max_per_tenant = 1;
+    ConnGovernor governor(config);
+
+    ASSERT_TRUE(governor.OnAccept(1, 0).ok());
+    ASSERT_TRUE(governor.OnAccept(2, 0).ok());
+    EXPECT_TRUE(governor.OnTenant(1, "alice").ok());
+    util::Status full = governor.OnTenant(2, "alice");
+    EXPECT_EQ(full.code(), util::StatusCode::kResourceExhausted)
+        << full.ToString();
+    EXPECT_TRUE(governor.OnTenant(2, "bob").ok());
+
+    // Re-naming moves the charge: alice's share frees, bob's fills.
+    EXPECT_TRUE(governor.OnTenant(1, "carol").ok());
+    ASSERT_TRUE(governor.OnAccept(3, 0).ok());
+    EXPECT_TRUE(governor.OnTenant(3, "alice").ok());
+
+    // Closing releases the tenant charge too.
+    governor.OnClose(2);
+    ASSERT_TRUE(governor.OnAccept(4, 0).ok());
+    EXPECT_TRUE(governor.OnTenant(4, "bob").ok());
+}
+
+TEST(ConnGovernor, IdleConnectionsAreNamedForEviction)
+{
+    ConnGovernorConfig config;
+    config.idle_timeout_ms = 100;
+    ConnGovernor governor(config);
+
+    ASSERT_TRUE(governor.OnAccept(1, 0).ok());
+    ASSERT_TRUE(governor.OnAccept(2, 0).ok());
+    governor.OnActivity(2, 90);
+
+    std::vector<uint64_t> idle = governor.IdleConnections(150);
+    ASSERT_EQ(idle.size(), 1u);
+    EXPECT_EQ(idle[0], 1u);  // silent since 0; 2 spoke at 90
+
+    // Activity resets the clock; both go quiet long enough and both
+    // are named.
+    governor.OnActivity(1, 150);
+    governor.OnActivity(2, 160);
+    EXPECT_TRUE(governor.IdleConnections(200).empty());
+    idle = governor.IdleConnections(400);
+    std::sort(idle.begin(), idle.end());
+    ASSERT_EQ(idle.size(), 2u);
+    EXPECT_EQ(idle[0], 1u);
+    EXPECT_EQ(idle[1], 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Exactly-once submits: the idempotency-token dedup map, live and
+// across a kill-restart (N1 at unit scale; the campaigns below drive it
+// through a hostile wire).
+
+std::string
+TokenSubmitPayload(const std::string& token)
+{
+    Request request;
+    request.op = RequestOp::kSubmit;
+    request.workload = "grep";
+    request.client_token = token;
+    return SerializeRequest(request);
+}
+
+/** id and "dup" flag from a submit response (asserts ok). */
+std::pair<uint64_t, bool>
+SubmitAck(ServeCore& core, const std::string& token)
+{
+    const std::string response =
+        core.HandleRequest(TokenSubmitPayload(token));
+    util::StatusOr<util::JsonValue> doc = util::JsonValue::Parse(response);
+    EXPECT_TRUE(doc.ok() && doc->Get("ok").AsBool()) << response;
+    if (!doc.ok())
+        return {0, false};
+    return {doc->Get("id").AsU64(),
+            doc->Has("dup") && doc->Get("dup").AsBool()};
+}
+
+TEST(ServeCore, DuplicateTokenReturnsSameJobWithoutRerunning)
+{
+    io::MemVfs vfs;
+    obs::Registry registry;
+    ServeCore core(DrillConfig(), vfs, &registry);
+    ASSERT_TRUE(core.Start().ok());
+
+    const auto [id, dup] = SubmitAck(core, "tok-once");
+    ASSERT_NE(id, 0u);
+    EXPECT_FALSE(dup);
+    const auto [id2, dup2] = SubmitAck(core, "tok-once");
+    EXPECT_EQ(id2, id);
+    EXPECT_TRUE(dup2);
+    const auto [id3, dup3] = SubmitAck(core, "tok-other");
+    EXPECT_NE(id3, id);  // a different token is a different job
+    EXPECT_FALSE(dup3);
+
+    while (core.RunNextQueuedJob()) {
+    }
+    EXPECT_EQ(core.Jobs().size(), 2u);  // two tokens, two jobs — not three
+    core.Shutdown();
+}
+
+TEST(ServeCore, TokenDedupSurvivesKillRestart)
+{
+    io::MemVfs vfs;
+    uint64_t id = 0;
+    {
+        obs::Registry registry;
+        ServeCore core(DrillConfig(), vfs, &registry);
+        ASSERT_TRUE(core.Start().ok());
+        std::tie(id, std::ignore) = SubmitAck(core, "tok-crash");
+        ASSERT_NE(id, 0u);
+        // Dropped without Shutdown, like a SIGKILLed daemon; the ack
+        // may or may not have reached the client — it retries.
+    }
+
+    obs::Registry registry;
+    ServeCore core(DrillConfig(), vfs, &registry);
+    ASSERT_TRUE(core.Start().ok());
+    const auto [retry_id, retry_dup] = SubmitAck(core, "tok-crash");
+    EXPECT_EQ(retry_id, id);  // same token, same job, across the crash
+    EXPECT_TRUE(retry_dup);
+    while (core.RunNextQueuedJob()) {
+    }
+    EXPECT_EQ(core.Jobs().size(), 1u);
+    core.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// The hostile-network drills (quick shapes; the 200-seed acceptance run
+// is scripts/test_serve.sh and the nightly workflow).
+
+chaos::NetCampaignSpec
+QuickNetSpec()
+{
+    chaos::NetCampaignSpec spec;
+    spec.submits = 3;
+    spec.max_instructions = 2000;
+    return spec;
+}
+
+TEST(NetChaos, HostileWireCampaignUpholdsN1N2N3)
+{
+    chaos::NetCampaignSpec spec = QuickNetSpec();
+    spec.campaigns = {"net-flaky", "net-cut", "net-flip",
+                      "net-stall", "net-dup", "net-kill"};
+    util::StatusOr<chaos::NetCampaignResult> result =
+        chaos::RunNetCampaign(spec, /*first_seed=*/1, /*seeds=*/6);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    for (const chaos::NetSeedResult& failure : result->failures)
+        ADD_FAILURE() << failure.Summary();
+    EXPECT_GT(result->faults_fired, 0u);
+    EXPECT_GT(result->acks, 0u);
+}
+
+// The teeth test: reintroduce the pre-hardening bug (no idempotency
+// dedup) behind its test knob and prove a hand-written two-op net
+// schedule — a duplicated submit delivery — is caught as the N1
+// "net-double-run" violation, while the hardened daemon sails through
+// the identical drill. If the battery cannot bite this, it cannot bite
+// anything.
+struct TokenDedupBugGuard {
+    TokenDedupBugGuard() { SetTokenDedupForTest(false); }
+    ~TokenDedupBugGuard() { SetTokenDedupForTest(true); }
+};
+
+io::ChaosSchedule
+DupDeliverySchedule()
+{
+    io::ChaosSchedule schedule;
+    schedule.seed = 11;
+    schedule.campaigns = {"net-dup"};
+    io::ChaosOp dup;
+    dup.kind = io::ChaosOpKind::kDupRequest;
+    dup.at = 1;  // the first scripted request is always a tokened submit
+    schedule.ops = {dup};
+    return schedule;
+}
+
+TEST(NetChaos, TeethDedupBugIsCaughtAsDoubleRunAndFixPasses)
+{
+    const chaos::NetCampaignSpec spec = QuickNetSpec();
+    const io::ChaosSchedule schedule = DupDeliverySchedule();
+
+    util::StatusOr<chaos::NetSeedResult> good =
+        chaos::ReplayNetSchedule(spec, schedule);
+    ASSERT_TRUE(good.ok()) << good.status().ToString();
+    EXPECT_TRUE(good->ok()) << good->Summary();
+    EXPECT_GE(good->dup_acks, 1u);  // dedup answered the duplicate
+
+    {
+        TokenDedupBugGuard bug;
+        util::StatusOr<chaos::NetSeedResult> broken =
+            chaos::ReplayNetSchedule(spec, schedule);
+        ASSERT_TRUE(broken.ok()) << broken.status().ToString();
+        ASSERT_FALSE(broken->ok()) << "the drill failed to bite the bug";
+        EXPECT_EQ(broken->violations[0].invariant, "net-double-run")
+            << broken->Summary();
+    }
+
+    util::StatusOr<chaos::NetSeedResult> fixed =
+        chaos::ReplayNetSchedule(spec, schedule);
+    ASSERT_TRUE(fixed.ok()) << fixed.status().ToString();
+    EXPECT_TRUE(fixed->ok()) << fixed->Summary();
+}
+
+// Minimization must strip the noise ops and hand back exactly the
+// duplicate delivery that trips the reintroduced bug.
+TEST(NetChaos, MinimizeNetShrinksToTheDuplicateDelivery)
+{
+    const chaos::NetCampaignSpec spec = QuickNetSpec();
+    io::ChaosSchedule noisy = DupDeliverySchedule();
+    io::ChaosOp shorts;
+    shorts.kind = io::ChaosOpKind::kShortSend;
+    shorts.at = 2;
+    shorts.arg = 3;
+    io::ChaosOp stall;
+    stall.kind = io::ChaosOpKind::kStallRecv;
+    stall.at = 200;  // far past the drill's recv count: never fires
+    noisy.ops.push_back(shorts);
+    noisy.ops.push_back(stall);
+
+    TokenDedupBugGuard bug;
+    util::StatusOr<io::ChaosSchedule> minimal =
+        chaos::MinimizeNet(spec, noisy);
+    ASSERT_TRUE(minimal.ok()) << minimal.status().ToString();
+    ASSERT_EQ(minimal->ops.size(), 1u);
+    EXPECT_EQ(minimal->ops[0].kind, io::ChaosOpKind::kDupRequest);
+    EXPECT_EQ(minimal->ops[0].at, 1u);
+
+    // The minimized schedule round-trips through its text form and
+    // still reproduces — the artifact a failing campaign writes out.
+    util::StatusOr<io::ChaosSchedule> reparsed =
+        io::ChaosSchedule::Parse(minimal->Serialize());
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+    util::StatusOr<chaos::NetSeedResult> replay =
+        chaos::ReplayNetSchedule(spec, *reparsed);
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    EXPECT_FALSE(replay->ok());
+}
+
+// ---------------------------------------------------------------------------
+// Protocol fuzzing: the seeded sweep stays clean, and the pinned corpus
+// of hostile byte strings replays through the codec within its contract
+// (no crash, no hang, no over-buffering) — the fuzz-regression lane.
+
+TEST(ProtocolFuzz, SeededSweepFindsNoCodecViolations)
+{
+    const chaos::FuzzReport report = chaos::FuzzProtocol(/*seed=*/1,
+                                                         /*inputs=*/2000);
+    for (const chaos::InvariantViolation& violation : report.violations)
+        ADD_FAILURE() << violation.invariant << ": " << violation.detail;
+    EXPECT_EQ(report.inputs, 2000u);
+    EXPECT_GT(report.frames, 0u);
+    EXPECT_GT(report.parsed, 0u);
+    EXPECT_GT(report.rejected, 0u);
+}
+
+std::vector<std::filesystem::path>
+ProtocolCorpusFiles()
+{
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(ATUM_PROTOCOL_CORPUS_DIR))
+        if (entry.path().extension() == ".bin")
+            files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+TEST(ProtocolFuzz, PinnedCorpusReplaysWithinTheCodecContract)
+{
+    const std::vector<std::filesystem::path> files = ProtocolCorpusFiles();
+    ASSERT_GE(files.size(), 10u)
+        << "pinned corpus went missing from " << ATUM_PROTOCOL_CORPUS_DIR;
+
+    for (const std::filesystem::path& path : files) {
+        SCOPED_TRACE(path.filename().string());
+        std::ifstream in(path, std::ios::binary);
+        ASSERT_TRUE(in.good());
+        std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+
+        FrameParser parser;
+        int steps = 0;
+        bool poisoned = false;
+        for (size_t off = 0; off < bytes.size() && !poisoned; off += 7) {
+            parser.Feed(bytes.data() + off,
+                        std::min<size_t>(7, bytes.size() - off));
+            for (;;) {
+                ASSERT_LT(++steps, 10'000) << "frame extraction wedged";
+                std::string payload;
+                util::StatusOr<bool> got = parser.Next(&payload);
+                if (!got.ok()) {
+                    // Poisoned (oversized length): a structured error,
+                    // and the connection would close — stop feeding.
+                    poisoned = true;
+                    break;
+                }
+                if (!*got)
+                    break;
+                util::StatusOr<Request> request = ParseRequest(payload);
+                if (request.ok()) {
+                    // Valid requests must round-trip through the codec.
+                    util::StatusOr<Request> again =
+                        ParseRequest(SerializeRequest(*request));
+                    ASSERT_TRUE(again.ok()) << again.status().ToString();
+                    EXPECT_EQ(again->op, request->op);
+                }
+            }
+            EXPECT_LE(parser.pending_bytes(),
+                      size_t{kMaxFrameBytes} + 4)
+                << "parser buffered past the frame cap";
+        }
+    }
 }
 
 }  // namespace

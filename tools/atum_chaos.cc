@@ -9,8 +9,11 @@
 //              [--out-dir DIR] [--no-minimize] [--verbose]
 //   atum-chaos --serve --campaign ... [--jobs N] [--tenants N]
 //              [--sweeps [N]] [--sweep-configs N] [... shared shape flags]
-//   atum-chaos --replay FILE [--serve] [--minimize] [... shape flags]
-//   atum-chaos --probe [--serve] [... shape flags]
+//   atum-chaos --net [--campaign net-flaky,net-cut,...] [--submits N]
+//              [--tenants N] [--attempts N] [... shared shape flags]
+//   atum-chaos --fuzz-protocol [--seeds N] [--first-seed S]
+//   atum-chaos --replay FILE [--serve|--net] [--minimize] [... shape flags]
+//   atum-chaos --probe [--serve|--net] [... shape flags]
 //   atum-chaos --version
 //
 // Each seed runs one complete disaster drill inside an in-memory
@@ -34,6 +37,24 @@
 // enforces S4 (no journaled row lost or altered after it was reported)
 // and S5 (the recovered sweep is bit-identical to a clean run). With no
 // --campaign, --sweeps defaults to powercut,enospc,torn-rename.
+//
+// With --net the subject is the daemon's WIRE instead of its disk: each
+// seed scripts a multi-tenant client that delivers tokened submits over
+// a simulated hostile connection (short/failed sends, mid-frame
+// disconnects, bit flips, stalls, duplicated retries, SIGKILL-restarts
+// of the daemon itself), and the battery checks the network-robustness
+// invariants — N1 no submit double-runs however often it is delivered,
+// N2 the daemon answers garbage with a structured error and never
+// wedges, N3 every ack for one idempotency token names the same job
+// (docs/SERVE.md "Network failure model"). With no --campaign, --net
+// defaults to all six net fault mixes.
+//
+// --fuzz-protocol skips the drill machinery and feeds --seeds seeded
+// mutations of framed traffic (bit flips, truncations, tampered length
+// prefixes, splices, raw noise) straight through FrameParser and the
+// request codec, checking the codec contract: bounded buffering,
+// bounded stepping, structured rejections, and accepted requests that
+// survive their own round trip.
 //
 // A failing seed's schedule is minimized (unless --no-minimize) and, with
 // --out-dir, written as DIR/failing-seed-N.schedule; such a file replays
@@ -80,11 +101,14 @@ struct Options {
     std::string out_dir;  // where failing schedules are written
     bool probe = false;   // print the fault-free op counts and exit
     bool serve = false;   // drill the serve daemon, not a lone capture
+    bool net = false;     // drill the daemon's wire, not its disk
+    bool fuzz = false;    // fuzz the frame/request codec, no drill
     bool minimize = true;
     bool verbose = false;
 
     chaos::CampaignSpec spec;
     chaos::ServeCampaignSpec serve_spec;
+    chaos::NetCampaignSpec net_spec;
 };
 
 std::vector<std::string>
@@ -140,13 +164,23 @@ ParseArgs(int argc, char** argv)
             opts.probe = true;
         else if (arg == "--serve")
             opts.serve = true;
+        else if (arg == "--net")
+            opts.net = true;
+        else if (arg == "--fuzz-protocol")
+            opts.fuzz = true;
+        else if (arg == "--submits")
+            opts.net_spec.submits =
+                static_cast<uint32_t>(ParseUint(arg, next()));
+        else if (arg == "--attempts")
+            opts.net_spec.max_attempts =
+                static_cast<uint32_t>(ParseUint(arg, next()));
         else if (arg == "--jobs") {
             opts.serve_spec.jobs =
                 static_cast<uint32_t>(ParseUint(arg, next()));
             jobs_set = true;
         }
         else if (arg == "--tenants")
-            opts.serve_spec.tenants =
+            opts.serve_spec.tenants = opts.net_spec.tenants =
                 static_cast<uint32_t>(ParseUint(arg, next()));
         else if (arg == "--sweeps") {
             // Bare --sweeps enables the default sweep mix; a following
@@ -174,29 +208,34 @@ ParseArgs(int argc, char** argv)
         else if (arg == "--verbose")
             opts.verbose = true;
         else if (arg == "--workload")
-            opts.spec.workload = opts.serve_spec.workload = next();
+            opts.spec.workload = opts.serve_spec.workload =
+                opts.net_spec.workload = next();
         else if (arg == "--scale")
-            opts.spec.scale = opts.serve_spec.scale =
+            opts.spec.scale = opts.serve_spec.scale = opts.net_spec.scale =
                 static_cast<uint32_t>(ParseUint(arg, next()));
         else if (arg == "--max-instructions") {
             opts.spec.max_instructions = opts.serve_spec.max_instructions =
-                ParseUint(arg, next());
+                opts.net_spec.max_instructions = ParseUint(arg, next());
             max_instructions_set = true;
         } else if (arg == "--buffer-kb") {
             opts.spec.buffer_bytes = opts.serve_spec.buffer_bytes =
-                static_cast<uint32_t>(ParseUint(arg, next())) << 10;
+                opts.net_spec.buffer_bytes =
+                    static_cast<uint32_t>(ParseUint(arg, next())) << 10;
             buffer_set = true;
         }
         else if (arg == "--chunk-records")
             opts.spec.chunk_records = opts.serve_spec.chunk_records =
-                static_cast<uint32_t>(ParseUint(arg, next()));
+                opts.net_spec.chunk_records =
+                    static_cast<uint32_t>(ParseUint(arg, next()));
         else if (arg == "--checkpoint-every")
             opts.spec.checkpoint_every_fills =
                 opts.serve_spec.checkpoint_every_fills =
-                    ParseUint(arg, next());
+                    opts.net_spec.checkpoint_every_fills =
+                        ParseUint(arg, next());
         else if (arg == "--checkpoint-keep")
             opts.spec.keep_checkpoints = opts.serve_spec.keep_checkpoints =
-                static_cast<uint32_t>(ParseUint(arg, next()));
+                opts.net_spec.keep_checkpoints =
+                    static_cast<uint32_t>(ParseUint(arg, next()));
         else if (arg == "--version") {
             std::printf("%s\n", util::VersionString("atum-chaos").c_str());
             std::exit(util::kExitOk);
@@ -217,13 +256,21 @@ ParseArgs(int argc, char** argv)
         if (!buffer_set)
             opts.serve_spec.buffer_bytes = 8u << 10;
     }
-    if (opts.replay.empty() && opts.campaigns.empty() && !opts.probe) {
-        // Bare --serve --sweeps works out of the box with the classic
-        // crash mix; everything else still requires an explicit mode.
+    if (opts.serve && opts.net)
+        UsageError("--serve and --net are mutually exclusive");
+    if (opts.replay.empty() && opts.campaigns.empty() && !opts.probe &&
+        !opts.fuzz) {
+        // Bare --serve --sweeps and bare --net work out of the box with
+        // their natural mixes; everything else still requires an
+        // explicit mode.
         if (opts.serve && opts.serve_spec.sweeps > 0)
             opts.campaigns = {"powercut", "enospc", "torn-rename"};
+        else if (opts.net)
+            opts.campaigns = {"net-flaky", "net-cut",   "net-flip",
+                              "net-stall", "net-dup", "net-kill"};
         else
-            UsageError("--campaign, --replay or --probe is required");
+            UsageError("--campaign, --replay, --probe or "
+                       "--fuzz-protocol is required");
     }
     if (!opts.replay.empty() && !opts.campaigns.empty())
         UsageError("--campaign and --replay are mutually exclusive");
@@ -325,24 +372,58 @@ ReportServeFailure(const Options& opts, const chaos::ServeSeedResult& failure)
     }
 }
 
+/** ReportFailure for a failing net drill (MinimizeNet instead). */
+void
+ReportNetFailure(const Options& opts, const chaos::NetSeedResult& failure)
+{
+    io::ChaosSchedule repro = failure.schedule;
+    if (opts.minimize) {
+        util::StatusOr<io::ChaosSchedule> minimized =
+            chaos::MinimizeNet(opts.net_spec, failure.schedule);
+        if (minimized.ok())
+            repro = *minimized;
+        else
+            std::fprintf(stderr, "atum-chaos: minimize failed: %s\n",
+                         minimized.status().ToString().c_str());
+    }
+    std::fprintf(stderr, "FAIL %s\n", failure.Summary().c_str());
+    obs::flight::Note("chaos.seed-failure", failure.Summary().c_str(),
+                      failure.seed, 0);
+    if (!opts.out_dir.empty()) {
+        const std::string path = opts.out_dir + "/failing-net-seed-" +
+                                 std::to_string(failure.seed) + ".schedule";
+        WriteFileOrDie(path, repro.Serialize());
+        std::fprintf(stderr, "  repro written to %s\n", path.c_str());
+    } else {
+        std::fprintf(stderr, "  repro schedule:\n%s",
+                     repro.Serialize().c_str());
+    }
+}
+
 /** Prints the fault-free op counts schedules aim into (for authoring). */
 int
 RunProbe(const Options& opts)
 {
     util::StatusOr<io::OpCounts> probe =
-        opts.serve
+        opts.net
+            ? chaos::ProbeNetOpCounts(opts.net_spec, opts.first_seed)
+        : opts.serve
             ? chaos::ProbeServeOpCounts(opts.serve_spec, opts.first_seed)
             : chaos::ProbeOpCounts(opts.spec);
     if (!probe.ok())
         IoFatal("probe failed: ", probe.status().ToString());
     std::printf("writes %llu\nsyncs %llu\nreads %llu\nrenames %llu\n"
-                "unlinks %llu\ndirsyncs %llu\n",
+                "unlinks %llu\ndirsyncs %llu\n"
+                "sends %llu\nrecvs %llu\nrequests %llu\n",
                 static_cast<unsigned long long>(probe->writes),
                 static_cast<unsigned long long>(probe->syncs),
                 static_cast<unsigned long long>(probe->reads),
                 static_cast<unsigned long long>(probe->renames),
                 static_cast<unsigned long long>(probe->unlinks),
-                static_cast<unsigned long long>(probe->dirsyncs));
+                static_cast<unsigned long long>(probe->dirsyncs),
+                static_cast<unsigned long long>(probe->sends),
+                static_cast<unsigned long long>(probe->recvs),
+                static_cast<unsigned long long>(probe->requests));
     return util::kExitOk;
 }
 
@@ -353,6 +434,23 @@ RunReplay(const Options& opts)
         io::ChaosSchedule::Parse(ReadFileOrDie(opts.replay));
     if (!schedule.ok())
         IoFatal(opts.replay, ": ", schedule.status().ToString());
+
+    if (opts.net) {
+        chaos::NetCampaignSpec spec = opts.net_spec;
+        if (spec.campaigns.empty())
+            spec.campaigns = schedule->campaigns;
+        util::StatusOr<chaos::NetSeedResult> result =
+            chaos::ReplayNetSchedule(spec, *schedule);
+        if (!result.ok())
+            IoFatal("replay failed to run: ", result.status().ToString());
+        std::printf("%s\n", result->Summary().c_str());
+        if (result->ok())
+            return util::kExitOk;
+        Options report_opts = opts;
+        report_opts.net_spec = spec;
+        ReportNetFailure(report_opts, *result);
+        return util::kExitError;
+    }
 
     if (opts.serve) {
         chaos::ServeCampaignSpec spec = opts.serve_spec;
@@ -387,6 +485,59 @@ RunReplay(const Options& opts)
     report_opts.spec = spec;
     ReportFailure(report_opts, *result);
     return util::kExitError;
+}
+
+/** The hostile-network campaign (--net). */
+int
+RunNetSeeds(Options& opts)
+{
+    opts.net_spec.campaigns = opts.campaigns;
+    uint64_t done = 0;
+    const auto on_seed = [&](const chaos::NetSeedResult& r) {
+        ++done;
+        if (opts.verbose || !r.ok())
+            std::printf("%s\n", r.Summary().c_str());
+        else if (done % 50 == 0)
+            std::printf("... %llu/%llu seeds\n",
+                        static_cast<unsigned long long>(done),
+                        static_cast<unsigned long long>(opts.seeds));
+    };
+
+    util::StatusOr<chaos::NetCampaignResult> result =
+        chaos::RunNetCampaign(opts.net_spec, opts.first_seed, opts.seeds,
+                              on_seed);
+    if (!result.ok())
+        IoFatal("net campaign failed to run: ", result.status().ToString());
+
+    std::printf(
+        "net campaign: %llu seeds, %llu faults fired, %llu kills, "
+        "%llu acks (%llu dedup), %llu retries, %zu failing\n",
+        static_cast<unsigned long long>(result->seeds_run),
+        static_cast<unsigned long long>(result->faults_fired),
+        static_cast<unsigned long long>(result->kills),
+        static_cast<unsigned long long>(result->acks),
+        static_cast<unsigned long long>(result->dup_acks),
+        static_cast<unsigned long long>(result->retries),
+        result->failures.size());
+
+    for (const chaos::NetSeedResult& failure : result->failures)
+        ReportNetFailure(opts, failure);
+    if (!result->ok() && obs::flight::Armed() &&
+        obs::flight::DumpNow("campaign-failure"))
+        std::fprintf(stderr, "  flight recorder: %s/chaos.flight.json\n",
+                     opts.out_dir.c_str());
+    return result->ok() ? util::kExitOk : util::kExitError;
+}
+
+/** The protocol codec fuzzer (--fuzz-protocol): --seeds is the input
+ *  count, --first-seed picks the deterministic mutation stream. */
+int
+RunFuzz(const Options& opts)
+{
+    const chaos::FuzzReport report =
+        chaos::FuzzProtocol(opts.first_seed, opts.seeds);
+    std::printf("%s\n", report.Summary().c_str());
+    return report.ok() ? util::kExitOk : util::kExitError;
 }
 
 /** The serve kill-restart campaign (--serve --campaign ...). */
@@ -492,10 +643,14 @@ main(int argc, char** argv)
         atum::obs::flight::SetDumpPath(flight_path.c_str());
         atum::obs::flight::InstallCrashHandler();
     }
+    if (opts.fuzz)
+        return atum::RunFuzz(opts);
     if (opts.probe)
         return atum::RunProbe(opts);
     if (!opts.replay.empty())
         return atum::RunReplay(opts);
+    if (opts.net)
+        return atum::RunNetSeeds(opts);
     if (opts.serve)
         return atum::RunServeSeeds(opts);
     return atum::RunSeeds(opts);

@@ -3,16 +3,36 @@
 // Usage:
 //   atum-submit --socket PATH submit [--tenant T] [--workload W]
 //               [--scale N] [--max-instructions N] [--max-trace-bytes N]
-//               [--deadline-ms N] [--wait] [--wait-timeout-ms N]
+//               [--deadline-ms N] [--token T] [--wait]
+//               [--wait-timeout-ms N]
 //   atum-submit --socket PATH sweep --of ID --config SPEC [--config SPEC]...
 //               [--tenant T] [--sweep-timeout-ms N] [--sweep-retries N]
 //               [--wait] [--wait-timeout-ms N]
 //   atum-submit --socket PATH status [--id N]
 //   atum-submit --socket PATH cancel --id N
 //   atum-submit --socket PATH ping | metrics | drain
+//   atum-submit --socket PATH probe-garbage | probe-slow [--hold-ms N]
 //   atum-submit --version
 //
-// Common flags: --retries N (default 5), --retry-base-ms N (default 50).
+// Common flags: --retries N (default 5), --retry-base-ms N (default 50),
+// --retry-budget-ms N (overall wall-clock cap on the retry loop; 0 =
+// uncapped, the default).
+//
+// Every submit carries an idempotency token (auto-generated; --token
+// overrides it, e.g. for a job-control system that owns its own retry
+// loop). The token makes ambiguous transport failures — the connection
+// died after the request was sent but before the response arrived, so
+// the daemon may or may not have accepted the job — safe to retry: a
+// duplicate submit with the same token is answered with the original
+// job id (docs/SERVE.md "Network failure model", invariant N1). Without
+// a token such failures would NOT be retried; with one they are.
+//
+// probe-garbage and probe-slow are hostile-client probes for the serve
+// CLI gate (scripts/test_serve.sh): the first sends a poison frame (an
+// oversized declared length) and expects a structured invalid-argument
+// answer before the daemon drops the connection; the second sends a
+// partial frame and then stalls like a slowloris, expecting the daemon
+// to evict it with a structured unavailable answer.
 //
 // `sweep` replays a finished capture's trace across many simulator
 // configs. Each --config is the compact form `kind[:key=val]...`, e.g.
@@ -50,6 +70,11 @@
 #include <string>
 #include <thread>
 
+#include <unistd.h>
+
+#include "io/posix.h"
+#include "io/stream.h"
+
 #include "serve/protocol.h"
 #include "serve/socket.h"
 #include "util/build_info.h"
@@ -77,7 +102,32 @@ struct Options {
     uint64_t wait_timeout_ms = 0;  ///< 0 = wait forever
     uint32_t retries = 5;
     uint64_t retry_base_ms = 50;
+    uint64_t retry_budget_ms = 0;  ///< overall retry wall cap; 0 = off
+    /** Retry ambiguous post-send transport failures (connection died
+     *  before the response): safe only for token-carrying submits. */
+    bool retry_ambiguous = false;
+    // -- hostile-client probes (probe-garbage / probe-slow) ----------------
+    bool probe_garbage = false;
+    bool probe_slow = false;
+    uint64_t hold_ms = 2000;  ///< how long probe-slow stalls mid-frame
 };
+
+/** A fresh idempotency token: unique per invocation, stable across the
+ *  retries within it — which is exactly what makes the retries safe. */
+std::string
+MakeToken()
+{
+    std::mt19937_64 rng(
+        std::random_device{}() ^
+        (static_cast<uint64_t>(::getpid()) << 32) ^
+        static_cast<uint64_t>(
+            std::chrono::steady_clock::now().time_since_epoch().count()));
+    char buf[36];
+    std::snprintf(buf, sizeof buf, "submit-%016llx%016llx",
+                  static_cast<unsigned long long>(rng()),
+                  static_cast<unsigned long long>(rng()));
+    return buf;
+}
 
 Options
 ParseArgs(int argc, char** argv)
@@ -129,10 +179,16 @@ ParseArgs(int argc, char** argv)
             opts.request.sweep_timeout_ms = next_u64();
         else if (arg == "--sweep-retries")
             opts.request.sweep_retries = next_u64();
+        else if (arg == "--token")
+            opts.request.client_token = next();
         else if (arg == "--retries")
             opts.retries = static_cast<uint32_t>(next_u64());
         else if (arg == "--retry-base-ms")
             opts.retry_base_ms = next_u64();
+        else if (arg == "--retry-budget-ms")
+            opts.retry_budget_ms = next_u64();
+        else if (arg == "--hold-ms")
+            opts.hold_ms = next_u64();
         else if (arg == "--version") {
             std::printf("%s\n", util::VersionString("atum-submit").c_str());
             std::exit(util::kExitOk);
@@ -153,6 +209,10 @@ ParseArgs(int argc, char** argv)
                 opts.request.op = serve::RequestOp::kMetrics;
             else if (arg == "drain")
                 opts.request.op = serve::RequestOp::kDrain;
+            else if (arg == "probe-garbage")
+                opts.probe_garbage = true;
+            else if (arg == "probe-slow")
+                opts.probe_slow = true;
             else
                 UsageError("unknown operation: ", arg);
         }
@@ -174,6 +234,15 @@ ParseArgs(int argc, char** argv)
         if (opts.request.sweep_configs.empty())
             UsageError("sweep requires at least one --config SPEC");
     }
+    if (opts.request.op == serve::RequestOp::kSubmit &&
+        !opts.probe_garbage && !opts.probe_slow) {
+        if (opts.request.client_token.empty())
+            opts.request.client_token = MakeToken();
+        // The token is what makes an ambiguous "sent but no response"
+        // failure safe to retry — the daemon answers a duplicate with
+        // the original id instead of running the job twice.
+        opts.retry_ambiguous = true;
+    }
     return opts;
 }
 
@@ -182,16 +251,31 @@ ParseArgs(int argc, char** argv)
  * transport, or the daemon's answer) with jittered exponential backoff:
  * base * 2^attempt, plus up to one base of jitter so a herd of clients
  * hammering a restarting daemon spreads out.
+ *
+ * With retry_ambiguous (token-carrying submits), post-send transport
+ * failures — the connection died after the request left but before the
+ * response arrived, so the daemon may or may not hold the job — are
+ * retried too: the idempotency token guarantees the retry is answered
+ * with the original job id, never a second job. Without a token those
+ * failures return as-is; retrying them blind could double-run.
+ *
+ * retry_budget_ms caps the whole loop's wall time (0 = uncapped): once
+ * the next backoff would overrun it, the last failure returns.
  */
 util::StatusOr<std::string>
 CallWithRetry(const Options& opts, const std::string& payload)
 {
     std::mt19937_64 rng(std::random_device{}());
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(opts.retry_budget_ms);
     util::Status last = util::Unavailable("no attempt made");
     for (uint32_t attempt = 0;; ++attempt) {
+        bool sent = false;
         util::StatusOr<std::unique_ptr<serve::UnixClient>> client =
             serve::UnixClient::Connect(opts.socket_path);
         if (client.ok()) {
+            sent = true;  // the request may reach the daemon from here on
             util::StatusOr<std::string> response =
                 (*client)->Call(payload);
             if (response.ok()) {
@@ -204,13 +288,27 @@ CallWithRetry(const Options& opts, const std::string& payload)
         } else {
             last = client.status();
         }
-        if (last.code() != util::StatusCode::kUnavailable ||
-            attempt >= opts.retries)
+        const bool ambiguous =
+            sent && (last.code() == util::StatusCode::kDataLoss ||
+                     last.code() == util::StatusCode::kIoError);
+        const bool retryable =
+            last.code() == util::StatusCode::kUnavailable ||
+            (opts.retry_ambiguous && ambiguous);
+        if (!retryable || attempt >= opts.retries)
             return last;
         const uint64_t shift = attempt < 6 ? attempt : 6;
         const uint64_t backoff = opts.retry_base_ms << shift;
         const uint64_t jitter =
             opts.retry_base_ms > 0 ? rng() % opts.retry_base_ms : 0;
+        if (opts.retry_budget_ms != 0 &&
+            std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(backoff + jitter) >=
+                deadline)
+            return util::Status(
+                last.code(),
+                internal::StrCat("retry budget (", opts.retry_budget_ms,
+                                 " ms) exhausted; last failure: ",
+                                 last.message()));
         std::this_thread::sleep_for(
             std::chrono::milliseconds(backoff + jitter));
     }
@@ -327,9 +425,82 @@ WaitForJob(const Options& opts, uint64_t id)
     }
 }
 
+/**
+ * Hostile-client probe: sends a poison frame (a length prefix declaring
+ * ~4 GiB) and expects the daemon to answer with a structured
+ * invalid-argument error before dropping the connection — exit 4 — and
+ * to keep serving everyone else.
+ */
+int
+ProbeGarbage(const Options& opts)
+{
+    util::StatusOr<std::unique_ptr<serve::UnixClient>> client =
+        serve::UnixClient::Connect(opts.socket_path);
+    if (!client.ok())
+        return ExitFor(client.status());
+    const char poison[] = {'\xff', '\xff', '\xff', '\xff',
+                           'j',    'u',    'n',    'k'};
+    io::FdStream stream((*client)->fd());
+    if (util::Status s = io::WriteAll(stream, poison, sizeof poison);
+        !s.ok())
+        return ExitFor(s);
+    util::StatusOr<std::string> answer =
+        serve::ReadFrameFd((*client)->fd());
+    if (!answer.ok())
+        return ExitFor(util::Status(
+            util::StatusCode::kInternal,
+            "daemon dropped the poison frame without a structured "
+            "answer: " +
+                std::string(answer.status().message())));
+    std::printf("%s\n", answer->c_str());
+    return ExitFor(serve::ResponseStatus(*answer));
+}
+
+/**
+ * Slowloris probe: sends half a length prefix, then trickles nothing.
+ * Expects the daemon to evict the connection with a structured
+ * unavailable answer (exit 7) within --hold-ms; a daemon that lets the
+ * stall live past the budget exits 6 (wedged) — that is the bug the
+ * probe exists to catch.
+ */
+int
+ProbeSlow(const Options& opts)
+{
+    util::StatusOr<std::unique_ptr<serve::UnixClient>> client =
+        serve::UnixClient::Connect(opts.socket_path);
+    if (!client.ok())
+        return ExitFor(client.status());
+    const char stub[] = {'\x08', '\x00'};  // half a frame header
+    io::FdStream stream((*client)->fd(),
+                        static_cast<int>(opts.hold_ms));
+    if (util::Status s = io::WriteAll(stream, stub, sizeof stub); !s.ok())
+        return ExitFor(s);
+    serve::FrameParser parser;
+    util::StatusOr<std::string> answer =
+        serve::ReadFrameStream(stream, parser);
+    if (!answer.ok()) {
+        if (answer.status().code() == util::StatusCode::kUnavailable &&
+            answer.status().message().find("peer silent") !=
+                std::string::npos) {
+            std::fprintf(stderr,
+                         "atum-submit: daemon tolerated a stalled "
+                         "connection for the whole %llu ms hold\n",
+                         static_cast<unsigned long long>(opts.hold_ms));
+            return util::kExitWedged;
+        }
+        return ExitFor(answer.status());
+    }
+    std::printf("%s\n", answer->c_str());
+    return ExitFor(serve::ResponseStatus(*answer));
+}
+
 int
 Run(const Options& opts)
 {
+    if (opts.probe_garbage)
+        return ProbeGarbage(opts);
+    if (opts.probe_slow)
+        return ProbeSlow(opts);
     const std::string payload = SerializeRequest(opts.request);
     util::StatusOr<std::string> response = CallWithRetry(opts, payload);
     if (!response.ok())
